@@ -1,0 +1,34 @@
+//! `describe`: print the model card of one (or all) Table 2 benchmarks —
+//! what the synthetic model represents and how its knobs map to the
+//! paper's published characteristics.
+//!
+//! ```sh
+//! cargo run --release -p nuba-bench --bin describe -- SGEMM
+//! cargo run --release -p nuba-bench --bin describe          # all 29
+//! ```
+
+use nuba_workloads::BenchmarkId;
+
+fn main() {
+    let arg = std::env::args().nth(1);
+    let benches: Vec<BenchmarkId> = match arg.as_deref() {
+        None => BenchmarkId::ALL.to_vec(),
+        Some(abbr) => match BenchmarkId::from_abbr(abbr) {
+            Some(b) => vec![b],
+            None => {
+                eprintln!("unknown benchmark `{abbr}`; known abbreviations:");
+                for b in BenchmarkId::ALL {
+                    eprint!(" {b}");
+                }
+                eprintln!();
+                std::process::exit(2);
+            }
+        },
+    };
+    for (i, b) in benches.iter().enumerate() {
+        if i > 0 {
+            println!();
+        }
+        println!("{}", b.spec().model_card());
+    }
+}

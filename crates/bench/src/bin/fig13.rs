@@ -1,0 +1,60 @@
+//! Figure 13: normalized GPU energy — NoC versus the rest of the GPU.
+
+use nuba_bench::{figure_header, main_configs, Harness};
+use nuba_workloads::BenchmarkId;
+
+fn main() {
+    figure_header("Figure 13", "GPU energy: NoC vs rest, normalized to UBA");
+    let h = Harness::from_env();
+    let [(_, uba_cfg), (_, sm_cfg), _, (_, nuba_cfg)] = main_configs();
+
+    println!(
+        "{:<8} {:>9} {:>9} | {:>9} {:>9} | {:>9} {:>9}",
+        "bench", "UBA noc", "UBA rest", "SM noc", "SM rest", "NUBA noc", "NUBA rest"
+    );
+    let mut sums = [0.0f64; 6];
+    let mut totals = (0.0f64, 0.0f64, 0.0f64);
+    for &b in BenchmarkId::ALL {
+        let base = h.run(b, uba_cfg.clone());
+        let sm = h.run(b, sm_cfg.clone());
+        let nuba = h.run(b, nuba_cfg.clone());
+        // Energy per completed warp-op, normalized to UBA's total.
+        let norm = |r: &nuba_core::SimReport| {
+            let per_op = r.warp_ops.max(1) as f64;
+            (r.energy.noc_j / per_op, r.energy.rest_j / per_op)
+        };
+        let (un, ur) = norm(&base);
+        let scale = un + ur;
+        let (sn, sr) = norm(&sm);
+        let (nn, nr) = norm(&nuba);
+        let row = [un / scale, ur / scale, sn / scale, sr / scale, nn / scale, nr / scale];
+        println!(
+            "{:<8} {:>9.3} {:>9.3} | {:>9.3} {:>9.3} | {:>9.3} {:>9.3}",
+            b.to_string(),
+            row[0],
+            row[1],
+            row[2],
+            row[3],
+            row[4],
+            row[5]
+        );
+        for (s, v) in sums.iter_mut().zip(row) {
+            *s += v;
+        }
+        totals.0 += row[0] + row[1];
+        totals.1 += row[2] + row[3];
+        totals.2 += row[4] + row[5];
+    }
+    let n = BenchmarkId::ALL.len() as f64;
+    println!("\nAverages (energy per unit work, UBA = 1.0):");
+    println!("  UBA    : noc={:.3} rest={:.3} total={:.3}", sums[0] / n, sums[1] / n, totals.0 / n);
+    println!("  UBA-sm : noc={:.3} rest={:.3} total={:.3}", sums[2] / n, sums[3] / n, totals.1 / n);
+    println!("  NUBA   : noc={:.3} rest={:.3} total={:.3}", sums[4] / n, sums[5] / n, totals.2 / n);
+    println!(
+        "  NUBA NoC energy reduction: {:.1}%; total GPU energy reduction: {:.1}%",
+        100.0 * (1.0 - (sums[4] / sums[0])),
+        100.0 * (1.0 - totals.2 / totals.0)
+    );
+    println!("\nPaper: NUBA cuts NoC energy 54.5% and total GPU energy 16.0% vs UBA;");
+    println!("       SM-side UBA cuts NoC energy 25.9% and total energy 2.9%.");
+}

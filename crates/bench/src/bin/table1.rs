@@ -1,0 +1,92 @@
+//! Table 1: the simulated GPU architecture.
+
+use nuba_types::{ArchKind, GpuConfig};
+
+fn main() {
+    let cfg = GpuConfig::paper_baseline(ArchKind::Nuba);
+    nuba_bench::figure_header("Table 1", "Simulated GPU architecture");
+    let rows: Vec<(&str, String)> = vec![
+        ("No. SMs", format!("{} SMs", cfg.num_sms)),
+        (
+            "SM resources",
+            format!(
+                "1.4 GHz, {} SIMT width, max {} warps/SM ({} actively simulated)",
+                cfg.threads_per_warp, cfg.warps_per_sm, cfg.sim_active_warps
+            ),
+        ),
+        ("Scheduler", "2 warp schedulers per SM, GTO-flavoured".into()),
+        (
+            "L1 data cache",
+            format!(
+                "{} KB per SM ({}-way, {} sets), 128 B block, {} MSHR entries, write-through, write-no-allocate",
+                cfg.l1_bytes / 1024,
+                cfg.l1_ways,
+                cfg.l1_bytes / (cfg.l1_ways * 128),
+                cfg.l1_mshrs
+            ),
+        ),
+        ("L1 TLB", format!("{} entries per SM, LRU", cfg.l1_tlb_entries)),
+        (
+            "LLC",
+            format!(
+                "{} MB total ({} slices, {}-way, {} sets), {}-cycle pipeline, write-back, {} B/cycle per slice",
+                cfg.llc_total_bytes / (1024 * 1024),
+                cfg.num_llc_slices,
+                cfg.llc_ways,
+                cfg.llc_slice_sets(),
+                cfg.llc_latency,
+                cfg.llc_bytes_per_cycle
+            ),
+        ),
+        (
+            "L2 TLB",
+            format!(
+                "{} entries, {}-way, {}-cycle latency, 2 ports",
+                cfg.l2_tlb_entries, cfg.l2_tlb_ways, cfg.l2_tlb_latency
+            ),
+        ),
+        ("Page table walker", format!("shared, {} concurrent walkers", cfg.page_walkers)),
+        (
+            "NoC",
+            format!(
+                "{}x{} crossbar, {:.1} TB/s ({:.1} B/cycle/port), {}-cycle stages",
+                cfg.num_llc_slices,
+                cfg.num_llc_slices,
+                cfg.noc_tbs(),
+                cfg.noc_port_bytes_per_cycle(),
+                cfg.noc_stage_latency
+            ),
+        ),
+        (
+            "NUBA local links",
+            format!(
+                "{} B/cycle per SM point-to-point ({:.1} TB/s aggregate)",
+                cfg.local_link_bytes_per_cycle,
+                cfg.local_link_bytes_per_cycle as f64 * cfg.num_sms as f64 * 1.4e9 / 1e12
+            ),
+        ),
+        (
+            "Memory",
+            format!(
+                "{} channels, FR-FCFS, {} entries/queue, {} banks/channel, {} B bursts, 4:1 clock divider (720 GB/s)",
+                cfg.num_channels, cfg.mc_queue_entries, cfg.banks_per_channel, cfg.dram_burst_bytes
+            ),
+        ),
+        (
+            "HBM timing",
+            "tRC=24 tRCD=7 tRP=7 tCL=7 tWL=2 tRAS=17 tRRDl=5 tRRDs=4 tFAW=20 tRTP=7 tCCD=1 tWTRl=4 tWTRs=2".into(),
+        ),
+        ("Page size", format!("{} KB", cfg.page_bytes / 1024)),
+        ("Page policy", format!("{:?}", cfg.page_policy)),
+        (
+            "MDR",
+            format!(
+                "{}-cycle epochs, {}-cycle model evaluation, {} sampled sets/slice",
+                cfg.mdr_epoch_cycles, cfg.mdr_eval_cycles, cfg.mdr_sample_sets
+            ),
+        ),
+    ];
+    for (k, v) in rows {
+        println!("{k:<22} {v}");
+    }
+}

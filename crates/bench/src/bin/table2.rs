@@ -1,0 +1,32 @@
+//! Table 2: the GPU-compute benchmark suite, with the scaled footprints
+//! actually simulated (DESIGN.md substitution #2).
+
+use nuba_workloads::{BenchmarkId, ScaleProfile};
+
+fn main() {
+    nuba_bench::figure_header("Table 2", "GPU-compute benchmarks");
+    let scale = ScaleProfile::default();
+    println!(
+        "{:<26} {:<8} {:<8} {:>12} {:>12} {:>12} {:>10}",
+        "Benchmark", "Abbr.", "Sharing", "Footprint", "RO-shared", "Sim pages", "Sim RO pg"
+    );
+    for &b in BenchmarkId::ALL {
+        let s = b.spec();
+        println!(
+            "{:<26} {:<8} {:<8} {:>9} MB {:>9} MB {:>12} {:>10}",
+            s.name,
+            s.abbr,
+            s.sharing.to_string(),
+            s.footprint_mb,
+            s.ro_shared_mb,
+            scale.total_pages(s),
+            scale.ro_pages(s)
+        );
+    }
+    println!(
+        "\n{} low-sharing, {} high-sharing; footprints clipped at {} MB (see DESIGN.md).",
+        BenchmarkId::with_sharing(nuba_workloads::SharingClass::Low).len(),
+        BenchmarkId::with_sharing(nuba_workloads::SharingClass::High).len(),
+        scale.cap_mb
+    );
+}

@@ -1,0 +1,60 @@
+//! Seed-variance study: how stable are the headline results across
+//! workload-generation seeds? Reports per-benchmark coefficient of
+//! variation of the NUBA-over-UBA speedup.
+
+use nuba_bench::{figure_header, pct, Harness};
+use nuba_types::{ArchKind, GpuConfig};
+use nuba_workloads::{BenchmarkId, ScaleProfile, Workload};
+
+fn run(bench: BenchmarkId, mut cfg: GpuConfig, seed: u64, cycles: u64) -> f64 {
+    cfg.seed = seed;
+    let wl = Workload::build(bench, ScaleProfile::default(), cfg.num_sms, seed);
+    let mut gpu = nuba_core::GpuSimulator::new(cfg, &wl);
+    gpu.warm_and_run(&wl, cycles).perf()
+}
+
+fn main() {
+    figure_header("Variance", "NUBA speedup stability across seeds");
+    let h = Harness::from_env();
+    let seeds: Vec<u64> = (0..5).map(|i| 41 + i * 13).collect();
+    let benches = [
+        BenchmarkId::Lbm,
+        BenchmarkId::Kmeans,
+        BenchmarkId::Sgemm,
+        BenchmarkId::SqueezeNet,
+        BenchmarkId::StreamCluster,
+        BenchmarkId::Mvt,
+    ];
+    println!(
+        "{:<8} {:>9} {:>9} {:>9} {:>7}   per-seed speedups",
+        "bench", "mean", "min", "max", "CoV"
+    );
+    for bench in benches {
+        let speedups: Vec<f64> = seeds
+            .iter()
+            .map(|&s| {
+                let uba = run(bench, GpuConfig::paper_baseline(ArchKind::MemSideUba), s, h.cycles);
+                let nuba = run(bench, GpuConfig::paper_baseline(ArchKind::Nuba), s, h.cycles);
+                nuba / uba
+            })
+            .collect();
+        let mean = speedups.iter().sum::<f64>() / speedups.len() as f64;
+        let var = speedups.iter().map(|s| (s - mean).powi(2)).sum::<f64>()
+            / speedups.len() as f64;
+        let cov = var.sqrt() / mean;
+        let min = speedups.iter().copied().fold(f64::INFINITY, f64::min);
+        let max = speedups.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+        let list: Vec<String> = speedups.iter().map(|s| format!("{s:.2}")).collect();
+        println!(
+            "{:<8} {:>9} {:>9} {:>9} {:>6.1}%   [{}]",
+            bench.to_string(),
+            pct(mean),
+            pct(min),
+            pct(max),
+            cov * 100.0,
+            list.join(", ")
+        );
+    }
+    println!("\nSpeedups should agree in sign and rough magnitude across seeds;");
+    println!("a CoV of a few percent is expected from layout/window randomness.");
+}

@@ -1,0 +1,260 @@
+#![warn(missing_docs)]
+
+//! # nuba-bench
+//!
+//! The experiment harness: one binary per table and figure of the
+//! paper's evaluation (see DESIGN.md §4 for the index), plus Criterion
+//! micro-benchmarks of the simulator's components.
+//!
+//! Every figure binary prints the same rows/series the paper reports.
+//! Absolute numbers come from a scaled simulator (DESIGN.md §1), so the
+//! *shape* — who wins, by roughly what factor — is the reproduction
+//! target, not the paper's exact percentages.
+//!
+//! Runtime knobs (environment variables):
+//!
+//! - `NUBA_CYCLES`: timed window per run (default 60 000).
+//! - `NUBA_FAST=1`: quarter-density workload scaling for quick looks.
+//! - `NUBA_FULL=1`: run parameter sweeps over all 29 benchmarks instead
+//!   of the representative subset.
+
+use nuba_core::{GpuSimulator, SimReport};
+use nuba_types::{harmonic_mean_speedup, ArchKind, GpuConfig, ReplicationKind};
+use nuba_workloads::{BenchmarkId, ScaleProfile, SharingClass, Workload};
+
+/// Harness-wide run parameters.
+#[derive(Debug, Clone, Copy)]
+pub struct Harness {
+    /// Timed cycles per run.
+    pub cycles: u64,
+    /// Workload scaling.
+    pub scale: ScaleProfile,
+    /// Seed for layouts and streams.
+    pub seed: u64,
+}
+
+impl Harness {
+    /// Read the environment knobs.
+    pub fn from_env() -> Harness {
+        let cycles = std::env::var("NUBA_CYCLES")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(60_000);
+        let scale = if std::env::var("NUBA_FAST").is_ok_and(|v| v == "1") {
+            ScaleProfile::fast()
+        } else {
+            ScaleProfile::default()
+        };
+        Harness { cycles, scale, seed: 42 }
+    }
+
+    /// Whether sweeps should cover the full suite.
+    pub fn full_sweeps() -> bool {
+        std::env::var("NUBA_FULL").is_ok_and(|v| v == "1")
+    }
+
+    /// Run one (benchmark, configuration) pair: build the workload,
+    /// warm the page tables, simulate the timed window.
+    pub fn run(&self, bench: BenchmarkId, mut cfg: GpuConfig) -> SimReport {
+        cfg.seed = self.seed;
+        if cfg.page_bytes != self.scale.page_bytes {
+            cfg.page_bytes = self.scale.page_bytes;
+        }
+        let wl = Workload::build(bench, self.scale, cfg.num_sms, self.seed);
+        let mut gpu = GpuSimulator::new(cfg, &wl);
+        gpu.warm_and_run(&wl, self.cycles)
+    }
+
+    /// Run with a scale override (page-size sensitivity).
+    pub fn run_scaled(
+        &self,
+        bench: BenchmarkId,
+        mut cfg: GpuConfig,
+        scale: ScaleProfile,
+    ) -> SimReport {
+        cfg.seed = self.seed;
+        cfg.page_bytes = scale.page_bytes;
+        let wl = Workload::build(bench, scale, cfg.num_sms, self.seed);
+        let mut gpu = GpuSimulator::new(cfg, &wl);
+        gpu.warm_and_run(&wl, self.cycles)
+    }
+}
+
+/// The paper's three main architectures at iso-resources.
+pub fn main_configs() -> [(&'static str, GpuConfig); 4] {
+    let mut nuba_nr = GpuConfig::paper_baseline(ArchKind::Nuba);
+    nuba_nr.replication = ReplicationKind::None;
+    [
+        ("UBA-mem", GpuConfig::paper_baseline(ArchKind::MemSideUba)),
+        ("UBA-sm", GpuConfig::paper_baseline(ArchKind::SmSideUba)),
+        ("NUBA-No-Rep", nuba_nr),
+        ("NUBA", GpuConfig::paper_baseline(ArchKind::Nuba)),
+    ]
+}
+
+/// Representative sweep subset: 5 low-sharing + 5 high-sharing
+/// benchmarks spanning the behaviour classes.
+pub fn sweep_benchmarks() -> Vec<BenchmarkId> {
+    if Harness::full_sweeps() {
+        BenchmarkId::ALL.to_vec()
+    } else {
+        vec![
+            BenchmarkId::Lbm,
+            BenchmarkId::Kmeans,
+            BenchmarkId::Conv2d,
+            BenchmarkId::Mvt,
+            BenchmarkId::ConvSeparable,
+            BenchmarkId::Sgemm,
+            BenchmarkId::AlexNet,
+            BenchmarkId::SqueezeNet,
+            BenchmarkId::Gru,
+            BenchmarkId::StreamCluster,
+        ]
+    }
+}
+
+/// Harmonic-mean speedups split by sharing class plus overall, as the
+/// paper reports them.
+pub struct ClassMeans {
+    /// Low-sharing harmonic mean.
+    pub low: f64,
+    /// High-sharing harmonic mean.
+    pub high: f64,
+    /// Overall harmonic mean.
+    pub all: f64,
+}
+
+/// Aggregate per-benchmark speedups the paper's way.
+pub fn class_means(rows: &[(BenchmarkId, f64)]) -> ClassMeans {
+    let pick = |class: SharingClass| {
+        let v: Vec<f64> =
+            rows.iter().filter(|(b, _)| b.spec().sharing == class).map(|&(_, s)| s).collect();
+        harmonic_mean_speedup(&v)
+    };
+    let all: Vec<f64> = rows.iter().map(|&(_, s)| s).collect();
+    ClassMeans {
+        low: pick(SharingClass::Low),
+        high: pick(SharingClass::High),
+        all: harmonic_mean_speedup(&all),
+    }
+}
+
+/// `1.234` → `+23.4%`.
+pub fn pct(speedup: f64) -> String {
+    format!("{:+.1}%", (speedup - 1.0) * 100.0)
+}
+
+/// Print a standard figure header.
+pub fn figure_header(id: &str, caption: &str) {
+    println!("==================================================================");
+    println!("{id}: {caption}");
+    println!("==================================================================");
+}
+
+/// ASCII chart rendering for the figure binaries.
+pub mod chart {
+    /// A horizontal bar of `value` against `max`, `width` cells wide.
+    /// Negative values render to the left of a `|` origin for
+    /// improvement charts that can dip below the baseline.
+    pub fn bar(value: f64, max: f64, width: usize) -> String {
+        if max <= 0.0 || width == 0 {
+            return String::new();
+        }
+        let cells = ((value.abs() / max) * width as f64).round() as usize;
+        let cells = cells.min(width);
+        if value >= 0.0 {
+            format!("|{}", "#".repeat(cells))
+        } else {
+            format!("{}|", "-".repeat(cells))
+        }
+    }
+
+    /// Render labelled rows as a right-aligned bar chart, scaled to the
+    /// largest magnitude.
+    pub fn series(rows: &[(String, f64)], width: usize) -> String {
+        let max = rows.iter().map(|(_, v)| v.abs()).fold(0.0f64, f64::max);
+        let label_w = rows.iter().map(|(l, _)| l.len()).max().unwrap_or(0);
+        rows.iter()
+            .map(|(l, v)| format!("{l:<label_w$} {:>8.2} {}", v, bar(*v, max, width)))
+            .collect::<Vec<_>>()
+            .join("\n")
+    }
+
+    #[cfg(test)]
+    mod tests {
+        use super::*;
+
+        #[test]
+        fn bar_scales_and_clamps() {
+            assert_eq!(bar(1.0, 2.0, 10), "|#####");
+            assert_eq!(bar(2.0, 2.0, 10), "|##########");
+            assert_eq!(bar(4.0, 2.0, 10), "|##########");
+            assert_eq!(bar(0.0, 2.0, 10), "|");
+        }
+
+        #[test]
+        fn negative_values_point_left() {
+            assert_eq!(bar(-1.0, 2.0, 10), "-----|");
+        }
+
+        #[test]
+        fn degenerate_inputs_are_safe() {
+            assert_eq!(bar(1.0, 0.0, 10), "");
+            assert_eq!(bar(1.0, 2.0, 0), "");
+            assert_eq!(series(&[], 10), "");
+        }
+
+        #[test]
+        fn series_aligns_labels() {
+            let rows =
+                vec![("A".to_string(), 1.0), ("LONGNAME".to_string(), 2.0)];
+            let out = series(&rows, 8);
+            let lines: Vec<&str> = out.lines().collect();
+            assert_eq!(lines.len(), 2);
+            assert!(lines[0].starts_with("A        "));
+            assert!(lines[1].ends_with("|########"));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn class_means_split() {
+        let rows = vec![
+            (BenchmarkId::Lbm, 1.5),    // low
+            (BenchmarkId::Mvt, 1.3),    // low
+            (BenchmarkId::Sgemm, 1.2),  // high
+            (BenchmarkId::AlexNet, 1.4), // high
+        ];
+        let m = class_means(&rows);
+        assert!((m.low - harmonic_mean_speedup(&[1.5, 1.3])).abs() < 1e-12);
+        assert!((m.high - harmonic_mean_speedup(&[1.2, 1.4])).abs() < 1e-12);
+        assert!(m.all > 1.0);
+    }
+
+    #[test]
+    fn pct_formatting() {
+        assert_eq!(pct(1.231), "+23.1%");
+        assert_eq!(pct(0.9), "-10.0%");
+    }
+
+    #[test]
+    fn sweep_subset_is_balanced() {
+        let sw = sweep_benchmarks();
+        let low = sw.iter().filter(|b| b.spec().sharing == SharingClass::Low).count();
+        let high = sw.iter().filter(|b| b.spec().sharing == SharingClass::High).count();
+        assert_eq!(low, 5);
+        assert_eq!(high, 5);
+    }
+
+    #[test]
+    fn main_configs_cover_paper_proposals() {
+        let cfgs = main_configs();
+        assert_eq!(cfgs[0].1.arch, ArchKind::MemSideUba);
+        assert_eq!(cfgs[2].1.replication, ReplicationKind::None);
+        assert_eq!(cfgs[3].1.replication, ReplicationKind::Mdr);
+    }
+}

@@ -1,0 +1,97 @@
+//! Cache geometry: set/way shape and set-index extraction.
+
+use nuba_types::{LineAddr, LINE_BYTES};
+
+/// The shape of a set-associative cache (line size fixed at 128 B,
+/// Table 1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CacheGeometry {
+    sets: usize,
+    ways: usize,
+}
+
+impl CacheGeometry {
+    /// A cache with `sets` sets of `ways` ways.
+    ///
+    /// # Panics
+    /// Panics if either dimension is zero.
+    pub fn new(sets: usize, ways: usize) -> CacheGeometry {
+        assert!(sets > 0 && ways > 0, "cache must have sets and ways");
+        CacheGeometry { sets, ways }
+    }
+
+    /// Geometry from a capacity in bytes and associativity.
+    ///
+    /// # Panics
+    /// Panics if the capacity is not an exact multiple of
+    /// `ways × LINE_BYTES`.
+    pub fn from_capacity(bytes: usize, ways: usize) -> CacheGeometry {
+        let set_bytes = ways * LINE_BYTES as usize;
+        assert!(bytes.is_multiple_of(set_bytes), "capacity {bytes} not divisible by set size {set_bytes}");
+        CacheGeometry::new(bytes / set_bytes, ways)
+    }
+
+    /// Number of sets.
+    pub fn sets(&self) -> usize {
+        self.sets
+    }
+
+    /// Associativity.
+    pub fn ways(&self) -> usize {
+        self.ways
+    }
+
+    /// Total capacity in bytes.
+    pub fn capacity_bytes(&self) -> usize {
+        self.sets * self.ways * LINE_BYTES as usize
+    }
+
+    /// The set a line maps to. Works for any set count (modulo indexing),
+    /// matching GPGPU-sim's behaviour for non-power-of-two set counts
+    /// such as the 48-set LLC slices.
+    pub fn set_of(&self, line: LineAddr) -> usize {
+        (line.index() % self.sets as u64) as usize
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn llc_slice_geometry() {
+        let g = CacheGeometry::from_capacity(96 * 1024, 16);
+        assert_eq!(g.sets(), 48);
+        assert_eq!(g.capacity_bytes(), 96 * 1024);
+    }
+
+    #[test]
+    fn l1_geometry() {
+        let g = CacheGeometry::from_capacity(48 * 1024, 6);
+        assert_eq!(g.sets(), 64);
+    }
+
+    #[test]
+    fn set_mapping_covers_all_sets() {
+        let g = CacheGeometry::new(48, 16);
+        let mut seen = [false; 48];
+        for i in 0..48u64 {
+            seen[g.set_of(LineAddr(i * 128))] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn consecutive_lines_hit_distinct_sets() {
+        let g = CacheGeometry::new(64, 6);
+        let a = g.set_of(LineAddr(0));
+        let b = g.set_of(LineAddr(128));
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    #[should_panic(expected = "divisible")]
+    fn misaligned_capacity_panics() {
+        let _ = CacheGeometry::from_capacity(1000, 3);
+    }
+}

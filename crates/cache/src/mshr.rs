@@ -1,0 +1,174 @@
+//! Miss Status Holding Registers with primary/secondary miss merging.
+
+use std::collections::HashMap;
+
+use nuba_types::LineAddr;
+
+/// Outcome of trying to allocate an MSHR for a missing line.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MshrOutcome {
+    /// First miss on this line: the caller must send a fill request
+    /// downstream.
+    Primary,
+    /// The line is already being fetched: the waiter was merged, no new
+    /// downstream request is needed.
+    Secondary,
+    /// No MSHR entry available — the requester must stall.
+    NoEntry,
+    /// The entry exists but its merge list is full — stall.
+    MergeFull,
+}
+
+/// An MSHR file tracking outstanding line fills.
+///
+/// `W` is the waiter payload returned when the fill completes (typically
+/// the original request so the reply can be routed).
+#[derive(Debug, Clone)]
+pub struct MshrFile<W> {
+    entries: HashMap<LineAddr, Vec<W>>,
+    max_entries: usize,
+    max_merges: usize,
+    peak_occupancy: usize,
+}
+
+impl<W> MshrFile<W> {
+    /// An MSHR file with `max_entries` outstanding lines and up to
+    /// `max_merges` waiters per line.
+    ///
+    /// # Panics
+    /// Panics if either limit is zero.
+    pub fn new(max_entries: usize, max_merges: usize) -> MshrFile<W> {
+        assert!(max_entries > 0 && max_merges > 0, "mshr limits must be non-zero");
+        MshrFile {
+            entries: HashMap::with_capacity(max_entries),
+            max_entries,
+            max_merges,
+            peak_occupancy: 0,
+        }
+    }
+
+    /// Try to record a miss on `line` with `waiter` to wake on fill.
+    ///
+    /// On [`MshrOutcome::NoEntry`] / [`MshrOutcome::MergeFull`] the waiter
+    /// is handed back through the `Err` side so callers keep ownership.
+    pub fn allocate(&mut self, line: LineAddr, waiter: W) -> Result<MshrOutcome, (MshrOutcome, W)> {
+        if let Some(waiters) = self.entries.get_mut(&line) {
+            if waiters.len() >= self.max_merges {
+                return Err((MshrOutcome::MergeFull, waiter));
+            }
+            waiters.push(waiter);
+            return Ok(MshrOutcome::Secondary);
+        }
+        if self.entries.len() >= self.max_entries {
+            return Err((MshrOutcome::NoEntry, waiter));
+        }
+        self.entries.insert(line, vec![waiter]);
+        self.peak_occupancy = self.peak_occupancy.max(self.entries.len());
+        Ok(MshrOutcome::Primary)
+    }
+
+    /// Whether a fill for `line` is outstanding.
+    pub fn contains(&self, line: LineAddr) -> bool {
+        self.entries.contains_key(&line)
+    }
+
+    /// Whether a secondary miss on `line` can merge (entry exists and its
+    /// merge list has room).
+    pub fn can_merge(&self, line: LineAddr) -> bool {
+        self.entries.get(&line).is_some_and(|w| w.len() < self.max_merges)
+    }
+
+    /// Complete the fill for `line`, returning all merged waiters
+    /// (empty if no entry existed).
+    pub fn complete(&mut self, line: LineAddr) -> Vec<W> {
+        self.entries.remove(&line).unwrap_or_default()
+    }
+
+    /// Outstanding line count.
+    pub fn occupancy(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether a new primary miss can be accepted.
+    pub fn has_free_entry(&self) -> bool {
+        self.entries.len() < self.max_entries
+    }
+
+    /// Highest occupancy observed (for reports).
+    pub fn peak_occupancy(&self) -> usize {
+        self.peak_occupancy
+    }
+
+    /// Total waiters across all entries.
+    pub fn total_waiters(&self) -> usize {
+        self.entries.values().map(Vec::len).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn line(i: u64) -> LineAddr {
+        LineAddr(i * 128)
+    }
+
+    #[test]
+    fn primary_then_secondary() {
+        let mut m = MshrFile::new(4, 4);
+        assert_eq!(m.allocate(line(0), "a"), Ok(MshrOutcome::Primary));
+        assert_eq!(m.allocate(line(0), "b"), Ok(MshrOutcome::Secondary));
+        assert!(m.contains(line(0)));
+        let waiters = m.complete(line(0));
+        assert_eq!(waiters, vec!["a", "b"]);
+        assert!(!m.contains(line(0)));
+    }
+
+    #[test]
+    fn entry_exhaustion_stalls() {
+        let mut m = MshrFile::new(2, 4);
+        m.allocate(line(0), 0).unwrap();
+        m.allocate(line(1), 1).unwrap();
+        assert!(!m.has_free_entry());
+        let (outcome, waiter) = m.allocate(line(2), 2).unwrap_err();
+        assert_eq!(outcome, MshrOutcome::NoEntry);
+        assert_eq!(waiter, 2);
+        // Secondary merges still work when entries are exhausted.
+        assert_eq!(m.allocate(line(0), 3), Ok(MshrOutcome::Secondary));
+    }
+
+    #[test]
+    fn merge_list_exhaustion() {
+        let mut m = MshrFile::new(4, 2);
+        m.allocate(line(0), 0).unwrap();
+        m.allocate(line(0), 1).unwrap();
+        let (outcome, _) = m.allocate(line(0), 2).unwrap_err();
+        assert_eq!(outcome, MshrOutcome::MergeFull);
+        assert_eq!(m.total_waiters(), 2);
+    }
+
+    #[test]
+    fn complete_unknown_line_is_empty() {
+        let mut m: MshrFile<u8> = MshrFile::new(2, 2);
+        assert!(m.complete(line(9)).is_empty());
+    }
+
+    #[test]
+    fn peak_occupancy_tracks_high_water() {
+        let mut m = MshrFile::new(8, 2);
+        for i in 0..5 {
+            m.allocate(line(i), i).unwrap();
+        }
+        for i in 0..5 {
+            m.complete(line(i));
+        }
+        assert_eq!(m.occupancy(), 0);
+        assert_eq!(m.peak_occupancy(), 5);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-zero")]
+    fn zero_limits_panic() {
+        let _: MshrFile<u8> = MshrFile::new(0, 1);
+    }
+}

@@ -1,0 +1,296 @@
+//! Tag array with LRU (default) or random replacement.
+
+use nuba_types::LineAddr;
+
+use crate::geometry::CacheGeometry;
+
+/// Replacement policy for a [`TagArray`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ReplacementKind {
+    /// Least-recently-used (Table 1 default for all caches/TLBs).
+    #[default]
+    Lru,
+    /// Pseudo-random victim selection (ablation).
+    Random,
+}
+
+/// A line evicted by an insertion.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Eviction {
+    /// The evicted line address.
+    pub line: LineAddr,
+    /// Whether it was dirty (needs a write-back under write-back policy).
+    pub dirty: bool,
+    /// Whether it was a replicated read-only line (MDR accounting).
+    pub replica: bool,
+}
+
+#[derive(Debug, Clone, Copy, Default)]
+struct Way {
+    valid: bool,
+    line: LineAddr,
+    dirty: bool,
+    /// Marks replicated read-only lines cached away from their home slice.
+    replica: bool,
+    last_use: u64,
+}
+
+/// A set-associative tag array.
+///
+/// Pure bookkeeping — latency, MSHRs and bandwidth live in the component
+/// that owns the array.
+#[derive(Debug, Clone)]
+pub struct TagArray {
+    geo: CacheGeometry,
+    ways: Vec<Way>,
+    replacement: ReplacementKind,
+    stamp: u64,
+    rng_state: u64,
+}
+
+impl TagArray {
+    /// A tag array with LRU replacement.
+    pub fn new(geo: CacheGeometry) -> TagArray {
+        TagArray::with_replacement(geo, ReplacementKind::Lru)
+    }
+
+    /// A tag array with an explicit replacement policy.
+    pub fn with_replacement(geo: CacheGeometry, replacement: ReplacementKind) -> TagArray {
+        TagArray {
+            geo,
+            ways: vec![Way::default(); geo.sets() * geo.ways()],
+            replacement,
+            stamp: 0,
+            rng_state: 0x9e37_79b9_7f4a_7c15,
+        }
+    }
+
+    /// The geometry of this array.
+    pub fn geometry(&self) -> CacheGeometry {
+        self.geo
+    }
+
+    fn set_slice(&mut self, set: usize) -> &mut [Way] {
+        let w = self.geo.ways();
+        &mut self.ways[set * w..(set + 1) * w]
+    }
+
+    /// Probe for `line`; on a hit, update recency and return `true`.
+    pub fn probe_and_touch(&mut self, line: LineAddr, _now: u64) -> bool {
+        self.stamp += 1;
+        let stamp = self.stamp;
+        let set = self.geo.set_of(line);
+        for way in self.set_slice(set) {
+            if way.valid && way.line == line {
+                way.last_use = stamp;
+                return true;
+            }
+        }
+        false
+    }
+
+    /// Probe without updating recency (used by profilers).
+    pub fn probe(&self, line: LineAddr) -> bool {
+        let set = self.geo.set_of(line);
+        let w = self.geo.ways();
+        self.ways[set * w..(set + 1) * w].iter().any(|way| way.valid && way.line == line)
+    }
+
+    /// Mark a resident line dirty (write hit under write-back policy).
+    /// Returns `false` if the line is not resident.
+    pub fn mark_dirty(&mut self, line: LineAddr) -> bool {
+        let set = self.geo.set_of(line);
+        for way in self.set_slice(set) {
+            if way.valid && way.line == line {
+                way.dirty = true;
+                return true;
+            }
+        }
+        false
+    }
+
+    /// Insert `line`, evicting the replacement victim if the set is full.
+    ///
+    /// Inserting a line that is already resident just refreshes its
+    /// recency/flags and returns `None`.
+    pub fn insert(&mut self, line: LineAddr, dirty: bool, replica: bool, _now: u64) -> Option<Eviction> {
+        self.stamp += 1;
+        let stamp = self.stamp;
+        let set = self.geo.set_of(line);
+        let replacement = self.replacement;
+        // Already resident?
+        for way in self.set_slice(set) {
+            if way.valid && way.line == line {
+                way.last_use = stamp;
+                way.dirty |= dirty;
+                way.replica &= replica;
+                return None;
+            }
+        }
+        // Free way?
+        for way in self.set_slice(set) {
+            if !way.valid {
+                *way = Way { valid: true, line, dirty, replica, last_use: stamp };
+                return None;
+            }
+        }
+        // Evict a victim.
+        let victim_idx = match replacement {
+            ReplacementKind::Lru => {
+                let set_ways = self.set_slice(set);
+                let mut best = 0;
+                for (i, way) in set_ways.iter().enumerate() {
+                    if way.last_use < set_ways[best].last_use {
+                        best = i;
+                    }
+                }
+                best
+            }
+            ReplacementKind::Random => {
+                self.rng_state ^= self.rng_state << 13;
+                self.rng_state ^= self.rng_state >> 7;
+                self.rng_state ^= self.rng_state << 17;
+                (self.rng_state % self.geo.ways() as u64) as usize
+            }
+        };
+        let set_ways = self.set_slice(set);
+        let victim = set_ways[victim_idx];
+        set_ways[victim_idx] = Way { valid: true, line, dirty, replica, last_use: stamp };
+        Some(Eviction { line: victim.line, dirty: victim.dirty, replica: victim.replica })
+    }
+
+    /// Invalidate `line` if resident; returns its dirty state.
+    pub fn invalidate(&mut self, line: LineAddr) -> Option<bool> {
+        let set = self.geo.set_of(line);
+        for way in self.set_slice(set) {
+            if way.valid && way.line == line {
+                way.valid = false;
+                return Some(way.dirty);
+            }
+        }
+        None
+    }
+
+    /// Invalidate everything, returning the dirty lines (kernel-boundary
+    /// LLC flush, §5.3).
+    pub fn flush(&mut self) -> Vec<LineAddr> {
+        let mut dirty = Vec::new();
+        for way in &mut self.ways {
+            if way.valid {
+                if way.dirty {
+                    dirty.push(way.line);
+                }
+                way.valid = false;
+            }
+        }
+        dirty
+    }
+
+    /// Number of valid lines.
+    pub fn occupancy(&self) -> usize {
+        self.ways.iter().filter(|w| w.valid).count()
+    }
+
+    /// Number of valid replica lines (MDR accounting).
+    pub fn replica_count(&self) -> usize {
+        self.ways.iter().filter(|w| w.valid && w.replica).count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn line(i: u64) -> LineAddr {
+        LineAddr(i * 128)
+    }
+
+    #[test]
+    fn miss_then_hit() {
+        let mut t = TagArray::new(CacheGeometry::new(4, 2));
+        assert!(!t.probe_and_touch(line(0), 0));
+        assert_eq!(t.insert(line(0), false, false, 0), None);
+        assert!(t.probe_and_touch(line(0), 1));
+        assert_eq!(t.occupancy(), 1);
+    }
+
+    #[test]
+    fn lru_evicts_least_recent() {
+        // 1 set × 2 ways; lines 0, 4, 8 collide (4-set geometry? use 1 set).
+        let mut t = TagArray::new(CacheGeometry::new(1, 2));
+        t.insert(line(0), false, false, 0);
+        t.insert(line(1), false, false, 1);
+        t.probe_and_touch(line(0), 2); // 0 is now MRU
+        let ev = t.insert(line(2), false, false, 3).unwrap();
+        assert_eq!(ev.line, line(1));
+        assert!(t.probe(line(0)) && t.probe(line(2)) && !t.probe(line(1)));
+    }
+
+    #[test]
+    fn dirty_eviction_reports_writeback() {
+        let mut t = TagArray::new(CacheGeometry::new(1, 1));
+        t.insert(line(0), true, false, 0);
+        let ev = t.insert(line(1), false, false, 1).unwrap();
+        assert!(ev.dirty);
+    }
+
+    #[test]
+    fn mark_dirty_on_hit() {
+        let mut t = TagArray::new(CacheGeometry::new(2, 2));
+        t.insert(line(0), false, false, 0);
+        assert!(t.mark_dirty(line(0)));
+        assert!(!t.mark_dirty(line(5)));
+        let dirty = t.flush();
+        assert_eq!(dirty, vec![line(0)]);
+    }
+
+    #[test]
+    fn reinsert_refreshes_instead_of_evicting() {
+        let mut t = TagArray::new(CacheGeometry::new(1, 2));
+        t.insert(line(0), false, false, 0);
+        t.insert(line(1), false, false, 1);
+        assert_eq!(t.insert(line(0), false, false, 2), None);
+        assert_eq!(t.occupancy(), 2);
+    }
+
+    #[test]
+    fn flush_empties_and_reports_dirty_only() {
+        let mut t = TagArray::new(CacheGeometry::new(2, 2));
+        t.insert(line(0), true, false, 0);
+        t.insert(line(1), false, false, 0);
+        let dirty = t.flush();
+        assert_eq!(dirty, vec![line(0)]);
+        assert_eq!(t.occupancy(), 0);
+    }
+
+    #[test]
+    fn invalidate_returns_dirty_state() {
+        let mut t = TagArray::new(CacheGeometry::new(2, 2));
+        t.insert(line(0), true, false, 0);
+        assert_eq!(t.invalidate(line(0)), Some(true));
+        assert_eq!(t.invalidate(line(0)), None);
+    }
+
+    #[test]
+    fn replica_tracking() {
+        let mut t = TagArray::new(CacheGeometry::new(1, 2));
+        t.insert(line(0), false, true, 0);
+        assert_eq!(t.replica_count(), 1);
+        let ev = t.insert(line(1), false, false, 1);
+        assert!(ev.is_none());
+        let ev = t.insert(line(2), false, false, 2).unwrap();
+        // LRU victim is the replica line 0.
+        assert!(ev.replica);
+        assert_eq!(t.replica_count(), 0);
+    }
+
+    #[test]
+    fn random_replacement_stays_within_set() {
+        let mut t = TagArray::with_replacement(CacheGeometry::new(2, 2), ReplacementKind::Random);
+        for i in 0..100 {
+            t.insert(line(i * 2), false, false, i); // all even lines → set 0
+        }
+        // Set 1 must remain empty.
+        assert!(t.occupancy() <= 2);
+    }
+}

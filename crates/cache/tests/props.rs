@@ -1,0 +1,97 @@
+//! Property tests: the tag array against a reference model, and MSHR
+//! waiter conservation.
+
+use std::collections::HashMap;
+
+use proptest::prelude::*;
+
+use nuba_cache::{CacheGeometry, MshrFile, TagArray};
+use nuba_types::LineAddr;
+
+proptest! {
+    /// The tag array must agree with an infinite-capacity reference on
+    /// "never seen" lines, and occupancy may never exceed capacity.
+    #[test]
+    fn tag_array_against_reference(
+        accesses in proptest::collection::vec((0u64..64, any::<bool>()), 1..300),
+        sets in 1usize..8,
+        ways in 1usize..8,
+    ) {
+        let geo = CacheGeometry::new(sets, ways);
+        let mut tags = TagArray::new(geo);
+        let mut ever_inserted: HashMap<u64, bool> = HashMap::new();
+        for (now, (line_idx, dirty)) in accesses.iter().enumerate() {
+            let line = LineAddr(line_idx * 128);
+            let hit = tags.probe_and_touch(line, now as u64);
+            if !ever_inserted.contains_key(line_idx) {
+                prop_assert!(!hit, "hit on a never-inserted line");
+            }
+            if !hit {
+                tags.insert(line, *dirty, false, now as u64);
+                ever_inserted.insert(*line_idx, *dirty);
+            }
+            prop_assert!(tags.occupancy() <= sets * ways);
+        }
+        // Everything the cache still holds was inserted at some point.
+        let dirty_lines = {
+            let mut t = tags.clone();
+            t.flush()
+        };
+        for l in dirty_lines {
+            prop_assert!(ever_inserted.contains_key(&(l.0 / 128)));
+        }
+    }
+
+    /// MRU line of each set survives a subsequent single insert.
+    #[test]
+    fn lru_protects_most_recent(ways in 2usize..8, churn in 1u64..32) {
+        let geo = CacheGeometry::new(1, ways);
+        let mut tags = TagArray::new(geo);
+        let mut now = 0u64;
+        // Fill the set.
+        for i in 0..ways as u64 {
+            tags.insert(LineAddr(i * 128), false, false, { now += 1; now });
+        }
+        // Touch line 0 making it MRU, then insert a new line.
+        tags.probe_and_touch(LineAddr(0), { now += 1; now });
+        tags.insert(LineAddr((ways as u64 + churn) * 128), false, false, { now += 1; now });
+        prop_assert!(tags.probe(LineAddr(0)), "MRU line must survive one eviction");
+    }
+
+    /// Waiters in = waiters out, across arbitrary allocate/complete
+    /// interleavings.
+    #[test]
+    fn mshr_conserves_waiters(
+        ops in proptest::collection::vec((0u64..8, any::<bool>()), 1..200),
+        entries in 1usize..8,
+        merges in 1usize..8,
+    ) {
+        let mut mshr: MshrFile<u32> = MshrFile::new(entries, merges);
+        let mut accepted = 0u64;
+        let mut returned = 0u64;
+        let mut token = 0u32;
+        for (line_idx, complete) in ops {
+            let line = LineAddr(line_idx * 128);
+            if complete {
+                returned += mshr.complete(line).len() as u64;
+            } else {
+                token += 1;
+                if mshr.allocate(line, token).is_ok() {
+                    accepted += 1;
+                }
+            }
+            prop_assert!(mshr.occupancy() <= entries);
+            prop_assert_eq!(
+                mshr.total_waiters() as u64,
+                accepted - returned,
+                "waiters must be conserved"
+            );
+        }
+        // Drain.
+        for line_idx in 0u64..8 {
+            returned += mshr.complete(LineAddr(line_idx * 128)).len() as u64;
+        }
+        prop_assert_eq!(accepted, returned);
+        prop_assert_eq!(mshr.occupancy(), 0);
+    }
+}

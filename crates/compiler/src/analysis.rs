@@ -1,0 +1,338 @@
+//! Flow-insensitive dataflow analysis identifying read-only kernel
+//! parameters (paper §5.2).
+
+use std::collections::{BTreeSet, HashMap};
+
+use crate::ast::{Instr, Kernel, MemBase, Operand};
+use crate::cfg::Cfg;
+
+/// The result of analyzing one kernel.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct KernelAccessSummary {
+    /// Params whose arrays are loaded from via `ld.global`.
+    pub loaded: BTreeSet<String>,
+    /// Params whose arrays are stored to (st/atom/red) — read-write.
+    pub stored: BTreeSet<String>,
+    /// A store went through a register of unknown provenance; nothing
+    /// can be proven read-only.
+    pub unknown_store: bool,
+    /// Params proven read-only within this kernel: loaded, never stored.
+    pub read_only: BTreeSet<String>,
+}
+
+type Provenance = HashMap<String, BTreeSet<String>>;
+
+fn reg_sources(operands: &[Operand]) -> impl Iterator<Item = &str> {
+    operands.iter().filter_map(|op| match op {
+        Operand::Reg(r) => Some(r.as_str()),
+        Operand::Mem { base: MemBase::Reg(r), .. } => Some(r.as_str()),
+        _ => None,
+    })
+}
+
+/// Which params may an address operand point into?
+fn mem_provenance(op: &Operand, prov: &Provenance) -> Option<BTreeSet<String>> {
+    match op {
+        Operand::Mem { base: MemBase::Reg(r), .. } => {
+            Some(prov.get(r).cloned().unwrap_or_default())
+        }
+        Operand::Mem { base: MemBase::Param(p), .. } => {
+            let mut s = BTreeSet::new();
+            s.insert(p.clone());
+            Some(s)
+        }
+        _ => None,
+    }
+}
+
+/// Analyze a kernel: propagate parameter provenance through registers to
+/// a fixpoint (flow-insensitive, so loops and branches are handled
+/// conservatively), then classify every `ld.global` / `st.global` /
+/// `atom.global` / `red.global` by the provenance of its address.
+pub fn analyze_kernel(kernel: &Kernel) -> KernelAccessSummary {
+    analyze_instrs(kernel, None)
+}
+
+/// Like [`analyze_kernel`], but ignores instructions the control-flow
+/// graph proves unreachable — a store in dead code cannot make an array
+/// read-write.
+pub fn analyze_kernel_reachable(kernel: &Kernel) -> KernelAccessSummary {
+    let cfg = Cfg::build(kernel);
+    let reachable = cfg.reachable_instrs();
+    analyze_instrs(kernel, Some(&reachable))
+}
+
+fn analyze_instrs(kernel: &Kernel, only: Option<&[usize]>) -> KernelAccessSummary {
+    let included = |i: usize| only.is_none_or(|set| set.binary_search(&i).is_ok());
+    analyze_impl(kernel, &included)
+}
+
+fn analyze_impl(kernel: &Kernel, included: &dyn Fn(usize) -> bool) -> KernelAccessSummary {
+    // 1. Provenance fixpoint.
+    let mut prov: Provenance = HashMap::new();
+    loop {
+        let mut changed = false;
+        for (idx, instr) in kernel.body.iter().enumerate() {
+            if !included(idx) {
+                continue;
+            }
+            let Instr::Op { opcode, operands, .. } = instr else { continue };
+            let head = opcode.first().map(String::as_str).unwrap_or("");
+            // Control flow and stores define no registers.
+            if matches!(head, "st" | "bra" | "ret" | "bar" | "red" | "exit") {
+                continue;
+            }
+            let Some(Operand::Reg(dst)) = operands.first() else { continue };
+
+            let mut incoming: BTreeSet<String> = BTreeSet::new();
+            if head == "ld" && opcode.get(1).map(String::as_str) == Some("param") {
+                // `ld.param.u64 %rd1, [A]`: rd1 derives from param A.
+                if let Some(Operand::Mem { base: MemBase::Param(p), .. }) = operands.get(1) {
+                    incoming.insert(p.clone());
+                }
+            } else {
+                // Any value-producing op: dst derives from all source
+                // registers (including loads' address registers — a
+                // conservative stance on pointer chasing).
+                for src in reg_sources(&operands[1..]) {
+                    if let Some(set) = prov.get(src) {
+                        incoming.extend(set.iter().cloned());
+                    }
+                }
+            }
+            if incoming.is_empty() {
+                continue;
+            }
+            let entry = prov.entry(dst.clone()).or_default();
+            let before = entry.len();
+            entry.extend(incoming);
+            changed |= entry.len() != before;
+        }
+        if !changed {
+            break;
+        }
+    }
+
+    // 2. Classify global accesses.
+    let mut summary = KernelAccessSummary::default();
+    for (idx, instr) in kernel.body.iter().enumerate() {
+        if !included(idx) {
+            continue;
+        }
+        let Instr::Op { operands, .. } = instr else { continue };
+        if instr.is_global_load() {
+            // `ld.global %dst, [addr]` — address is operand 1.
+            if let Some(set) = operands.get(1).and_then(|a| mem_provenance(a, &prov)) {
+                summary.loaded.extend(set);
+            }
+        } else if instr.is_global_store() || instr.is_global_atomic() {
+            // `st.global [addr], %src` / `atom.global %dst, [addr], ...`:
+            // find the memory operand wherever it sits.
+            let mem = operands.iter().find_map(|a| mem_provenance(a, &prov));
+            match mem {
+                Some(set) if !set.is_empty() => summary.stored.extend(set),
+                // Store through a pointer we cannot attribute: taint all.
+                _ => summary.unknown_store = true,
+            }
+        }
+    }
+
+    if summary.unknown_store {
+        summary.stored.extend(kernel.params.iter().cloned());
+    }
+    summary.read_only = summary.loaded.difference(&summary.stored).cloned().collect();
+    summary
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parse::parse_module;
+
+    fn analyze(src: &str) -> KernelAccessSummary {
+        let m = parse_module(src).unwrap();
+        analyze_kernel(&m.kernels[0])
+    }
+
+    #[test]
+    fn vecadd_inputs_are_read_only() {
+        let s = analyze(
+            r#"
+.visible .entry vecadd(.param .u64 A, .param .u64 B, .param .u64 C)
+{
+    ld.param.u64 %rd1, [A];
+    ld.param.u64 %rd2, [B];
+    ld.param.u64 %rd3, [C];
+    cvta.to.global.u64 %rd1, %rd1;
+    cvta.to.global.u64 %rd2, %rd2;
+    cvta.to.global.u64 %rd3, %rd3;
+    ld.global.f32 %f1, [%rd1];
+    ld.global.f32 %f2, [%rd2];
+    add.f32 %f3, %f1, %f2;
+    st.global.f32 [%rd3], %f3;
+    ret;
+}
+"#,
+        );
+        assert_eq!(s.read_only, ["A", "B"].iter().map(|s| s.to_string()).collect());
+        assert!(s.stored.contains("C"));
+        assert!(!s.unknown_store);
+    }
+
+    #[test]
+    fn address_arithmetic_is_tracked() {
+        // Pointer flows through add/mad/mov chains before the store.
+        let s = analyze(
+            r#"
+.visible .entry k(.param .u64 IN, .param .u64 OUT)
+{
+    ld.param.u64 %rd1, [IN];
+    ld.param.u64 %rd2, [OUT];
+    mov.u64 %rd3, %rd2;
+    mul.wide.u32 %rd4, %r1, 4;
+    add.s64 %rd5, %rd3, %rd4;
+    add.s64 %rd6, %rd1, %rd4;
+    ld.global.f32 %f1, [%rd6];
+    st.global.f32 [%rd5], %f1;
+    ret;
+}
+"#,
+        );
+        assert!(s.read_only.contains("IN"));
+        assert!(!s.read_only.contains("OUT"));
+    }
+
+    #[test]
+    fn in_out_param_is_read_write() {
+        let s = analyze(
+            r#"
+.visible .entry scale(.param .u64 X)
+{
+    ld.param.u64 %rd1, [X];
+    cvta.to.global.u64 %rd1, %rd1;
+    ld.global.f32 %f1, [%rd1];
+    mul.f32 %f1, %f1, %f1;
+    st.global.f32 [%rd1], %f1;
+    ret;
+}
+"#,
+        );
+        assert!(s.read_only.is_empty());
+        assert!(s.loaded.contains("X") && s.stored.contains("X"));
+    }
+
+    #[test]
+    fn atomics_count_as_writes() {
+        let s = analyze(
+            r#"
+.visible .entry hist(.param .u64 DATA, .param .u64 BINS)
+{
+    ld.param.u64 %rd1, [DATA];
+    ld.param.u64 %rd2, [BINS];
+    ld.global.u32 %r1, [%rd1];
+    add.s64 %rd3, %rd2, %rd4;
+    atom.global.add.u32 %r2, [%rd3], 1;
+    ret;
+}
+"#,
+        );
+        assert!(s.read_only.contains("DATA"));
+        assert!(s.stored.contains("BINS"));
+    }
+
+    #[test]
+    fn unknown_store_taints_everything() {
+        // %rd9 has no provenance: the store could hit any array.
+        let s = analyze(
+            r#"
+.visible .entry k(.param .u64 A)
+{
+    ld.param.u64 %rd1, [A];
+    ld.global.f32 %f1, [%rd1];
+    st.global.f32 [%rd9], %f1;
+    ret;
+}
+"#,
+        );
+        assert!(s.unknown_store);
+        assert!(s.read_only.is_empty());
+        assert!(s.stored.contains("A"));
+    }
+
+    #[test]
+    fn loop_back_edges_converge() {
+        // Pointer updated in a loop: provenance must reach fixpoint, and
+        // the stored-through pointer (derived from OUT) stays read-write
+        // even though the store appears before the increment textually.
+        let s = analyze(
+            r#"
+.visible .entry k(.param .u64 IN, .param .u64 OUT)
+{
+    ld.param.u64 %rd1, [IN];
+    ld.param.u64 %rd2, [OUT];
+    mov.u64 %rd3, %rd2;
+LOOP:
+    st.global.f32 [%rd4], %f1;
+    ld.global.f32 %f1, [%rd1];
+    mov.u64 %rd4, %rd3;
+    add.s64 %rd3, %rd3, 4;
+    @%p1 bra LOOP;
+    ret;
+}
+"#,
+        );
+        assert!(s.stored.contains("OUT"));
+        assert!(s.read_only.contains("IN"));
+        assert!(!s.unknown_store, "rd4 gains provenance via the back edge");
+    }
+
+    #[test]
+    fn pointer_chase_is_conservative() {
+        // A pointer loaded from array A then stored through: both A (the
+        // source of the chased pointer) is tainted as stored.
+        let s = analyze(
+            r#"
+.visible .entry chase(.param .u64 A)
+{
+    ld.param.u64 %rd1, [A];
+    ld.global.u64 %rd2, [%rd1];
+    st.global.f32 [%rd2], %f0;
+    ret;
+}
+"#,
+        );
+        assert!(s.stored.contains("A"));
+        assert!(s.read_only.is_empty());
+    }
+
+    #[test]
+    fn unreachable_store_does_not_taint_with_cfg() {
+        let src = r#"
+.visible .entry k(.param .u64 A)
+{
+    ld.param.u64 %rd1, [A];
+    cvta.to.global.u64 %rd1, %rd1;
+    ld.global.f32 %f1, [%rd1];
+    bra END;
+    st.global.f32 [%rd1], %f1;
+END:
+    ret;
+}
+"#;
+        let m = parse_module(src).unwrap();
+        // Flow-insensitive: the dead store taints A.
+        let plain = analyze_kernel(&m.kernels[0]);
+        assert!(!plain.read_only.contains("A"));
+        // CFG-aware: the store is unreachable, A stays read-only.
+        let precise = crate::analysis::analyze_kernel_reachable(&m.kernels[0]);
+        assert!(precise.read_only.contains("A"), "{precise:?}");
+    }
+
+    #[test]
+    fn scalar_only_kernel_has_empty_summary() {
+        let s = analyze(
+            ".visible .entry k(.param .u64 N)\n{\n mov.u32 %r1, 4;\n add.u32 %r1, %r1, 1;\n ret;\n}\n",
+        );
+        assert!(s.loaded.is_empty() && s.stored.is_empty() && s.read_only.is_empty());
+    }
+}

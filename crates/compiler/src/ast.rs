@@ -1,0 +1,227 @@
+//! PTX abstract syntax (the subset the analysis needs).
+
+use std::fmt;
+
+/// A memory-operand base: a register or a named kernel parameter.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum MemBase {
+    /// `[%rd4]` / `[%rd4+16]`.
+    Reg(String),
+    /// `[A]` — direct parameter reference (used by `ld.param`).
+    Param(String),
+}
+
+/// An instruction operand.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Operand {
+    /// A register such as `%rd1`, `%r3`, `%f2`, `%p1`.
+    Reg(String),
+    /// An integer immediate.
+    Imm(i64),
+    /// A memory reference `[base+offset]`.
+    Mem {
+        /// Base register or parameter.
+        base: MemBase,
+        /// Constant byte offset.
+        offset: i64,
+    },
+    /// A branch-target label.
+    Label(String),
+}
+
+impl fmt::Display for Operand {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Operand::Reg(r) => write!(f, "%{r}"),
+            Operand::Imm(i) => write!(f, "{i}"),
+            Operand::Mem { base: MemBase::Reg(r), offset: 0 } => write!(f, "[%{r}]"),
+            Operand::Mem { base: MemBase::Reg(r), offset } => write!(f, "[%{r}+{offset}]"),
+            Operand::Mem { base: MemBase::Param(p), offset: 0 } => write!(f, "[{p}]"),
+            Operand::Mem { base: MemBase::Param(p), offset } => write!(f, "[{p}+{offset}]"),
+            Operand::Label(l) => write!(f, "{l}"),
+        }
+    }
+}
+
+/// One PTX statement: either an instruction or a label definition.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Instr {
+    /// `LABEL:`.
+    Label(String),
+    /// An operation, e.g. `ld.global.f32 %f1, [%rd1];` with an optional
+    /// guard predicate (`@%p1`).
+    Op {
+        /// Dot-separated opcode parts, e.g. `["ld", "global", "f32"]`.
+        opcode: Vec<String>,
+        /// Operands in source order (destination first for value ops).
+        operands: Vec<Operand>,
+        /// Guard predicate register, if any.
+        pred: Option<String>,
+    },
+}
+
+impl Instr {
+    /// The joined opcode string (`ld.global.f32`), empty for labels.
+    pub fn opcode_str(&self) -> String {
+        match self {
+            Instr::Label(_) => String::new(),
+            Instr::Op { opcode, .. } => opcode.join("."),
+        }
+    }
+
+    /// Whether this is a global-memory load (`ld.global...`, including
+    /// the `.ro` form and vector/`nc` variants).
+    pub fn is_global_load(&self) -> bool {
+        matches!(self, Instr::Op { opcode, .. }
+            if opcode.first().map(String::as_str) == Some("ld")
+               && opcode.get(1).map(String::as_str) == Some("global"))
+    }
+
+    /// Whether this is a global-memory store.
+    pub fn is_global_store(&self) -> bool {
+        matches!(self, Instr::Op { opcode, .. }
+            if opcode.first().map(String::as_str) == Some("st")
+               && opcode.get(1).map(String::as_str) == Some("global"))
+    }
+
+    /// Whether this is a global atomic or reduction (a write for the
+    /// read-only analysis).
+    pub fn is_global_atomic(&self) -> bool {
+        matches!(self, Instr::Op { opcode, .. }
+            if matches!(opcode.first().map(String::as_str), Some("atom") | Some("red"))
+               && opcode.get(1).map(String::as_str) == Some("global"))
+    }
+}
+
+impl fmt::Display for Instr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Instr::Label(l) => write!(f, "{l}:"),
+            Instr::Op { opcode, operands, pred } => {
+                if let Some(p) = pred {
+                    write!(f, "@%{p} ")?;
+                }
+                write!(f, "{}", opcode.join("."))?;
+                for (i, op) in operands.iter().enumerate() {
+                    if i == 0 {
+                        write!(f, " {op}")?;
+                    } else {
+                        write!(f, ", {op}")?;
+                    }
+                }
+                write!(f, ";")
+            }
+        }
+    }
+}
+
+/// A kernel: name, ordered parameter names, and its body.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Kernel {
+    /// Kernel (entry) name.
+    pub name: String,
+    /// Parameter names in declaration order (all treated as `.u64`
+    /// global-array pointers or scalars; only pointers matter to the
+    /// analysis).
+    pub params: Vec<String>,
+    /// Body statements.
+    pub body: Vec<Instr>,
+}
+
+impl Kernel {
+    /// Render the kernel back to PTX text.
+    pub fn to_ptx(&self) -> String {
+        let mut s = String::new();
+        s.push_str(&format!(".visible .entry {}(", self.name));
+        for (i, p) in self.params.iter().enumerate() {
+            if i > 0 {
+                s.push_str(", ");
+            }
+            s.push_str(&format!(".param .u64 {p}"));
+        }
+        s.push_str(")\n{\n");
+        for instr in &self.body {
+            match instr {
+                Instr::Label(_) => s.push_str(&format!("{instr}\n")),
+                _ => s.push_str(&format!("    {instr}\n")),
+            }
+        }
+        s.push_str("}\n");
+        s
+    }
+}
+
+/// A translation unit: one or more kernels.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct Module {
+    /// The kernels in source order.
+    pub kernels: Vec<Kernel>,
+}
+
+impl Module {
+    /// Find a kernel by name.
+    pub fn kernel(&self, name: &str) -> Option<&Kernel> {
+        self.kernels.iter().find(|k| k.name == name)
+    }
+
+    /// Render the whole module to PTX text.
+    pub fn to_ptx(&self) -> String {
+        self.kernels.iter().map(Kernel::to_ptx).collect::<Vec<_>>().join("\n")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn op(opcode: &str, operands: Vec<Operand>) -> Instr {
+        Instr::Op {
+            opcode: opcode.split('.').map(str::to_string).collect(),
+            operands,
+            pred: None,
+        }
+    }
+
+    #[test]
+    fn opcode_predicates() {
+        let ld = op("ld.global.f32", vec![]);
+        assert!(ld.is_global_load());
+        assert!(!ld.is_global_store());
+        let ldro = op("ld.global.ro.f32", vec![]);
+        assert!(ldro.is_global_load());
+        let st = op("st.global.f32", vec![]);
+        assert!(st.is_global_store());
+        let atom = op("atom.global.add.u32", vec![]);
+        assert!(atom.is_global_atomic());
+        let shared = op("ld.shared.f32", vec![]);
+        assert!(!shared.is_global_load());
+        assert!(!Instr::Label("L1".into()).is_global_load());
+    }
+
+    #[test]
+    fn display_roundtrip_forms() {
+        let i = Instr::Op {
+            opcode: vec!["ld".into(), "global".into(), "f32".into()],
+            operands: vec![
+                Operand::Reg("f1".into()),
+                Operand::Mem { base: MemBase::Reg("rd4".into()), offset: 16 },
+            ],
+            pred: Some("p1".into()),
+        };
+        assert_eq!(i.to_string(), "@%p1 ld.global.f32 %f1, [%rd4+16];");
+        assert_eq!(Instr::Label("BB0".into()).to_string(), "BB0:");
+    }
+
+    #[test]
+    fn kernel_to_ptx_contains_signature() {
+        let k = Kernel {
+            name: "k".into(),
+            params: vec!["A".into(), "B".into()],
+            body: vec![Instr::Label("L".into()), op("ret", vec![])],
+        };
+        let ptx = k.to_ptx();
+        assert!(ptx.contains(".visible .entry k(.param .u64 A, .param .u64 B)"));
+        assert!(ptx.contains("L:\n"));
+        assert!(ptx.contains("    ret;"));
+    }
+}

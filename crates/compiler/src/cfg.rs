@@ -1,0 +1,335 @@
+//! Control-flow graph construction over a kernel body.
+//!
+//! The read-only analysis is flow-insensitive (a store anywhere in the
+//! kernel makes an array read-write, per the paper's rule), but the CFG
+//! still buys precision: instructions in *unreachable* blocks cannot
+//! execute, so their stores must not taint (`analyze_kernel_reachable`
+//! in [`crate::analysis`] uses this), and downstream passes get a
+//! foundation for proper dataflow.
+
+use std::collections::HashMap;
+
+use crate::ast::{Instr, Kernel, Operand};
+
+/// A basic block: a maximal straight-line instruction range.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BasicBlock {
+    /// Block index.
+    pub id: usize,
+    /// Label naming this block, if any.
+    pub label: Option<String>,
+    /// Indices into the kernel body (labels excluded).
+    pub instrs: Vec<usize>,
+    /// Successor block ids.
+    pub successors: Vec<usize>,
+}
+
+/// A kernel's control-flow graph.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Cfg {
+    /// Blocks in source order; block 0 is the entry.
+    pub blocks: Vec<BasicBlock>,
+}
+
+/// Whether the instruction ends a basic block.
+fn is_terminator(instr: &Instr) -> bool {
+    matches!(instr, Instr::Op { opcode, .. }
+        if matches!(opcode.first().map(String::as_str), Some("bra") | Some("ret") | Some("exit")))
+}
+
+/// Whether control can fall through past the instruction (predicated
+/// branches fall through when the predicate is false).
+fn falls_through(instr: &Instr) -> bool {
+    match instr {
+        Instr::Op { opcode, pred, .. } => {
+            match opcode.first().map(String::as_str) {
+                Some("ret") | Some("exit") => pred.is_some(),
+                Some("bra") => pred.is_some(),
+                _ => true,
+            }
+        }
+        Instr::Label(_) => true,
+    }
+}
+
+fn branch_target(instr: &Instr) -> Option<&str> {
+    match instr {
+        Instr::Op { opcode, operands, .. }
+            if opcode.first().map(String::as_str) == Some("bra") =>
+        {
+            operands.iter().find_map(|op| match op {
+                Operand::Label(l) => Some(l.as_str()),
+                _ => None,
+            })
+        }
+        _ => None,
+    }
+}
+
+impl Cfg {
+    /// Build the CFG of `kernel`.
+    pub fn build(kernel: &Kernel) -> Cfg {
+        // 1. Find block leaders: index 0, every label, every instruction
+        //    following a terminator.
+        let body = &kernel.body;
+        let mut leaders = vec![false; body.len() + 1];
+        if !body.is_empty() {
+            leaders[0] = true;
+        }
+        for (i, instr) in body.iter().enumerate() {
+            match instr {
+                Instr::Label(_) => leaders[i] = true,
+                _ if is_terminator(instr) && i + 1 < body.len() => leaders[i + 1] = true,
+                _ => {}
+            }
+        }
+
+        // 2. Carve blocks.
+        let mut blocks: Vec<BasicBlock> = Vec::new();
+        let mut label_to_block: HashMap<String, usize> = HashMap::new();
+        let mut current: Option<BasicBlock> = None;
+        for (i, instr) in body.iter().enumerate() {
+            if leaders[i] {
+                if let Some(b) = current.take() {
+                    blocks.push(b);
+                }
+                current = Some(BasicBlock {
+                    id: blocks.len(),
+                    label: None,
+                    instrs: Vec::new(),
+                    successors: Vec::new(),
+                });
+            }
+            let b = current.as_mut().expect("leader created a block");
+            match instr {
+                Instr::Label(l) => {
+                    // A label inside a block splits it implicitly via the
+                    // leader marking above, so here it names the block.
+                    if b.label.is_none() && b.instrs.is_empty() {
+                        b.label = Some(l.clone());
+                        label_to_block.insert(l.clone(), b.id);
+                    } else {
+                        // Consecutive labels: alias to the same block.
+                        label_to_block.insert(l.clone(), b.id);
+                    }
+                }
+                _ => b.instrs.push(i),
+            }
+        }
+        if let Some(b) = current.take() {
+            blocks.push(b);
+        }
+
+        // 3. Edges (index-based: we read `blocks[bi]` while mutating it).
+        let n = blocks.len();
+        #[allow(clippy::needless_range_loop)]
+        for bi in 0..n {
+            let last = blocks[bi].instrs.last().copied();
+            let mut succs = Vec::new();
+            if let Some(last) = last {
+                if let Some(target) = branch_target(&body[last]) {
+                    if let Some(&tb) = label_to_block.get(target) {
+                        succs.push(tb);
+                    }
+                }
+                if falls_through(&body[last]) && bi + 1 < n {
+                    succs.push(bi + 1);
+                }
+            } else if bi + 1 < n {
+                // Label-only block falls through.
+                succs.push(bi + 1);
+            }
+            succs.dedup();
+            blocks[bi].successors = succs;
+        }
+
+        Cfg { blocks }
+    }
+
+    /// Blocks reachable from the entry.
+    pub fn reachable(&self) -> Vec<bool> {
+        let mut seen = vec![false; self.blocks.len()];
+        let mut stack = Vec::new();
+        if !self.blocks.is_empty() {
+            seen[0] = true;
+            stack.push(0);
+        }
+        while let Some(b) = stack.pop() {
+            for &s in &self.blocks[b].successors {
+                if !seen[s] {
+                    seen[s] = true;
+                    stack.push(s);
+                }
+            }
+        }
+        seen
+    }
+
+    /// Instruction indices (into the kernel body) of reachable blocks,
+    /// in source order.
+    pub fn reachable_instrs(&self) -> Vec<usize> {
+        let seen = self.reachable();
+        let mut out = Vec::new();
+        for b in &self.blocks {
+            if seen[b.id] {
+                out.extend(&b.instrs);
+            }
+        }
+        out.sort_unstable();
+        out
+    }
+
+    /// Whether the CFG contains a cycle (a loop).
+    pub fn has_loop(&self) -> bool {
+        // Back edge detection via DFS colors.
+        #[derive(Clone, Copy, PartialEq)]
+        enum C {
+            White,
+            Gray,
+            Black,
+        }
+        fn dfs(cfg: &Cfg, b: usize, color: &mut [C]) -> bool {
+            color[b] = C::Gray;
+            for &s in &cfg.blocks[b].successors {
+                match color[s] {
+                    C::Gray => return true,
+                    C::White => {
+                        if dfs(cfg, s, color) {
+                            return true;
+                        }
+                    }
+                    C::Black => {}
+                }
+            }
+            color[b] = C::Black;
+            false
+        }
+        let mut color = vec![C::White; self.blocks.len()];
+        !self.blocks.is_empty() && dfs(self, 0, &mut color)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parse::parse_module;
+
+    fn cfg_of(src: &str) -> Cfg {
+        let m = parse_module(src).unwrap();
+        Cfg::build(&m.kernels[0])
+    }
+
+    #[test]
+    fn straight_line_is_one_block() {
+        let cfg = cfg_of(
+            ".visible .entry k(.param .u64 A)\n{\n mov.u32 %r1, 1;\n add.u32 %r1, %r1, 1;\n ret;\n}\n",
+        );
+        assert_eq!(cfg.blocks.len(), 1);
+        assert!(cfg.blocks[0].successors.is_empty());
+        assert!(!cfg.has_loop());
+    }
+
+    #[test]
+    fn diamond_shape() {
+        let cfg = cfg_of(
+            r#"
+.visible .entry k(.param .u64 A)
+{
+    setp.lt.s32 %p1, %r1, %r2;
+    @%p1 bra THEN;
+    mov.u32 %r3, 0;
+    bra JOIN;
+THEN:
+    mov.u32 %r3, 1;
+JOIN:
+    ret;
+}
+"#,
+        );
+        // entry, else, then, join.
+        assert_eq!(cfg.blocks.len(), 4);
+        let entry = &cfg.blocks[0];
+        assert_eq!(entry.successors.len(), 2, "{entry:?}");
+        // Join has no successors; both arms reach it.
+        let join = cfg.blocks.iter().find(|b| b.label.as_deref() == Some("JOIN")).unwrap();
+        assert!(join.successors.is_empty());
+        let preds: usize =
+            cfg.blocks.iter().filter(|b| b.successors.contains(&join.id)).count();
+        assert_eq!(preds, 2);
+        assert!(!cfg.has_loop());
+        assert!(cfg.reachable().iter().all(|&r| r));
+    }
+
+    #[test]
+    fn loop_detected() {
+        let cfg = cfg_of(
+            r#"
+.visible .entry k(.param .u64 A)
+{
+    mov.u32 %r1, 0;
+LOOP:
+    add.u32 %r1, %r1, 1;
+    setp.lt.u32 %p1, %r1, %r2;
+    @%p1 bra LOOP;
+    ret;
+}
+"#,
+        );
+        assert!(cfg.has_loop());
+        assert!(cfg.reachable().iter().all(|&r| r));
+    }
+
+    #[test]
+    fn code_after_unconditional_branch_is_unreachable() {
+        let cfg = cfg_of(
+            r#"
+.visible .entry k(.param .u64 A)
+{
+    bra END;
+    st.global.f32 [%rd1], %f1;
+END:
+    ret;
+}
+"#,
+        );
+        let reach = cfg.reachable();
+        assert_eq!(reach.iter().filter(|&&r| !r).count(), 1, "{cfg:?}");
+        // The store's instruction index must not appear among reachable.
+        let m = parse_module(
+            ".visible .entry k(.param .u64 A)\n{\n bra END;\n st.global.f32 [%rd1], %f1;\nEND:\n ret;\n}\n",
+        )
+        .unwrap();
+        let store_idx = m.kernels[0]
+            .body
+            .iter()
+            .position(|i| i.is_global_store())
+            .unwrap();
+        assert!(!cfg.reachable_instrs().contains(&store_idx));
+    }
+
+    #[test]
+    fn ret_ends_reachability() {
+        let cfg = cfg_of(
+            ".visible .entry k(.param .u64 A)\n{\n ret;\n mov.u32 %r1, 1;\n}\n",
+        );
+        assert_eq!(cfg.blocks.len(), 2);
+        let reach = cfg.reachable();
+        assert!(reach[0] && !reach[1]);
+    }
+
+    #[test]
+    fn predicated_ret_falls_through() {
+        let cfg = cfg_of(
+            ".visible .entry k(.param .u64 A)\n{\n @%p1 ret;\n mov.u32 %r1, 1;\n ret;\n}\n",
+        );
+        assert!(cfg.reachable().iter().all(|&r| r));
+    }
+
+    #[test]
+    fn empty_body() {
+        let cfg = cfg_of(".visible .entry k(.param .u64 A)\n{\n}\n");
+        assert!(cfg.blocks.is_empty());
+        assert!(!cfg.has_loop());
+        assert!(cfg.reachable_instrs().is_empty());
+    }
+}

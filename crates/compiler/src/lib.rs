@@ -1,0 +1,62 @@
+#![warn(missing_docs)]
+
+//! # nuba-compiler
+//!
+//! The compile-time half of Model-Driven Replication (paper §5.2): a
+//! parser for a practical subset of NVIDIA PTX \[62\], an intra-kernel
+//! dataflow analysis that classifies each kernel parameter (global-memory
+//! array) as **read-only** or **read-write**, and a rewriter that turns
+//! `ld.global` instructions whose addresses provably derive from
+//! read-only arrays into the new `ld.global.ro` form the hardware uses to
+//! identify replication candidates.
+//!
+//! The analysis is flow-insensitive and conservative:
+//!
+//! - register provenance (which params a register's value may derive
+//!   from) is propagated to a fixpoint, so address arithmetic through
+//!   `cvta`/`add`/`mad`/`mov` chains is tracked;
+//! - any store through a register with unknown provenance taints *all*
+//!   params (nothing is marked read-only);
+//! - a param stored through in **any** path is read-write for the whole
+//!   kernel, matching the paper's "if a data structure is never written
+//!   to within a kernel, it is marked read-only".
+//!
+//! ## Example
+//!
+//! ```
+//! use nuba_compiler::{analyze_kernel, parse_module, rewrite_readonly_loads};
+//!
+//! let src = r#"
+//! .visible .entry saxpy(.param .u64 X, .param .u64 Y)
+//! {
+//!     ld.param.u64 %rdx, [X];
+//!     ld.param.u64 %rdy, [Y];
+//!     cvta.to.global.u64 %rdx, %rdx;
+//!     cvta.to.global.u64 %rdy, %rdy;
+//!     ld.global.f32 %f1, [%rdx];
+//!     ld.global.f32 %f2, [%rdy];
+//!     fma.rn.f32 %f3, %f1, %f0, %f2;
+//!     st.global.f32 [%rdy], %f3;
+//!     ret;
+//! }
+//! "#;
+//! let module = parse_module(src)?;
+//! let summary = analyze_kernel(&module.kernels[0]);
+//! assert!(summary.read_only.contains("X"));
+//! assert!(!summary.read_only.contains("Y")); // stored through
+//! let rewritten = rewrite_readonly_loads(&module.kernels[0]);
+//! assert_eq!(rewritten.to_ptx().matches("ld.global.ro").count(), 1);
+//! # Ok::<(), nuba_compiler::PtxError>(())
+//! ```
+
+pub mod analysis;
+pub mod ast;
+pub mod cfg;
+pub mod parse;
+pub mod rewrite;
+
+pub use analysis::{analyze_kernel, analyze_kernel_reachable, KernelAccessSummary};
+pub use cfg::{BasicBlock, Cfg};
+pub use ast::{Instr, Kernel, MemBase, Module, Operand};
+pub use parse::{parse_module, PtxError};
+pub use rewrite::rewrite_readonly_loads;

@@ -1,0 +1,394 @@
+//! A line-oriented parser for the PTX subset.
+
+use std::fmt;
+
+use crate::ast::{Instr, Kernel, MemBase, Module, Operand};
+
+/// A parse error with the offending (1-based) line number.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PtxError {
+    /// 1-based source line.
+    pub line: usize,
+    /// Description of the problem.
+    pub message: String,
+}
+
+impl fmt::Display for PtxError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "ptx parse error at line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for PtxError {}
+
+fn err<T>(line: usize, message: impl Into<String>) -> Result<T, PtxError> {
+    Err(PtxError { line, message: message.into() })
+}
+
+/// Parse a module containing zero or more `.visible .entry` kernels.
+///
+/// Supported syntax: `//` comments, kernel headers with `.param`
+/// declarations (possibly spanning lines), labels (`NAME:`), optionally
+/// predicated instructions (`@%p bra L;`), register / immediate / memory
+/// (`[%r+off]`, `[param]`) / label operands.
+///
+/// # Errors
+/// Returns [`PtxError`] on malformed input, with the source line number.
+pub fn parse_module(src: &str) -> Result<Module, PtxError> {
+    let mut kernels = Vec::new();
+    let mut state = State::TopLevel;
+    // Accumulates header text between `.entry` and the opening `{`.
+    let mut header = String::new();
+    let mut header_line = 0usize;
+
+    for (idx, raw) in src.lines().enumerate() {
+        let line_no = idx + 1;
+        let line = strip_comment(raw).trim().to_string();
+        if line.is_empty() {
+            continue;
+        }
+        match &mut state {
+            State::TopLevel => {
+                if line.starts_with(".visible") || line.starts_with(".entry") {
+                    header.clear();
+                    header.push_str(&line);
+                    header_line = line_no;
+                    if line.contains('{') || header_complete(&header) {
+                        // Header may complete on one line.
+                    }
+                    state = State::Header;
+                    // Fall through to completeness check below.
+                    if let Some(k) = try_finish_header(&mut header, header_line)? {
+                        kernels.push(k);
+                        state = State::Body;
+                    }
+                } else {
+                    return err(line_no, format!("expected kernel declaration, got `{line}`"));
+                }
+            }
+            State::Header => {
+                header.push(' ');
+                header.push_str(&line);
+                if let Some(k) = try_finish_header(&mut header, header_line)? {
+                    kernels.push(k);
+                    state = State::Body;
+                }
+            }
+            State::Body => {
+                if line == "}" {
+                    state = State::TopLevel;
+                    continue;
+                }
+                if line == "{" {
+                    continue;
+                }
+                let kernel = kernels.last_mut().expect("in body implies a kernel");
+                for stmt in line.split(';') {
+                    let stmt = stmt.trim();
+                    if stmt.is_empty() {
+                        continue;
+                    }
+                    kernel.body.push(parse_statement(stmt, line_no)?);
+                }
+            }
+        }
+    }
+    if !matches!(state, State::TopLevel) {
+        return err(src.lines().count(), "unterminated kernel (missing `}`)");
+    }
+    Ok(Module { kernels })
+}
+
+enum State {
+    TopLevel,
+    Header,
+    Body,
+}
+
+fn strip_comment(line: &str) -> &str {
+    match line.find("//") {
+        Some(i) => &line[..i],
+        None => line,
+    }
+}
+
+/// A header is complete once the parameter list's `)` has appeared.
+fn header_complete(header: &str) -> bool {
+    header.contains('(') && header.contains(')')
+}
+
+/// If `header` is complete, parse it into an empty-bodied kernel.
+fn try_finish_header(header: &mut String, line: usize) -> Result<Option<Kernel>, PtxError> {
+    if !header_complete(header) {
+        return Ok(None);
+    }
+    let text = header.clone();
+    header.clear();
+
+    let open = text.find('(').expect("checked");
+    let close = text.rfind(')').expect("checked");
+    if close < open {
+        return err(line, "mismatched parentheses in kernel header");
+    }
+    let before = &text[..open];
+    let name = before
+        .split_whitespace()
+        .last()
+        .filter(|n| !n.starts_with('.'))
+        .map(str::to_string);
+    let Some(name) = name else {
+        return err(line, "kernel header missing a name");
+    };
+
+    let mut params = Vec::new();
+    for piece in text[open + 1..close].split(',') {
+        let piece = piece.trim();
+        if piece.is_empty() {
+            continue;
+        }
+        // `.param .u64 A` (alignment/type variations tolerated).
+        let pname = piece.split_whitespace().last().unwrap_or_default();
+        if pname.is_empty() || pname.starts_with('.') {
+            return err(line, format!("malformed parameter `{piece}`"));
+        }
+        params.push(pname.to_string());
+    }
+    Ok(Some(Kernel { name, params, body: Vec::new() }))
+}
+
+fn parse_statement(stmt: &str, line: usize) -> Result<Instr, PtxError> {
+    // Label?
+    if let Some(label) = stmt.strip_suffix(':') {
+        if label.chars().all(|c| c.is_ascii_alphanumeric() || c == '_' || c == '$') {
+            return Ok(Instr::Label(label.to_string()));
+        }
+    }
+
+    // Optional predicate `@%p1` or `@!%p1`.
+    let (pred, rest) = if let Some(r) = stmt.strip_prefix('@') {
+        let r = r.trim_start();
+        let r = r.strip_prefix('!').unwrap_or(r);
+        let r = r.strip_prefix('%').unwrap_or(r);
+        let end = r.find(char::is_whitespace).unwrap_or(r.len());
+        (Some(r[..end].to_string()), r[end..].trim_start())
+    } else {
+        (None, stmt)
+    };
+
+    let (op_text, args_text) = match rest.find(char::is_whitespace) {
+        Some(i) => (&rest[..i], rest[i..].trim()),
+        None => (rest, ""),
+    };
+    if op_text.is_empty() {
+        return err(line, "empty instruction");
+    }
+    let opcode: Vec<String> = op_text.split('.').filter(|p| !p.is_empty()).map(str::to_string).collect();
+    if opcode.is_empty() {
+        return err(line, format!("bad opcode `{op_text}`"));
+    }
+
+    let mut operands = Vec::new();
+    if !args_text.is_empty() {
+        for arg in split_operands(args_text) {
+            operands.push(parse_operand(arg.trim(), line)?);
+        }
+    }
+    Ok(Instr::Op { opcode, operands, pred })
+}
+
+/// Split on commas that are not inside brackets or braces (vector
+/// operands `{%f1, %f2}` are kept whole).
+fn split_operands(s: &str) -> Vec<&str> {
+    let mut out = Vec::new();
+    let mut depth = 0i32;
+    let mut start = 0usize;
+    for (i, c) in s.char_indices() {
+        match c {
+            '[' | '{' => depth += 1,
+            ']' | '}' => depth -= 1,
+            ',' if depth == 0 => {
+                out.push(&s[start..i]);
+                start = i + 1;
+            }
+            _ => {}
+        }
+    }
+    out.push(&s[start..]);
+    out
+}
+
+fn parse_operand(s: &str, line: usize) -> Result<Operand, PtxError> {
+    if s.is_empty() {
+        return err(line, "empty operand");
+    }
+    if let Some(reg) = s.strip_prefix('%') {
+        return Ok(Operand::Reg(reg.to_string()));
+    }
+    if s.starts_with('[') && s.ends_with(']') {
+        let inner = &s[1..s.len() - 1];
+        let (base_text, offset) = match inner.find('+') {
+            Some(i) => {
+                let off: i64 = inner[i + 1..]
+                    .trim()
+                    .parse()
+                    .map_err(|_| PtxError { line, message: format!("bad offset `{inner}`") })?;
+                (inner[..i].trim(), off)
+            }
+            None => (inner.trim(), 0),
+        };
+        let base = match base_text.strip_prefix('%') {
+            Some(r) => MemBase::Reg(r.to_string()),
+            None => MemBase::Param(base_text.to_string()),
+        };
+        return Ok(Operand::Mem { base, offset });
+    }
+    if let Ok(imm) = s.parse::<i64>() {
+        return Ok(Operand::Imm(imm));
+    }
+    // Hex immediates.
+    if let Some(hex) = s.strip_prefix("0x") {
+        if let Ok(imm) = i64::from_str_radix(hex, 16) {
+            return Ok(Operand::Imm(imm));
+        }
+    }
+    // Float immediates appear in real PTX; store truncated (analysis
+    // never uses them).
+    if let Ok(fimm) = s.parse::<f64>() {
+        return Ok(Operand::Imm(fimm as i64));
+    }
+    // Vector operand `{%f1, %f2}` — treat as its first register.
+    if s.starts_with('{') && s.ends_with('}') {
+        let first = s[1..s.len() - 1].split(',').next().unwrap_or("").trim();
+        return parse_operand(first, line);
+    }
+    // Otherwise: a label / symbol.
+    if s.chars().all(|c| c.is_ascii_alphanumeric() || c == '_' || c == '$') {
+        return Ok(Operand::Label(s.to_string()));
+    }
+    err(line, format!("unrecognized operand `{s}`"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const VECADD: &str = r#"
+// simple vector add: C[i] = A[i] + B[i]
+.visible .entry vecadd(
+    .param .u64 A,
+    .param .u64 B,
+    .param .u64 C
+)
+{
+    ld.param.u64 %rd1, [A];
+    ld.param.u64 %rd2, [B];
+    ld.param.u64 %rd3, [C];
+    cvta.to.global.u64 %rd1, %rd1;
+    cvta.to.global.u64 %rd2, %rd2;
+    cvta.to.global.u64 %rd3, %rd3;
+    mov.u32 %r1, %tid_x;
+    mul.wide.u32 %rd4, %r1, 4;
+    add.s64 %rd5, %rd1, %rd4;
+    add.s64 %rd6, %rd2, %rd4;
+    add.s64 %rd7, %rd3, %rd4;
+    ld.global.f32 %f1, [%rd5];
+    ld.global.f32 %f2, [%rd6];
+    add.f32 %f3, %f1, %f2;
+    st.global.f32 [%rd7], %f3;
+    ret;
+}
+"#;
+
+    #[test]
+    fn parses_vecadd() {
+        let m = parse_module(VECADD).unwrap();
+        assert_eq!(m.kernels.len(), 1);
+        let k = &m.kernels[0];
+        assert_eq!(k.name, "vecadd");
+        assert_eq!(k.params, vec!["A", "B", "C"]);
+        assert_eq!(k.body.len(), 16);
+        assert!(k.body.iter().filter(|i| i.is_global_load()).count() == 2);
+        assert!(k.body.iter().filter(|i| i.is_global_store()).count() == 1);
+    }
+
+    #[test]
+    fn parses_single_line_header() {
+        let m = parse_module(".visible .entry k(.param .u64 A)\n{\n ret;\n}\n").unwrap();
+        assert_eq!(m.kernels[0].params, vec!["A"]);
+    }
+
+    #[test]
+    fn parses_labels_and_predicates() {
+        let src = r#"
+.visible .entry k(.param .u64 A)
+{
+    setp.lt.s32 %p1, %r1, %r2;
+BB1:
+    @%p1 bra BB1;
+    ret;
+}
+"#;
+        let m = parse_module(src).unwrap();
+        let k = &m.kernels[0];
+        assert!(k.body.iter().any(|i| matches!(i, Instr::Label(l) if l == "BB1")));
+        let bra = k
+            .body
+            .iter()
+            .find(|i| i.opcode_str() == "bra")
+            .expect("bra parsed");
+        match bra {
+            Instr::Op { pred, operands, .. } => {
+                assert_eq!(pred.as_deref(), Some("p1"));
+                assert_eq!(operands[0], Operand::Label("BB1".into()));
+            }
+            _ => unreachable!(),
+        }
+    }
+
+    #[test]
+    fn memory_operand_offsets() {
+        let m =
+            parse_module(".visible .entry k(.param .u64 A)\n{\nld.global.f32 %f1, [%rd1+256];\n}\n")
+                .unwrap();
+        match &m.kernels[0].body[0] {
+            Instr::Op { operands, .. } => {
+                assert_eq!(
+                    operands[1],
+                    Operand::Mem { base: MemBase::Reg("rd1".into()), offset: 256 }
+                );
+            }
+            _ => unreachable!(),
+        }
+    }
+
+    #[test]
+    fn multiple_kernels() {
+        let src = "\
+.visible .entry a(.param .u64 X)\n{\n ret;\n}\n\
+.visible .entry b(.param .u64 Y, .param .u64 Z)\n{\n ret;\n}\n";
+        let m = parse_module(src).unwrap();
+        assert_eq!(m.kernels.len(), 2);
+        assert!(m.kernel("b").is_some());
+        assert!(m.kernel("missing").is_none());
+    }
+
+    #[test]
+    fn roundtrip_through_to_ptx() {
+        let m = parse_module(VECADD).unwrap();
+        let re = parse_module(&m.to_ptx()).unwrap();
+        assert_eq!(m, re);
+    }
+
+    #[test]
+    fn error_has_line_number() {
+        let e = parse_module("garbage here\n").unwrap_err();
+        assert_eq!(e.line, 1);
+        assert!(e.to_string().contains("line 1"));
+    }
+
+    #[test]
+    fn unterminated_kernel_errors() {
+        let e = parse_module(".visible .entry k(.param .u64 A)\n{\n ret;\n").unwrap_err();
+        assert!(e.message.contains("unterminated"));
+    }
+}

@@ -1,0 +1,182 @@
+//! Rewrite `ld.global` → `ld.global.ro` for proven read-only accesses
+//! (paper §5.2: "Load operations accessing read-only data structures
+//! using the ld.global instruction are then replaced by a newly
+//! introduced ld.global.ro instruction").
+
+use std::collections::{BTreeSet, HashMap};
+
+use crate::analysis::analyze_kernel;
+use crate::ast::{Instr, Kernel, MemBase, Operand};
+
+/// Return a copy of `kernel` in which every `ld.global` whose address
+/// provably derives **only** from read-only parameters carries the `.ro`
+/// marker. Loads with mixed or unknown provenance are left untouched
+/// (conservative: never mark a potentially-written array).
+pub fn rewrite_readonly_loads(kernel: &Kernel) -> Kernel {
+    let summary = analyze_kernel(kernel);
+    let ro: &BTreeSet<String> = &summary.read_only;
+
+    // Recompute provenance the same way the analysis does so we can
+    // attribute each load. (Cheap: kernels are small.)
+    let prov = provenance(kernel);
+
+    let mut out = kernel.clone();
+    for instr in &mut out.body {
+        if !instr.is_global_load() {
+            continue;
+        }
+        let Instr::Op { opcode, operands, .. } = instr else { continue };
+        if opcode.iter().any(|p| p == "ro") {
+            continue; // already marked
+        }
+        let sources: Option<BTreeSet<String>> = match operands.get(1) {
+            Some(Operand::Mem { base: MemBase::Reg(r), .. }) => prov.get(r).cloned(),
+            Some(Operand::Mem { base: MemBase::Param(p), .. }) => {
+                Some([p.clone()].into_iter().collect())
+            }
+            _ => None,
+        };
+        let Some(sources) = sources else { continue };
+        if !sources.is_empty() && sources.iter().all(|s| ro.contains(s)) {
+            // `ld.global.f32` → `ld.global.ro.f32`.
+            opcode.insert(2, "ro".to_string());
+        }
+    }
+    out
+}
+
+/// Flow-insensitive provenance fixpoint (mirrors `analysis`).
+fn provenance(kernel: &Kernel) -> HashMap<String, BTreeSet<String>> {
+    let mut prov: HashMap<String, BTreeSet<String>> = HashMap::new();
+    loop {
+        let mut changed = false;
+        for instr in &kernel.body {
+            let Instr::Op { opcode, operands, .. } = instr else { continue };
+            let head = opcode.first().map(String::as_str).unwrap_or("");
+            if matches!(head, "st" | "bra" | "ret" | "bar" | "red" | "exit") {
+                continue;
+            }
+            let Some(Operand::Reg(dst)) = operands.first() else { continue };
+            let mut incoming: BTreeSet<String> = BTreeSet::new();
+            if head == "ld" && opcode.get(1).map(String::as_str) == Some("param") {
+                if let Some(Operand::Mem { base: MemBase::Param(p), .. }) = operands.get(1) {
+                    incoming.insert(p.clone());
+                }
+            } else {
+                for op in &operands[1..] {
+                    let r = match op {
+                        Operand::Reg(r) => Some(r),
+                        Operand::Mem { base: MemBase::Reg(r), .. } => Some(r),
+                        _ => None,
+                    };
+                    if let Some(set) = r.and_then(|r| prov.get(r)) {
+                        incoming.extend(set.iter().cloned());
+                    }
+                }
+            }
+            if incoming.is_empty() {
+                continue;
+            }
+            let entry = prov.entry(dst.clone()).or_default();
+            let before = entry.len();
+            entry.extend(incoming);
+            changed |= entry.len() != before;
+        }
+        if !changed {
+            return prov;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parse::parse_module;
+
+    fn rewrite(src: &str) -> Kernel {
+        let m = parse_module(src).unwrap();
+        rewrite_readonly_loads(&m.kernels[0])
+    }
+
+    const VECADD: &str = r#"
+.visible .entry vecadd(.param .u64 A, .param .u64 B, .param .u64 C)
+{
+    ld.param.u64 %rd1, [A];
+    ld.param.u64 %rd2, [B];
+    ld.param.u64 %rd3, [C];
+    cvta.to.global.u64 %rd1, %rd1;
+    cvta.to.global.u64 %rd2, %rd2;
+    cvta.to.global.u64 %rd3, %rd3;
+    ld.global.f32 %f1, [%rd1];
+    ld.global.f32 %f2, [%rd2];
+    add.f32 %f3, %f1, %f2;
+    st.global.f32 [%rd3], %f3;
+    ret;
+}
+"#;
+
+    #[test]
+    fn marks_only_readonly_loads() {
+        let k = rewrite(VECADD);
+        let ptx = k.to_ptx();
+        assert_eq!(ptx.matches("ld.global.ro.f32").count(), 2);
+        assert_eq!(ptx.matches("st.global.f32").count(), 1);
+        assert!(!ptx.contains("st.global.ro"));
+    }
+
+    #[test]
+    fn read_write_array_loads_untouched() {
+        let k = rewrite(
+            r#"
+.visible .entry inc(.param .u64 X)
+{
+    ld.param.u64 %rd1, [X];
+    ld.global.f32 %f1, [%rd1];
+    add.f32 %f1, %f1, 1;
+    st.global.f32 [%rd1], %f1;
+    ret;
+}
+"#,
+        );
+        assert!(!k.to_ptx().contains(".ro"));
+    }
+
+    #[test]
+    fn rewrite_is_idempotent() {
+        let once = rewrite(VECADD);
+        let twice = rewrite_readonly_loads(&once);
+        assert_eq!(once, twice);
+    }
+
+    #[test]
+    fn rewritten_kernel_reparses() {
+        let k = rewrite(VECADD);
+        let m = parse_module(&k.to_ptx()).unwrap();
+        assert_eq!(m.kernels[0], k);
+        // The .ro form is still recognized as a global load.
+        assert_eq!(m.kernels[0].body.iter().filter(|i| i.is_global_load()).count(), 2);
+    }
+
+    #[test]
+    fn mixed_provenance_not_marked() {
+        // %rd5 selects between A (RO) and C (RW): must stay unmarked.
+        let k = rewrite(
+            r#"
+.visible .entry sel(.param .u64 A, .param .u64 C)
+{
+    ld.param.u64 %rd1, [A];
+    ld.param.u64 %rd3, [C];
+    selp.b64 %rd5, %rd1, %rd3, %p1;
+    ld.global.f32 %f1, [%rd5];
+    ld.global.f32 %f2, [%rd1];
+    st.global.f32 [%rd3], %f2;
+    ret;
+}
+"#,
+        );
+        let ptx = k.to_ptx();
+        // Only the pure-A load is marked.
+        assert_eq!(ptx.matches("ld.global.ro").count(), 1);
+        assert!(ptx.contains("ld.global.ro.f32 %f2"));
+    }
+}

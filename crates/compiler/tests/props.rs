@@ -1,0 +1,98 @@
+//! Property tests: the PTX parser never panics, round-trips its own
+//! output, and the analysis/rewrite stay consistent under generated
+//! kernels.
+
+use proptest::prelude::*;
+
+use nuba_compiler::{analyze_kernel, parse_module, rewrite_readonly_loads};
+
+/// Generate a syntactically valid kernel: param pointers loaded into
+/// registers, a random mix of loads/stores through them.
+fn kernel_strategy() -> impl Strategy<Value = (String, Vec<(usize, bool)>)> {
+    // (param index, is_store) per access, over up to 4 params.
+    (2usize..=4, proptest::collection::vec((0usize..4, any::<bool>()), 1..20)).prop_map(
+        |(nparams, accesses)| {
+            let accesses: Vec<(usize, bool)> =
+                accesses.into_iter().map(|(p, s)| (p % nparams, s)).collect();
+            let names: Vec<String> = (0..nparams).map(|i| format!("P{i}")).collect();
+            let mut src = String::new();
+            src.push_str(".visible .entry gen(");
+            for (i, n) in names.iter().enumerate() {
+                if i > 0 {
+                    src.push_str(", ");
+                }
+                src.push_str(&format!(".param .u64 {n}"));
+            }
+            src.push_str(")\n{\n");
+            for (i, n) in names.iter().enumerate() {
+                src.push_str(&format!("    ld.param.u64 %rd{i}, [{n}];\n"));
+                src.push_str(&format!("    cvta.to.global.u64 %rd{i}, %rd{i};\n"));
+            }
+            for (k, &(p, store)) in accesses.iter().enumerate() {
+                if store {
+                    src.push_str(&format!("    st.global.f32 [%rd{p}], %f{k};\n"));
+                } else {
+                    src.push_str(&format!("    ld.global.f32 %f{k}, [%rd{p}];\n"));
+                }
+            }
+            src.push_str("    ret;\n}\n");
+            (src, accesses)
+        },
+    )
+}
+
+proptest! {
+    #[test]
+    fn parser_never_panics_on_arbitrary_text(s in "[ -~\n]{0,400}") {
+        let _ = parse_module(&s); // must not panic; errors are fine
+    }
+
+    #[test]
+    fn generated_kernels_roundtrip(spec in kernel_strategy()) {
+        let (src, _) = spec;
+        let m = parse_module(&src).expect("generated kernel parses");
+        let re = parse_module(&m.to_ptx()).expect("emitted kernel reparses");
+        prop_assert_eq!(m, re);
+    }
+
+    #[test]
+    fn analysis_matches_access_ground_truth(spec in kernel_strategy()) {
+        let (src, accesses) = spec;
+        let m = parse_module(&src).unwrap();
+        let summary = analyze_kernel(&m.kernels[0]);
+        // Ground truth per param.
+        for p in 0..4 {
+            let name = format!("P{p}");
+            let loaded = accesses.iter().any(|&(q, s)| q == p && !s);
+            let stored = accesses.iter().any(|&(q, s)| q == p && s);
+            prop_assert_eq!(summary.loaded.contains(&name), loaded, "{} loaded", name);
+            prop_assert_eq!(summary.stored.contains(&name), stored, "{} stored", name);
+            prop_assert_eq!(
+                summary.read_only.contains(&name),
+                loaded && !stored,
+                "{} read-only",
+                name
+            );
+        }
+        prop_assert!(!summary.unknown_store, "all stores have provenance");
+    }
+
+    #[test]
+    fn rewrite_marks_exactly_readonly_loads(spec in kernel_strategy()) {
+        let (src, accesses) = spec;
+        let m = parse_module(&src).unwrap();
+        let rewritten = rewrite_readonly_loads(&m.kernels[0]);
+        let ptx = rewritten.to_ptx();
+        let ro_loads = accesses
+            .iter()
+            .filter(|&&(p, s)| {
+                !s && !accesses.iter().any(|&(q, st)| q == p && st)
+            })
+            .count();
+        prop_assert_eq!(ptx.matches("ld.global.ro").count(), ro_loads);
+        // Rewriting is idempotent and stays parseable.
+        let again = rewrite_readonly_loads(&rewritten);
+        prop_assert_eq!(&again, &rewritten);
+        prop_assert!(parse_module(&ptx).is_ok());
+    }
+}

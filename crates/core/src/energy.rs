@@ -1,0 +1,151 @@
+//! GPU energy accounting (GPUWattch substitute, see DESIGN.md).
+//!
+//! Per-event dynamic energies plus static power, with the NoC modelled
+//! separately by [`nuba_noc::NocPowerModel`] so Fig. 10 and Fig. 13 can
+//! contrast NoC power against rest-of-GPU power. Absolute joules are
+//! calibration constants; experiments use ratios.
+
+use nuba_noc::NocPowerModel;
+
+/// Per-event energies in picojoules and static power in watts.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct EnergyParams {
+    /// Energy per executed warp instruction (compute + pipeline).
+    pub pj_per_warp_op: f64,
+    /// Energy per L1 access.
+    pub pj_per_l1_access: f64,
+    /// Energy per LLC tag+data access.
+    pub pj_per_llc_access: f64,
+    /// Energy per DRAM line (128 B) transfer.
+    pub pj_per_dram_access: f64,
+    /// Energy per byte over a NUBA local point-to-point link.
+    pub pj_per_local_link_byte: f64,
+    /// Static power of everything except the NoC, in watts.
+    pub static_watts: f64,
+    /// SM clock in Hz (converts cycles to seconds).
+    pub clock_hz: f64,
+}
+
+impl Default for EnergyParams {
+    fn default() -> Self {
+        EnergyParams {
+            pj_per_warp_op: 120.0,
+            pj_per_l1_access: 30.0,
+            pj_per_llc_access: 70.0,
+            pj_per_dram_access: 2600.0,
+            pj_per_local_link_byte: 1.2,
+            static_watts: 55.0,
+            clock_hz: 1.4e9,
+        }
+    }
+}
+
+/// Dynamic-event counters accumulated during a run.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct EnergyCounters {
+    /// Warp instructions completed.
+    pub warp_ops: u64,
+    /// L1 accesses.
+    pub l1_accesses: u64,
+    /// LLC accesses (tag pipeline grants).
+    pub llc_accesses: u64,
+    /// DRAM line transfers.
+    pub dram_accesses: u64,
+    /// Bytes over NUBA local links.
+    pub local_link_bytes: u64,
+    /// Bytes over the NoC (from the crossbar stats).
+    pub noc_bytes: u64,
+}
+
+/// Energy breakdown of one run, in joules.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct EnergyReport {
+    /// NoC energy (dynamic + static), joules.
+    pub noc_j: f64,
+    /// Everything else (SMs, caches, DRAM, local links), joules.
+    pub rest_j: f64,
+}
+
+impl EnergyReport {
+    /// Total GPU energy.
+    pub fn total_j(&self) -> f64 {
+        self.noc_j + self.rest_j
+    }
+
+    /// NoC share of total energy.
+    pub fn noc_fraction(&self) -> f64 {
+        if self.total_j() == 0.0 {
+            0.0
+        } else {
+            self.noc_j / self.total_j()
+        }
+    }
+}
+
+/// Compute the energy report for a run.
+pub fn energy_report(
+    params: &EnergyParams,
+    counters: &EnergyCounters,
+    noc_model: &NocPowerModel,
+    cycles: u64,
+) -> EnergyReport {
+    let pj = counters.warp_ops as f64 * params.pj_per_warp_op
+        + counters.l1_accesses as f64 * params.pj_per_l1_access
+        + counters.llc_accesses as f64 * params.pj_per_llc_access
+        + counters.dram_accesses as f64 * params.pj_per_dram_access
+        + counters.local_link_bytes as f64 * params.pj_per_local_link_byte;
+    let seconds = cycles as f64 / params.clock_hz;
+    let rest_j = pj * 1e-12 + params.static_watts * seconds;
+    let noc_j = noc_model.total_joules(counters.noc_bytes, cycles);
+    EnergyReport { noc_j, rest_j }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nuba_types::NocPowerParams;
+
+    fn noc() -> NocPowerModel {
+        NocPowerModel::from_aggregate(NocPowerParams::default(), 64, 1000.0, 2, 1.4e9)
+    }
+
+    #[test]
+    fn zero_run_has_only_static() {
+        let r = energy_report(&EnergyParams::default(), &EnergyCounters::default(), &noc(), 0);
+        assert_eq!(r.total_j(), 0.0);
+    }
+
+    #[test]
+    fn static_energy_scales_with_time() {
+        let p = EnergyParams::default();
+        let c = EnergyCounters::default();
+        let one = energy_report(&p, &c, &noc(), 1_400_000); // 1 ms
+        let two = energy_report(&p, &c, &noc(), 2_800_000);
+        assert!((two.total_j() / one.total_j() - 2.0).abs() < 1e-9);
+        // 1 ms at 55 W rest-static = 55 mJ.
+        assert!((one.rest_j - 0.055).abs() < 1e-6);
+    }
+
+    #[test]
+    fn dynamic_events_add_energy() {
+        let p = EnergyParams::default();
+        let mut c = EnergyCounters::default();
+        let base = energy_report(&p, &c, &noc(), 1000);
+        c.dram_accesses = 1_000_000;
+        let more = energy_report(&p, &c, &noc(), 1000);
+        assert!((more.rest_j - base.rest_j - 2600.0 * 1e6 * 1e-12).abs() < 1e-12);
+        assert_eq!(more.noc_j, base.noc_j);
+    }
+
+    #[test]
+    fn noc_bytes_go_to_noc_bucket() {
+        let p = EnergyParams::default();
+        let mut c = EnergyCounters::default();
+        let base = energy_report(&p, &c, &noc(), 1000);
+        c.noc_bytes = 10_000_000;
+        let more = energy_report(&p, &c, &noc(), 1000);
+        assert!(more.noc_j > base.noc_j);
+        assert_eq!(more.rest_j, base.rest_j);
+        assert!(more.noc_fraction() > base.noc_fraction());
+    }
+}

@@ -1,0 +1,1036 @@
+//! The full-GPU simulator: SMs, MMU, driver, LLC slices, NoC(s), local
+//! links and memory controllers assembled per architecture (paper
+//! Figs. 1, 4, 5, 15), stepped cycle by cycle.
+
+use std::collections::HashMap;
+
+use nuba_cache::CacheGeometry;
+use nuba_dram::{DramRequest, HbmTiming, MemoryController};
+use nuba_driver::{GpuDriver, MigrationConfig, PageAccessTracker};
+use nuba_engine::BandwidthLink;
+use nuba_noc::{CrossbarNoc, NocPowerModel};
+use nuba_tlb::{TlbParams, TranslationEngine, TranslationOutcome};
+use nuba_types::addr::PageNum;
+use nuba_types::{
+    AccessKind, ArchKind, GpuConfig, LineAddr, MemReply, MemRequest, PagePolicyKind, ReplicationKind,
+    ReqId, SliceId, SmId, Wire,
+};
+use nuba_types::mapping::AddressMapping;
+use nuba_workloads::Workload;
+
+use crate::arch::Topology;
+use crate::energy::{energy_report, EnergyCounters, EnergyParams};
+use crate::llc::{LlcSlice, MemTask, Role, SliceParams};
+use crate::mdr::paper_slice_bandwidths;
+use crate::metrics::SimReport;
+use crate::sm::{Sm, SmParams, StallReason};
+
+/// A packet crossing an MCM inter-module gateway.
+#[derive(Debug, Clone, Copy)]
+struct GwPkt<T> {
+    src: usize,
+    dest: usize,
+    item: T,
+}
+
+impl<T: Wire> Wire for GwPkt<T> {
+    fn wire_bytes(&self) -> u64 {
+        self.item.wire_bytes()
+    }
+}
+
+/// SM-side UBA cross-half memory traffic.
+#[derive(Debug, Clone, Copy)]
+enum HalfPkt {
+    Task(SliceId, MemTask),
+    Fill(SliceId, LineAddr),
+}
+
+impl Wire for HalfPkt {
+    fn wire_bytes(&self) -> u64 {
+        match self {
+            HalfPkt::Task(_, MemTask::Fetch(_)) => 8,
+            HalfPkt::Task(_, MemTask::Writeback(_)) => 136,
+            HalfPkt::Fill(_, _) => 136,
+        }
+    }
+}
+
+struct McState {
+    mc: MemoryController,
+    pending_fills: HashMap<u64, (SliceId, LineAddr)>,
+    next_id: u64,
+}
+
+/// The assembled GPU.
+pub struct GpuSimulator {
+    cfg: GpuConfig,
+    topo: Topology,
+    mapping: AddressMapping,
+    driver: GpuDriver,
+    mmu: TranslationEngine,
+    sms: Vec<Sm>,
+    slices: Vec<LlcSlice>,
+    mcs: Vec<McState>,
+    // NUBA point-to-point links (None for UBA).
+    local_req: Option<Vec<BandwidthLink<MemRequest>>>,
+    local_reply: Option<Vec<BandwidthLink<MemReply>>>,
+    /// Per-slice hold for NoC replies waiting on a busy local link.
+    inbound_reply_hold: Vec<std::collections::VecDeque<MemReply>>,
+    req_noc: CrossbarNoc<MemRequest>,
+    reply_noc: CrossbarNoc<MemReply>,
+    // SM-side UBA cross-half memory path (to-half-0, to-half-1).
+    half_links: Option<[BandwidthLink<HalfPkt>; 2]>,
+    half_hold: Vec<HalfPkt>,
+    // MCM gateways, one per module and direction.
+    gw_req: Vec<BandwidthLink<GwPkt<MemRequest>>>,
+    gw_reply: Vec<BandwidthLink<GwPkt<MemReply>>>,
+    gw_req_hold: Vec<std::collections::VecDeque<GwPkt<MemRequest>>>,
+    gw_reply_hold: Vec<std::collections::VecDeque<GwPkt<MemReply>>>,
+    // Alternative page policies (§7.6).
+    tracker: Option<PageAccessTracker>,
+    cycle: u64,
+    next_req_id: u64,
+    dram_accesses: u64,
+    migration_bytes: u64,
+    noc_power: NocPowerModel,
+    energy_params: EnergyParams,
+    // Scratch buffers.
+    tl_done: Vec<nuba_tlb::CompletedTranslation>,
+    req_scratch: Vec<MemRequest>,
+    reply_scratch: Vec<MemReply>,
+    mc_done: Vec<(u64, bool)>,
+}
+
+impl GpuSimulator {
+    /// Assemble a GPU for `cfg` running `workload`.
+    ///
+    /// # Panics
+    /// Panics if the configuration is invalid or inconsistent with the
+    /// workload (SM count, page size).
+    pub fn new(cfg: GpuConfig, workload: &Workload) -> GpuSimulator {
+        cfg.validate().expect("invalid configuration");
+        assert_eq!(workload.num_sms(), cfg.num_sms, "workload built for wrong SM count");
+        assert_eq!(
+            workload.layout().page_bytes,
+            cfg.page_bytes,
+            "workload page size must match the configuration"
+        );
+
+        let topo = Topology::new(&cfg);
+        let mapping = AddressMapping::new(&cfg);
+        let driver = GpuDriver::new(cfg.page_policy, cfg.num_channels);
+        let mmu = TranslationEngine::new(
+            TlbParams {
+                l1_entries: cfg.l1_tlb_entries,
+                l1_ways: 8,
+                l2_entries: cfg.l2_tlb_entries,
+                l2_ways: cfg.l2_tlb_ways,
+                l2_latency: cfg.l2_tlb_latency,
+                l2_ports: 2,
+                walkers: cfg.page_walkers,
+                walk_latency: cfg.walk_latency,
+                fault_latency: cfg.page_fault_latency,
+            },
+            cfg.num_sms,
+        );
+
+        let active_warps = cfg.sim_active_warps.min(cfg.warps_per_sm).max(1);
+        let sm_params = SmParams {
+            warps: active_warps,
+            warp_mlp: 8,
+            max_outstanding: cfg.sm_max_outstanding,
+            l1_geometry: CacheGeometry::from_capacity(cfg.l1_bytes, cfg.l1_ways),
+            l1_mshrs: cfg.l1_mshrs,
+            issue_width: 2,
+        };
+        let sms: Vec<Sm> = (0..cfg.num_sms)
+            .map(|i| {
+                let streams = (0..active_warps)
+                    .map(|w| workload.stream(SmId(i), nuba_types::WarpId(w)))
+                    .collect();
+                Sm::new(SmId(i), sm_params, streams)
+            })
+            .collect();
+
+        let slice_geo = CacheGeometry::new(cfg.llc_slice_sets(), cfg.llc_ways);
+        let slice_params = SliceParams {
+            geometry: slice_geo,
+            mshrs: cfg.llc_mshrs,
+            latency: cfg.llc_latency,
+            out_bytes_per_cycle: cfg.llc_bytes_per_cycle,
+            queue_capacity: 16,
+            sample_sets: cfg.mdr_sample_sets,
+        };
+        let mdr_bw = paper_slice_bandwidths(cfg.noc_port_bytes_per_cycle());
+        let slices: Vec<LlcSlice> = (0..cfg.num_llc_slices)
+            .map(|i| {
+                let s = SliceId(i);
+                let mdr = if cfg.arch.is_nuba() && cfg.replication == ReplicationKind::Mdr {
+                    Some((mdr_bw, cfg.mdr_epoch_cycles, cfg.mdr_eval_cycles))
+                } else {
+                    None
+                };
+                let full = cfg.arch.is_nuba() && cfg.replication == ReplicationKind::Full;
+                LlcSlice::new(s, topo.partition_of_slice(s), slice_params, mdr, full)
+            })
+            .collect();
+
+        let mem_burst_cycles = 128 / cfg.dram_burst_bytes.max(1);
+        let hbm = if cfg.dram_refresh { HbmTiming::with_refresh() } else { HbmTiming::paper() };
+        let mcs: Vec<McState> = (0..cfg.num_channels)
+            .map(|_| McState {
+                mc: MemoryController::new(
+                    hbm,
+                    cfg.banks_per_channel,
+                    cfg.mc_queue_entries,
+                    mem_burst_cycles.max(1),
+                ),
+                pending_fills: HashMap::new(),
+                next_id: 0,
+            })
+            .collect();
+
+        let is_nuba = cfg.arch.is_nuba();
+        let (req_in, req_out, rep_in, rep_out) = if is_nuba {
+            (cfg.num_llc_slices, cfg.num_llc_slices, cfg.num_llc_slices, cfg.num_llc_slices)
+        } else {
+            (cfg.num_sms, cfg.num_llc_slices, cfg.num_llc_slices, cfg.num_sms)
+        };
+        let port_bw = cfg.noc_port_bytes_per_cycle();
+        let req_noc = CrossbarNoc::new(req_in, req_out, port_bw, cfg.noc_stage_latency, 8);
+        let reply_noc = CrossbarNoc::new(rep_in, rep_out, port_bw, cfg.noc_stage_latency, 8);
+
+        let (local_req, local_reply) = if is_nuba {
+            let lb = cfg.local_link_bytes_per_cycle as f64;
+            (
+                Some((0..cfg.num_sms).map(|_| BandwidthLink::new(lb, 2, 8)).collect()),
+                Some((0..cfg.num_sms).map(|_| BandwidthLink::new(lb, 2, 8)).collect()),
+            )
+        } else {
+            (None, None)
+        };
+
+        let half_links = if cfg.arch == ArchKind::SmSideUba {
+            // The A100-style halves share a wide internal fabric: give
+            // the cross-half memory path memory-class bandwidth and a
+            // short hop so SM-side UBA tracks the memory-side baseline
+            // (the paper reports them within ~1%).
+            Some([BandwidthLink::new(1024.0, 10, 64), BandwidthLink::new(1024.0, 10, 64)])
+        } else {
+            None
+        };
+
+        let modules = topo.num_modules();
+        let gw_bw = cfg.mcm.inter_module_bytes_per_cycle;
+        let (gw_req, gw_reply) = if modules > 1 {
+            (
+                (0..modules).map(|_| BandwidthLink::new(gw_bw, 32, 32)).collect(),
+                (0..modules).map(|_| BandwidthLink::new(gw_bw, 32, 32)).collect(),
+            )
+        } else {
+            (Vec::new(), Vec::new())
+        };
+
+        let tracker = match cfg.page_policy {
+            PagePolicyKind::Migration | PagePolicyKind::PageReplication => {
+                Some(PageAccessTracker::new(MigrationConfig::default()))
+            }
+            _ => None,
+        };
+
+        let noc_power = NocPowerModel::from_aggregate(
+            cfg.noc_power,
+            cfg.num_llc_slices,
+            cfg.noc_total_bytes_per_cycle,
+            2,
+            1.4e9,
+        );
+
+        GpuSimulator {
+            topo,
+            mapping,
+            driver,
+            mmu,
+            sms,
+            inbound_reply_hold: (0..cfg.num_llc_slices)
+                .map(|_| std::collections::VecDeque::new())
+                .collect(),
+            slices,
+            mcs,
+            local_req,
+            local_reply,
+            req_noc,
+            reply_noc,
+            half_links,
+            half_hold: Vec::new(),
+            gw_req,
+            gw_reply,
+            gw_req_hold: (0..modules).map(|_| std::collections::VecDeque::new()).collect(),
+            gw_reply_hold: (0..modules).map(|_| std::collections::VecDeque::new()).collect(),
+            tracker,
+            cycle: 0,
+            next_req_id: 0,
+            dram_accesses: 0,
+            migration_bytes: 0,
+            noc_power,
+            energy_params: EnergyParams::default(),
+            tl_done: Vec::new(),
+            req_scratch: Vec::new(),
+            reply_scratch: Vec::new(),
+            mc_done: Vec::new(),
+            cfg,
+        }
+    }
+
+    /// The simulated configuration.
+    pub fn config(&self) -> &GpuConfig {
+        &self.cfg
+    }
+
+    /// The GPU driver (page table, placement statistics).
+    pub fn driver(&self) -> &GpuDriver {
+        &self.driver
+    }
+
+    /// Current simulated cycle.
+    pub fn cycle(&self) -> u64 {
+        self.cycle
+    }
+
+    /// Run for `cycles` cycles and report.
+    pub fn run(&mut self, cycles: u64) -> SimReport {
+        for _ in 0..cycles {
+            self.step();
+        }
+        self.report()
+    }
+
+    /// Functional warm-up: replay `accesses_per_warp` memory accesses
+    /// per warp (round-robin across SMs, approximating concurrent
+    /// execution) so first-touch page faults — and the driver's
+    /// placement decisions — happen before the timed window, as they
+    /// would have in the paper's billion-instruction runs. No timing
+    /// state is touched; only the page table and allocation counters
+    /// warm up.
+    pub fn warm(&mut self, workload: &Workload, accesses_per_warp: usize) {
+        let active_warps = self.cfg.sim_active_warps.min(self.cfg.warps_per_sm).max(1);
+        // Warp-major order: consecutive faults come from *different* SMs,
+        // as they would under concurrent execution — burst-faulting one
+        // SM's warps back-to-back would make LAB's least-first fallback
+        // spray pages that are really private.
+        let mut streams: Vec<nuba_workloads::WarpStream> = Vec::new();
+        for w in 0..active_warps {
+            for sm in 0..self.cfg.num_sms {
+                streams.push(workload.stream(SmId(sm), nuba_types::WarpId(w)));
+            }
+        }
+        let page_bytes = self.cfg.page_bytes;
+        let num_sms = self.cfg.num_sms;
+        for round in 0..accesses_per_warp {
+            for (k, stream) in streams.iter_mut().enumerate() {
+                let sm = SmId(k % num_sms);
+                // CTAs launch in waves: low-numbered SMs start a little
+                // earlier. This is what lets first-touch concentrate hot
+                // shared pages on the earliest sharer's channel - the
+                // pathology LAB exists to fix (paper Fig. 6d/e).
+                if round < sm.0 / 2 {
+                    continue;
+                }
+                // Skip compute blocks; take the next memory access.
+                let access = loop {
+                    match stream.next_op() {
+                        nuba_workloads::WarpOp::Mem(a) => break a,
+                        nuba_workloads::WarpOp::Compute(_) => continue,
+                    }
+                };
+                let vpage = access.vaddr.page(page_bytes);
+                if !self.driver.table().is_mapped(vpage) {
+                    let part = self.topo.partition_of_sm(sm);
+                    self.driver.handle_fault(vpage, part, sm);
+                }
+            }
+        }
+    }
+
+    /// Convenience: warm up, then run the timed window.
+    pub fn warm_and_run(&mut self, workload: &Workload, cycles: u64) -> SimReport {
+        // Enough accesses to touch the whole scaled footprint a few
+        // times over: footprint/streams, bounded for simulation cost.
+        let streams = (self.cfg.num_sms
+            * self.cfg.sim_active_warps.min(self.cfg.warps_per_sm).max(1))
+            as u64;
+        let lines = workload.layout().total_pages * (self.cfg.page_bytes / 128);
+        let per_warp = (4 * lines / streams.max(1)).clamp(64, 4096) as usize;
+        self.warm(workload, per_warp);
+        self.run(cycles)
+    }
+
+    /// Advance one cycle.
+    pub fn step(&mut self) {
+        let c = self.cycle;
+
+        // Kernel boundary (paper §5.3): the software coherence protocol
+        // invalidates the write-through L1s, and the LLC is flushed
+        // because this kernel's read-only data may be read-write in the
+        // next one. Dirty lines become write-back traffic — the flush
+        // overhead the paper models faithfully.
+        if let Some(k) = self.cfg.kernel_boundary_cycles {
+            if c > 0 && c.is_multiple_of(k) {
+                for sm in &mut self.sms {
+                    sm.flush_l1();
+                }
+                for slice in &mut self.slices {
+                    slice.flush();
+                }
+            }
+        }
+
+        self.tick_mmu(c);
+        self.issue_sms(c);
+        if self.cfg.arch.is_nuba() {
+            self.tick_local_request_links(c);
+        }
+        self.drain_forwards(c);
+        self.tick_gateways(c);
+        self.req_noc.tick(c);
+        self.deliver_noc_requests(c);
+        for s in &mut self.slices {
+            s.tick(c);
+        }
+        self.route_slice_replies(c);
+        self.reply_noc.tick(c);
+        self.deliver_noc_replies(c);
+        if self.cfg.arch.is_nuba() {
+            self.tick_local_reply_links(c);
+        }
+        self.tick_memory(c);
+
+        self.cycle += 1;
+    }
+
+    fn tick_mmu(&mut self, c: u64) {
+        self.mmu.tick(c, &mut self.tl_done);
+        for d in std::mem::take(&mut self.tl_done) {
+            // A merged walk reports the fault to every waiter; only the
+            // first one allocates the page.
+            if d.faulted && !self.driver.table().is_mapped(d.vpage) {
+                let part = self.topo.partition_of_sm(d.sm);
+                self.driver.handle_fault(d.vpage, part, d.sm);
+            }
+            self.sms[d.sm.0].complete_translation(d.vpage.0);
+        }
+    }
+
+    fn issue_sms(&mut self, c: u64) {
+        let page_bytes = self.cfg.page_bytes;
+        let n_parts = self.cfg.num_partitions();
+        for i in 0..self.sms.len() {
+            let sm_id = SmId(i);
+            let part = self.topo.partition_of_sm(sm_id);
+            self.sms[i].begin_cycle();
+            for _ in 0..4 {
+                // Up to issue_width memory commits per cycle; extra poll
+                // iterations let L1 hits and stalls make way.
+                let Some((warp, access)) = self.sms[i].poll(c) else { break };
+                let vpage = access.vaddr.page(page_bytes);
+                let mapped = self.driver.table().is_mapped(vpage);
+                match self.mmu.request(sm_id, vpage, c, mapped) {
+                    TranslationOutcome::Pending => {
+                        self.sms[i].block_translation(warp, vpage.0);
+                        continue;
+                    }
+                    TranslationOutcome::HitL1 => {}
+                }
+                let t = self
+                    .driver
+                    .translate(vpage, part)
+                    .expect("TLB hit implies a mapped page");
+                let paddr =
+                    self.mapping.compose(t.channel, t.frame, access.vaddr.page_offset(page_bytes));
+                let d = self.mapping.decode(paddr);
+                let line = paddr.line();
+
+                let can_down = self.can_send_downstream(sm_id);
+                match access.kind {
+                    AccessKind::Load | AccessKind::LoadReadOnly => {
+                        if !access.bypass_l1 && self.sms[i].l1_load_probe(warp, line, c) {
+                            continue;
+                        }
+                        if self.sms[i].mshr_mergeable(line) {
+                            self.sms[i].commit_load_miss(warp, line);
+                            continue;
+                        }
+                        if self.sms[i].mshr_outstanding(line) {
+                            // Fill in flight but its merge list is full.
+                            self.sms[i].stall(warp, StallReason::Mshr);
+                            continue;
+                        }
+                        if !can_down {
+                            self.sms[i].stall(warp, StallReason::Downstream);
+                            continue;
+                        }
+                        if !self.sms[i].can_issue_request() {
+                            self.sms[i].stall(warp, StallReason::Outstanding);
+                            continue;
+                        }
+                        if !self.sms[i].mshr_available() {
+                            self.sms[i].stall(warp, StallReason::Mshr);
+                            continue;
+                        }
+                        let req = self.make_request(sm_id, warp, access, paddr, c);
+                        let primary = self.sms[i].commit_load_miss(warp, line);
+                        debug_assert!(primary);
+                        self.send_request(req, &d, c);
+                        self.note_access(vpage, sm_id, n_parts);
+                    }
+                    AccessKind::Store | AccessKind::Atomic => {
+                        if !can_down {
+                            self.sms[i].stall(warp, StallReason::Downstream);
+                            continue;
+                        }
+                        if !self.sms[i].can_issue_request() {
+                            self.sms[i].stall(warp, StallReason::Outstanding);
+                            continue;
+                        }
+                        let req = self.make_request(sm_id, warp, access, paddr, c);
+                        self.sms[i].commit_write(warp, access.kind);
+                        self.send_request(req, &d, c);
+                        self.note_access(vpage, sm_id, n_parts);
+                    }
+                }
+            }
+        }
+    }
+
+    fn note_access(&mut self, vpage: PageNum, sm: SmId, n_parts: usize) {
+        let part = self.topo.partition_of_sm(sm);
+        self.driver.table_mut().record_access(vpage, sm, part, n_parts);
+        if let Some(tracker) = &mut self.tracker {
+            if tracker.note_access() {
+                let tracker = tracker.clone();
+                let events = match self.cfg.page_policy {
+                    PagePolicyKind::Migration => tracker.run_migration_pass(&mut self.driver),
+                    PagePolicyKind::PageReplication => {
+                        tracker.run_replication_pass(&mut self.driver)
+                    }
+                    _ => Vec::new(),
+                };
+                // Each moved/copied page crosses the NoC, and its stale
+                // translations are shot down page by page (Griffin-style
+                // per-page invalidations, not a global flush).
+                self.migration_bytes += events.len() as u64 * self.cfg.page_bytes;
+                for ev in &events {
+                    self.mmu.invalidate(ev.vpage);
+                }
+            }
+        }
+    }
+
+    fn make_request(
+        &mut self,
+        sm: SmId,
+        warp: nuba_types::WarpId,
+        access: nuba_workloads::Access,
+        paddr: nuba_types::PhysAddr,
+        c: u64,
+    ) -> MemRequest {
+        self.next_req_id += 1;
+        MemRequest {
+            id: ReqId(self.next_req_id),
+            sm,
+            warp,
+            vaddr: access.vaddr,
+            paddr,
+            kind: access.kind,
+            issue_cycle: c,
+            wants_replica: false,
+            bypass_l1: access.bypass_l1,
+        }
+    }
+
+    fn can_send_downstream(&self, sm: SmId) -> bool {
+        match &self.local_req {
+            Some(links) => links[sm.0].can_send(),
+            None => {
+                let port_ok = self.req_noc.can_send(sm.0);
+                let gw_ok = if self.topo.num_modules() > 1 {
+                    self.gw_req[self.topo.module_of_sm(sm).0].can_send()
+                } else {
+                    true
+                };
+                port_ok && gw_ok
+            }
+        }
+    }
+
+    fn send_request(&mut self, req: MemRequest, d: &nuba_types::DecodedAddr, c: u64) {
+        match &mut self.local_req {
+            Some(links) => {
+                links[req.sm.0].try_send(req, c).expect("can_send checked");
+            }
+            None => {
+                let dest = self.topo.first_hop_slice(req.sm, d);
+                let src_mod = self.topo.module_of_sm(req.sm);
+                if self.topo.num_modules() > 1 && self.topo.module_of_slice(dest) != src_mod {
+                    self.gw_req[src_mod.0]
+                        .try_send(GwPkt { src: req.sm.0, dest: dest.0, item: req }, c).expect("gateway capacity checked");
+                } else {
+                    self.req_noc
+                        .try_send(req.sm.0, dest.0, req, c).expect("noc capacity checked");
+                }
+            }
+        }
+    }
+
+    /// NUBA: requests arriving at the partition over the local links are
+    /// routed by the slice-side address inspector (Fig. 5 ① / ②).
+    fn tick_local_request_links(&mut self, c: u64) {
+        let links = self.local_req.as_mut().expect("nuba links");
+        for link in links.iter_mut() {
+            link.tick(c, &mut self.req_scratch);
+            for req in self.req_scratch.drain(..) {
+                let d = self.mapping.decode(req.paddr);
+                let slice = self.topo.local_slice(req.sm, &d);
+                let local_home = self.topo.is_local(req.sm, &d);
+                let s = &mut self.slices[slice.0];
+                s.note_local_sm_request(req.line(), local_home, req.kind.is_read_only());
+                if local_home {
+                    s.ingress_local(req, Role::Home);
+                } else if req.kind.is_read_only() && s.replicating() {
+                    s.ingress_local(req, Role::Replica);
+                } else {
+                    s.forward_direct(req);
+                }
+            }
+        }
+    }
+
+    /// Drain slice forward queues into the inter-partition NoC.
+    fn drain_forwards(&mut self, c: u64) {
+        for i in 0..self.slices.len() {
+            while let Some(fwd) = self.slices[i].pop_forward() {
+                let dest = self.mapping.decode(fwd.paddr).home_slice;
+                let src_mod = self.topo.module_of_slice(SliceId(i));
+                let cross =
+                    self.topo.num_modules() > 1 && self.topo.module_of_slice(dest) != src_mod;
+                let sent = if cross {
+                    self.gw_req[src_mod.0]
+                        .try_send(GwPkt { src: i, dest: dest.0, item: fwd }, c)
+                        .is_ok()
+                } else {
+                    self.req_noc.try_send(i, dest.0, fwd, c).is_ok()
+                };
+                if !sent {
+                    self.slices[i].unpop_forward(fwd);
+                    break;
+                }
+            }
+        }
+    }
+
+    fn tick_gateways(&mut self, c: u64) {
+        let mut req_out = Vec::new();
+        for gw in &mut self.gw_req {
+            gw.tick(c, &mut req_out);
+        }
+        for hold in self.gw_req_hold.iter_mut() {
+            while let Some(p) = hold.pop_front() {
+                if self.req_noc.try_send(p.src, p.dest, p.item, c).is_err() {
+                    hold.push_front(p);
+                    break;
+                }
+            }
+        }
+        for p in req_out {
+            if self.req_noc.try_send(p.src, p.dest, p.item, c).is_err() {
+                let m = if self.cfg.arch.is_nuba() {
+                    self.topo.module_of_slice(SliceId(p.src)).0
+                } else {
+                    self.topo.module_of_sm(SmId(p.src)).0
+                };
+                self.gw_req_hold[m].push_back(p);
+            }
+        }
+        let mut rep_out = Vec::new();
+        for gw in &mut self.gw_reply {
+            gw.tick(c, &mut rep_out);
+        }
+        for hold in self.gw_reply_hold.iter_mut() {
+            while let Some(p) = hold.pop_front() {
+                if self.reply_noc.try_send(p.src, p.dest, p.item, c).is_err() {
+                    hold.push_front(p);
+                    break;
+                }
+            }
+        }
+        for p in rep_out {
+            if self.reply_noc.try_send(p.src, p.dest, p.item, c).is_err() {
+                let m = self.topo.module_of_slice(SliceId(p.src)).0;
+                self.gw_reply_hold[m].push_back(p);
+            }
+        }
+    }
+
+    fn deliver_noc_requests(&mut self, _c: u64) {
+        let nuba = self.cfg.arch.is_nuba();
+        for port in 0..self.req_noc.num_outputs() {
+            while let Some(req) = self.req_noc.pop_delivered(port) {
+                let s = &mut self.slices[port];
+                if nuba {
+                    s.note_remote_home_request(req.line());
+                    s.ingress_remote(req);
+                } else {
+                    s.ingress_local(req, Role::Home);
+                }
+            }
+        }
+    }
+
+    fn route_slice_replies(&mut self, c: u64) {
+        let nuba = self.cfg.arch.is_nuba();
+        for i in 0..self.slices.len() {
+            while let Some(reply) = self.slices[i].pop_reply() {
+                let routed = if nuba {
+                    let dest_part = self.topo.partition_of_sm(reply.sm);
+                    if dest_part == self.slices[i].partition() {
+                        let links = self.local_reply.as_mut().expect("nuba links");
+                        links[reply.sm.0].try_send(reply, c).is_ok()
+                    } else {
+                        let d = self.mapping.decode(reply.line.base());
+                        let dest = self.topo.local_slice(reply.sm, &d);
+                        self.try_reply_noc(i, dest.0, reply, c)
+                    }
+                } else {
+                    self.try_reply_noc(i, reply.sm.0, reply, c)
+                };
+                if !routed {
+                    self.slices[i].unpop_reply(reply);
+                    break;
+                }
+            }
+        }
+    }
+
+    fn try_reply_noc(&mut self, src_slice: usize, dest: usize, reply: MemReply, c: u64) -> bool {
+        let src_mod = self.topo.module_of_slice(SliceId(src_slice));
+        let dest_mod = if self.cfg.arch.is_nuba() {
+            self.topo.module_of_slice(SliceId(dest))
+        } else {
+            self.topo.module_of_sm(SmId(dest))
+        };
+        if self.topo.num_modules() > 1 && src_mod != dest_mod {
+            self.gw_reply[src_mod.0]
+                .try_send(GwPkt { src: src_slice, dest, item: reply }, c)
+                .is_ok()
+        } else {
+            self.reply_noc.try_send(src_slice, dest, reply, c).is_ok()
+        }
+    }
+
+    fn deliver_noc_replies(&mut self, c: u64) {
+        let nuba = self.cfg.arch.is_nuba();
+        for port in 0..self.reply_noc.num_outputs() {
+            if nuba {
+                // Drain the hold first (link back-pressure), then the NoC.
+                loop {
+                    let from_hold = self.inbound_reply_hold[port].pop_front();
+                    let reply = match from_hold.or_else(|| self.reply_noc.pop_delivered(port)) {
+                        Some(r) => r,
+                        None => break,
+                    };
+                    if reply.replica_fill {
+                        self.slices[port].fill_replica(reply, c);
+                        continue;
+                    }
+                    let links = self.local_reply.as_mut().expect("nuba links");
+                    if links[reply.sm.0].try_send(reply, c).is_err() {
+                        self.inbound_reply_hold[port].push_front(reply);
+                        break;
+                    }
+                }
+            } else {
+                while let Some(reply) = self.reply_noc.pop_delivered(port) {
+                    let local = false; // every UBA reply crossed the NoC
+                    self.sms[port].handle_reply(reply, c, local);
+                }
+            }
+        }
+    }
+
+    fn tick_local_reply_links(&mut self, c: u64) {
+        let links = self.local_reply.as_mut().expect("nuba links");
+        for link in links.iter_mut() {
+            link.tick(c, &mut self.reply_scratch);
+            for reply in self.reply_scratch.drain(..) {
+                let local = self.topo.partition_of_slice(reply.serviced_by)
+                    == self.topo.partition_of_sm(reply.sm);
+                self.sms[reply.sm.0].handle_reply(reply, c, local);
+            }
+        }
+    }
+
+    fn tick_memory(&mut self, c: u64) {
+        let sm_side = self.cfg.arch == ArchKind::SmSideUba;
+
+        // Move slice DRAM tasks into controllers.
+        for i in 0..self.slices.len() {
+            while let Some(task) = self.slices[i].pop_mem_task() {
+                let line = match task {
+                    MemTask::Fetch(l) | MemTask::Writeback(l) => l,
+                };
+                let home_ch = self.mapping.decode(line.base()).channel;
+                if sm_side && self.topo.crosses_half(SliceId(i), home_ch) {
+                    let half = home_ch.0 / (self.cfg.num_channels / 2);
+                    if self.half_links.as_mut().expect("sm-side")[half]
+                        .try_send(HalfPkt::Task(SliceId(i), task), c)
+                        .is_err()
+                    {
+                        self.slices[i].unpop_mem_task(task);
+                        break;
+                    }
+                } else if !self.enqueue_dram(SliceId(i), task, c) {
+                    self.slices[i].unpop_mem_task(task);
+                    break;
+                }
+            }
+        }
+
+        // Cross-half traffic (SM-side UBA only).
+        if let Some(links) = &mut self.half_links {
+            let mut out = Vec::new();
+            for l in links.iter_mut() {
+                l.tick(c, &mut out);
+            }
+            self.half_hold.extend(out);
+            let held = std::mem::take(&mut self.half_hold);
+            for pkt in held {
+                match pkt {
+                    HalfPkt::Task(slice, task) => {
+                        if !self.enqueue_dram(slice, task, c) {
+                            self.half_hold.push(HalfPkt::Task(slice, task));
+                        }
+                    }
+                    HalfPkt::Fill(slice, line) => {
+                        self.slices[slice.0].fill_from_memory(line, c);
+                    }
+                }
+            }
+        }
+
+        // DRAM runs on the divided clock.
+        if c.is_multiple_of(self.cfg.dram_clock_divider) {
+            let mem_cycle = c / self.cfg.dram_clock_divider;
+            for ch in 0..self.mcs.len() {
+                self.mc_done.clear();
+                self.mcs[ch].mc.tick(mem_cycle, &mut self.mc_done);
+                for k in 0..self.mc_done.len() {
+                    let (id, is_write) = self.mc_done[k];
+                    self.dram_accesses += 1;
+                    if is_write {
+                        continue; // writeback completion needs no fill
+                    }
+                    if let Some((slice, line)) = self.mcs[ch].pending_fills.remove(&id) {
+                        if sm_side
+                            && self
+                                .topo
+                                .crosses_half(slice, nuba_types::ChannelId(ch))
+                        {
+                            let half = slice.0 / (self.cfg.num_llc_slices / 2);
+                            // Fills ride the cross-half link back; if it
+                            // is saturated they queue in the hold.
+                            if self.half_links.as_mut().expect("sm-side")[half]
+                                .try_send(HalfPkt::Fill(slice, line), c)
+                                .is_err()
+                            {
+                                self.half_hold.push(HalfPkt::Fill(slice, line));
+                            }
+                        } else {
+                            self.slices[slice.0].fill_from_memory(line, c);
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    fn enqueue_dram(&mut self, slice: SliceId, task: MemTask, c: u64) -> bool {
+        let (line, is_write) = match task {
+            MemTask::Fetch(l) => (l, false),
+            MemTask::Writeback(l) => (l, true),
+        };
+        let d = self.mapping.decode(line.base());
+        let ch = d.channel.0;
+        let mc = &mut self.mcs[ch];
+        if !mc.mc.can_accept() {
+            return false;
+        }
+        mc.next_id += 1;
+        let id = mc.next_id;
+        let req = DramRequest { id, bank: d.bank, row: d.row, is_write };
+        let mem_cycle = c / self.cfg.dram_clock_divider;
+        mc.mc.try_enqueue(req, mem_cycle).expect("can_accept checked");
+        if !is_write {
+            mc.pending_fills.insert(id, (slice, line));
+        }
+        true
+    }
+
+    /// One-line occupancy snapshot for performance debugging.
+    pub fn debug_state(&self) -> String {
+        let outstanding: usize = self.sms.iter().map(Sm::outstanding).sum();
+        let stall_down: u64 = self.sms.iter().map(|s| s.stats.stall_downstream).sum();
+        let stall_mshr: u64 = self.sms.iter().map(|s| s.stats.stall_mshr).sum();
+        let stall_out: u64 = self.sms.iter().map(|s| s.stats.stall_outstanding).sum();
+        let slice_pending: usize = self.slices.iter().map(LlcSlice::pending_work).sum();
+        let mc_pending: usize = self.mcs.iter().map(|m| m.mc.pending()).sum();
+        let mut local_pend = 0usize;
+        if let Some(links) = &self.local_req {
+            local_pend += links.iter().map(BandwidthLink::pending).sum::<usize>();
+        }
+        if let Some(links) = &self.local_reply {
+            local_pend += links.iter().map(BandwidthLink::pending).sum::<usize>();
+        }
+        format!(
+            "outstanding={outstanding} stalls(down={stall_down} mshr={stall_mshr} out={stall_out}) \
+             slice_pending={slice_pending} mc_pending={mc_pending} noc_inflight={}/{} local_pending={local_pend}",
+            self.req_noc.in_flight(),
+            self.reply_noc.in_flight(),
+        )
+    }
+
+    /// Aggregate slice-stat snapshot: (hits, accesses, replica_hits,
+    /// replica_fills, forwarded).
+    pub fn slice_totals(&self) -> (u64, u64, u64, u64, u64) {
+        let mut t = (0, 0, 0, 0, 0);
+        for s in &self.slices {
+            t.0 += s.stats.hits;
+            t.1 += s.stats.accesses;
+            t.2 += s.stats.replica_hits;
+            t.3 += s.stats.replica_fills;
+            t.4 += s.stats.forwarded;
+        }
+        t
+    }
+
+    /// Per-resource utilization snapshot (fractions of capacity).
+    pub fn utilization(&self) -> String {
+        let cyc = self.cycle.max(1);
+        let mem_cyc = (cyc / self.cfg.dram_clock_divider).max(1);
+        let dram_busy: u64 = self.mcs.iter().map(|m| m.mc.stats().bus_busy_cycles).sum();
+        let dram_util = dram_busy as f64 / (mem_cyc * self.mcs.len() as u64) as f64;
+        let req_util = self.req_noc.stats().bytes as f64
+            / (self.cfg.noc_total_bytes_per_cycle * cyc as f64);
+        let rep_util = self.reply_noc.stats().bytes as f64
+            / (self.cfg.noc_total_bytes_per_cycle * cyc as f64);
+        let mut local_util = 0.0;
+        if let Some(links) = &self.local_reply {
+            let bytes: u64 = links.iter().map(BandwidthLink::bytes_transferred).sum();
+            local_util = bytes as f64
+                / (self.cfg.local_link_bytes_per_cycle as f64 * cyc as f64 * links.len() as f64);
+        }
+        let grants: u64 = self.slices.iter().map(|s| s.stats.accesses).sum();
+        let grant_util = grants as f64 / (cyc * self.slices.len() as u64) as f64;
+        format!(
+            "dram={dram_util:.2} req_noc={req_util:.2} reply_noc={rep_util:.2} \
+             local_reply={local_util:.2} slice_grants={grant_util:.2}"
+        )
+    }
+
+    /// Build the report for everything simulated so far.
+    pub fn report(&self) -> SimReport {
+        let mut counters = EnergyCounters::default();
+        let mut warp_ops = 0;
+        let mut read_replies = 0;
+        let mut local_misses = 0;
+        let mut remote_misses = 0;
+        let mut l1_hits = 0;
+        let mut latency_sum = 0u64;
+        let mut latency_max = 0u64;
+        for sm in &self.sms {
+            warp_ops += sm.stats.completed_ops;
+            read_replies += sm.stats.read_replies;
+            local_misses += sm.stats.local_replies;
+            remote_misses += sm.stats.remote_replies;
+            l1_hits += sm.stats.l1_hits;
+            counters.l1_accesses += sm.stats.l1_accesses;
+            latency_sum += sm.stats.reply_latency_sum;
+            latency_max = latency_max.max(sm.stats.reply_latency_max);
+        }
+        let mut llc_hits = 0;
+        let mut llc_accesses = 0;
+        let mut replica_fills = 0;
+        let mut mdr_rate = 0.0;
+        for s in &self.slices {
+            llc_hits += s.stats.hits;
+            llc_accesses += s.stats.accesses;
+            replica_fills += s.stats.replica_fills;
+            mdr_rate += s.mdr_replication_rate();
+        }
+        mdr_rate /= self.slices.len() as f64;
+
+        let mut noc_bytes = self.req_noc.stats().bytes + self.reply_noc.stats().bytes;
+        for gw in self.gw_req.iter().map(BandwidthLink::bytes_transferred) {
+            noc_bytes += gw;
+        }
+        for gw in self.gw_reply.iter().map(BandwidthLink::bytes_transferred) {
+            noc_bytes += gw;
+        }
+        if let Some(links) = &self.half_links {
+            noc_bytes += links.iter().map(|l| l.bytes_transferred()).sum::<u64>();
+        }
+        noc_bytes += self.migration_bytes;
+
+        let mut local_link_bytes = 0;
+        if let Some(links) = &self.local_req {
+            local_link_bytes += links.iter().map(|l| l.bytes_transferred()).sum::<u64>();
+        }
+        if let Some(links) = &self.local_reply {
+            local_link_bytes += links.iter().map(|l| l.bytes_transferred()).sum::<u64>();
+        }
+
+        counters.warp_ops = warp_ops;
+        counters.llc_accesses = llc_accesses;
+        counters.dram_accesses = self.dram_accesses;
+        counters.noc_bytes = noc_bytes;
+        counters.local_link_bytes = local_link_bytes;
+
+        let mut row_hits = 0.0;
+        let mut max_load = 0u64;
+        let mut total_load = 0u64;
+        for m in &self.mcs {
+            row_hits += m.mc.row_hit_rate();
+            let load = m.mc.stats().completed;
+            max_load = max_load.max(load);
+            total_load += load;
+        }
+        row_hits /= self.mcs.len() as f64;
+        let mean_load = total_load as f64 / self.mcs.len() as f64;
+        let channel_imbalance = if mean_load > 0.0 { max_load as f64 / mean_load } else { 1.0 };
+
+        let energy = energy_report(&self.energy_params, &counters, &self.noc_power, self.cycle);
+        SimReport {
+            cycles: self.cycle,
+            warp_ops,
+            read_replies,
+            local_misses,
+            remote_misses,
+            l1_hits,
+            llc_hits,
+            llc_accesses,
+            dram_accesses: self.dram_accesses,
+            dram_row_hit_rate: row_hits,
+            noc_bytes,
+            local_link_bytes,
+            replica_fills,
+            mdr_replication_rate: mdr_rate,
+            page_faults: self.mmu.stats().faults,
+            final_npb: self.driver.npb(),
+            channel_imbalance,
+            avg_read_latency: latency_sum as f64 / read_replies.max(1) as f64,
+            max_read_latency: latency_max,
+            noc_watts: self.noc_power.average_watts(noc_bytes, self.cycle.max(1)),
+            energy,
+        }
+    }
+}

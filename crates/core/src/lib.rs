@@ -1,0 +1,54 @@
+#![warn(missing_docs)]
+
+//! # nuba-core
+//!
+//! The NUBA GPU system-architecture simulator: the paper's primary
+//! contribution (Non-Uniform Bandwidth Architecture with LAB page
+//! allocation and Model-Driven Replication) together with the two
+//! Uniform Bandwidth Architecture baselines and the MCM variants, all
+//! assembled from the workspace's substrate crates.
+//!
+//! The central type is [`GpuSimulator`]: give it a [`GpuConfig`]
+//! (architecture, resources, NoC bandwidth, page policy, replication
+//! policy) and a [`Workload`], step it, and
+//! read back a [`SimReport`] with the metrics every figure of the paper
+//! is built from.
+//!
+//! ## Example
+//!
+//! ```
+//! use nuba_core::GpuSimulator;
+//! use nuba_types::{ArchKind, GpuConfig};
+//! use nuba_workloads::{BenchmarkId, ScaleProfile, Workload};
+//!
+//! let mut cfg = GpuConfig::paper_baseline(ArchKind::Nuba);
+//! cfg.num_sms = 8;
+//! cfg.num_llc_slices = 8;
+//! cfg.num_channels = 4;
+//! cfg.warps_per_sm = 8;
+//! cfg.page_fault_latency = 200; // keep the doc example short
+//! let wl = Workload::build(BenchmarkId::Sgemm, ScaleProfile::fast(), 8, 1);
+//! let mut gpu = GpuSimulator::new(cfg, &wl);
+//! let report = gpu.run(5_000);
+//! assert!(report.warp_ops > 0);
+//! ```
+
+pub mod arch;
+pub mod energy;
+pub mod gpu;
+pub mod llc;
+pub mod mdr;
+pub mod metrics;
+pub mod sm;
+
+pub use arch::Topology;
+pub use energy::{energy_report, EnergyCounters, EnergyParams, EnergyReport};
+pub use gpu::GpuSimulator;
+pub use llc::{LlcSlice, MemTask, Role, SliceParams, SliceStats};
+pub use mdr::{evaluate as mdr_evaluate, MdrBandwidths, MdrController, MdrEstimate, MdrProfile};
+pub use metrics::SimReport;
+pub use sm::{Sm, SmParams, SmStats, StallReason};
+
+// Re-exports for downstream convenience (bench harness, examples).
+pub use nuba_types::{ArchKind, GpuConfig, PagePolicyKind, ReplicationKind};
+pub use nuba_workloads::{BenchmarkId, ScaleProfile, Workload};

@@ -1,0 +1,170 @@
+//! Simulation reports: the metrics the paper's figures are built from.
+
+use crate::energy::EnergyReport;
+
+/// Aggregate result of one simulation run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SimReport {
+    /// Simulated cycles.
+    pub cycles: u64,
+    /// Warp operations completed (memory ops + compute blocks): the
+    /// throughput proxy used for "performance" — streams are identical
+    /// across architectures, so ops/cycle ratios are speedups.
+    pub warp_ops: u64,
+    /// Read replies delivered to SMs (Fig. 8's replies/cycle numerator).
+    pub read_replies: u64,
+    /// L1 misses serviced by the local partition (NUBA; always 0 for
+    /// UBA — every UBA miss crosses the NoC). Fig. 9.
+    pub local_misses: u64,
+    /// L1 misses serviced remotely (over the NoC).
+    pub remote_misses: u64,
+    /// L1 hits.
+    pub l1_hits: u64,
+    /// LLC slice hits / accesses.
+    pub llc_hits: u64,
+    /// LLC accesses (tag grants).
+    pub llc_accesses: u64,
+    /// DRAM line transfers.
+    pub dram_accesses: u64,
+    /// DRAM row-hit fraction.
+    pub dram_row_hit_rate: f64,
+    /// Bytes moved through the inter-partition / SM-LLC NoC.
+    pub noc_bytes: u64,
+    /// Bytes moved through NUBA local links.
+    pub local_link_bytes: u64,
+    /// Replicated-line insertions (MDR activity).
+    pub replica_fills: u64,
+    /// Fraction of MDR epochs that chose replication (0 when MDR off).
+    pub mdr_replication_rate: f64,
+    /// First-touch page faults taken.
+    pub page_faults: u64,
+    /// Final Normalized Page Balance (Eq. 1).
+    pub final_npb: f64,
+    /// Max-over-mean DRAM load across channels (1.0 = perfectly
+    /// balanced; large values are the first-touch hot-channel pathology
+    /// LAB exists to fix).
+    pub channel_imbalance: f64,
+    /// Mean issue-to-reply latency of read requests, in cycles.
+    pub avg_read_latency: f64,
+    /// Worst observed issue-to-reply latency.
+    pub max_read_latency: u64,
+    /// Average NoC power in watts over the run.
+    pub noc_watts: f64,
+    /// Energy breakdown.
+    pub energy: EnergyReport,
+}
+
+impl SimReport {
+    /// Performance proxy: warp operations per cycle.
+    pub fn perf(&self) -> f64 {
+        if self.cycles == 0 {
+            0.0
+        } else {
+            self.warp_ops as f64 / self.cycles as f64
+        }
+    }
+
+    /// Fig. 8 metric: read replies per cycle perceived by the SMs.
+    pub fn replies_per_cycle(&self) -> f64 {
+        if self.cycles == 0 {
+            0.0
+        } else {
+            self.read_replies as f64 / self.cycles as f64
+        }
+    }
+
+    /// Fraction of L1 misses serviced locally (Fig. 9).
+    pub fn local_miss_fraction(&self) -> f64 {
+        let total = self.local_misses + self.remote_misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.local_misses as f64 / total as f64
+        }
+    }
+
+    /// LLC hit rate.
+    pub fn llc_hit_rate(&self) -> f64 {
+        if self.llc_accesses == 0 {
+            0.0
+        } else {
+            self.llc_hits as f64 / self.llc_accesses as f64
+        }
+    }
+
+    /// L1 hit rate.
+    pub fn l1_hit_rate(&self) -> f64 {
+        let total = self.l1_hits + self.local_misses + self.remote_misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.l1_hits as f64 / total as f64
+        }
+    }
+
+    /// Speedup of `self` over `base` (ops/cycle ratio).
+    pub fn speedup_over(&self, base: &SimReport) -> f64 {
+        let b = base.perf();
+        if b == 0.0 {
+            0.0
+        } else {
+            self.perf() / b
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::energy::EnergyReport;
+
+    fn report(cycles: u64, warp_ops: u64) -> SimReport {
+        SimReport {
+            cycles,
+            warp_ops,
+            read_replies: warp_ops / 2,
+            local_misses: 30,
+            remote_misses: 10,
+            l1_hits: 60,
+            llc_hits: 20,
+            llc_accesses: 40,
+            dram_accesses: 20,
+            dram_row_hit_rate: 0.5,
+            noc_bytes: 1000,
+            local_link_bytes: 2000,
+            replica_fills: 0,
+            mdr_replication_rate: 0.0,
+            page_faults: 5,
+            final_npb: 0.95,
+            channel_imbalance: 1.2,
+            avg_read_latency: 250.0,
+            max_read_latency: 900,
+            noc_watts: 3.0,
+            energy: EnergyReport { noc_j: 1.0, rest_j: 9.0 },
+        }
+    }
+
+    #[test]
+    fn derived_rates() {
+        let r = report(1000, 500);
+        assert_eq!(r.perf(), 0.5);
+        assert_eq!(r.replies_per_cycle(), 0.25);
+        assert_eq!(r.local_miss_fraction(), 0.75);
+        assert_eq!(r.llc_hit_rate(), 0.5);
+        assert_eq!(r.l1_hit_rate(), 0.6);
+    }
+
+    #[test]
+    fn speedup_ratio() {
+        let base = report(1000, 400);
+        let fast = report(1000, 500);
+        assert!((fast.speedup_over(&base) - 1.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn zero_cycles_are_safe() {
+        let r = report(0, 0);
+        assert_eq!(r.perf(), 0.0);
+        assert_eq!(r.replies_per_cycle(), 0.0);
+    }
+}

@@ -1,0 +1,198 @@
+//! Property tests for the LLC slice (Fig. 5): request/reply
+//! conservation under arbitrary mixes of loads, stores, atomics and
+//! replica traffic.
+
+use proptest::prelude::*;
+
+use nuba_cache::CacheGeometry;
+use nuba_core::{LlcSlice, MemTask, Role, SliceParams};
+use nuba_types::{
+    AccessKind, LineAddr, MemReply, MemRequest, PartitionId, PhysAddr, ReqId, SliceId, SmId,
+    VirtAddr, WarpId,
+};
+
+fn params() -> SliceParams {
+    SliceParams {
+        geometry: CacheGeometry::new(8, 4),
+        mshrs: 8,
+        latency: 3,
+        out_bytes_per_cycle: 32,
+        queue_capacity: 8,
+        sample_sets: 4,
+    }
+}
+
+fn req(id: u64, line_idx: u64, kind: AccessKind) -> MemRequest {
+    MemRequest {
+        id: ReqId(id),
+        sm: SmId((id % 4) as usize),
+        warp: WarpId((id % 8) as usize),
+        vaddr: VirtAddr(line_idx * 128),
+        paddr: PhysAddr(line_idx * 128),
+        kind,
+        issue_cycle: 0,
+        wants_replica: false,
+        bypass_l1: false,
+    }
+}
+
+fn kind_of(tag: u8) -> AccessKind {
+    match tag % 4 {
+        0 => AccessKind::Load,
+        1 => AccessKind::LoadReadOnly,
+        2 => AccessKind::Store,
+        _ => AccessKind::Atomic,
+    }
+}
+
+proptest! {
+    /// Every home request produces exactly one reply; fetches are only
+    /// generated for misses; pending work drains to zero.
+    #[test]
+    fn home_requests_conserve_replies(
+        traffic in proptest::collection::vec((0u64..24, 0u8..4), 1..80),
+        remote_ratio in 0usize..3,
+    ) {
+        let mut slice = LlcSlice::new(SliceId(0), PartitionId(0), params(), None, false);
+        let mut sent = 0u64;
+        let mut replies: Vec<MemReply> = Vec::new();
+        let mut queue: Vec<(u64, u8)> = traffic.clone();
+        queue.reverse();
+        let mut now = 0u64;
+        let horizon = traffic.len() as u64 * 40 + 400;
+        while now < horizon {
+            if let Some(&(line, tag)) = queue.last() {
+                let r = req(sent, line, kind_of(tag));
+                if sent as usize % 3 < remote_ratio {
+                    slice.ingress_remote(r);
+                } else {
+                    slice.ingress_local(r, Role::Home);
+                }
+                sent += 1;
+                queue.pop();
+            }
+            slice.tick(now);
+            // Service DRAM instantly: fetches fill next cycle.
+            while let Some(task) = slice.pop_mem_task() {
+                if let MemTask::Fetch(line) = task {
+                    slice.fill_from_memory(line, now);
+                }
+            }
+            while let Some(r) = slice.pop_reply() {
+                replies.push(r);
+            }
+            now += 1;
+        }
+        prop_assert!(queue.is_empty());
+        prop_assert_eq!(replies.len() as u64, sent, "one reply per request");
+        // Ids are conserved (no duplication, no invention).
+        let mut ids: Vec<u64> = replies.iter().map(|r| r.id.0).collect();
+        ids.sort_unstable();
+        ids.dedup();
+        prop_assert_eq!(ids.len() as u64, sent);
+        prop_assert_eq!(slice.pending_work(), 0, "slice must drain");
+        // Every reply preserves its request's kind and line.
+        for r in &replies {
+            prop_assert_eq!(r.serviced_by, SliceId(0));
+        }
+    }
+
+    /// Replica traffic: hits reply locally, misses forward exactly once
+    /// and fill exactly once, after which the line hits.
+    #[test]
+    fn replica_path_conserves_requests(lines in proptest::collection::vec(0u64..12, 1..40)) {
+        let mut slice = LlcSlice::new(SliceId(0), PartitionId(0), params(), None, true);
+        let mut sent = 0u64;
+        let mut replies = 0u64;
+        let mut forwarded = Vec::new();
+        let mut queue = lines.clone();
+        queue.reverse();
+        let mut now = 0u64;
+        let horizon = lines.len() as u64 * 40 + 400;
+        while now < horizon {
+            if let Some(&line) = queue.last() {
+                slice.ingress_local(req(sent, line, AccessKind::LoadReadOnly), Role::Replica);
+                sent += 1;
+                queue.pop();
+            }
+            slice.tick(now);
+            while let Some(fwd) = slice.pop_forward() {
+                prop_assert!(fwd.wants_replica);
+                forwarded.push(fwd);
+            }
+            // The "home slice" replies after a beat; install replicas.
+            if now.is_multiple_of(2) {
+                for fwd in forwarded.drain(..) {
+                    slice.fill_replica(
+                        MemReply {
+                            id: fwd.id,
+                            sm: fwd.sm,
+                            warp: fwd.warp,
+                            line: fwd.line(),
+                            kind: fwd.kind,
+                            serviced_by: SliceId(9),
+                            llc_hit: false,
+                            issue_cycle: 0,
+                            replica_fill: true,
+                            bypass_l1: false,
+                        },
+                        now,
+                    );
+                }
+            }
+            while slice.pop_reply().is_some() {
+                replies += 1;
+            }
+            prop_assert_eq!(slice.pop_mem_task(), None, "replica path never touches local DRAM");
+            now += 1;
+        }
+        prop_assert_eq!(replies, sent, "every replica request is answered");
+        prop_assert_eq!(slice.pending_work(), 0);
+        // Replicas really are resident now.
+        prop_assert!(slice.replica_lines() > 0 || lines.is_empty());
+    }
+
+    /// Dirty data is never lost: every line dirtied by a store either
+    /// stays resident (flush reveals it) or was written back.
+    #[test]
+    fn dirty_lines_are_never_lost(stores in proptest::collection::vec(0u64..64, 1..60)) {
+        let mut slice = LlcSlice::new(SliceId(0), PartitionId(0), params(), None, false);
+        let mut dirtied = std::collections::HashSet::new();
+        let mut written_back = std::collections::HashSet::new();
+        let mut queue = stores.clone();
+        queue.reverse();
+        let mut sent = 0u64;
+        let mut now = 0u64;
+        while now < stores.len() as u64 * 40 + 400 {
+            if let Some(&line) = queue.last() {
+                slice.ingress_local(req(sent, line, AccessKind::Store), Role::Home);
+                dirtied.insert(LineAddr::containing(line * 128));
+                sent += 1;
+                queue.pop();
+            }
+            slice.tick(now);
+            while let Some(task) = slice.pop_mem_task() {
+                match task {
+                    MemTask::Writeback(l) => {
+                        written_back.insert(l);
+                    }
+                    MemTask::Fetch(l) => slice.fill_from_memory(l, now),
+                }
+            }
+            while slice.pop_reply().is_some() {}
+            now += 1;
+        }
+        slice.flush();
+        while let Some(task) = slice.pop_mem_task() {
+            if let MemTask::Writeback(l) = task {
+                written_back.insert(l);
+            }
+        }
+        for line in &dirtied {
+            prop_assert!(
+                written_back.contains(line),
+                "dirty line {line} lost (neither resident at flush nor written back)"
+            );
+        }
+    }
+}

@@ -1,0 +1,89 @@
+//! Property tests: every accepted DRAM request completes exactly once,
+//! and the data bus never exceeds its capacity.
+
+use proptest::prelude::*;
+
+use nuba_dram::{DramRequest, HbmTiming, MemoryController};
+
+proptest! {
+    #[test]
+    fn all_requests_complete_exactly_once(
+        reqs in proptest::collection::vec((0usize..16, 0u64..8, any::<bool>()), 1..80),
+        burst in 1u64..4,
+    ) {
+        let mut mc = MemoryController::new(HbmTiming::paper(), 16, 64, burst);
+        let mut pending: Vec<DramRequest> = reqs
+            .iter()
+            .enumerate()
+            .map(|(i, &(bank, row, is_write))| DramRequest { id: i as u64, bank, row, is_write })
+            .collect();
+        pending.reverse();
+        let mut done = Vec::new();
+        let mut completed = std::collections::HashSet::new();
+        let horizon = 64 * reqs.len() as u64 + 500;
+        for t in 0..horizon {
+            while let Some(r) = pending.pop() {
+                if mc.try_enqueue(r, t).is_err() {
+                    pending.push(r);
+                    break;
+                }
+            }
+            mc.tick(t, &mut done);
+            for (id, _) in done.drain(..) {
+                prop_assert!(completed.insert(id), "request {id} completed twice");
+            }
+        }
+        prop_assert_eq!(completed.len(), reqs.len(), "every request completes");
+        prop_assert_eq!(mc.pending(), 0);
+
+        // Bus capacity: busy cycles can't exceed elapsed time, and must
+        // equal requests × burst.
+        let stats = mc.stats();
+        prop_assert_eq!(stats.bus_busy_cycles, reqs.len() as u64 * burst);
+        prop_assert_eq!(
+            stats.row_hits + stats.row_closed + stats.row_conflicts,
+            reqs.len() as u64
+        );
+    }
+
+    /// A single-bank stream of same-row requests must be nearly all row
+    /// hits; alternating rows must be nearly all conflicts.
+    #[test]
+    fn row_classification_extremes(n in 4u64..40) {
+        let mut hit_mc = MemoryController::new(HbmTiming::paper(), 16, 64, 2);
+        let mut conflict_mc = MemoryController::new(HbmTiming::paper(), 16, 64, 2);
+        let mut done = Vec::new();
+        let mut t = 0u64;
+        for i in 0..n {
+            while hit_mc.try_enqueue(DramRequest { id: i, bank: 0, row: 1, is_write: false }, t).is_err() {
+                hit_mc.tick(t, &mut done);
+                done.clear();
+                t += 1;
+            }
+            while conflict_mc
+                .try_enqueue(DramRequest { id: i, bank: 0, row: i % 2, is_write: false }, t)
+                .is_err()
+            {
+                conflict_mc.tick(t, &mut done);
+                done.clear();
+                t += 1;
+            }
+        }
+        for _ in 0..64 * n + 200 {
+            hit_mc.tick(t, &mut done);
+            conflict_mc.tick(t, &mut done);
+            done.clear();
+            t += 1;
+        }
+        prop_assert_eq!(hit_mc.stats().row_hits, n - 1);
+        // FR-FCFS legally reorders the alternating stream into row
+        // groups, but it can never do better than opening each of the
+        // two rows once: at most n-2 hits, and at least one conflict.
+        prop_assert!(
+            conflict_mc.stats().row_hits <= n - 2,
+            "alternating rows can't all hit: {:?}",
+            conflict_mc.stats()
+        );
+        prop_assert!(conflict_mc.stats().row_conflicts >= 1);
+    }
+}

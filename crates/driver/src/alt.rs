@@ -1,0 +1,243 @@
+//! Alternative page-management policies evaluated in §7.6: count-based
+//! page migration (after Griffin \[14\]) and page-granular replication
+//! (after Dashti et al. \[27\]).
+//!
+//! Both operate on the access counters the page table accumulates and
+//! run at fixed maintenance intervals. The paper finds they help
+//! low-sharing workloads (~26%) but collapse for high-sharing ones
+//! (migration ping-pong, replication-induced cache thrashing) — the
+//! experiments in `nuba-bench --bin alt_policies` reproduce that shape.
+
+use nuba_types::addr::PageNum;
+use nuba_types::{ChannelId, PartitionId};
+
+use crate::policy::GpuDriver;
+
+/// Parameters for interval-based migration / replication decisions.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MigrationConfig {
+    /// Recorded accesses between maintenance passes.
+    pub interval_accesses: u64,
+    /// Minimum interval accesses to a page before it is considered.
+    pub min_accesses: u32,
+    /// Fraction of a page's interval accesses one partition must own to
+    /// trigger migration towards it.
+    pub dominance: f64,
+}
+
+impl Default for MigrationConfig {
+    fn default() -> Self {
+        MigrationConfig { interval_accesses: 4096, min_accesses: 8, dominance: 0.3 }
+    }
+}
+
+/// A page-management action decided at a maintenance pass.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MigrationEvent {
+    /// The affected page.
+    pub vpage: PageNum,
+    /// Previous home channel (for migration; the home for replication).
+    pub from: ChannelId,
+    /// New home channel (migration) or replica channel (replication).
+    pub to: ChannelId,
+    /// `true` for a replication, `false` for a migration.
+    pub is_replication: bool,
+}
+
+/// Tracks access volume and triggers maintenance passes.
+#[derive(Debug, Clone)]
+pub struct PageAccessTracker {
+    cfg: MigrationConfig,
+    since_last: u64,
+}
+
+impl PageAccessTracker {
+    /// A tracker with the given configuration.
+    pub fn new(cfg: MigrationConfig) -> PageAccessTracker {
+        PageAccessTracker { cfg, since_last: 0 }
+    }
+
+    /// Note one recorded access; returns `true` when a maintenance pass
+    /// is due (counter resets).
+    pub fn note_access(&mut self) -> bool {
+        self.since_last += 1;
+        if self.since_last >= self.cfg.interval_accesses {
+            self.since_last = 0;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Migration pass: move each hot page towards its dominant accessor
+    /// partition. Applies the moves to `driver` and returns them (the
+    /// simulator charges transfer costs per event).
+    pub fn run_migration_pass(&self, driver: &mut GpuDriver) -> Vec<MigrationEvent> {
+        let plans: Vec<(PageNum, ChannelId, ChannelId)> = driver
+            .table()
+            .iter()
+            .filter_map(|(&vpage, e)| {
+                let total: u64 = e.recent_by_partition.iter().map(|&c| c as u64).sum();
+                if total < self.cfg.min_accesses as u64 {
+                    return None;
+                }
+                let (dom_idx, &dom) = e
+                    .recent_by_partition
+                    .iter()
+                    .enumerate()
+                    .max_by_key(|&(_, &c)| c)?;
+                if (dom as f64) < self.cfg.dominance * total as f64 {
+                    return None;
+                }
+                let target = ChannelId(dom_idx);
+                if target == e.home.channel {
+                    return None;
+                }
+                Some((vpage, e.home.channel, target))
+            })
+            .collect();
+
+        plans
+            .into_iter()
+            .map(|(vpage, from, to)| {
+                driver.migrate_page(vpage, to);
+                MigrationEvent { vpage, from, to, is_replication: false }
+            })
+            .collect()
+    }
+
+    /// Replication pass: give every partition with substantial access
+    /// volume to a remote page its own local copy.
+    pub fn run_replication_pass(&self, driver: &mut GpuDriver) -> Vec<MigrationEvent> {
+        let num_channels = driver.pages_per_channel().len();
+        let plans: Vec<(PageNum, ChannelId, PartitionId)> = driver
+            .table()
+            .iter()
+            .flat_map(|(&vpage, e)| {
+                let home = e.home.channel;
+                let min = self.cfg.min_accesses;
+                let already: Vec<PartitionId> = e.replicas.iter().map(|&(p, _)| p).collect();
+                e.recent_by_partition
+                    .iter()
+                    .enumerate()
+                    .filter(move |&(p, &c)| {
+                        c >= min && p != home.0 % num_channels && !already.contains(&PartitionId(p))
+                    })
+                    .map(move |(p, _)| (vpage, home, PartitionId(p)))
+                    .collect::<Vec<_>>()
+            })
+            .collect();
+
+        plans
+            .into_iter()
+            .map(|(vpage, from, part)| {
+                driver.replicate_page(vpage, part);
+                MigrationEvent {
+                    vpage,
+                    from,
+                    to: ChannelId(part.0 % num_channels),
+                    is_replication: true,
+                }
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nuba_types::{PagePolicyKind, SmId};
+
+    fn driver_with_page(home_part: usize) -> GpuDriver {
+        let mut d = GpuDriver::new(PagePolicyKind::Migration, 4);
+        d.handle_fault(PageNum(0), PartitionId(home_part), SmId(home_part * 2));
+        d
+    }
+
+    #[test]
+    fn interval_counting() {
+        let mut t = PageAccessTracker::new(MigrationConfig {
+            interval_accesses: 3,
+            ..MigrationConfig::default()
+        });
+        assert!(!t.note_access());
+        assert!(!t.note_access());
+        assert!(t.note_access());
+        assert!(!t.note_access());
+    }
+
+    #[test]
+    fn migration_follows_dominant_accessor() {
+        let mut d = driver_with_page(0);
+        // Partition 2 dominates.
+        for _ in 0..20 {
+            d.table_mut().record_access(PageNum(0), SmId(4), PartitionId(2), 4);
+        }
+        d.table_mut().record_access(PageNum(0), SmId(0), PartitionId(0), 4);
+        let t = PageAccessTracker::new(MigrationConfig::default());
+        let events = t.run_migration_pass(&mut d);
+        assert_eq!(events.len(), 1);
+        assert_eq!(events[0].from, ChannelId(0));
+        assert_eq!(events[0].to, ChannelId(2));
+        assert!(!events[0].is_replication);
+        assert_eq!(d.translate(PageNum(0), PartitionId(0)).unwrap().channel, ChannelId(2));
+    }
+
+    #[test]
+    fn no_migration_without_dominance() {
+        let mut d = driver_with_page(0);
+        // 50/50 split between partitions 1 and 2: below a 0.6 dominance
+        // requirement nothing moves.
+        for _ in 0..10 {
+            d.table_mut().record_access(PageNum(0), SmId(2), PartitionId(1), 4);
+            d.table_mut().record_access(PageNum(0), SmId(4), PartitionId(2), 4);
+        }
+        let strict = MigrationConfig { dominance: 0.6, ..MigrationConfig::default() };
+        let t = PageAccessTracker::new(strict);
+        assert!(t.run_migration_pass(&mut d).is_empty());
+    }
+
+    #[test]
+    fn no_migration_below_min_accesses() {
+        let mut d = driver_with_page(0);
+        d.table_mut().record_access(PageNum(0), SmId(4), PartitionId(2), 4);
+        let t = PageAccessTracker::new(MigrationConfig::default());
+        assert!(t.run_migration_pass(&mut d).is_empty());
+    }
+
+    #[test]
+    fn migration_ping_pong_under_shared_access() {
+        // The §7.6 pathology: two partitions alternate dominance and the
+        // page keeps moving.
+        let mut d = driver_with_page(0);
+        let t = PageAccessTracker::new(MigrationConfig::default());
+        let mut moves = 0;
+        for round in 0..4 {
+            let part = if round % 2 == 0 { 2 } else { 1 };
+            for _ in 0..20 {
+                d.table_mut().record_access(PageNum(0), SmId(part * 2), PartitionId(part), 4);
+            }
+            moves += t.run_migration_pass(&mut d).len();
+        }
+        assert!(moves >= 3, "expected ping-pong, got {moves} moves");
+    }
+
+    #[test]
+    fn replication_copies_to_heavy_remote_readers() {
+        let mut d = driver_with_page(0);
+        for _ in 0..20 {
+            d.table_mut().record_access(PageNum(0), SmId(4), PartitionId(2), 4);
+            d.table_mut().record_access(PageNum(0), SmId(6), PartitionId(3), 4);
+        }
+        let t = PageAccessTracker::new(MigrationConfig::default());
+        let events = t.run_replication_pass(&mut d);
+        assert_eq!(events.len(), 2);
+        assert!(events.iter().all(|e| e.is_replication));
+        assert_eq!(d.translate(PageNum(0), PartitionId(2)).unwrap().channel, ChannelId(2));
+        assert_eq!(d.translate(PageNum(0), PartitionId(3)).unwrap().channel, ChannelId(3));
+        // Home partition keeps the original.
+        assert_eq!(d.translate(PageNum(0), PartitionId(0)).unwrap().channel, ChannelId(0));
+        // Second pass adds nothing new.
+        assert!(t.run_replication_pass(&mut d).is_empty());
+    }
+}

@@ -1,0 +1,71 @@
+//! Normalized Page Balance (paper Eq. 1).
+
+/// Compute the Normalized Page Balance over per-partition allocated-page
+/// counts:
+///
+/// ```text
+/// NPB = (1/n) × Σᵢ Pᵢ / max(P₁ … Pₙ)
+/// ```
+///
+/// NPB ∈ \[1/n, 1\]: 1 means pages are perfectly evenly allocated, 1/n
+/// means every page sits in a single partition. When no pages have been
+/// allocated yet (`max = 0`) the system is trivially balanced and NPB is
+/// defined as 1.
+///
+/// # Panics
+/// Panics if `counts` is empty.
+pub fn normalized_page_balance(counts: &[u64]) -> f64 {
+    assert!(!counts.is_empty(), "NPB needs at least one partition");
+    let max = *counts.iter().max().expect("non-empty");
+    if max == 0 {
+        return 1.0;
+    }
+    let sum_ratio: f64 = counts.iter().map(|&p| p as f64 / max as f64).sum();
+    sum_ratio / counts.len() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn perfectly_balanced_is_one() {
+        assert_eq!(normalized_page_balance(&[5, 5, 5, 5]), 1.0);
+    }
+
+    #[test]
+    fn fully_skewed_is_one_over_n() {
+        let npb = normalized_page_balance(&[12, 0, 0, 0]);
+        assert!((npb - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_system_counts_as_balanced() {
+        assert_eq!(normalized_page_balance(&[0, 0, 0]), 1.0);
+    }
+
+    #[test]
+    fn matches_hand_computed_example() {
+        // counts = [4, 2, 2]: Σ ratios = 1 + 0.5 + 0.5 = 2; NPB = 2/3.
+        let npb = normalized_page_balance(&[4, 2, 2]);
+        assert!((npb - 2.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn bounds_hold_for_random_counts() {
+        let counts = [7, 3, 9, 1, 4, 4, 8, 2];
+        let npb = normalized_page_balance(&counts);
+        assert!(npb >= 1.0 / counts.len() as f64 && npb <= 1.0);
+    }
+
+    #[test]
+    fn single_partition_is_always_one() {
+        assert_eq!(normalized_page_balance(&[42]), 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one")]
+    fn empty_slice_panics() {
+        normalized_page_balance(&[]);
+    }
+}

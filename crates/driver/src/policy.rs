@@ -1,0 +1,282 @@
+//! The GPU driver and its page-allocation policies (paper §4).
+
+use nuba_types::addr::PageNum;
+use nuba_types::{ChannelId, PagePolicyKind, PartitionId, SmId};
+
+use crate::lab::normalized_page_balance;
+use crate::table::{PageTable, Translation};
+
+/// Allocation statistics for experiments.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct DriverStats {
+    /// Pages placed in the faulting partition's channel.
+    pub local_allocations: u64,
+    /// Pages placed elsewhere (balance or policy).
+    pub remote_allocations: u64,
+    /// Times LAB fell back to least-first.
+    pub least_first_decisions: u64,
+    /// Page migrations performed (§7.6 alternative).
+    pub migrations: u64,
+    /// Page replicas created (§7.6 alternative).
+    pub replications: u64,
+}
+
+/// The GPU driver: owns the page table and implements the allocation
+/// policy on first-touch faults.
+///
+/// In the baseline topology partition `i` owns channel `i`
+/// (2 SMs : 2 LLC slices : 1 channel), so placement decisions are
+/// expressed in channel ids.
+#[derive(Debug)]
+pub struct GpuDriver {
+    policy: PagePolicyKind,
+    table: PageTable,
+    pages_per_channel: Vec<u64>,
+    rr_next: usize,
+    stats: DriverStats,
+}
+
+impl GpuDriver {
+    /// A driver for `num_channels` memory channels using `policy`.
+    ///
+    /// # Panics
+    /// Panics if `num_channels` is zero.
+    pub fn new(policy: PagePolicyKind, num_channels: usize) -> GpuDriver {
+        assert!(num_channels > 0, "driver needs at least one channel");
+        GpuDriver {
+            policy,
+            table: PageTable::new(num_channels),
+            pages_per_channel: vec![0; num_channels],
+            rr_next: 0,
+            stats: DriverStats::default(),
+        }
+    }
+
+    /// The policy in effect.
+    pub fn policy(&self) -> PagePolicyKind {
+        self.policy
+    }
+
+    /// Immutable page-table access (translation, sharing stats).
+    pub fn table(&self) -> &PageTable {
+        &self.table
+    }
+
+    /// Mutable page-table access (recording accesses, §7.6 machinery).
+    pub fn table_mut(&mut self) -> &mut PageTable {
+        &mut self.table
+    }
+
+    /// Translate for an access from `partition`; `None` until the page
+    /// faults in.
+    pub fn translate(&self, vpage: PageNum, partition: PartitionId) -> Option<Translation> {
+        self.table.translate(vpage, partition)
+    }
+
+    /// Current Normalized Page Balance (Eq. 1) over all channels.
+    pub fn npb(&self) -> f64 {
+        normalized_page_balance(&self.pages_per_channel)
+    }
+
+    /// Handle a first-touch fault: pick a channel per policy, map the
+    /// page, and return the translation.
+    ///
+    /// # Panics
+    /// Panics if the page is already mapped.
+    pub fn handle_fault(
+        &mut self,
+        vpage: PageNum,
+        partition: PartitionId,
+        first_toucher: SmId,
+    ) -> Translation {
+        let local = ChannelId(partition.0 % self.pages_per_channel.len());
+        let channel = match self.policy {
+            PagePolicyKind::FirstTouch
+            | PagePolicyKind::Migration
+            | PagePolicyKind::PageReplication => local,
+            PagePolicyKind::RoundRobin => {
+                let c = ChannelId(self.rr_next);
+                self.rr_next = (self.rr_next + 1) % self.pages_per_channel.len();
+                c
+            }
+            PagePolicyKind::Lab { threshold } => {
+                if self.npb() > threshold {
+                    local
+                } else {
+                    self.stats.least_first_decisions += 1;
+                    self.least_first(local)
+                }
+            }
+        };
+        if channel == local {
+            self.stats.local_allocations += 1;
+        } else {
+            self.stats.remote_allocations += 1;
+        }
+        self.pages_per_channel[channel.0] += 1;
+        self.table.map(vpage, channel, first_toucher)
+    }
+
+    /// Least-first placement: a channel with the minimum allocated-page
+    /// count; the requester's local channel wins ties (the tie-break is
+    /// "arbitrary" in the paper — preferring locality dominates neither
+    /// metric), otherwise the lowest index.
+    fn least_first(&self, local: ChannelId) -> ChannelId {
+        let min = *self.pages_per_channel.iter().min().expect("non-empty");
+        if self.pages_per_channel[local.0] == min {
+            return local;
+        }
+        let idx = self
+            .pages_per_channel
+            .iter()
+            .position(|&c| c == min)
+            .expect("min exists");
+        ChannelId(idx)
+    }
+
+    /// Per-channel allocated-page counts (LAB's 32-entry CPU-side array).
+    pub fn pages_per_channel(&self) -> &[u64] {
+        &self.pages_per_channel
+    }
+
+    /// Migrate `vpage`'s home to `channel` and account for it.
+    pub fn migrate_page(&mut self, vpage: PageNum, channel: ChannelId) -> Translation {
+        let old = self.table.entry(vpage).expect("migrating unmapped page").home.channel;
+        self.pages_per_channel[old.0] = self.pages_per_channel[old.0].saturating_sub(1);
+        self.pages_per_channel[channel.0] += 1;
+        self.stats.migrations += 1;
+        self.table.migrate(vpage, channel)
+    }
+
+    /// Create a replica of `vpage` for `partition` in its local channel.
+    pub fn replicate_page(&mut self, vpage: PageNum, partition: PartitionId) {
+        let channel = ChannelId(partition.0 % self.pages_per_channel.len());
+        self.pages_per_channel[channel.0] += 1;
+        self.stats.replications += 1;
+        self.table.add_replica(vpage, partition, channel);
+    }
+
+    /// Allocation statistics.
+    pub fn stats(&self) -> DriverStats {
+        self.stats
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fault(d: &mut GpuDriver, page: u64, part: usize) -> ChannelId {
+        d.handle_fault(PageNum(page), PartitionId(part), SmId(part * 2)).channel
+    }
+
+    #[test]
+    fn first_touch_places_locally() {
+        let mut d = GpuDriver::new(PagePolicyKind::FirstTouch, 4);
+        assert_eq!(fault(&mut d, 0, 1), ChannelId(1));
+        assert_eq!(fault(&mut d, 1, 1), ChannelId(1));
+        assert_eq!(fault(&mut d, 2, 3), ChannelId(3));
+        assert_eq!(d.stats().local_allocations, 3);
+    }
+
+    #[test]
+    fn round_robin_cycles_channels() {
+        let mut d = GpuDriver::new(PagePolicyKind::RoundRobin, 4);
+        let got: Vec<_> = (0..6).map(|p| fault(&mut d, p, 0).0).collect();
+        assert_eq!(got, vec![0, 1, 2, 3, 0, 1]);
+    }
+
+    #[test]
+    fn lab_is_first_touch_while_balanced() {
+        // The paper's Fig. 6a low-sharing example: SM0 in partition 0
+        // touches P1, P2; SM1 in partition 1 touches P0, P3. LAB keeps
+        // everything local, like first-touch.
+        let mut d = GpuDriver::new(PagePolicyKind::Lab { threshold: 0.9 }, 2);
+        assert_eq!(fault(&mut d, 0, 1), ChannelId(1)); // P0 by SM1
+        assert_eq!(fault(&mut d, 1, 0), ChannelId(0)); // P1 by SM0
+        assert_eq!(fault(&mut d, 2, 0), ChannelId(0)); // P2 by SM0
+        assert_eq!(fault(&mut d, 3, 1), ChannelId(1)); // P3 by SM1
+        assert_eq!(d.pages_per_channel(), &[2, 2]);
+        assert_eq!(d.npb(), 1.0);
+    }
+
+    #[test]
+    fn lab_reverts_to_least_first_when_skewed() {
+        // The Fig. 6d high-sharing pathology: every page is first touched
+        // by partition 1. First-touch would put all pages in channel 1;
+        // LAB must spill to the lightly-loaded channels once NPB drops
+        // below threshold.
+        let mut d = GpuDriver::new(PagePolicyKind::Lab { threshold: 0.9 }, 2);
+        let placements: Vec<_> = (0..8).map(|p| fault(&mut d, p, 1).0).collect();
+        assert_eq!(placements[0], 1, "first page is local (NPB starts at 1)");
+        assert!(
+            placements.iter().filter(|&&c| c == 0).count() >= 3,
+            "LAB never rebalanced: {placements:?}"
+        );
+        let counts = d.pages_per_channel();
+        let max = counts.iter().max().unwrap();
+        let min = counts.iter().min().unwrap();
+        assert!(max - min <= 2, "LAB left imbalance {counts:?}");
+        assert!(d.stats().least_first_decisions > 0);
+    }
+
+    #[test]
+    fn lab_threshold_controls_local_affinity() {
+        // A lower threshold tolerates more imbalance → more local pages.
+        let run = |threshold: f64| {
+            let mut d = GpuDriver::new(PagePolicyKind::Lab { threshold }, 4);
+            for p in 0..32 {
+                fault(&mut d, p, 0); // all faults from partition 0
+            }
+            d.stats().local_allocations
+        };
+        assert!(run(0.5) > run(0.95), "lower threshold must be more local");
+    }
+
+    #[test]
+    fn least_first_prefers_local_on_tie() {
+        let mut d = GpuDriver::new(PagePolicyKind::Lab { threshold: 1.1 }, 3);
+        // Threshold > 1 forces least-first every time; all counts tied at
+        // 0 initially, so the local channel wins.
+        assert_eq!(fault(&mut d, 0, 2), ChannelId(2));
+        // Channel 2 now has 1 page; next fault from partition 2 must go
+        // to a minimum-count channel (0).
+        assert_eq!(fault(&mut d, 1, 2), ChannelId(0));
+    }
+
+    #[test]
+    fn migration_updates_counters() {
+        let mut d = GpuDriver::new(PagePolicyKind::Migration, 2);
+        fault(&mut d, 0, 0);
+        assert_eq!(d.pages_per_channel(), &[1, 0]);
+        d.migrate_page(PageNum(0), ChannelId(1));
+        assert_eq!(d.pages_per_channel(), &[0, 1]);
+        assert_eq!(d.stats().migrations, 1);
+    }
+
+    #[test]
+    fn replication_adds_local_copy() {
+        let mut d = GpuDriver::new(PagePolicyKind::PageReplication, 4);
+        fault(&mut d, 0, 0);
+        d.replicate_page(PageNum(0), PartitionId(3));
+        assert_eq!(
+            d.translate(PageNum(0), PartitionId(3)).unwrap().channel,
+            ChannelId(3)
+        );
+        assert_eq!(
+            d.translate(PageNum(0), PartitionId(1)).unwrap().channel,
+            ChannelId(0)
+        );
+        assert_eq!(d.stats().replications, 1);
+    }
+
+    #[test]
+    fn npb_tracks_allocation_history() {
+        let mut d = GpuDriver::new(PagePolicyKind::FirstTouch, 4);
+        assert_eq!(d.npb(), 1.0);
+        for p in 0..4 {
+            fault(&mut d, p, 0);
+        }
+        assert!((d.npb() - 0.25).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,99 @@
+//! Property tests: allocation accounting invariants hold for every
+//! policy under arbitrary fault sequences.
+
+use proptest::prelude::*;
+
+use nuba_driver::{normalized_page_balance, GpuDriver};
+use nuba_types::addr::PageNum;
+use nuba_types::{PagePolicyKind, PartitionId, SmId};
+
+fn policy_strategy() -> impl Strategy<Value = PagePolicyKind> {
+    prop_oneof![
+        Just(PagePolicyKind::FirstTouch),
+        Just(PagePolicyKind::RoundRobin),
+        Just(PagePolicyKind::Lab { threshold: 0.8 }),
+        Just(PagePolicyKind::Lab { threshold: 0.9 }),
+        Just(PagePolicyKind::Lab { threshold: 0.95 }),
+        Just(PagePolicyKind::Migration),
+        Just(PagePolicyKind::PageReplication),
+    ]
+}
+
+proptest! {
+    #[test]
+    fn allocation_accounting(
+        policy in policy_strategy(),
+        faults in proptest::collection::vec((0u64..500, 0usize..8), 1..300),
+        channels_log in 1u32..4,
+    ) {
+        let channels = 1usize << channels_log;
+        let mut d = GpuDriver::new(policy, channels);
+        let mut mapped = std::collections::HashSet::new();
+        for (vpage, part) in faults {
+            let part = part % channels;
+            if !mapped.insert(vpage) {
+                continue; // a page faults only once
+            }
+            let t = d.handle_fault(PageNum(vpage), PartitionId(part), SmId(part * 2));
+            prop_assert!(t.channel.0 < channels);
+            // Translation is now defined for every partition.
+            for p in 0..channels {
+                prop_assert!(d.translate(PageNum(vpage), PartitionId(p)).is_some());
+            }
+        }
+        // Per-channel counters sum to the number of mapped pages.
+        let total: u64 = d.pages_per_channel().iter().sum();
+        prop_assert_eq!(total as usize, mapped.len());
+        prop_assert_eq!(d.table().len(), mapped.len());
+        // Local + remote allocations account for every page.
+        let s = d.stats();
+        prop_assert_eq!((s.local_allocations + s.remote_allocations) as usize, mapped.len());
+        // NPB stays in bounds.
+        let npb = d.npb();
+        prop_assert!(npb > 0.0 && npb <= 1.0 + 1e-12);
+    }
+
+    #[test]
+    fn round_robin_is_perfectly_balanced(n in 1u64..200, channels_log in 1u32..4) {
+        let channels = 1usize << channels_log;
+        let mut d = GpuDriver::new(PagePolicyKind::RoundRobin, channels);
+        for vpage in 0..n {
+            d.handle_fault(PageNum(vpage), PartitionId(0), SmId(0));
+        }
+        let counts = d.pages_per_channel();
+        let max = counts.iter().max().unwrap();
+        let min = counts.iter().min().unwrap();
+        prop_assert!(max - min <= 1, "{counts:?}");
+    }
+
+    #[test]
+    fn lab_never_less_balanced_than_first_touch_under_skew(
+        n in 16u64..200,
+        threshold in 0.5f64..0.95,
+    ) {
+        // Worst case for FT: every fault from partition 0.
+        let mk = |p: PagePolicyKind| {
+            let mut d = GpuDriver::new(p, 8);
+            for vpage in 0..n {
+                d.handle_fault(PageNum(vpage), PartitionId(0), SmId(0));
+            }
+            d.npb()
+        };
+        let ft = mk(PagePolicyKind::FirstTouch);
+        let lab = mk(PagePolicyKind::Lab { threshold });
+        prop_assert!(lab >= ft - 1e-12, "LAB npb {lab} < FT npb {ft}");
+    }
+
+    #[test]
+    fn npb_matches_definition(counts in proptest::collection::vec(0u64..1000, 1..64)) {
+        let npb = normalized_page_balance(&counts);
+        let max = *counts.iter().max().unwrap();
+        if max == 0 {
+            prop_assert_eq!(npb, 1.0);
+        } else {
+            let expect: f64 = counts.iter().map(|&c| c as f64 / max as f64).sum::<f64>()
+                / counts.len() as f64;
+            prop_assert!((npb - expect).abs() < 1e-12);
+        }
+    }
+}

@@ -1,0 +1,121 @@
+//! Fixed-latency, in-order delivery pipe.
+
+use std::collections::VecDeque;
+
+use crate::Cycle;
+
+/// Delivers items a fixed (per-item) number of cycles after scheduling,
+/// preserving FIFO order.
+///
+/// Used for pipeline latencies: cache tag/data access, crossbar stage
+/// traversal, page-walk latency. Capacity is unbounded; bound occupancy at
+/// the *sender* with a [`BoundedQueue`](crate::BoundedQueue) or a
+/// [`BandwidthLink`](crate::BandwidthLink) if back-pressure matters.
+#[derive(Debug, Clone)]
+pub struct LatencyPipe<T> {
+    inflight: VecDeque<(Cycle, T)>,
+}
+
+impl<T> LatencyPipe<T> {
+    /// Create an empty pipe.
+    pub fn new() -> LatencyPipe<T> {
+        LatencyPipe { inflight: VecDeque::new() }
+    }
+
+    /// Schedule `item` to become ready at `now + latency`.
+    ///
+    /// # Panics
+    /// Panics in debug builds if delivery order would be violated (an item
+    /// scheduled to pop earlier than an already-queued one); use one pipe
+    /// per fixed latency.
+    pub fn push(&mut self, item: T, now: Cycle, latency: u64) {
+        let ready = now + latency;
+        debug_assert!(
+            self.inflight.back().is_none_or(|(r, _)| *r <= ready),
+            "LatencyPipe requires monotonic ready times"
+        );
+        self.inflight.push_back((ready, item));
+    }
+
+    /// Pop the next item if it is ready at `now`.
+    pub fn pop_ready(&mut self, now: Cycle) -> Option<T> {
+        if self.inflight.front().is_some_and(|(r, _)| *r <= now) {
+            self.inflight.pop_front().map(|(_, t)| t)
+        } else {
+            None
+        }
+    }
+
+    /// Drain every item ready at `now` into `out`.
+    pub fn drain_ready(&mut self, now: Cycle, out: &mut Vec<T>) {
+        while let Some(item) = self.pop_ready(now) {
+            out.push(item);
+        }
+    }
+
+    /// Number of items still in flight.
+    pub fn len(&self) -> usize {
+        self.inflight.len()
+    }
+
+    /// Whether nothing is in flight.
+    pub fn is_empty(&self) -> bool {
+        self.inflight.is_empty()
+    }
+
+    /// Cycle at which the head item becomes ready.
+    pub fn next_ready(&self) -> Option<Cycle> {
+        self.inflight.front().map(|(r, _)| *r)
+    }
+}
+
+impl<T> Default for LatencyPipe<T> {
+    fn default() -> Self {
+        LatencyPipe::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn delivers_after_latency() {
+        let mut p = LatencyPipe::new();
+        p.push("x", 10, 5);
+        assert_eq!(p.pop_ready(14), None);
+        assert_eq!(p.pop_ready(15), Some("x"));
+        assert_eq!(p.pop_ready(16), None);
+    }
+
+    #[test]
+    fn preserves_order() {
+        let mut p = LatencyPipe::new();
+        p.push(1, 0, 3);
+        p.push(2, 1, 3);
+        p.push(3, 2, 3);
+        let mut out = Vec::new();
+        p.drain_ready(10, &mut out);
+        assert_eq!(out, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn zero_latency_is_same_cycle() {
+        let mut p = LatencyPipe::new();
+        p.push(42, 7, 0);
+        assert_eq!(p.pop_ready(7), Some(42));
+    }
+
+    #[test]
+    fn drain_only_ready() {
+        let mut p = LatencyPipe::new();
+        p.push(1, 0, 2);
+        p.push(2, 0, 2);
+        p.push(3, 5, 2);
+        let mut out = Vec::new();
+        p.drain_ready(2, &mut out);
+        assert_eq!(out, vec![1, 2]);
+        assert_eq!(p.len(), 1);
+        assert_eq!(p.next_ready(), Some(7));
+    }
+}

@@ -1,0 +1,151 @@
+//! A bounded FIFO queue with explicit back-pressure.
+
+use std::collections::VecDeque;
+
+/// A FIFO queue that refuses pushes beyond its capacity.
+///
+/// Hardware queues (LMR/RMR queues in the LLC slice, memory-controller
+/// request queues, NoC input buffers) are modelled with this type; a
+/// failed [`BoundedQueue::try_push`] is how upstream components learn to
+/// stall.
+#[derive(Debug, Clone)]
+pub struct BoundedQueue<T> {
+    items: VecDeque<T>,
+    capacity: usize,
+}
+
+impl<T> BoundedQueue<T> {
+    /// Create a queue holding at most `capacity` items.
+    ///
+    /// # Panics
+    /// Panics if `capacity` is zero — a zero-entry hardware queue cannot
+    /// exist.
+    pub fn new(capacity: usize) -> BoundedQueue<T> {
+        assert!(capacity > 0, "queue capacity must be non-zero");
+        BoundedQueue { items: VecDeque::with_capacity(capacity.min(1024)), capacity }
+    }
+
+    /// Push to the tail; returns the item back if the queue is full.
+    ///
+    /// # Errors
+    /// Returns `Err(item)` when the queue is at capacity so the caller can
+    /// retry next cycle without cloning.
+    pub fn try_push(&mut self, item: T) -> Result<(), T> {
+        if self.items.len() >= self.capacity {
+            Err(item)
+        } else {
+            self.items.push_back(item);
+            Ok(())
+        }
+    }
+
+    /// Pop from the head.
+    pub fn pop(&mut self) -> Option<T> {
+        self.items.pop_front()
+    }
+
+    /// Peek at the head without removing it.
+    pub fn peek(&self) -> Option<&T> {
+        self.items.front()
+    }
+
+    /// Number of queued items.
+    pub fn len(&self) -> usize {
+        self.items.len()
+    }
+
+    /// Whether the queue is empty.
+    pub fn is_empty(&self) -> bool {
+        self.items.is_empty()
+    }
+
+    /// Whether the queue is at capacity.
+    pub fn is_full(&self) -> bool {
+        self.items.len() >= self.capacity
+    }
+
+    /// Remaining slots.
+    pub fn free(&self) -> usize {
+        self.capacity - self.items.len()
+    }
+
+    /// Maximum number of items.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Iterate over queued items head-to-tail.
+    pub fn iter(&self) -> impl Iterator<Item = &T> {
+        self.items.iter()
+    }
+
+    /// Remove and return the first item matching `pred` (used by FR-FCFS
+    /// style schedulers that service out of order).
+    pub fn take_first<F: FnMut(&T) -> bool>(&mut self, pred: F) -> Option<T> {
+        let idx = self.items.iter().position(pred)?;
+        self.items.remove(idx)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fifo_order() {
+        let mut q = BoundedQueue::new(3);
+        q.try_push(1).unwrap();
+        q.try_push(2).unwrap();
+        assert_eq!(q.pop(), Some(1));
+        assert_eq!(q.pop(), Some(2));
+        assert_eq!(q.pop(), None);
+    }
+
+    #[test]
+    fn back_pressure() {
+        let mut q = BoundedQueue::new(2);
+        q.try_push('a').unwrap();
+        q.try_push('b').unwrap();
+        assert!(q.is_full());
+        assert_eq!(q.try_push('c'), Err('c'));
+        q.pop();
+        assert_eq!(q.free(), 1);
+        q.try_push('c').unwrap();
+        assert_eq!(q.len(), 2);
+    }
+
+    #[test]
+    fn take_first_out_of_order() {
+        let mut q = BoundedQueue::new(8);
+        for i in 0..5 {
+            q.try_push(i).unwrap();
+        }
+        assert_eq!(q.take_first(|&x| x == 3), Some(3));
+        assert_eq!(q.len(), 4);
+        assert_eq!(q.pop(), Some(0));
+        assert_eq!(q.take_first(|&x| x == 99), None);
+    }
+
+    #[test]
+    fn peek_does_not_consume() {
+        let mut q = BoundedQueue::new(2);
+        q.try_push(7).unwrap();
+        assert_eq!(q.peek(), Some(&7));
+        assert_eq!(q.len(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-zero")]
+    fn zero_capacity_panics() {
+        let _ = BoundedQueue::<u8>::new(0);
+    }
+
+    #[test]
+    fn iter_in_order() {
+        let mut q = BoundedQueue::new(4);
+        q.try_push(1).unwrap();
+        q.try_push(2).unwrap();
+        let v: Vec<_> = q.iter().copied().collect();
+        assert_eq!(v, vec![1, 2]);
+    }
+}

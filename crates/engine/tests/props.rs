@@ -1,0 +1,119 @@
+//! Property tests: the engine primitives conserve items, respect
+//! capacity, and never exceed their configured bandwidth.
+
+use proptest::prelude::*;
+
+use nuba_engine::{BandwidthLink, BoundedQueue, LatencyPipe, RoundRobinArbiter, Wire};
+
+#[derive(Debug, Clone, Copy, PartialEq)]
+struct Pkt {
+    id: u32,
+    bytes: u64,
+}
+
+impl Wire for Pkt {
+    fn wire_bytes(&self) -> u64 {
+        self.bytes
+    }
+}
+
+proptest! {
+    #[test]
+    fn link_conserves_items_and_order(
+        sizes in proptest::collection::vec(1u64..300, 1..40),
+        bw in 1u32..64,
+        latency in 0u64..16,
+    ) {
+        let mut link: BandwidthLink<Pkt> = BandwidthLink::new(bw as f64, latency, 4);
+        let mut sent = Vec::new();
+        let mut received = Vec::new();
+        let mut out = Vec::new();
+        let mut queue: Vec<Pkt> =
+            sizes.iter().enumerate().map(|(i, &b)| Pkt { id: i as u32, bytes: b }).collect();
+        queue.reverse();
+        let total_bytes: u64 = sizes.iter().sum();
+        // Generous horizon: worst case serialization plus latency.
+        let horizon = total_bytes / bw as u64 + latency + sizes.len() as u64 + 8;
+        for now in 0..horizon {
+            while let Some(p) = queue.pop() {
+                match link.try_send(p, now) {
+                    Ok(()) => sent.push(p.id),
+                    Err(e) => {
+                        queue.push(e.0);
+                        break;
+                    }
+                }
+            }
+            link.tick(now, &mut out);
+            received.extend(out.drain(..).map(|p| p.id));
+        }
+        prop_assert!(queue.is_empty(), "all items eventually accepted");
+        prop_assert_eq!(&received, &sent, "FIFO order preserved");
+        prop_assert_eq!(link.bytes_transferred(), total_bytes);
+        // Bandwidth bound: busy cycles at bw bytes each must cover it.
+        prop_assert!(link.busy_cycles() * bw as u64 + bw as u64 >= total_bytes);
+    }
+
+    #[test]
+    fn queue_never_exceeds_capacity(ops in proptest::collection::vec(any::<bool>(), 1..200), cap in 1usize..16) {
+        let mut q = BoundedQueue::new(cap);
+        let mut pushed = 0u32;
+        let mut popped = 0u32;
+        for push in ops {
+            if push {
+                if q.try_push(pushed).is_ok() {
+                    pushed += 1;
+                }
+            } else if q.pop().is_some() {
+                popped += 1;
+            }
+            prop_assert!(q.len() <= cap);
+            prop_assert_eq!(q.len() as u32, pushed - popped);
+        }
+    }
+
+    #[test]
+    fn pipe_delivers_everything_in_order(
+        gaps in proptest::collection::vec(0u64..5, 1..50),
+        latency in 0u64..20,
+    ) {
+        let mut pipe = LatencyPipe::new();
+        let mut now = 0;
+        for (i, g) in gaps.iter().enumerate() {
+            now += g;
+            pipe.push(i, now, latency);
+        }
+        let mut out = Vec::new();
+        pipe.drain_ready(now + latency, &mut out);
+        prop_assert_eq!(out.len(), gaps.len());
+        prop_assert!(out.windows(2).all(|w| w[0] < w[1]));
+        prop_assert!(pipe.is_empty());
+    }
+
+    #[test]
+    fn arbiter_is_fair_under_saturation(n in 1usize..16, rounds in 1usize..20) {
+        let mut arb = RoundRobinArbiter::new(n);
+        let mut grants = vec![0usize; n];
+        for _ in 0..n * rounds {
+            let g = arb.grant(|_| true).unwrap();
+            grants[g] += 1;
+        }
+        prop_assert!(grants.iter().all(|&g| g == rounds), "{grants:?}");
+    }
+
+    #[test]
+    fn arbiter_grants_only_requesters(
+        n in 2usize..12,
+        mask in proptest::collection::vec(any::<bool>(), 2..12),
+    ) {
+        let mut arb = RoundRobinArbiter::new(n);
+        let req = |i: usize| mask.get(i).copied().unwrap_or(false);
+        for _ in 0..20 {
+            if let Some(g) = arb.grant(req) {
+                prop_assert!(req(g));
+            } else {
+                prop_assert!((0..n).all(|i| !req(i)));
+            }
+        }
+    }
+}

@@ -1,0 +1,178 @@
+//! Analytical crossbar power model (DSENT substitute; see DESIGN.md).
+//!
+//! The paper's key observation is that crossbar overhead scales
+//! quadratically with the number of endpoints \[22, 70, 69, 79\] and
+//! super-linearly with link bandwidth, so provisioning a UBA NoC to match
+//! LLC bandwidth is prohibitively expensive. We capture that with two
+//! terms:
+//!
+//! - **dynamic** energy per byte: `ref_pj_per_byte ×
+//!   (port_bw / 16 B)^k` per stage — wider/faster crossbars pay more
+//!   energy per bit moved (longer wires, bigger muxes);
+//! - **static** power: `ref_static_watts × (radix / 64)² ×
+//!   (port_bw / 16 B)` — area (hence leakage/clock power) grows with
+//!   radix² and link width.
+//!
+//! Absolute watts are calibration constants ([`NocPowerParams`]); the
+//! experiments only rely on ratios between configurations.
+
+use nuba_types::NocPowerParams;
+
+/// Reference port width the calibration constants are quoted at
+/// (16 B/cycle ≙ the 1.4 TB/s baseline port).
+const REF_PORT_BYTES: f64 = 16.0;
+/// Reference radix (the baseline 64-endpoint crossbar).
+const REF_RADIX: f64 = 64.0;
+
+/// Power model for one crossbar complex.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct NocPowerModel {
+    params: NocPowerParams,
+    radix: usize,
+    port_bytes_per_cycle: f64,
+    stages: u32,
+    clock_hz: f64,
+}
+
+impl NocPowerModel {
+    /// Model a crossbar with `radix` endpoints per side and the given
+    /// per-port bandwidth, traversed in `stages` stages, clocked at
+    /// `clock_hz`.
+    ///
+    /// # Panics
+    /// Panics if `radix` is zero or bandwidth/clock are not positive.
+    pub fn new(
+        params: NocPowerParams,
+        radix: usize,
+        port_bytes_per_cycle: f64,
+        stages: u32,
+        clock_hz: f64,
+    ) -> NocPowerModel {
+        assert!(radix > 0, "radix must be non-zero");
+        assert!(port_bytes_per_cycle > 0.0 && clock_hz > 0.0);
+        NocPowerModel { params, radix, port_bytes_per_cycle, stages, clock_hz }
+    }
+
+    /// Convenience: model from an aggregate bandwidth in bytes/cycle
+    /// split evenly over `radix` ports.
+    pub fn from_aggregate(
+        params: NocPowerParams,
+        radix: usize,
+        total_bytes_per_cycle: f64,
+        stages: u32,
+        clock_hz: f64,
+    ) -> NocPowerModel {
+        NocPowerModel::new(params, radix, total_bytes_per_cycle / radix as f64, stages, clock_hz)
+    }
+
+    /// Dynamic energy per byte moved end-to-end, in picojoules.
+    pub fn pj_per_byte(&self) -> f64 {
+        let width_factor =
+            (self.port_bytes_per_cycle / REF_PORT_BYTES).powf(self.params.bw_energy_exponent);
+        self.params.ref_pj_per_byte * width_factor * self.stages as f64
+    }
+
+    /// Static (leakage + clock) power in watts.
+    pub fn static_watts(&self) -> f64 {
+        let radix_factor = (self.radix as f64 / REF_RADIX).powi(2);
+        let width_factor = self.port_bytes_per_cycle / REF_PORT_BYTES;
+        self.params.ref_static_watts * radix_factor * width_factor
+    }
+
+    /// Dynamic energy in joules for `bytes` transferred.
+    pub fn dynamic_joules(&self, bytes: u64) -> f64 {
+        bytes as f64 * self.pj_per_byte() * 1e-12
+    }
+
+    /// Total energy in joules for `bytes` transferred over `cycles`.
+    pub fn total_joules(&self, bytes: u64, cycles: u64) -> f64 {
+        self.dynamic_joules(bytes) + self.static_watts() * cycles as f64 / self.clock_hz
+    }
+
+    /// Average power in watts for `bytes` over `cycles`.
+    ///
+    /// Returns just the static power when `cycles` is zero.
+    pub fn average_watts(&self, bytes: u64, cycles: u64) -> f64 {
+        if cycles == 0 {
+            return self.static_watts();
+        }
+        self.total_joules(bytes, cycles) / (cycles as f64 / self.clock_hz)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const CLK: f64 = 1.4e9;
+
+    fn model(radix: usize, total_bpc: f64) -> NocPowerModel {
+        NocPowerModel::from_aggregate(NocPowerParams::default(), radix, total_bpc, 2, CLK)
+    }
+
+    #[test]
+    fn reference_point() {
+        // The 1.4 TB/s baseline: 64 ports × 15.6 B/cycle ≈ the reference.
+        let m = model(64, 1000.0);
+        assert!((m.static_watts() - 12.0 * (1000.0 / 64.0 / 16.0)).abs() < 1e-9);
+        assert!(m.pj_per_byte() > 0.0);
+    }
+
+    #[test]
+    fn static_power_scales_quadratically_with_radix() {
+        let small = model(64, 1000.0);
+        let big = NocPowerModel::new(NocPowerParams::default(), 128, 1000.0 / 64.0, 2, CLK);
+        // Same per-port bandwidth, 2× radix → 4× static power.
+        assert!((big.static_watts() / small.static_watts() - 4.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn wider_ports_cost_more_energy_per_byte() {
+        let narrow = model(64, 500.0); // 700 GB/s
+        let base = model(64, 1000.0); // 1.4 TB/s
+        let wide = model(64, 4000.0); // 5.6 TB/s
+        assert!(narrow.pj_per_byte() < base.pj_per_byte());
+        assert!(base.pj_per_byte() < wide.pj_per_byte());
+        // Sub-linear exponent: 4× bandwidth < 4× energy/byte.
+        assert!(wide.pj_per_byte() / base.pj_per_byte() < 4.0);
+    }
+
+    #[test]
+    fn fig10_shape_low_bw_nuba_beats_high_bw_uba() {
+        // NUBA at 700 GB/s with ~36% of misses crossing vs UBA at
+        // 5.6 TB/s with 100% crossing: NUBA's NoC power must be ≈ an
+        // order of magnitude lower (paper: 12.1×).
+        let cycles = 1_000_000u64;
+        let uba_bytes = 100_000_000u64;
+        let nuba_bytes = (uba_bytes as f64 * 0.36) as u64;
+        let uba = model(64, 4000.0);
+        let nuba = model(64, 500.0);
+        let ratio =
+            uba.average_watts(uba_bytes, cycles) / nuba.average_watts(nuba_bytes, cycles);
+        assert!(
+            (6.0..25.0).contains(&ratio),
+            "iso-performance NoC power ratio {ratio:.1} outside plausible band"
+        );
+    }
+
+    #[test]
+    fn energy_additivity() {
+        let m = model(64, 1000.0);
+        let e1 = m.total_joules(1000, 0);
+        let e2 = m.total_joules(0, 1000);
+        let both = m.total_joules(1000, 1000);
+        assert!((e1 + e2 - both).abs() < 1e-18);
+    }
+
+    #[test]
+    fn average_watts_zero_cycles_is_static() {
+        let m = model(64, 1000.0);
+        assert_eq!(m.average_watts(123, 0), m.static_watts());
+    }
+
+    #[test]
+    #[should_panic(expected = "radix")]
+    fn zero_radix_panics() {
+        let _ = NocPowerModel::new(NocPowerParams::default(), 0, 16.0, 2, CLK);
+    }
+}

@@ -1,0 +1,349 @@
+//! Input-queued crossbar with bandwidth-gated ports.
+
+use nuba_engine::{BandwidthLink, Wire};
+use std::collections::VecDeque;
+
+/// Aggregate crossbar statistics for power/energy models.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct NocStats {
+    /// Packets delivered.
+    pub packets: u64,
+    /// Bytes delivered (wire bytes, including control).
+    pub bytes: u64,
+    /// Packets refused at injection due to full input queues.
+    pub inject_stalls: u64,
+}
+
+struct Routed<T> {
+    dest: usize,
+    item: T,
+}
+
+impl<T: Wire> Wire for Routed<T> {
+    fn wire_bytes(&self) -> u64 {
+        self.item.wire_bytes()
+    }
+}
+
+/// A hierarchical crossbar modelled at flow level.
+///
+/// Each input port serializes packets at the per-port link bandwidth
+/// through a first crossbar stage (latency `stage_latency`), then
+/// competes round-robin for its destination's ejection port, which
+/// serializes at the same rate through the second stage. A busy ejection
+/// port blocks the head of an input's stage buffer — head-of-line
+/// blocking, as in a real input-queued crossbar.
+pub struct CrossbarNoc<T> {
+    inputs: Vec<BandwidthLink<Routed<T>>>,
+    /// Packets that finished stage 1 and wait for their output port.
+    staged: Vec<VecDeque<Routed<T>>>,
+    outputs: Vec<BandwidthLink<Routed<T>>>,
+    delivered: Vec<VecDeque<T>>,
+    /// Rotating priority for output arbitration.
+    rr_start: usize,
+    stats: NocStats,
+    scratch: Vec<Routed<T>>,
+}
+
+impl<T: Wire> CrossbarNoc<T> {
+    /// A crossbar with `n_in` injection and `n_out` ejection ports, each
+    /// gated at `port_bytes_per_cycle`, with `stage_latency` cycles per
+    /// stage and `queue_capacity` packets of buffering per port.
+    ///
+    /// # Panics
+    /// Panics if any dimension is zero or the port bandwidth is not
+    /// positive.
+    pub fn new(
+        n_in: usize,
+        n_out: usize,
+        port_bytes_per_cycle: f64,
+        stage_latency: u64,
+        queue_capacity: usize,
+    ) -> CrossbarNoc<T> {
+        assert!(n_in > 0 && n_out > 0, "crossbar needs ports");
+        CrossbarNoc {
+            inputs: (0..n_in)
+                .map(|_| BandwidthLink::new(port_bytes_per_cycle, stage_latency, queue_capacity))
+                .collect(),
+            staged: (0..n_in).map(|_| VecDeque::new()).collect(),
+            outputs: (0..n_out)
+                .map(|_| BandwidthLink::new(port_bytes_per_cycle, stage_latency, queue_capacity))
+                .collect(),
+            delivered: (0..n_out).map(|_| VecDeque::new()).collect(),
+            rr_start: 0,
+            stats: NocStats::default(),
+            scratch: Vec::new(),
+        }
+    }
+
+    /// Number of injection ports.
+    pub fn num_inputs(&self) -> usize {
+        self.inputs.len()
+    }
+
+    /// Number of ejection ports.
+    pub fn num_outputs(&self) -> usize {
+        self.outputs.len()
+    }
+
+    /// Inject `item` at `port` towards `dest`.
+    ///
+    /// # Errors
+    /// Returns the item back when the port's input queue is full.
+    ///
+    /// # Panics
+    /// Panics if `port` or `dest` is out of range.
+    pub fn try_send(&mut self, port: usize, dest: usize, item: T, now: u64) -> Result<(), T> {
+        assert!(dest < self.outputs.len(), "dest {dest} out of range");
+        match self.inputs[port].try_send(Routed { dest, item }, now) {
+            Ok(()) => Ok(()),
+            Err(e) => {
+                self.stats.inject_stalls += 1;
+                Err(e.0.item)
+            }
+        }
+    }
+
+    /// Whether `port`'s input queue can take another packet.
+    pub fn can_send(&self, port: usize) -> bool {
+        self.inputs[port].can_send()
+    }
+
+    /// Advance one cycle: move packets through both stages.
+    pub fn tick(&mut self, now: u64) {
+        // Stage 1: serialize out of the input links into stage buffers.
+        for (i, link) in self.inputs.iter_mut().enumerate() {
+            link.tick(now, &mut self.scratch);
+            for r in self.scratch.drain(..) {
+                self.staged[i].push_back(r);
+            }
+        }
+
+        // Output arbitration: rotating priority over inputs; each input
+        // may forward only its head packet (head-of-line blocking).
+        let n_in = self.inputs.len();
+        for k in 0..n_in {
+            let i = (self.rr_start + k) % n_in;
+            while let Some(head) = self.staged[i].front() {
+                let dest = head.dest;
+                if self.outputs[dest].can_send() {
+                    let r = self.staged[i].pop_front().expect("head exists");
+                    self.outputs[dest]
+                        .try_send(r, now)
+                        .unwrap_or_else(|_| unreachable!("can_send checked"));
+                } else {
+                    break;
+                }
+            }
+        }
+        self.rr_start = (self.rr_start + 1) % n_in;
+
+        // Stage 2: serialize out of the ejection links.
+        for (o, link) in self.outputs.iter_mut().enumerate() {
+            link.tick(now, &mut self.scratch);
+            for r in self.scratch.drain(..) {
+                self.stats.packets += 1;
+                self.stats.bytes += r.item.wire_bytes();
+                self.delivered[o].push_back(r.item);
+            }
+        }
+    }
+
+    /// Drain everything delivered at output `port` into `out`.
+    pub fn drain_port(&mut self, port: usize, out: &mut Vec<T>) {
+        out.extend(self.delivered[port].drain(..));
+    }
+
+    /// Pop one delivered packet from output `port`.
+    pub fn pop_delivered(&mut self, port: usize) -> Option<T> {
+        self.delivered[port].pop_front()
+    }
+
+    /// Packets still inside the crossbar (all stages and buffers).
+    pub fn in_flight(&self) -> usize {
+        self.inputs.iter().map(|l| l.pending()).sum::<usize>()
+            + self.staged.iter().map(VecDeque::len).sum::<usize>()
+            + self.outputs.iter().map(|l| l.pending()).sum::<usize>()
+            + self.delivered.iter().map(VecDeque::len).sum::<usize>()
+    }
+
+    /// Delivery statistics.
+    pub fn stats(&self) -> NocStats {
+        self.stats
+    }
+}
+
+impl<T: Wire> std::fmt::Debug for CrossbarNoc<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("CrossbarNoc")
+            .field("inputs", &self.inputs.len())
+            .field("outputs", &self.outputs.len())
+            .field("in_flight", &self.in_flight())
+            .field("stats", &self.stats)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[derive(Debug, PartialEq)]
+    struct Pkt(u64, u32);
+    impl Wire for Pkt {
+        fn wire_bytes(&self) -> u64 {
+            self.0
+        }
+    }
+
+    fn collect(noc: &mut CrossbarNoc<Pkt>, port: usize, from: u64, to: u64) -> Vec<(u64, u32)> {
+        let mut got = Vec::new();
+        let mut out = Vec::new();
+        for c in from..=to {
+            noc.tick(c);
+            noc.drain_port(port, &mut out);
+            for p in out.drain(..) {
+                got.push((c, p.1));
+            }
+        }
+        got
+    }
+
+    #[test]
+    fn single_packet_latency() {
+        // 136 B over 16 B/cycle ports, two 4-cycle stages:
+        // stage1 serialize 9 cycles (ready c8) + latency 4 → c12 staged;
+        // forwarded same cycle; stage2 serialize 9 + latency 4 → ~c25.
+        let mut noc = CrossbarNoc::new(4, 4, 16.0, 4, 8);
+        noc.try_send(0, 2, Pkt(136, 1), 0).unwrap();
+        let got = collect(&mut noc, 2, 0, 60);
+        assert_eq!(got.len(), 1);
+        assert!((20..=30).contains(&got[0].0), "arrived at {}", got[0].0);
+        assert_eq!(noc.stats().bytes, 136);
+    }
+
+    #[test]
+    fn output_contention_serializes() {
+        // Two inputs to the same output: the ejection port's 16 B/cycle
+        // gate is the bottleneck.
+        let mut noc = CrossbarNoc::new(2, 2, 16.0, 0, 8);
+        noc.try_send(0, 0, Pkt(160, 1), 0).unwrap();
+        noc.try_send(1, 0, Pkt(160, 2), 0).unwrap();
+        let got = collect(&mut noc, 0, 0, 100);
+        assert_eq!(got.len(), 2);
+        let gap = got[1].0 - got[0].0;
+        assert!(gap >= 9, "ejection must serialize, gap {gap}");
+    }
+
+    #[test]
+    fn distinct_outputs_proceed_in_parallel() {
+        let mut noc = CrossbarNoc::new(2, 2, 16.0, 0, 8);
+        noc.try_send(0, 0, Pkt(160, 1), 0).unwrap();
+        noc.try_send(1, 1, Pkt(160, 2), 0).unwrap();
+        let mut t0 = None;
+        let mut t1 = None;
+        let mut out = Vec::new();
+        for c in 0..100 {
+            noc.tick(c);
+            noc.drain_port(0, &mut out);
+            if !out.is_empty() {
+                t0.get_or_insert(c);
+                out.clear();
+            }
+            noc.drain_port(1, &mut out);
+            if !out.is_empty() {
+                t1.get_or_insert(c);
+                out.clear();
+            }
+        }
+        // Crossbar is non-blocking across distinct outputs: same arrival.
+        assert_eq!(t0.unwrap(), t1.unwrap());
+    }
+
+    #[test]
+    fn aggregate_throughput_matches_port_rate() {
+        // Saturate 4 ports with 64 B packets for a long window; delivered
+        // bytes/cycle must approach 4 × 16 B/cycle.
+        let mut noc = CrossbarNoc::new(4, 4, 16.0, 0, 4);
+        let cycles = 2000u64;
+        let mut sent = 0u64;
+        let mut out = Vec::new();
+        for c in 0..cycles {
+            for p in 0..4 {
+                if noc.can_send(p) {
+                    // p → p: no contention, pure port-rate test.
+                    if noc.try_send(p, p, Pkt(64, 0), c).is_ok() {
+                        sent += 1;
+                    }
+                }
+            }
+            noc.tick(c);
+            for p in 0..4 {
+                noc.drain_port(p, &mut out);
+            }
+            out.clear();
+        }
+        let rate = noc.stats().bytes as f64 / cycles as f64;
+        assert!(rate > 0.9 * 64.0, "aggregate rate {rate} too low (sent {sent})");
+    }
+
+    #[test]
+    fn injection_backpressure_reported() {
+        let mut noc = CrossbarNoc::new(1, 1, 1.0, 0, 1);
+        noc.try_send(0, 0, Pkt(100, 1), 0).unwrap();
+        let rejected = noc.try_send(0, 0, Pkt(100, 2), 0);
+        assert_eq!(rejected, Err(Pkt(100, 2)));
+        assert_eq!(noc.stats().inject_stalls, 1);
+    }
+
+    #[test]
+    fn head_of_line_blocking() {
+        // Input 0 sends a head packet to output 0 followed by a victim to
+        // idle output 1. When output 0 is saturated by input 1's flood,
+        // the victim must arrive later than in the uncontended case — it
+        // cannot overtake its blocked head.
+        let run_scenario = |flood: bool| -> u64 {
+            // Inputs 1 and 2 oversubscribe output 0 at 2× its drain rate,
+            // filling its ejection queue; input 0's head packet then
+            // stalls in the stage buffer, delaying the victim behind it.
+            let mut noc = CrossbarNoc::new(3, 3, 16.0, 0, 2);
+            let mut out = Vec::new();
+            let mut flood_left = if flood { 24 } else { 0 };
+            let mut sent_probe = false;
+            for c in 0..2000u64 {
+                for src in [1, 2] {
+                    while flood_left > 0 && noc.can_send(src) {
+                        noc.try_send(src, 0, Pkt(160, 9), c).unwrap();
+                        flood_left -= 1;
+                    }
+                }
+                // Give the flood a head start so output 0 is congested.
+                if c == 20 && !sent_probe {
+                    noc.try_send(0, 0, Pkt(160, 1), c).unwrap();
+                    noc.try_send(0, 1, Pkt(16, 2), c).unwrap();
+                    sent_probe = true;
+                }
+                noc.tick(c);
+                noc.drain_port(1, &mut out);
+                if let Some(p) = out.first() {
+                    assert_eq!(p.1, 2);
+                    return c;
+                }
+            }
+            panic!("victim never arrived (flood={flood})");
+        };
+        let free = run_scenario(false);
+        let blocked = run_scenario(true);
+        assert!(
+            blocked > free + 5,
+            "HoL not modelled: free={free}, blocked={blocked}"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn bad_destination_panics() {
+        let mut noc: CrossbarNoc<Pkt> = CrossbarNoc::new(2, 2, 16.0, 0, 4);
+        let _ = noc.try_send(0, 5, Pkt(8, 0), 0);
+    }
+}

@@ -1,0 +1,386 @@
+//! The two-level translation engine: L1 TLBs, shared L2 TLB, walker pool
+//! and page-fault path.
+
+use std::collections::{HashMap, VecDeque};
+
+use nuba_types::addr::PageNum;
+use nuba_types::SmId;
+
+use crate::tlb::Tlb;
+
+/// Timing/geometry parameters for the translation hierarchy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TlbParams {
+    /// Entries in each SM's L1 TLB.
+    pub l1_entries: usize,
+    /// L1 TLB associativity (full associativity is modelled with a
+    /// moderate way count for simulation speed; reach is what matters).
+    pub l1_ways: usize,
+    /// Entries in the shared L2 TLB.
+    pub l2_entries: usize,
+    /// L2 TLB associativity.
+    pub l2_ways: usize,
+    /// L2 TLB access latency in cycles.
+    pub l2_latency: u64,
+    /// L2 TLB ports (lookups that may start per cycle).
+    pub l2_ports: usize,
+    /// Concurrent page-table walkers.
+    pub walkers: usize,
+    /// Page-table walk latency in cycles.
+    pub walk_latency: u64,
+    /// Extra penalty when the page is unmapped (first-touch fault).
+    pub fault_latency: u64,
+}
+
+impl TlbParams {
+    /// The paper's Table 1 configuration (with the scaled-down fault
+    /// penalty discussed in DESIGN.md).
+    pub fn paper() -> TlbParams {
+        TlbParams {
+            l1_entries: 128,
+            l1_ways: 8,
+            l2_entries: 512,
+            l2_ways: 16,
+            l2_latency: 10,
+            l2_ports: 2,
+            walkers: 64,
+            walk_latency: 160,
+            fault_latency: 2_000,
+        }
+    }
+}
+
+/// Immediate outcome of a translation request.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TranslationOutcome {
+    /// L1 TLB hit: translation available this cycle.
+    HitL1,
+    /// Miss: the engine will emit a [`CompletedTranslation`] later.
+    Pending,
+}
+
+/// A finished translation delivered by [`TranslationEngine::tick`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CompletedTranslation {
+    /// The SM that asked.
+    pub sm: SmId,
+    /// The translated virtual page.
+    pub vpage: PageNum,
+    /// Whether this translation took a first-touch page fault (the
+    /// caller must have the driver allocate the page).
+    pub faulted: bool,
+}
+
+/// Counters for the translation hierarchy.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct TlbStats {
+    /// L1 TLB hits across all SMs.
+    pub l1_hits: u64,
+    /// L1 TLB misses across all SMs.
+    pub l1_misses: u64,
+    /// L2 TLB hits.
+    pub l2_hits: u64,
+    /// L2 TLB misses (walks started or merged).
+    pub l2_misses: u64,
+    /// Page-table walks performed.
+    pub walks: u64,
+    /// First-touch page faults taken.
+    pub faults: u64,
+}
+
+#[derive(Debug)]
+enum Stage {
+    L2Queued,
+    L2Access { done_at: u64 },
+    WalkQueued,
+    Walking { done_at: u64 },
+}
+
+#[derive(Debug)]
+struct Outstanding {
+    waiters: Vec<SmId>,
+    mapped: bool,
+    stage: Stage,
+}
+
+/// The shared MMU: per-SM L1 TLBs, one L2 TLB, and a walker pool.
+///
+/// Outstanding translations are tracked per virtual page; concurrent
+/// misses from different SMs merge into a single L2 access / walk.
+#[derive(Debug)]
+pub struct TranslationEngine {
+    params: TlbParams,
+    l1: Vec<Tlb>,
+    l2: Tlb,
+    outstanding: HashMap<PageNum, Outstanding>,
+    /// FIFO of pages waiting for an L2 port.
+    l2_queue: VecDeque<PageNum>,
+    /// FIFO of pages waiting for a walker.
+    walk_queue: VecDeque<PageNum>,
+    active_walks: usize,
+    stats: TlbStats,
+}
+
+impl TranslationEngine {
+    /// Build the hierarchy for `num_sms` SMs.
+    ///
+    /// # Panics
+    /// Panics on zero-sized parameters.
+    pub fn new(params: TlbParams, num_sms: usize) -> TranslationEngine {
+        assert!(num_sms > 0 && params.l2_ports > 0 && params.walkers > 0);
+        TranslationEngine {
+            params,
+            l1: (0..num_sms)
+                .map(|_| Tlb::new(params.l1_entries, params.l1_ways.min(params.l1_entries)))
+                .collect(),
+            l2: Tlb::new(params.l2_entries, params.l2_ways),
+            outstanding: HashMap::new(),
+            l2_queue: VecDeque::new(),
+            walk_queue: VecDeque::new(),
+            active_walks: 0,
+            stats: TlbStats::default(),
+        }
+    }
+
+    /// Request a translation for (`sm`, `vpage`). `mapped` tells the
+    /// engine whether the page already exists in the page table — if not,
+    /// the fault penalty is charged and the completion carries
+    /// `faulted = true` so the caller can invoke the driver.
+    pub fn request(
+        &mut self,
+        sm: SmId,
+        vpage: PageNum,
+        _now: u64,
+        mapped: bool,
+    ) -> TranslationOutcome {
+        if self.l1[sm.0].lookup(vpage) {
+            self.stats.l1_hits += 1;
+            return TranslationOutcome::HitL1;
+        }
+        self.stats.l1_misses += 1;
+        if let Some(o) = self.outstanding.get_mut(&vpage) {
+            o.waiters.push(sm);
+            return TranslationOutcome::Pending;
+        }
+        self.outstanding
+            .insert(vpage, Outstanding { waiters: vec![sm], mapped, stage: Stage::L2Queued });
+        self.l2_queue.push_back(vpage);
+        TranslationOutcome::Pending
+    }
+
+    /// Advance one cycle; completed translations are appended to `done`.
+    pub fn tick(&mut self, now: u64, done: &mut Vec<CompletedTranslation>) {
+        // Finish L2 accesses and walks.
+        let ready: Vec<PageNum> = self
+            .outstanding
+            .iter()
+            .filter_map(|(&p, o)| match o.stage {
+                Stage::L2Access { done_at } | Stage::Walking { done_at } if done_at <= now => {
+                    Some(p)
+                }
+                _ => None,
+            })
+            .collect();
+        for vpage in ready {
+            let o = self.outstanding.get_mut(&vpage).expect("present");
+            match o.stage {
+                Stage::L2Access { .. } => {
+                    if self.l2.lookup(vpage) {
+                        self.stats.l2_hits += 1;
+                        let o = self.outstanding.remove(&vpage).expect("present");
+                        Self::complete(&mut self.l1, vpage, false, &o.waiters, done);
+                    } else {
+                        self.stats.l2_misses += 1;
+                        o.stage = Stage::WalkQueued;
+                        self.walk_queue.push_back(vpage);
+                    }
+                }
+                Stage::Walking { .. } => {
+                    self.active_walks -= 1;
+                    let o = self.outstanding.remove(&vpage).expect("present");
+                    self.l2.insert(vpage);
+                    let faulted = !o.mapped;
+                    if faulted {
+                        self.stats.faults += 1;
+                    }
+                    Self::complete(&mut self.l1, vpage, faulted, &o.waiters, done);
+                }
+                _ => unreachable!("filtered above"),
+            }
+        }
+
+        // Start walks while walkers are free.
+        while self.active_walks < self.params.walkers {
+            let Some(vpage) = self.walk_queue.pop_front() else { break };
+            let Some(o) = self.outstanding.get_mut(&vpage) else { continue };
+            let extra = if o.mapped { 0 } else { self.params.fault_latency };
+            o.stage = Stage::Walking { done_at: now + self.params.walk_latency + extra };
+            self.active_walks += 1;
+            self.stats.walks += 1;
+        }
+
+        // Start up to `l2_ports` L2 accesses.
+        for _ in 0..self.params.l2_ports {
+            let Some(vpage) = self.l2_queue.pop_front() else { break };
+            let Some(o) = self.outstanding.get_mut(&vpage) else { continue };
+            o.stage = Stage::L2Access { done_at: now + self.params.l2_latency };
+        }
+    }
+
+    fn complete(
+        l1: &mut [Tlb],
+        vpage: PageNum,
+        faulted: bool,
+        waiters: &[SmId],
+        done: &mut Vec<CompletedTranslation>,
+    ) {
+        for &sm in waiters {
+            l1[sm.0].insert(vpage);
+            done.push(CompletedTranslation { sm, vpage, faulted });
+        }
+    }
+
+    /// Per-page shootdown: drop `vpage` from every L1 TLB and the L2
+    /// (page migration/remap).
+    pub fn invalidate(&mut self, vpage: PageNum) {
+        for t in &mut self.l1 {
+            t.invalidate(vpage);
+        }
+        self.l2.invalidate(vpage);
+    }
+
+    /// Flush all TLBs (kernel boundary).
+    pub fn flush(&mut self) {
+        for t in &mut self.l1 {
+            t.flush();
+        }
+        self.l2.flush();
+    }
+
+    /// Translations still in flight.
+    pub fn outstanding(&self) -> usize {
+        self.outstanding.len()
+    }
+
+    /// Counters so far.
+    pub fn stats(&self) -> TlbStats {
+        self.stats
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn engine() -> TranslationEngine {
+        TranslationEngine::new(TlbParams::paper(), 4)
+    }
+
+    fn run(e: &mut TranslationEngine, from: u64, to: u64) -> Vec<(u64, CompletedTranslation)> {
+        let mut got = Vec::new();
+        let mut done = Vec::new();
+        for c in from..=to {
+            e.tick(c, &mut done);
+            for d in done.drain(..) {
+                got.push((c, d));
+            }
+        }
+        got
+    }
+
+    #[test]
+    fn cold_translation_walks() {
+        let mut e = engine();
+        assert_eq!(e.request(SmId(0), PageNum(7), 0, true), TranslationOutcome::Pending);
+        let got = run(&mut e, 0, 400);
+        assert_eq!(got.len(), 1);
+        let (t, d) = got[0];
+        assert!(!d.faulted);
+        // L2 latency (10) + walk (160) plus a couple of scheduling cycles.
+        assert!((170..=174).contains(&t), "completed at {t}");
+        assert_eq!(e.stats().walks, 1);
+        assert_eq!(e.stats().l2_misses, 1);
+    }
+
+    #[test]
+    fn l1_hit_after_fill() {
+        let mut e = engine();
+        e.request(SmId(0), PageNum(7), 0, true);
+        let _ = run(&mut e, 0, 400);
+        assert_eq!(e.request(SmId(0), PageNum(7), 400, true), TranslationOutcome::HitL1);
+        // A different SM misses L1 but hits L2.
+        assert_eq!(e.request(SmId(1), PageNum(7), 400, true), TranslationOutcome::Pending);
+        let got = run(&mut e, 400, 500);
+        assert_eq!(got.len(), 1);
+        assert!(got[0].0 <= 415, "L2 hit should be fast, got {}", got[0].0);
+        assert_eq!(e.stats().l2_hits, 1);
+    }
+
+    #[test]
+    fn fault_charges_penalty_and_flags() {
+        let mut e = engine();
+        e.request(SmId(0), PageNum(9), 0, false);
+        let got = run(&mut e, 0, 4000);
+        assert_eq!(got.len(), 1);
+        let (t, d) = got[0];
+        assert!(d.faulted);
+        assert!(t >= 10 + 160 + 2000, "fault penalty missing, t={t}");
+        assert_eq!(e.stats().faults, 1);
+    }
+
+    #[test]
+    fn concurrent_misses_merge_into_one_walk() {
+        let mut e = engine();
+        e.request(SmId(0), PageNum(3), 0, true);
+        e.request(SmId(1), PageNum(3), 0, true);
+        e.request(SmId(2), PageNum(3), 0, true);
+        let got = run(&mut e, 0, 400);
+        assert_eq!(got.len(), 3);
+        assert_eq!(e.stats().walks, 1, "walks must merge");
+        // All waiters complete together.
+        assert!(got.windows(2).all(|w| w[0].0 == w[1].0));
+    }
+
+    #[test]
+    fn l2_port_limit_serializes() {
+        let mut e = engine();
+        // 6 distinct pages at once: 2 ports → L2 accesses start over 3
+        // cycles, so completions spread.
+        for i in 0..6 {
+            e.request(SmId(0), PageNum(100 + i), 0, true);
+        }
+        let got = run(&mut e, 0, 1000);
+        assert_eq!(got.len(), 6);
+        let first = got.first().unwrap().0;
+        let last = got.last().unwrap().0;
+        assert!(last > first, "port limit should stagger completions");
+    }
+
+    #[test]
+    fn walker_pool_limit() {
+        let mut small = TranslationEngine::new(
+            TlbParams { walkers: 1, ..TlbParams::paper() },
+            2,
+        );
+        for i in 0..3 {
+            small.request(SmId(0), PageNum(200 + i), 0, true);
+        }
+        let got = run(&mut small, 0, 2000);
+        assert_eq!(got.len(), 3);
+        // With one walker, walks serialize: spacing ≥ walk latency.
+        assert!(got[1].0 - got[0].0 >= 160);
+        assert!(got[2].0 - got[1].0 >= 160);
+    }
+
+    #[test]
+    fn flush_forces_rewalk() {
+        let mut e = engine();
+        e.request(SmId(0), PageNum(7), 0, true);
+        let _ = run(&mut e, 0, 400);
+        e.flush();
+        assert_eq!(e.request(SmId(0), PageNum(7), 500, true), TranslationOutcome::Pending);
+        let got = run(&mut e, 500, 1000);
+        assert_eq!(got.len(), 1);
+        assert_eq!(e.stats().walks, 2);
+    }
+}

@@ -1,0 +1,61 @@
+//! Property tests: every requested translation eventually completes
+//! exactly once per request, regardless of interleaving.
+
+use proptest::prelude::*;
+
+use nuba_tlb::{TlbParams, TranslationEngine, TranslationOutcome};
+use nuba_types::addr::PageNum;
+use nuba_types::SmId;
+
+proptest! {
+    #[test]
+    fn every_pending_request_completes_once(
+        reqs in proptest::collection::vec((0usize..8, 0u64..40, any::<bool>()), 1..100),
+        walkers in 1usize..8,
+    ) {
+        let params = TlbParams { walkers, fault_latency: 50, ..TlbParams::paper() };
+        let mut mmu = TranslationEngine::new(params, 8);
+        let mut pending = 0u64;
+        let mut completed = 0u64;
+        let mut hits = 0u64;
+        let mut done = Vec::new();
+        let mut now = 0u64;
+        for (sm, vpage, mapped) in reqs.iter().copied() {
+            match mmu.request(SmId(sm), PageNum(vpage), now, mapped) {
+                TranslationOutcome::HitL1 => hits += 1,
+                TranslationOutcome::Pending => pending += 1,
+            }
+            mmu.tick(now, &mut done);
+            completed += done.drain(..).len() as u64;
+            now += 1;
+        }
+        // Drain: serialized worst case is one walker doing
+        // (walk 160 + fault 50) per distinct page plus L2 latency.
+        for _ in 0..300 * reqs.len() as u64 + 2000 {
+            mmu.tick(now, &mut done);
+            completed += done.drain(..).len() as u64;
+            now += 1;
+        }
+        prop_assert_eq!(completed, pending, "hits={}", hits);
+        prop_assert_eq!(mmu.outstanding(), 0);
+        let s = mmu.stats();
+        prop_assert_eq!(s.l1_hits, hits);
+        prop_assert_eq!(s.l1_misses, pending);
+        prop_assert!(s.l2_hits + s.l2_misses <= pending, "each page resolves once per miss group");
+    }
+
+    #[test]
+    fn repeated_page_becomes_an_l1_hit(vpage in 0u64..1000, sm in 0usize..4) {
+        let mut mmu = TranslationEngine::new(TlbParams::paper(), 4);
+        let mut done = Vec::new();
+        mmu.request(SmId(sm), PageNum(vpage), 0, true);
+        for t in 0..3000 {
+            mmu.tick(t, &mut done);
+        }
+        prop_assert_eq!(done.len(), 1);
+        prop_assert_eq!(
+            mmu.request(SmId(sm), PageNum(vpage), 3000, true),
+            TranslationOutcome::HitL1
+        );
+    }
+}

@@ -1,0 +1,98 @@
+//! Hardware-unit identifier newtypes.
+//!
+//! Using distinct types for SM, LLC-slice, channel, partition and module
+//! identifiers prevents the classic simulator bug of indexing one array
+//! with another unit's id. All ids are dense `usize` indices starting at 0.
+
+use core::fmt;
+
+macro_rules! id_type {
+    ($(#[$doc:meta])* $name:ident, $tag:literal) => {
+        $(#[$doc])*
+        #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+        pub struct $name(pub usize);
+
+        impl $name {
+            /// The raw dense index.
+            #[inline]
+            pub fn index(self) -> usize {
+                self.0
+            }
+        }
+
+        impl fmt::Display for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                write!(f, concat!($tag, "{}"), self.0)
+            }
+        }
+
+        impl From<usize> for $name {
+            fn from(v: usize) -> Self {
+                $name(v)
+            }
+        }
+    };
+}
+
+id_type!(
+    /// A Streaming Multiprocessor (SM) index, `0..num_sms`.
+    SmId,
+    "sm"
+);
+id_type!(
+    /// A Last-Level Cache slice index, `0..num_llc_slices`.
+    SliceId,
+    "llc"
+);
+id_type!(
+    /// A memory channel (= memory controller) index, `0..num_channels`.
+    ChannelId,
+    "ch"
+);
+id_type!(
+    /// A NUBA partition index, `0..num_partitions`. Each partition groups a
+    /// few SMs, a few LLC slices and one memory controller (paper Fig. 1c).
+    PartitionId,
+    "part"
+);
+id_type!(
+    /// A chip module in a Multi-Chip-Module (MCM) GPU, `0..num_modules`
+    /// (paper §7.6, Fig. 15).
+    ModuleId,
+    "mod"
+);
+id_type!(
+    /// A warp index within one SM, `0..warps_per_sm`.
+    WarpId,
+    "w"
+);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ids_are_distinct_types_with_display() {
+        let sm = SmId(3);
+        let slice = SliceId(3);
+        assert_eq!(sm.index(), slice.index());
+        assert_eq!(sm.to_string(), "sm3");
+        assert_eq!(slice.to_string(), "llc3");
+        assert_eq!(ChannelId(1).to_string(), "ch1");
+        assert_eq!(PartitionId(0).to_string(), "part0");
+        assert_eq!(ModuleId(2).to_string(), "mod2");
+        assert_eq!(WarpId(63).to_string(), "w63");
+    }
+
+    #[test]
+    fn from_usize() {
+        assert_eq!(SmId::from(7), SmId(7));
+        assert_eq!(PartitionId::from(31).index(), 31);
+    }
+
+    #[test]
+    fn ordering_follows_index() {
+        assert!(SliceId(2) < SliceId(10));
+        assert_eq!(ChannelId::default(), ChannelId(0));
+    }
+}

@@ -1,0 +1,212 @@
+//! Memory request/reply packets exchanged between SMs, LLC slices and
+//! memory controllers.
+//!
+//! Packet sizes follow the paper (§5.2 and §6): a read request carries
+//! only the address (8 B of control), a reply data packet is 136 B
+//! (128 B line + 8 B control). Write-through stores carry a 32 B sector
+//! plus control and are acknowledged with a control-only packet.
+
+use crate::addr::{LineAddr, PhysAddr, VirtAddr};
+use crate::ids::{SliceId, SmId, WarpId};
+
+/// Unique, monotonically increasing request identifier.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct ReqId(pub u64);
+
+/// The kind of global-memory access a warp issues.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum AccessKind {
+    /// `ld.global`: a load whose data may be written elsewhere in the
+    /// kernel — never replicated.
+    Load,
+    /// `ld.global.ro`: a load the compiler proved targets a read-only
+    /// data structure within this kernel (paper §5.2) — a replication
+    /// candidate for MDR.
+    LoadReadOnly,
+    /// `st.global`: a write-through store.
+    Store,
+    /// `atom.global`: an atomic read-modify-write, executed at the home
+    /// LLC slice (never replicated, never L1-cached).
+    Atomic,
+}
+
+impl AccessKind {
+    /// Whether this access reads data back to the SM.
+    pub fn is_read(self) -> bool {
+        matches!(self, AccessKind::Load | AccessKind::LoadReadOnly | AccessKind::Atomic)
+    }
+
+    /// Whether the compiler marked this access read-only (replicable).
+    pub fn is_read_only(self) -> bool {
+        matches!(self, AccessKind::LoadReadOnly)
+    }
+
+    /// Whether this access writes memory.
+    pub fn is_write(self) -> bool {
+        matches!(self, AccessKind::Store | AccessKind::Atomic)
+    }
+}
+
+/// Anything that occupies link bandwidth has a wire size in bytes.
+pub trait Wire {
+    /// Number of bytes this item occupies on a link (including control).
+    fn wire_bytes(&self) -> u64;
+}
+
+/// A memory request travelling from an SM's L1 towards the memory system.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MemRequest {
+    /// Unique id; replies carry the same id.
+    pub id: ReqId,
+    /// Issuing SM.
+    pub sm: SmId,
+    /// Issuing warp within the SM.
+    pub warp: WarpId,
+    /// Original virtual address (pre-translation).
+    pub vaddr: VirtAddr,
+    /// Translated physical address.
+    pub paddr: PhysAddr,
+    /// Access kind (plain load / read-only load / store / atomic).
+    pub kind: AccessKind,
+    /// Cycle the SM issued the request (for latency accounting).
+    pub issue_cycle: u64,
+    /// NUBA/MDR routing: set when the requester-local slice forwards a
+    /// read-only remote miss it intends to cache — the home slice's
+    /// reply then fills a replica on the way back (paper §5.2).
+    pub wants_replica: bool,
+    /// Streaming load (`ld.global.cg`-style): bypasses the L1 — the LLC
+    /// is its first cache level.
+    pub bypass_l1: bool,
+}
+
+impl MemRequest {
+    /// The cache line this request targets.
+    pub fn line(&self) -> LineAddr {
+        self.paddr.line()
+    }
+}
+
+impl Wire for MemRequest {
+    fn wire_bytes(&self) -> u64 {
+        match self.kind {
+            // Address-only control packet.
+            AccessKind::Load | AccessKind::LoadReadOnly => 8,
+            // 8 B control + 32 B write-through sector.
+            AccessKind::Store => 40,
+            // 8 B control + 8 B operand.
+            AccessKind::Atomic => 16,
+        }
+    }
+}
+
+/// A reply travelling from the memory system back to an SM.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MemReply {
+    /// Matches the originating request id.
+    pub id: ReqId,
+    /// Destination SM.
+    pub sm: SmId,
+    /// Warp to wake.
+    pub warp: WarpId,
+    /// Line the reply covers.
+    pub line: LineAddr,
+    /// Kind of the originating access.
+    pub kind: AccessKind,
+    /// LLC slice that serviced the request (local/remote accounting).
+    pub serviced_by: SliceId,
+    /// Whether the LLC slice hit (false ⇒ DRAM was accessed).
+    pub llc_hit: bool,
+    /// Cycle of the originating request's issue.
+    pub issue_cycle: u64,
+    /// Mirrors [`MemRequest::wants_replica`]: the requester-partition
+    /// slice must install this line as a replica before forwarding the
+    /// data to the SM.
+    pub replica_fill: bool,
+    /// Mirrors [`MemRequest::bypass_l1`]: do not fill the L1.
+    pub bypass_l1: bool,
+}
+
+impl Wire for MemReply {
+    fn wire_bytes(&self) -> u64 {
+        match self.kind {
+            // 128 B data + 8 B control (paper: "reply data packet size
+            // equals 136 bytes").
+            AccessKind::Load | AccessKind::LoadReadOnly => 136,
+            // Write acknowledgement / atomic result: control-only.
+            AccessKind::Store => 8,
+            AccessKind::Atomic => 16,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn req(kind: AccessKind) -> MemRequest {
+        MemRequest {
+            id: ReqId(1),
+            sm: SmId(0),
+            warp: WarpId(0),
+            vaddr: VirtAddr(0x1000),
+            paddr: PhysAddr(0x2040),
+            kind,
+            issue_cycle: 0,
+            wants_replica: false,
+            bypass_l1: false,
+        }
+    }
+
+    #[test]
+    fn paper_packet_sizes() {
+        assert_eq!(req(AccessKind::Load).wire_bytes(), 8);
+        assert_eq!(req(AccessKind::LoadReadOnly).wire_bytes(), 8);
+        let reply = MemReply {
+            id: ReqId(1),
+            sm: SmId(0),
+            warp: WarpId(0),
+            line: LineAddr::containing(0x2040),
+            kind: AccessKind::Load,
+            serviced_by: SliceId(0),
+            llc_hit: true,
+            issue_cycle: 0,
+            replica_fill: false,
+            bypass_l1: false,
+        };
+        assert_eq!(reply.wire_bytes(), 136);
+    }
+
+    #[test]
+    fn store_carries_data_reply_is_ack() {
+        assert_eq!(req(AccessKind::Store).wire_bytes(), 40);
+        let ack = MemReply {
+            id: ReqId(2),
+            sm: SmId(1),
+            warp: WarpId(3),
+            line: LineAddr::containing(0x80),
+            kind: AccessKind::Store,
+            serviced_by: SliceId(5),
+            llc_hit: false,
+            issue_cycle: 7,
+            replica_fill: false,
+            bypass_l1: false,
+        };
+        assert_eq!(ack.wire_bytes(), 8);
+    }
+
+    #[test]
+    fn access_kind_predicates() {
+        assert!(AccessKind::Load.is_read());
+        assert!(AccessKind::LoadReadOnly.is_read_only());
+        assert!(!AccessKind::Load.is_read_only());
+        assert!(AccessKind::Store.is_write());
+        assert!(AccessKind::Atomic.is_write() && AccessKind::Atomic.is_read());
+    }
+
+    #[test]
+    fn request_line_is_aligned() {
+        let r = req(AccessKind::Load);
+        assert_eq!(r.line().0 % 128, 0);
+        assert_eq!(r.line().0, 0x2000);
+    }
+}

@@ -1,0 +1,240 @@
+//! Statistics primitives shared across the simulator, and the aggregate
+//! metrics the paper reports (harmonic-mean speedup, percent improvement).
+
+use core::fmt;
+
+/// A saturating event counter.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Counter(pub u64);
+
+impl Counter {
+    /// Increment by one.
+    #[inline]
+    pub fn inc(&mut self) {
+        self.0 = self.0.saturating_add(1);
+    }
+
+    /// Increment by `n`.
+    #[inline]
+    pub fn add(&mut self, n: u64) {
+        self.0 = self.0.saturating_add(n);
+    }
+
+    /// Current value.
+    #[inline]
+    pub fn get(self) -> u64 {
+        self.0
+    }
+
+    /// Reset to zero, returning the previous value.
+    pub fn take(&mut self) -> u64 {
+        core::mem::take(&mut self.0)
+    }
+
+    /// This counter as a fraction of `total` (0.0 when `total` is 0).
+    pub fn fraction_of(self, total: u64) -> f64 {
+        if total == 0 {
+            0.0
+        } else {
+            self.0 as f64 / total as f64
+        }
+    }
+}
+
+impl fmt::Display for Counter {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+/// Tracks an events-per-cycle rate over a window (e.g. replies/cycle, the
+/// paper's "perceived bandwidth" metric of Fig. 8).
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct RateTracker {
+    events: u64,
+    window_start: u64,
+}
+
+impl RateTracker {
+    /// New tracker with its window starting at `cycle`.
+    pub fn starting_at(cycle: u64) -> RateTracker {
+        RateTracker { events: 0, window_start: cycle }
+    }
+
+    /// Record `n` events.
+    #[inline]
+    pub fn record(&mut self, n: u64) {
+        self.events += n;
+    }
+
+    /// Events per cycle between the window start and `now`.
+    pub fn rate(&self, now: u64) -> f64 {
+        let span = now.saturating_sub(self.window_start);
+        if span == 0 {
+            0.0
+        } else {
+            self.events as f64 / span as f64
+        }
+    }
+
+    /// Restart the window at `now`, returning the closed window's rate.
+    pub fn roll(&mut self, now: u64) -> f64 {
+        let r = self.rate(now);
+        self.events = 0;
+        self.window_start = now;
+        r
+    }
+
+    /// Total events recorded in the current window.
+    pub fn events(&self) -> u64 {
+        self.events
+    }
+}
+
+/// Harmonic-mean speedup over per-benchmark speedups, as the paper
+/// computes averages ("we compute average speedup using the harmonic
+/// mean").
+///
+/// Returns 0.0 for an empty slice.
+///
+/// # Panics
+/// Panics if any speedup is not finite and positive.
+pub fn harmonic_mean_speedup(speedups: &[f64]) -> f64 {
+    if speedups.is_empty() {
+        return 0.0;
+    }
+    let mut denom = 0.0;
+    for &s in speedups {
+        assert!(s.is_finite() && s > 0.0, "speedup must be positive, got {s}");
+        denom += 1.0 / s;
+    }
+    speedups.len() as f64 / denom
+}
+
+/// Percent improvement of `new` over `base` (e.g. 1.231 → 23.1%).
+pub fn percent_improvement(speedup: f64) -> f64 {
+    (speedup - 1.0) * 100.0
+}
+
+/// Geometric mean (useful for cross-checking; the paper uses harmonic).
+pub fn geometric_mean(values: &[f64]) -> f64 {
+    if values.is_empty() {
+        return 0.0;
+    }
+    let log_sum: f64 = values.iter().map(|v| v.ln()).sum();
+    (log_sum / values.len() as f64).exp()
+}
+
+/// Simple min/mean/max summary of a series.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Summary {
+    /// Minimum value.
+    pub min: f64,
+    /// Arithmetic mean.
+    pub mean: f64,
+    /// Maximum value.
+    pub max: f64,
+}
+
+impl Summary {
+    /// Summarize a non-empty slice; `None` if empty.
+    pub fn of(values: &[f64]) -> Option<Summary> {
+        if values.is_empty() {
+            return None;
+        }
+        let mut min = f64::INFINITY;
+        let mut max = f64::NEG_INFINITY;
+        let mut sum = 0.0;
+        for &v in values {
+            min = min.min(v);
+            max = max.max(v);
+            sum += v;
+        }
+        Some(Summary { min, mean: sum / values.len() as f64, max })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_basics() {
+        let mut c = Counter::default();
+        c.inc();
+        c.add(9);
+        assert_eq!(c.get(), 10);
+        assert_eq!(c.fraction_of(40), 0.25);
+        assert_eq!(c.take(), 10);
+        assert_eq!(c.get(), 0);
+        assert_eq!(Counter(5).fraction_of(0), 0.0);
+    }
+
+    #[test]
+    fn counter_saturates() {
+        let mut c = Counter(u64::MAX);
+        c.inc();
+        assert_eq!(c.get(), u64::MAX);
+    }
+
+    #[test]
+    fn rate_tracker_windows() {
+        let mut r = RateTracker::starting_at(100);
+        r.record(50);
+        assert_eq!(r.rate(200), 0.5);
+        assert_eq!(r.roll(200), 0.5);
+        assert_eq!(r.events(), 0);
+        r.record(10);
+        assert_eq!(r.rate(210), 1.0);
+    }
+
+    #[test]
+    fn rate_zero_span() {
+        let r = RateTracker::starting_at(5);
+        assert_eq!(r.rate(5), 0.0);
+    }
+
+    #[test]
+    fn harmonic_mean_matches_hand_calc() {
+        // HM of 1.0 and 2.0 = 2 / (1 + 0.5) = 4/3.
+        let hm = harmonic_mean_speedup(&[1.0, 2.0]);
+        assert!((hm - 4.0 / 3.0).abs() < 1e-12);
+        assert_eq!(harmonic_mean_speedup(&[]), 0.0);
+        assert_eq!(harmonic_mean_speedup(&[1.5]), 1.5);
+    }
+
+    #[test]
+    fn harmonic_mean_below_arithmetic() {
+        let v = [1.1, 1.4, 0.9, 2.3];
+        let hm = harmonic_mean_speedup(&v);
+        let am: f64 = v.iter().sum::<f64>() / v.len() as f64;
+        assert!(hm < am);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn harmonic_mean_rejects_zero() {
+        harmonic_mean_speedup(&[1.0, 0.0]);
+    }
+
+    #[test]
+    fn percent_improvement_examples() {
+        assert!((percent_improvement(1.231) - 23.1).abs() < 1e-9);
+        assert!((percent_improvement(0.9) + 10.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn geometric_mean_examples() {
+        assert!((geometric_mean(&[1.0, 4.0]) - 2.0).abs() < 1e-12);
+        assert_eq!(geometric_mean(&[]), 0.0);
+    }
+
+    #[test]
+    fn summary_of_series() {
+        let s = Summary::of(&[1.0, 2.0, 3.0]).unwrap();
+        assert_eq!(s.min, 1.0);
+        assert_eq!(s.mean, 2.0);
+        assert_eq!(s.max, 3.0);
+        assert!(Summary::of(&[]).is_none());
+    }
+}

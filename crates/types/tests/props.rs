@@ -1,0 +1,87 @@
+//! Property tests: the partition-aware address map (paper Fig. 2) must
+//! round-trip driver placements and keep pages channel-pure.
+
+use proptest::prelude::*;
+
+use nuba_types::ids::ChannelId;
+use nuba_types::mapping::MappingKind;
+use nuba_types::{AddressMapping, ArchKind, GpuConfig, PhysAddr};
+
+fn cfg(channels: usize, page_bytes: u64, kind: MappingKind) -> GpuConfig {
+    let mut c = GpuConfig::paper_baseline(ArchKind::Nuba);
+    c.num_channels = channels;
+    c.num_sms = channels * 2;
+    c.num_llc_slices = channels * 2;
+    c.llc_total_bytes = c.num_llc_slices * 96 * 1024;
+    c.page_bytes = page_bytes;
+    c.mapping = kind;
+    c
+}
+
+proptest! {
+    #[test]
+    fn fixed_channel_roundtrip(
+        channels_log in 1u32..6,
+        page_shift in 12u32..17,
+        ch in 0usize..64,
+        frame in 0u64..100_000,
+        offset in 0u64..4096,
+    ) {
+        let channels = 1usize << channels_log;
+        let page_bytes = 1u64 << page_shift;
+        let m = AddressMapping::new(&cfg(channels, page_bytes, MappingKind::FixedChannel));
+        let ch = ChannelId(ch % channels);
+        let offset = offset % page_bytes;
+        let pa = m.compose(ch, frame, offset);
+        let d = m.decode(pa);
+        prop_assert_eq!(d.channel, ch, "driver placement must be preserved");
+        prop_assert_eq!(m.frame(pa), frame);
+        prop_assert!(d.bank < 16);
+        prop_assert!(d.col < 2048);
+        prop_assert!(d.home_slice.0 < channels * 2);
+        prop_assert_eq!(d.home_slice.0 / 2, ch.0, "home slice belongs to the channel");
+    }
+
+    #[test]
+    fn whole_page_shares_one_channel(
+        channels_log in 1u32..6,
+        ch in 0usize..64,
+        frame in 0u64..10_000,
+    ) {
+        let channels = 1usize << channels_log;
+        let m = AddressMapping::new(&cfg(channels, 4096, MappingKind::FixedChannel));
+        let ch = ChannelId(ch % channels);
+        let base = m.compose(ch, frame, 0);
+        for line in 0..32u64 {
+            let d = m.decode(PhysAddr(base.0 + line * 128));
+            prop_assert_eq!(d.channel, ch);
+            prop_assert_eq!(d.home_partition.0, ch.0);
+        }
+    }
+
+    #[test]
+    fn pae_decode_is_deterministic_and_in_range(
+        ch in 0usize..32,
+        frame in 0u64..100_000,
+    ) {
+        let m = AddressMapping::new(&cfg(32, 4096, MappingKind::Pae));
+        let pa = m.compose(ChannelId(ch % 32), frame, 0);
+        let a = m.decode(pa);
+        let b = m.decode(pa);
+        prop_assert_eq!(a, b);
+        prop_assert!(a.channel.0 < 32);
+    }
+
+    #[test]
+    fn distinct_frames_give_distinct_addresses(
+        f1 in 0u64..100_000,
+        f2 in 0u64..100_000,
+        ch in 0usize..32,
+    ) {
+        prop_assume!(f1 != f2);
+        let m = AddressMapping::new(&cfg(32, 4096, MappingKind::FixedChannel));
+        let a = m.compose(ChannelId(ch % 32), f1, 0);
+        let b = m.compose(ChannelId(ch % 32), f2, 0);
+        prop_assert_ne!(a, b);
+    }
+}

@@ -1,0 +1,106 @@
+//! Distributed CTA scheduling (after MCM-GPU \[6\]).
+//!
+//! The paper assumes distributed CTA scheduling "to maximize data
+//! locality within an SM (for the UBA GPU) and within a partition (for
+//! NUBA)": consecutive CTAs — which touch adjacent data — are assigned
+//! to the same SM/partition in contiguous blocks, instead of the
+//! round-robin spray of a centralized scheduler.
+
+use nuba_types::SmId;
+
+/// Maps CTA ids to SMs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CtaScheduler {
+    num_ctas: usize,
+    num_sms: usize,
+}
+
+impl CtaScheduler {
+    /// A schedule of `num_ctas` CTAs over `num_sms` SMs.
+    ///
+    /// # Panics
+    /// Panics if either count is zero.
+    pub fn new(num_ctas: usize, num_sms: usize) -> CtaScheduler {
+        assert!(num_ctas > 0 && num_sms > 0);
+        CtaScheduler { num_ctas, num_sms }
+    }
+
+    /// CTAs per SM (ceiling).
+    pub fn ctas_per_sm(&self) -> usize {
+        self.num_ctas.div_ceil(self.num_sms)
+    }
+
+    /// Distributed (contiguous-block) assignment: CTA `i` runs on SM
+    /// `i / ctas_per_sm`, so neighbouring CTAs — and the adjacent pages
+    /// they touch — share an SM.
+    pub fn distributed(&self, cta: usize) -> SmId {
+        assert!(cta < self.num_ctas, "cta {cta} out of range");
+        SmId((cta / self.ctas_per_sm()).min(self.num_sms - 1))
+    }
+
+    /// Centralized round-robin assignment (the locality-oblivious
+    /// baseline, for comparison in tests/examples).
+    pub fn round_robin(&self, cta: usize) -> SmId {
+        assert!(cta < self.num_ctas, "cta {cta} out of range");
+        SmId(cta % self.num_sms)
+    }
+
+    /// The CTA ids assigned to `sm` under the distributed schedule.
+    pub fn ctas_of(&self, sm: SmId) -> impl Iterator<Item = usize> + '_ {
+        let per = self.ctas_per_sm();
+        sm.0 * per..((sm.0 + 1) * per).min(self.num_ctas)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn contiguous_blocks() {
+        let s = CtaScheduler::new(128, 64);
+        assert_eq!(s.ctas_per_sm(), 2);
+        assert_eq!(s.distributed(0), SmId(0));
+        assert_eq!(s.distributed(1), SmId(0));
+        assert_eq!(s.distributed(2), SmId(1));
+        assert_eq!(s.distributed(127), SmId(63));
+    }
+
+    #[test]
+    fn neighbouring_ctas_share_partitions() {
+        // 2 SMs per partition: CTAs 0..4 land in partition 0.
+        let s = CtaScheduler::new(256, 64);
+        let parts: Vec<usize> = (0..4).map(|c| s.distributed(c).0 / 2).collect();
+        assert!(parts.iter().all(|&p| p == 0), "{parts:?}");
+    }
+
+    #[test]
+    fn round_robin_sprays() {
+        let s = CtaScheduler::new(128, 64);
+        assert_eq!(s.round_robin(0), SmId(0));
+        assert_eq!(s.round_robin(1), SmId(1));
+        assert_eq!(s.round_robin(64), SmId(0));
+    }
+
+    #[test]
+    fn uneven_division_covered() {
+        let s = CtaScheduler::new(100, 64);
+        assert_eq!(s.ctas_per_sm(), 2);
+        // Every CTA maps to a valid SM.
+        for c in 0..100 {
+            assert!(s.distributed(c).0 < 64);
+        }
+        // CTAs of an SM round-trip.
+        for sm in 0..64 {
+            for c in s.ctas_of(SmId(sm)) {
+                assert_eq!(s.distributed(c), SmId(sm));
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn cta_out_of_range_panics() {
+        CtaScheduler::new(4, 2).distributed(4);
+    }
+}

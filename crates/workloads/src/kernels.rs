@@ -1,0 +1,314 @@
+//! Mini-PTX kernels per pattern family.
+//!
+//! Every benchmark carries a representative kernel whose arrays map onto
+//! the workload's address regions: `S` (and `S2` for GEMM) → the shared
+//! read-only region, `W` → the shared read-write region, `P` → the SM's
+//! private region. The generator consults the **compiler analysis** of
+//! these kernels — not the spec — to decide which loads are issued as
+//! `ld.global.ro`, exactly as the paper's toolchain would.
+
+use nuba_compiler::{analyze_kernel, parse_module, Module};
+
+use crate::spec::PatternFamily;
+
+/// The PTX source for a pattern family's kernel.
+pub fn family_ptx(family: PatternFamily) -> &'static str {
+    match family {
+        PatternFamily::Stream => STREAM_PTX,
+        PatternFamily::Stencil => STENCIL_PTX,
+        PatternFamily::Gemm => GEMM_PTX,
+        PatternFamily::DnnInference => DNN_PTX,
+        PatternFamily::Irregular => IRREGULAR_PTX,
+        PatternFamily::MapReduce => MAPREDUCE_PTX,
+        PatternFamily::Tree => TREE_PTX,
+    }
+}
+
+/// Parse the family's kernel module.
+///
+/// # Panics
+/// Panics if a built-in kernel fails to parse (a bug, covered by tests).
+pub fn family_module(family: PatternFamily) -> Module {
+    parse_module(family_ptx(family)).expect("built-in kernel must parse")
+}
+
+/// The parameters the compiler proves read-only for this family's
+/// kernel. The stream generator tags accesses to the matching regions as
+/// `ld.global.ro`.
+pub fn family_readonly_params(family: PatternFamily) -> Vec<String> {
+    let module = family_module(family);
+    let summary = analyze_kernel(&module.kernels[0]);
+    summary.read_only.into_iter().collect()
+}
+
+/// `P[i] = f(S[i'], P[i])`: streaming map with a broadcast coefficient
+/// table.
+const STREAM_PTX: &str = r#"
+.visible .entry stream_map(.param .u64 S, .param .u64 W, .param .u64 P)
+{
+    ld.param.u64 %rds, [S];
+    ld.param.u64 %rdw, [W];
+    ld.param.u64 %rdp, [P];
+    cvta.to.global.u64 %rds, %rds;
+    cvta.to.global.u64 %rdw, %rdw;
+    cvta.to.global.u64 %rdp, %rdp;
+    mov.u32 %r1, %tid_x;
+    mul.wide.u32 %rd4, %r1, 4;
+    add.s64 %rd5, %rds, %rd4;
+    add.s64 %rd6, %rdp, %rd4;
+    add.s64 %rd8, %rdw, %rd4;
+    ld.global.f32 %f1, [%rd5];
+    ld.global.f32 %f2, [%rd6];
+    ld.global.f32 %f4, [%rd8];
+    fma.rn.f32 %f3, %f1, %f2, %f4;
+    st.global.f32 [%rd6], %f3;
+    st.global.f32 [%rd8], %f3;
+    ret;
+}
+"#;
+
+/// 9-point stencil: halo rows of the input tile are the shared surface.
+const STENCIL_PTX: &str = r#"
+.visible .entry stencil9(.param .u64 S, .param .u64 W, .param .u64 P)
+{
+    ld.param.u64 %rds, [S];
+    ld.param.u64 %rdw, [W];
+    ld.param.u64 %rdp, [P];
+    cvta.to.global.u64 %rds, %rds;
+    cvta.to.global.u64 %rdw, %rdw;
+    cvta.to.global.u64 %rdp, %rdp;
+    mov.u32 %r1, %tid_x;
+    mul.wide.u32 %rd4, %r1, 4;
+    add.s64 %rd5, %rds, %rd4;
+    ld.global.f32 %f1, [%rd5];
+    ld.global.f32 %f2, [%rd5+4];
+    ld.global.f32 %f3, [%rd5+512];
+    add.s64 %rd6, %rdw, %rd4;
+    ld.global.f32 %f5, [%rd6];
+    add.f32 %f4, %f1, %f2;
+    add.f32 %f4, %f4, %f3;
+    add.f32 %f4, %f4, %f5;
+    add.s64 %rd7, %rdp, %rd4;
+    st.global.f32 [%rd7], %f4;
+    st.global.f32 [%rd6], %f4;
+    ret;
+}
+"#;
+
+/// Tiled GEMM: both input matrices broadcast, output private.
+const GEMM_PTX: &str = r#"
+.visible .entry gemm_tile(.param .u64 S, .param .u64 S2, .param .u64 P)
+{
+    ld.param.u64 %rda, [S];
+    ld.param.u64 %rdb, [S2];
+    ld.param.u64 %rdc, [P];
+    cvta.to.global.u64 %rda, %rda;
+    cvta.to.global.u64 %rdb, %rdb;
+    cvta.to.global.u64 %rdc, %rdc;
+    mov.u32 %r1, %tid_x;
+    mul.wide.u32 %rd4, %r1, 4;
+    add.s64 %rd5, %rda, %rd4;
+    add.s64 %rd6, %rdb, %rd4;
+    mov.f32 %f3, 0;
+LOOP_K:
+    ld.global.f32 %f1, [%rd5];
+    ld.global.f32 %f2, [%rd6];
+    fma.rn.f32 %f3, %f1, %f2, %f3;
+    add.s64 %rd5, %rd5, 4;
+    add.s64 %rd6, %rd6, 512;
+    add.u32 %r2, %r2, 1;
+    setp.lt.u32 %p1, %r2, %r3;
+    @%p1 bra LOOP_K;
+    add.s64 %rd7, %rdc, %rd4;
+    st.global.f32 [%rd7], %f3;
+    ret;
+}
+"#;
+
+/// DNN inference layer: broadcast weights, private activations.
+const DNN_PTX: &str = r#"
+.visible .entry dnn_layer(.param .u64 S, .param .u64 W, .param .u64 P)
+{
+    ld.param.u64 %rdw, [S];
+    ld.param.u64 %rda, [W];
+    ld.param.u64 %rdo, [P];
+    cvta.to.global.u64 %rdw, %rdw;
+    cvta.to.global.u64 %rda, %rda;
+    cvta.to.global.u64 %rdo, %rdo;
+    mov.u32 %r1, %tid_x;
+    mul.wide.u32 %rd4, %r1, 4;
+    add.s64 %rd5, %rdw, %rd4;
+    add.s64 %rd6, %rda, %rd4;
+    mov.f32 %f3, 0;
+LOOP_C:
+    ld.global.f32 %f1, [%rd5];
+    ld.global.f32 %f2, [%rd6];
+    fma.rn.f32 %f3, %f1, %f2, %f3;
+    add.s64 %rd5, %rd5, 4;
+    add.s64 %rd6, %rd6, 4;
+    add.u32 %r2, %r2, 1;
+    setp.lt.u32 %p1, %r2, %r3;
+    @%p1 bra LOOP_C;
+    max.f32 %f3, %f3, 0;
+    add.s64 %rd7, %rdo, %rd4;
+    st.global.f32 [%rd7], %f3;
+    st.global.f32 [%rd6], %f3;
+    ret;
+}
+"#;
+
+/// Data-dependent gather: index vector private, gathered table shared.
+const IRREGULAR_PTX: &str = r#"
+.visible .entry gather(.param .u64 S, .param .u64 W, .param .u64 P)
+{
+    ld.param.u64 %rdt, [S];
+    ld.param.u64 %rdw, [W];
+    ld.param.u64 %rdi, [P];
+    cvta.to.global.u64 %rdt, %rdt;
+    cvta.to.global.u64 %rdw, %rdw;
+    cvta.to.global.u64 %rdi, %rdi;
+    mov.u32 %r1, %tid_x;
+    mul.wide.u32 %rd4, %r1, 4;
+    add.s64 %rd5, %rdi, %rd4;
+    ld.global.f32 %f3, [%rd5];
+    mul.lo.u32 %r2, %r1, 40503;
+    mul.wide.u32 %rd6, %r2, 4;
+    add.s64 %rd7, %rdt, %rd6;
+    ld.global.f32 %f1, [%rd7];
+    add.s64 %rd8, %rdw, %rd4;
+    ld.global.f32 %f2, [%rd8];
+    add.f32 %f1, %f1, %f2;
+    add.f32 %f1, %f1, %f3;
+    st.global.f32 [%rd8], %f1;
+    st.global.f32 [%rd5], %f1;
+    ret;
+}
+"#;
+
+/// MapReduce: private input scan, atomic reduction into shared bins.
+const MAPREDUCE_PTX: &str = r#"
+.visible .entry map_reduce(.param .u64 S, .param .u64 W, .param .u64 P)
+{
+    ld.param.u64 %rdk, [S];
+    ld.param.u64 %rdb, [W];
+    ld.param.u64 %rdi, [P];
+    cvta.to.global.u64 %rdk, %rdk;
+    cvta.to.global.u64 %rdb, %rdb;
+    cvta.to.global.u64 %rdi, %rdi;
+    mov.u32 %r1, %tid_x;
+    mul.wide.u32 %rd4, %r1, 4;
+    add.s64 %rd5, %rdi, %rd4;
+    ld.global.u32 %r2, [%rd5];
+    mul.lo.u32 %r7, %r1, 40503;
+    mul.wide.u32 %rd6, %r7, 4;
+    add.s64 %rd7, %rdk, %rd6;
+    ld.global.u32 %r3, [%rd7];
+    add.s64 %rd8, %rdb, %rd6;
+    atom.global.add.u32 %r4, [%rd8], 1;
+    st.global.u32 [%rd5], %r4;
+    ret;
+}
+"#;
+
+/// B+tree style traversal: node reads from the shared tree, result
+/// stores to a private output vector.
+const TREE_PTX: &str = r#"
+.visible .entry tree_search(.param .u64 S, .param .u64 W, .param .u64 P)
+{
+    ld.param.u64 %rdt, [S];
+    ld.param.u64 %rdw, [W];
+    ld.param.u64 %rdo, [P];
+    cvta.to.global.u64 %rdt, %rdt;
+    cvta.to.global.u64 %rdw, %rdw;
+    cvta.to.global.u64 %rdo, %rdo;
+    mov.u32 %r1, %tid_x;
+    mov.u32 %r2, 0;
+LOOP_DEPTH:
+    mul.wide.u32 %rd4, %r2, 64;
+    add.s64 %rd5, %rdt, %rd4;
+    ld.global.u32 %r2, [%rd5];
+    add.u32 %r3, %r3, 1;
+    setp.lt.u32 %p1, %r3, %r4;
+    @%p1 bra LOOP_DEPTH;
+    mul.wide.u32 %rd6, %r1, 4;
+    add.s64 %rd7, %rdw, %rd6;
+    ld.global.u32 %r5, [%rd7];
+    add.s64 %rd8, %rdo, %rd6;
+    add.u32 %r6, %r2, %r5;
+    st.global.u32 [%rd8], %r6;
+    st.global.u32 [%rd7], %r6;
+    ret;
+}
+"#;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::BenchmarkId;
+    use nuba_compiler::rewrite_readonly_loads;
+
+    const ALL_FAMILIES: [PatternFamily; 7] = [
+        PatternFamily::Stream,
+        PatternFamily::Stencil,
+        PatternFamily::Gemm,
+        PatternFamily::DnnInference,
+        PatternFamily::Irregular,
+        PatternFamily::MapReduce,
+        PatternFamily::Tree,
+    ];
+
+    #[test]
+    fn all_kernels_parse() {
+        for f in ALL_FAMILIES {
+            let m = family_module(f);
+            assert_eq!(m.kernels.len(), 1, "{f:?}");
+            assert!(!m.kernels[0].body.is_empty(), "{f:?}");
+        }
+    }
+
+    #[test]
+    fn shared_array_is_read_only_in_every_family() {
+        for f in ALL_FAMILIES {
+            let ro = family_readonly_params(f);
+            assert!(ro.contains(&"S".to_string()), "{f:?}: S not read-only ({ro:?})");
+        }
+    }
+
+    #[test]
+    fn gemm_has_two_readonly_matrices() {
+        let ro = family_readonly_params(PatternFamily::Gemm);
+        assert!(ro.contains(&"S".to_string()) && ro.contains(&"S2".to_string()));
+    }
+
+    #[test]
+    fn written_arrays_are_never_read_only() {
+        // P is stored in most kernels; W is stored or atomically updated.
+        for f in ALL_FAMILIES {
+            let ro = family_readonly_params(f);
+            assert!(!ro.contains(&"P".to_string()), "{f:?}: P must be read-write");
+        }
+        let mr = family_readonly_params(PatternFamily::MapReduce);
+        assert!(!mr.contains(&"W".to_string()), "atomic bins must be read-write");
+        let st = family_readonly_params(PatternFamily::Stencil);
+        assert!(!st.contains(&"W".to_string()), "stencil W is stored");
+    }
+
+    #[test]
+    fn rewriter_marks_shared_loads() {
+        for f in ALL_FAMILIES {
+            let m = family_module(f);
+            let rewritten = rewrite_readonly_loads(&m.kernels[0]);
+            assert!(
+                rewritten.to_ptx().contains("ld.global.ro"),
+                "{f:?}: no .ro load produced"
+            );
+        }
+    }
+
+    #[test]
+    fn every_benchmark_family_has_a_kernel() {
+        for &b in BenchmarkId::ALL {
+            let _ = family_module(b.spec().family); // must not panic
+        }
+    }
+}

@@ -1,0 +1,137 @@
+//! Page sharing-degree profiling (regenerates Fig. 3).
+
+use crate::layout::WorkloadLayout;
+use crate::spec::SharingClass;
+
+/// Fractions of pages by sharer count, in the paper's Fig. 3 buckets.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SharingProfile {
+    /// Fractions for \[1 SM, 2–10 SMs, 11–25 SMs, 26–64 SMs\].
+    pub buckets: [f64; 4],
+    /// Total pages profiled.
+    pub total_pages: u64,
+}
+
+impl SharingProfile {
+    /// Fraction of pages accessed by more than one SM.
+    pub fn shared_fraction(&self) -> f64 {
+        1.0 - self.buckets[0]
+    }
+
+    /// Classify per the paper's rule of thumb: low-sharing applications
+    /// have ≳80% single-SM pages.
+    pub fn classify(&self) -> SharingClass {
+        if self.buckets[0] >= 0.8 {
+            SharingClass::Low
+        } else {
+            SharingClass::High
+        }
+    }
+}
+
+/// Compute the sharing-degree histogram of a layout: private pages count
+/// as single-SM, shared pages by their sharer-window length.
+pub fn sharing_buckets(layout: &WorkloadLayout, num_sms: usize) -> SharingProfile {
+    let mut counts = [0u64; 4];
+    let bucket = |sharers: usize| -> usize {
+        match sharers {
+            0..=1 => 0,
+            2..=10 => 1,
+            11..=25 => 2,
+            _ => 3,
+        }
+    };
+    for p in layout.ro_pages.iter().chain(&layout.rw_shared_pages) {
+        counts[bucket(p.window_len.min(num_sms))] += 1;
+    }
+    let private = layout.private_pages_per_sm * num_sms as u64;
+    counts[0] += private;
+
+    let total: u64 = counts.iter().sum();
+    let mut buckets = [0.0; 4];
+    for (b, &c) in buckets.iter_mut().zip(&counts) {
+        *b = c as f64 / total as f64;
+    }
+    SharingProfile { buckets, total_pages: total }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scale::ScaleProfile;
+    use crate::spec::{BenchmarkId, SharingClass};
+    use crate::layout::WorkloadLayout;
+
+    fn profile(b: BenchmarkId) -> SharingProfile {
+        let l = WorkloadLayout::build(b.spec(), &ScaleProfile::default(), 64, 3);
+        sharing_buckets(&l, 64)
+    }
+
+    #[test]
+    fn buckets_sum_to_one() {
+        for &b in BenchmarkId::ALL {
+            let p = profile(b);
+            let sum: f64 = p.buckets.iter().sum();
+            assert!((sum - 1.0).abs() < 1e-9, "{b}: {sum}");
+        }
+    }
+
+    #[test]
+    fn fig3_class_recovered_for_every_benchmark() {
+        // The generated layouts must reproduce the paper's low/high
+        // sharing classification (Fig. 3 / Table 2) for all 29 workloads.
+        for &b in BenchmarkId::ALL {
+            let p = profile(b);
+            assert_eq!(
+                p.classify(),
+                b.spec().sharing,
+                "{b}: buckets {:?}",
+                p.buckets
+            );
+        }
+    }
+
+    #[test]
+    fn fig3_low_sharing_examples() {
+        // "For low-sharing applications, more than 80% of the memory
+        // pages are accessed by a single SM."
+        for b in [BenchmarkId::Lbm, BenchmarkId::Mvt, BenchmarkId::Atax, BenchmarkId::Gesummv] {
+            let p = profile(b);
+            assert!(p.buckets[0] > 0.8, "{b}: {:?}", p.buckets);
+            // And their shared tail sits in the 2–10 bucket.
+            assert!(p.buckets[3] < 0.01, "{b}: {:?}", p.buckets);
+        }
+    }
+
+    #[test]
+    fn fig3_wide_sharing_examples() {
+        // "more than 70% of the memory pages are shared by 26–64 SMs for
+        // AN, SN and GRU".
+        for b in [BenchmarkId::AlexNet, BenchmarkId::SqueezeNet, BenchmarkId::Gru] {
+            let p = profile(b);
+            let shared_pages = p.shared_fraction();
+            assert!(
+                p.buckets[3] / shared_pages.max(1e-9) > 0.6,
+                "{b}: wide bucket {:?} of shared {shared_pages}",
+                p.buckets
+            );
+        }
+    }
+
+    #[test]
+    fn sc_shares_narrowly() {
+        // "~30% of pages are shared by 2-10 SMs for SC".
+        let p = profile(BenchmarkId::StreamCluster);
+        assert!(p.buckets[1] > 0.2, "SC: {:?}", p.buckets);
+        assert_eq!(p.classify(), SharingClass::High);
+    }
+
+    #[test]
+    fn irregular_can_be_either_class() {
+        // The paper stresses MVT/ATAX/GESUMM are irregular *and*
+        // low-sharing while NW/BICG are irregular and high-sharing.
+        assert_eq!(profile(BenchmarkId::Mvt).classify(), SharingClass::Low);
+        assert_eq!(profile(BenchmarkId::NeedlemanWunsch).classify(), SharingClass::High);
+        assert_eq!(profile(BenchmarkId::Bicg).classify(), SharingClass::High);
+    }
+}

@@ -1,0 +1,126 @@
+//! Footprint scaling (DESIGN.md substitution #2).
+//!
+//! Paper footprints reach 6.4 GB; simulating those directly is
+//! pointless for windows of a few hundred thousand cycles. We keep
+//! footprints **linear up to a cap** so that each working set's
+//! relationship to the 6 MB LLC (and to a partition's 192 KB LLC share,
+//! which governs the replication trade-off) is preserved for the small
+//! benchmarks, while the huge streaming benchmarks are clipped — beyond
+//! several times the LLC, "bigger" changes nothing but simulation time.
+
+use crate::spec::BenchmarkSpec;
+
+/// Controls how paper footprints map to simulated pages.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ScaleProfile {
+    /// Simulated pages per paper-MB below the cap (256 ≙ byte-accurate
+    /// for 4 KB pages).
+    pub pages_per_mb: f64,
+    /// Footprint cap in MB (32 MB ≈ 5.3× the 6 MB LLC).
+    pub cap_mb: f64,
+    /// Page size in bytes (4 KB default; the 2 MB sensitivity divides
+    /// page counts accordingly).
+    pub page_bytes: u64,
+}
+
+impl Default for ScaleProfile {
+    fn default() -> Self {
+        ScaleProfile { pages_per_mb: 256.0, cap_mb: 32.0, page_bytes: 4096 }
+    }
+}
+
+impl ScaleProfile {
+    /// A profile for 2 MB huge pages (Fig. 14 sensitivity).
+    pub fn huge_pages() -> ScaleProfile {
+        ScaleProfile { page_bytes: 2 << 20, ..ScaleProfile::default() }
+    }
+
+    /// A cheaper profile for quick tests: quarter-density, 8 MB cap.
+    pub fn fast() -> ScaleProfile {
+        ScaleProfile { pages_per_mb: 64.0, cap_mb: 8.0, page_bytes: 4096 }
+    }
+
+    /// Effective (possibly clipped) footprint in MB.
+    pub fn effective_mb(&self, footprint_mb: f64) -> f64 {
+        footprint_mb.min(self.cap_mb)
+    }
+
+    /// Total simulated pages for a benchmark.
+    pub fn total_pages(&self, spec: &BenchmarkSpec) -> u64 {
+        let mb = self.effective_mb(spec.footprint_mb);
+        let bytes = mb * self.pages_per_mb * 4096.0;
+        ((bytes / self.page_bytes as f64).round() as u64).max(8)
+    }
+
+    /// Simulated read-only shared pages: the paper ratio applied to the
+    /// effective footprint (so clipping shrinks both proportionally).
+    pub fn ro_pages(&self, spec: &BenchmarkSpec) -> u64 {
+        if spec.ro_shared_mb <= 0.0 {
+            return 0;
+        }
+        let ratio = spec.ro_shared_mb / spec.footprint_mb;
+        let total = self.total_pages(spec);
+        let shared = (total as f64 * spec.shared_page_fraction).round() as u64;
+        (((total as f64) * ratio).round() as u64).clamp(1, shared.max(1))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::BenchmarkId;
+
+    #[test]
+    fn small_footprints_scale_linearly() {
+        let p = ScaleProfile::default();
+        let an = BenchmarkId::AlexNet.spec(); // 1 MB
+        assert_eq!(p.total_pages(an), 256);
+        let gru = BenchmarkId::Gru.spec(); // 2 MB
+        assert_eq!(p.total_pages(gru), 512);
+    }
+
+    #[test]
+    fn huge_footprints_clip_at_cap() {
+        let p = ScaleProfile::default();
+        let mvt = BenchmarkId::Mvt.spec(); // 6443 MB
+        assert_eq!(p.total_pages(mvt), (32.0 * 256.0) as u64);
+        let lbm = BenchmarkId::Lbm.spec(); // 389 MB
+        assert_eq!(p.total_pages(lbm), p.total_pages(mvt));
+    }
+
+    #[test]
+    fn ro_ratio_is_preserved() {
+        let p = ScaleProfile::default();
+        let bt = BenchmarkId::BTree.spec(); // 36/39 read-only
+        let total = p.total_pages(bt);
+        let ro = p.ro_pages(bt);
+        let ratio = ro as f64 / total as f64;
+        assert!((ratio - 36.0 / 39.0).abs() < 0.05, "ratio {ratio}");
+    }
+
+    #[test]
+    fn ro_bounded_by_shared_pages() {
+        let p = ScaleProfile::default();
+        for &b in BenchmarkId::ALL {
+            let s = b.spec();
+            let shared = (p.total_pages(s) as f64 * s.shared_page_fraction).round() as u64;
+            assert!(p.ro_pages(s) <= shared.max(1), "{}", s.abbr);
+        }
+    }
+
+    #[test]
+    fn zero_ro_benchmark_has_no_ro_pages() {
+        // FWT has 0.01 MB RO of 269 MB: tiny but non-zero.
+        let p = ScaleProfile::default();
+        assert!(p.ro_pages(BenchmarkId::Fwt.spec()) >= 1);
+    }
+
+    #[test]
+    fn huge_page_profile_reduces_page_count() {
+        let small = ScaleProfile::default();
+        let huge = ScaleProfile::huge_pages();
+        let spec = BenchmarkId::StreamCluster.spec();
+        assert!(huge.total_pages(spec) < small.total_pages(spec) / 64);
+        assert!(huge.total_pages(spec) >= 8);
+    }
+}

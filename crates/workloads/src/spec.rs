@@ -1,0 +1,489 @@
+//! Benchmark specifications: the paper's Table 2 plus the access-model
+//! knobs that realize each benchmark's published memory behaviour.
+
+use core::fmt;
+
+/// Sharing class from Table 2 / Fig. 3.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum SharingClass {
+    /// ≳80% of pages touched by a single SM.
+    Low,
+    /// A substantial fraction of pages shared, often by tens of SMs.
+    High,
+}
+
+impl SharingClass {
+    /// Whether this is the high-sharing class.
+    pub fn is_high(self) -> bool {
+        matches!(self, SharingClass::High)
+    }
+}
+
+impl fmt::Display for SharingClass {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            SharingClass::Low => "Low",
+            SharingClass::High => "High",
+        })
+    }
+}
+
+/// The structural family a benchmark's kernel belongs to; selects the
+/// mini-PTX kernel (see [`crate::kernels`]) and the private-region access
+/// order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum PatternFamily {
+    /// Streaming map over large arrays (LBM, BlackScholes, FWT…).
+    Stream,
+    /// Neighbourhood stencils with halo sharing (2DCONV, FDTD2D, LavaMD…).
+    Stencil,
+    /// Tiled dense linear algebra with broadcast input matrices
+    /// (SGEMM, MM, 2MM).
+    Gemm,
+    /// DNN inference: small broadcast weight tensors, private
+    /// activations (AlexNet, SqueezeNet, ResNet, GRU).
+    DnnInference,
+    /// Data-dependent gathers (MVT, ATAX, BICG, NW…).
+    Irregular,
+    /// MapReduce-style key/value processing with atomic reductions
+    /// (PVC, WordCount, StringMatch).
+    MapReduce,
+    /// Pointer-ish index chasing over a shared structure (B+tree).
+    Tree,
+}
+
+/// A benchmark's static description: Table 2 facts plus model knobs.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BenchmarkSpec {
+    /// Identifier.
+    pub id: BenchmarkId,
+    /// Full name as in Table 2.
+    pub name: &'static str,
+    /// Abbreviation as in Table 2 / all figures.
+    pub abbr: &'static str,
+    /// Sharing class (Table 2).
+    pub sharing: SharingClass,
+    /// Memory footprint in MB (Table 2).
+    pub footprint_mb: f64,
+    /// Read-only shared footprint in MB (Table 2).
+    pub ro_shared_mb: f64,
+    /// Kernel structure family.
+    pub family: PatternFamily,
+
+    // ---- access-model knobs (see DESIGN.md substitution #1) ----
+    /// Fraction of *pages* that are shared between SMs (1 − Fig. 3's
+    /// single-SM bar).
+    pub shared_page_fraction: f64,
+    /// Probability an access targets the shared region.
+    pub shared_access_fraction: f64,
+    /// Distribution of a shared page's sharer count over the Fig. 3
+    /// buckets \[2–10, 11–25, 26–64\] SMs (sums to 1).
+    pub sharer_buckets: [f64; 3],
+    /// Probability a shared access goes to the hot subset of the
+    /// read-only region (temporal skew; high for DNN weights, low for
+    /// flat scans like BICG).
+    pub shared_skew: f64,
+    /// Fraction of read-only pages forming the hot subset.
+    pub hot_fraction: f64,
+    /// Probability a private access is a store.
+    pub write_fraction: f64,
+    /// Probability a memory access replays a recently-touched line
+    /// (drives the L1 hit rate).
+    pub l1_reuse: f64,
+    /// Probability a private sequential access jumps back to a line
+    /// recently streamed past — out of L1 reach but within the LLC
+    /// (drives the LLC hit rate, and with it how NoC-bound the workload
+    /// is on a UBA GPU).
+    pub llc_reuse: f64,
+    /// For phased kernels (tiled GEMM): accesses per warp before the hot
+    /// read-only window advances; 0 disables phases (static hot set).
+    pub phase_len: u32,
+    /// Average compute cycles a warp spends between memory instructions
+    /// (bandwidth sensitivity knob; 3DCONV is high = insensitive).
+    pub compute_gap: u32,
+}
+
+macro_rules! benchmarks {
+    ($( $variant:ident {
+        name: $name:literal, abbr: $abbr:literal, sharing: $sharing:ident,
+        footprint: $fp:literal, ro: $ro:literal, family: $family:ident,
+        fsp: $fsp:literal, saf: $saf:literal, buckets: $buckets:expr,
+        skew: $skew:literal, hot: $hot:literal, wf: $wf:literal,
+        l1: $l1:literal, llc: $llc:literal, phase: $phase:literal, gap: $gap:literal
+    } ),+ $(,)?) => {
+        /// One of the 29 benchmarks of Table 2.
+        #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+        pub enum BenchmarkId {
+            $(
+                #[doc = $name]
+                $variant,
+            )+
+        }
+
+        impl BenchmarkId {
+            /// All 29 benchmarks in Table 2 order.
+            pub const ALL: &'static [BenchmarkId] = &[$(BenchmarkId::$variant),+];
+
+            /// The static specification for this benchmark.
+            pub fn spec(self) -> &'static BenchmarkSpec {
+                match self {
+                    $(BenchmarkId::$variant => {
+                        static SPEC: BenchmarkSpec = BenchmarkSpec {
+                            id: BenchmarkId::$variant,
+                            name: $name,
+                            abbr: $abbr,
+                            sharing: SharingClass::$sharing,
+                            footprint_mb: $fp,
+                            ro_shared_mb: $ro,
+                            family: PatternFamily::$family,
+                            shared_page_fraction: $fsp,
+                            shared_access_fraction: $saf,
+                            sharer_buckets: $buckets,
+                            shared_skew: $skew,
+                            hot_fraction: $hot,
+                            write_fraction: $wf,
+                            l1_reuse: $l1,
+                            llc_reuse: $llc,
+                            phase_len: $phase,
+                            compute_gap: $gap,
+                        };
+                        &SPEC
+                    })+
+                }
+            }
+        }
+    };
+}
+
+benchmarks! {
+    LavaMd {
+        name: "LavaMD", abbr: "LAVAMD", sharing: Low,
+        footprint: 7.0, ro: 0.9, family: Stencil,
+        fsp: 0.15, saf: 0.18, buckets: [1.0, 0.0, 0.0],
+        skew: 0.8, hot: 0.2, wf: 0.10, l1: 0.50, llc: 0.5, phase: 0, gap: 8
+    },
+    Lbm {
+        name: "Lattice-Boltzmann", abbr: "LBM", sharing: Low,
+        footprint: 389.0, ro: 33.0, family: Stream,
+        fsp: 0.05, saf: 0.05, buckets: [1.0, 0.0, 0.0],
+        skew: 0.5, hot: 0.3, wf: 0.30, l1: 0.20, llc: 0.47, phase: 0, gap: 2
+    },
+    Dwt2d {
+        name: "DWT2D", abbr: "DWT2D", sharing: Low,
+        footprint: 302.0, ro: 0.01, family: Stencil,
+        fsp: 0.08, saf: 0.08, buckets: [1.0, 0.0, 0.0],
+        skew: 0.5, hot: 0.3, wf: 0.25, l1: 0.30, llc: 0.5, phase: 0, gap: 3
+    },
+    Kmeans {
+        name: "Kmeans", abbr: "KMEANS", sharing: Low,
+        footprint: 136.0, ro: 0.1, family: Stream,
+        fsp: 0.10, saf: 0.10, buckets: [1.0, 0.0, 0.0],
+        skew: 0.8, hot: 0.2, wf: 0.10, l1: 0.40, llc: 0.5, phase: 0, gap: 4
+    },
+    Pvc {
+        name: "Page View Count", abbr: "PVC", sharing: Low,
+        footprint: 1081.0, ro: 0.6, family: MapReduce,
+        fsp: 0.10, saf: 0.08, buckets: [1.0, 0.0, 0.0],
+        skew: 0.6, hot: 0.3, wf: 0.30, l1: 0.25, llc: 0.43, phase: 0, gap: 6
+    },
+    BlackScholes {
+        name: "Black-Scholes", abbr: "BH", sharing: Low,
+        footprint: 48.0, ro: 5.3, family: Stream,
+        fsp: 0.05, saf: 0.05, buckets: [1.0, 0.0, 0.0],
+        skew: 0.5, hot: 0.3, wf: 0.20, l1: 0.30, llc: 0.47, phase: 0, gap: 10
+    },
+    WordCount {
+        name: "Wordcount", abbr: "WC", sharing: Low,
+        footprint: 542.0, ro: 0.9, family: MapReduce,
+        fsp: 0.10, saf: 0.08, buckets: [1.0, 0.0, 0.0],
+        skew: 0.6, hot: 0.3, wf: 0.30, l1: 0.25, llc: 0.43, phase: 0, gap: 6
+    },
+    StringMatch {
+        name: "Stringmatch", abbr: "SM", sharing: Low,
+        footprint: 146.0, ro: 1.2, family: MapReduce,
+        fsp: 0.12, saf: 0.10, buckets: [1.0, 0.0, 0.0],
+        skew: 0.7, hot: 0.2, wf: 0.10, l1: 0.35, llc: 0.47, phase: 0, gap: 4
+    },
+    Conv2d {
+        name: "2DConvolution", abbr: "2DCONV", sharing: Low,
+        footprint: 1074.0, ro: 17.0, family: Stencil,
+        fsp: 0.08, saf: 0.06, buckets: [1.0, 0.0, 0.0],
+        skew: 0.8, hot: 0.15, wf: 0.20, l1: 0.45, llc: 0.54, phase: 0, gap: 3
+    },
+    Mvt {
+        name: "Mvt", abbr: "MVT", sharing: Low,
+        footprint: 6443.0, ro: 0.1, family: Irregular,
+        fsp: 0.10, saf: 0.08, buckets: [1.0, 0.0, 0.0],
+        skew: 0.4, hot: 0.4, wf: 0.05, l1: 0.20, llc: 0.32, phase: 0, gap: 2
+    },
+    Fwt {
+        name: "FastWalshTransform", abbr: "FWT", sharing: Low,
+        footprint: 269.0, ro: 0.01, family: Stream,
+        fsp: 0.08, saf: 0.05, buckets: [1.0, 0.0, 0.0],
+        skew: 0.5, hot: 0.3, wf: 0.30, l1: 0.30, llc: 0.47, phase: 0, gap: 3
+    },
+    Backprop {
+        name: "Backprop", abbr: "BP", sharing: Low,
+        footprint: 75.0, ro: 0.4, family: DnnInference,
+        fsp: 0.15, saf: 0.12, buckets: [1.0, 0.0, 0.0],
+        skew: 0.8, hot: 0.2, wf: 0.25, l1: 0.40, llc: 0.5, phase: 0, gap: 4
+    },
+    Fdtd2d {
+        name: "Fdtd2D", abbr: "FTD2D", sharing: Low,
+        footprint: 51.0, ro: 0.07, family: Stencil,
+        fsp: 0.10, saf: 0.08, buckets: [1.0, 0.0, 0.0],
+        skew: 0.5, hot: 0.3, wf: 0.30, l1: 0.35, llc: 0.54, phase: 0, gap: 3
+    },
+    ConvSeparable {
+        name: "Convolution Separable", abbr: "CONVS", sharing: Low,
+        footprint: 151.0, ro: 20.0, family: Stencil,
+        fsp: 0.15, saf: 0.12, buckets: [1.0, 0.0, 0.0],
+        skew: 0.9, hot: 0.10, wf: 0.20, l1: 0.45, llc: 0.54, phase: 0, gap: 3
+    },
+    Atax {
+        name: "ATAX", abbr: "ATAX", sharing: Low,
+        footprint: 1342.0, ro: 0.08, family: Irregular,
+        fsp: 0.10, saf: 0.08, buckets: [1.0, 0.0, 0.0],
+        skew: 0.4, hot: 0.4, wf: 0.05, l1: 0.20, llc: 0.32, phase: 0, gap: 2
+    },
+    Gesummv {
+        name: "Gesummv", abbr: "GESUMM", sharing: Low,
+        footprint: 1073.0, ro: 0.1, family: Irregular,
+        fsp: 0.10, saf: 0.08, buckets: [1.0, 0.0, 0.0],
+        skew: 0.4, hot: 0.4, wf: 0.05, l1: 0.20, llc: 0.32, phase: 0, gap: 2
+    },
+    StreamCluster {
+        name: "Streamcluster", abbr: "SC", sharing: High,
+        footprint: 302.0, ro: 8.0, family: Stream,
+        fsp: 0.35, saf: 0.40, buckets: [0.85, 0.15, 0.0],
+        skew: 0.30, hot: 0.30, wf: 0.15, l1: 0.35, llc: 0.32, phase: 0, gap: 2
+    },
+    TwoMm {
+        name: "2MM", abbr: "2MM", sharing: High,
+        footprint: 84.0, ro: 6.0, family: Gemm,
+        fsp: 0.50, saf: 0.70, buckets: [0.10, 0.20, 0.70],
+        skew: 0.92, hot: 0.03, wf: 0.10, l1: 0.50, llc: 0.5, phase: 2000, gap: 3
+    },
+    Leukocyte {
+        name: "Leukocyte", abbr: "LEU", sharing: High,
+        footprint: 2.0, ro: 1.0, family: Stencil,
+        fsp: 0.60, saf: 0.50, buckets: [0.30, 0.40, 0.30],
+        skew: 0.70, hot: 0.30, wf: 0.10, l1: 0.45, llc: 0.36, phase: 0, gap: 5
+    },
+    BTree {
+        name: "B+tree", abbr: "BT", sharing: High,
+        footprint: 39.0, ro: 36.0, family: Tree,
+        fsp: 0.90, saf: 0.70, buckets: [0.20, 0.30, 0.50],
+        skew: 0.40, hot: 0.50, wf: 0.05, l1: 0.30, llc: 0.14, phase: 0, gap: 2
+    },
+    Sgemm {
+        name: "SGemm", abbr: "SGEMM", sharing: High,
+        footprint: 9.0, ro: 8.0, family: Gemm,
+        fsp: 0.85, saf: 0.65, buckets: [0.10, 0.20, 0.70],
+        skew: 0.90, hot: 0.02, wf: 0.10, l1: 0.50, llc: 0.36, phase: 2000, gap: 3
+    },
+    MatrixMul {
+        name: "Matrixmul", abbr: "MM", sharing: High,
+        footprint: 8.0, ro: 7.0, family: Gemm,
+        fsp: 0.85, saf: 0.65, buckets: [0.10, 0.20, 0.70],
+        skew: 0.90, hot: 0.02, wf: 0.10, l1: 0.50, llc: 0.36, phase: 2000, gap: 3
+    },
+    Conv3d {
+        name: "3DConvolution", abbr: "3DCONV", sharing: High,
+        footprint: 1074.0, ro: 68.0, family: Stencil,
+        fsp: 0.30, saf: 0.35, buckets: [0.50, 0.30, 0.20],
+        skew: 0.60, hot: 0.30, wf: 0.20, l1: 0.50, llc: 0.43, phase: 0, gap: 12
+    },
+    AlexNet {
+        name: "AlexNet", abbr: "AN", sharing: High,
+        footprint: 1.0, ro: 0.4, family: DnnInference,
+        fsp: 0.60, saf: 0.70, buckets: [0.05, 0.15, 0.80],
+        skew: 0.90, hot: 0.15, wf: 0.10, l1: 0.40, llc: 0.32, phase: 0, gap: 4
+    },
+    SqueezeNet {
+        name: "SqueezeNet", abbr: "SN", sharing: High,
+        footprint: 1.0, ro: 0.9, family: DnnInference,
+        fsp: 0.85, saf: 0.75, buckets: [0.05, 0.10, 0.85],
+        skew: 0.90, hot: 0.15, wf: 0.10, l1: 0.40, llc: 0.32, phase: 0, gap: 4
+    },
+    ResNet {
+        name: "ResNet", abbr: "RN", sharing: High,
+        footprint: 4.0, ro: 0.7, family: DnnInference,
+        fsp: 0.40, saf: 0.60, buckets: [0.10, 0.20, 0.70],
+        skew: 0.85, hot: 0.20, wf: 0.10, l1: 0.40, llc: 0.32, phase: 0, gap: 4
+    },
+    Gru {
+        name: "Gated Recurrent Unit", abbr: "GRU", sharing: High,
+        footprint: 2.0, ro: 0.4, family: DnnInference,
+        fsp: 0.45, saf: 0.65, buckets: [0.05, 0.15, 0.80],
+        skew: 0.25, hot: 0.60, wf: 0.15, l1: 0.35, llc: 0.32, phase: 0, gap: 2
+    },
+    NeedlemanWunsch {
+        name: "Needleman-Wunsch", abbr: "NW", sharing: High,
+        footprint: 16.0, ro: 10.0, family: Irregular,
+        fsp: 0.65, saf: 0.55, buckets: [0.40, 0.40, 0.20],
+        skew: 0.50, hot: 0.40, wf: 0.25, l1: 0.30, llc: 0.32, phase: 0, gap: 5
+    },
+    Bicg {
+        name: "BICG", abbr: "BICG", sharing: High,
+        footprint: 2013.0, ro: 472.0, family: Irregular,
+        fsp: 0.30, saf: 0.45, buckets: [0.30, 0.30, 0.40],
+        skew: 0.30, hot: 0.50, wf: 0.05, l1: 0.25, llc: 0.4, phase: 0, gap: 2
+    },
+}
+
+impl BenchmarkId {
+    /// Look a benchmark up by its Table 2 abbreviation
+    /// (case-insensitive).
+    pub fn from_abbr(abbr: &str) -> Option<BenchmarkId> {
+        BenchmarkId::ALL
+            .iter()
+            .copied()
+            .find(|b| b.spec().abbr.eq_ignore_ascii_case(abbr))
+    }
+
+    /// The benchmarks of one sharing class, in Table 2 order.
+    pub fn with_sharing(class: SharingClass) -> Vec<BenchmarkId> {
+        BenchmarkId::ALL.iter().copied().filter(|b| b.spec().sharing == class).collect()
+    }
+}
+
+impl BenchmarkSpec {
+    /// A human-readable model card: what this benchmark models and how
+    /// each knob realizes its published behaviour.
+    pub fn model_card(&self) -> String {
+        let family = match self.family {
+            PatternFamily::Stream => "streaming map over large private arrays",
+            PatternFamily::Stencil => "neighbourhood stencil with halo sharing",
+            PatternFamily::Gemm => "tiled dense linear algebra with broadcast inputs",
+            PatternFamily::DnnInference => "DNN inference: broadcast weights, private activations",
+            PatternFamily::Irregular => "matrix-vector style gathers over a shared table",
+            PatternFamily::MapReduce => "map-reduce with atomic shared reductions",
+            PatternFamily::Tree => "pointer-chasing search over a shared tree",
+        };
+        let card = [format!("{} ({}) - {} sharing", self.name, self.abbr, self.sharing),
+            format!("  structure: {family}"),
+            format!(
+                "  footprint: {} MB, of which {} MB read-only shared (Table 2)",
+                self.footprint_mb, self.ro_shared_mb
+            ),
+            format!(
+                "  pages:     {:.0}% shared; sharer windows drawn [2-10: {:.0}%, 11-25: {:.0}%, 26-64: {:.0}%]",
+                self.shared_page_fraction * 100.0,
+                self.sharer_buckets[0] * 100.0,
+                self.sharer_buckets[1] * 100.0,
+                self.sharer_buckets[2] * 100.0
+            ),
+            format!(
+                "  traffic:   {:.0}% of accesses to shared data; hot subset = {:.0}% of RO pages, hit with p={:.2}{}",
+                self.shared_access_fraction * 100.0,
+                self.hot_fraction * 100.0,
+                self.shared_skew,
+                if self.phase_len > 0 {
+                    format!(" (rotating window, {} accesses/phase)", self.phase_len)
+                } else {
+                    String::new()
+                }
+            ),
+            format!(
+                "  reuse:     L1 replay p={:.2}, LLC-distance jump p={:.2}; stores {:.0}%",
+                self.l1_reuse,
+                self.llc_reuse,
+                self.write_fraction * 100.0
+            ),
+            format!("  compute:   ~{} cycles between memory ops per warp", self.compute_gap)];
+        card.join("\n")
+    }
+}
+
+impl fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.spec().abbr)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn suite_has_29_benchmarks_like_table2() {
+        assert_eq!(BenchmarkId::ALL.len(), 29);
+        assert_eq!(BenchmarkId::with_sharing(SharingClass::Low).len(), 16);
+        assert_eq!(BenchmarkId::with_sharing(SharingClass::High).len(), 13);
+    }
+
+    #[test]
+    fn abbreviations_are_unique_and_resolvable() {
+        let mut seen = std::collections::HashSet::new();
+        for &b in BenchmarkId::ALL {
+            assert!(seen.insert(b.spec().abbr), "duplicate abbr {}", b.spec().abbr);
+            assert_eq!(BenchmarkId::from_abbr(b.spec().abbr), Some(b));
+            assert_eq!(BenchmarkId::from_abbr(&b.spec().abbr.to_lowercase()), Some(b));
+        }
+        assert_eq!(BenchmarkId::from_abbr("NOPE"), None);
+    }
+
+    #[test]
+    fn table2_footprints_match_paper_rows() {
+        let bt = BenchmarkId::BTree.spec();
+        assert_eq!(bt.footprint_mb, 39.0);
+        assert_eq!(bt.ro_shared_mb, 36.0);
+        let mvt = BenchmarkId::Mvt.spec();
+        assert_eq!(mvt.footprint_mb, 6443.0);
+        assert!(matches!(mvt.sharing, SharingClass::Low));
+        let bicg = BenchmarkId::Bicg.spec();
+        assert_eq!(bicg.ro_shared_mb, 472.0);
+        assert!(bicg.sharing.is_high());
+    }
+
+    #[test]
+    fn knobs_are_valid_probabilities() {
+        for &b in BenchmarkId::ALL {
+            let s = b.spec();
+            for v in [
+                s.shared_page_fraction,
+                s.shared_access_fraction,
+                s.shared_skew,
+                s.hot_fraction,
+                s.write_fraction,
+                s.l1_reuse,
+            ] {
+                assert!((0.0..=1.0).contains(&v), "{}: knob {v} out of range", s.abbr);
+            }
+            let bucket_sum: f64 = s.sharer_buckets.iter().sum();
+            assert!((bucket_sum - 1.0).abs() < 1e-9, "{}: buckets sum {bucket_sum}", s.abbr);
+            assert!(s.ro_shared_mb <= s.footprint_mb, "{}", s.abbr);
+        }
+    }
+
+    #[test]
+    fn low_sharing_specs_are_mostly_private() {
+        for b in BenchmarkId::with_sharing(SharingClass::Low) {
+            let s = b.spec();
+            assert!(s.shared_page_fraction <= 0.2, "{}", s.abbr);
+            // Low-sharing pages are shared by few SMs (first bucket only).
+            assert_eq!(s.sharer_buckets, [1.0, 0.0, 0.0], "{}", s.abbr);
+        }
+    }
+
+    #[test]
+    fn model_cards_are_complete() {
+        for &b in BenchmarkId::ALL {
+            let card = b.spec().model_card();
+            assert!(card.contains(b.spec().name), "{card}");
+            assert!(card.contains(b.spec().abbr));
+            assert!(card.contains("footprint:"));
+            assert!(card.contains("reuse:"));
+        }
+        // Phased kernels mention their rotation.
+        assert!(BenchmarkId::Sgemm.spec().model_card().contains("rotating window"));
+        assert!(!BenchmarkId::Lbm.spec().model_card().contains("rotating window"));
+    }
+
+    #[test]
+    fn display_uses_abbr() {
+        assert_eq!(BenchmarkId::Sgemm.to_string(), "SGEMM");
+        assert_eq!(SharingClass::Low.to_string(), "Low");
+    }
+}

@@ -1,0 +1,52 @@
+//! NoC power sweep: the paper's core economic argument — NUBA keeps its
+//! performance as the NoC shrinks, so the crossbar can be provisioned
+//! far below LLC bandwidth (Fig. 10).
+//!
+//! ```sh
+//! cargo run --release --example noc_power_sweep
+//! ```
+
+use nuba::noc::NocPowerModel;
+use nuba::types::NocPowerParams;
+use nuba::{ArchKind, BenchmarkId, GpuConfig, GpuSimulator, ScaleProfile, Workload};
+
+fn main() {
+    let bench = BenchmarkId::Kmeans;
+    let cycles = 25_000;
+    println!("benchmark: {} — sweeping the NoC from 0.7 to 5.6 TB/s\n", bench.spec().name);
+    println!(
+        "{:<10} {:>8} {:>12} {:>12} {:>12}",
+        "arch", "NoC TB/s", "perf (rel.)", "NoC watts", "static W"
+    );
+
+    let mut baseline = None;
+    for arch in [ArchKind::MemSideUba, ArchKind::Nuba] {
+        for tbs in [0.7, 1.4, 2.8, 5.6] {
+            let cfg = GpuConfig::paper_baseline(arch).with_noc_tbs(tbs);
+            let wl = Workload::build(bench, ScaleProfile::default(), cfg.num_sms, 42);
+            let model = NocPowerModel::from_aggregate(
+                NocPowerParams::default(),
+                cfg.num_llc_slices,
+                cfg.noc_total_bytes_per_cycle,
+                2,
+                1.4e9,
+            );
+            let mut gpu = GpuSimulator::new(cfg, &wl);
+            let r = gpu.warm_and_run(&wl, cycles);
+            let base = baseline.get_or_insert(r.perf());
+            println!(
+                "{:<10} {:>8.1} {:>12.2} {:>12.1} {:>12.1}",
+                arch.label(),
+                tbs,
+                r.perf() / *base,
+                r.noc_watts,
+                model.static_watts(),
+            );
+        }
+    }
+    println!("\nUBA's performance tracks the NoC bandwidth (every miss crosses it),");
+    println!("while NUBA's mostly-local misses ride the point-to-point links: its");
+    println!("curve is far flatter and saturates early, so the NoC can be");
+    println!("provisioned several times smaller for a large power saving at a");
+    println!("modest performance cost (paper Fig. 10).");
+}

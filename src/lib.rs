@@ -1,0 +1,62 @@
+#![warn(missing_docs)]
+
+//! # nuba
+//!
+//! A full reproduction of **"NUBA: Non-Uniform Bandwidth GPUs"**
+//! (Zhao, Jahre, Tang, Zhang, Eeckhout — ASPLOS 2023) as a Rust
+//! workspace: a cycle-level GPU memory-system simulator with the
+//! Non-Uniform Bandwidth Architecture, its Local-And-Balanced page
+//! allocator and Model-Driven Replication, the two Uniform Bandwidth
+//! baselines, and every substrate they need (HBM DRAM, crossbar NoCs,
+//! caches/MSHRs, TLBs/MMU, a GPU driver, a mini-PTX compiler pass, and
+//! a 29-benchmark workload suite).
+//!
+//! This crate is a facade that re-exports the workspace's public API.
+//! Start with [`GpuSimulator`] and the [`quickstart
+//! example`](https://github.com/nuba-gpu/nuba/blob/main/examples/quickstart.rs):
+//!
+//! ```
+//! use nuba::{ArchKind, BenchmarkId, GpuConfig, GpuSimulator, ScaleProfile, Workload};
+//!
+//! let mut cfg = GpuConfig::paper_baseline(ArchKind::Nuba);
+//! cfg.num_sms = 8;
+//! cfg.num_llc_slices = 8;
+//! cfg.num_channels = 4;
+//! cfg.sim_active_warps = 8;
+//! let wl = Workload::build(BenchmarkId::Sgemm, ScaleProfile::fast(), 8, 1);
+//! let mut gpu = GpuSimulator::new(cfg, &wl);
+//! let report = gpu.warm_and_run(&wl, 5_000);
+//! assert!(report.warp_ops > 0);
+//! ```
+//!
+//! ## Crate map
+//!
+//! | crate | contents |
+//! |---|---|
+//! | [`types`] | addresses, ids, packets, [`GpuConfig`], address mapping |
+//! | [`engine`] | cycle-simulation primitives (queues, links, arbiters) |
+//! | [`cache`] | tag arrays, MSHRs, the MDR set sampler |
+//! | [`dram`] | HBM bank/channel model with FR-FCFS scheduling |
+//! | [`noc`] | crossbar NoC and its power model |
+//! | [`tlb`] | two-level TLBs and page-table walkers |
+//! | [`driver`] | page table and allocation policies (LAB, Eq. 1) |
+//! | [`compiler`] | mini-PTX parser + read-only dataflow analysis (§5.2) |
+//! | [`workloads`] | the Table 2 benchmark models |
+//! | [`core`] | SMs, LLC slices (Fig. 5), MDR (§5.1), the simulator |
+
+pub use nuba_cache as cache;
+pub use nuba_compiler as compiler;
+pub use nuba_core as core;
+pub use nuba_dram as dram;
+pub use nuba_driver as driver;
+pub use nuba_engine as engine;
+pub use nuba_noc as noc;
+pub use nuba_tlb as tlb;
+pub use nuba_types as types;
+pub use nuba_workloads as workloads;
+
+pub use nuba_core::{GpuSimulator, SimReport};
+pub use nuba_types::{
+    ArchKind, GpuConfig, MappingKind, PagePolicyKind, ReplicationKind,
+};
+pub use nuba_workloads::{BenchmarkId, ScaleProfile, SharingClass, Workload};

@@ -1,0 +1,285 @@
+//! End-to-end integration tests: the paper's headline claims must hold
+//! qualitatively on scaled-down machines (16 SMs, 8 partitions) so the
+//! suite stays fast.
+
+use nuba::{
+    ArchKind, BenchmarkId, GpuConfig, GpuSimulator, PagePolicyKind, ReplicationKind, ScaleProfile,
+    Workload,
+};
+
+const CYCLES: u64 = 12_000;
+
+/// A 16-SM, 8-channel machine with the baseline's 2:2:1 ratio.
+fn small(arch: ArchKind) -> GpuConfig {
+    let mut cfg = GpuConfig::paper_baseline(arch).scaled(0.25);
+    cfg.sim_active_warps = 16;
+    // Short windows need short MDR epochs (the paper's 20 K would never
+    // fire inside CYCLES).
+    cfg.mdr_epoch_cycles = 2_000;
+    cfg
+}
+
+fn run(bench: BenchmarkId, cfg: GpuConfig) -> nuba::SimReport {
+    let wl = Workload::build(bench, ScaleProfile::fast(), cfg.num_sms, 7);
+    let mut gpu = GpuSimulator::new(cfg, &wl);
+    gpu.warm_and_run(&wl, CYCLES)
+}
+
+#[test]
+fn all_architectures_make_progress_on_every_benchmark_family() {
+    for bench in [
+        BenchmarkId::Lbm,        // Stream
+        BenchmarkId::Conv2d,     // Stencil
+        BenchmarkId::Sgemm,      // Gemm
+        BenchmarkId::AlexNet,    // DNN
+        BenchmarkId::Mvt,        // Irregular
+        BenchmarkId::Pvc,        // MapReduce
+        BenchmarkId::BTree,      // Tree
+    ] {
+        for arch in [ArchKind::MemSideUba, ArchKind::SmSideUba, ArchKind::Nuba] {
+            let r = run(bench, small(arch));
+            assert!(
+                r.warp_ops > 1_000,
+                "{bench}/{arch}: only {} warp ops in {CYCLES} cycles",
+                r.warp_ops
+            );
+            assert!(r.read_replies > 0, "{bench}/{arch}: no replies");
+        }
+    }
+}
+
+#[test]
+fn nuba_outperforms_uba_on_low_sharing_workloads() {
+    // The Fig. 7 low-sharing story: LAB keeps misses local, the 2x
+    // point-to-point bandwidth beats the crossbar.
+    let mut wins = 0;
+    let benches = [BenchmarkId::Lbm, BenchmarkId::Kmeans, BenchmarkId::Fdtd2d];
+    for bench in benches {
+        let uba = run(bench, small(ArchKind::MemSideUba));
+        let nuba = run(bench, small(ArchKind::Nuba));
+        if nuba.perf() > uba.perf() * 1.02 {
+            wins += 1;
+        }
+        // Locality must be there regardless of the speedup margin.
+        assert!(
+            nuba.local_miss_fraction() > 0.5,
+            "{bench}: only {:.2} of misses local",
+            nuba.local_miss_fraction()
+        );
+    }
+    assert!(wins >= 2, "NUBA won on only {wins}/{} low-sharing benchmarks", benches.len());
+}
+
+#[test]
+fn uba_misses_are_all_remote() {
+    let r = run(BenchmarkId::Lbm, small(ArchKind::MemSideUba));
+    assert_eq!(r.local_misses, 0, "UBA has no local partition to hit");
+    assert!(r.remote_misses > 0);
+}
+
+#[test]
+fn replication_helps_broadcast_heavy_workloads() {
+    // Fig. 12: SN/AN-style broadcast weights gain from replication.
+    let mut no_rep = small(ArchKind::Nuba);
+    no_rep.replication = ReplicationKind::None;
+    let mut full = small(ArchKind::Nuba);
+    full.replication = ReplicationKind::Full;
+
+    let nr = run(BenchmarkId::SqueezeNet, no_rep);
+    let fr = run(BenchmarkId::SqueezeNet, full);
+    assert!(
+        fr.perf() > nr.perf() * 1.1,
+        "full replication should lift SN: {:.2} vs {:.2}",
+        fr.perf(),
+        nr.perf()
+    );
+    assert!(fr.replica_fills > 0, "no replicas were installed");
+    assert!(fr.local_miss_fraction() > nr.local_miss_fraction());
+}
+
+#[test]
+fn mdr_tracks_the_better_replication_policy() {
+    for bench in [BenchmarkId::SqueezeNet, BenchmarkId::Lbm] {
+        let mk = |r: ReplicationKind| {
+            let mut c = small(ArchKind::Nuba);
+            c.replication = r;
+            c
+        };
+        let nr = run(bench, mk(ReplicationKind::None)).perf();
+        let fr = run(bench, mk(ReplicationKind::Full)).perf();
+        let mdr = run(bench, mk(ReplicationKind::Mdr)).perf();
+        let best = nr.max(fr);
+        assert!(
+            mdr > 0.8 * best,
+            "{bench}: MDR {mdr:.2} too far from best({nr:.2}, {fr:.2})"
+        );
+    }
+}
+
+#[test]
+fn lab_beats_first_touch_on_high_sharing() {
+    // Fig. 11: FT concentrates hot shared pages; LAB redistributes.
+    let mk = |p: PagePolicyKind| {
+        let mut c = small(ArchKind::Nuba);
+        c.replication = ReplicationKind::None;
+        c.page_policy = p;
+        c
+    };
+    let ft = run(BenchmarkId::SqueezeNet, mk(PagePolicyKind::FirstTouch));
+    let lab = run(BenchmarkId::SqueezeNet, mk(PagePolicyKind::lab_default()));
+    assert!(
+        lab.perf() > ft.perf() * 1.5,
+        "LAB {:.2} should clearly beat FT {:.2} on SN",
+        lab.perf(),
+        ft.perf()
+    );
+    assert!(lab.final_npb > ft.final_npb, "LAB must end better balanced");
+}
+
+#[test]
+fn lab_stays_close_to_first_touch_on_low_sharing() {
+    let mk = |p: PagePolicyKind| {
+        let mut c = small(ArchKind::Nuba);
+        c.replication = ReplicationKind::None;
+        c.page_policy = p;
+        c
+    };
+    let ft = run(BenchmarkId::Kmeans, mk(PagePolicyKind::FirstTouch));
+    let lab = run(BenchmarkId::Kmeans, mk(PagePolicyKind::lab_default()));
+    assert!(
+        lab.perf() > 0.6 * ft.perf(),
+        "LAB {:.2} collapsed against FT {:.2} on a low-sharing workload",
+        lab.perf(),
+        ft.perf()
+    );
+}
+
+#[test]
+fn nuba_moves_far_fewer_bytes_over_the_noc() {
+    let uba = run(BenchmarkId::Lbm, small(ArchKind::MemSideUba));
+    let nuba = run(BenchmarkId::Lbm, small(ArchKind::Nuba));
+    // At this small scale (8 partitions) the remote fraction is higher
+    // than the 32-partition machine's, so the bar is looser than the
+    // paper's 10x.
+    assert!(
+        (nuba.noc_bytes as f64) < 0.75 * uba.noc_bytes as f64,
+        "NUBA noc bytes {} should be well below UBA's {}",
+        nuba.noc_bytes,
+        uba.noc_bytes
+    );
+    assert!(nuba.local_link_bytes > 0);
+    assert!(nuba.energy.noc_j < uba.energy.noc_j);
+}
+
+#[test]
+fn deterministic_given_seed() {
+    let a = run(BenchmarkId::Sgemm, small(ArchKind::Nuba));
+    let b = run(BenchmarkId::Sgemm, small(ArchKind::Nuba));
+    assert_eq!(a.warp_ops, b.warp_ops);
+    assert_eq!(a.read_replies, b.read_replies);
+    assert_eq!(a.dram_accesses, b.dram_accesses);
+    assert_eq!(a.noc_bytes, b.noc_bytes);
+}
+
+#[test]
+fn different_seeds_diverge() {
+    let cfg = small(ArchKind::Nuba);
+    let wl_a = Workload::build(BenchmarkId::Sgemm, ScaleProfile::fast(), cfg.num_sms, 1);
+    let wl_b = Workload::build(BenchmarkId::Sgemm, ScaleProfile::fast(), cfg.num_sms, 2);
+    let mut ga = GpuSimulator::new(cfg.clone(), &wl_a);
+    let mut gb = GpuSimulator::new(cfg, &wl_b);
+    let ra = ga.warm_and_run(&wl_a, CYCLES);
+    let rb = gb.warm_and_run(&wl_b, CYCLES);
+    assert_ne!(ra.warp_ops, rb.warp_ops);
+}
+
+#[test]
+fn mcm_gpu_simulates_and_nuba_wins_there_too() {
+    let mut uba = GpuConfig::paper_baseline(ArchKind::McmUba);
+    let mut nuba = GpuConfig::paper_baseline(ArchKind::McmNuba);
+    for c in [&mut uba, &mut nuba] {
+        // A small 2-module MCM: 16 SMs, 8 channels.
+        *c = c.clone().scaled(0.25);
+        c.mcm.num_modules = 2;
+        c.sim_active_warps = 16;
+    }
+    let base = run(BenchmarkId::Lbm, uba);
+    let test = run(BenchmarkId::Lbm, nuba);
+    assert!(test.warp_ops > 1_000 && base.warp_ops > 1_000);
+    assert!(
+        test.perf() > base.perf(),
+        "MCM NUBA {:.2} should beat MCM UBA {:.2} (scarce inter-module links)",
+        test.perf(),
+        base.perf()
+    );
+}
+
+#[test]
+fn page_size_sensitivity_runs_with_huge_pages() {
+    let mut cfg = small(ArchKind::Nuba);
+    cfg.page_bytes = 2 << 20;
+    let wl = Workload::build(BenchmarkId::Kmeans, ScaleProfile::huge_pages(), cfg.num_sms, 7);
+    let mut gpu = GpuSimulator::new(cfg, &wl);
+    let r = gpu.warm_and_run(&wl, CYCLES);
+    assert!(r.warp_ops > 1_000);
+}
+
+#[test]
+fn alternative_policies_run_and_report_activity() {
+    let mut mig = small(ArchKind::Nuba);
+    mig.page_policy = PagePolicyKind::Migration;
+    mig.replication = ReplicationKind::None;
+    let wl = Workload::build(BenchmarkId::SqueezeNet, ScaleProfile::fast(), mig.num_sms, 7);
+    let mut gpu = GpuSimulator::new(mig, &wl);
+    let r = gpu.warm_and_run(&wl, CYCLES);
+    assert!(r.warp_ops > 0);
+    // Shared-heavy workload under migration: pages should move.
+    assert!(
+        gpu.driver().stats().migrations > 0,
+        "expected page migrations on a high-sharing workload"
+    );
+}
+
+#[test]
+fn captured_trace_replays_through_the_simulator() {
+    use nuba::workloads::Trace;
+
+    // Capture a synthetic workload, round-trip it through bytes, replay
+    // it through the full simulator.
+    let cfg = small(ArchKind::Nuba);
+    let synth = Workload::build(BenchmarkId::Sgemm, ScaleProfile::fast(), cfg.num_sms, 7);
+    let trace = Trace::capture(&synth, 4, 2_000);
+    let mut bytes = Vec::new();
+    trace.write_to(&mut bytes).unwrap();
+    let reloaded = Trace::read_from(bytes.as_slice()).unwrap();
+    assert_eq!(trace, reloaded);
+
+    let wl = Workload::from_trace(reloaded);
+    assert!(wl.is_trace());
+    let mut cfg = cfg;
+    cfg.sim_active_warps = 4;
+    let mut gpu = GpuSimulator::new(cfg, &wl);
+    let r = gpu.warm_and_run(&wl, 6_000);
+    assert!(r.warp_ops > 1_000, "trace replay made no progress: {}", r.warp_ops);
+    assert!(r.read_replies > 0);
+}
+
+#[test]
+fn trace_replay_is_deterministic() {
+    use nuba::workloads::Trace;
+
+    let cfg = small(ArchKind::MemSideUba);
+    let synth = Workload::build(BenchmarkId::Lbm, ScaleProfile::fast(), cfg.num_sms, 3);
+    let trace = Trace::capture(&synth, 4, 1_000);
+    let run = |t: Trace| {
+        let wl = Workload::from_trace(t);
+        let mut c = cfg.clone();
+        c.sim_active_warps = 4;
+        let mut gpu = GpuSimulator::new(c, &wl);
+        gpu.warm_and_run(&wl, 5_000)
+    };
+    let a = run(trace.clone());
+    let b = run(trace);
+    assert_eq!(a.warp_ops, b.warp_ops);
+    assert_eq!(a.dram_accesses, b.dram_accesses);
+}

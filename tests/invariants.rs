@@ -1,0 +1,131 @@
+//! Property-based invariants over randomized machines and workloads:
+//! whatever the configuration, the simulator must stay consistent.
+
+use proptest::prelude::*;
+
+use nuba::{
+    ArchKind, BenchmarkId, GpuConfig, GpuSimulator, PagePolicyKind, ReplicationKind, ScaleProfile,
+    Workload,
+};
+
+fn arch_strategy() -> impl Strategy<Value = ArchKind> {
+    prop_oneof![
+        Just(ArchKind::MemSideUba),
+        Just(ArchKind::SmSideUba),
+        Just(ArchKind::Nuba),
+    ]
+}
+
+fn policy_strategy() -> impl Strategy<Value = PagePolicyKind> {
+    prop_oneof![
+        Just(PagePolicyKind::FirstTouch),
+        Just(PagePolicyKind::RoundRobin),
+        Just(PagePolicyKind::Lab { threshold: 0.8 }),
+        Just(PagePolicyKind::Lab { threshold: 0.9 }),
+        Just(PagePolicyKind::Migration),
+        Just(PagePolicyKind::PageReplication),
+    ]
+}
+
+fn replication_strategy() -> impl Strategy<Value = ReplicationKind> {
+    prop_oneof![
+        Just(ReplicationKind::None),
+        Just(ReplicationKind::Full),
+        Just(ReplicationKind::Mdr),
+    ]
+}
+
+fn bench_strategy() -> impl Strategy<Value = BenchmarkId> {
+    (0..BenchmarkId::ALL.len()).prop_map(|i| BenchmarkId::ALL[i])
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 12, ..ProptestConfig::default() })]
+
+    #[test]
+    fn simulator_invariants_hold(
+        arch in arch_strategy(),
+        policy in policy_strategy(),
+        replication in replication_strategy(),
+        bench in bench_strategy(),
+        channels_log in 1usize..=3,
+        seed in 0u64..1_000,
+    ) {
+        let channels = 1 << channels_log; // 2, 4, 8
+        let mut cfg = GpuConfig::paper_baseline(arch);
+        cfg.num_channels = channels;
+        cfg.num_sms = channels * 2;
+        cfg.num_llc_slices = channels * 2;
+        cfg.llc_total_bytes = cfg.num_llc_slices * 96 * 1024;
+        cfg.noc_total_bytes_per_cycle = 15.6 * cfg.num_llc_slices as f64;
+        cfg.page_policy = policy;
+        cfg.replication = replication;
+        cfg.sim_active_warps = 8;
+        cfg.seed = seed;
+        prop_assert!(cfg.validate().is_ok());
+
+        let wl = Workload::build(bench, ScaleProfile::fast(), cfg.num_sms, seed);
+        let mut gpu = GpuSimulator::new(cfg, &wl);
+        gpu.warm(&wl, 64);
+        let r = gpu.run(3_000);
+
+        // Liveness: something happened.
+        prop_assert!(r.warp_ops > 0, "no forward progress");
+
+        // Counter consistency.
+        prop_assert!(r.llc_hits <= r.llc_accesses);
+        prop_assert!(r.l1_hit_rate() >= 0.0 && r.l1_hit_rate() <= 1.0);
+        prop_assert!(r.llc_hit_rate() >= 0.0 && r.llc_hit_rate() <= 1.0);
+        prop_assert!(r.local_miss_fraction() >= 0.0 && r.local_miss_fraction() <= 1.0);
+        prop_assert!(r.dram_row_hit_rate >= 0.0 && r.dram_row_hit_rate <= 1.0);
+
+        // Replies can't outnumber issued requests plus merges.
+        prop_assert!(r.read_replies <= r.warp_ops);
+
+        // Architecture-specific structure.
+        match arch {
+            ArchKind::MemSideUba | ArchKind::SmSideUba => {
+                prop_assert_eq!(r.local_misses, 0, "UBA has no local partition");
+                prop_assert_eq!(r.local_link_bytes, 0);
+                prop_assert_eq!(r.replica_fills, 0);
+            }
+            _ => {
+                prop_assert!(r.local_link_bytes > 0, "NUBA must use its local links");
+                if replication == ReplicationKind::None {
+                    prop_assert_eq!(r.replica_fills, 0);
+                }
+            }
+        }
+
+        // Energy and balance sanity.
+        prop_assert!(r.energy.total_j() > 0.0);
+        prop_assert!(r.final_npb > 0.0 && r.final_npb <= 1.0);
+        prop_assert!(r.noc_watts >= 0.0);
+    }
+
+    #[test]
+    fn npb_formula_bounds(counts in proptest::collection::vec(0u64..10_000, 1..64)) {
+        let npb = nuba::driver::normalized_page_balance(&counts);
+        let n = counts.len() as f64;
+        prop_assert!(npb >= 1.0 / n - 1e-12);
+        prop_assert!(npb <= 1.0 + 1e-12);
+    }
+
+    #[test]
+    fn mdr_model_is_bounded_by_raw_bandwidths(
+        frac_local in 0.0f64..=1.0,
+        hit_no in 0.0f64..=1.0,
+        hit_full in 0.0f64..=1.0,
+    ) {
+        use nuba::core::mdr::paper_slice_bandwidths;
+        use nuba::core::{mdr_evaluate, MdrProfile};
+        let bw = paper_slice_bandwidths(15.6);
+        let est = mdr_evaluate(bw, MdrProfile { frac_local, hit_no_rep: hit_no, hit_full_rep: hit_full });
+        // Effective bandwidth can never exceed the raw LLC bandwidth
+        // plus the memory path, and can never be negative.
+        prop_assert!(est.bw_no_rep >= 0.0);
+        prop_assert!(est.bw_full_rep >= 0.0);
+        prop_assert!(est.bw_no_rep <= bw.bw_llc + bw.bw_mem + 1e-9);
+        prop_assert!(est.bw_full_rep <= bw.bw_llc + bw.bw_mem + 1e-9);
+    }
+}

@@ -1,0 +1,117 @@
+//! The paper's closed-form equations, re-derived independently and
+//! checked against the simulator's implementations over a dense grid —
+//! the MDR bandwidth model (§5.1) and the Normalized Page Balance
+//! (Eq. 1).
+
+use nuba::core::mdr::paper_slice_bandwidths;
+use nuba::core::{mdr_evaluate, MdrProfile};
+use nuba::driver::normalized_page_balance;
+
+/// §5.1, no replication — transcribed verbatim from the paper:
+///
+/// BW_NoRep      = Frac_local · BW_local + Frac_remote · BW_remote
+/// BW_local      = LLC_hit · BW_LLC + BW_LLC_miss
+/// BW_LLC_miss   = min(LLC_miss · BW_LLC, BW_MEM)
+/// BW_remote     = min(BW_NoC, LLC_hit · BW_LLC + BW_LLC_miss)
+fn paper_no_rep(bw_llc: f64, bw_mem: f64, bw_noc: f64, frac_local: f64, hit: f64) -> f64 {
+    let miss = 1.0 - hit;
+    let bw_llc_miss = f64::min(miss * bw_llc, bw_mem);
+    let bw_local = hit * bw_llc + bw_llc_miss;
+    let bw_remote = f64::min(bw_noc, hit * bw_llc + bw_llc_miss);
+    frac_local * bw_local + (1.0 - frac_local) * bw_remote
+}
+
+/// §5.1, full replication — transcribed verbatim:
+///
+/// BW_FullRep       = LLC_hit · BW_LLC + BW_LLC_miss
+/// BW_LLC_miss      = min(LLC_miss · BW_LLC, BW_local/remote)
+/// BW_local/remote  = Frac_local · BW_MEM + Frac_remote · BW_remote
+/// BW_remote        = min(BW_NoC, BW_MEM)
+fn paper_full_rep(bw_llc: f64, bw_mem: f64, bw_noc: f64, frac_local: f64, hit: f64) -> f64 {
+    let miss = 1.0 - hit;
+    let bw_remote = f64::min(bw_noc, bw_mem);
+    let bw_local_remote = frac_local * bw_mem + (1.0 - frac_local) * bw_remote;
+    let bw_llc_miss = f64::min(miss * bw_llc, bw_local_remote);
+    hit * bw_llc + bw_llc_miss
+}
+
+#[test]
+fn mdr_model_matches_the_paper_equations_on_a_grid() {
+    for noc_port in [3.9, 7.8, 15.6, 31.2, 62.5] {
+        let bw = paper_slice_bandwidths(noc_port);
+        for fl10 in 0..=10 {
+            for hn10 in 0..=10 {
+                for hf10 in 0..=10 {
+                    let frac_local = fl10 as f64 / 10.0;
+                    let hit_no = hn10 as f64 / 10.0;
+                    let hit_full = hf10 as f64 / 10.0;
+                    let est = mdr_evaluate(
+                        bw,
+                        MdrProfile {
+                            frac_local,
+                            hit_no_rep: hit_no,
+                            hit_full_rep: hit_full,
+                        },
+                    );
+                    let expect_no =
+                        paper_no_rep(bw.bw_llc, bw.bw_mem, bw.bw_noc, frac_local, hit_no);
+                    let expect_full =
+                        paper_full_rep(bw.bw_llc, bw.bw_mem, bw.bw_noc, frac_local, hit_full);
+                    assert!(
+                        (est.bw_no_rep - expect_no).abs() < 1e-9,
+                        "no-rep mismatch at fl={frac_local} hit={hit_no}: {} vs {expect_no}",
+                        est.bw_no_rep
+                    );
+                    assert!(
+                        (est.bw_full_rep - expect_full).abs() < 1e-9,
+                        "full-rep mismatch at fl={frac_local} hit={hit_full}: {} vs {expect_full}",
+                        est.bw_full_rep
+                    );
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn paper_text_examples_for_the_model() {
+    // "The effective remote bandwidth is computed in a similar way
+    // except that it is further constrained by the NoC bandwidth":
+    // with a perfect hit rate and all-remote traffic, BW_NoRep == BW_NoC.
+    let bw = paper_slice_bandwidths(15.6);
+    let est = mdr_evaluate(bw, MdrProfile { frac_local: 0.0, hit_no_rep: 1.0, hit_full_rep: 1.0 });
+    assert!((est.bw_no_rep - 15.6).abs() < 1e-12);
+    // Under full replication with a perfect hit rate, the LLC alone
+    // serves everything: BW_FullRep == BW_LLC.
+    assert!((est.bw_full_rep - 32.0).abs() < 1e-12);
+}
+
+#[test]
+fn npb_matches_the_eq1_text() {
+    // Eq. 1: NPB = (1/n) Σ P_i / max(P_1..P_n), "a number between 1/n
+    // and 1 where 1 means the memory pages are evenly allocated and 1/n
+    // means that all pages are allocated to a single partition."
+    let n = 32;
+    let even = vec![100u64; n];
+    assert!((normalized_page_balance(&even) - 1.0).abs() < 1e-12);
+
+    let mut single = vec![0u64; n];
+    single[7] = 1234;
+    assert!((normalized_page_balance(&single) - 1.0 / n as f64).abs() < 1e-12);
+
+    // Hand example: P = [8, 4, 4, 0] → (1 + .5 + .5 + 0)/4 = 0.5.
+    assert!((normalized_page_balance(&[8, 4, 4, 0]) - 0.5).abs() < 1e-12);
+}
+
+#[test]
+fn mdr_evaluation_cost_note() {
+    // The paper's footnote: 4 divisions × 25 + 4 multiplications × 3 +
+    // 2 additions + 2 comparisons = 116 cycles. The configured default
+    // must match.
+    let cfg = nuba::GpuConfig::paper_baseline(nuba::ArchKind::Nuba);
+    assert_eq!(cfg.mdr_eval_cycles, 4 * 25 + 4 * 3 + 2 + 2);
+    assert_eq!(cfg.mdr_epoch_cycles, 20_000);
+    assert_eq!(cfg.mdr_sample_sets, 8);
+    // 8 sets × 16 ways × 24 bits = 384 bytes of profiling state.
+    assert_eq!(cfg.mdr_sample_sets * cfg.llc_ways * 24 / 8, 384);
+}
