@@ -66,7 +66,12 @@ fn bench_dram(c: &mut Criterion) {
             if mc.can_accept() {
                 id += 1;
                 let _ = mc.try_enqueue(
-                    DramRequest { id, bank: (id % 16) as usize, row: id / 64, is_write: false },
+                    DramRequest {
+                        id,
+                        bank: (id % 16) as usize,
+                        row: id / 64,
+                        is_write: false,
+                    },
                     t,
                 );
             }
@@ -114,8 +119,8 @@ fn bench_noc(c: &mut Criterion) {
 }
 
 fn bench_mdr_model(c: &mut Criterion) {
-    use nuba_core::{mdr_evaluate, MdrProfile};
     use nuba_core::mdr::paper_slice_bandwidths;
+    use nuba_core::{mdr_evaluate, MdrProfile};
 
     let bw = paper_slice_bandwidths(15.6);
     c.bench_function("mdr_model_evaluate", |b| {
@@ -124,7 +129,11 @@ fn bench_mdr_model(c: &mut Criterion) {
             x = (x + 0.001) % 1.0;
             black_box(mdr_evaluate(
                 bw,
-                MdrProfile { frac_local: x, hit_no_rep: 1.0 - x, hit_full_rep: x * 0.5 },
+                MdrProfile {
+                    frac_local: x,
+                    hit_no_rep: 1.0 - x,
+                    hit_full_rep: x * 0.5,
+                },
             ))
         });
     });
@@ -152,7 +161,10 @@ fn bench_full_sim(c: &mut Criterion) {
     let mut g = c.benchmark_group("full_sim");
     g.sample_size(10);
 
-    for (name, arch) in [("uba_64sm", ArchKind::MemSideUba), ("nuba_64sm", ArchKind::Nuba)] {
+    for (name, arch) in [
+        ("uba_64sm", ArchKind::MemSideUba),
+        ("nuba_64sm", ArchKind::Nuba),
+    ] {
         g.throughput(Throughput::Elements(1_000));
         g.bench_function(format!("{name}_1k_cycles"), |b| {
             let cfg = GpuConfig::paper_baseline(arch);

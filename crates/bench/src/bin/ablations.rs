@@ -32,26 +32,41 @@ fn main() {
         BenchmarkId::Mvt,
     ];
     let nuba0 = GpuConfig::paper_baseline(ArchKind::Nuba);
-    let base: Vec<f64> = benches.iter().map(|&b| h.run(b, nuba0.clone()).perf()).collect();
+    let base: Vec<f64> = benches
+        .iter()
+        .map(|&b| h.run(b, nuba0.clone()).perf())
+        .collect();
 
-    figure_header("Ablation 1", "Latency vs bandwidth sensitivity (perf rel. to baseline NUBA)");
+    figure_header(
+        "Ablation 1",
+        "Latency vs bandwidth sensitivity (perf rel. to baseline NUBA)",
+    );
     println!("LLC pipeline latency (baseline 40 cycles):");
     for lat in [20u64, 40, 80, 160] {
         let mut c = nuba0.clone();
         c.llc_latency = lat;
-        println!("  {lat:>4} cycles: {}", pct(hmean_over(&h, &benches, &c, &base)));
+        println!(
+            "  {lat:>4} cycles: {}",
+            pct(hmean_over(&h, &benches, &c, &base))
+        );
     }
     println!("NoC stage latency (baseline 4 cycles/stage):");
     for lat in [2u64, 4, 8, 16] {
         let mut c = nuba0.clone();
         c.noc_stage_latency = lat;
-        println!("  {lat:>4} cycles: {}", pct(hmean_over(&h, &benches, &c, &base)));
+        println!(
+            "  {lat:>4} cycles: {}",
+            pct(hmean_over(&h, &benches, &c, &base))
+        );
     }
     println!("Local link bandwidth (baseline 32 B/cycle ≙ 2.8 TB/s):");
     for bw in [8u64, 16, 32, 64] {
         let mut c = nuba0.clone();
         c.local_link_bytes_per_cycle = bw;
-        println!("  {bw:>4} B/cyc: {}", pct(hmean_over(&h, &benches, &c, &base)));
+        println!(
+            "  {bw:>4} B/cyc: {}",
+            pct(hmean_over(&h, &benches, &c, &base))
+        );
     }
     println!(
         "\nExpected: ±few % across an 8x latency range, but strong sensitivity\n\
@@ -63,14 +78,21 @@ fn main() {
     for epoch in [5_000u64, 20_000, 80_000] {
         let mut c = nuba0.clone();
         c.mdr_epoch_cycles = epoch;
-        println!("  {epoch:>6} cycles: {}", pct(hmean_over(&h, &benches, &c, &base)));
+        println!(
+            "  {epoch:>6} cycles: {}",
+            pct(hmean_over(&h, &benches, &c, &base))
+        );
     }
 
     figure_header("Ablation 3", "MDR sampled sets per slice (baseline 8)");
     for sets in [2usize, 8, 24, 48] {
         let mut c = nuba0.clone();
         c.mdr_sample_sets = sets;
-        println!("  {sets:>3} sets ({} B of shadow tags): {}", sets * 16 * 3, pct(hmean_over(&h, &benches, &c, &base)));
+        println!(
+            "  {sets:>3} sets ({} B of shadow tags): {}",
+            sets * 16 * 3,
+            pct(hmean_over(&h, &benches, &c, &base))
+        );
     }
 
     figure_header("Ablation 4", "Kernel-boundary flush overhead (§5.3)");
@@ -87,7 +109,10 @@ fn main() {
     println!("read-write) costs cold misses and write-backs; the paper models the");
     println!("same overhead and finds MDR still profitable.");
 
-    figure_header("Ablation 5", "DRAM refresh (off in Table 1; JEDEC REFab here)");
+    figure_header(
+        "Ablation 5",
+        "DRAM refresh (off in Table 1; JEDEC REFab here)",
+    );
     for refresh in [false, true] {
         let mut c = nuba0.clone();
         c.dram_refresh = refresh;

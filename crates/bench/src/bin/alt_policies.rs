@@ -22,7 +22,10 @@ fn main() {
     let mig = mk(PagePolicyKind::Migration, ReplicationKind::None);
     let prep = mk(PagePolicyKind::PageReplication, ReplicationKind::None);
 
-    println!("{:<8} {:>9} {:>9} {:>9} {:>7}", "bench", "LAB+MDR", "MIGRATE", "PAGEREP", "class");
+    println!(
+        "{:<8} {:>9} {:>9} {:>9} {:>7}",
+        "bench", "LAB+MDR", "MIGRATE", "PAGEREP", "class"
+    );
     let mut lab_rows = Vec::new();
     let mut mig_rows = Vec::new();
     let mut prep_rows = Vec::new();
@@ -47,9 +50,24 @@ fn main() {
     let m = class_means(&mig_rows);
     let p = class_means(&prep_rows);
     println!("\nHarmonic means vs UBA:");
-    println!("  LAB+MDR:    low={} high={} overall={}", pct(l.low), pct(l.high), pct(l.all));
-    println!("  Migration:  low={} high={} overall={}", pct(m.low), pct(m.high), pct(m.all));
-    println!("  Page repl.: low={} high={} overall={}", pct(p.low), pct(p.high), pct(p.all));
+    println!(
+        "  LAB+MDR:    low={} high={} overall={}",
+        pct(l.low),
+        pct(l.high),
+        pct(l.all)
+    );
+    println!(
+        "  Migration:  low={} high={} overall={}",
+        pct(m.low),
+        pct(m.high),
+        pct(m.all)
+    );
+    println!(
+        "  Page repl.: low={} high={} overall={}",
+        pct(p.low),
+        pct(p.high),
+        pct(p.all)
+    );
     println!("\nPaper: migration/replication reach ~+26% on low-sharing but degrade");
     println!("       high-sharing by up to -80.4% (migration ping-pong) and -60.1%");
     println!("       (page-grain cache thrashing); LAB+MDR avoids both.");

@@ -38,8 +38,15 @@ fn main() {
         if p.classify() == b.spec().sharing {
             ok += 1;
         } else {
-            println!("  MISMATCH: {b} profiled {:?}, Table 2 says {:?}", p.classify(), b.spec().sharing);
+            println!(
+                "  MISMATCH: {b} profiled {:?}, Table 2 says {:?}",
+                p.classify(),
+                b.spec().sharing
+            );
         }
     }
-    println!("  {ok}/{} benchmarks match their Table 2 class", BenchmarkId::ALL.len());
+    println!(
+        "  {ok}/{} benchmarks match their Table 2 class",
+        BenchmarkId::ALL.len()
+    );
 }

@@ -42,9 +42,24 @@ fn main() {
     let nr_m = class_means(&nr_rows);
     let sm_m = class_means(&sm_rows);
     println!("\nHarmonic-mean improvement over memory-side UBA:");
-    println!("  NUBA        low={} high={} overall={}", pct(nuba_m.low), pct(nuba_m.high), pct(nuba_m.all));
-    println!("  NUBA-No-Rep low={} high={} overall={}", pct(nr_m.low), pct(nr_m.high), pct(nr_m.all));
-    println!("  SM-side UBA low={} high={} overall={}", pct(sm_m.low), pct(sm_m.high), pct(sm_m.all));
+    println!(
+        "  NUBA        low={} high={} overall={}",
+        pct(nuba_m.low),
+        pct(nuba_m.high),
+        pct(nuba_m.all)
+    );
+    println!(
+        "  NUBA-No-Rep low={} high={} overall={}",
+        pct(nr_m.low),
+        pct(nr_m.high),
+        pct(nr_m.all)
+    );
+    println!(
+        "  SM-side UBA low={} high={} overall={}",
+        pct(sm_m.low),
+        pct(sm_m.high),
+        pct(sm_m.all)
+    );
     let max = nuba_rows.iter().map(|&(_, s)| s).fold(f64::MIN, f64::max);
     println!("  NUBA max improvement: {}", pct(max));
 

@@ -10,7 +10,10 @@ fn main() {
     let h = Harness::from_env();
     let [(_, uba_cfg), _, (_, nr_cfg), (_, nuba_cfg)] = main_configs();
 
-    println!("{:<8} {:>8} {:>12} {:>8} {:>9}", "bench", "UBA", "NUBA-No-Rep", "NUBA", "NUBA/UBA");
+    println!(
+        "{:<8} {:>8} {:>12} {:>8} {:>9}",
+        "bench", "UBA", "NUBA-No-Rep", "NUBA", "NUBA/UBA"
+    );
     let mut gains_low = Vec::new();
     let mut gains_high = Vec::new();
     for &b in BenchmarkId::ALL {
@@ -37,7 +40,11 @@ fn main() {
         pct(harmonic_mean_speedup(&gains_low)),
         pct(harmonic_mean_speedup(&gains_high)),
         pct(harmonic_mean_speedup(
-            &gains_low.iter().chain(&gains_high).copied().collect::<Vec<_>>()
+            &gains_low
+                .iter()
+                .chain(&gains_high)
+                .copied()
+                .collect::<Vec<_>>()
         ))
     );
     println!("Paper: +51.7% low / +24.7% high / +38.9% overall.");

@@ -10,16 +10,25 @@ use nuba_bench::{figure_header, pct, sweep_benchmarks, Harness};
 use nuba_types::{harmonic_mean_speedup, ArchKind, GpuConfig, ReplicationKind};
 
 fn main() {
-    figure_header("Figure 10", "Performance vs NoC power across NoC bandwidths");
+    figure_header(
+        "Figure 10",
+        "Performance vs NoC power across NoC bandwidths",
+    );
     let h = Harness::from_env();
     let benches = sweep_benchmarks();
 
     let base_cfg = GpuConfig::paper_baseline(ArchKind::MemSideUba).with_noc_tbs(1.4);
     println!("(speedups vs memory-side UBA @ 1.4 TB/s; NoC watts averaged over runs)");
-    println!("{:<10} {:>8} {:>12} {:>12}", "arch", "NoC TB/s", "perf", "NoC watts");
+    println!(
+        "{:<10} {:>8} {:>12} {:>12}",
+        "arch", "NoC TB/s", "perf", "NoC watts"
+    );
 
     // Baselines per benchmark.
-    let baselines: Vec<_> = benches.iter().map(|&b| h.run(b, base_cfg.clone())).collect();
+    let baselines: Vec<_> = benches
+        .iter()
+        .map(|&b| h.run(b, base_cfg.clone()))
+        .collect();
 
     let mut results: Vec<(String, f64, f64, f64)> = Vec::new();
     for arch in [ArchKind::MemSideUba, ArchKind::SmSideUba, ArchKind::Nuba] {
@@ -37,7 +46,13 @@ fn main() {
             }
             let s = harmonic_mean_speedup(&speedups);
             let w = watts / benches.len() as f64;
-            println!("{:<10} {:>8.1} {:>12} {:>12.1}", arch.label(), tbs, pct(s), w);
+            println!(
+                "{:<10} {:>8.1} {:>12} {:>12.1}",
+                arch.label(),
+                tbs,
+                pct(s),
+                w
+            );
             results.push((arch.label().to_string(), tbs, s, w));
         }
     }

@@ -6,7 +6,10 @@ use nuba_types::{ArchKind, GpuConfig, PagePolicyKind, ReplicationKind};
 use nuba_workloads::BenchmarkId;
 
 fn main() {
-    figure_header("Figure 11", "Page allocation policy on NUBA (speedup vs UBA)");
+    figure_header(
+        "Figure 11",
+        "Page allocation policy on NUBA (speedup vs UBA)",
+    );
     let h = Harness::from_env();
     let uba = GpuConfig::paper_baseline(ArchKind::MemSideUba);
     let mk = |p: PagePolicyKind| {
@@ -49,9 +52,24 @@ fn main() {
     let m = class_means(&lab_rows);
     let mf = class_means(&lab_ft);
     let mr = class_means(&lab_rr);
-    println!("\nLAB vs UBA (hmean): low={} high={} overall={}", pct(m.low), pct(m.high), pct(m.all));
-    println!("LAB over FT: low={} high={} overall={}", pct(mf.low), pct(mf.high), pct(mf.all));
-    println!("LAB over RR: low={} high={} overall={}", pct(mr.low), pct(mr.high), pct(mr.all));
+    println!(
+        "\nLAB vs UBA (hmean): low={} high={} overall={}",
+        pct(m.low),
+        pct(m.high),
+        pct(m.all)
+    );
+    println!(
+        "LAB over FT: low={} high={} overall={}",
+        pct(mf.low),
+        pct(mf.high),
+        pct(mf.all)
+    );
+    println!(
+        "LAB over RR: low={} high={} overall={}",
+        pct(mr.low),
+        pct(mr.high),
+        pct(mr.all)
+    );
     println!("\nPaper: LAB +88.9% over FT, +14.3% over RR, +14.8% over UBA overall;");
     println!("       FT collapses on high-sharing, RR wastes low-sharing locality.");
 }

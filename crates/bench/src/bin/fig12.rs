@@ -6,7 +6,10 @@ use nuba_types::{harmonic_mean_speedup, ArchKind, GpuConfig, ReplicationKind};
 use nuba_workloads::{BenchmarkId, SharingClass};
 
 fn main() {
-    figure_header("Figure 12", "Data replication policy on NUBA (speedup vs No-Rep)");
+    figure_header(
+        "Figure 12",
+        "Data replication policy on NUBA (speedup vs No-Rep)",
+    );
     let h = Harness::from_env();
     let mk = |r: ReplicationKind| {
         let mut c = GpuConfig::paper_baseline(ArchKind::Nuba);

@@ -27,7 +27,14 @@ fn main() {
         let scale = un + ur;
         let (sn, sr) = norm(&sm);
         let (nn, nr) = norm(&nuba);
-        let row = [un / scale, ur / scale, sn / scale, sr / scale, nn / scale, nr / scale];
+        let row = [
+            un / scale,
+            ur / scale,
+            sn / scale,
+            sr / scale,
+            nn / scale,
+            nr / scale,
+        ];
         println!(
             "{:<8} {:>9.3} {:>9.3} | {:>9.3} {:>9.3} | {:>9.3} {:>9.3}",
             b.to_string(),
@@ -47,9 +54,24 @@ fn main() {
     }
     let n = BenchmarkId::ALL.len() as f64;
     println!("\nAverages (energy per unit work, UBA = 1.0):");
-    println!("  UBA    : noc={:.3} rest={:.3} total={:.3}", sums[0] / n, sums[1] / n, totals.0 / n);
-    println!("  UBA-sm : noc={:.3} rest={:.3} total={:.3}", sums[2] / n, sums[3] / n, totals.1 / n);
-    println!("  NUBA   : noc={:.3} rest={:.3} total={:.3}", sums[4] / n, sums[5] / n, totals.2 / n);
+    println!(
+        "  UBA    : noc={:.3} rest={:.3} total={:.3}",
+        sums[0] / n,
+        sums[1] / n,
+        totals.0 / n
+    );
+    println!(
+        "  UBA-sm : noc={:.3} rest={:.3} total={:.3}",
+        sums[2] / n,
+        sums[3] / n,
+        totals.1 / n
+    );
+    println!(
+        "  NUBA   : noc={:.3} rest={:.3} total={:.3}",
+        sums[4] / n,
+        sums[5] / n,
+        totals.2 / n
+    );
     println!(
         "  NUBA NoC energy reduction: {:.1}%; total GPU energy reduction: {:.1}%",
         100.0 * (1.0 - (sums[4] / sums[0])),

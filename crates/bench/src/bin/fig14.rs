@@ -6,9 +6,7 @@
 //! (set `NUBA_FULL=1` for all 29 benchmarks).
 
 use nuba_bench::{figure_header, pct, sweep_benchmarks, Harness};
-use nuba_types::{
-    harmonic_mean_speedup, ArchKind, GpuConfig, MappingKind, PagePolicyKind,
-};
+use nuba_types::{harmonic_mean_speedup, ArchKind, GpuConfig, MappingKind, PagePolicyKind};
 use nuba_workloads::{BenchmarkId, ScaleProfile};
 
 fn improvement(
@@ -21,7 +19,10 @@ fn improvement(
     let mut speedups = Vec::new();
     for &b in benches {
         let (base, test) = match scale {
-            Some(s) => (h.run_scaled(b, uba.clone(), s), h.run_scaled(b, nuba.clone(), s)),
+            Some(s) => (
+                h.run_scaled(b, uba.clone(), s),
+                h.run_scaled(b, nuba.clone(), s),
+            ),
             None => (h.run(b, uba.clone()), h.run(b, nuba.clone())),
         };
         speedups.push(test.speedup_over(&base));
@@ -30,7 +31,10 @@ fn improvement(
 }
 
 fn main() {
-    figure_header("Figure 14", "Sensitivity analyses (NUBA improvement over iso-configured UBA)");
+    figure_header(
+        "Figure 14",
+        "Sensitivity analyses (NUBA improvement over iso-configured UBA)",
+    );
     let h = Harness::from_env();
     let benches = sweep_benchmarks();
     let uba0 = GpuConfig::paper_baseline(ArchKind::MemSideUba);
@@ -55,7 +59,11 @@ fn main() {
             c.num_llc_slices = c.num_channels * spp;
         }
         let s = improvement(&h, &benches, &uba, &nuba, None);
-        println!("  {spp} slice(s)/partition ({} slices): {}", uba.num_llc_slices, pct(s));
+        println!(
+            "  {spp} slice(s)/partition ({} slices): {}",
+            uba.num_llc_slices,
+            pct(s)
+        );
     }
     println!("  paper: +15.1% / +23.1% / +41.2%");
 
@@ -68,14 +76,20 @@ fn main() {
             c.llc_total_bytes = (6.0 * factor) as usize * 1024 * 1024;
         }
         let s = improvement(&h, &benches, &uba, &nuba, None);
-        println!("  {factor:>4}x ({} MB): {}", uba.llc_total_bytes / (1024 * 1024), pct(s));
+        println!(
+            "  {factor:>4}x ({} MB): {}",
+            uba.llc_total_bytes / (1024 * 1024),
+            pct(s)
+        );
     }
     println!("  paper: +12.9% / +23.1% / +31.7%");
 
     // --- Page size ---
     println!("\nPage size:");
-    for (name, scale) in [("4 KB", ScaleProfile::default()), ("2 MB", ScaleProfile::huge_pages())]
-    {
+    for (name, scale) in [
+        ("4 KB", ScaleProfile::default()),
+        ("2 MB", ScaleProfile::huge_pages()),
+    ] {
         let s = improvement(&h, &benches, &uba0, &nuba0, Some(scale));
         println!("  {name}: {}", pct(s));
     }

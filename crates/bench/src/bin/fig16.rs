@@ -9,7 +9,10 @@ use nuba_types::{ArchKind, GpuConfig};
 use nuba_workloads::BenchmarkId;
 
 fn main() {
-    figure_header("Figure 16", "NUBA on MCM-GPUs vs monolithic GPUs (same resources)");
+    figure_header(
+        "Figure 16",
+        "NUBA on MCM-GPUs vs monolithic GPUs (same resources)",
+    );
     let h = Harness::from_env();
 
     let mono_uba = GpuConfig::paper_baseline(ArchKind::MemSideUba).scaled(2.0);
@@ -17,7 +20,10 @@ fn main() {
     let mcm_uba = GpuConfig::paper_mcm(ArchKind::McmUba);
     let mcm_nuba = GpuConfig::paper_mcm(ArchKind::McmNuba);
 
-    println!("{:<8} {:>14} {:>14}", "bench", "mono NUBA/UBA", "MCM NUBA/UBA");
+    println!(
+        "{:<8} {:>14} {:>14}",
+        "bench", "mono NUBA/UBA", "MCM NUBA/UBA"
+    );
     let mut mono_rows = Vec::new();
     let mut mcm_rows = Vec::new();
     for &b in BenchmarkId::ALL {

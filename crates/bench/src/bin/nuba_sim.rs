@@ -70,7 +70,9 @@ fn parse_args() -> Result<Args, String> {
     let mut i = 0;
     let value = |i: &mut usize| -> Result<String, String> {
         *i += 1;
-        argv.get(*i).cloned().ok_or_else(|| format!("missing value after {}", argv[*i - 1]))
+        argv.get(*i)
+            .cloned()
+            .ok_or_else(|| format!("missing value after {}", argv[*i - 1]))
     };
     while i < argv.len() {
         match argv[i].as_str() {
@@ -100,7 +102,11 @@ fn parse_args() -> Result<Args, String> {
                 };
             }
             "--cycles" => a.cycles = value(&mut i)?.parse().map_err(|e| format!("cycles: {e}"))?,
-            "--noc-tbs" => a.noc_tbs = value(&mut i)?.parse().map_err(|e| format!("noc-tbs: {e}"))?,
+            "--noc-tbs" => {
+                a.noc_tbs = value(&mut i)?
+                    .parse()
+                    .map_err(|e| format!("noc-tbs: {e}"))?
+            }
             "--policy" => {
                 let v = value(&mut i)?;
                 a.policy = match v.split(':').collect::<Vec<_>>().as_slice() {
@@ -133,8 +139,11 @@ fn parse_args() -> Result<Args, String> {
             }
             "--seed" => a.seed = value(&mut i)?.parse().map_err(|e| format!("seed: {e}"))?,
             "--kernel-every" => {
-                a.kernel_every =
-                    Some(value(&mut i)?.parse().map_err(|e| format!("kernel-every: {e}"))?)
+                a.kernel_every = Some(
+                    value(&mut i)?
+                        .parse()
+                        .map_err(|e| format!("kernel-every: {e}"))?,
+                )
             }
             "--capture" => a.capture = Some(value(&mut i)?),
             "--trace" => a.trace = Some(value(&mut i)?),
@@ -175,7 +184,11 @@ fn build_config(a: &Args) -> GpuConfig {
 
 fn run_one(a: &Args, bench: BenchmarkId) -> SimReport {
     let cfg = build_config(a);
-    let scale = if a.huge_pages { ScaleProfile::huge_pages() } else { ScaleProfile::default() };
+    let scale = if a.huge_pages {
+        ScaleProfile::huge_pages()
+    } else {
+        ScaleProfile::default()
+    };
     let wl = Workload::build(bench, scale, cfg.num_sms, a.seed);
     let mut gpu = GpuSimulator::new(cfg, &wl);
     gpu.warm_and_run(&wl, a.cycles)
@@ -257,8 +270,8 @@ fn run_trace(a: &Args, path: &str) {
         eprintln!("error: cannot open trace {path}: {e}");
         std::process::exit(2);
     });
-    let trace = nuba_workloads::Trace::read_from(std::io::BufReader::new(file))
-        .unwrap_or_else(|e| {
+    let trace =
+        nuba_workloads::Trace::read_from(std::io::BufReader::new(file)).unwrap_or_else(|e| {
             eprintln!("error: bad trace {path}: {e}");
             std::process::exit(2);
         });
@@ -284,7 +297,11 @@ fn run_trace(a: &Args, path: &str) {
 
 fn capture_trace(a: &Args, bench: BenchmarkId, path: &str) {
     let cfg = build_config(a);
-    let scale = if a.huge_pages { ScaleProfile::huge_pages() } else { ScaleProfile::default() };
+    let scale = if a.huge_pages {
+        ScaleProfile::huge_pages()
+    } else {
+        ScaleProfile::default()
+    };
     let wl = Workload::build(bench, scale, cfg.num_sms, a.seed);
     let warps = cfg.sim_active_warps.min(cfg.warps_per_sm);
     // Record roughly as many ops as the timed window would consume.
@@ -294,10 +311,12 @@ fn capture_trace(a: &Args, bench: BenchmarkId, path: &str) {
         eprintln!("error: cannot create {path}: {e}");
         std::process::exit(2);
     });
-    trace.write_to(std::io::BufWriter::new(file)).unwrap_or_else(|e| {
-        eprintln!("error: writing {path}: {e}");
-        std::process::exit(2);
-    });
+    trace
+        .write_to(std::io::BufWriter::new(file))
+        .unwrap_or_else(|e| {
+            eprintln!("error: writing {path}: {e}");
+            std::process::exit(2);
+        });
     println!(
         "captured {} ops ({} SMs x {} warps x {} ops) of {bench} to {path}",
         trace.len(),

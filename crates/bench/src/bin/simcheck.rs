@@ -1,0 +1,127 @@
+//! Workspace invariant gate: run every architecture configuration and
+//! fail if any named invariant or conservation law is violated.
+//!
+//! Each configuration simulates a mixed workload with periodic
+//! cross-component conservation checks (`GpuSimulator::check_conservation`):
+//!
+//! - **requests in == replies out**: every SM request is answered or
+//!   still outstanding — the memory system drops and duplicates nothing;
+//! - **flits injected == ejected**: the request and reply crossbars
+//!   conserve packets across both stages;
+//! - **energy monotone**: cumulative energy never decreases as the
+//!   simulation advances;
+//!
+//! plus every `invariant!` site embedded in the component code (address
+//! math, link/pipe time monotonicity, replica-path access kinds, SM
+//! reply routing, ...), which count violations even in release builds.
+//!
+//! Exit status is nonzero on any violation, so CI can gate on
+//! `cargo run -p nuba-bench --bin simcheck`.
+
+use nuba_core::GpuSimulator;
+use nuba_types::invariant;
+use nuba_types::{ArchKind, GpuConfig, PagePolicyKind, ReplicationKind};
+use nuba_workloads::{BenchmarkId, ScaleProfile, Workload};
+
+/// The architecture matrix: both UBA baselines and NUBA with each
+/// replication / page-allocation policy the paper evaluates.
+fn configs() -> Vec<(String, GpuConfig)> {
+    let mut out = vec![
+        (
+            "UBA-mem".to_string(),
+            GpuConfig::paper_baseline(ArchKind::MemSideUba),
+        ),
+        (
+            "UBA-sm".to_string(),
+            GpuConfig::paper_baseline(ArchKind::SmSideUba),
+        ),
+    ];
+    for (rep_name, rep) in [
+        ("NoRep", ReplicationKind::None),
+        ("FullRep", ReplicationKind::Full),
+        ("MDR", ReplicationKind::Mdr),
+    ] {
+        for (pol_name, pol) in [
+            ("FirstTouch", PagePolicyKind::FirstTouch),
+            ("RoundRobin", PagePolicyKind::RoundRobin),
+            ("LAB", PagePolicyKind::lab_default()),
+        ] {
+            let mut cfg = GpuConfig::paper_baseline(ArchKind::Nuba);
+            cfg.replication = rep;
+            cfg.page_policy = pol;
+            out.push((format!("NUBA-{rep_name}-{pol_name}"), cfg));
+        }
+    }
+    out
+}
+
+/// Simulate one configuration with conservation checks every
+/// `check_every` cycles. Returns violations attributable to this run.
+fn check_config(name: &str, cfg: GpuConfig, bench: BenchmarkId, cycles: u64) -> u64 {
+    nuba_types::invariant::reset();
+    let scale = ScaleProfile::fast();
+    let wl = Workload::build(bench, scale, cfg.num_sms, cfg.seed);
+    let mut gpu = GpuSimulator::new(cfg, &wl);
+    gpu.warm(&wl, 256);
+    gpu.check_conservation();
+
+    let check_every = 512u64;
+    let mut prev_energy = 0.0f64;
+    while gpu.cycle() < cycles {
+        for _ in 0..check_every {
+            gpu.step();
+        }
+        gpu.check_conservation();
+        let energy = gpu.report().energy.total_j();
+        invariant!(
+            "energy_monotone",
+            energy >= prev_energy,
+            "total energy fell from {prev_energy} J to {energy} J"
+        );
+        prev_energy = energy;
+    }
+
+    let violations = nuba_types::invariant::total_violations();
+    let report = gpu.report();
+    let status = if violations == 0 { "ok" } else { "FAIL" };
+    println!(
+        "{status:>4}  {name:<24} {:>8} cycles  {:>8} warp-ops  {:>3} violations",
+        report.cycles, report.warp_ops, violations
+    );
+    if violations > 0 {
+        for site in nuba_types::invariant::report() {
+            if site.violations > 0 {
+                println!(
+                    "      {} at {}:{} — {}/{} checks violated",
+                    site.name, site.file, site.line, site.violations, site.checks
+                );
+            }
+        }
+    }
+    violations
+}
+
+fn main() {
+    let cycles = std::env::var("NUBA_SIMCHECK_CYCLES")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(8192u64);
+    // A benchmark with both read-only shared data (exercises the MDR
+    // replica path) and writes (exercises stores/atomics downstream).
+    let bench = BenchmarkId::Kmeans;
+
+    println!(
+        "simcheck: {} configurations x {cycles} cycles of {bench:?}",
+        configs().len()
+    );
+    let mut total = 0u64;
+    for (name, cfg) in configs() {
+        total += check_config(&name, cfg, bench, cycles);
+    }
+
+    if total > 0 {
+        eprintln!("simcheck: {total} invariant violations");
+        std::process::exit(1);
+    }
+    println!("simcheck: all invariants held");
+}

@@ -33,14 +33,23 @@ fn main() {
         let speedups: Vec<f64> = seeds
             .iter()
             .map(|&s| {
-                let uba = run(bench, GpuConfig::paper_baseline(ArchKind::MemSideUba), s, h.cycles);
-                let nuba = run(bench, GpuConfig::paper_baseline(ArchKind::Nuba), s, h.cycles);
+                let uba = run(
+                    bench,
+                    GpuConfig::paper_baseline(ArchKind::MemSideUba),
+                    s,
+                    h.cycles,
+                );
+                let nuba = run(
+                    bench,
+                    GpuConfig::paper_baseline(ArchKind::Nuba),
+                    s,
+                    h.cycles,
+                );
                 nuba / uba
             })
             .collect();
         let mean = speedups.iter().sum::<f64>() / speedups.len() as f64;
-        let var = speedups.iter().map(|s| (s - mean).powi(2)).sum::<f64>()
-            / speedups.len() as f64;
+        let var = speedups.iter().map(|s| (s - mean).powi(2)).sum::<f64>() / speedups.len() as f64;
         let cov = var.sqrt() / mean;
         let min = speedups.iter().copied().fold(f64::INFINITY, f64::min);
         let max = speedups.iter().copied().fold(f64::NEG_INFINITY, f64::max);

@@ -45,7 +45,11 @@ impl Harness {
         } else {
             ScaleProfile::default()
         };
-        Harness { cycles, scale, seed: 42 }
+        Harness {
+            cycles,
+            scale,
+            seed: 42,
+        }
     }
 
     /// Whether sweeps should cover the full suite.
@@ -127,8 +131,11 @@ pub struct ClassMeans {
 /// Aggregate per-benchmark speedups the paper's way.
 pub fn class_means(rows: &[(BenchmarkId, f64)]) -> ClassMeans {
     let pick = |class: SharingClass| {
-        let v: Vec<f64> =
-            rows.iter().filter(|(b, _)| b.spec().sharing == class).map(|&(_, s)| s).collect();
+        let v: Vec<f64> = rows
+            .iter()
+            .filter(|(b, _)| b.spec().sharing == class)
+            .map(|&(_, s)| s)
+            .collect();
         harmonic_mean_speedup(&v)
     };
     let all: Vec<f64> = rows.iter().map(|&(_, s)| s).collect();
@@ -206,8 +213,7 @@ pub mod chart {
 
         #[test]
         fn series_aligns_labels() {
-            let rows =
-                vec![("A".to_string(), 1.0), ("LONGNAME".to_string(), 2.0)];
+            let rows = vec![("A".to_string(), 1.0), ("LONGNAME".to_string(), 2.0)];
             let out = series(&rows, 8);
             let lines: Vec<&str> = out.lines().collect();
             assert_eq!(lines.len(), 2);
@@ -224,9 +230,9 @@ mod tests {
     #[test]
     fn class_means_split() {
         let rows = vec![
-            (BenchmarkId::Lbm, 1.5),    // low
-            (BenchmarkId::Mvt, 1.3),    // low
-            (BenchmarkId::Sgemm, 1.2),  // high
+            (BenchmarkId::Lbm, 1.5),     // low
+            (BenchmarkId::Mvt, 1.3),     // low
+            (BenchmarkId::Sgemm, 1.2),   // high
             (BenchmarkId::AlexNet, 1.4), // high
         ];
         let m = class_means(&rows);
@@ -244,8 +250,14 @@ mod tests {
     #[test]
     fn sweep_subset_is_balanced() {
         let sw = sweep_benchmarks();
-        let low = sw.iter().filter(|b| b.spec().sharing == SharingClass::Low).count();
-        let high = sw.iter().filter(|b| b.spec().sharing == SharingClass::High).count();
+        let low = sw
+            .iter()
+            .filter(|b| b.spec().sharing == SharingClass::Low)
+            .count();
+        let high = sw
+            .iter()
+            .filter(|b| b.spec().sharing == SharingClass::High)
+            .count();
         assert_eq!(low, 5);
         assert_eq!(high, 5);
     }

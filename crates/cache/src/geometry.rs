@@ -27,7 +27,10 @@ impl CacheGeometry {
     /// `ways × LINE_BYTES`.
     pub fn from_capacity(bytes: usize, ways: usize) -> CacheGeometry {
         let set_bytes = ways * LINE_BYTES as usize;
-        assert!(bytes.is_multiple_of(set_bytes), "capacity {bytes} not divisible by set size {set_bytes}");
+        assert!(
+            bytes.is_multiple_of(set_bytes),
+            "capacity {bytes} not divisible by set size {set_bytes}"
+        );
         CacheGeometry::new(bytes / set_bytes, ways)
     }
 

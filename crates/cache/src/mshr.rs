@@ -38,7 +38,10 @@ impl<W> MshrFile<W> {
     /// # Panics
     /// Panics if either limit is zero.
     pub fn new(max_entries: usize, max_merges: usize) -> MshrFile<W> {
-        assert!(max_entries > 0 && max_merges > 0, "mshr limits must be non-zero");
+        assert!(
+            max_entries > 0 && max_merges > 0,
+            "mshr limits must be non-zero"
+        );
         MshrFile {
             entries: HashMap::with_capacity(max_entries),
             max_entries,
@@ -75,7 +78,9 @@ impl<W> MshrFile<W> {
     /// Whether a secondary miss on `line` can merge (entry exists and its
     /// merge list has room).
     pub fn can_merge(&self, line: LineAddr) -> bool {
-        self.entries.get(&line).is_some_and(|w| w.len() < self.max_merges)
+        self.entries
+            .get(&line)
+            .is_some_and(|w| w.len() < self.max_merges)
     }
 
     /// Complete the fill for `line`, returning all merged waiters

@@ -102,7 +102,8 @@ impl SetSampler {
             if self.shadow_full_rep.probe_and_touch(line, now) {
                 self.hits_full_rep += 1;
             } else {
-                self.shadow_full_rep.insert(line, false, is_replica_candidate, now);
+                self.shadow_full_rep
+                    .insert(line, false, is_replica_candidate, now);
             }
         }
     }

@@ -93,7 +93,9 @@ impl TagArray {
     pub fn probe(&self, line: LineAddr) -> bool {
         let set = self.geo.set_of(line);
         let w = self.geo.ways();
-        self.ways[set * w..(set + 1) * w].iter().any(|way| way.valid && way.line == line)
+        self.ways[set * w..(set + 1) * w]
+            .iter()
+            .any(|way| way.valid && way.line == line)
     }
 
     /// Mark a resident line dirty (write hit under write-back policy).
@@ -113,7 +115,13 @@ impl TagArray {
     ///
     /// Inserting a line that is already resident just refreshes its
     /// recency/flags and returns `None`.
-    pub fn insert(&mut self, line: LineAddr, dirty: bool, replica: bool, _now: u64) -> Option<Eviction> {
+    pub fn insert(
+        &mut self,
+        line: LineAddr,
+        dirty: bool,
+        replica: bool,
+        _now: u64,
+    ) -> Option<Eviction> {
         self.stamp += 1;
         let stamp = self.stamp;
         let set = self.geo.set_of(line);
@@ -130,7 +138,13 @@ impl TagArray {
         // Free way?
         for way in self.set_slice(set) {
             if !way.valid {
-                *way = Way { valid: true, line, dirty, replica, last_use: stamp };
+                *way = Way {
+                    valid: true,
+                    line,
+                    dirty,
+                    replica,
+                    last_use: stamp,
+                };
                 return None;
             }
         }
@@ -155,8 +169,18 @@ impl TagArray {
         };
         let set_ways = self.set_slice(set);
         let victim = set_ways[victim_idx];
-        set_ways[victim_idx] = Way { valid: true, line, dirty, replica, last_use: stamp };
-        Some(Eviction { line: victim.line, dirty: victim.dirty, replica: victim.replica })
+        set_ways[victim_idx] = Way {
+            valid: true,
+            line,
+            dirty,
+            replica,
+            last_use: stamp,
+        };
+        Some(Eviction {
+            line: victim.line,
+            dirty: victim.dirty,
+            replica: victim.replica,
+        })
     }
 
     /// Invalidate `line` if resident; returns its dirty state.

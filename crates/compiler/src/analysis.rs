@@ -20,12 +20,16 @@ pub struct KernelAccessSummary {
     pub read_only: BTreeSet<String>,
 }
 
-type Provenance = HashMap<String, BTreeSet<String>>;
+/// Register → params its value may derive from (flow-insensitive).
+pub(crate) type Provenance = HashMap<String, BTreeSet<String>>;
 
-fn reg_sources(operands: &[Operand]) -> impl Iterator<Item = &str> {
+pub(crate) fn reg_sources(operands: &[Operand]) -> impl Iterator<Item = &str> {
     operands.iter().filter_map(|op| match op {
         Operand::Reg(r) => Some(r.as_str()),
-        Operand::Mem { base: MemBase::Reg(r), .. } => Some(r.as_str()),
+        Operand::Mem {
+            base: MemBase::Reg(r),
+            ..
+        } => Some(r.as_str()),
         _ => None,
     })
 }
@@ -33,10 +37,14 @@ fn reg_sources(operands: &[Operand]) -> impl Iterator<Item = &str> {
 /// Which params may an address operand point into?
 fn mem_provenance(op: &Operand, prov: &Provenance) -> Option<BTreeSet<String>> {
     match op {
-        Operand::Mem { base: MemBase::Reg(r), .. } => {
-            Some(prov.get(r).cloned().unwrap_or_default())
-        }
-        Operand::Mem { base: MemBase::Param(p), .. } => {
+        Operand::Mem {
+            base: MemBase::Reg(r),
+            ..
+        } => Some(prov.get(r).cloned().unwrap_or_default()),
+        Operand::Mem {
+            base: MemBase::Param(p),
+            ..
+        } => {
             let mut s = BTreeSet::new();
             s.insert(p.clone());
             Some(s)
@@ -67,8 +75,10 @@ fn analyze_instrs(kernel: &Kernel, only: Option<&[usize]>) -> KernelAccessSummar
     analyze_impl(kernel, &included)
 }
 
-fn analyze_impl(kernel: &Kernel, included: &dyn Fn(usize) -> bool) -> KernelAccessSummary {
-    // 1. Provenance fixpoint.
+/// Propagate parameter provenance through registers to a fixpoint over
+/// the instructions `included` selects. Shared by this module, the
+/// rewriter, and the flow-sensitive pass (as its ⊥-fallback).
+pub(crate) fn provenance_fixpoint(kernel: &Kernel, included: &dyn Fn(usize) -> bool) -> Provenance {
     let mut prov: Provenance = HashMap::new();
     loop {
         let mut changed = false;
@@ -76,18 +86,29 @@ fn analyze_impl(kernel: &Kernel, included: &dyn Fn(usize) -> bool) -> KernelAcce
             if !included(idx) {
                 continue;
             }
-            let Instr::Op { opcode, operands, .. } = instr else { continue };
+            let Instr::Op {
+                opcode, operands, ..
+            } = instr
+            else {
+                continue;
+            };
             let head = opcode.first().map(String::as_str).unwrap_or("");
             // Control flow and stores define no registers.
             if matches!(head, "st" | "bra" | "ret" | "bar" | "red" | "exit") {
                 continue;
             }
-            let Some(Operand::Reg(dst)) = operands.first() else { continue };
+            let Some(Operand::Reg(dst)) = operands.first() else {
+                continue;
+            };
 
             let mut incoming: BTreeSet<String> = BTreeSet::new();
             if head == "ld" && opcode.get(1).map(String::as_str) == Some("param") {
                 // `ld.param.u64 %rd1, [A]`: rd1 derives from param A.
-                if let Some(Operand::Mem { base: MemBase::Param(p), .. }) = operands.get(1) {
+                if let Some(Operand::Mem {
+                    base: MemBase::Param(p),
+                    ..
+                }) = operands.get(1)
+                {
                     incoming.insert(p.clone());
                 }
             } else {
@@ -109,9 +130,14 @@ fn analyze_impl(kernel: &Kernel, included: &dyn Fn(usize) -> bool) -> KernelAcce
             changed |= entry.len() != before;
         }
         if !changed {
-            break;
+            return prov;
         }
     }
+}
+
+fn analyze_impl(kernel: &Kernel, included: &dyn Fn(usize) -> bool) -> KernelAccessSummary {
+    // 1. Provenance fixpoint.
+    let prov = provenance_fixpoint(kernel, included);
 
     // 2. Classify global accesses.
     let mut summary = KernelAccessSummary::default();
@@ -119,7 +145,9 @@ fn analyze_impl(kernel: &Kernel, included: &dyn Fn(usize) -> bool) -> KernelAcce
         if !included(idx) {
             continue;
         }
-        let Instr::Op { operands, .. } = instr else { continue };
+        let Instr::Op { operands, .. } = instr else {
+            continue;
+        };
         if instr.is_global_load() {
             // `ld.global %dst, [addr]` — address is operand 1.
             if let Some(set) = operands.get(1).and_then(|a| mem_provenance(a, &prov)) {
@@ -140,7 +168,11 @@ fn analyze_impl(kernel: &Kernel, included: &dyn Fn(usize) -> bool) -> KernelAcce
     if summary.unknown_store {
         summary.stored.extend(kernel.params.iter().cloned());
     }
-    summary.read_only = summary.loaded.difference(&summary.stored).cloned().collect();
+    summary.read_only = summary
+        .loaded
+        .difference(&summary.stored)
+        .cloned()
+        .collect();
     summary
 }
 
@@ -174,7 +206,10 @@ mod tests {
 }
 "#,
         );
-        assert_eq!(s.read_only, ["A", "B"].iter().map(|s| s.to_string()).collect());
+        assert_eq!(
+            s.read_only,
+            ["A", "B"].iter().map(|s| s.to_string()).collect()
+        );
         assert!(s.stored.contains("C"));
         assert!(!s.unknown_store);
     }

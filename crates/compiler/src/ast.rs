@@ -34,10 +34,22 @@ impl fmt::Display for Operand {
         match self {
             Operand::Reg(r) => write!(f, "%{r}"),
             Operand::Imm(i) => write!(f, "{i}"),
-            Operand::Mem { base: MemBase::Reg(r), offset: 0 } => write!(f, "[%{r}]"),
-            Operand::Mem { base: MemBase::Reg(r), offset } => write!(f, "[%{r}+{offset}]"),
-            Operand::Mem { base: MemBase::Param(p), offset: 0 } => write!(f, "[{p}]"),
-            Operand::Mem { base: MemBase::Param(p), offset } => write!(f, "[{p}+{offset}]"),
+            Operand::Mem {
+                base: MemBase::Reg(r),
+                offset: 0,
+            } => write!(f, "[%{r}]"),
+            Operand::Mem {
+                base: MemBase::Reg(r),
+                offset,
+            } => write!(f, "[%{r}+{offset}]"),
+            Operand::Mem {
+                base: MemBase::Param(p),
+                offset: 0,
+            } => write!(f, "[{p}]"),
+            Operand::Mem {
+                base: MemBase::Param(p),
+                offset,
+            } => write!(f, "[{p}+{offset}]"),
             Operand::Label(l) => write!(f, "{l}"),
         }
     }
@@ -91,13 +103,65 @@ impl Instr {
             if matches!(opcode.first().map(String::as_str), Some("atom") | Some("red"))
                && opcode.get(1).map(String::as_str) == Some("global"))
     }
+
+    /// The register this instruction writes, if any: the first operand of
+    /// a value-producing op. Stores, branches, barriers, reductions, and
+    /// `ret`/`exit` define nothing.
+    pub fn def_register(&self) -> Option<&str> {
+        let Instr::Op {
+            opcode, operands, ..
+        } = self
+        else {
+            return None;
+        };
+        let head = opcode.first().map(String::as_str).unwrap_or("");
+        if matches!(head, "st" | "bra" | "ret" | "bar" | "red" | "exit") {
+            return None;
+        }
+        match operands.first() {
+            Some(Operand::Reg(r)) => Some(r.as_str()),
+            _ => None,
+        }
+    }
+
+    /// Registers this instruction reads: the guard predicate, every
+    /// memory base register, and every register operand outside the
+    /// destination slot (stores and branches have no destination, so all
+    /// their register operands are uses). Sorted and deduplicated.
+    pub fn use_registers(&self) -> Vec<&str> {
+        let Instr::Op { operands, pred, .. } = self else {
+            return Vec::new();
+        };
+        let mut uses: Vec<&str> = Vec::new();
+        if let Some(p) = pred {
+            uses.push(p.as_str());
+        }
+        let has_def = self.def_register().is_some();
+        for (i, op) in operands.iter().enumerate() {
+            match op {
+                Operand::Reg(r) if !(has_def && i == 0) => uses.push(r.as_str()),
+                Operand::Mem {
+                    base: MemBase::Reg(r),
+                    ..
+                } => uses.push(r.as_str()),
+                _ => {}
+            }
+        }
+        uses.sort_unstable();
+        uses.dedup();
+        uses
+    }
 }
 
 impl fmt::Display for Instr {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             Instr::Label(l) => write!(f, "{l}:"),
-            Instr::Op { opcode, operands, pred } => {
+            Instr::Op {
+                opcode,
+                operands,
+                pred,
+            } => {
                 if let Some(p) = pred {
                     write!(f, "@%{p} ")?;
                 }
@@ -166,7 +230,11 @@ impl Module {
 
     /// Render the whole module to PTX text.
     pub fn to_ptx(&self) -> String {
-        self.kernels.iter().map(Kernel::to_ptx).collect::<Vec<_>>().join("\n")
+        self.kernels
+            .iter()
+            .map(Kernel::to_ptx)
+            .collect::<Vec<_>>()
+            .join("\n")
     }
 }
 
@@ -199,12 +267,61 @@ mod tests {
     }
 
     #[test]
+    fn def_and_use_registers() {
+        let ld = Instr::Op {
+            opcode: vec!["ld".into(), "global".into(), "f32".into()],
+            operands: vec![
+                Operand::Reg("f1".into()),
+                Operand::Mem {
+                    base: MemBase::Reg("rd1".into()),
+                    offset: 0,
+                },
+            ],
+            pred: Some("p2".into()),
+        };
+        assert_eq!(ld.def_register(), Some("f1"));
+        assert_eq!(ld.use_registers(), vec!["p2", "rd1"]);
+
+        let st = Instr::Op {
+            opcode: vec!["st".into(), "global".into(), "f32".into()],
+            operands: vec![
+                Operand::Mem {
+                    base: MemBase::Reg("rd2".into()),
+                    offset: 8,
+                },
+                Operand::Reg("f3".into()),
+            ],
+            pred: None,
+        };
+        assert_eq!(st.def_register(), None);
+        assert_eq!(st.use_registers(), vec!["f3", "rd2"]);
+
+        let add = Instr::Op {
+            opcode: vec!["add".into(), "s64".into()],
+            operands: vec![
+                Operand::Reg("rd5".into()),
+                Operand::Reg("rd3".into()),
+                Operand::Reg("rd4".into()),
+            ],
+            pred: None,
+        };
+        assert_eq!(add.def_register(), Some("rd5"));
+        assert_eq!(add.use_registers(), vec!["rd3", "rd4"]);
+
+        assert_eq!(Instr::Label("L".into()).def_register(), None);
+        assert!(Instr::Label("L".into()).use_registers().is_empty());
+    }
+
+    #[test]
     fn display_roundtrip_forms() {
         let i = Instr::Op {
             opcode: vec!["ld".into(), "global".into(), "f32".into()],
             operands: vec![
                 Operand::Reg("f1".into()),
-                Operand::Mem { base: MemBase::Reg("rd4".into()), offset: 16 },
+                Operand::Mem {
+                    base: MemBase::Reg("rd4".into()),
+                    offset: 16,
+                },
             ],
             pred: Some("p1".into()),
         };

@@ -41,22 +41,20 @@ fn is_terminator(instr: &Instr) -> bool {
 /// branches fall through when the predicate is false).
 fn falls_through(instr: &Instr) -> bool {
     match instr {
-        Instr::Op { opcode, pred, .. } => {
-            match opcode.first().map(String::as_str) {
-                Some("ret") | Some("exit") => pred.is_some(),
-                Some("bra") => pred.is_some(),
-                _ => true,
-            }
-        }
+        Instr::Op { opcode, pred, .. } => match opcode.first().map(String::as_str) {
+            Some("ret") | Some("exit") => pred.is_some(),
+            Some("bra") => pred.is_some(),
+            _ => true,
+        },
         Instr::Label(_) => true,
     }
 }
 
 fn branch_target(instr: &Instr) -> Option<&str> {
     match instr {
-        Instr::Op { opcode, operands, .. }
-            if opcode.first().map(String::as_str) == Some("bra") =>
-        {
+        Instr::Op {
+            opcode, operands, ..
+        } if opcode.first().map(String::as_str) == Some("bra") => {
             operands.iter().find_map(|op| match op {
                 Operand::Label(l) => Some(l.as_str()),
                 _ => None,
@@ -120,27 +118,34 @@ impl Cfg {
             blocks.push(b);
         }
 
-        // 3. Edges (index-based: we read `blocks[bi]` while mutating it).
+        // 3. Edges: compute every block's successors first, then assign
+        //    (the computation reads neighbouring blocks via `body`).
         let n = blocks.len();
-        #[allow(clippy::needless_range_loop)]
-        for bi in 0..n {
-            let last = blocks[bi].instrs.last().copied();
-            let mut succs = Vec::new();
-            if let Some(last) = last {
-                if let Some(target) = branch_target(&body[last]) {
-                    if let Some(&tb) = label_to_block.get(target) {
-                        succs.push(tb);
+        let all_succs: Vec<Vec<usize>> = blocks
+            .iter()
+            .map(|b| {
+                let mut succs = Vec::new();
+                match b.instrs.last() {
+                    Some(&last) => {
+                        if let Some(target) = branch_target(&body[last]) {
+                            if let Some(&tb) = label_to_block.get(target) {
+                                succs.push(tb);
+                            }
+                        }
+                        if falls_through(&body[last]) && b.id + 1 < n {
+                            succs.push(b.id + 1);
+                        }
                     }
+                    // Label-only block falls through.
+                    None if b.id + 1 < n => succs.push(b.id + 1),
+                    None => {}
                 }
-                if falls_through(&body[last]) && bi + 1 < n {
-                    succs.push(bi + 1);
-                }
-            } else if bi + 1 < n {
-                // Label-only block falls through.
-                succs.push(bi + 1);
-            }
-            succs.dedup();
-            blocks[bi].successors = succs;
+                succs.dedup();
+                succs
+            })
+            .collect();
+        for (b, succs) in blocks.iter_mut().zip(all_succs) {
+            b.successors = succs;
         }
 
         Cfg { blocks }
@@ -163,6 +168,18 @@ impl Cfg {
             }
         }
         seen
+    }
+
+    /// Predecessor block ids for every block (the inverse of
+    /// `successors`), in ascending order per block.
+    pub fn predecessors(&self) -> Vec<Vec<usize>> {
+        let mut preds = vec![Vec::new(); self.blocks.len()];
+        for b in &self.blocks {
+            for &s in &b.successors {
+                preds[s].push(b.id);
+            }
+        }
+        preds
     }
 
     /// Instruction indices (into the kernel body) of reachable blocks,
@@ -251,13 +268,29 @@ JOIN:
         let entry = &cfg.blocks[0];
         assert_eq!(entry.successors.len(), 2, "{entry:?}");
         // Join has no successors; both arms reach it.
-        let join = cfg.blocks.iter().find(|b| b.label.as_deref() == Some("JOIN")).unwrap();
+        let join = cfg
+            .blocks
+            .iter()
+            .find(|b| b.label.as_deref() == Some("JOIN"))
+            .unwrap();
         assert!(join.successors.is_empty());
-        let preds: usize =
-            cfg.blocks.iter().filter(|b| b.successors.contains(&join.id)).count();
+        let preds: usize = cfg
+            .blocks
+            .iter()
+            .filter(|b| b.successors.contains(&join.id))
+            .count();
         assert_eq!(preds, 2);
         assert!(!cfg.has_loop());
         assert!(cfg.reachable().iter().all(|&r| r));
+        // predecessors() agrees with the successor lists.
+        let pred_lists = cfg.predecessors();
+        assert!(pred_lists[0].is_empty());
+        assert_eq!(pred_lists[join.id].len(), 2);
+        for (b, preds) in pred_lists.iter().enumerate() {
+            for &p in preds {
+                assert!(cfg.blocks[p].successors.contains(&b));
+            }
+        }
     }
 
     #[test]
@@ -309,9 +342,7 @@ END:
 
     #[test]
     fn ret_ends_reachability() {
-        let cfg = cfg_of(
-            ".visible .entry k(.param .u64 A)\n{\n ret;\n mov.u32 %r1, 1;\n}\n",
-        );
+        let cfg = cfg_of(".visible .entry k(.param .u64 A)\n{\n ret;\n mov.u32 %r1, 1;\n}\n");
         assert_eq!(cfg.blocks.len(), 2);
         let reach = cfg.reachable();
         assert!(reach[0] && !reach[1]);
@@ -319,9 +350,8 @@ END:
 
     #[test]
     fn predicated_ret_falls_through() {
-        let cfg = cfg_of(
-            ".visible .entry k(.param .u64 A)\n{\n @%p1 ret;\n mov.u32 %r1, 1;\n ret;\n}\n",
-        );
+        let cfg =
+            cfg_of(".visible .entry k(.param .u64 A)\n{\n @%p1 ret;\n mov.u32 %r1, 1;\n ret;\n}\n");
         assert!(cfg.reachable().iter().all(|&r| r));
     }
 

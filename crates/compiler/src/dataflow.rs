@@ -1,0 +1,427 @@
+//! Generic worklist dataflow over a [`Cfg`], with reaching-definitions
+//! and liveness instances.
+//!
+//! A [`DataflowProblem`] supplies the lattice (`Fact`, `join_into`,
+//! `init_fact` as ⊥) and a per-instruction transfer function; [`solve`]
+//! iterates a worklist to a fixpoint. Facts are reported at block
+//! boundaries **in program order** for both directions: `entry[b]` holds
+//! at the top of block `b`, `exit[b]` past its last instruction. Backward
+//! problems apply transfers against program order internally.
+//!
+//! Termination requires the usual conditions: `Fact` must form a
+//! finite-height lattice under `join_into` and `transfer` must be
+//! monotone. All instances in this crate use powerset lattices over
+//! registers, params, or instruction indices, which satisfy both.
+
+use std::collections::{BTreeSet, HashMap, VecDeque};
+
+use crate::ast::{Instr, Kernel};
+use crate::cfg::{BasicBlock, Cfg};
+
+/// Direction a dataflow problem propagates facts in.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Direction {
+    /// Facts flow from the entry along CFG edges.
+    Forward,
+    /// Facts flow from the exits against CFG edges.
+    Backward,
+}
+
+/// A dataflow problem over the instructions of one kernel.
+pub trait DataflowProblem {
+    /// The lattice element tracked at each program point.
+    type Fact: Clone + PartialEq;
+
+    /// Which way facts propagate.
+    fn direction(&self) -> Direction;
+
+    /// The fact at the boundary: the entry of block 0 for forward
+    /// problems, the exit of every exiting block for backward ones.
+    fn boundary_fact(&self) -> Self::Fact;
+
+    /// The lattice bottom ⊥ — the identity of [`join_into`] and the
+    /// optimistic initial fact at all interior points.
+    fn init_fact(&self) -> Self::Fact;
+
+    /// `acc ← acc ⊔ from`.
+    fn join_into(&self, acc: &mut Self::Fact, from: &Self::Fact);
+
+    /// Apply the instruction at body index `idx` to `fact`. Forward
+    /// problems receive the fact holding *before* the instruction and
+    /// must leave the fact holding *after* it; backward problems the
+    /// reverse.
+    fn transfer(&self, idx: usize, instr: &Instr, fact: &mut Self::Fact);
+}
+
+/// Fixpoint facts at every block boundary, in program order for both
+/// directions (see module docs).
+#[derive(Debug, Clone)]
+pub struct BlockFacts<F> {
+    /// Fact at each block's entry (top of the block).
+    pub entry: Vec<F>,
+    /// Fact at each block's exit (past its last instruction).
+    pub exit: Vec<F>,
+}
+
+/// Whether control may leave the kernel from this block: it either has
+/// no successors or ends in a (possibly predicated) `ret`/`exit`.
+fn may_exit(kernel: &Kernel, block: &BasicBlock) -> bool {
+    if block.successors.is_empty() {
+        return true;
+    }
+    block.instrs.last().is_some_and(|&i| {
+        matches!(&kernel.body[i], Instr::Op { opcode, .. }
+            if matches!(opcode.first().map(String::as_str), Some("ret") | Some("exit")))
+    })
+}
+
+/// Run `problem` over `cfg` to a fixpoint with a worklist.
+pub fn solve<P: DataflowProblem>(problem: &P, kernel: &Kernel, cfg: &Cfg) -> BlockFacts<P::Fact> {
+    let n = cfg.blocks.len();
+    let mut facts = BlockFacts {
+        entry: vec![problem.init_fact(); n],
+        exit: vec![problem.init_fact(); n],
+    };
+    if n == 0 {
+        return facts;
+    }
+    let preds = cfg.predecessors();
+    let mut queued = vec![true; n];
+    let mut worklist: VecDeque<usize> = match problem.direction() {
+        Direction::Forward => (0..n).collect(),
+        Direction::Backward => (0..n).rev().collect(),
+    };
+    while let Some(b) = worklist.pop_front() {
+        queued[b] = false;
+        let block = &cfg.blocks[b];
+        match problem.direction() {
+            Direction::Forward => {
+                let mut inb = if b == 0 {
+                    problem.boundary_fact()
+                } else {
+                    problem.init_fact()
+                };
+                for &p in &preds[b] {
+                    problem.join_into(&mut inb, &facts.exit[p]);
+                }
+                let mut out = inb.clone();
+                for &i in &block.instrs {
+                    problem.transfer(i, &kernel.body[i], &mut out);
+                }
+                facts.entry[b] = inb;
+                if out != facts.exit[b] {
+                    facts.exit[b] = out;
+                    for &s in &block.successors {
+                        if !queued[s] {
+                            queued[s] = true;
+                            worklist.push_back(s);
+                        }
+                    }
+                }
+            }
+            Direction::Backward => {
+                let mut out = if may_exit(kernel, block) {
+                    problem.boundary_fact()
+                } else {
+                    problem.init_fact()
+                };
+                for &s in &block.successors {
+                    problem.join_into(&mut out, &facts.entry[s]);
+                }
+                let mut inb = out.clone();
+                for &i in block.instrs.iter().rev() {
+                    problem.transfer(i, &kernel.body[i], &mut inb);
+                }
+                facts.exit[b] = out;
+                if inb != facts.entry[b] {
+                    facts.entry[b] = inb;
+                    for &p in &preds[b] {
+                        if !queued[p] {
+                            queued[p] = true;
+                            worklist.push_back(p);
+                        }
+                    }
+                }
+            }
+        }
+    }
+    facts
+}
+
+/// Replay a forward problem through one block: the fact holding
+/// immediately *before* each instruction, given the block-entry fact.
+pub fn forward_instr_facts<P: DataflowProblem>(
+    problem: &P,
+    kernel: &Kernel,
+    block: &BasicBlock,
+    entry: &P::Fact,
+) -> Vec<(usize, P::Fact)> {
+    let mut fact = entry.clone();
+    let mut out = Vec::with_capacity(block.instrs.len());
+    for &i in &block.instrs {
+        out.push((i, fact.clone()));
+        problem.transfer(i, &kernel.body[i], &mut fact);
+    }
+    out
+}
+
+/// Replay a backward problem through one block: the fact holding
+/// immediately *after* each instruction (program order), given the
+/// block-exit fact.
+pub fn backward_instr_facts<P: DataflowProblem>(
+    problem: &P,
+    kernel: &Kernel,
+    block: &BasicBlock,
+    exit: &P::Fact,
+) -> Vec<(usize, P::Fact)> {
+    let mut fact = exit.clone();
+    let mut out = Vec::with_capacity(block.instrs.len());
+    for &i in block.instrs.iter().rev() {
+        out.push((i, fact.clone()));
+        problem.transfer(i, &kernel.body[i], &mut fact);
+    }
+    out.reverse();
+    out
+}
+
+/// Reaching definitions: the set of body indices whose register writes
+/// may reach a program point un-killed.
+pub struct ReachingDefs {
+    defs_by_reg: HashMap<String, BTreeSet<usize>>,
+}
+
+impl ReachingDefs {
+    /// Precompute the definition sites of `kernel`.
+    pub fn new(kernel: &Kernel) -> Self {
+        let mut defs_by_reg: HashMap<String, BTreeSet<usize>> = HashMap::new();
+        for (i, instr) in kernel.body.iter().enumerate() {
+            if let Some(d) = instr.def_register() {
+                defs_by_reg.entry(d.to_string()).or_default().insert(i);
+            }
+        }
+        ReachingDefs { defs_by_reg }
+    }
+
+    /// All definition sites of `reg` in the kernel.
+    pub fn defs_of(&self, reg: &str) -> Option<&BTreeSet<usize>> {
+        self.defs_by_reg.get(reg)
+    }
+}
+
+impl DataflowProblem for ReachingDefs {
+    type Fact = BTreeSet<usize>;
+
+    fn direction(&self) -> Direction {
+        Direction::Forward
+    }
+
+    fn boundary_fact(&self) -> Self::Fact {
+        BTreeSet::new()
+    }
+
+    fn init_fact(&self) -> Self::Fact {
+        BTreeSet::new()
+    }
+
+    fn join_into(&self, acc: &mut Self::Fact, from: &Self::Fact) {
+        acc.extend(from.iter().copied());
+    }
+
+    fn transfer(&self, idx: usize, instr: &Instr, fact: &mut Self::Fact) {
+        let Some(dst) = instr.def_register() else {
+            return;
+        };
+        // A predicated def may not execute: it generates without killing.
+        if !matches!(instr, Instr::Op { pred: Some(_), .. }) {
+            if let Some(kills) = self.defs_by_reg.get(dst) {
+                for k in kills {
+                    fact.remove(k);
+                }
+            }
+        }
+        fact.insert(idx);
+    }
+}
+
+/// Liveness: registers that may be read before their next write.
+pub struct Liveness;
+
+impl DataflowProblem for Liveness {
+    type Fact = BTreeSet<String>;
+
+    fn direction(&self) -> Direction {
+        Direction::Backward
+    }
+
+    fn boundary_fact(&self) -> Self::Fact {
+        BTreeSet::new()
+    }
+
+    fn init_fact(&self) -> Self::Fact {
+        BTreeSet::new()
+    }
+
+    fn join_into(&self, acc: &mut Self::Fact, from: &Self::Fact) {
+        acc.extend(from.iter().cloned());
+    }
+
+    fn transfer(&self, _idx: usize, instr: &Instr, fact: &mut Self::Fact) {
+        if let Some(d) = instr.def_register() {
+            // A predicated def may leave the old value live.
+            if !matches!(instr, Instr::Op { pred: Some(_), .. }) {
+                fact.remove(d);
+            }
+        }
+        for u in instr.use_registers() {
+            fact.insert(u.to_string());
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parse::parse_module;
+
+    fn kernel(src: &str) -> Kernel {
+        parse_module(src).unwrap().kernels.remove(0)
+    }
+
+    const DIAMOND: &str = r#"
+.visible .entry k(.param .u64 A)
+{
+    mov.u32 %r1, 1;
+    setp.lt.s32 %p1, %r1, %r9;
+    @%p1 bra THEN;
+    mov.u32 %r2, 0;
+    bra JOIN;
+THEN:
+    mov.u32 %r2, 1;
+JOIN:
+    add.u32 %r3, %r2, %r1;
+    ret;
+}
+"#;
+
+    #[test]
+    fn reaching_defs_join_at_merge() {
+        let k = kernel(DIAMOND);
+        let cfg = Cfg::build(&k);
+        let rd = ReachingDefs::new(&k);
+        let facts = solve(&rd, &k, &cfg);
+        let join = cfg
+            .blocks
+            .iter()
+            .find(|b| b.label.as_deref() == Some("JOIN"))
+            .unwrap();
+        // Both definitions of %r2 (one per arm) reach the join.
+        let r2_defs = rd.defs_of("r2").unwrap();
+        assert_eq!(r2_defs.len(), 2);
+        for d in r2_defs {
+            assert!(facts.entry[join.id].contains(d), "{facts:?}");
+        }
+    }
+
+    #[test]
+    fn reaching_defs_kill_in_straight_line() {
+        let k = kernel(
+            ".visible .entry k(.param .u64 A)\n{\n mov.u32 %r1, 1;\n mov.u32 %r1, 2;\n ret;\n}\n",
+        );
+        let cfg = Cfg::build(&k);
+        let rd = ReachingDefs::new(&k);
+        let facts = solve(&rd, &k, &cfg);
+        // Only the second def survives to the block exit.
+        assert!(!facts.exit[0].contains(&0));
+        assert!(facts.exit[0].contains(&1));
+    }
+
+    #[test]
+    fn predicated_def_does_not_kill() {
+        let k = kernel(
+            ".visible .entry k(.param .u64 A)\n{\n mov.u32 %r1, 1;\n @%p1 mov.u32 %r1, 2;\n ret;\n}\n",
+        );
+        let cfg = Cfg::build(&k);
+        let rd = ReachingDefs::new(&k);
+        let facts = solve(&rd, &k, &cfg);
+        assert!(facts.exit[0].contains(&0), "unpredicated def still reaches");
+        assert!(facts.exit[0].contains(&1));
+    }
+
+    #[test]
+    fn liveness_across_diamond() {
+        let k = kernel(DIAMOND);
+        let cfg = Cfg::build(&k);
+        let facts = solve(&Liveness, &k, &cfg);
+        // %r1 is read at the final add, so it is live out of the entry
+        // block; %r9 is only read by the setp inside the entry block.
+        assert!(facts.exit[0].contains("r1"));
+        assert!(!facts.exit[0].contains("r9"));
+        assert!(facts.entry[0].contains("r9"), "r9 never defined: live-in");
+        // Nothing is live out of the exit block.
+        let join = cfg
+            .blocks
+            .iter()
+            .find(|b| b.label.as_deref() == Some("JOIN"))
+            .unwrap();
+        assert!(facts.exit[join.id].is_empty());
+    }
+
+    #[test]
+    fn liveness_loop_keeps_counter_live() {
+        let k = kernel(
+            r#"
+.visible .entry k(.param .u64 A)
+{
+    mov.u32 %r1, 0;
+LOOP:
+    add.u32 %r1, %r1, 1;
+    setp.lt.u32 %p1, %r1, %r2;
+    @%p1 bra LOOP;
+    ret;
+}
+"#,
+        );
+        let cfg = Cfg::build(&k);
+        let facts = solve(&Liveness, &k, &cfg);
+        let body = cfg
+            .blocks
+            .iter()
+            .find(|b| b.label.as_deref() == Some("LOOP"))
+            .unwrap();
+        // The counter is live around the back edge.
+        assert!(facts.exit[body.id].contains("r1"));
+        assert!(facts.entry[body.id].contains("r1"));
+    }
+
+    #[test]
+    fn instr_fact_replay_matches_block_exit() {
+        let k = kernel(DIAMOND);
+        let cfg = Cfg::build(&k);
+        let rd = ReachingDefs::new(&k);
+        let facts = solve(&rd, &k, &cfg);
+        for b in &cfg.blocks {
+            let per_instr = forward_instr_facts(&rd, &k, b, &facts.entry[b.id]);
+            assert_eq!(per_instr.len(), b.instrs.len());
+            if let Some((i, fact)) = per_instr.first() {
+                assert_eq!(*i, b.instrs[0]);
+                assert_eq!(fact, &facts.entry[b.id]);
+            }
+        }
+        let lv = solve(&Liveness, &k, &cfg);
+        for b in &cfg.blocks {
+            let per_instr = backward_instr_facts(&Liveness, &k, b, &lv.exit[b.id]);
+            if let Some((i, fact)) = per_instr.last() {
+                assert_eq!(*i, *b.instrs.last().unwrap());
+                assert_eq!(fact, &lv.exit[b.id]);
+            }
+        }
+    }
+
+    #[test]
+    fn empty_kernel_solves() {
+        let k = kernel(".visible .entry k(.param .u64 A)\n{\n}\n");
+        let cfg = Cfg::build(&k);
+        let facts = solve(&Liveness, &k, &cfg);
+        assert!(facts.entry.is_empty() && facts.exit.is_empty());
+    }
+}

@@ -1,0 +1,368 @@
+//! Dominators and post-dominators over a [`Cfg`].
+//!
+//! Iterative set-intersection formulation over word-packed bitsets —
+//! kernels have tens of blocks, so the O(n²) worst case is irrelevant,
+//! and the sets make `dominates` queries O(1).
+//!
+//! Post-dominance uses an implicit *virtual exit*: every block that may
+//! leave the kernel (no successors, or a possibly-predicated
+//! `ret`/`exit` terminator) is treated as an edge into it, so a block
+//! with a predicated `ret` post-dominates nothing but itself. Blocks
+//! that cannot reach any exit (infinite loops) have undefined
+//! post-dominators and report `false` from [`Dominance::dominates`].
+
+use crate::ast::{Instr, Kernel};
+use crate::cfg::Cfg;
+
+/// A fixed-capacity bitset over block ids.
+#[derive(Clone, PartialEq, Eq)]
+struct Bits {
+    words: Vec<u64>,
+}
+
+impl Bits {
+    fn empty(n: usize) -> Bits {
+        Bits {
+            words: vec![0; n.div_ceil(64)],
+        }
+    }
+
+    fn full(n: usize) -> Bits {
+        let mut b = Bits {
+            words: vec![!0u64; n.div_ceil(64)],
+        };
+        // Clear the padding bits so equality comparisons stay exact.
+        if !n.is_multiple_of(64) {
+            if let Some(last) = b.words.last_mut() {
+                *last = (1u64 << (n % 64)) - 1;
+            }
+        }
+        b
+    }
+
+    fn insert(&mut self, i: usize) {
+        self.words[i / 64] |= 1u64 << (i % 64);
+    }
+
+    fn contains(&self, i: usize) -> bool {
+        self.words[i / 64] & (1u64 << (i % 64)) != 0
+    }
+
+    fn intersect_with(&mut self, other: &Bits) {
+        for (w, o) in self.words.iter_mut().zip(&other.words) {
+            *w &= o;
+        }
+    }
+
+    fn count(&self) -> usize {
+        self.words.iter().map(|w| w.count_ones() as usize).sum()
+    }
+}
+
+/// A dominance relation (forward dominators or post-dominators).
+pub struct Dominance {
+    /// `sets[b]` = blocks dominating `b`; `None` when dominance is
+    /// undefined for `b` (unreachable from the root(s)).
+    sets: Vec<Option<Bits>>,
+    /// Immediate dominator of each block (`None` for roots and blocks
+    /// with undefined dominance).
+    pub idom: Vec<Option<usize>>,
+}
+
+impl Dominance {
+    /// Whether `a` dominates `b` (reflexively). `false` when `b`'s
+    /// dominance is undefined.
+    pub fn dominates(&self, a: usize, b: usize) -> bool {
+        self.sets
+            .get(b)
+            .and_then(Option::as_ref)
+            .is_some_and(|s| s.contains(a))
+    }
+
+    /// Whether `a` strictly dominates `b`.
+    pub fn strictly_dominates(&self, a: usize, b: usize) -> bool {
+        a != b && self.dominates(a, b)
+    }
+
+    /// Whether dominance is defined for `b` (it is reachable from the
+    /// relation's root(s)).
+    pub fn defined(&self, b: usize) -> bool {
+        self.sets.get(b).is_some_and(Option::is_some)
+    }
+}
+
+/// Generic iterative solver: `preds[b]` are the edges facts flow along
+/// (CFG predecessors for dominators, successors for post-dominators) and
+/// `roots` start with `dom(r) = {r}`.
+fn solve(n: usize, preds: &[Vec<usize>], roots: &[usize]) -> Dominance {
+    let mut is_root = vec![false; n];
+    for &r in roots {
+        is_root[r] = true;
+    }
+    // Blocks reachable from the roots along the flow direction.
+    let mut reach = vec![false; n];
+    {
+        let mut succs_of: Vec<Vec<usize>> = vec![Vec::new(); n];
+        for (b, ps) in preds.iter().enumerate() {
+            for &p in ps {
+                succs_of[p].push(b);
+            }
+        }
+        let mut stack: Vec<usize> = roots.to_vec();
+        for &r in roots {
+            reach[r] = true;
+        }
+        while let Some(b) = stack.pop() {
+            for &s in &succs_of[b] {
+                if !reach[s] {
+                    reach[s] = true;
+                    stack.push(s);
+                }
+            }
+        }
+    }
+
+    let mut sets: Vec<Bits> = (0..n)
+        .map(|b| {
+            if is_root[b] {
+                let mut s = Bits::empty(n);
+                s.insert(b);
+                s
+            } else {
+                Bits::full(n)
+            }
+        })
+        .collect();
+    loop {
+        let mut changed = false;
+        for b in 0..n {
+            if is_root[b] || !reach[b] {
+                continue;
+            }
+            let mut acc = Bits::full(n);
+            for &p in &preds[b] {
+                if reach[p] {
+                    acc.intersect_with(&sets[p]);
+                }
+            }
+            acc.insert(b);
+            if acc != sets[b] {
+                sets[b] = acc;
+                changed = true;
+            }
+        }
+        if !changed {
+            break;
+        }
+    }
+
+    // idom(b): the strict dominator whose own set is one smaller.
+    let counts: Vec<usize> = sets.iter().map(Bits::count).collect();
+    let idom: Vec<Option<usize>> = (0..n)
+        .map(|b| {
+            if !reach[b] || is_root[b] {
+                return None;
+            }
+            (0..n).find(|&a| a != b && sets[b].contains(a) && counts[a] == counts[b] - 1)
+        })
+        .collect();
+
+    Dominance {
+        sets: sets
+            .into_iter()
+            .zip(&reach)
+            .map(|(s, &r)| if r { Some(s) } else { None })
+            .collect(),
+        idom,
+    }
+}
+
+/// Forward dominators rooted at the entry block.
+pub fn dominators(cfg: &Cfg) -> Dominance {
+    let n = cfg.blocks.len();
+    if n == 0 {
+        return Dominance {
+            sets: Vec::new(),
+            idom: Vec::new(),
+        };
+    }
+    solve(n, &cfg.predecessors(), &[0])
+}
+
+/// Post-dominators rooted at the virtual exit (see module docs). The
+/// kernel is needed to recognise predicated `ret`/`exit` terminators,
+/// whose blocks both fall through *and* may leave the kernel.
+pub fn post_dominators(kernel: &Kernel, cfg: &Cfg) -> Dominance {
+    let n = cfg.blocks.len();
+    if n == 0 {
+        return Dominance {
+            sets: Vec::new(),
+            idom: Vec::new(),
+        };
+    }
+    // Facts flow against CFG edges: "preds" are the successors.
+    let preds: Vec<Vec<usize>> = cfg.blocks.iter().map(|b| b.successors.clone()).collect();
+    let roots: Vec<usize> = cfg
+        .blocks
+        .iter()
+        .filter(|b| b.successors.is_empty() || ends_in_exit(kernel, b))
+        .map(|b| b.id)
+        .collect();
+    if roots.is_empty() {
+        // No block can leave the kernel: post-dominance is undefined
+        // everywhere.
+        return Dominance {
+            sets: vec![None; n],
+            idom: vec![None; n],
+        };
+    }
+    solve(n, &preds, &roots)
+}
+
+/// Whether the block's last instruction is a (possibly predicated)
+/// `ret`/`exit`.
+fn ends_in_exit(kernel: &Kernel, block: &crate::cfg::BasicBlock) -> bool {
+    block.instrs.last().is_some_and(|&i| {
+        matches!(&kernel.body[i], Instr::Op { opcode, .. }
+            if matches!(opcode.first().map(String::as_str), Some("ret") | Some("exit")))
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parse::parse_module;
+
+    fn kernel(src: &str) -> Kernel {
+        parse_module(src).unwrap().kernels.remove(0)
+    }
+
+    const DIAMOND: &str = r#"
+.visible .entry k(.param .u64 A)
+{
+    setp.lt.s32 %p1, %r1, %r2;
+    @%p1 bra THEN;
+    mov.u32 %r3, 0;
+    bra JOIN;
+THEN:
+    mov.u32 %r3, 1;
+JOIN:
+    ret;
+}
+"#;
+
+    fn block_named(cfg: &Cfg, l: &str) -> usize {
+        cfg.blocks
+            .iter()
+            .find(|b| b.label.as_deref() == Some(l))
+            .unwrap()
+            .id
+    }
+
+    #[test]
+    fn diamond_dominators() {
+        let k = kernel(DIAMOND);
+        let cfg = Cfg::build(&k);
+        let dom = dominators(&cfg);
+        let then = block_named(&cfg, "THEN");
+        let join = block_named(&cfg, "JOIN");
+        // Entry dominates everything; neither arm dominates the join.
+        for b in 0..cfg.blocks.len() {
+            assert!(dom.dominates(0, b));
+            assert!(dom.dominates(b, b), "reflexive");
+        }
+        assert!(!dom.dominates(then, join));
+        assert_eq!(dom.idom[join], Some(0));
+        assert_eq!(dom.idom[then], Some(0));
+        assert_eq!(dom.idom[0], None);
+    }
+
+    #[test]
+    fn diamond_post_dominators() {
+        let k = kernel(DIAMOND);
+        let cfg = Cfg::build(&k);
+        let pdom = post_dominators(&k, &cfg);
+        let then = block_named(&cfg, "THEN");
+        let join = block_named(&cfg, "JOIN");
+        // The join post-dominates every block; the arms post-dominate
+        // only themselves.
+        for b in 0..cfg.blocks.len() {
+            assert!(pdom.dominates(join, b), "join pdoms {b}");
+        }
+        assert!(!pdom.dominates(then, 0));
+        assert!(pdom.strictly_dominates(join, 0));
+        assert!(!pdom.strictly_dominates(join, join));
+    }
+
+    #[test]
+    fn predicated_ret_blocks_later_post_dominators() {
+        let k =
+            kernel(".visible .entry k(.param .u64 A)\n{\n @%p1 ret;\n mov.u32 %r1, 1;\n ret;\n}\n");
+        let cfg = Cfg::build(&k);
+        let pdom = post_dominators(&k, &cfg);
+        assert_eq!(cfg.blocks.len(), 2);
+        // Block 1 does NOT post-dominate block 0: the predicated ret can
+        // leave the kernel first.
+        assert!(!pdom.dominates(1, 0));
+        assert!(pdom.dominates(0, 0) && pdom.dominates(1, 1));
+    }
+
+    #[test]
+    fn unreachable_block_has_undefined_dominance() {
+        let k = kernel(
+            ".visible .entry k(.param .u64 A)\n{\n bra END;\n mov.u32 %r1, 1;\nEND:\n ret;\n}\n",
+        );
+        let cfg = Cfg::build(&k);
+        let dom = dominators(&cfg);
+        let dead = cfg.reachable().iter().position(|&r| !r).unwrap();
+        assert!(!dom.defined(dead));
+        assert!(!dom.dominates(0, dead));
+    }
+
+    #[test]
+    fn infinite_loop_has_undefined_post_dominance() {
+        let k = kernel(
+            ".visible .entry k(.param .u64 A)\n{\nLOOP:\n add.u32 %r1, %r1, 1;\n bra LOOP;\n}\n",
+        );
+        let cfg = Cfg::build(&k);
+        let pdom = post_dominators(&k, &cfg);
+        for b in 0..cfg.blocks.len() {
+            assert!(!pdom.defined(b));
+        }
+    }
+
+    #[test]
+    fn loop_body_post_dominates_entry() {
+        let k = kernel(
+            r#"
+.visible .entry k(.param .u64 A)
+{
+    mov.u32 %r1, 0;
+LOOP:
+    add.u32 %r1, %r1, 1;
+    setp.lt.u32 %p1, %r1, %r2;
+    @%p1 bra LOOP;
+    ret;
+}
+"#,
+        );
+        let cfg = Cfg::build(&k);
+        let dom = dominators(&cfg);
+        let pdom = post_dominators(&k, &cfg);
+        let body = block_named(&cfg, "LOOP");
+        // The loop body is on every path: it dominates the exit block
+        // and post-dominates the entry.
+        let exit = cfg.blocks.len() - 1;
+        assert!(dom.dominates(body, exit));
+        assert!(pdom.dominates(body, 0));
+        assert!(pdom.dominates(exit, 0));
+    }
+
+    #[test]
+    fn empty_cfg() {
+        let k = kernel(".visible .entry k(.param .u64 A)\n{\n}\n");
+        let cfg = Cfg::build(&k);
+        assert!(dominators(&cfg).idom.is_empty());
+        assert!(post_dominators(&k, &cfg).idom.is_empty());
+    }
+}

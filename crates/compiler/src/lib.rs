@@ -10,16 +10,23 @@
 //! read-only arrays into the new `ld.global.ro` form the hardware uses to
 //! identify replication candidates.
 //!
-//! The analysis is flow-insensitive and conservative:
+//! Two analyses are provided:
 //!
-//! - register provenance (which params a register's value may derive
-//!   from) is propagated to a fixpoint, so address arithmetic through
-//!   `cvta`/`add`/`mad`/`mov` chains is tracked;
-//! - any store through a register with unknown provenance taints *all*
-//!   params (nothing is marked read-only);
-//! - a param stored through in **any** path is read-write for the whole
-//!   kernel, matching the paper's "if a data structure is never written
-//!   to within a kernel, it is marked read-only".
+//! - [`analyze_kernel`] is flow-insensitive and conservative: register
+//!   provenance (which params a register's value may derive from) is
+//!   propagated to a fixpoint, any store through a register with
+//!   unknown provenance taints *all* params, and a param stored through
+//!   on **any** path is read-write for the whole kernel, matching the
+//!   paper's "if a data structure is never written to within a kernel,
+//!   it is marked read-only".
+//! - [`analyze_kernel_flow`] is flow-sensitive, built on a generic
+//!   worklist dataflow framework ([`dataflow`], [`dominators`]): CFG
+//!   edges whose guard predicate is provably constant-false are pruned,
+//!   pointer provenance is tracked per program point with strong
+//!   updates, and surviving stores are classified as guarded or
+//!   unconditional via post-dominance. Its `read_only` set is always a
+//!   superset of the flow-insensitive one, so it only ever *adds*
+//!   replication candidates.
 //!
 //! ## Example
 //!
@@ -52,11 +59,19 @@
 pub mod analysis;
 pub mod ast;
 pub mod cfg;
+pub mod dataflow;
+pub mod dominators;
 pub mod parse;
+pub mod replication_safety;
 pub mod rewrite;
 
 pub use analysis::{analyze_kernel, analyze_kernel_reachable, KernelAccessSummary};
-pub use cfg::{BasicBlock, Cfg};
 pub use ast::{Instr, Kernel, MemBase, Module, Operand};
+pub use cfg::{BasicBlock, Cfg};
+pub use dataflow::{
+    solve as solve_dataflow, BlockFacts, DataflowProblem, Direction, Liveness, ReachingDefs,
+};
+pub use dominators::{dominators, post_dominators, Dominance};
 pub use parse::{parse_module, PtxError};
-pub use rewrite::rewrite_readonly_loads;
+pub use replication_safety::{analyze_kernel_flow, ReplicationSafety};
+pub use rewrite::{rewrite_readonly_loads, rewrite_readonly_loads_precise};

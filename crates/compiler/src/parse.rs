@@ -22,7 +22,10 @@ impl fmt::Display for PtxError {
 impl std::error::Error for PtxError {}
 
 fn err<T>(line: usize, message: impl Into<String>) -> Result<T, PtxError> {
-    Err(PtxError { line, message: message.into() })
+    Err(PtxError {
+        line,
+        message: message.into(),
+    })
 }
 
 /// Parse a module containing zero or more `.visible .entry` kernels.
@@ -63,7 +66,10 @@ pub fn parse_module(src: &str) -> Result<Module, PtxError> {
                         state = State::Body;
                     }
                 } else {
-                    return err(line_no, format!("expected kernel declaration, got `{line}`"));
+                    return err(
+                        line_no,
+                        format!("expected kernel declaration, got `{line}`"),
+                    );
                 }
             }
             State::Header => {
@@ -153,13 +159,20 @@ fn try_finish_header(header: &mut String, line: usize) -> Result<Option<Kernel>,
         }
         params.push(pname.to_string());
     }
-    Ok(Some(Kernel { name, params, body: Vec::new() }))
+    Ok(Some(Kernel {
+        name,
+        params,
+        body: Vec::new(),
+    }))
 }
 
 fn parse_statement(stmt: &str, line: usize) -> Result<Instr, PtxError> {
     // Label?
     if let Some(label) = stmt.strip_suffix(':') {
-        if label.chars().all(|c| c.is_ascii_alphanumeric() || c == '_' || c == '$') {
+        if label
+            .chars()
+            .all(|c| c.is_ascii_alphanumeric() || c == '_' || c == '$')
+        {
             return Ok(Instr::Label(label.to_string()));
         }
     }
@@ -182,7 +195,11 @@ fn parse_statement(stmt: &str, line: usize) -> Result<Instr, PtxError> {
     if op_text.is_empty() {
         return err(line, "empty instruction");
     }
-    let opcode: Vec<String> = op_text.split('.').filter(|p| !p.is_empty()).map(str::to_string).collect();
+    let opcode: Vec<String> = op_text
+        .split('.')
+        .filter(|p| !p.is_empty())
+        .map(str::to_string)
+        .collect();
     if opcode.is_empty() {
         return err(line, format!("bad opcode `{op_text}`"));
     }
@@ -193,7 +210,11 @@ fn parse_statement(stmt: &str, line: usize) -> Result<Instr, PtxError> {
             operands.push(parse_operand(arg.trim(), line)?);
         }
     }
-    Ok(Instr::Op { opcode, operands, pred })
+    Ok(Instr::Op {
+        opcode,
+        operands,
+        pred,
+    })
 }
 
 /// Split on commas that are not inside brackets or braces (vector
@@ -228,10 +249,10 @@ fn parse_operand(s: &str, line: usize) -> Result<Operand, PtxError> {
         let inner = &s[1..s.len() - 1];
         let (base_text, offset) = match inner.find('+') {
             Some(i) => {
-                let off: i64 = inner[i + 1..]
-                    .trim()
-                    .parse()
-                    .map_err(|_| PtxError { line, message: format!("bad offset `{inner}`") })?;
+                let off: i64 = inner[i + 1..].trim().parse().map_err(|_| PtxError {
+                    line,
+                    message: format!("bad offset `{inner}`"),
+                })?;
                 (inner[..i].trim(), off)
             }
             None => (inner.trim(), 0),
@@ -262,7 +283,9 @@ fn parse_operand(s: &str, line: usize) -> Result<Operand, PtxError> {
         return parse_operand(first, line);
     }
     // Otherwise: a label / symbol.
-    if s.chars().all(|c| c.is_ascii_alphanumeric() || c == '_' || c == '$') {
+    if s.chars()
+        .all(|c| c.is_ascii_alphanumeric() || c == '_' || c == '$')
+    {
         return Ok(Operand::Label(s.to_string()));
     }
     err(line, format!("unrecognized operand `{s}`"))
@@ -330,7 +353,10 @@ BB1:
 "#;
         let m = parse_module(src).unwrap();
         let k = &m.kernels[0];
-        assert!(k.body.iter().any(|i| matches!(i, Instr::Label(l) if l == "BB1")));
+        assert!(k
+            .body
+            .iter()
+            .any(|i| matches!(i, Instr::Label(l) if l == "BB1")));
         let bra = k
             .body
             .iter()
@@ -347,14 +373,18 @@ BB1:
 
     #[test]
     fn memory_operand_offsets() {
-        let m =
-            parse_module(".visible .entry k(.param .u64 A)\n{\nld.global.f32 %f1, [%rd1+256];\n}\n")
-                .unwrap();
+        let m = parse_module(
+            ".visible .entry k(.param .u64 A)\n{\nld.global.f32 %f1, [%rd1+256];\n}\n",
+        )
+        .unwrap();
         match &m.kernels[0].body[0] {
             Instr::Op { operands, .. } => {
                 assert_eq!(
                     operands[1],
-                    Operand::Mem { base: MemBase::Reg("rd1".into()), offset: 256 }
+                    Operand::Mem {
+                        base: MemBase::Reg("rd1".into()),
+                        offset: 256
+                    }
                 );
             }
             _ => unreachable!(),

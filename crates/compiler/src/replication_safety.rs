@@ -1,0 +1,721 @@
+//! Flow-sensitive replication safety: a per-program-point sharpening of
+//! the paper's §5.2 read-only classification.
+//!
+//! [`crate::analysis::analyze_kernel`] is flow-insensitive: one store
+//! through a register anywhere in the kernel taints every param that
+//! register may ever alias, even if the store sits behind a guard that
+//! can never fire. This pass runs three cooperating analyses on the
+//! [`crate::dataflow`] framework instead:
+//!
+//! 1. **Constant predicates** — a small constant propagation over `mov`
+//!    immediates, `add`/`sub`/bitwise folds, and `setp` comparisons.
+//!    Branch edges whose guard is provably false (and fall-throughs
+//!    whose guard is provably true) are pruned from the CFG, so stores
+//!    in statically never-taken paths become unreachable.
+//! 2. **Flow-sensitive pointer provenance** — which params each
+//!    register may point into *at each point*. Unpredicated definitions
+//!    update strongly (the old binding dies), so a register reused for a
+//!    different array no longer smears both taints over the whole
+//!    kernel.
+//! 3. **Post-dominance** — the surviving stores are classified as
+//!    *guarded* (their block does not post-dominate the entry) or
+//!    unconditional, which downstream replication heuristics can weigh.
+//!
+//! The resulting `read_only` set is **always a superset** of the
+//! flow-insensitive one: each store's taint falls back to the
+//! flow-insensitive provenance whenever the flow-sensitive fact is ⊥,
+//! and the load universe is the flow-insensitive `loaded` set, so
+//! switching MDR to this pass can only *add* replication candidates.
+//! The property is proptested in `tests/dataflow_props.rs`.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use crate::analysis::{self, KernelAccessSummary};
+use crate::ast::{Instr, Kernel, MemBase, Operand};
+use crate::cfg::Cfg;
+use crate::dataflow::{self, DataflowProblem, Direction};
+use crate::dominators;
+
+// ---------------------------------------------------------------------
+// Constant-predicate propagation and edge pruning.
+// ---------------------------------------------------------------------
+
+/// Constant lattice value; an absent map key is ⊥ (never assigned).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum ConstVal {
+    /// Provably this value on every path seen so far.
+    Const(i64),
+    /// Not a constant.
+    Nac,
+}
+
+type ConstFact = BTreeMap<String, ConstVal>;
+
+fn join_const(a: ConstVal, b: ConstVal) -> ConstVal {
+    match (a, b) {
+        (ConstVal::Const(x), ConstVal::Const(y)) if x == y => ConstVal::Const(x),
+        _ => ConstVal::Nac,
+    }
+}
+
+struct ConstPreds;
+
+/// Evaluate a `setp.<cmp>.<ty>` comparison on two constants.
+fn eval_cmp(cmp: &str, ty: &str, a: i64, b: i64) -> Option<bool> {
+    let unsigned = ty.starts_with('u') || ty.starts_with('b');
+    let (ua, ub) = (a as u64, b as u64);
+    Some(match cmp {
+        "eq" => a == b,
+        "ne" => a != b,
+        "lt" => {
+            if unsigned {
+                ua < ub
+            } else {
+                a < b
+            }
+        }
+        "le" => {
+            if unsigned {
+                ua <= ub
+            } else {
+                a <= b
+            }
+        }
+        "gt" => {
+            if unsigned {
+                ua > ub
+            } else {
+                a > b
+            }
+        }
+        "ge" => {
+            if unsigned {
+                ua >= ub
+            } else {
+                a >= b
+            }
+        }
+        _ => return None,
+    })
+}
+
+impl DataflowProblem for ConstPreds {
+    type Fact = ConstFact;
+
+    fn direction(&self) -> Direction {
+        Direction::Forward
+    }
+
+    fn boundary_fact(&self) -> Self::Fact {
+        ConstFact::new()
+    }
+
+    fn init_fact(&self) -> Self::Fact {
+        ConstFact::new()
+    }
+
+    fn join_into(&self, acc: &mut Self::Fact, from: &Self::Fact) {
+        for (k, &v) in from {
+            match acc.get(k) {
+                Some(&old) => {
+                    acc.insert(k.clone(), join_const(old, v));
+                }
+                None => {
+                    acc.insert(k.clone(), v);
+                }
+            }
+        }
+    }
+
+    fn transfer(&self, _idx: usize, instr: &Instr, fact: &mut Self::Fact) {
+        let Instr::Op {
+            opcode,
+            operands,
+            pred,
+        } = instr
+        else {
+            return;
+        };
+        let Some(dst) = instr.def_register().map(str::to_string) else {
+            return;
+        };
+        let head = opcode.first().map(String::as_str).unwrap_or("");
+
+        // Resolve an operand to its lattice value (None = ⊥/undefined).
+        let resolve = |op: &Operand, fact: &ConstFact| -> Option<ConstVal> {
+            match op {
+                Operand::Imm(i) => Some(ConstVal::Const(*i)),
+                Operand::Reg(r) => fact.get(r).copied(),
+                _ => Some(ConstVal::Nac),
+            }
+        };
+        let bin = |f: fn(i64, i64) -> i64, fact: &ConstFact| -> Option<ConstVal> {
+            match (
+                operands.get(1).and_then(|o| resolve(o, fact)),
+                operands.get(2).and_then(|o| resolve(o, fact)),
+            ) {
+                (Some(ConstVal::Const(a)), Some(ConstVal::Const(b))) => {
+                    Some(ConstVal::Const(f(a, b)))
+                }
+                (None, _) | (_, None) => None,
+                _ => Some(ConstVal::Nac),
+            }
+        };
+
+        let val: Option<ConstVal> = match head {
+            "mov" if operands.len() == 2 => operands.get(1).and_then(|o| resolve(o, fact)),
+            "add" => bin(i64::wrapping_add, fact),
+            "sub" => bin(i64::wrapping_sub, fact),
+            "and" => bin(|a, b| a & b, fact),
+            "or" => bin(|a, b| a | b, fact),
+            "xor" => bin(|a, b| a ^ b, fact),
+            "setp" => {
+                let cmp = opcode.get(1).map(String::as_str).unwrap_or("");
+                let ty = opcode.get(2).map(String::as_str).unwrap_or("");
+                match (
+                    operands.get(1).and_then(|o| resolve(o, fact)),
+                    operands.get(2).and_then(|o| resolve(o, fact)),
+                ) {
+                    (Some(ConstVal::Const(a)), Some(ConstVal::Const(b))) => {
+                        match eval_cmp(cmp, ty, a, b) {
+                            Some(r) => Some(ConstVal::Const(r as i64)),
+                            None => Some(ConstVal::Nac),
+                        }
+                    }
+                    (None, _) | (_, None) => None,
+                    _ => Some(ConstVal::Nac),
+                }
+            }
+            // Loads, conversions, everything else: unknown value.
+            _ => Some(ConstVal::Nac),
+        };
+
+        if pred.is_some() {
+            // Guarded def: the write may or may not happen, and the
+            // untaken path may leave an undefined value. Anything finer
+            // than Nac here would make the transfer non-monotone (an
+            // absent old value must not map higher than a Const one).
+            fact.insert(dst, ConstVal::Nac);
+        } else {
+            match val {
+                Some(v) => {
+                    fact.insert(dst, v);
+                }
+                None => {
+                    fact.remove(&dst);
+                }
+            }
+        }
+    }
+}
+
+/// One constant-propagation + pruning round: drop successor edges the
+/// terminator's guard proves never taken. Returns the edges removed.
+fn prune_once(kernel: &Kernel, cfg: &mut Cfg) -> usize {
+    let facts = dataflow::solve(&ConstPreds, kernel, cfg);
+    let mut removals: Vec<(usize, usize)> = Vec::new();
+    for block in &cfg.blocks {
+        let Some(&last) = block.instrs.last() else {
+            continue;
+        };
+        let Instr::Op {
+            opcode,
+            operands,
+            pred: Some(p),
+        } = &kernel.body[last]
+        else {
+            continue;
+        };
+        // Fact holding just before the terminator.
+        let per_instr =
+            dataflow::forward_instr_facts(&ConstPreds, kernel, block, &facts.entry[block.id]);
+        let Some((_, pre)) = per_instr.last() else {
+            continue;
+        };
+        let Some(&ConstVal::Const(c)) = pre.get(p) else {
+            continue;
+        };
+        let taken = c != 0;
+        let head = opcode.first().map(String::as_str).unwrap_or("");
+        match head {
+            "bra" => {
+                let target = operands.iter().find_map(|o| match o {
+                    Operand::Label(l) => Some(l.as_str()),
+                    _ => None,
+                });
+                let target_block = cfg
+                    .blocks
+                    .iter()
+                    .find(|b| b.label.as_deref() == target)
+                    .map(|b| b.id);
+                let fallthrough = block.id + 1;
+                for &s in &block.successors {
+                    let is_target = Some(s) == target_block;
+                    let is_fall = s == fallthrough;
+                    // Only prune unambiguous edges: a branch to the next
+                    // line is both target and fall-through.
+                    if taken && is_fall && !is_target {
+                        removals.push((block.id, s));
+                    }
+                    if !taken && is_target && !is_fall {
+                        removals.push((block.id, s));
+                    }
+                }
+            }
+            "ret" | "exit" if taken => {
+                // The predicated exit always fires: the fall-through
+                // edge is dead.
+                for &s in &block.successors {
+                    if s == block.id + 1 {
+                        removals.push((block.id, s));
+                    }
+                }
+            }
+            _ => {}
+        }
+    }
+    let removed = removals.len();
+    for (b, s) in removals {
+        cfg.blocks[b].successors.retain(|&x| x != s);
+    }
+    removed
+}
+
+/// Prune never-taken edges to a fixpoint (each round's constant facts
+/// can sharpen once infeasible joins disappear). Returns the pruned CFG
+/// and the total number of edges removed.
+pub fn prune_never_taken_edges(kernel: &Kernel, cfg: &Cfg) -> (Cfg, usize) {
+    let mut cfg = cfg.clone();
+    let mut total = 0;
+    loop {
+        let removed = prune_once(kernel, &mut cfg);
+        total += removed;
+        if removed == 0 {
+            return (cfg, total);
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Flow-sensitive pointer provenance.
+// ---------------------------------------------------------------------
+
+/// Register → params its value may derive from at one program point.
+/// Absent key = ⊥ (no binding on any path yet); empty sets are never
+/// stored.
+type ProvFact = BTreeMap<String, BTreeSet<String>>;
+
+struct FlowProv;
+
+impl DataflowProblem for FlowProv {
+    type Fact = ProvFact;
+
+    fn direction(&self) -> Direction {
+        Direction::Forward
+    }
+
+    fn boundary_fact(&self) -> Self::Fact {
+        ProvFact::new()
+    }
+
+    fn init_fact(&self) -> Self::Fact {
+        ProvFact::new()
+    }
+
+    fn join_into(&self, acc: &mut Self::Fact, from: &Self::Fact) {
+        for (k, v) in from {
+            acc.entry(k.clone()).or_default().extend(v.iter().cloned());
+        }
+    }
+
+    fn transfer(&self, _idx: usize, instr: &Instr, fact: &mut Self::Fact) {
+        let Instr::Op {
+            opcode,
+            operands,
+            pred,
+        } = instr
+        else {
+            return;
+        };
+        let Some(dst) = instr.def_register().map(str::to_string) else {
+            return;
+        };
+        let head = opcode.first().map(String::as_str).unwrap_or("");
+
+        let mut incoming: BTreeSet<String> = BTreeSet::new();
+        if head == "ld" && opcode.get(1).map(String::as_str) == Some("param") {
+            if let Some(Operand::Mem {
+                base: MemBase::Param(p),
+                ..
+            }) = operands.get(1)
+            {
+                incoming.insert(p.clone());
+            }
+        } else {
+            for src in analysis::reg_sources(&operands[1..]) {
+                if let Some(set) = fact.get(src) {
+                    incoming.extend(set.iter().cloned());
+                }
+            }
+        }
+
+        if pred.is_some() {
+            // Guarded def: the old binding may survive — weak update.
+            if !incoming.is_empty() {
+                fact.entry(dst).or_default().extend(incoming);
+            }
+        } else if incoming.is_empty() {
+            // Strong update to ⊥: the old binding dies here.
+            fact.remove(&dst);
+        } else {
+            fact.insert(dst, incoming);
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// The combined pass.
+// ---------------------------------------------------------------------
+
+/// Result of the flow-sensitive replication-safety pass.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct ReplicationSafety {
+    /// Sharper access summary; `read_only` ⊇ the one
+    /// [`crate::analysis::analyze_kernel`] computes.
+    pub summary: KernelAccessSummary,
+    /// Body indices of global stores/atomics proven unexecutable (their
+    /// block is unreachable once never-taken edges are pruned).
+    pub dead_stores: Vec<usize>,
+    /// Body indices of reachable stores whose block does not
+    /// post-dominate the entry: they execute only on some paths.
+    pub guarded_stores: Vec<usize>,
+    /// CFG edges removed by constant-predicate pruning.
+    pub pruned_edges: usize,
+    /// Per reachable `ld.global`: the params its address may derive
+    /// from at that point (flow-sensitive, with flow-insensitive
+    /// fallback at ⊥). Drives [`crate::rewrite::rewrite_readonly_loads_precise`].
+    pub load_provenance: BTreeMap<usize, BTreeSet<String>>,
+}
+
+/// Address provenance of one global access at one program point: the
+/// flow-sensitive binding of the base register if present, else the
+/// flow-insensitive fallback. The fallback keeps every per-store taint
+/// a subset of the flow-insensitive taint, which is what makes the
+/// final `read_only` a superset (see module docs).
+fn addr_provenance(
+    instr: &Instr,
+    fact: &ProvFact,
+    insens: &analysis::Provenance,
+) -> Option<BTreeSet<String>> {
+    let Instr::Op { operands, .. } = instr else {
+        return None;
+    };
+    let base = operands.iter().find_map(|op| match op {
+        Operand::Mem { base, .. } => Some(base),
+        _ => None,
+    })?;
+    match base {
+        MemBase::Param(p) => Some([p.clone()].into_iter().collect()),
+        MemBase::Reg(r) => match fact.get(r) {
+            Some(s) if !s.is_empty() => Some(s.clone()),
+            _ => Some(insens.get(r).cloned().unwrap_or_default()),
+        },
+    }
+}
+
+/// Run the flow-sensitive replication-safety pass on one kernel.
+pub fn analyze_kernel_flow(kernel: &Kernel) -> ReplicationSafety {
+    let cfg = Cfg::build(kernel);
+    let (cfg, pruned_edges) = prune_never_taken_edges(kernel, &cfg);
+    let reachable_blocks = cfg.reachable();
+    let reachable_instrs = cfg.reachable_instrs();
+
+    // Flow-insensitive baselines: the load universe and the ⊥-fallback
+    // provenance (both over the *full* body, so pruning can only shrink
+    // the stored set, never the loaded one).
+    let base = analysis::analyze_kernel(kernel);
+    let insens = analysis::provenance_fixpoint(kernel, &|_| true);
+
+    let prov = dataflow::solve(&FlowProv, kernel, &cfg);
+    let pdom = dominators::post_dominators(kernel, &cfg);
+
+    let mut result = ReplicationSafety {
+        summary: KernelAccessSummary {
+            loaded: base.loaded.clone(),
+            ..Default::default()
+        },
+        pruned_edges,
+        ..Default::default()
+    };
+
+    for block in &cfg.blocks {
+        if !reachable_blocks[block.id] {
+            continue;
+        }
+        let facts = dataflow::forward_instr_facts(&FlowProv, kernel, block, &prov.entry[block.id]);
+        for (idx, fact) in facts {
+            let instr = &kernel.body[idx];
+            if instr.is_global_load() {
+                let p = addr_provenance(instr, &fact, &insens).unwrap_or_default();
+                result.load_provenance.insert(idx, p);
+            } else if instr.is_global_store() || instr.is_global_atomic() {
+                match addr_provenance(instr, &fact, &insens) {
+                    Some(set) if !set.is_empty() => result.summary.stored.extend(set),
+                    _ => result.summary.unknown_store = true,
+                }
+                if !pdom.dominates(block.id, 0) {
+                    result.guarded_stores.push(idx);
+                }
+            }
+        }
+    }
+
+    for (idx, instr) in kernel.body.iter().enumerate() {
+        if (instr.is_global_store() || instr.is_global_atomic())
+            && reachable_instrs.binary_search(&idx).is_err()
+        {
+            result.dead_stores.push(idx);
+        }
+    }
+
+    if result.summary.unknown_store {
+        result.summary.stored.extend(kernel.params.iter().cloned());
+    }
+    result.summary.read_only = result
+        .summary
+        .loaded
+        .difference(&result.summary.stored)
+        .cloned()
+        .collect();
+    result
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::analysis::analyze_kernel;
+    use crate::parse::parse_module;
+
+    fn kernel(src: &str) -> Kernel {
+        parse_module(src).unwrap().kernels.remove(0)
+    }
+
+    /// The acceptance kernel: the only store sits behind a guard that a
+    /// constant comparison proves never taken. The raw CFG still has an
+    /// edge into the store block, so even `analyze_kernel_reachable`
+    /// cannot prune it — only constant-predicate pruning can.
+    const DEAD_GUARD: &str = r#"
+.visible .entry k(.param .u64 A, .param .u64 OUT)
+{
+    ld.param.u64 %rd1, [A];
+    ld.param.u64 %rd2, [OUT];
+    cvta.to.global.u64 %rd1, %rd1;
+    cvta.to.global.u64 %rd2, %rd2;
+    ld.global.f32 %f1, [%rd1];
+    mov.u32 %r9, 0;
+    setp.eq.u32 %p1, %r9, 1;
+    @%p1 bra DO_STORE;
+    bra END;
+DO_STORE:
+    st.global.f32 [%rd1], %f1;
+END:
+    ret;
+}
+"#;
+
+    #[test]
+    fn never_taken_guard_store_is_dead() {
+        let k = kernel(DEAD_GUARD);
+        // Flow-insensitive (even CFG-reachability-aware): A is tainted.
+        assert!(!analyze_kernel(&k).read_only.contains("A"));
+        assert!(!crate::analysis::analyze_kernel_reachable(&k)
+            .read_only
+            .contains("A"));
+        // Flow-sensitive: the guard is provably false, the store dead.
+        let rs = analyze_kernel_flow(&k);
+        assert!(rs.summary.read_only.contains("A"), "{rs:?}");
+        assert!(rs.pruned_edges >= 1);
+        assert_eq!(rs.dead_stores.len(), 1);
+        assert!(!rs.summary.unknown_store);
+        let store_idx = k.body.iter().position(|i| i.is_global_store()).unwrap();
+        assert_eq!(rs.dead_stores, vec![store_idx]);
+    }
+
+    #[test]
+    fn always_taken_guard_skips_store() {
+        // Inverse polarity: the guard is provably TRUE and jumps over
+        // the store.
+        let k = kernel(
+            r#"
+.visible .entry k(.param .u64 A)
+{
+    ld.param.u64 %rd1, [A];
+    ld.global.f32 %f1, [%rd1];
+    mov.u32 %r9, 1;
+    setp.eq.u32 %p1, %r9, 1;
+    @%p1 bra END;
+    st.global.f32 [%rd1], %f1;
+END:
+    ret;
+}
+"#,
+        );
+        assert!(!analyze_kernel(&k).read_only.contains("A"));
+        let rs = analyze_kernel_flow(&k);
+        assert!(rs.summary.read_only.contains("A"), "{rs:?}");
+        assert_eq!(rs.dead_stores.len(), 1);
+    }
+
+    #[test]
+    fn taken_guard_store_still_taints() {
+        // Same shape but the guard CAN fire: the store must taint.
+        let k = kernel(
+            r#"
+.visible .entry k(.param .u64 A)
+{
+    ld.param.u64 %rd1, [A];
+    ld.global.f32 %f1, [%rd1];
+    setp.eq.u32 %p1, %r8, 1;
+    @%p1 bra DO_STORE;
+    bra END;
+DO_STORE:
+    st.global.f32 [%rd1], %f1;
+END:
+    ret;
+}
+"#,
+        );
+        let rs = analyze_kernel_flow(&k);
+        assert!(!rs.summary.read_only.contains("A"));
+        assert!(rs.summary.stored.contains("A"));
+        // The store is reachable but only on one path: guarded.
+        assert_eq!(rs.guarded_stores.len(), 1);
+        assert_eq!(rs.pruned_edges, 0);
+    }
+
+    #[test]
+    fn strong_update_untaints_reused_register() {
+        // %rd5 points at OUT for the store, then is reassigned to A for
+        // the load. Flow-insensitive smears {A, OUT} over %rd5 and
+        // refuses to mark the load; flow-sensitive separates the two
+        // lifetimes.
+        let k = kernel(
+            r#"
+.visible .entry k(.param .u64 A, .param .u64 OUT)
+{
+    ld.param.u64 %rd1, [A];
+    ld.param.u64 %rd2, [OUT];
+    mov.u64 %rd5, %rd2;
+    st.global.f32 [%rd5], %f0;
+    mov.u64 %rd5, %rd1;
+    ld.global.f32 %f1, [%rd5];
+    ret;
+}
+"#,
+        );
+        let rs = analyze_kernel_flow(&k);
+        // A is loaded, never stored: read-only under both analyses
+        // (the flow-insensitive store taint {A, OUT} is what differs).
+        assert!(rs.summary.read_only.contains("A"), "{rs:?}");
+        assert!(!analyze_kernel(&k).read_only.contains("A"));
+        // The load's provenance is exactly {A}, not {A, OUT}.
+        let load_idx = k.body.iter().position(|i| i.is_global_load()).unwrap();
+        assert_eq!(
+            rs.load_provenance
+                .get(&load_idx)
+                .unwrap()
+                .iter()
+                .collect::<Vec<_>>(),
+            vec!["A"]
+        );
+    }
+
+    #[test]
+    fn predicated_store_is_guarded_not_dead() {
+        let k = kernel(
+            r#"
+.visible .entry k(.param .u64 A, .param .u64 OUT)
+{
+    ld.param.u64 %rd1, [A];
+    ld.param.u64 %rd2, [OUT];
+    ld.global.f32 %f1, [%rd1];
+    setp.gt.f32 %p1, %f1, %f2;
+    @%p1 st.global.f32 [%rd2], %f1;
+    ret;
+}
+"#,
+        );
+        let rs = analyze_kernel_flow(&k);
+        assert!(rs.summary.stored.contains("OUT"));
+        assert!(rs.summary.read_only.contains("A"));
+        assert!(rs.dead_stores.is_empty());
+        // Note: a predicated (non-branch) store executes in its block on
+        // every path through the block, so post-dominance alone does not
+        // flag it; the block post-dominates entry here.
+        assert!(rs.guarded_stores.is_empty());
+    }
+
+    #[test]
+    fn loop_counter_is_not_pruned() {
+        // The induction variable joins 0 (entry) with i+1 (back edge):
+        // Nac, so the loop-exit test must NOT be pruned.
+        let k = kernel(
+            r#"
+.visible .entry k(.param .u64 IN, .param .u64 OUT)
+{
+    ld.param.u64 %rd1, [IN];
+    ld.param.u64 %rd2, [OUT];
+    mov.u32 %r1, 0;
+LOOP:
+    ld.global.f32 %f1, [%rd1];
+    st.global.f32 [%rd2], %f1;
+    add.u32 %r1, %r1, 1;
+    setp.lt.u32 %p1, %r1, %r7;
+    @%p1 bra LOOP;
+    ret;
+}
+"#,
+        );
+        let rs = analyze_kernel_flow(&k);
+        assert_eq!(rs.pruned_edges, 0);
+        assert!(rs.summary.read_only.contains("IN"));
+        assert!(rs.summary.stored.contains("OUT"));
+        assert!(rs.dead_stores.is_empty());
+    }
+
+    #[test]
+    fn unknown_store_still_taints_everything() {
+        let k = kernel(
+            r#"
+.visible .entry k(.param .u64 A)
+{
+    ld.param.u64 %rd1, [A];
+    ld.global.f32 %f1, [%rd1];
+    st.global.f32 [%rd9], %f1;
+    ret;
+}
+"#,
+        );
+        let rs = analyze_kernel_flow(&k);
+        assert!(rs.summary.unknown_store);
+        assert!(rs.summary.read_only.is_empty());
+    }
+
+    #[test]
+    fn flow_result_is_superset_on_seed_kernels() {
+        // The invariant on a few hand-written kernels (the proptest in
+        // tests/dataflow_props.rs covers random ones).
+        for src in [
+            DEAD_GUARD,
+            ".visible .entry k(.param .u64 X)\n{\n ld.param.u64 %rd1, [X];\n ld.global.f32 %f1, [%rd1];\n st.global.f32 [%rd1], %f1;\n ret;\n}\n",
+        ] {
+            let k = kernel(src);
+            let fi = analyze_kernel(&k);
+            let fs = analyze_kernel_flow(&k);
+            assert!(
+                fs.summary.read_only.is_superset(&fi.read_only),
+                "flow-sensitive must never lose read-only params: {src}"
+            );
+        }
+    }
+}

@@ -3,10 +3,11 @@
 //! using the ld.global instruction are then replaced by a newly
 //! introduced ld.global.ro instruction").
 
-use std::collections::{BTreeSet, HashMap};
+use std::collections::BTreeSet;
 
-use crate::analysis::analyze_kernel;
+use crate::analysis::{analyze_kernel, provenance_fixpoint};
 use crate::ast::{Instr, Kernel, MemBase, Operand};
+use crate::replication_safety::analyze_kernel_flow;
 
 /// Return a copy of `kernel` in which every `ld.global` whose address
 /// provably derives **only** from read-only parameters carries the `.ro`
@@ -18,22 +19,31 @@ pub fn rewrite_readonly_loads(kernel: &Kernel) -> Kernel {
 
     // Recompute provenance the same way the analysis does so we can
     // attribute each load. (Cheap: kernels are small.)
-    let prov = provenance(kernel);
+    let prov = provenance_fixpoint(kernel, &|_| true);
 
     let mut out = kernel.clone();
     for instr in &mut out.body {
         if !instr.is_global_load() {
             continue;
         }
-        let Instr::Op { opcode, operands, .. } = instr else { continue };
+        let Instr::Op {
+            opcode, operands, ..
+        } = instr
+        else {
+            continue;
+        };
         if opcode.iter().any(|p| p == "ro") {
             continue; // already marked
         }
         let sources: Option<BTreeSet<String>> = match operands.get(1) {
-            Some(Operand::Mem { base: MemBase::Reg(r), .. }) => prov.get(r).cloned(),
-            Some(Operand::Mem { base: MemBase::Param(p), .. }) => {
-                Some([p.clone()].into_iter().collect())
-            }
+            Some(Operand::Mem {
+                base: MemBase::Reg(r),
+                ..
+            }) => prov.get(r).cloned(),
+            Some(Operand::Mem {
+                base: MemBase::Param(p),
+                ..
+            }) => Some([p.clone()].into_iter().collect()),
             _ => None,
         };
         let Some(sources) = sources else { continue };
@@ -45,47 +55,40 @@ pub fn rewrite_readonly_loads(kernel: &Kernel) -> Kernel {
     out
 }
 
-/// Flow-insensitive provenance fixpoint (mirrors `analysis`).
-fn provenance(kernel: &Kernel) -> HashMap<String, BTreeSet<String>> {
-    let mut prov: HashMap<String, BTreeSet<String>> = HashMap::new();
-    loop {
-        let mut changed = false;
-        for instr in &kernel.body {
-            let Instr::Op { opcode, operands, .. } = instr else { continue };
-            let head = opcode.first().map(String::as_str).unwrap_or("");
-            if matches!(head, "st" | "bra" | "ret" | "bar" | "red" | "exit") {
-                continue;
-            }
-            let Some(Operand::Reg(dst)) = operands.first() else { continue };
-            let mut incoming: BTreeSet<String> = BTreeSet::new();
-            if head == "ld" && opcode.get(1).map(String::as_str) == Some("param") {
-                if let Some(Operand::Mem { base: MemBase::Param(p), .. }) = operands.get(1) {
-                    incoming.insert(p.clone());
-                }
-            } else {
-                for op in &operands[1..] {
-                    let r = match op {
-                        Operand::Reg(r) => Some(r),
-                        Operand::Mem { base: MemBase::Reg(r), .. } => Some(r),
-                        _ => None,
-                    };
-                    if let Some(set) = r.and_then(|r| prov.get(r)) {
-                        incoming.extend(set.iter().cloned());
-                    }
-                }
-            }
-            if incoming.is_empty() {
-                continue;
-            }
-            let entry = prov.entry(dst.clone()).or_default();
-            let before = entry.len();
-            entry.extend(incoming);
-            changed |= entry.len() != before;
+/// Like [`rewrite_readonly_loads`], but driven by the flow-sensitive
+/// [`analyze_kernel_flow`] pass: loads are attributed with
+/// per-program-point provenance, so a pointer register later reused for
+/// a read-write array no longer blocks marking, stores behind provably
+/// never-taken guards no longer taint, and loads in dead code are never
+/// marked.
+///
+/// The marks are a superset of [`rewrite_readonly_loads`]'s on any
+/// kernel where both attribute a load identically, and the result
+/// reparses and is idempotent in the same way.
+pub fn rewrite_readonly_loads_precise(kernel: &Kernel) -> Kernel {
+    let rs = analyze_kernel_flow(kernel);
+    let ro = &rs.summary.read_only;
+    let mut out = kernel.clone();
+    for (idx, instr) in out.body.iter_mut().enumerate() {
+        if !instr.is_global_load() {
+            continue;
         }
-        if !changed {
-            return prov;
+        let Instr::Op { opcode, .. } = instr else {
+            continue;
+        };
+        if opcode.iter().any(|p| p == "ro") {
+            continue; // already marked
+        }
+        // Loads pruned as unreachable have no provenance entry and stay
+        // unmarked.
+        let Some(sources) = rs.load_provenance.get(&idx) else {
+            continue;
+        };
+        if !sources.is_empty() && sources.iter().all(|s| ro.contains(s)) {
+            opcode.insert(2, "ro".to_string());
         }
     }
+    out
 }
 
 #[cfg(test)]
@@ -154,7 +157,76 @@ mod tests {
         let m = parse_module(&k.to_ptx()).unwrap();
         assert_eq!(m.kernels[0], k);
         // The .ro form is still recognized as a global load.
-        assert_eq!(m.kernels[0].body.iter().filter(|i| i.is_global_load()).count(), 2);
+        assert_eq!(
+            m.kernels[0]
+                .body
+                .iter()
+                .filter(|i| i.is_global_load())
+                .count(),
+            2
+        );
+    }
+
+    #[test]
+    fn precise_rewrite_matches_plain_on_straight_line() {
+        let once = rewrite_readonly_loads(&parse_module(VECADD).unwrap().kernels[0]);
+        let precise = rewrite_readonly_loads_precise(&parse_module(VECADD).unwrap().kernels[0]);
+        assert_eq!(once, precise);
+    }
+
+    #[test]
+    fn precise_rewrite_marks_past_dead_guarded_store() {
+        // The store never executes (guard provably false), so the load
+        // from A gets the .ro mark only under the precise rewriter.
+        let src = r#"
+.visible .entry k(.param .u64 A)
+{
+    ld.param.u64 %rd1, [A];
+    ld.global.f32 %f1, [%rd1];
+    mov.u32 %r9, 0;
+    setp.eq.u32 %p1, %r9, 1;
+    @%p1 bra DO_STORE;
+    bra END;
+DO_STORE:
+    st.global.f32 [%rd1], %f1;
+END:
+    ret;
+}
+"#;
+        let k = &parse_module(src).unwrap().kernels[0];
+        assert!(!rewrite_readonly_loads(k).to_ptx().contains("ld.global.ro"));
+        let precise = rewrite_readonly_loads_precise(k);
+        assert_eq!(precise.to_ptx().matches("ld.global.ro").count(), 1);
+        // Idempotent and reparseable, like the plain rewriter.
+        assert_eq!(rewrite_readonly_loads_precise(&precise), precise);
+        assert_eq!(parse_module(&precise.to_ptx()).unwrap().kernels[0], precise);
+    }
+
+    #[test]
+    fn precise_rewrite_separates_register_lifetimes() {
+        // %rd5 holds OUT for the store, then A for the load: only the
+        // precise rewriter may mark the load.
+        let src = r#"
+.visible .entry k(.param .u64 A, .param .u64 OUT)
+{
+    ld.param.u64 %rd1, [A];
+    ld.param.u64 %rd2, [OUT];
+    mov.u64 %rd5, %rd2;
+    st.global.f32 [%rd5], %f0;
+    mov.u64 %rd5, %rd1;
+    ld.global.f32 %f1, [%rd5];
+    ret;
+}
+"#;
+        let k = &parse_module(src).unwrap().kernels[0];
+        assert!(!rewrite_readonly_loads(k).to_ptx().contains(".ro"));
+        assert_eq!(
+            rewrite_readonly_loads_precise(k)
+                .to_ptx()
+                .matches("ld.global.ro")
+                .count(),
+            1
+        );
     }
 
     #[test]

@@ -1,0 +1,363 @@
+//! Property tests for the dataflow layer: the worklist solver and the
+//! dominance machinery agree with naive path-enumeration references on
+//! random graphs, and the flow-sensitive replication-safety pass never
+//! loses a read-only param the flow-insensitive baseline finds.
+
+use proptest::prelude::*;
+use std::collections::BTreeSet;
+
+use nuba_compiler::{
+    analyze_kernel, analyze_kernel_flow, dominators, parse_module, post_dominators, solve_dataflow,
+    BasicBlock, Cfg, Instr, Kernel, Liveness,
+};
+
+// ---------------------------------------------------------------------
+// Random guarded kernels: segments of loads/stores, each optionally
+// wrapped in a branch whose guard is constant-false (dead), constant-
+// true, or data-dependent.
+
+/// Guard wrapped around one segment of accesses.
+#[derive(Debug, Clone, Copy, PartialEq)]
+enum Guard {
+    /// Accesses execute unconditionally.
+    None,
+    /// `setp` on constants that is provably false: the segment is dead.
+    DeadConst,
+    /// `setp` on constants that is provably true: the segment executes.
+    TrueConst,
+    /// Guard on registers the analysis cannot evaluate.
+    Unknown,
+}
+
+#[derive(Debug, Clone)]
+struct Segment {
+    guard: Guard,
+    /// (param index, is_store) accesses inside the segment.
+    accesses: Vec<(usize, bool)>,
+}
+
+fn kernel_strategy() -> impl Strategy<Value = (String, usize, Vec<Segment>)> {
+    let seg = (
+        0usize..4,
+        proptest::collection::vec((0usize..4, any::<bool>()), 1..6),
+    )
+        .prop_map(|(g, accesses)| Segment {
+            guard: match g {
+                0 => Guard::None,
+                1 => Guard::DeadConst,
+                2 => Guard::TrueConst,
+                _ => Guard::Unknown,
+            },
+            accesses,
+        });
+    (
+        2usize..=4,
+        proptest::collection::vec(seg, 1..5),
+        any::<bool>(),
+    )
+        .prop_map(|(nparams, mut segments, tail_loop)| {
+            for s in &mut segments {
+                for a in &mut s.accesses {
+                    a.0 %= nparams;
+                }
+            }
+            let mut src = String::new();
+            src.push_str(".visible .entry gen(");
+            for p in 0..nparams {
+                if p > 0 {
+                    src.push_str(", ");
+                }
+                src.push_str(&format!(".param .u64 P{p}"));
+            }
+            src.push_str(")\n{\n");
+            for p in 0..nparams {
+                src.push_str(&format!("    ld.param.u64 %rd{p}, [P{p}];\n"));
+                src.push_str(&format!("    cvta.to.global.u64 %rd{p}, %rd{p};\n"));
+            }
+            let mut f = 0usize;
+            for (j, s) in segments.iter().enumerate() {
+                match s.guard {
+                    Guard::None => {}
+                    Guard::DeadConst => {
+                        src.push_str("    mov.u32 %r9, 0;\n");
+                        src.push_str(&format!("    setp.eq.u32 %p{j}, %r9, 1;\n"));
+                        src.push_str(&format!(
+                            "    @%p{j} bra DO{j};\n    bra SKIP{j};\nDO{j}:\n"
+                        ));
+                    }
+                    Guard::TrueConst => {
+                        src.push_str("    mov.u32 %r9, 1;\n");
+                        src.push_str(&format!("    setp.eq.u32 %p{j}, %r9, 1;\n"));
+                        src.push_str(&format!(
+                            "    @%p{j} bra DO{j};\n    bra SKIP{j};\nDO{j}:\n"
+                        ));
+                    }
+                    Guard::Unknown => {
+                        src.push_str(&format!(
+                            "    setp.lt.u32 %p{j}, %r{}, %r{};\n",
+                            20 + j,
+                            30 + j
+                        ));
+                        src.push_str(&format!(
+                            "    @%p{j} bra DO{j};\n    bra SKIP{j};\nDO{j}:\n"
+                        ));
+                    }
+                }
+                for &(p, store) in &s.accesses {
+                    if store {
+                        src.push_str(&format!("    st.global.f32 [%rd{p}], %f{f};\n"));
+                    } else {
+                        src.push_str(&format!("    ld.global.f32 %f{f}, [%rd{p}];\n"));
+                    }
+                    f += 1;
+                }
+                if s.guard != Guard::None {
+                    src.push_str(&format!("SKIP{j}:\n"));
+                }
+            }
+            if tail_loop {
+                src.push_str("    mov.u32 %r40, 0;\nLOOPTOP:\n");
+                src.push_str("    add.u32 %r40, %r40, 1;\n");
+                src.push_str("    setp.lt.u32 %p9, %r40, %r41;\n");
+                src.push_str("    @%p9 bra LOOPTOP;\n");
+            }
+            src.push_str("    ret;\n}\n");
+            (src, nparams, segments)
+        })
+}
+
+fn parse_kernel(src: &str) -> Kernel {
+    parse_module(src)
+        .expect("generated kernel parses")
+        .kernels
+        .remove(0)
+}
+
+// ---------------------------------------------------------------------
+// Naive references.
+
+/// Blocks reachable from `from` without entering `avoid`.
+fn reachable_avoiding(cfg: &Cfg, from: usize, avoid: Option<usize>) -> Vec<bool> {
+    let mut seen = vec![false; cfg.blocks.len()];
+    if Some(from) == avoid {
+        return seen;
+    }
+    let mut stack = vec![from];
+    seen[from] = true;
+    while let Some(b) = stack.pop() {
+        for &s in &cfg.blocks[b].successors {
+            if !seen[s] && Some(s) != avoid {
+                seen[s] = true;
+                stack.push(s);
+            }
+        }
+    }
+    seen
+}
+
+/// Whether any block in `targets` is reachable from `from` avoiding `avoid`.
+fn reaches_any_avoiding(cfg: &Cfg, from: usize, targets: &[usize], avoid: Option<usize>) -> bool {
+    let seen = reachable_avoiding(cfg, from, avoid);
+    targets.iter().any(|&t| seen[t])
+}
+
+fn is_predicated(instr: &Instr) -> bool {
+    matches!(instr, Instr::Op { pred: Some(_), .. })
+}
+
+/// Path-enumeration liveness: `reg` is live at the entry of `start` iff
+/// some path reaches a use of `reg` before an unpredicated def.
+fn naive_live_at_entry(kernel: &Kernel, cfg: &Cfg, start: usize, reg: &str) -> bool {
+    let mut visited = vec![false; cfg.blocks.len()];
+    let mut stack = vec![start];
+    while let Some(b) = stack.pop() {
+        if visited[b] {
+            continue;
+        }
+        visited[b] = true;
+        let mut killed = false;
+        for &i in &cfg.blocks[b].instrs {
+            let instr = &kernel.body[i];
+            if instr.use_registers().contains(&reg) {
+                return true;
+            }
+            if instr.def_register() == Some(reg) && !is_predicated(instr) {
+                killed = true;
+                break;
+            }
+        }
+        if !killed {
+            stack.extend(cfg.blocks[b].successors.iter().copied());
+        }
+    }
+    false
+}
+
+/// The virtual-exit roots of the post-dominance relation: blocks with no
+/// successors or a (possibly predicated) `ret`/`exit` terminator.
+fn exit_roots(kernel: &Kernel, cfg: &Cfg) -> Vec<usize> {
+    cfg.blocks
+        .iter()
+        .filter(|b| {
+            b.successors.is_empty()
+                || b.instrs.last().is_some_and(|&i| {
+                    matches!(&kernel.body[i], Instr::Op { opcode, .. }
+                        if matches!(opcode.first().map(String::as_str), Some("ret") | Some("exit")))
+                })
+        })
+        .map(|b| b.id)
+        .collect()
+}
+
+/// An arbitrary graph shaped as a `Cfg` (instruction lists stay empty:
+/// dominators only read the edges).
+fn graph_strategy() -> impl Strategy<Value = Cfg> {
+    (1usize..=10).prop_flat_map(|n| {
+        proptest::collection::vec(proptest::collection::vec(0usize..n, 0..3), n).prop_map(
+            move |succs| Cfg {
+                blocks: succs
+                    .into_iter()
+                    .enumerate()
+                    .map(|(id, mut successors)| {
+                        successors.sort_unstable();
+                        successors.dedup();
+                        BasicBlock {
+                            id,
+                            label: None,
+                            instrs: Vec::new(),
+                            successors,
+                        }
+                    })
+                    .collect(),
+            },
+        )
+    })
+}
+
+// ---------------------------------------------------------------------
+// Properties.
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 128, ..ProptestConfig::default() })]
+
+    /// The flow-sensitive pass never loses a read-only param the
+    /// flow-insensitive baseline proves, and dead-guarded stores never
+    /// taint.
+    #[test]
+    fn flow_read_only_is_superset_and_prunes_dead_stores(spec in kernel_strategy()) {
+        let (src, nparams, segments) = spec;
+        let k = parse_kernel(&src);
+        let flow = analyze_kernel_flow(&k);
+        let insens = analyze_kernel(&k);
+        prop_assert!(
+            flow.summary.read_only.is_superset(&insens.read_only),
+            "flow {:?} vs insens {:?}\n{src}",
+            flow.summary.read_only,
+            insens.read_only
+        );
+        // Ground truth: a param is flow-read-only iff it is loaded
+        // somewhere and every store to it sits in a dead-guarded segment.
+        for p in 0..nparams {
+            let name = format!("P{p}");
+            let loaded = segments.iter().any(|s| s.accesses.iter().any(|&(q, st)| q == p && !st));
+            let live_store = segments.iter().any(|s| {
+                s.guard != Guard::DeadConst
+                    && s.accesses.iter().any(|&(q, st)| q == p && st)
+            });
+            prop_assert_eq!(
+                flow.summary.read_only.contains(&name),
+                loaded && !live_store,
+                "param {} loaded={} live_store={}\n{}",
+                name, loaded, live_store, src
+            );
+        }
+    }
+
+    /// The bitset dominator solver matches the path definition: `a`
+    /// dominates `b` iff removing `a` cuts `b` off from the entry.
+    #[test]
+    fn dominators_match_naive_reference(cfg in graph_strategy()) {
+        let dom = dominators(&cfg);
+        let n = cfg.blocks.len();
+        let reach = reachable_avoiding(&cfg, 0, None);
+        for (b, &reach_b) in reach.iter().enumerate() {
+            prop_assert_eq!(dom.defined(b), reach_b, "block {}", b);
+            if !reach_b {
+                prop_assert!(!dom.dominates(0, b));
+                continue;
+            }
+            for a in 0..n {
+                let expected = a == b || !reachable_avoiding(&cfg, 0, Some(a))[b];
+                prop_assert_eq!(
+                    dom.dominates(a, b), expected,
+                    "dominates({}, {}) in {:?}", a, b, cfg
+                );
+            }
+            // idom sanity: the unique closest strict dominator.
+            if b == 0 {
+                prop_assert_eq!(dom.idom[b], None);
+            } else if let Some(d) = dom.idom[b] {
+                prop_assert!(dom.strictly_dominates(d, b));
+                for a in 0..n {
+                    if dom.strictly_dominates(a, b) {
+                        prop_assert!(
+                            dom.dominates(a, d),
+                            "strict dominator {} of {} must dominate idom {}", a, b, d
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    /// Post-dominance over generated kernels matches the virtual-exit
+    /// path definition.
+    #[test]
+    fn post_dominators_match_naive_reference(spec in kernel_strategy()) {
+        let (src, _, _) = spec;
+        let k = parse_kernel(&src);
+        let cfg = Cfg::build(&k);
+        let pdom = post_dominators(&k, &cfg);
+        let roots = exit_roots(&k, &cfg);
+        for b in 0..cfg.blocks.len() {
+            let can_exit = reaches_any_avoiding(&cfg, b, &roots, None);
+            prop_assert_eq!(pdom.defined(b), can_exit, "block {}\n{}", b, src);
+            if !can_exit {
+                continue;
+            }
+            for a in 0..cfg.blocks.len() {
+                let expected = a == b || !reaches_any_avoiding(&cfg, b, &roots, Some(a));
+                prop_assert_eq!(
+                    pdom.dominates(a, b), expected,
+                    "post-dominates({}, {})\n{}", a, b, src
+                );
+            }
+        }
+    }
+
+    /// The backward worklist liveness solution matches path enumeration
+    /// at every block entry, for every register the kernel mentions.
+    #[test]
+    fn liveness_matches_naive_reference(spec in kernel_strategy()) {
+        let (src, _, _) = spec;
+        let k = parse_kernel(&src);
+        let cfg = Cfg::build(&k);
+        let facts = solve_dataflow(&Liveness, &k, &cfg);
+        let mut regs: BTreeSet<String> = BTreeSet::new();
+        for instr in &k.body {
+            regs.extend(instr.use_registers().iter().map(|r| r.to_string()));
+            if let Some(d) = instr.def_register() {
+                regs.insert(d.to_string());
+            }
+        }
+        for b in 0..cfg.blocks.len() {
+            for r in &regs {
+                prop_assert_eq!(
+                    facts.entry[b].contains(r),
+                    naive_live_at_entry(&k, &cfg, b, r),
+                    "reg {} at block {}\n{}", r, b, src
+                );
+            }
+        }
+    }
+}

@@ -10,10 +10,15 @@ use nuba_compiler::{analyze_kernel, parse_module, rewrite_readonly_loads};
 /// registers, a random mix of loads/stores through them.
 fn kernel_strategy() -> impl Strategy<Value = (String, Vec<(usize, bool)>)> {
     // (param index, is_store) per access, over up to 4 params.
-    (2usize..=4, proptest::collection::vec((0usize..4, any::<bool>()), 1..20)).prop_map(
-        |(nparams, accesses)| {
-            let accesses: Vec<(usize, bool)> =
-                accesses.into_iter().map(|(p, s)| (p % nparams, s)).collect();
+    (
+        2usize..=4,
+        proptest::collection::vec((0usize..4, any::<bool>()), 1..20),
+    )
+        .prop_map(|(nparams, accesses)| {
+            let accesses: Vec<(usize, bool)> = accesses
+                .into_iter()
+                .map(|(p, s)| (p % nparams, s))
+                .collect();
             let names: Vec<String> = (0..nparams).map(|i| format!("P{i}")).collect();
             let mut src = String::new();
             src.push_str(".visible .entry gen(");
@@ -37,8 +42,7 @@ fn kernel_strategy() -> impl Strategy<Value = (String, Vec<(usize, bool)>)> {
             }
             src.push_str("    ret;\n}\n");
             (src, accesses)
-        },
-    )
+        })
 }
 
 proptest! {

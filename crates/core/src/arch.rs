@@ -20,7 +20,11 @@ pub struct Topology {
 impl Topology {
     /// Build the topology for `cfg`.
     pub fn new(cfg: &GpuConfig) -> Topology {
-        let num_modules = if cfg.arch.is_mcm() { cfg.mcm.num_modules } else { 1 };
+        let num_modules = if cfg.arch.is_mcm() {
+            cfg.mcm.num_modules
+        } else {
+            1
+        };
         Topology {
             arch: cfg.arch,
             num_sms: cfg.num_sms,
@@ -101,8 +105,7 @@ impl Topology {
             ArchKind::Nuba | ArchKind::McmNuba => {
                 let part = self.partition_of_sm(sm);
                 SliceId(
-                    part.0 * self.slices_per_partition
-                        + d.home_slice.0 % self.slices_per_partition,
+                    part.0 * self.slices_per_partition + d.home_slice.0 % self.slices_per_partition,
                 )
             }
         }
@@ -112,14 +115,19 @@ impl Topology {
     /// (and forwards requests for) `d`'s line — identical to the first
     /// hop by construction.
     pub fn local_slice(&self, sm: SmId, d: &DecodedAddr) -> SliceId {
-        debug_assert!(self.arch.is_nuba());
+        nuba_types::invariant!("arch_local_slice_nuba_only", self.arch.is_nuba());
         self.first_hop_slice(sm, d)
     }
 
     /// SM-side UBA: whether channel `ch` sits in the other LLC half than
     /// `slice` (the access must cross the inter-partition link).
     pub fn crosses_half(&self, slice: SliceId, ch: ChannelId) -> bool {
-        debug_assert_eq!(self.arch, ArchKind::SmSideUba);
+        nuba_types::invariant!(
+            "arch_crosses_half_smside_only",
+            self.arch == ArchKind::SmSideUba,
+            "{:?}",
+            self.arch
+        );
         let slice_half = slice.0 / (self.num_slices / 2);
         let ch_half = ch.0 / (self.num_channels / 2);
         slice_half != ch_half

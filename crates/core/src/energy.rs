@@ -111,7 +111,12 @@ mod tests {
 
     #[test]
     fn zero_run_has_only_static() {
-        let r = energy_report(&EnergyParams::default(), &EnergyCounters::default(), &noc(), 0);
+        let r = energy_report(
+            &EnergyParams::default(),
+            &EnergyCounters::default(),
+            &noc(),
+            0,
+        );
         assert_eq!(r.total_j(), 0.0);
     }
 

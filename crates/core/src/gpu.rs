@@ -11,11 +11,11 @@ use nuba_engine::BandwidthLink;
 use nuba_noc::{CrossbarNoc, NocPowerModel};
 use nuba_tlb::{TlbParams, TranslationEngine, TranslationOutcome};
 use nuba_types::addr::PageNum;
-use nuba_types::{
-    AccessKind, ArchKind, GpuConfig, LineAddr, MemReply, MemRequest, PagePolicyKind, ReplicationKind,
-    ReqId, SliceId, SmId, Wire,
-};
 use nuba_types::mapping::AddressMapping;
+use nuba_types::{
+    AccessKind, ArchKind, GpuConfig, LineAddr, MemReply, MemRequest, PagePolicyKind,
+    ReplicationKind, ReqId, SliceId, SmId, Wire,
+};
 use nuba_workloads::Workload;
 
 use crate::arch::Topology;
@@ -110,7 +110,11 @@ impl GpuSimulator {
     /// workload (SM count, page size).
     pub fn new(cfg: GpuConfig, workload: &Workload) -> GpuSimulator {
         cfg.validate().expect("invalid configuration");
-        assert_eq!(workload.num_sms(), cfg.num_sms, "workload built for wrong SM count");
+        assert_eq!(
+            workload.num_sms(),
+            cfg.num_sms,
+            "workload built for wrong SM count"
+        );
         assert_eq!(
             workload.layout().page_bytes,
             cfg.page_bytes,
@@ -177,7 +181,11 @@ impl GpuSimulator {
             .collect();
 
         let mem_burst_cycles = 128 / cfg.dram_burst_bytes.max(1);
-        let hbm = if cfg.dram_refresh { HbmTiming::with_refresh() } else { HbmTiming::paper() };
+        let hbm = if cfg.dram_refresh {
+            HbmTiming::with_refresh()
+        } else {
+            HbmTiming::paper()
+        };
         let mcs: Vec<McState> = (0..cfg.num_channels)
             .map(|_| McState {
                 mc: MemoryController::new(
@@ -193,9 +201,19 @@ impl GpuSimulator {
 
         let is_nuba = cfg.arch.is_nuba();
         let (req_in, req_out, rep_in, rep_out) = if is_nuba {
-            (cfg.num_llc_slices, cfg.num_llc_slices, cfg.num_llc_slices, cfg.num_llc_slices)
+            (
+                cfg.num_llc_slices,
+                cfg.num_llc_slices,
+                cfg.num_llc_slices,
+                cfg.num_llc_slices,
+            )
         } else {
-            (cfg.num_sms, cfg.num_llc_slices, cfg.num_llc_slices, cfg.num_sms)
+            (
+                cfg.num_sms,
+                cfg.num_llc_slices,
+                cfg.num_llc_slices,
+                cfg.num_sms,
+            )
         };
         let port_bw = cfg.noc_port_bytes_per_cycle();
         let req_noc = CrossbarNoc::new(req_in, req_out, port_bw, cfg.noc_stage_latency, 8);
@@ -204,8 +222,16 @@ impl GpuSimulator {
         let (local_req, local_reply) = if is_nuba {
             let lb = cfg.local_link_bytes_per_cycle as f64;
             (
-                Some((0..cfg.num_sms).map(|_| BandwidthLink::new(lb, 2, 8)).collect()),
-                Some((0..cfg.num_sms).map(|_| BandwidthLink::new(lb, 2, 8)).collect()),
+                Some(
+                    (0..cfg.num_sms)
+                        .map(|_| BandwidthLink::new(lb, 2, 8))
+                        .collect(),
+                ),
+                Some(
+                    (0..cfg.num_sms)
+                        .map(|_| BandwidthLink::new(lb, 2, 8))
+                        .collect(),
+                ),
             )
         } else {
             (None, None)
@@ -216,7 +242,10 @@ impl GpuSimulator {
             // the cross-half memory path memory-class bandwidth and a
             // short hop so SM-side UBA tracks the memory-side baseline
             // (the paper reports them within ~1%).
-            Some([BandwidthLink::new(1024.0, 10, 64), BandwidthLink::new(1024.0, 10, 64)])
+            Some([
+                BandwidthLink::new(1024.0, 10, 64),
+                BandwidthLink::new(1024.0, 10, 64),
+            ])
         } else {
             None
         };
@@ -225,8 +254,12 @@ impl GpuSimulator {
         let gw_bw = cfg.mcm.inter_module_bytes_per_cycle;
         let (gw_req, gw_reply) = if modules > 1 {
             (
-                (0..modules).map(|_| BandwidthLink::new(gw_bw, 32, 32)).collect(),
-                (0..modules).map(|_| BandwidthLink::new(gw_bw, 32, 32)).collect(),
+                (0..modules)
+                    .map(|_| BandwidthLink::new(gw_bw, 32, 32))
+                    .collect(),
+                (0..modules)
+                    .map(|_| BandwidthLink::new(gw_bw, 32, 32))
+                    .collect(),
             )
         } else {
             (Vec::new(), Vec::new())
@@ -266,8 +299,12 @@ impl GpuSimulator {
             half_hold: Vec::new(),
             gw_req,
             gw_reply,
-            gw_req_hold: (0..modules).map(|_| std::collections::VecDeque::new()).collect(),
-            gw_reply_hold: (0..modules).map(|_| std::collections::VecDeque::new()).collect(),
+            gw_req_hold: (0..modules)
+                .map(|_| std::collections::VecDeque::new())
+                .collect(),
+            gw_reply_hold: (0..modules)
+                .map(|_| std::collections::VecDeque::new())
+                .collect(),
             tracker,
             cycle: 0,
             next_req_id: 0,
@@ -357,9 +394,8 @@ impl GpuSimulator {
     pub fn warm_and_run(&mut self, workload: &Workload, cycles: u64) -> SimReport {
         // Enough accesses to touch the whole scaled footprint a few
         // times over: footprint/streams, bounded for simulation cost.
-        let streams = (self.cfg.num_sms
-            * self.cfg.sim_active_warps.min(self.cfg.warps_per_sm).max(1))
-            as u64;
+        let streams =
+            (self.cfg.num_sms * self.cfg.sim_active_warps.min(self.cfg.warps_per_sm).max(1)) as u64;
         let lines = workload.layout().total_pages * (self.cfg.page_bytes / 128);
         let per_warp = (4 * lines / streams.max(1)).clamp(64, 4096) as usize;
         self.warm(workload, per_warp);
@@ -432,7 +468,9 @@ impl GpuSimulator {
             for _ in 0..4 {
                 // Up to issue_width memory commits per cycle; extra poll
                 // iterations let L1 hits and stalls make way.
-                let Some((warp, access)) = self.sms[i].poll(c) else { break };
+                let Some((warp, access)) = self.sms[i].poll(c) else {
+                    break;
+                };
                 let vpage = access.vaddr.page(page_bytes);
                 let mapped = self.driver.table().is_mapped(vpage);
                 match self.mmu.request(sm_id, vpage, c, mapped) {
@@ -447,7 +485,8 @@ impl GpuSimulator {
                     .translate(vpage, part)
                     .expect("TLB hit implies a mapped page");
                 let paddr =
-                    self.mapping.compose(t.channel, t.frame, access.vaddr.page_offset(page_bytes));
+                    self.mapping
+                        .compose(t.channel, t.frame, access.vaddr.page_offset(page_bytes));
                 let d = self.mapping.decode(paddr);
                 let line = paddr.line();
 
@@ -480,7 +519,7 @@ impl GpuSimulator {
                         }
                         let req = self.make_request(sm_id, warp, access, paddr, c);
                         let primary = self.sms[i].commit_load_miss(warp, line);
-                        debug_assert!(primary);
+                        nuba_types::invariant!("gpu_issued_miss_is_primary", primary);
                         self.send_request(req, &d, c);
                         self.note_access(vpage, sm_id, n_parts);
                     }
@@ -505,7 +544,9 @@ impl GpuSimulator {
 
     fn note_access(&mut self, vpage: PageNum, sm: SmId, n_parts: usize) {
         let part = self.topo.partition_of_sm(sm);
-        self.driver.table_mut().record_access(vpage, sm, part, n_parts);
+        self.driver
+            .table_mut()
+            .record_access(vpage, sm, part, n_parts);
         if let Some(tracker) = &mut self.tracker {
             if tracker.note_access() {
                 let tracker = tracker.clone();
@@ -574,10 +615,19 @@ impl GpuSimulator {
                 let src_mod = self.topo.module_of_sm(req.sm);
                 if self.topo.num_modules() > 1 && self.topo.module_of_slice(dest) != src_mod {
                     self.gw_req[src_mod.0]
-                        .try_send(GwPkt { src: req.sm.0, dest: dest.0, item: req }, c).expect("gateway capacity checked");
+                        .try_send(
+                            GwPkt {
+                                src: req.sm.0,
+                                dest: dest.0,
+                                item: req,
+                            },
+                            c,
+                        )
+                        .expect("gateway capacity checked");
                 } else {
                     self.req_noc
-                        .try_send(req.sm.0, dest.0, req, c).expect("noc capacity checked");
+                        .try_send(req.sm.0, dest.0, req, c)
+                        .expect("noc capacity checked");
                 }
             }
         }
@@ -616,7 +666,14 @@ impl GpuSimulator {
                     self.topo.num_modules() > 1 && self.topo.module_of_slice(dest) != src_mod;
                 let sent = if cross {
                     self.gw_req[src_mod.0]
-                        .try_send(GwPkt { src: i, dest: dest.0, item: fwd }, c)
+                        .try_send(
+                            GwPkt {
+                                src: i,
+                                dest: dest.0,
+                                item: fwd,
+                            },
+                            c,
+                        )
                         .is_ok()
                 } else {
                     self.req_noc.try_send(i, dest.0, fwd, c).is_ok()
@@ -721,7 +778,14 @@ impl GpuSimulator {
         };
         if self.topo.num_modules() > 1 && src_mod != dest_mod {
             self.gw_reply[src_mod.0]
-                .try_send(GwPkt { src: src_slice, dest, item: reply }, c)
+                .try_send(
+                    GwPkt {
+                        src: src_slice,
+                        dest,
+                        item: reply,
+                    },
+                    c,
+                )
                 .is_ok()
         } else {
             self.reply_noc.try_send(src_slice, dest, reply, c).is_ok()
@@ -831,11 +895,7 @@ impl GpuSimulator {
                         continue; // writeback completion needs no fill
                     }
                     if let Some((slice, line)) = self.mcs[ch].pending_fills.remove(&id) {
-                        if sm_side
-                            && self
-                                .topo
-                                .crosses_half(slice, nuba_types::ChannelId(ch))
-                        {
+                        if sm_side && self.topo.crosses_half(slice, nuba_types::ChannelId(ch)) {
                             let half = slice.0 / (self.cfg.num_llc_slices / 2);
                             // Fills ride the cross-half link back; if it
                             // is saturated they queue in the hold.
@@ -867,9 +927,16 @@ impl GpuSimulator {
         }
         mc.next_id += 1;
         let id = mc.next_id;
-        let req = DramRequest { id, bank: d.bank, row: d.row, is_write };
+        let req = DramRequest {
+            id,
+            bank: d.bank,
+            row: d.row,
+            is_write,
+        };
         let mem_cycle = c / self.cfg.dram_clock_divider;
-        mc.mc.try_enqueue(req, mem_cycle).expect("can_accept checked");
+        mc.mc
+            .try_enqueue(req, mem_cycle)
+            .expect("can_accept checked");
         if !is_write {
             mc.pending_fills.insert(id, (slice, line));
         }
@@ -899,6 +966,44 @@ impl GpuSimulator {
         )
     }
 
+    /// Request conservation snapshot: (requests issued by SMs, replies
+    /// delivered back to SMs, requests still outstanding). At any
+    /// instant `issued == replied + outstanding` — the memory system
+    /// neither drops nor duplicates requests.
+    pub fn request_balance(&self) -> (u64, u64, u64) {
+        let issued: u64 = self.sms.iter().map(|s| s.stats.issued_requests).sum();
+        let replied: u64 = self
+            .sms
+            .iter()
+            .map(|s| s.stats.local_replies + s.stats.remote_replies)
+            .sum();
+        let outstanding: u64 = self.sms.iter().map(|s| s.outstanding() as u64).sum();
+        (issued, replied, outstanding)
+    }
+
+    /// Run the cross-component conservation checks against the named
+    /// invariant registry (`nuba_types::invariant`): SM request balance,
+    /// flit conservation in both NoCs, and per-slice/per-SM accounting
+    /// sanity. Call at any cycle boundary; `simcheck` calls it
+    /// periodically under every architecture configuration.
+    pub fn check_conservation(&self) {
+        let (issued, replied, outstanding) = self.request_balance();
+        nuba_types::check_conserved!("gpu_requests_conserved", issued, replied + outstanding);
+        self.req_noc.check_conservation();
+        self.reply_noc.check_conservation();
+        let (hits, accesses, replica_hits, _, _) = self.slice_totals();
+        nuba_types::invariant!(
+            "llc_hits_within_accesses",
+            hits <= accesses,
+            "{hits} hits > {accesses} accesses"
+        );
+        nuba_types::invariant!(
+            "llc_replica_hits_within_hits",
+            replica_hits <= hits,
+            "{replica_hits} replica hits > {hits} hits"
+        );
+    }
+
     /// Aggregate slice-stat snapshot: (hits, accesses, replica_hits,
     /// replica_fills, forwarded).
     pub fn slice_totals(&self) -> (u64, u64, u64, u64, u64) {
@@ -919,10 +1024,10 @@ impl GpuSimulator {
         let mem_cyc = (cyc / self.cfg.dram_clock_divider).max(1);
         let dram_busy: u64 = self.mcs.iter().map(|m| m.mc.stats().bus_busy_cycles).sum();
         let dram_util = dram_busy as f64 / (mem_cyc * self.mcs.len() as u64) as f64;
-        let req_util = self.req_noc.stats().bytes as f64
-            / (self.cfg.noc_total_bytes_per_cycle * cyc as f64);
-        let rep_util = self.reply_noc.stats().bytes as f64
-            / (self.cfg.noc_total_bytes_per_cycle * cyc as f64);
+        let req_util =
+            self.req_noc.stats().bytes as f64 / (self.cfg.noc_total_bytes_per_cycle * cyc as f64);
+        let rep_util =
+            self.reply_noc.stats().bytes as f64 / (self.cfg.noc_total_bytes_per_cycle * cyc as f64);
         let mut local_util = 0.0;
         if let Some(links) = &self.local_reply {
             let bytes: u64 = links.iter().map(BandwidthLink::bytes_transferred).sum();
@@ -1006,7 +1111,11 @@ impl GpuSimulator {
         }
         row_hits /= self.mcs.len() as f64;
         let mean_load = total_load as f64 / self.mcs.len() as f64;
-        let channel_imbalance = if mean_load > 0.0 { max_load as f64 / mean_load } else { 1.0 };
+        let channel_imbalance = if mean_load > 0.0 {
+            max_load as f64 / mean_load
+        } else {
+            1.0
+        };
 
         let energy = energy_report(&self.energy_params, &counters, &self.noc_power, self.cycle);
         SimReport {

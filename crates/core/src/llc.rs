@@ -162,9 +162,7 @@ impl LlcSlice {
     /// Fraction of MDR epochs that chose replication.
     pub fn mdr_replication_rate(&self) -> f64 {
         match &self.mdr {
-            Some(c) if c.epochs_total > 0 => {
-                c.epochs_replicating as f64 / c.epochs_total as f64
-            }
+            Some(c) if c.epochs_total > 0 => c.epochs_replicating as f64 / c.epochs_total as f64,
             _ => 0.0,
         }
     }
@@ -177,7 +175,10 @@ impl LlcSlice {
 
     /// Accept a home request arriving over the inter-partition NoC.
     pub fn ingress_remote(&mut self, req: MemRequest) {
-        self.hold_remote.push_back(SliceReq { req, role: Role::Home });
+        self.hold_remote.push_back(SliceReq {
+            req,
+            role: Role::Home,
+        });
     }
 
     /// NUBA address-inspection path (Fig. 5 ②): a local SM's request for
@@ -194,7 +195,8 @@ impl LlcSlice {
         if let Some(mdr) = &mut self.mdr {
             mdr.note_request(local_home);
         }
-        self.sampler.observe(line, local_home, !local_home && read_only);
+        self.sampler
+            .observe(line, local_home, !local_home && read_only);
     }
 
     /// Note a remote requester's home access (RMR arrivals) for the
@@ -207,11 +209,15 @@ impl LlcSlice {
     pub fn tick(&mut self, now: u64) {
         // Refill the bounded queues from the ingress holds.
         while !self.lmr.is_full() {
-            let Some(r) = self.hold_local.pop_front() else { break };
+            let Some(r) = self.hold_local.pop_front() else {
+                break;
+            };
             self.lmr.try_push(r).expect("checked not full");
         }
         while !self.rmr.is_full() {
-            let Some(r) = self.hold_remote.pop_front() else { break };
+            let Some(r) = self.hold_remote.pop_front() else {
+                break;
+            };
             self.rmr.try_push(r).expect("checked not full");
         }
 
@@ -222,9 +228,16 @@ impl LlcSlice {
         if !mdr_busy {
             let lmr_ready = !self.lmr.is_empty();
             let rmr_ready = !self.rmr.is_empty();
-            if let Some(which) = self.arb.grant(|i| if i == 0 { lmr_ready } else { rmr_ready }) {
-                let r = if which == 0 { self.lmr.pop() } else { self.rmr.pop() }
-                    .expect("granted queue non-empty");
+            if let Some(which) = self
+                .arb
+                .grant(|i| if i == 0 { lmr_ready } else { rmr_ready })
+            {
+                let r = if which == 0 {
+                    self.lmr.pop()
+                } else {
+                    self.rmr.pop()
+                }
+                .expect("granted queue non-empty");
                 self.pipe.push(r, now, self.latency);
                 self.stats.accesses += 1;
             }
@@ -308,7 +321,12 @@ impl LlcSlice {
                 }
             },
             Role::Replica => {
-                debug_assert!(r.req.kind.is_read_only());
+                nuba_types::invariant!(
+                    "llc_replica_requests_read_only",
+                    r.req.kind.is_read_only(),
+                    "{:?}",
+                    r.req.kind
+                );
                 if self.tags.probe_and_touch(line, now) {
                     self.stats.hits += 1;
                     self.stats.replica_hits += 1;
@@ -397,7 +415,7 @@ impl LlcSlice {
     /// requester's partition — install the replica and wake local
     /// waiters.
     pub fn fill_replica(&mut self, reply: MemReply, now: u64) {
-        debug_assert!(reply.replica_fill);
+        nuba_types::invariant!("llc_replica_fill_flagged", reply.replica_fill);
         if let Some(ev) = self.tags.insert(reply.line, false, true, now) {
             if ev.dirty {
                 self.mem_tasks.push_back(MemTask::Writeback(ev.line));
@@ -524,7 +542,10 @@ mod tests {
         s.ingress_local(req(1, 0x1000, AccessKind::Load), Role::Home);
         let got = run(&mut s, 0, 10);
         assert!(got.is_empty(), "miss produces no reply yet");
-        assert_eq!(s.pop_mem_task(), Some(MemTask::Fetch(LineAddr::containing(0x1000))));
+        assert_eq!(
+            s.pop_mem_task(),
+            Some(MemTask::Fetch(LineAddr::containing(0x1000)))
+        );
 
         s.fill_from_memory(LineAddr::containing(0x1000), 11);
         let got = run(&mut s, 11, 30);
@@ -546,7 +567,10 @@ mod tests {
         s.ingress_local(req(2, 0x1000, AccessKind::Load), Role::Home);
         let _ = run(&mut s, 0, 10);
         // Only one fetch for two requests.
-        assert_eq!(s.pop_mem_task(), Some(MemTask::Fetch(LineAddr::containing(0x1000))));
+        assert_eq!(
+            s.pop_mem_task(),
+            Some(MemTask::Fetch(LineAddr::containing(0x1000)))
+        );
         assert_eq!(s.pop_mem_task(), None);
         s.fill_from_memory(LineAddr::containing(0x1000), 11);
         let got = run(&mut s, 11, 40);
@@ -602,7 +626,10 @@ mod tests {
         // Dirty: flushing produces a writeback.
         while s.pop_mem_task().is_some() {}
         s.flush();
-        assert_eq!(s.pop_mem_task(), Some(MemTask::Writeback(LineAddr::containing(0x3000))));
+        assert_eq!(
+            s.pop_mem_task(),
+            Some(MemTask::Writeback(LineAddr::containing(0x3000)))
+        );
     }
 
     #[test]
@@ -612,7 +639,11 @@ mod tests {
         let _ = run(&mut s, 0, 10);
         let fwd = s.pop_forward().expect("forwarded to home");
         assert!(fwd.wants_replica);
-        assert_eq!(s.pop_mem_task(), None, "replica miss must not touch local DRAM");
+        assert_eq!(
+            s.pop_mem_task(),
+            None,
+            "replica miss must not touch local DRAM"
+        );
         // Home reply comes back: replica installed, waiter replied.
         let reply = MemReply {
             id: fwd.id,

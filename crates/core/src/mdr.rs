@@ -85,7 +85,10 @@ pub fn evaluate(bw: MdrBandwidths, p: MdrProfile) -> MdrEstimate {
     let bw_local_remote = p.frac_local * bw.bw_mem + frac_remote * bw_remote_mem;
     let bw_full_rep = p.hit_full_rep * bw.bw_llc + (miss_full * bw.bw_llc).min(bw_local_remote);
 
-    MdrEstimate { bw_no_rep, bw_full_rep }
+    MdrEstimate {
+        bw_no_rep,
+        bw_full_rep,
+    }
 }
 
 /// Per-slice epoch controller.
@@ -160,7 +163,11 @@ impl MdrController {
         };
         let est = evaluate(
             self.bw,
-            MdrProfile { frac_local, hit_no_rep, hit_full_rep },
+            MdrProfile {
+                frac_local,
+                hit_no_rep,
+                hit_full_rep,
+            },
         );
         self.replicating = est.replicate();
         self.epochs_total += 1;
@@ -177,7 +184,27 @@ impl MdrController {
 /// 8 B/cycle memory (16 B/cycle channel over 2 slices), and the NoC
 /// port bandwidth implied by the configured aggregate.
 pub fn paper_slice_bandwidths(noc_port_bytes_per_cycle: f64) -> MdrBandwidths {
-    MdrBandwidths { bw_llc: 32.0, bw_mem: 8.0, bw_noc: noc_port_bytes_per_cycle }
+    MdrBandwidths {
+        bw_llc: 32.0,
+        bw_mem: 8.0,
+        bw_noc: noc_port_bytes_per_cycle,
+    }
+}
+
+/// The compile-time half of MDR (§5.2) feeding the runtime model above:
+/// the params the flow-sensitive replication-safety pass proves
+/// read-only for `kernel`. Loads from these arrays are issued as
+/// `ld.global.ro` and become the replication candidates the epoch
+/// controller arbitrates over.
+///
+/// This uses [`nuba_compiler::analyze_kernel_flow`], so arrays whose
+/// only stores sit in statically never-taken paths — which the
+/// flow-insensitive [`nuba_compiler::analyze_kernel`] must conservatively
+/// treat as read-write — still qualify (see `tests/mdr_compiler.rs`).
+pub fn replication_candidate_params(
+    kernel: &nuba_compiler::Kernel,
+) -> std::collections::BTreeSet<String> {
+    nuba_compiler::analyze_kernel_flow(kernel).summary.read_only
 }
 
 #[cfg(test)]
@@ -191,14 +218,28 @@ mod tests {
     #[test]
     fn hand_computed_no_rep() {
         // frac_local=1, hit=0.5: BW = 0.5·32 + min(0.5·32, 8) = 16+8 = 24.
-        let est = evaluate(bw(), MdrProfile { frac_local: 1.0, hit_no_rep: 0.5, hit_full_rep: 0.5 });
+        let est = evaluate(
+            bw(),
+            MdrProfile {
+                frac_local: 1.0,
+                hit_no_rep: 0.5,
+                hit_full_rep: 0.5,
+            },
+        );
         assert!((est.bw_no_rep - 24.0).abs() < 1e-12);
     }
 
     #[test]
     fn remote_traffic_is_noc_bound() {
         // All remote, perfect hit rate: remote bw = min(15.6, 32) = 15.6.
-        let est = evaluate(bw(), MdrProfile { frac_local: 0.0, hit_no_rep: 1.0, hit_full_rep: 0.0 });
+        let est = evaluate(
+            bw(),
+            MdrProfile {
+                frac_local: 0.0,
+                hit_no_rep: 1.0,
+                hit_full_rep: 0.0,
+            },
+        );
         assert!((est.bw_no_rep - 15.6).abs() < 1e-12);
     }
 
@@ -208,7 +249,11 @@ mod tests {
         // full-rep hit rate stays high → replication is a clear win.
         let est = evaluate(
             bw(),
-            MdrProfile { frac_local: 0.3, hit_no_rep: 0.8, hit_full_rep: 0.75 },
+            MdrProfile {
+                frac_local: 0.3,
+                hit_no_rep: 0.8,
+                hit_full_rep: 0.75,
+            },
         );
         assert!(est.replicate(), "{est:?}");
         // Sanity: full-rep ≈ 0.75·32 + min(8, …) — far above the
@@ -222,7 +267,11 @@ mod tests {
         // must keep no-replication.
         let est = evaluate(
             bw(),
-            MdrProfile { frac_local: 0.6, hit_no_rep: 0.7, hit_full_rep: 0.15 },
+            MdrProfile {
+                frac_local: 0.6,
+                hit_no_rep: 0.7,
+                hit_full_rep: 0.15,
+            },
         );
         assert!(!est.replicate(), "{est:?}");
     }
@@ -233,7 +282,11 @@ mod tests {
         // rate, same memory path).
         let est = evaluate(
             bw(),
-            MdrProfile { frac_local: 1.0, hit_no_rep: 0.6, hit_full_rep: 0.6 },
+            MdrProfile {
+                frac_local: 1.0,
+                hit_no_rep: 0.6,
+                hit_full_rep: 0.6,
+            },
         );
         assert!(est.bw_full_rep <= est.bw_no_rep + 1e-9);
     }
@@ -248,7 +301,10 @@ mod tests {
         c.tick(999, 0.8, 0.75);
         assert!(!c.replicating(), "epoch boundary not reached yet");
         c.tick(1000, 0.8, 0.75);
-        assert!(c.replicating(), "remote-heavy epoch should enable replication");
+        assert!(
+            c.replicating(),
+            "remote-heavy epoch should enable replication"
+        );
         assert!(c.busy(1100));
         assert!(!c.busy(1200));
         assert_eq!(c.epochs_total, 1);

@@ -140,7 +140,10 @@ mod tests {
             avg_read_latency: 250.0,
             max_read_latency: 900,
             noc_watts: 3.0,
-            energy: EnergyReport { noc_j: 1.0, rest_j: 9.0 },
+            energy: EnergyReport {
+                noc_j: 1.0,
+                rest_j: 9.0,
+            },
         }
     }
 

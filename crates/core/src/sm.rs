@@ -286,7 +286,7 @@ impl Sm {
 
     /// Commit a store or atomic going downstream.
     pub fn commit_write(&mut self, warp: WarpId, kind: AccessKind) {
-        debug_assert!(kind.is_write());
+        nuba_types::invariant!("sm_commit_write_is_write", kind.is_write(), "{kind:?}");
         let w = &mut self.warps[warp.0];
         w.pending = None;
         if kind == AccessKind::Atomic {
@@ -303,7 +303,10 @@ impl Sm {
     /// Block `warp` until the MMU resolves `vpage`.
     pub fn block_translation(&mut self, warp: WarpId, vpage: u64) {
         self.warps[warp.0].state = WarpState::WaitTranslation;
-        self.translation_waiters.entry(vpage).or_default().push(warp);
+        self.translation_waiters
+            .entry(vpage)
+            .or_default()
+            .push(warp);
         self.next_warp = (warp.0 + 1) % self.warps.len();
     }
 
@@ -320,7 +323,13 @@ impl Sm {
     /// Deliver a memory reply; `local` says whether it was serviced in
     /// this SM's partition (Fig. 9 accounting).
     pub fn handle_reply(&mut self, reply: MemReply, now: u64, local: bool) {
-        debug_assert_eq!(reply.sm, self.id);
+        nuba_types::invariant!(
+            "sm_reply_routed_home",
+            reply.sm == self.id,
+            "reply for {:?} delivered to {:?}",
+            reply.sm,
+            self.id
+        );
         self.outstanding = self.outstanding.saturating_sub(1);
         if reply.kind.is_read() {
             self.stats.read_replies += 1;
@@ -378,7 +387,14 @@ mod tests {
     fn sm_with_streams(n: usize) -> Sm {
         let wl = Workload::build(BenchmarkId::Lbm, ScaleProfile::fast(), 64, 9);
         let streams = (0..n).map(|w| wl.stream(SmId(0), WarpId(w))).collect();
-        Sm::new(SmId(0), SmParams { warps: n, ..SmParams::paper() }, streams)
+        Sm::new(
+            SmId(0),
+            SmParams {
+                warps: n,
+                ..SmParams::paper()
+            },
+            streams,
+        )
     }
 
     fn reply(id: u64, line: u64, kind: AccessKind, warp: usize) -> MemReply {
@@ -508,7 +524,14 @@ mod tests {
         // Conv3d has gap 12 → every other op is compute.
         let wl = Workload::build(BenchmarkId::Conv3d, ScaleProfile::fast(), 64, 9);
         let streams = vec![wl.stream(SmId(0), WarpId(0))];
-        let mut sm = Sm::new(SmId(0), SmParams { warps: 1, ..SmParams::paper() }, streams);
+        let mut sm = Sm::new(
+            SmId(0),
+            SmParams {
+                warps: 1,
+                ..SmParams::paper()
+            },
+            streams,
+        );
         let mut mem_ops = 0;
         for c in 0..200 {
             sm.begin_cycle();
@@ -530,7 +553,14 @@ mod tests {
         sm_params_small.max_outstanding = 2;
         let wl = Workload::build(BenchmarkId::Lbm, ScaleProfile::fast(), 64, 9);
         let streams = (0..8).map(|w| wl.stream(SmId(0), WarpId(w))).collect();
-        let mut sm = Sm::new(SmId(0), SmParams { warps: 8, ..sm_params_small }, streams);
+        let mut sm = Sm::new(
+            SmId(0),
+            SmParams {
+                warps: 8,
+                ..sm_params_small
+            },
+            streams,
+        );
         sm.begin_cycle();
         let mut issued = 0;
         let mut lines = 0x1000u64;

@@ -43,14 +43,21 @@ fn kernel_boundaries_cost_performance() {
 #[test]
 fn latency_metrics_are_sane() {
     let (_, r) = run(tiny(ArchKind::MemSideUba), BenchmarkId::Lbm, 10_000);
-    assert!(r.avg_read_latency > 10.0, "avg latency {:.1} implausibly low", r.avg_read_latency);
+    assert!(
+        r.avg_read_latency > 10.0,
+        "avg latency {:.1} implausibly low",
+        r.avg_read_latency
+    );
     assert!(
         (r.max_read_latency as f64) >= r.avg_read_latency,
         "max {} < avg {:.1}",
         r.max_read_latency,
         r.avg_read_latency
     );
-    assert!(r.max_read_latency < 10_000 + 5_000, "latency beyond the window");
+    assert!(
+        r.max_read_latency < 10_000 + 5_000,
+        "latency beyond the window"
+    );
 }
 
 #[test]

@@ -1,0 +1,154 @@
+//! Compile-time → runtime MDR integration: the flow-sensitive
+//! replication-safety pass changes an actual slice-level replication
+//! decision.
+//!
+//! The kernel's only store sits behind a guard a constant comparison
+//! proves never taken. The flow-insensitive analysis must treat array
+//! `A` as read-write, so its loads issue as plain `ld.global` —
+//! `AccessKind::Load` — and a NUBA slice can never install a replica
+//! for them. The flow-sensitive pass proves `A` read-only, the loads
+//! issue as `AccessKind::LoadReadOnly`, and the same access sequence
+//! installs and then hits a local replica.
+
+use nuba_cache::CacheGeometry;
+use nuba_compiler::{analyze_kernel, parse_module, Kernel};
+use nuba_core::mdr::replication_candidate_params;
+use nuba_core::{LlcSlice, MemTask, Role, SliceParams};
+use nuba_types::{AccessKind, PartitionId, PhysAddr, ReqId, SliceId, SmId, VirtAddr, WarpId};
+
+const DEAD_GUARD: &str = r#"
+.visible .entry k(.param .u64 A, .param .u64 OUT)
+{
+    ld.param.u64 %rd1, [A];
+    ld.param.u64 %rd2, [OUT];
+    cvta.to.global.u64 %rd1, %rd1;
+    cvta.to.global.u64 %rd2, %rd2;
+    ld.global.f32 %f1, [%rd1];
+    mov.u32 %r9, 0;
+    setp.eq.u32 %p1, %r9, 1;
+    @%p1 bra DO_STORE;
+    bra END;
+DO_STORE:
+    st.global.f32 [%rd1], %f1;
+END:
+    ret;
+}
+"#;
+
+fn kernel() -> Kernel {
+    parse_module(DEAD_GUARD).unwrap().kernels.remove(0)
+}
+
+/// The access kind the toolchain issues for loads from `param`, given a
+/// read-only candidate set.
+fn kind_for(candidates: &std::collections::BTreeSet<String>, param: &str) -> AccessKind {
+    if candidates.contains(param) {
+        AccessKind::LoadReadOnly
+    } else {
+        AccessKind::Load
+    }
+}
+
+fn params() -> SliceParams {
+    SliceParams {
+        geometry: CacheGeometry::new(48, 16),
+        mshrs: 8,
+        latency: 4,
+        out_bytes_per_cycle: 32,
+        queue_capacity: 8,
+        sample_sets: 8,
+    }
+}
+
+fn req(id: u64, addr: u64, kind: AccessKind) -> nuba_types::MemRequest {
+    nuba_types::MemRequest {
+        id: ReqId(id),
+        sm: SmId(0),
+        warp: WarpId(0),
+        vaddr: VirtAddr(addr),
+        paddr: PhysAddr(addr),
+        kind,
+        issue_cycle: 0,
+        wants_replica: false,
+        bypass_l1: false,
+    }
+}
+
+/// Drive two accesses to one remote line through a local NUBA slice and
+/// its home slice, applying the §5.2 routing rule: read-only accesses
+/// take the replica path while replication is on; everything else is
+/// forwarded straight to the home slice. Returns (replica_fills,
+/// replica_hits, forwards_seen_by_home).
+fn run_remote_access_pair(kind: AccessKind) -> (u64, u64, u64) {
+    // Local slice replicates unconditionally (Full-Rep) so the decision
+    // under test is purely the compiler-assigned access kind.
+    let mut local = LlcSlice::new(SliceId(0), PartitionId(0), params(), None, true);
+    let mut home = LlcSlice::new(SliceId(1), PartitionId(1), params(), None, false);
+    let addr = 0x4_0000;
+    let mut home_ingress = 0u64;
+
+    for (turn, id) in [1u64, 2].into_iter().enumerate() {
+        let request = req(id, addr, kind);
+        if kind.is_read_only() && local.replicating() {
+            local.ingress_local(request, Role::Replica);
+        } else {
+            local.forward_direct(request);
+        }
+        // Enough cycles for each hop; route traffic between the slices.
+        let base = (turn as u64) * 200;
+        for c in base..base + 200 {
+            local.tick(c);
+            home.tick(c);
+            while let Some(fwd) = local.pop_forward() {
+                home_ingress += 1;
+                home.ingress_remote(fwd);
+            }
+            while let Some(MemTask::Fetch(line)) = home.pop_mem_task() {
+                home.fill_from_memory(line, c + 1);
+            }
+            while let Some(reply) = home.pop_reply() {
+                if reply.replica_fill {
+                    local.fill_replica(reply, c + 1);
+                } else {
+                    // Final reply heading back to the SM: consumed here.
+                }
+            }
+            let _ = local.pop_reply();
+        }
+    }
+    (
+        local.stats.replica_fills,
+        local.stats.replica_hits,
+        home_ingress,
+    )
+}
+
+#[test]
+fn flow_sensitive_pass_finds_candidate_the_baseline_misses() {
+    let k = kernel();
+    let flow = replication_candidate_params(&k);
+    let insens = analyze_kernel(&k).read_only;
+    assert!(flow.contains("A"), "{flow:?}");
+    assert!(!insens.contains("A"), "{insens:?}");
+    assert!(flow.is_superset(&insens));
+}
+
+#[test]
+fn candidate_access_kind_enables_replica_path() {
+    let k = kernel();
+    let flow = replication_candidate_params(&k);
+    let insens = analyze_kernel(&k).read_only;
+
+    // Flow-insensitive toolchain: loads from A are plain Loads — both
+    // accesses cross the NoC to the home slice, nothing is replicated.
+    let (fills, hits, crossings) = run_remote_access_pair(kind_for(&insens, "A"));
+    assert_eq!((fills, hits), (0, 0));
+    assert_eq!(crossings, 2, "every access pays the remote round trip");
+
+    // Flow-sensitive toolchain: loads from A are LoadReadOnly — the
+    // first access installs a replica, the second hits it locally.
+    let (fills, hits, crossings) = run_remote_access_pair(kind_for(&flow, "A"));
+    assert_eq!(fills, 1, "first miss installs the replica");
+    assert_eq!(hits, 1, "second access served from the local replica");
+    assert_eq!(crossings, 1, "only the first access crosses the NoC");
+}

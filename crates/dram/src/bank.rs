@@ -29,7 +29,12 @@ pub struct BankState {
 impl BankState {
     /// A precharged, idle bank.
     pub fn new() -> BankState {
-        BankState { open_row: None, act_ready: 0, col_ready: 0, pre_ready: 0 }
+        BankState {
+            open_row: None,
+            act_ready: 0,
+            col_ready: 0,
+            pre_ready: 0,
+        }
     }
 
     /// The currently open row.
@@ -165,7 +170,7 @@ mod tests {
         let mut b = BankState::new();
         b.schedule(1, 0, &t(), 0, false); // ACT@0
         let s = b.schedule(2, 0, &t(), 0, false); // conflict path
-        // tRC=24 from first ACT also bounds the second ACT.
+                                                  // tRC=24 from first ACT also bounds the second ACT.
         assert!(s.act_at.unwrap() >= 24);
     }
 
@@ -181,7 +186,7 @@ mod tests {
     fn write_recovery_delays_precharge() {
         let mut b = BankState::new();
         b.schedule(1, 0, &t(), 0, true); // WR col@7
-        // Next conflict's PRE must wait for tWL + tWR after the write.
+                                         // Next conflict's PRE must wait for tWL + tWR after the write.
         let s = b.schedule(2, 7, &t(), 0, false);
         // pre_ready = max(17, 7 + 2 + 8) = 17 → act 24, col 31.
         assert_eq!(s.col_at, 31);

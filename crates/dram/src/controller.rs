@@ -92,7 +92,11 @@ impl MemoryController {
             act_times: VecDeque::with_capacity(4),
             last_act: None,
             last_write_end: 0,
-            next_refresh: if timing.tREFI > 0 { timing.tREFI } else { u64::MAX },
+            next_refresh: if timing.tREFI > 0 {
+                timing.tREFI
+            } else {
+                u64::MAX
+            },
             stats: DramStats::default(),
         }
     }
@@ -188,7 +192,11 @@ impl MemoryController {
             self.banks[req.bank].schedule(req.row, now, &self.timing, act_constraint, req.is_write);
 
         // Data-bus and write-turnaround constraints on the data phase.
-        let data_latency = if req.is_write { self.timing.tWL } else { self.timing.tCL };
+        let data_latency = if req.is_write {
+            self.timing.tWL
+        } else {
+            self.timing.tCL
+        };
         let mut data_start = sched.col_at + data_latency;
         if !req.is_write && self.last_write_end > 0 {
             data_start = data_start.max(self.last_write_end + self.timing.tWTRs);
@@ -257,7 +265,16 @@ mod tests {
     #[test]
     fn single_read_latency() {
         let mut m = mc();
-        m.try_enqueue(DramRequest { id: 7, bank: 0, row: 1, is_write: false }, 0).unwrap();
+        m.try_enqueue(
+            DramRequest {
+                id: 7,
+                bank: 0,
+                row: 1,
+                is_write: false,
+            },
+            0,
+        )
+        .unwrap();
         let got = run(&mut m, 0, 40);
         // ACT@0 + tRCD(7) + tCL(7) + burst(2) = 16.
         assert_eq!(got, vec![(16, 7)]);
@@ -268,7 +285,16 @@ mod tests {
     fn row_hits_stream_at_bus_rate() {
         let mut m = mc();
         for i in 0..8 {
-            m.try_enqueue(DramRequest { id: i, bank: 0, row: 1, is_write: false }, 0).unwrap();
+            m.try_enqueue(
+                DramRequest {
+                    id: i,
+                    bank: 0,
+                    row: 1,
+                    is_write: false,
+                },
+                0,
+            )
+            .unwrap();
         }
         let got = run(&mut m, 0, 100);
         assert_eq!(got.len(), 8);
@@ -287,11 +313,38 @@ mod tests {
     fn frfcfs_prefers_row_hits_over_older_conflicts() {
         let mut m = mc();
         // Open row 1 on bank 0.
-        m.try_enqueue(DramRequest { id: 0, bank: 0, row: 1, is_write: false }, 0).unwrap();
+        m.try_enqueue(
+            DramRequest {
+                id: 0,
+                bank: 0,
+                row: 1,
+                is_write: false,
+            },
+            0,
+        )
+        .unwrap();
         let _ = run(&mut m, 0, 20);
         // Now: an older conflicting request and a younger row hit.
-        m.try_enqueue(DramRequest { id: 1, bank: 0, row: 9, is_write: false }, 21).unwrap();
-        m.try_enqueue(DramRequest { id: 2, bank: 0, row: 1, is_write: false }, 21).unwrap();
+        m.try_enqueue(
+            DramRequest {
+                id: 1,
+                bank: 0,
+                row: 9,
+                is_write: false,
+            },
+            21,
+        )
+        .unwrap();
+        m.try_enqueue(
+            DramRequest {
+                id: 2,
+                bank: 0,
+                row: 1,
+                is_write: false,
+            },
+            21,
+        )
+        .unwrap();
         let got = run(&mut m, 21, 120);
         let order: Vec<u64> = got.iter().map(|&(_, id)| id).collect();
         assert_eq!(order, vec![2, 1], "row hit must be served first");
@@ -307,13 +360,23 @@ mod tests {
         for i in 0..4 {
             spread
                 .try_enqueue(
-                    DramRequest { id: i, bank: i as usize, row: 1, is_write: false },
+                    DramRequest {
+                        id: i,
+                        bank: i as usize,
+                        row: 1,
+                        is_write: false,
+                    },
                     0,
                 )
                 .unwrap();
             single
                 .try_enqueue(
-                    DramRequest { id: i, bank: 0, row: 1 + i * 100, is_write: false },
+                    DramRequest {
+                        id: i,
+                        bank: 0,
+                        row: 1 + i * 100,
+                        is_write: false,
+                    },
                     0,
                 )
                 .unwrap();
@@ -332,8 +395,16 @@ mod tests {
         // 8 row-miss requests on 8 distinct banks: ACTs are tRRDs=4 apart,
         // and the 5th ACT must also respect tFAW=20 from the 1st.
         for i in 0..8 {
-            m.try_enqueue(DramRequest { id: i, bank: i as usize, row: 1, is_write: false }, 0)
-                .unwrap();
+            m.try_enqueue(
+                DramRequest {
+                    id: i,
+                    bank: i as usize,
+                    row: 1,
+                    is_write: false,
+                },
+                0,
+            )
+            .unwrap();
         }
         let got = run(&mut m, 0, 200);
         assert_eq!(got.len(), 8);
@@ -345,10 +416,33 @@ mod tests {
     #[test]
     fn queue_backpressure() {
         let mut m = MemoryController::new(HbmTiming::paper(), 16, 2, 2);
-        m.try_enqueue(DramRequest { id: 0, bank: 0, row: 0, is_write: false }, 0).unwrap();
-        m.try_enqueue(DramRequest { id: 1, bank: 0, row: 0, is_write: false }, 0).unwrap();
+        m.try_enqueue(
+            DramRequest {
+                id: 0,
+                bank: 0,
+                row: 0,
+                is_write: false,
+            },
+            0,
+        )
+        .unwrap();
+        m.try_enqueue(
+            DramRequest {
+                id: 1,
+                bank: 0,
+                row: 0,
+                is_write: false,
+            },
+            0,
+        )
+        .unwrap();
         assert!(!m.can_accept());
-        let r = DramRequest { id: 2, bank: 0, row: 0, is_write: false };
+        let r = DramRequest {
+            id: 2,
+            bank: 0,
+            row: 0,
+            is_write: false,
+        };
         assert_eq!(m.try_enqueue(r, 0), Err(r));
         assert_eq!(m.stats().rejected, 1);
     }
@@ -356,8 +450,26 @@ mod tests {
     #[test]
     fn write_then_read_pays_turnaround() {
         let mut m = mc();
-        m.try_enqueue(DramRequest { id: 0, bank: 0, row: 1, is_write: true }, 0).unwrap();
-        m.try_enqueue(DramRequest { id: 1, bank: 0, row: 1, is_write: false }, 0).unwrap();
+        m.try_enqueue(
+            DramRequest {
+                id: 0,
+                bank: 0,
+                row: 1,
+                is_write: true,
+            },
+            0,
+        )
+        .unwrap();
+        m.try_enqueue(
+            DramRequest {
+                id: 1,
+                bank: 0,
+                row: 1,
+                is_write: false,
+            },
+            0,
+        )
+        .unwrap();
         let got = run(&mut m, 0, 60);
         // WR col@7, data 9..11; read is a row hit col@8, data would be 15
         // but tWTRs pushes it to ≥ 11 + 2 = 13 → no effect here; ensure
@@ -376,14 +488,25 @@ mod tests {
         for t in 0..4096u64 {
             if m.can_accept() {
                 id += 1;
-                let _ = m.try_enqueue(DramRequest { id, bank: 0, row: 1, is_write: false }, t);
+                let _ = m.try_enqueue(
+                    DramRequest {
+                        id,
+                        bank: 0,
+                        row: 1,
+                        is_write: false,
+                    },
+                    t,
+                );
             }
             m.tick(t, &mut done);
             for (d, _) in done.drain(..) {
                 completions.push((t, d));
             }
         }
-        assert!(m.stats().refreshes >= 2, "tREFI=1365 → ≥2 refreshes in 4096 cycles");
+        assert!(
+            m.stats().refreshes >= 2,
+            "tREFI=1365 → ≥2 refreshes in 4096 cycles"
+        );
         // Rows are closed by refresh, so the same-row stream cannot be
         // all hits.
         assert!(m.stats().row_closed >= 3, "{:?}", m.stats());
@@ -392,7 +515,10 @@ mod tests {
         for w in completions.windows(2) {
             max_gap = max_gap.max(w[1].0 - w[0].0);
         }
-        assert!(max_gap >= 100, "no refresh stall visible, max gap {max_gap}");
+        assert!(
+            max_gap >= 100,
+            "no refresh stall visible, max gap {max_gap}"
+        );
     }
 
     #[test]
@@ -409,7 +535,16 @@ mod tests {
     fn row_hit_rate_reporting() {
         let mut m = mc();
         for i in 0..4 {
-            m.try_enqueue(DramRequest { id: i, bank: 0, row: 1, is_write: false }, 0).unwrap();
+            m.try_enqueue(
+                DramRequest {
+                    id: i,
+                    bank: 0,
+                    row: 1,
+                    is_write: false,
+                },
+                0,
+            )
+            .unwrap();
         }
         let _ = run(&mut m, 0, 60);
         assert!((m.row_hit_rate() - 0.75).abs() < 1e-12);

@@ -76,7 +76,10 @@ impl HbmTiming {
 
     /// Paper timings plus JEDEC-rate all-bank refresh.
     pub fn with_refresh() -> HbmTiming {
-        HbmTiming { tREFI: 1365, ..HbmTiming::paper() }
+        HbmTiming {
+            tREFI: 1365,
+            ..HbmTiming::paper()
+        }
     }
 
     /// Sanity relations a coherent timing set must satisfy.

@@ -27,7 +27,11 @@ pub struct MigrationConfig {
 
 impl Default for MigrationConfig {
     fn default() -> Self {
-        MigrationConfig { interval_accesses: 4096, min_accesses: 8, dominance: 0.3 }
+        MigrationConfig {
+            interval_accesses: 4096,
+            min_accesses: 8,
+            dominance: 0.3,
+        }
     }
 }
 
@@ -101,7 +105,12 @@ impl PageAccessTracker {
             .into_iter()
             .map(|(vpage, from, to)| {
                 driver.migrate_page(vpage, to);
-                MigrationEvent { vpage, from, to, is_replication: false }
+                MigrationEvent {
+                    vpage,
+                    from,
+                    to,
+                    is_replication: false,
+                }
             })
             .collect()
     }
@@ -171,16 +180,21 @@ mod tests {
         let mut d = driver_with_page(0);
         // Partition 2 dominates.
         for _ in 0..20 {
-            d.table_mut().record_access(PageNum(0), SmId(4), PartitionId(2), 4);
+            d.table_mut()
+                .record_access(PageNum(0), SmId(4), PartitionId(2), 4);
         }
-        d.table_mut().record_access(PageNum(0), SmId(0), PartitionId(0), 4);
+        d.table_mut()
+            .record_access(PageNum(0), SmId(0), PartitionId(0), 4);
         let t = PageAccessTracker::new(MigrationConfig::default());
         let events = t.run_migration_pass(&mut d);
         assert_eq!(events.len(), 1);
         assert_eq!(events[0].from, ChannelId(0));
         assert_eq!(events[0].to, ChannelId(2));
         assert!(!events[0].is_replication);
-        assert_eq!(d.translate(PageNum(0), PartitionId(0)).unwrap().channel, ChannelId(2));
+        assert_eq!(
+            d.translate(PageNum(0), PartitionId(0)).unwrap().channel,
+            ChannelId(2)
+        );
     }
 
     #[test]
@@ -189,10 +203,15 @@ mod tests {
         // 50/50 split between partitions 1 and 2: below a 0.6 dominance
         // requirement nothing moves.
         for _ in 0..10 {
-            d.table_mut().record_access(PageNum(0), SmId(2), PartitionId(1), 4);
-            d.table_mut().record_access(PageNum(0), SmId(4), PartitionId(2), 4);
+            d.table_mut()
+                .record_access(PageNum(0), SmId(2), PartitionId(1), 4);
+            d.table_mut()
+                .record_access(PageNum(0), SmId(4), PartitionId(2), 4);
         }
-        let strict = MigrationConfig { dominance: 0.6, ..MigrationConfig::default() };
+        let strict = MigrationConfig {
+            dominance: 0.6,
+            ..MigrationConfig::default()
+        };
         let t = PageAccessTracker::new(strict);
         assert!(t.run_migration_pass(&mut d).is_empty());
     }
@@ -200,7 +219,8 @@ mod tests {
     #[test]
     fn no_migration_below_min_accesses() {
         let mut d = driver_with_page(0);
-        d.table_mut().record_access(PageNum(0), SmId(4), PartitionId(2), 4);
+        d.table_mut()
+            .record_access(PageNum(0), SmId(4), PartitionId(2), 4);
         let t = PageAccessTracker::new(MigrationConfig::default());
         assert!(t.run_migration_pass(&mut d).is_empty());
     }
@@ -215,7 +235,8 @@ mod tests {
         for round in 0..4 {
             let part = if round % 2 == 0 { 2 } else { 1 };
             for _ in 0..20 {
-                d.table_mut().record_access(PageNum(0), SmId(part * 2), PartitionId(part), 4);
+                d.table_mut()
+                    .record_access(PageNum(0), SmId(part * 2), PartitionId(part), 4);
             }
             moves += t.run_migration_pass(&mut d).len();
         }
@@ -226,17 +247,28 @@ mod tests {
     fn replication_copies_to_heavy_remote_readers() {
         let mut d = driver_with_page(0);
         for _ in 0..20 {
-            d.table_mut().record_access(PageNum(0), SmId(4), PartitionId(2), 4);
-            d.table_mut().record_access(PageNum(0), SmId(6), PartitionId(3), 4);
+            d.table_mut()
+                .record_access(PageNum(0), SmId(4), PartitionId(2), 4);
+            d.table_mut()
+                .record_access(PageNum(0), SmId(6), PartitionId(3), 4);
         }
         let t = PageAccessTracker::new(MigrationConfig::default());
         let events = t.run_replication_pass(&mut d);
         assert_eq!(events.len(), 2);
         assert!(events.iter().all(|e| e.is_replication));
-        assert_eq!(d.translate(PageNum(0), PartitionId(2)).unwrap().channel, ChannelId(2));
-        assert_eq!(d.translate(PageNum(0), PartitionId(3)).unwrap().channel, ChannelId(3));
+        assert_eq!(
+            d.translate(PageNum(0), PartitionId(2)).unwrap().channel,
+            ChannelId(2)
+        );
+        assert_eq!(
+            d.translate(PageNum(0), PartitionId(3)).unwrap().channel,
+            ChannelId(3)
+        );
         // Home partition keeps the original.
-        assert_eq!(d.translate(PageNum(0), PartitionId(0)).unwrap().channel, ChannelId(0));
+        assert_eq!(
+            d.translate(PageNum(0), PartitionId(0)).unwrap().channel,
+            ChannelId(0)
+        );
         // Second pass adds nothing new.
         assert!(t.run_replication_pass(&mut d).is_empty());
     }

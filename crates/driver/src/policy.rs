@@ -141,7 +141,12 @@ impl GpuDriver {
 
     /// Migrate `vpage`'s home to `channel` and account for it.
     pub fn migrate_page(&mut self, vpage: PageNum, channel: ChannelId) -> Translation {
-        let old = self.table.entry(vpage).expect("migrating unmapped page").home.channel;
+        let old = self
+            .table
+            .entry(vpage)
+            .expect("migrating unmapped page")
+            .home
+            .channel;
         self.pages_per_channel[old.0] = self.pages_per_channel[old.0].saturating_sub(1);
         self.pages_per_channel[channel.0] += 1;
         self.stats.migrations += 1;
@@ -167,7 +172,8 @@ mod tests {
     use super::*;
 
     fn fault(d: &mut GpuDriver, page: u64, part: usize) -> ChannelId {
-        d.handle_fault(PageNum(page), PartitionId(part), SmId(part * 2)).channel
+        d.handle_fault(PageNum(page), PartitionId(part), SmId(part * 2))
+            .channel
     }
 
     #[test]

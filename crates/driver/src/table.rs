@@ -54,7 +54,10 @@ pub struct PageTable {
 impl PageTable {
     /// An empty table over `num_channels` channels.
     pub fn new(num_channels: usize) -> PageTable {
-        PageTable { entries: HashMap::new(), next_frame: vec![0; num_channels] }
+        PageTable {
+            entries: HashMap::new(),
+            next_frame: vec![0; num_channels],
+        }
     }
 
     /// Whether `vpage` is mapped.
@@ -83,7 +86,10 @@ impl PageTable {
     /// Panics if the page is already mapped (faults are unique) or the
     /// channel id is out of range.
     pub fn map(&mut self, vpage: PageNum, channel: ChannelId, first_toucher: SmId) -> Translation {
-        assert!(!self.entries.contains_key(&vpage), "page {vpage} double-mapped");
+        assert!(
+            !self.entries.contains_key(&vpage),
+            "page {vpage} double-mapped"
+        );
         let frame = self.claim_frame(channel);
         let home = Translation { channel, frame };
         self.entries.insert(
@@ -125,7 +131,8 @@ impl PageTable {
             if e.recent_by_partition.is_empty() {
                 e.recent_by_partition = vec![0; num_partitions];
             }
-            e.recent_by_partition[partition.0] = e.recent_by_partition[partition.0].saturating_add(1);
+            e.recent_by_partition[partition.0] =
+                e.recent_by_partition[partition.0].saturating_add(1);
         }
     }
 
@@ -135,7 +142,10 @@ impl PageTable {
     /// Panics if the page is unmapped.
     pub fn migrate(&mut self, vpage: PageNum, channel: ChannelId) -> Translation {
         let frame = self.claim_frame(channel);
-        let e = self.entries.get_mut(&vpage).expect("migrating unmapped page");
+        let e = self
+            .entries
+            .get_mut(&vpage)
+            .expect("migrating unmapped page");
         e.home = Translation { channel, frame };
         e.recent_by_partition.iter_mut().for_each(|c| *c = 0);
         e.home
@@ -145,7 +155,9 @@ impl PageTable {
     /// (page replication, §7.6). No-op if one already exists.
     pub fn add_replica(&mut self, vpage: PageNum, partition: PartitionId, channel: ChannelId) {
         let frame = self.claim_frame(channel);
-        let Some(e) = self.entries.get_mut(&vpage) else { return };
+        let Some(e) = self.entries.get_mut(&vpage) else {
+            return;
+        };
         if e.replicas.iter().any(|(p, _)| *p == partition) {
             return;
         }
@@ -233,8 +245,16 @@ mod tests {
         t.record_access(PageNum(0), SmId(1), PartitionId(1), 2);
         let tr = t.migrate(PageNum(0), ChannelId(1));
         assert_eq!(tr.channel, ChannelId(1));
-        assert_eq!(t.translate(PageNum(0), PartitionId(0)).unwrap().channel, ChannelId(1));
-        assert!(t.entry(PageNum(0)).unwrap().recent_by_partition.iter().all(|&c| c == 0));
+        assert_eq!(
+            t.translate(PageNum(0), PartitionId(0)).unwrap().channel,
+            ChannelId(1)
+        );
+        assert!(t
+            .entry(PageNum(0))
+            .unwrap()
+            .recent_by_partition
+            .iter()
+            .all(|&c| c == 0));
     }
 
     #[test]
@@ -242,8 +262,14 @@ mod tests {
         let mut t = PageTable::new(4);
         t.map(PageNum(0), ChannelId(0), SmId(0));
         t.add_replica(PageNum(0), PartitionId(2), ChannelId(2));
-        assert_eq!(t.translate(PageNum(0), PartitionId(2)).unwrap().channel, ChannelId(2));
-        assert_eq!(t.translate(PageNum(0), PartitionId(1)).unwrap().channel, ChannelId(0));
+        assert_eq!(
+            t.translate(PageNum(0), PartitionId(2)).unwrap().channel,
+            ChannelId(2)
+        );
+        assert_eq!(
+            t.translate(PageNum(0), PartitionId(1)).unwrap().channel,
+            ChannelId(0)
+        );
         // Idempotent.
         t.add_replica(PageNum(0), PartitionId(2), ChannelId(2));
         assert_eq!(t.entry(PageNum(0)).unwrap().replicas.len(), 1);

@@ -86,7 +86,11 @@ impl<T: Wire> BandwidthLink<T> {
     ///
     /// Must be called with non-decreasing `now` values.
     pub fn tick(&mut self, now: Cycle, out: &mut Vec<T>) {
-        debug_assert!(self.last_tick.is_none_or(|t| t <= now), "time went backwards");
+        nuba_types::invariant!(
+            "link_time_monotonic",
+            self.last_tick.is_none_or(|t| t <= now),
+            "time went backwards"
+        );
         self.last_tick = Some(now);
 
         if !self.queue.is_empty() {

@@ -19,7 +19,9 @@ pub struct LatencyPipe<T> {
 impl<T> LatencyPipe<T> {
     /// Create an empty pipe.
     pub fn new() -> LatencyPipe<T> {
-        LatencyPipe { inflight: VecDeque::new() }
+        LatencyPipe {
+            inflight: VecDeque::new(),
+        }
     }
 
     /// Schedule `item` to become ready at `now + latency`.
@@ -30,7 +32,8 @@ impl<T> LatencyPipe<T> {
     /// per fixed latency.
     pub fn push(&mut self, item: T, now: Cycle, latency: u64) {
         let ready = now + latency;
-        debug_assert!(
+        nuba_types::invariant!(
+            "pipe_monotonic_ready",
             self.inflight.back().is_none_or(|(r, _)| *r <= ready),
             "LatencyPipe requires monotonic ready times"
         );

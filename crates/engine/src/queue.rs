@@ -22,7 +22,10 @@ impl<T> BoundedQueue<T> {
     /// exist.
     pub fn new(capacity: usize) -> BoundedQueue<T> {
         assert!(capacity > 0, "queue capacity must be non-zero");
-        BoundedQueue { items: VecDeque::with_capacity(capacity.min(1024)), capacity }
+        BoundedQueue {
+            items: VecDeque::with_capacity(capacity.min(1024)),
+            capacity,
+        }
     }
 
     /// Push to the tail; returns the item back if the queue is full.

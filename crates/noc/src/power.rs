@@ -50,7 +50,13 @@ impl NocPowerModel {
     ) -> NocPowerModel {
         assert!(radix > 0, "radix must be non-zero");
         assert!(port_bytes_per_cycle > 0.0 && clock_hz > 0.0);
-        NocPowerModel { params, radix, port_bytes_per_cycle, stages, clock_hz }
+        NocPowerModel {
+            params,
+            radix,
+            port_bytes_per_cycle,
+            stages,
+            clock_hz,
+        }
     }
 
     /// Convenience: model from an aggregate bandwidth in bytes/cycle
@@ -62,7 +68,13 @@ impl NocPowerModel {
         stages: u32,
         clock_hz: f64,
     ) -> NocPowerModel {
-        NocPowerModel::new(params, radix, total_bytes_per_cycle / radix as f64, stages, clock_hz)
+        NocPowerModel::new(
+            params,
+            radix,
+            total_bytes_per_cycle / radix as f64,
+            stages,
+            clock_hz,
+        )
     }
 
     /// Dynamic energy per byte moved end-to-end, in picojoules.
@@ -147,8 +159,7 @@ mod tests {
         let nuba_bytes = (uba_bytes as f64 * 0.36) as u64;
         let uba = model(64, 4000.0);
         let nuba = model(64, 500.0);
-        let ratio =
-            uba.average_watts(uba_bytes, cycles) / nuba.average_watts(nuba_bytes, cycles);
+        let ratio = uba.average_watts(uba_bytes, cycles) / nuba.average_watts(nuba_bytes, cycles);
         assert!(
             (6.0..25.0).contains(&ratio),
             "iso-performance NoC power ratio {ratio:.1} outside plausible band"

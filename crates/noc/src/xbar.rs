@@ -6,6 +6,8 @@ use std::collections::VecDeque;
 /// Aggregate crossbar statistics for power/energy models.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct NocStats {
+    /// Packets accepted at injection ports.
+    pub injected: u64,
     /// Packets delivered.
     pub packets: u64,
     /// Bytes delivered (wire bytes, including control).
@@ -96,7 +98,10 @@ impl<T: Wire> CrossbarNoc<T> {
     pub fn try_send(&mut self, port: usize, dest: usize, item: T, now: u64) -> Result<(), T> {
         assert!(dest < self.outputs.len(), "dest {dest} out of range");
         match self.inputs[port].try_send(Routed { dest, item }, now) {
-            Ok(()) => Ok(()),
+            Ok(()) => {
+                self.stats.injected += 1;
+                Ok(())
+            }
             Err(e) => {
                 self.stats.inject_stalls += 1;
                 Err(e.0.item)
@@ -171,6 +176,23 @@ impl<T: Wire> CrossbarNoc<T> {
     pub fn stats(&self) -> NocStats {
         self.stats
     }
+
+    /// Flit conservation: every packet accepted at an injection port is
+    /// either delivered (counted in `stats.packets`, whether or not the
+    /// consumer has drained it yet) or still traversing a stage — the
+    /// fabric never drops or duplicates traffic. Holds exactly at any
+    /// instant; a violation is counted against the
+    /// `noc_flits_conserved` invariant (and panics in debug builds).
+    pub fn check_conservation(&self) {
+        let traversing = self.inputs.iter().map(|l| l.pending()).sum::<usize>()
+            + self.staged.iter().map(VecDeque::len).sum::<usize>()
+            + self.outputs.iter().map(|l| l.pending()).sum::<usize>();
+        nuba_types::check_conserved!(
+            "noc_flits_conserved",
+            self.stats.injected,
+            self.stats.packets + traversing as u64
+        );
+    }
 }
 
 impl<T: Wire> std::fmt::Debug for CrossbarNoc<T> {
@@ -220,6 +242,25 @@ mod tests {
         assert_eq!(got.len(), 1);
         assert!((20..=30).contains(&got[0].0), "arrived at {}", got[0].0);
         assert_eq!(noc.stats().bytes, 136);
+    }
+
+    #[test]
+    fn flits_conserved_mid_flight_and_after_delivery() {
+        let mut noc = CrossbarNoc::new(4, 4, 16.0, 4, 8);
+        noc.try_send(0, 2, Pkt(136, 1), 0).unwrap();
+        noc.try_send(1, 3, Pkt(64, 2), 0).unwrap();
+        assert_eq!(noc.stats().injected, 2);
+        for c in 0..60 {
+            noc.tick(c);
+            noc.check_conservation();
+        }
+        let mut out = Vec::new();
+        noc.drain_port(2, &mut out);
+        noc.drain_port(3, &mut out);
+        assert_eq!(out.len(), 2);
+        assert_eq!(noc.stats().packets, 2);
+        assert_eq!(noc.in_flight(), 0);
+        noc.check_conservation();
     }
 
     #[test]
@@ -284,7 +325,10 @@ mod tests {
             out.clear();
         }
         let rate = noc.stats().bytes as f64 / cycles as f64;
-        assert!(rate > 0.9 * 64.0, "aggregate rate {rate} too low (sent {sent})");
+        assert!(
+            rate > 0.9 * 64.0,
+            "aggregate rate {rate} too low (sent {sent})"
+        );
     }
 
     #[test]

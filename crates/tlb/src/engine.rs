@@ -162,8 +162,14 @@ impl TranslationEngine {
             o.waiters.push(sm);
             return TranslationOutcome::Pending;
         }
-        self.outstanding
-            .insert(vpage, Outstanding { waiters: vec![sm], mapped, stage: Stage::L2Queued });
+        self.outstanding.insert(
+            vpage,
+            Outstanding {
+                waiters: vec![sm],
+                mapped,
+                stage: Stage::L2Queued,
+            },
+        );
         self.l2_queue.push_back(vpage);
         TranslationOutcome::Pending
     }
@@ -211,19 +217,35 @@ impl TranslationEngine {
 
         // Start walks while walkers are free.
         while self.active_walks < self.params.walkers {
-            let Some(vpage) = self.walk_queue.pop_front() else { break };
-            let Some(o) = self.outstanding.get_mut(&vpage) else { continue };
-            let extra = if o.mapped { 0 } else { self.params.fault_latency };
-            o.stage = Stage::Walking { done_at: now + self.params.walk_latency + extra };
+            let Some(vpage) = self.walk_queue.pop_front() else {
+                break;
+            };
+            let Some(o) = self.outstanding.get_mut(&vpage) else {
+                continue;
+            };
+            let extra = if o.mapped {
+                0
+            } else {
+                self.params.fault_latency
+            };
+            o.stage = Stage::Walking {
+                done_at: now + self.params.walk_latency + extra,
+            };
             self.active_walks += 1;
             self.stats.walks += 1;
         }
 
         // Start up to `l2_ports` L2 accesses.
         for _ in 0..self.params.l2_ports {
-            let Some(vpage) = self.l2_queue.pop_front() else { break };
-            let Some(o) = self.outstanding.get_mut(&vpage) else { continue };
-            o.stage = Stage::L2Access { done_at: now + self.params.l2_latency };
+            let Some(vpage) = self.l2_queue.pop_front() else {
+                break;
+            };
+            let Some(o) = self.outstanding.get_mut(&vpage) else {
+                continue;
+            };
+            o.stage = Stage::L2Access {
+                done_at: now + self.params.l2_latency,
+            };
         }
     }
 
@@ -291,7 +313,10 @@ mod tests {
     #[test]
     fn cold_translation_walks() {
         let mut e = engine();
-        assert_eq!(e.request(SmId(0), PageNum(7), 0, true), TranslationOutcome::Pending);
+        assert_eq!(
+            e.request(SmId(0), PageNum(7), 0, true),
+            TranslationOutcome::Pending
+        );
         let got = run(&mut e, 0, 400);
         assert_eq!(got.len(), 1);
         let (t, d) = got[0];
@@ -307,9 +332,15 @@ mod tests {
         let mut e = engine();
         e.request(SmId(0), PageNum(7), 0, true);
         let _ = run(&mut e, 0, 400);
-        assert_eq!(e.request(SmId(0), PageNum(7), 400, true), TranslationOutcome::HitL1);
+        assert_eq!(
+            e.request(SmId(0), PageNum(7), 400, true),
+            TranslationOutcome::HitL1
+        );
         // A different SM misses L1 but hits L2.
-        assert_eq!(e.request(SmId(1), PageNum(7), 400, true), TranslationOutcome::Pending);
+        assert_eq!(
+            e.request(SmId(1), PageNum(7), 400, true),
+            TranslationOutcome::Pending
+        );
         let got = run(&mut e, 400, 500);
         assert_eq!(got.len(), 1);
         assert!(got[0].0 <= 415, "L2 hit should be fast, got {}", got[0].0);
@@ -359,7 +390,10 @@ mod tests {
     #[test]
     fn walker_pool_limit() {
         let mut small = TranslationEngine::new(
-            TlbParams { walkers: 1, ..TlbParams::paper() },
+            TlbParams {
+                walkers: 1,
+                ..TlbParams::paper()
+            },
             2,
         );
         for i in 0..3 {
@@ -378,7 +412,10 @@ mod tests {
         e.request(SmId(0), PageNum(7), 0, true);
         let _ = run(&mut e, 0, 400);
         e.flush();
-        assert_eq!(e.request(SmId(0), PageNum(7), 500, true), TranslationOutcome::Pending);
+        assert_eq!(
+            e.request(SmId(0), PageNum(7), 500, true),
+            TranslationOutcome::Pending
+        );
         let got = run(&mut e, 500, 1000);
         assert_eq!(got.len(), 1);
         assert_eq!(e.stats().walks, 2);

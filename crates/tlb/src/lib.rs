@@ -37,5 +37,7 @@
 pub mod engine;
 pub mod tlb;
 
-pub use engine::{CompletedTranslation, TlbParams, TlbStats, TranslationEngine, TranslationOutcome};
+pub use engine::{
+    CompletedTranslation, TlbParams, TlbStats, TranslationEngine, TranslationOutcome,
+};
 pub use tlb::Tlb;

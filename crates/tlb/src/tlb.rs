@@ -75,7 +75,11 @@ impl Tlb {
             return None;
         }
         if let Some(e) = ways.iter_mut().find(|e| !e.valid) {
-            *e = Entry { valid: true, vpage, last_use: self.stamp };
+            *e = Entry {
+                valid: true,
+                vpage,
+                last_use: self.stamp,
+            };
             return None;
         }
         let victim = ways
@@ -83,7 +87,11 @@ impl Tlb {
             .min_by_key(|e| e.last_use)
             .expect("non-empty set");
         let evicted = victim.vpage;
-        *victim = Entry { valid: true, vpage, last_use: self.stamp };
+        *victim = Entry {
+            valid: true,
+            vpage,
+            last_use: self.stamp,
+        };
         Some(evicted)
     }
 

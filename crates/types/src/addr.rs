@@ -46,14 +46,14 @@ impl VirtAddr {
     /// Panics in debug builds if `page_bytes` is not a power of two.
     #[inline]
     pub fn page(self, page_bytes: u64) -> PageNum {
-        debug_assert!(page_bytes.is_power_of_two());
+        crate::invariant!("addr_page_size_pow2", page_bytes.is_power_of_two());
         PageNum(self.0 >> page_bytes.trailing_zeros())
     }
 
     /// Byte offset within the page for a given page size.
     #[inline]
     pub fn page_offset(self, page_bytes: u64) -> u64 {
-        debug_assert!(page_bytes.is_power_of_two());
+        crate::invariant!("addr_page_size_pow2", page_bytes.is_power_of_two());
         self.0 & (page_bytes - 1)
     }
 

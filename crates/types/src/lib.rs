@@ -8,7 +8,9 @@
 //!
 //! Every other crate in the workspace builds on these types, so this crate
 //! is dependency-free and deliberately small-surfaced: plain data, newtypes
-//! and pure functions only.
+//! and pure functions, plus the [`invariant!`](crate::invariant!) /
+//! [`check_conserved!`](crate::check_conserved!) machinery every layer
+//! uses to name and count its conservation checks (see [`invariant`]).
 //!
 //! ## Example
 //!
@@ -24,6 +26,7 @@
 pub mod addr;
 pub mod config;
 pub mod ids;
+pub mod invariant;
 pub mod mapping;
 pub mod packet;
 pub mod stats;

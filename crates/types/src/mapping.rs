@@ -120,8 +120,19 @@ impl AddressMapping {
     /// `channel` yields addresses whose channel bits decode back to
     /// `channel` under [`MappingKind::FixedChannel`].
     pub fn compose(&self, channel: ChannelId, frame: u64, offset: u64) -> PhysAddr {
-        debug_assert!(channel.0 < self.num_channels);
-        debug_assert!(offset < (1u64 << self.page_shift));
+        crate::invariant!(
+            "mapping_channel_in_range",
+            channel.0 < self.num_channels,
+            "channel {} of {}",
+            channel.0,
+            self.num_channels
+        );
+        crate::invariant!(
+            "mapping_offset_in_page",
+            offset < (1u64 << self.page_shift),
+            "offset {offset:#x} with page_shift {}",
+            self.page_shift
+        );
         let raw = offset
             | ((channel.0 as u64) << self.page_shift)
             | (frame << (self.page_shift + self.channel_bits));
@@ -164,9 +175,8 @@ impl AddressMapping {
             }
         };
 
-        let home_slice = SliceId(
-            channel * self.slices_per_channel + (bank & (self.slices_per_channel - 1)),
-        );
+        let home_slice =
+            SliceId(channel * self.slices_per_channel + (bank & (self.slices_per_channel - 1)));
         DecodedAddr {
             channel: ChannelId(channel),
             bank,
@@ -269,7 +279,11 @@ mod tests {
         }
         // Entropy harvest should spread frames of "channel 0" across many
         // physical channels.
-        assert!(channels.len() > 8, "PAE spread only {} channels", channels.len());
+        assert!(
+            channels.len() > 8,
+            "PAE spread only {} channels",
+            channels.len()
+        );
     }
 
     #[test]

@@ -33,7 +33,10 @@ pub enum AccessKind {
 impl AccessKind {
     /// Whether this access reads data back to the SM.
     pub fn is_read(self) -> bool {
-        matches!(self, AccessKind::Load | AccessKind::LoadReadOnly | AccessKind::Atomic)
+        matches!(
+            self,
+            AccessKind::Load | AccessKind::LoadReadOnly | AccessKind::Atomic
+        )
     }
 
     /// Whether the compiler marked this access read-only (replicable).

@@ -58,7 +58,10 @@ pub struct RateTracker {
 impl RateTracker {
     /// New tracker with its window starting at `cycle`.
     pub fn starting_at(cycle: u64) -> RateTracker {
-        RateTracker { events: 0, window_start: cycle }
+        RateTracker {
+            events: 0,
+            window_start: cycle,
+        }
     }
 
     /// Record `n` events.
@@ -105,7 +108,10 @@ pub fn harmonic_mean_speedup(speedups: &[f64]) -> f64 {
     }
     let mut denom = 0.0;
     for &s in speedups {
-        assert!(s.is_finite() && s > 0.0, "speedup must be positive, got {s}");
+        assert!(
+            s.is_finite() && s > 0.0,
+            "speedup must be positive, got {s}"
+        );
         denom += 1.0 / s;
     }
     speedups.len() as f64 / denom
@@ -150,7 +156,11 @@ impl Summary {
             max = max.max(v);
             sum += v;
         }
-        Some(Summary { min, mean: sum / values.len() as f64, max })
+        Some(Summary {
+            min,
+            mean: sum / values.len() as f64,
+            max,
+        })
     }
 }
 

@@ -7,7 +7,7 @@
 //! these kernels — not the spec — to decide which loads are issued as
 //! `ld.global.ro`, exactly as the paper's toolchain would.
 
-use nuba_compiler::{analyze_kernel, parse_module, Module};
+use nuba_compiler::{analyze_kernel_flow, parse_module, Module};
 
 use crate::spec::PatternFamily;
 
@@ -35,10 +35,14 @@ pub fn family_module(family: PatternFamily) -> Module {
 /// The parameters the compiler proves read-only for this family's
 /// kernel. The stream generator tags accesses to the matching regions as
 /// `ld.global.ro`.
+///
+/// Uses the flow-sensitive pass: its `read_only` set is a guaranteed
+/// superset of the flow-insensitive one (`kernels.rs` tests pin both
+/// directions), so replication candidates can only grow.
 pub fn family_readonly_params(family: PatternFamily) -> Vec<String> {
     let module = family_module(family);
-    let summary = analyze_kernel(&module.kernels[0]);
-    summary.read_only.into_iter().collect()
+    let safety = analyze_kernel_flow(&module.kernels[0]);
+    safety.summary.read_only.into_iter().collect()
 }
 
 /// `P[i] = f(S[i'], P[i])`: streaming map with a broadcast coefficient
@@ -270,7 +274,10 @@ mod tests {
     fn shared_array_is_read_only_in_every_family() {
         for f in ALL_FAMILIES {
             let ro = family_readonly_params(f);
-            assert!(ro.contains(&"S".to_string()), "{f:?}: S not read-only ({ro:?})");
+            assert!(
+                ro.contains(&"S".to_string()),
+                "{f:?}: S not read-only ({ro:?})"
+            );
         }
     }
 
@@ -285,10 +292,16 @@ mod tests {
         // P is stored in most kernels; W is stored or atomically updated.
         for f in ALL_FAMILIES {
             let ro = family_readonly_params(f);
-            assert!(!ro.contains(&"P".to_string()), "{f:?}: P must be read-write");
+            assert!(
+                !ro.contains(&"P".to_string()),
+                "{f:?}: P must be read-write"
+            );
         }
         let mr = family_readonly_params(PatternFamily::MapReduce);
-        assert!(!mr.contains(&"W".to_string()), "atomic bins must be read-write");
+        assert!(
+            !mr.contains(&"W".to_string()),
+            "atomic bins must be read-write"
+        );
         let st = family_readonly_params(PatternFamily::Stencil);
         assert!(!st.contains(&"W".to_string()), "stencil W is stored");
     }
@@ -301,6 +314,21 @@ mod tests {
             assert!(
                 rewritten.to_ptx().contains("ld.global.ro"),
                 "{f:?}: no .ro load produced"
+            );
+        }
+    }
+
+    #[test]
+    fn flow_sensitive_never_loses_readonly_params() {
+        use nuba_compiler::analyze_kernel;
+        for f in ALL_FAMILIES {
+            let m = family_module(f);
+            let fi = analyze_kernel(&m.kernels[0]).read_only;
+            let fs: std::collections::BTreeSet<String> =
+                family_readonly_params(f).into_iter().collect();
+            assert!(
+                fs.is_superset(&fi),
+                "{f:?}: flow-sensitive lost {fi:?} → {fs:?}"
             );
         }
     }

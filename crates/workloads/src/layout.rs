@@ -83,14 +83,17 @@ impl WorkloadLayout {
         let mut rng = SmallRng::seed_from_u64(seed ^ 0xb16_b00 ^ spec.abbr.len() as u64);
 
         let total = scale.total_pages(spec);
-        let shared_total =
-            ((total as f64 * spec.shared_page_fraction).round() as u64).min(total.saturating_sub(num_sms as u64)).max(1);
+        let shared_total = ((total as f64 * spec.shared_page_fraction).round() as u64)
+            .min(total.saturating_sub(num_sms as u64))
+            .max(1);
         let ro_count = scale.ro_pages(spec).min(shared_total);
         let rw_count = shared_total - ro_count;
         let private_total = total - shared_total;
         let private_per_sm = (private_total / num_sms as u64).max(1);
 
-        let hot_count = ((ro_count as f64 * spec.hot_fraction).round() as u64).max(1).min(ro_count.max(1));
+        let hot_count = ((ro_count as f64 * spec.hot_fraction).round() as u64)
+            .max(1)
+            .min(ro_count.max(1));
 
         let draw_window = |rng: &mut SmallRng| -> (usize, usize) {
             let b = rng.gen::<f64>();
@@ -109,13 +112,23 @@ impl WorkloadLayout {
         let ro_pages: Vec<SharedPage> = (0..ro_count)
             .map(|i| {
                 let (start, len) = draw_window(&mut rng);
-                SharedPage { vpage: i, window_start: start, window_len: len, hot: i < hot_count }
+                SharedPage {
+                    vpage: i,
+                    window_start: start,
+                    window_len: len,
+                    hot: i < hot_count,
+                }
             })
             .collect();
         let rw_shared_pages: Vec<SharedPage> = (0..rw_count)
             .map(|i| {
                 let (start, len) = draw_window(&mut rng);
-                SharedPage { vpage: ro_count + i, window_start: start, window_len: len, hot: false }
+                SharedPage {
+                    vpage: ro_count + i,
+                    window_start: start,
+                    window_len: len,
+                    hot: false,
+                }
             })
             .collect();
 
@@ -228,7 +241,12 @@ mod tests {
 
     #[test]
     fn window_cover_wraps() {
-        let p = SharedPage { vpage: 0, window_start: 60, window_len: 8, hot: false };
+        let p = SharedPage {
+            vpage: 0,
+            window_start: 60,
+            window_len: 8,
+            hot: false,
+        };
         assert!(p.covers(60, 64));
         assert!(p.covers(63, 64));
         assert!(p.covers(0, 64)); // wrapped
@@ -258,15 +276,21 @@ mod tests {
     #[test]
     fn high_sharing_has_wide_windows() {
         let l = layout(BenchmarkId::SqueezeNet);
-        let avg: f64 = l.ro_pages.iter().map(|p| p.window_len as f64).sum::<f64>()
-            / l.ro_pages.len() as f64;
+        let avg: f64 =
+            l.ro_pages.iter().map(|p| p.window_len as f64).sum::<f64>() / l.ro_pages.len() as f64;
         assert!(avg > 25.0, "SN windows too narrow: {avg}");
     }
 
     #[test]
     fn low_sharing_has_narrow_windows() {
         let l = layout(BenchmarkId::Lbm);
-        let max = l.ro_pages.iter().chain(&l.rw_shared_pages).map(|p| p.window_len).max().unwrap();
+        let max = l
+            .ro_pages
+            .iter()
+            .chain(&l.rw_shared_pages)
+            .map(|p| p.window_len)
+            .max()
+            .unwrap();
         assert!(max <= 10, "LBM windows too wide: {max}");
     }
 

@@ -94,8 +94,7 @@ impl Workload {
     /// round-robin.
     pub fn from_trace(trace: Trace) -> Workload {
         let num_sms = trace.num_sms;
-        let layout =
-            WorkloadLayout::for_trace(trace.page_bytes, trace.total_pages, num_sms);
+        let layout = WorkloadLayout::for_trace(trace.page_bytes, trace.total_pages, num_sms);
         Workload {
             spec: None,
             trace: Some(std::sync::Arc::new(trace)),
@@ -150,4 +149,3 @@ impl Workload {
         }
     }
 }
-

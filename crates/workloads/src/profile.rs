@@ -52,15 +52,18 @@ pub fn sharing_buckets(layout: &WorkloadLayout, num_sms: usize) -> SharingProfil
     for (b, &c) in buckets.iter_mut().zip(&counts) {
         *b = c as f64 / total as f64;
     }
-    SharingProfile { buckets, total_pages: total }
+    SharingProfile {
+        buckets,
+        total_pages: total,
+    }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::layout::WorkloadLayout;
     use crate::scale::ScaleProfile;
     use crate::spec::{BenchmarkId, SharingClass};
-    use crate::layout::WorkloadLayout;
 
     fn profile(b: BenchmarkId) -> SharingProfile {
         let l = WorkloadLayout::build(b.spec(), &ScaleProfile::default(), 64, 3);
@@ -95,7 +98,12 @@ mod tests {
     fn fig3_low_sharing_examples() {
         // "For low-sharing applications, more than 80% of the memory
         // pages are accessed by a single SM."
-        for b in [BenchmarkId::Lbm, BenchmarkId::Mvt, BenchmarkId::Atax, BenchmarkId::Gesummv] {
+        for b in [
+            BenchmarkId::Lbm,
+            BenchmarkId::Mvt,
+            BenchmarkId::Atax,
+            BenchmarkId::Gesummv,
+        ] {
             let p = profile(b);
             assert!(p.buckets[0] > 0.8, "{b}: {:?}", p.buckets);
             // And their shared tail sits in the 2–10 bucket.
@@ -107,7 +115,11 @@ mod tests {
     fn fig3_wide_sharing_examples() {
         // "more than 70% of the memory pages are shared by 26–64 SMs for
         // AN, SN and GRU".
-        for b in [BenchmarkId::AlexNet, BenchmarkId::SqueezeNet, BenchmarkId::Gru] {
+        for b in [
+            BenchmarkId::AlexNet,
+            BenchmarkId::SqueezeNet,
+            BenchmarkId::Gru,
+        ] {
             let p = profile(b);
             let shared_pages = p.shared_fraction();
             assert!(
@@ -131,7 +143,10 @@ mod tests {
         // The paper stresses MVT/ATAX/GESUMM are irregular *and*
         // low-sharing while NW/BICG are irregular and high-sharing.
         assert_eq!(profile(BenchmarkId::Mvt).classify(), SharingClass::Low);
-        assert_eq!(profile(BenchmarkId::NeedlemanWunsch).classify(), SharingClass::High);
+        assert_eq!(
+            profile(BenchmarkId::NeedlemanWunsch).classify(),
+            SharingClass::High
+        );
         assert_eq!(profile(BenchmarkId::Bicg).classify(), SharingClass::High);
     }
 }

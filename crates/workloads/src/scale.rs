@@ -25,19 +25,30 @@ pub struct ScaleProfile {
 
 impl Default for ScaleProfile {
     fn default() -> Self {
-        ScaleProfile { pages_per_mb: 256.0, cap_mb: 32.0, page_bytes: 4096 }
+        ScaleProfile {
+            pages_per_mb: 256.0,
+            cap_mb: 32.0,
+            page_bytes: 4096,
+        }
     }
 }
 
 impl ScaleProfile {
     /// A profile for 2 MB huge pages (Fig. 14 sensitivity).
     pub fn huge_pages() -> ScaleProfile {
-        ScaleProfile { page_bytes: 2 << 20, ..ScaleProfile::default() }
+        ScaleProfile {
+            page_bytes: 2 << 20,
+            ..ScaleProfile::default()
+        }
     }
 
     /// A cheaper profile for quick tests: quarter-density, 8 MB cap.
     pub fn fast() -> ScaleProfile {
-        ScaleProfile { pages_per_mb: 64.0, cap_mb: 8.0, page_bytes: 4096 }
+        ScaleProfile {
+            pages_per_mb: 64.0,
+            cap_mb: 8.0,
+            page_bytes: 4096,
+        }
     }
 
     /// Effective (possibly clipped) footprint in MB.

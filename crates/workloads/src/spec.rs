@@ -344,7 +344,11 @@ impl BenchmarkId {
 
     /// The benchmarks of one sharing class, in Table 2 order.
     pub fn with_sharing(class: SharingClass) -> Vec<BenchmarkId> {
-        BenchmarkId::ALL.iter().copied().filter(|b| b.spec().sharing == class).collect()
+        BenchmarkId::ALL
+            .iter()
+            .copied()
+            .filter(|b| b.spec().sharing == class)
+            .collect()
     }
 }
 
@@ -417,9 +421,16 @@ mod tests {
     fn abbreviations_are_unique_and_resolvable() {
         let mut seen = std::collections::HashSet::new();
         for &b in BenchmarkId::ALL {
-            assert!(seen.insert(b.spec().abbr), "duplicate abbr {}", b.spec().abbr);
+            assert!(
+                seen.insert(b.spec().abbr),
+                "duplicate abbr {}",
+                b.spec().abbr
+            );
             assert_eq!(BenchmarkId::from_abbr(b.spec().abbr), Some(b));
-            assert_eq!(BenchmarkId::from_abbr(&b.spec().abbr.to_lowercase()), Some(b));
+            assert_eq!(
+                BenchmarkId::from_abbr(&b.spec().abbr.to_lowercase()),
+                Some(b)
+            );
         }
         assert_eq!(BenchmarkId::from_abbr("NOPE"), None);
     }
@@ -449,10 +460,18 @@ mod tests {
                 s.write_fraction,
                 s.l1_reuse,
             ] {
-                assert!((0.0..=1.0).contains(&v), "{}: knob {v} out of range", s.abbr);
+                assert!(
+                    (0.0..=1.0).contains(&v),
+                    "{}: knob {v} out of range",
+                    s.abbr
+                );
             }
             let bucket_sum: f64 = s.sharer_buckets.iter().sum();
-            assert!((bucket_sum - 1.0).abs() < 1e-9, "{}: buckets sum {bucket_sum}", s.abbr);
+            assert!(
+                (bucket_sum - 1.0).abs() < 1e-9,
+                "{}: buckets sum {bucket_sum}",
+                s.abbr
+            );
             assert!(s.ro_shared_mb <= s.footprint_mb, "{}", s.abbr);
         }
     }
@@ -477,8 +496,14 @@ mod tests {
             assert!(card.contains("reuse:"));
         }
         // Phased kernels mention their rotation.
-        assert!(BenchmarkId::Sgemm.spec().model_card().contains("rotating window"));
-        assert!(!BenchmarkId::Lbm.spec().model_card().contains("rotating window"));
+        assert!(BenchmarkId::Sgemm
+            .spec()
+            .model_card()
+            .contains("rotating window"));
+        assert!(!BenchmarkId::Lbm
+            .spec()
+            .model_card()
+            .contains("rotating window"));
     }
 
     #[test]

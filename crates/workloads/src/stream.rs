@@ -76,7 +76,9 @@ impl WarpStream {
     /// Panics if `ops` is empty — a warp must always have a next op.
     pub fn replay(ops: std::sync::Arc<Vec<WarpOp>>) -> WarpStream {
         assert!(!ops.is_empty(), "cannot replay an empty trace stream");
-        WarpStream { inner: Inner::Replay { ops, pos: 0 } }
+        WarpStream {
+            inner: Inner::Replay { ops, pos: 0 },
+        }
     }
 
     /// Produce the next warp operation.
@@ -142,7 +144,11 @@ impl SyntheticStream {
         // Read-only share of shared traffic: weight RO pages 3× — shared
         // read-only data (weights, matrices) is consulted far more often
         // per page than shared mutable state.
-        let p_ro_given_shared = if ro + rw == 0.0 { 0.0 } else { 3.0 * ro / (3.0 * ro + rw) };
+        let p_ro_given_shared = if ro + rw == 0.0 {
+            0.0
+        } else {
+            3.0 * ro / (3.0 * ro + rw)
+        };
         SyntheticStream {
             spec,
             layout,
@@ -166,7 +172,11 @@ impl SyntheticStream {
             self.pending_compute = false;
             let gap = self.spec.compute_gap;
             // ±50% jitter to avoid lockstep across warps.
-            let jittered = if gap > 1 { self.rng.gen_range(gap / 2..=gap + gap / 2) } else { gap };
+            let jittered = if gap > 1 {
+                self.rng.gen_range(gap / 2..=gap + gap / 2)
+            } else {
+                gap
+            };
             return WarpOp::Compute(jittered.max(1));
         }
         if self.spec.compute_gap > 0 {
@@ -205,8 +215,8 @@ impl SyntheticStream {
 
     fn gen_shared(&mut self, (hot, cold, rw): (usize, usize, usize)) -> Access {
         let sets = self.layout.sets(self.sm);
-        let want_ro = (hot + cold > 0)
-            && (rw == 0 || self.rng.gen::<f64>() < self.p_ro_given_shared);
+        let want_ro =
+            (hot + cold > 0) && (rw == 0 || self.rng.gen::<f64>() < self.p_ro_given_shared);
         if want_ro {
             let use_hot = hot > 0 && (cold == 0 || self.rng.gen::<f64>() < self.spec.shared_skew);
             let page = if self.spec.phase_len > 0 && use_hot {
@@ -236,9 +246,16 @@ impl SyntheticStream {
                 self.layout.ro_pages[idx as usize].vpage
             };
             let line = self.skewed_line();
-            let kind =
-                if self.layout.ro_marked { AccessKind::LoadReadOnly } else { AccessKind::Load };
-            Access { vaddr: self.addr(page, line), kind, bypass_l1: false }
+            let kind = if self.layout.ro_marked {
+                AccessKind::LoadReadOnly
+            } else {
+                AccessKind::Load
+            };
+            Access {
+                vaddr: self.addr(page, line),
+                kind,
+                bypass_l1: false,
+            }
         } else {
             let idx = sets.rw[windowed_pick(&mut self.rng, self.seq, self.sm, rw)];
             let page = self.layout.rw_shared_pages[idx as usize].vpage;
@@ -255,7 +272,11 @@ impl SyntheticStream {
             } else {
                 AccessKind::Load
             };
-            Access { vaddr: self.addr(page, line), kind, bypass_l1: false }
+            Access {
+                vaddr: self.addr(page, line),
+                kind,
+                bypass_l1: false,
+            }
         }
     }
 
@@ -295,7 +316,11 @@ impl SyntheticStream {
             AccessKind::Load
         };
         let bypass = kind == AccessKind::Load && self.spec.family != PatternFamily::Tree;
-        Access { vaddr: self.addr(page, line), kind, bypass_l1: bypass }
+        Access {
+            vaddr: self.addr(page, line),
+            kind,
+            bypass_l1: bypass,
+        }
     }
 
     /// Hot-skewed line within a page: min of two uniforms biases towards
@@ -323,7 +348,7 @@ fn sets_snapshot(sets: &crate::layout::AccessSets) -> (usize, usize, usize) {
 /// different tiles, so SMs do not all camp on the same shared pages at
 /// the same instant.
 fn windowed_pick(rng: &mut SmallRng, seq: u64, sm: usize, len: usize) -> usize {
-    debug_assert!(len > 0);
+    nuba_types::invariant!("stream_window_nonempty", len > 0);
     let w = len.min(128);
     if w == len || rng.gen::<f64>() < 0.02 {
         return rng.gen_range(0..len);
@@ -384,7 +409,10 @@ mod tests {
     #[test]
     fn gemm_emits_readonly_loads() {
         let accs = sample(BenchmarkId::Sgemm, 0, 4000);
-        let ro = accs.iter().filter(|a| a.kind == AccessKind::LoadReadOnly).count();
+        let ro = accs
+            .iter()
+            .filter(|a| a.kind == AccessKind::LoadReadOnly)
+            .count();
         assert!(
             ro as f64 > 0.2 * accs.len() as f64,
             "SGEMM should issue plenty of ld.global.ro ({ro}/{})",
@@ -397,8 +425,7 @@ mod tests {
         let wl = Workload::build(BenchmarkId::Lbm, ScaleProfile::default(), 64, 1);
         let accs = sample(BenchmarkId::Lbm, 9, 4000);
         let private_base = wl.layout().private_base * wl.layout().page_bytes;
-        let private =
-            accs.iter().filter(|a| a.vaddr.0 >= private_base).count();
+        let private = accs.iter().filter(|a| a.vaddr.0 >= private_base).count();
         assert!(
             private as f64 > 0.8 * accs.len() as f64,
             "LBM should be mostly private: {private}/{}",
@@ -432,7 +459,12 @@ mod tests {
         let frac = |v: &[Access]| {
             v.iter().filter(|a| a.kind == AccessKind::Store).count() as f64 / v.len() as f64
         };
-        assert!(frac(&lbm) > frac(&bicg) + 0.05, "{} vs {}", frac(&lbm), frac(&bicg));
+        assert!(
+            frac(&lbm) > frac(&bicg) + 0.05,
+            "{} vs {}",
+            frac(&lbm),
+            frac(&bicg)
+        );
     }
 
     #[test]
@@ -477,5 +509,4 @@ mod tests {
         }
         assert!(seq as f64 > 0.95 * total as f64, "sequential {seq}/{total}");
     }
-
 }

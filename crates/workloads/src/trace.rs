@@ -211,7 +211,13 @@ impl Trace {
             }
             streams.push(Arc::new(ops));
         }
-        Ok(Trace { num_sms, warps_per_sm, page_bytes, total_pages, streams })
+        Ok(Trace {
+            num_sms,
+            warps_per_sm,
+            page_bytes,
+            total_pages,
+            streams,
+        })
     }
 }
 

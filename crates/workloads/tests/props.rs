@@ -23,14 +23,14 @@ fn family_strategy() -> impl Strategy<Value = PatternFamily> {
 fn spec_strategy() -> impl Strategy<Value = BenchmarkSpec> {
     (
         family_strategy(),
-        0.02f64..0.9,  // shared page fraction
-        0.0f64..0.9,   // shared access fraction
-        0.0f64..1.0,   // skew
-        0.01f64..1.0,  // hot fraction
-        0.0f64..0.5,   // write fraction
-        0.0f64..0.7,   // l1 reuse
-        0.0f64..0.8,   // llc reuse
-        1.0f64..64.0,  // footprint MB
+        0.02f64..0.9, // shared page fraction
+        0.0f64..0.9,  // shared access fraction
+        0.0f64..1.0,  // skew
+        0.01f64..1.0, // hot fraction
+        0.0f64..0.5,  // write fraction
+        0.0f64..0.7,  // l1 reuse
+        0.0f64..0.8,  // llc reuse
+        1.0f64..64.0, // footprint MB
     )
         .prop_map(|(family, fsp, saf, skew, hot, wf, l1, llc, mb)| {
             let mut s = BenchmarkId::Lbm.spec().clone();

@@ -45,7 +45,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("loaded arrays:    {:?}", summary.loaded);
     println!("stored arrays:    {:?}", summary.stored);
     println!("read-only arrays: {:?}", summary.read_only);
-    assert!(summary.read_only.contains("A"), "the gathered table is read-only");
+    assert!(
+        summary.read_only.contains("A"),
+        "the gathered table is read-only"
+    );
     assert!(!summary.read_only.contains("B"), "B is updated in place");
 
     let rewritten = rewrite_readonly_loads(kernel);

@@ -13,7 +13,10 @@ use nuba::{ArchKind, BenchmarkId, GpuConfig, GpuSimulator, ScaleProfile, Workloa
 fn main() {
     let bench = BenchmarkId::Kmeans;
     let cycles = 25_000;
-    println!("benchmark: {} — sweeping the NoC from 0.7 to 5.6 TB/s\n", bench.spec().name);
+    println!(
+        "benchmark: {} — sweeping the NoC from 0.7 to 5.6 TB/s\n",
+        bench.spec().name
+    );
     println!(
         "{:<10} {:>8} {:>12} {:>12} {:>12}",
         "arch", "NoC TB/s", "perf (rel.)", "NoC watts", "static W"

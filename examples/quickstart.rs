@@ -13,7 +13,12 @@ fn main() {
     let cycles = 60_000;
     let bench = BenchmarkId::Sgemm;
 
-    println!("benchmark: {} ({}, {} sharing)", bench.spec().name, bench, bench.spec().sharing);
+    println!(
+        "benchmark: {} ({}, {} sharing)",
+        bench.spec().name,
+        bench,
+        bench.spec().sharing
+    );
     println!("timed window: {cycles} cycles after functional warm-up\n");
 
     let mut baseline_perf = None;

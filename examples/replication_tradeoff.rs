@@ -5,8 +5,8 @@
 //! cargo run --release --example replication_tradeoff
 //! ```
 
-use nuba::core::{mdr_evaluate, MdrProfile};
 use nuba::core::mdr::paper_slice_bandwidths;
+use nuba::core::{mdr_evaluate, MdrProfile};
 use nuba::{
     ArchKind, BenchmarkId, GpuConfig, GpuSimulator, ReplicationKind, ScaleProfile, Workload,
 };
@@ -25,7 +25,14 @@ fn main() {
         (0.3, 0.8, 0.25), // remote-heavy, replicas thrash: don't
         (0.5, 0.5, 0.6),  // borderline
     ] {
-        let est = mdr_evaluate(bw, MdrProfile { frac_local: fl, hit_no_rep: hn, hit_full_rep: hf });
+        let est = mdr_evaluate(
+            bw,
+            MdrProfile {
+                frac_local: fl,
+                hit_no_rep: hn,
+                hit_full_rep: hf,
+            },
+        );
         println!(
             "{:>10.2} {:>10.2} {:>10.2} | {:>10.1} {:>10.1} {:>10}",
             fl,
@@ -33,7 +40,11 @@ fn main() {
             hf,
             est.bw_no_rep,
             est.bw_full_rep,
-            if est.replicate() { "REPLICATE" } else { "no-rep" }
+            if est.replicate() {
+                "REPLICATE"
+            } else {
+                "no-rep"
+            }
         );
     }
 
@@ -44,7 +55,11 @@ fn main() {
     for bench in [BenchmarkId::SqueezeNet, BenchmarkId::BTree] {
         println!("\n  {} ({}):", bench.spec().name, bench);
         let mut norep_perf = None;
-        for rep in [ReplicationKind::None, ReplicationKind::Full, ReplicationKind::Mdr] {
+        for rep in [
+            ReplicationKind::None,
+            ReplicationKind::Full,
+            ReplicationKind::Mdr,
+        ] {
             let mut cfg = GpuConfig::paper_baseline(ArchKind::Nuba);
             cfg.replication = rep;
             let wl = Workload::build(bench, ScaleProfile::default(), cfg.num_sms, 42);

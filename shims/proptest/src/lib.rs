@@ -1,0 +1,779 @@
+//! Offline shim for the `proptest` 1.x API surface this workspace uses.
+//!
+//! The build environment has no crates.io access, so the workspace
+//! replaces the real `proptest` with this path crate (see the root
+//! `Cargo.toml` `[workspace.dependencies]`). It keeps the programming
+//! model — composable [`Strategy`] values, the [`proptest!`] macro, the
+//! `prop_assert*` family — but generates cases with a deterministic
+//! seeded RNG and performs **no shrinking**: a failing case reports its
+//! case number and derived seed instead of a minimized input.
+//!
+//! Supported strategies: integer and float ranges (`0u64..64`,
+//! `1usize..=4`, `0.0f64..=1.0`), [`strategy::Just`], tuples up to arity
+//! 12, [`collection::vec`], `any::<T>()` for primitives, regex-ish
+//! `&str` strategies limited to a single `[class]{m,n}` form, `prop_oneof!`
+//! over same-typed arms, and `.prop_map` / `.prop_flat_map` / `.boxed()`.
+
+use std::ops::{Range, RangeInclusive};
+
+pub mod test_runner {
+    //! Case-running configuration and error plumbing.
+
+    /// Configuration accepted by `#![proptest_config(...)]`.
+    #[derive(Debug, Clone)]
+    pub struct ProptestConfig {
+        /// Number of generated cases per test.
+        pub cases: u32,
+        /// Maximum rejected (prop_assume-failed) cases tolerated before
+        /// the test aborts.
+        pub max_global_rejects: u32,
+    }
+
+    impl Default for ProptestConfig {
+        fn default() -> ProptestConfig {
+            // The real crate defaults to 256; the shim keeps that so
+            // coverage matches the seed's intent.
+            ProptestConfig {
+                cases: 256,
+                max_global_rejects: 65_536,
+            }
+        }
+    }
+
+    /// Why a test case did not pass.
+    #[derive(Debug, Clone)]
+    pub enum TestCaseError {
+        /// An assertion failed; the test fails.
+        Fail(String),
+        /// `prop_assume!` rejected the inputs; the case is skipped.
+        Reject(String),
+    }
+
+    impl TestCaseError {
+        /// A failing case.
+        pub fn fail(msg: impl Into<String>) -> TestCaseError {
+            TestCaseError::Fail(msg.into())
+        }
+
+        /// A rejected (skipped) case.
+        pub fn reject(msg: impl Into<String>) -> TestCaseError {
+            TestCaseError::Reject(msg.into())
+        }
+    }
+
+    /// Deterministic per-case RNG (splitmix64 over a seed derived from
+    /// the test's module path, name, and case index).
+    #[derive(Debug, Clone)]
+    pub struct TestRng {
+        state: u64,
+    }
+
+    impl TestRng {
+        /// RNG for case `case` of the test identified by `ident`.
+        pub fn for_case(ident: &str, case: u32) -> TestRng {
+            let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+            for b in ident.bytes() {
+                h = (h ^ b as u64).wrapping_mul(0x1000_0000_01b3);
+            }
+            TestRng {
+                state: h ^ (case as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15),
+            }
+        }
+
+        /// Next raw 64-bit value.
+        pub fn next_u64(&mut self) -> u64 {
+            self.state = self.state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+            z ^ (z >> 31)
+        }
+
+        /// Uniform draw in `0..bound` (`bound` > 0).
+        pub fn below(&mut self, bound: u64) -> u64 {
+            ((self.next_u64() as u128 * bound as u128) >> 64) as u64
+        }
+
+        /// Uniform f64 in `[0, 1)`.
+        pub fn unit(&mut self) -> f64 {
+            (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+        }
+    }
+}
+
+pub mod strategy {
+    //! The [`Strategy`] trait and combinators.
+
+    use super::test_runner::TestRng;
+
+    /// A recipe for generating values of `Self::Value`.
+    pub trait Strategy {
+        /// The generated type.
+        type Value;
+
+        /// Generate one value.
+        fn new_value(&self, rng: &mut TestRng) -> Self::Value;
+
+        /// Map generated values through `f`.
+        fn prop_map<O, F: Fn(Self::Value) -> O>(self, f: F) -> Map<Self, F>
+        where
+            Self: Sized,
+        {
+            Map { inner: self, f }
+        }
+
+        /// Generate a value, then generate from the strategy `f` builds
+        /// out of it.
+        fn prop_flat_map<S: Strategy, F: Fn(Self::Value) -> S>(self, f: F) -> FlatMap<Self, F>
+        where
+            Self: Sized,
+        {
+            FlatMap { inner: self, f }
+        }
+
+        /// Discard generated values failing `f` (retries a bounded
+        /// number of times, then keeps the last value regardless — the
+        /// shim has no global reject accounting).
+        fn prop_filter<F: Fn(&Self::Value) -> bool>(
+            self,
+            _whence: &'static str,
+            f: F,
+        ) -> Filter<Self, F>
+        where
+            Self: Sized,
+        {
+            Filter { inner: self, f }
+        }
+
+        /// Erase the concrete strategy type.
+        fn boxed(self) -> BoxedStrategy<Self::Value>
+        where
+            Self: Sized + 'static,
+        {
+            BoxedStrategy(std::rc::Rc::new(self))
+        }
+    }
+
+    impl<S: Strategy + ?Sized> Strategy for &S {
+        type Value = S::Value;
+        fn new_value(&self, rng: &mut TestRng) -> Self::Value {
+            (**self).new_value(rng)
+        }
+    }
+
+    /// Always generates a clone of the wrapped value.
+    #[derive(Debug, Clone)]
+    pub struct Just<T: Clone>(pub T);
+
+    impl<T: Clone> Strategy for Just<T> {
+        type Value = T;
+        fn new_value(&self, _rng: &mut TestRng) -> T {
+            self.0.clone()
+        }
+    }
+
+    /// See [`Strategy::prop_map`].
+    #[derive(Debug, Clone)]
+    pub struct Map<S, F> {
+        pub(crate) inner: S,
+        pub(crate) f: F,
+    }
+
+    impl<S: Strategy, O, F: Fn(S::Value) -> O> Strategy for Map<S, F> {
+        type Value = O;
+        fn new_value(&self, rng: &mut TestRng) -> O {
+            (self.f)(self.inner.new_value(rng))
+        }
+    }
+
+    /// See [`Strategy::prop_flat_map`].
+    #[derive(Debug, Clone)]
+    pub struct FlatMap<S, F> {
+        pub(crate) inner: S,
+        pub(crate) f: F,
+    }
+
+    impl<S: Strategy, T: Strategy, F: Fn(S::Value) -> T> Strategy for FlatMap<S, F> {
+        type Value = T::Value;
+        fn new_value(&self, rng: &mut TestRng) -> T::Value {
+            (self.f)(self.inner.new_value(rng)).new_value(rng)
+        }
+    }
+
+    /// See [`Strategy::prop_filter`].
+    #[derive(Debug, Clone)]
+    pub struct Filter<S, F> {
+        pub(crate) inner: S,
+        pub(crate) f: F,
+    }
+
+    impl<S: Strategy, F: Fn(&S::Value) -> bool> Strategy for Filter<S, F> {
+        type Value = S::Value;
+        fn new_value(&self, rng: &mut TestRng) -> S::Value {
+            for _ in 0..1000 {
+                let v = self.inner.new_value(rng);
+                if (self.f)(&v) {
+                    return v;
+                }
+            }
+            self.inner.new_value(rng)
+        }
+    }
+
+    /// Type-erased strategy (shared, so it stays `Clone`).
+    pub struct BoxedStrategy<T>(std::rc::Rc<dyn Strategy<Value = T>>);
+
+    impl<T> Clone for BoxedStrategy<T> {
+        fn clone(&self) -> Self {
+            BoxedStrategy(self.0.clone())
+        }
+    }
+
+    impl<T> Strategy for BoxedStrategy<T> {
+        type Value = T;
+        fn new_value(&self, rng: &mut TestRng) -> T {
+            self.0.new_value(rng)
+        }
+    }
+
+    /// Uniform choice among same-typed strategies (`prop_oneof!`).
+    #[derive(Debug, Clone)]
+    pub struct OneOf<S> {
+        arms: Vec<S>,
+    }
+
+    impl<S: Strategy> OneOf<S> {
+        /// Choose uniformly among `arms`.
+        ///
+        /// # Panics
+        /// Panics if `arms` is empty.
+        pub fn new(arms: Vec<S>) -> OneOf<S> {
+            assert!(!arms.is_empty(), "prop_oneof! needs at least one arm");
+            OneOf { arms }
+        }
+    }
+
+    impl<S: Strategy> Strategy for OneOf<S> {
+        type Value = S::Value;
+        fn new_value(&self, rng: &mut TestRng) -> S::Value {
+            let i = rng.below(self.arms.len() as u64) as usize;
+            self.arms[i].new_value(rng)
+        }
+    }
+
+    macro_rules! impl_tuple_strategy {
+        ($($name:ident),+) => {
+            impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+                type Value = ($($name::Value,)+);
+                #[allow(non_snake_case)]
+                fn new_value(&self, rng: &mut TestRng) -> Self::Value {
+                    let ($($name,)+) = self;
+                    ($($name.new_value(rng),)+)
+                }
+            }
+        };
+    }
+
+    impl_tuple_strategy!(A);
+    impl_tuple_strategy!(A, B);
+    impl_tuple_strategy!(A, B, C);
+    impl_tuple_strategy!(A, B, C, D);
+    impl_tuple_strategy!(A, B, C, D, E);
+    impl_tuple_strategy!(A, B, C, D, E, F);
+    impl_tuple_strategy!(A, B, C, D, E, F, G);
+    impl_tuple_strategy!(A, B, C, D, E, F, G, H);
+    impl_tuple_strategy!(A, B, C, D, E, F, G, H, I);
+    impl_tuple_strategy!(A, B, C, D, E, F, G, H, I, J);
+    impl_tuple_strategy!(A, B, C, D, E, F, G, H, I, J, K);
+    impl_tuple_strategy!(A, B, C, D, E, F, G, H, I, J, K, L);
+}
+
+mod numeric {
+    use super::strategy::Strategy;
+    use super::test_runner::TestRng;
+    use super::{Range, RangeInclusive};
+
+    macro_rules! impl_int_strategy {
+        ($($t:ty),*) => {$(
+            impl Strategy for Range<$t> {
+                type Value = $t;
+                fn new_value(&self, rng: &mut TestRng) -> $t {
+                    assert!(self.start < self.end, "empty range strategy");
+                    let span = (self.end as i128 - self.start as i128) as u64;
+                    (self.start as i128 + rng.below(span) as i128) as $t
+                }
+            }
+            impl Strategy for RangeInclusive<$t> {
+                type Value = $t;
+                fn new_value(&self, rng: &mut TestRng) -> $t {
+                    let (lo, hi) = (*self.start(), *self.end());
+                    assert!(lo <= hi, "empty range strategy");
+                    let span = (hi as i128 - lo as i128) as u128 + 1;
+                    (lo as i128 + ((rng.next_u64() as u128 * span) >> 64) as i128) as $t
+                }
+            }
+        )*};
+    }
+
+    impl_int_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    impl Strategy for Range<f64> {
+        type Value = f64;
+        fn new_value(&self, rng: &mut TestRng) -> f64 {
+            assert!(self.start < self.end, "empty range strategy");
+            self.start + rng.unit() * (self.end - self.start)
+        }
+    }
+
+    impl Strategy for RangeInclusive<f64> {
+        type Value = f64;
+        fn new_value(&self, rng: &mut TestRng) -> f64 {
+            let (lo, hi) = (*self.start(), *self.end());
+            assert!(lo <= hi, "empty range strategy");
+            lo + rng.unit() * (hi - lo)
+        }
+    }
+
+    impl Strategy for Range<f32> {
+        type Value = f32;
+        fn new_value(&self, rng: &mut TestRng) -> f32 {
+            assert!(self.start < self.end, "empty range strategy");
+            self.start + rng.unit() as f32 * (self.end - self.start)
+        }
+    }
+}
+
+mod string {
+    //! Regex-ish `&str` strategies.
+    //!
+    //! Supports exactly the shape the repo's tests use: an optional
+    //! character class `[...]` (with `a-z` ranges and `\n`/`\t`/`\\`
+    //! escapes) followed by an optional `{m,n}` / `{n}` repetition.
+    //! Anything else falls back to printable-ASCII strings of length
+    //! 0..=64 — still "arbitrary text" for fuzz-style tests.
+
+    use super::strategy::Strategy;
+    use super::test_runner::TestRng;
+
+    fn parse_class(pattern: &str) -> Option<(Vec<char>, usize)> {
+        let mut chars = pattern.char_indices();
+        let (_, '[') = chars.next()? else { return None };
+        let mut alphabet = Vec::new();
+        let mut prev: Option<char> = None;
+        let mut pending_range = false;
+        for (i, c) in chars.by_ref() {
+            match c {
+                ']' => {
+                    if pending_range {
+                        alphabet.push('-');
+                    }
+                    return Some((alphabet, i + 1));
+                }
+                '\\' => prev = None, // next char handled below via escape pass
+                '-' if prev.is_some() => pending_range = true,
+                c => {
+                    if pending_range {
+                        let lo = prev.take().unwrap();
+                        for u in (lo as u32 + 1)..=(c as u32) {
+                            if let Some(ch) = char::from_u32(u) {
+                                alphabet.push(ch);
+                            }
+                        }
+                        pending_range = false;
+                    } else {
+                        alphabet.push(c);
+                        prev = Some(c);
+                    }
+                }
+            }
+        }
+        None
+    }
+
+    fn unescape(pattern: &str) -> String {
+        let mut out = String::new();
+        let mut it = pattern.chars();
+        while let Some(c) = it.next() {
+            if c == '\\' {
+                match it.next() {
+                    Some('n') => out.push('\n'),
+                    Some('t') => out.push('\t'),
+                    Some(other) => out.push(other),
+                    None => {}
+                }
+            } else {
+                out.push(c);
+            }
+        }
+        out
+    }
+
+    fn parse_repeat(rest: &str) -> (usize, usize) {
+        if let Some(body) = rest.strip_prefix('{').and_then(|r| r.strip_suffix('}')) {
+            if let Some((lo, hi)) = body.split_once(',') {
+                if let (Ok(lo), Ok(hi)) = (lo.trim().parse(), hi.trim().parse()) {
+                    return (lo, hi);
+                }
+            } else if let Ok(n) = body.trim().parse::<usize>() {
+                return (n, n);
+            }
+        }
+        (0, 64)
+    }
+
+    impl Strategy for &'static str {
+        type Value = String;
+        fn new_value(&self, rng: &mut TestRng) -> String {
+            let expanded = unescape(self);
+            let (alphabet, rest) = match parse_class(&expanded) {
+                Some((a, consumed)) if !a.is_empty() => (a, &expanded[consumed..]),
+                _ => ((' '..='~').collect(), ""),
+            };
+            let (lo, hi) = parse_repeat(rest);
+            let len = lo + rng.below((hi - lo + 1) as u64) as usize;
+            (0..len)
+                .map(|_| alphabet[rng.below(alphabet.len() as u64) as usize])
+                .collect()
+        }
+    }
+}
+
+pub mod arbitrary {
+    //! `any::<T>()` support for primitives.
+
+    use super::strategy::Strategy;
+    use super::test_runner::TestRng;
+
+    /// Types with a canonical "any value" strategy.
+    pub trait Arbitrary: Sized {
+        /// The strategy type `any::<Self>()` returns.
+        type Strategy: Strategy<Value = Self>;
+        /// The canonical strategy.
+        fn arbitrary() -> Self::Strategy;
+    }
+
+    /// Strategy generating any value of a primitive type.
+    #[derive(Debug, Clone, Default)]
+    pub struct AnyPrimitive<T>(std::marker::PhantomData<T>);
+
+    macro_rules! impl_arbitrary {
+        ($($t:ty => $gen:expr),* $(,)?) => {$(
+            impl Strategy for AnyPrimitive<$t> {
+                type Value = $t;
+                fn new_value(&self, rng: &mut TestRng) -> $t {
+                    let f: fn(&mut TestRng) -> $t = $gen;
+                    f(rng)
+                }
+            }
+            impl Arbitrary for $t {
+                type Strategy = AnyPrimitive<$t>;
+                fn arbitrary() -> Self::Strategy {
+                    AnyPrimitive(std::marker::PhantomData)
+                }
+            }
+        )*};
+    }
+
+    impl_arbitrary! {
+        bool => |r| r.next_u64() & 1 == 1,
+        u8 => |r| r.next_u64() as u8,
+        u16 => |r| r.next_u64() as u16,
+        u32 => |r| r.next_u64() as u32,
+        u64 => |r| r.next_u64(),
+        usize => |r| r.next_u64() as usize,
+        i8 => |r| r.next_u64() as i8,
+        i16 => |r| r.next_u64() as i16,
+        i32 => |r| r.next_u64() as i32,
+        i64 => |r| r.next_u64() as i64,
+        isize => |r| r.next_u64() as isize,
+        f64 => |r| r.unit(),
+    }
+
+    /// The canonical strategy for `T`.
+    pub fn any<T: Arbitrary>() -> T::Strategy {
+        T::arbitrary()
+    }
+}
+
+pub mod collection {
+    //! Collection strategies (`vec`).
+
+    use super::strategy::Strategy;
+    use super::test_runner::TestRng;
+    use super::{Range, RangeInclusive};
+
+    /// A size specification: fixed, `m..n`, or `m..=n`.
+    #[derive(Debug, Clone, Copy)]
+    pub struct SizeRange {
+        lo: usize,
+        hi_inclusive: usize,
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> SizeRange {
+            SizeRange {
+                lo: n,
+                hi_inclusive: n,
+            }
+        }
+    }
+
+    impl From<Range<usize>> for SizeRange {
+        fn from(r: Range<usize>) -> SizeRange {
+            assert!(r.start < r.end, "empty size range");
+            SizeRange {
+                lo: r.start,
+                hi_inclusive: r.end - 1,
+            }
+        }
+    }
+
+    impl From<RangeInclusive<usize>> for SizeRange {
+        fn from(r: RangeInclusive<usize>) -> SizeRange {
+            assert!(r.start() <= r.end(), "empty size range");
+            SizeRange {
+                lo: *r.start(),
+                hi_inclusive: *r.end(),
+            }
+        }
+    }
+
+    /// Strategy for `Vec<S::Value>` with a size drawn from a range.
+    #[derive(Debug, Clone)]
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    /// `Vec` strategy with `size` elements generated by `element`.
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn new_value(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let span = (self.size.hi_inclusive - self.size.lo + 1) as u64;
+            let len = self.size.lo + rng.below(span) as usize;
+            (0..len).map(|_| self.element.new_value(rng)).collect()
+        }
+    }
+}
+
+pub mod prelude {
+    //! Everything a test file needs in scope.
+
+    pub use crate::arbitrary::{any, Arbitrary};
+    pub use crate::collection;
+    pub use crate::strategy::{BoxedStrategy, Just, OneOf, Strategy};
+    pub use crate::test_runner::{ProptestConfig, TestCaseError, TestRng};
+    pub use crate::{
+        prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest,
+    };
+}
+
+/// The test-harness macro: expands each `fn name(x in strategy, ...)` to
+/// a `#[test]` running `cases` deterministic generated inputs.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl! { ($cfg) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl! { ($crate::test_runner::ProptestConfig::default()) $($rest)* }
+    };
+}
+
+#[macro_export]
+#[doc(hidden)]
+macro_rules! __proptest_impl {
+    ( ($cfg:expr)
+      $(
+        $(#[$meta:meta])*
+        fn $name:ident ( $($arg:ident in $strat:expr),* $(,)? ) $body:block
+      )*
+    ) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let cfg: $crate::test_runner::ProptestConfig = $cfg;
+                let ident = concat!(module_path!(), "::", stringify!($name));
+                let mut rejects: u32 = 0;
+                let mut case: u32 = 0;
+                while case < cfg.cases {
+                    let mut rng = $crate::test_runner::TestRng::for_case(ident, case + rejects);
+                    $(
+                        let $arg = {
+                            let strat = $strat;
+                            $crate::strategy::Strategy::new_value(&strat, &mut rng)
+                        };
+                    )*
+                    let outcome: ::std::result::Result<(), $crate::test_runner::TestCaseError> =
+                        (|| {
+                            $body
+                            #[allow(unreachable_code)]
+                            ::std::result::Result::Ok(())
+                        })();
+                    match outcome {
+                        ::std::result::Result::Ok(()) => case += 1,
+                        ::std::result::Result::Err(
+                            $crate::test_runner::TestCaseError::Reject(_),
+                        ) => {
+                            rejects += 1;
+                            if rejects > cfg.max_global_rejects {
+                                panic!(
+                                    "{ident}: too many prop_assume! rejections ({rejects})"
+                                );
+                            }
+                        }
+                        ::std::result::Result::Err(
+                            $crate::test_runner::TestCaseError::Fail(msg),
+                        ) => {
+                            panic!(
+                                "{ident}: case #{case} (derived seed {}) failed: {msg}",
+                                case + rejects
+                            );
+                        }
+                    }
+                }
+            }
+        )*
+    };
+}
+
+/// Assert inside a proptest body; failure fails only the current case
+/// runner (here: the whole test, with case context).
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(,)?) => {
+        $crate::prop_assert!($cond, concat!("assertion failed: ", stringify!($cond)))
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                format!($($fmt)*),
+            ));
+        }
+    };
+}
+
+/// `prop_assert!` for equality, printing both sides.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *l == *r,
+            "assertion failed: `left == right` (left: `{:?}`, right: `{:?}`)", l, r
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)*) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *l == *r,
+            "assertion failed: `left == right` (left: `{:?}`, right: `{:?}`): {}",
+            l, r, format!($($fmt)*)
+        );
+    }};
+}
+
+/// `prop_assert!` for inequality, printing both sides.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *l != *r,
+            "assertion failed: `left != right` (both: `{:?}`)", l
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)*) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *l != *r,
+            "assertion failed: `left != right` (both: `{:?}`): {}",
+            l, format!($($fmt)*)
+        );
+    }};
+}
+
+/// Skip the current case unless `cond` holds.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr $(,)?) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::reject(
+                stringify!($cond),
+            ));
+        }
+    };
+}
+
+/// Uniform choice among strategies of the same type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($arm:expr),+ $(,)?) => {
+        $crate::strategy::OneOf::new(vec![$($arm),+])
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    #[test]
+    fn string_strategy_respects_class_and_length() {
+        let mut rng = TestRng::for_case("shim::string", 3);
+        for case in 0..200 {
+            let mut rng2 = TestRng::for_case("shim::string", case);
+            let s = Strategy::new_value(&"[ -~\n]{0,400}", &mut rng2);
+            assert!(s.len() <= 400);
+            assert!(s.chars().all(|c| c == '\n' || (' '..='~').contains(&c)));
+            let _ = &mut rng;
+        }
+    }
+
+    #[test]
+    fn fixed_count_class() {
+        let mut rng = TestRng::for_case("shim::string2", 0);
+        let s = Strategy::new_value(&"[a-c]{8}", &mut rng);
+        assert_eq!(s.len(), 8);
+        assert!(s.chars().all(|c| ('a'..='c').contains(&c)));
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig { cases: 50, ..ProptestConfig::default() })]
+        #[test]
+        fn ranges_and_vecs(
+            x in 3u64..10,
+            v in collection::vec((0usize..4, any::<bool>()), 1..20),
+            f in 0.0f64..=1.0,
+        ) {
+            prop_assert!((3..10).contains(&x));
+            prop_assert!(!v.is_empty() && v.len() < 20);
+            for (a, _) in &v {
+                prop_assert!(*a < 4);
+            }
+            prop_assert!((0.0..=1.0).contains(&f));
+        }
+
+        #[test]
+        fn oneof_and_just(k in prop_oneof![Just(1u32), Just(2), Just(3)]) {
+            prop_assert!((1..=3).contains(&k));
+        }
+
+        #[test]
+        fn assume_skips(n in 0u64..100) {
+            prop_assume!(n % 2 == 0);
+            prop_assert!(n % 2 == 0);
+        }
+
+        #[test]
+        fn maps_compose(pair in (1u64..5, 1u64..5).prop_map(|(a, b)| a * 10 + b)) {
+            prop_assert!((11..=44).contains(&pair), "{}", pair);
+        }
+    }
+}

@@ -56,7 +56,5 @@ pub use nuba_types as types;
 pub use nuba_workloads as workloads;
 
 pub use nuba_core::{GpuSimulator, SimReport};
-pub use nuba_types::{
-    ArchKind, GpuConfig, MappingKind, PagePolicyKind, ReplicationKind,
-};
+pub use nuba_types::{ArchKind, GpuConfig, MappingKind, PagePolicyKind, ReplicationKind};
 pub use nuba_workloads::{BenchmarkId, ScaleProfile, SharingClass, Workload};

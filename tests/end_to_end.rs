@@ -28,13 +28,13 @@ fn run(bench: BenchmarkId, cfg: GpuConfig) -> nuba::SimReport {
 #[test]
 fn all_architectures_make_progress_on_every_benchmark_family() {
     for bench in [
-        BenchmarkId::Lbm,        // Stream
-        BenchmarkId::Conv2d,     // Stencil
-        BenchmarkId::Sgemm,      // Gemm
-        BenchmarkId::AlexNet,    // DNN
-        BenchmarkId::Mvt,        // Irregular
-        BenchmarkId::Pvc,        // MapReduce
-        BenchmarkId::BTree,      // Tree
+        BenchmarkId::Lbm,     // Stream
+        BenchmarkId::Conv2d,  // Stencil
+        BenchmarkId::Sgemm,   // Gemm
+        BenchmarkId::AlexNet, // DNN
+        BenchmarkId::Mvt,     // Irregular
+        BenchmarkId::Pvc,     // MapReduce
+        BenchmarkId::BTree,   // Tree
     ] {
         for arch in [ArchKind::MemSideUba, ArchKind::SmSideUba, ArchKind::Nuba] {
             let r = run(bench, small(arch));
@@ -67,7 +67,11 @@ fn nuba_outperforms_uba_on_low_sharing_workloads() {
             nuba.local_miss_fraction()
         );
     }
-    assert!(wins >= 2, "NUBA won on only {wins}/{} low-sharing benchmarks", benches.len());
+    assert!(
+        wins >= 2,
+        "NUBA won on only {wins}/{} low-sharing benchmarks",
+        benches.len()
+    );
 }
 
 #[test]
@@ -218,7 +222,12 @@ fn mcm_gpu_simulates_and_nuba_wins_there_too() {
 fn page_size_sensitivity_runs_with_huge_pages() {
     let mut cfg = small(ArchKind::Nuba);
     cfg.page_bytes = 2 << 20;
-    let wl = Workload::build(BenchmarkId::Kmeans, ScaleProfile::huge_pages(), cfg.num_sms, 7);
+    let wl = Workload::build(
+        BenchmarkId::Kmeans,
+        ScaleProfile::huge_pages(),
+        cfg.num_sms,
+        7,
+    );
     let mut gpu = GpuSimulator::new(cfg, &wl);
     let r = gpu.warm_and_run(&wl, CYCLES);
     assert!(r.warp_ops > 1_000);
@@ -229,7 +238,12 @@ fn alternative_policies_run_and_report_activity() {
     let mut mig = small(ArchKind::Nuba);
     mig.page_policy = PagePolicyKind::Migration;
     mig.replication = ReplicationKind::None;
-    let wl = Workload::build(BenchmarkId::SqueezeNet, ScaleProfile::fast(), mig.num_sms, 7);
+    let wl = Workload::build(
+        BenchmarkId::SqueezeNet,
+        ScaleProfile::fast(),
+        mig.num_sms,
+        7,
+    );
     let mut gpu = GpuSimulator::new(mig, &wl);
     let r = gpu.warm_and_run(&wl, CYCLES);
     assert!(r.warp_ops > 0);
@@ -260,7 +274,11 @@ fn captured_trace_replays_through_the_simulator() {
     cfg.sim_active_warps = 4;
     let mut gpu = GpuSimulator::new(cfg, &wl);
     let r = gpu.warm_and_run(&wl, 6_000);
-    assert!(r.warp_ops > 1_000, "trace replay made no progress: {}", r.warp_ops);
+    assert!(
+        r.warp_ops > 1_000,
+        "trace replay made no progress: {}",
+        r.warp_ops
+    );
     assert!(r.read_replies > 0);
 }
 

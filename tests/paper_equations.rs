@@ -79,7 +79,14 @@ fn paper_text_examples_for_the_model() {
     // except that it is further constrained by the NoC bandwidth":
     // with a perfect hit rate and all-remote traffic, BW_NoRep == BW_NoC.
     let bw = paper_slice_bandwidths(15.6);
-    let est = mdr_evaluate(bw, MdrProfile { frac_local: 0.0, hit_no_rep: 1.0, hit_full_rep: 1.0 });
+    let est = mdr_evaluate(
+        bw,
+        MdrProfile {
+            frac_local: 0.0,
+            hit_no_rep: 1.0,
+            hit_full_rep: 1.0,
+        },
+    );
     assert!((est.bw_no_rep - 15.6).abs() < 1e-12);
     // Under full replication with a perfect hit rate, the LLC alone
     // serves everything: BW_FullRep == BW_LLC.
