@@ -157,6 +157,31 @@ fn bench_driver(c: &mut Criterion) {
     g.finish();
 }
 
+fn bench_gpu_step(c: &mut Criterion) {
+    let mut g = c.benchmark_group("gpu_step");
+    g.throughput(Throughput::Elements(1));
+
+    // Steady-state cost of a single simulator cycle: the simulator is
+    // warmed and pre-run so scratch buffers, MSHR pools and page tables
+    // have reached their stable capacities before measurement begins.
+    for (name, arch) in [
+        ("uba_steady", ArchKind::MemSideUba),
+        ("nuba_steady", ArchKind::Nuba),
+    ] {
+        g.bench_function(name, |b| {
+            let cfg = GpuConfig::paper_baseline(arch);
+            let wl = Workload::build(BenchmarkId::Sgemm, ScaleProfile::fast(), cfg.num_sms, 42);
+            let mut gpu = GpuSimulator::new(cfg, &wl);
+            gpu.warm(&wl, 128);
+            for _ in 0..4_000 {
+                gpu.step();
+            }
+            b.iter(|| gpu.step());
+        });
+    }
+    g.finish();
+}
+
 fn bench_full_sim(c: &mut Criterion) {
     let mut g = c.benchmark_group("full_sim");
     g.sample_size(10);
@@ -188,6 +213,7 @@ criterion_group!(
     bench_noc,
     bench_mdr_model,
     bench_driver,
+    bench_gpu_step,
     bench_full_sim
 );
 criterion_main!(benches);

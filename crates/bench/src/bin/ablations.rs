@@ -9,15 +9,20 @@
 //! 3. **MDR sampled sets** (8 in the paper; the 384-byte profiler).
 //! 4. **Kernel-boundary flush overhead** (§5.3).
 
+use nuba_bench::runner::{run_matrix, Job};
 use nuba_bench::{figure_header, pct, Harness};
 use nuba_types::{harmonic_mean_speedup, ArchKind, GpuConfig};
 use nuba_workloads::BenchmarkId;
 
 fn hmean_over(h: &Harness, benches: &[BenchmarkId], cfg: &GpuConfig, base: &[f64]) -> f64 {
-    let s: Vec<f64> = benches
+    let jobs: Vec<Job> = benches
+        .iter()
+        .map(|&b| Job::new(b.to_string(), b, cfg.clone()))
+        .collect();
+    let s: Vec<f64> = run_matrix(h, &jobs)
         .iter()
         .enumerate()
-        .map(|(i, &b)| h.run(b, cfg.clone()).perf() / base[i])
+        .map(|(i, r)| r.report.perf() / base[i])
         .collect();
     harmonic_mean_speedup(&s)
 }
@@ -32,9 +37,13 @@ fn main() {
         BenchmarkId::Mvt,
     ];
     let nuba0 = GpuConfig::paper_baseline(ArchKind::Nuba);
-    let base: Vec<f64> = benches
+    let base_jobs: Vec<Job> = benches
         .iter()
-        .map(|&b| h.run(b, nuba0.clone()).perf())
+        .map(|&b| Job::new(b.to_string(), b, nuba0.clone()))
+        .collect();
+    let base: Vec<f64> = run_matrix(&h, &base_jobs)
+        .iter()
+        .map(|r| r.report.perf())
         .collect();
 
     figure_header(

@@ -1,6 +1,7 @@
 //! §7.6 "Alternative page allocation": count-based page migration and
 //! page-granular replication versus LAB + MDR.
 
+use nuba_bench::runner::{run_matrix, Job};
 use nuba_bench::{class_means, figure_header, pct, Harness};
 use nuba_types::{ArchKind, GpuConfig, PagePolicyKind, ReplicationKind};
 use nuba_workloads::BenchmarkId;
@@ -22,6 +23,14 @@ fn main() {
     let mig = mk(PagePolicyKind::Migration, ReplicationKind::None);
     let prep = mk(PagePolicyKind::PageReplication, ReplicationKind::None);
 
+    let jobs: Vec<Job> = BenchmarkId::ALL
+        .iter()
+        .flat_map(|&b| {
+            [&uba, &lab_mdr, &mig, &prep].map(|cfg| Job::new(b.to_string(), b, cfg.clone()))
+        })
+        .collect();
+    let results = run_matrix(&h, &jobs);
+
     println!(
         "{:<8} {:>9} {:>9} {:>9} {:>7}",
         "bench", "LAB+MDR", "MIGRATE", "PAGEREP", "class"
@@ -29,11 +38,11 @@ fn main() {
     let mut lab_rows = Vec::new();
     let mut mig_rows = Vec::new();
     let mut prep_rows = Vec::new();
-    for &b in BenchmarkId::ALL {
-        let base = h.run(b, uba.clone());
-        let l = h.run(b, lab_mdr.clone()).speedup_over(&base);
-        let m = h.run(b, mig.clone()).speedup_over(&base);
-        let p = h.run(b, prep.clone()).speedup_over(&base);
+    for (i, &b) in BenchmarkId::ALL.iter().enumerate() {
+        let base = &results[i * 4].report;
+        let l = results[i * 4 + 1].report.speedup_over(base);
+        let m = results[i * 4 + 2].report.speedup_over(base);
+        let p = results[i * 4 + 3].report.speedup_over(base);
         println!(
             "{:<8} {:>9.2} {:>9.2} {:>9.2} {:>7}",
             b.to_string(),

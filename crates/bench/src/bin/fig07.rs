@@ -2,6 +2,7 @@
 //! memory-side UBA baseline (iso-resource, 1.4 TB/s NoC), with the
 //! SM-side UBA for reference.
 
+use nuba_bench::runner::{run_matrix, Job};
 use nuba_bench::{class_means, figure_header, main_configs, pct, Harness};
 use nuba_workloads::BenchmarkId;
 
@@ -13,6 +14,15 @@ fn main() {
     let h = Harness::from_env();
     let [(_, uba_cfg), (_, sm_cfg), (_, nr_cfg), (_, nuba_cfg)] = main_configs();
 
+    let jobs: Vec<Job> = BenchmarkId::ALL
+        .iter()
+        .flat_map(|&b| {
+            [&uba_cfg, &sm_cfg, &nr_cfg, &nuba_cfg]
+                .map(|cfg| Job::new(b.to_string(), b, cfg.clone()))
+        })
+        .collect();
+    let results = run_matrix(&h, &jobs);
+
     println!(
         "{:<8} {:>10} {:>12} {:>10} {:>10}",
         "bench", "UBA-sm", "NUBA-No-Rep", "NUBA", "class"
@@ -20,11 +30,11 @@ fn main() {
     let mut nr_rows = Vec::new();
     let mut nuba_rows = Vec::new();
     let mut sm_rows = Vec::new();
-    for &b in BenchmarkId::ALL {
-        let base = h.run(b, uba_cfg.clone());
-        let sm = h.run(b, sm_cfg.clone()).speedup_over(&base);
-        let nr = h.run(b, nr_cfg.clone()).speedup_over(&base);
-        let nuba = h.run(b, nuba_cfg.clone()).speedup_over(&base);
+    for (i, &b) in BenchmarkId::ALL.iter().enumerate() {
+        let base = &results[i * 4].report;
+        let sm = results[i * 4 + 1].report.speedup_over(base);
+        let nr = results[i * 4 + 2].report.speedup_over(base);
+        let nuba = results[i * 4 + 3].report.speedup_over(base);
         println!(
             "{:<8} {:>10} {:>12} {:>10} {:>10}",
             b.to_string(),

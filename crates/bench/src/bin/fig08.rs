@@ -1,6 +1,7 @@
 //! Figure 8: memory bandwidth perceived by the SMs (read replies per
 //! cycle) under UBA, NUBA-No-Rep and NUBA.
 
+use nuba_bench::runner::{run_matrix, Job};
 use nuba_bench::{figure_header, main_configs, pct, Harness};
 use nuba_types::harmonic_mean_speedup;
 use nuba_workloads::{BenchmarkId, SharingClass};
@@ -10,16 +11,24 @@ fn main() {
     let h = Harness::from_env();
     let [(_, uba_cfg), _, (_, nr_cfg), (_, nuba_cfg)] = main_configs();
 
+    let jobs: Vec<Job> = BenchmarkId::ALL
+        .iter()
+        .flat_map(|&b| {
+            [&uba_cfg, &nr_cfg, &nuba_cfg].map(|cfg| Job::new(b.to_string(), b, cfg.clone()))
+        })
+        .collect();
+    let results = run_matrix(&h, &jobs);
+
     println!(
         "{:<8} {:>8} {:>12} {:>8} {:>9}",
         "bench", "UBA", "NUBA-No-Rep", "NUBA", "NUBA/UBA"
     );
     let mut gains_low = Vec::new();
     let mut gains_high = Vec::new();
-    for &b in BenchmarkId::ALL {
-        let base = h.run(b, uba_cfg.clone());
-        let nr = h.run(b, nr_cfg.clone());
-        let nuba = h.run(b, nuba_cfg.clone());
+    for (i, &b) in BenchmarkId::ALL.iter().enumerate() {
+        let base = &results[i * 3].report;
+        let nr = &results[i * 3 + 1].report;
+        let nuba = &results[i * 3 + 2].report;
         let ratio = nuba.replies_per_cycle() / base.replies_per_cycle().max(1e-9);
         println!(
             "{:<8} {:>8.2} {:>12.2} {:>8.2} {:>9}",

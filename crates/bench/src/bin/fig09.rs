@@ -4,6 +4,7 @@
 //! misses into local point-to-point accesses, and MDR converts remote
 //! read-only shared accesses into local replica hits on top.
 
+use nuba_bench::runner::{run_matrix, Job};
 use nuba_bench::{figure_header, main_configs, Harness};
 use nuba_workloads::BenchmarkId;
 
@@ -12,15 +13,21 @@ fn main() {
     let h = Harness::from_env();
     let [_, _, (_, nr_cfg), (_, nuba_cfg)] = main_configs();
 
+    let jobs: Vec<Job> = BenchmarkId::ALL
+        .iter()
+        .flat_map(|&b| [&nr_cfg, &nuba_cfg].map(|cfg| Job::new(b.to_string(), b, cfg.clone())))
+        .collect();
+    let results = run_matrix(&h, &jobs);
+
     println!(
         "{:<8} {:>6} {:>12} {:>8} {:>12}",
         "bench", "UBA", "NUBA-No-Rep", "NUBA", "replica fills"
     );
     let mut weighted_local = 0.0;
     let mut total_misses = 0u64;
-    for &b in BenchmarkId::ALL {
-        let nr = h.run(b, nr_cfg.clone());
-        let nuba = h.run(b, nuba_cfg.clone());
+    for (i, &b) in BenchmarkId::ALL.iter().enumerate() {
+        let nr = &results[i * 2].report;
+        let nuba = &results[i * 2 + 1].report;
         println!(
             "{:<8} {:>6.2} {:>12.2} {:>8.2} {:>12}",
             b.to_string(),

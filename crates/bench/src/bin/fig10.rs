@@ -6,6 +6,7 @@
 //!    magnitude lower NoC power;
 //! 3. NUBA @ 700 GB/s beats UBA @ 1.4 TB/s on both axes.
 
+use nuba_bench::runner::{run_matrix, Job};
 use nuba_bench::{figure_header, pct, sweep_benchmarks, Harness};
 use nuba_types::{harmonic_mean_speedup, ArchKind, GpuConfig, ReplicationKind};
 
@@ -24,25 +25,37 @@ fn main() {
         "arch", "NoC TB/s", "perf", "NoC watts"
     );
 
-    // Baselines per benchmark.
-    let baselines: Vec<_> = benches
+    // One matrix: per-benchmark baselines first, then every
+    // (arch, bandwidth) point over the sweep set.
+    let archs = [ArchKind::MemSideUba, ArchKind::SmSideUba, ArchKind::Nuba];
+    let widths = [0.7, 1.4, 2.8, 5.6];
+    let mut jobs: Vec<Job> = benches
         .iter()
-        .map(|&b| h.run(b, base_cfg.clone()))
+        .map(|&b| Job::new(b.to_string(), b, base_cfg.clone()))
         .collect();
-
-    let mut results: Vec<(String, f64, f64, f64)> = Vec::new();
-    for arch in [ArchKind::MemSideUba, ArchKind::SmSideUba, ArchKind::Nuba] {
-        for tbs in [0.7, 1.4, 2.8, 5.6] {
+    for arch in archs {
+        for tbs in widths {
             let mut cfg = GpuConfig::paper_baseline(arch).with_noc_tbs(tbs);
             if arch == ArchKind::Nuba {
                 cfg.replication = ReplicationKind::Mdr;
             }
+            for &b in &benches {
+                jobs.push(Job::new(format!("{b}@{tbs}"), b, cfg.clone()));
+            }
+        }
+    }
+    let all = run_matrix(&h, &jobs);
+    let (baselines, points) = all.split_at(benches.len());
+
+    let mut results: Vec<(String, f64, f64, f64)> = Vec::new();
+    for (k, arch) in archs.iter().enumerate() {
+        for (j, &tbs) in widths.iter().enumerate() {
+            let chunk = &points[(k * widths.len() + j) * benches.len()..][..benches.len()];
             let mut speedups = Vec::new();
             let mut watts = 0.0;
-            for (i, &b) in benches.iter().enumerate() {
-                let r = h.run(b, cfg.clone());
-                speedups.push(r.speedup_over(&baselines[i]));
-                watts += r.noc_watts;
+            for (i, res) in chunk.iter().enumerate() {
+                speedups.push(res.report.speedup_over(&baselines[i].report));
+                watts += res.report.noc_watts;
             }
             let s = harmonic_mean_speedup(&speedups);
             let w = watts / benches.len() as f64;

@@ -1,6 +1,7 @@
 //! Figure 11: the impact of page allocation on NUBA performance —
 //! first-touch (FT) vs round-robin (RR) vs Local-And-Balanced (LAB).
 
+use nuba_bench::runner::{run_matrix, Job};
 use nuba_bench::{class_means, figure_header, pct, Harness};
 use nuba_types::{ArchKind, GpuConfig, PagePolicyKind, ReplicationKind};
 use nuba_workloads::BenchmarkId;
@@ -22,6 +23,14 @@ fn main() {
     let rr_cfg = mk(PagePolicyKind::RoundRobin);
     let lab_cfg = mk(PagePolicyKind::lab_default());
 
+    let jobs: Vec<Job> = BenchmarkId::ALL
+        .iter()
+        .flat_map(|&b| {
+            [&uba, &ft_cfg, &rr_cfg, &lab_cfg].map(|cfg| Job::new(b.to_string(), b, cfg.clone()))
+        })
+        .collect();
+    let results = run_matrix(&h, &jobs);
+
     println!(
         "{:<8} {:>8} {:>8} {:>8} {:>9} {:>9} {:>9}",
         "bench", "FT", "RR", "LAB", "LAB/FT", "LAB/RR", "FT imbal"
@@ -29,12 +38,12 @@ fn main() {
     let mut lab_rows = Vec::new();
     let mut lab_ft = Vec::new();
     let mut lab_rr = Vec::new();
-    for &b in BenchmarkId::ALL {
-        let base = h.run(b, uba.clone());
-        let ft_r = h.run(b, ft_cfg.clone());
-        let ft = ft_r.speedup_over(&base);
-        let rr = h.run(b, rr_cfg.clone()).speedup_over(&base);
-        let lab = h.run(b, lab_cfg.clone()).speedup_over(&base);
+    for (i, &b) in BenchmarkId::ALL.iter().enumerate() {
+        let base = &results[i * 4].report;
+        let ft_r = &results[i * 4 + 1].report;
+        let ft = ft_r.speedup_over(base);
+        let rr = results[i * 4 + 2].report.speedup_over(base);
+        let lab = results[i * 4 + 3].report.speedup_over(base);
         println!(
             "{:<8} {:>8.2} {:>8.2} {:>8.2} {:>9} {:>9} {:>8.1}x",
             b.to_string(),

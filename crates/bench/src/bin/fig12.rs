@@ -1,6 +1,7 @@
 //! Figure 12: the impact of data replication on NUBA performance —
 //! No-Rep vs Full-Rep vs Model-Driven Replication (all under LAB).
 
+use nuba_bench::runner::{run_matrix, Job};
 use nuba_bench::{figure_header, pct, Harness};
 use nuba_types::{harmonic_mean_speedup, ArchKind, GpuConfig, ReplicationKind};
 use nuba_workloads::{BenchmarkId, SharingClass};
@@ -20,18 +21,26 @@ fn main() {
     let fr_cfg = mk(ReplicationKind::Full);
     let mdr_cfg = mk(ReplicationKind::Mdr);
 
+    let jobs: Vec<Job> = BenchmarkId::ALL
+        .iter()
+        .flat_map(|&b| {
+            [&nr_cfg, &fr_cfg, &mdr_cfg].map(|cfg| Job::new(b.to_string(), b, cfg.clone()))
+        })
+        .collect();
+    let results = run_matrix(&h, &jobs);
+
     println!(
         "{:<8} {:>9} {:>9} {:>7} {:>8} {:>9}",
         "bench", "Full-Rep", "MDR", "mdr-on", "llc(FR)", "llc(MDR)"
     );
     let mut mdr_gains = Vec::new();
     let mut high_gains = Vec::new();
-    for &b in BenchmarkId::ALL {
-        let nr = h.run(b, nr_cfg.clone());
-        let fr = h.run(b, fr_cfg.clone());
-        let mdr = h.run(b, mdr_cfg.clone());
-        let s_fr = fr.speedup_over(&nr);
-        let s_mdr = mdr.speedup_over(&nr);
+    for (i, &b) in BenchmarkId::ALL.iter().enumerate() {
+        let nr = &results[i * 3].report;
+        let fr = &results[i * 3 + 1].report;
+        let mdr = &results[i * 3 + 2].report;
+        let s_fr = fr.speedup_over(nr);
+        let s_mdr = mdr.speedup_over(nr);
         println!(
             "{:<8} {:>9} {:>9} {:>6.0}% {:>8.2} {:>9.2}",
             b.to_string(),

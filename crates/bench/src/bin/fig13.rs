@@ -1,5 +1,6 @@
 //! Figure 13: normalized GPU energy — NoC versus the rest of the GPU.
 
+use nuba_bench::runner::{run_matrix, Job};
 use nuba_bench::{figure_header, main_configs, Harness};
 use nuba_workloads::BenchmarkId;
 
@@ -8,25 +9,33 @@ fn main() {
     let h = Harness::from_env();
     let [(_, uba_cfg), (_, sm_cfg), _, (_, nuba_cfg)] = main_configs();
 
+    let jobs: Vec<Job> = BenchmarkId::ALL
+        .iter()
+        .flat_map(|&b| {
+            [&uba_cfg, &sm_cfg, &nuba_cfg].map(|cfg| Job::new(b.to_string(), b, cfg.clone()))
+        })
+        .collect();
+    let results = run_matrix(&h, &jobs);
+
     println!(
         "{:<8} {:>9} {:>9} | {:>9} {:>9} | {:>9} {:>9}",
         "bench", "UBA noc", "UBA rest", "SM noc", "SM rest", "NUBA noc", "NUBA rest"
     );
     let mut sums = [0.0f64; 6];
     let mut totals = (0.0f64, 0.0f64, 0.0f64);
-    for &b in BenchmarkId::ALL {
-        let base = h.run(b, uba_cfg.clone());
-        let sm = h.run(b, sm_cfg.clone());
-        let nuba = h.run(b, nuba_cfg.clone());
+    for (i, &b) in BenchmarkId::ALL.iter().enumerate() {
+        let base = &results[i * 3].report;
+        let sm = &results[i * 3 + 1].report;
+        let nuba = &results[i * 3 + 2].report;
         // Energy per completed warp-op, normalized to UBA's total.
         let norm = |r: &nuba_core::SimReport| {
             let per_op = r.warp_ops.max(1) as f64;
             (r.energy.noc_j / per_op, r.energy.rest_j / per_op)
         };
-        let (un, ur) = norm(&base);
+        let (un, ur) = norm(base);
         let scale = un + ur;
-        let (sn, sr) = norm(&sm);
-        let (nn, nr) = norm(&nuba);
+        let (sn, sr) = norm(sm);
+        let (nn, nr) = norm(nuba);
         let row = [
             un / scale,
             ur / scale,

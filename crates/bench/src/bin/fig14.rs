@@ -5,6 +5,7 @@
 //! equally-configured memory-side UBA, over the sweep benchmark set
 //! (set `NUBA_FULL=1` for all 29 benchmarks).
 
+use nuba_bench::runner::{run_matrix, Job};
 use nuba_bench::{figure_header, pct, sweep_benchmarks, Harness};
 use nuba_types::{harmonic_mean_speedup, ArchKind, GpuConfig, MappingKind, PagePolicyKind};
 use nuba_workloads::{BenchmarkId, ScaleProfile};
@@ -16,17 +17,23 @@ fn improvement(
     nuba: &GpuConfig,
     scale: Option<ScaleProfile>,
 ) -> f64 {
-    let mut speedups = Vec::new();
-    for &b in benches {
-        let (base, test) = match scale {
-            Some(s) => (
-                h.run_scaled(b, uba.clone(), s),
-                h.run_scaled(b, nuba.clone(), s),
-            ),
-            None => (h.run(b, uba.clone()), h.run(b, nuba.clone())),
-        };
-        speedups.push(test.speedup_over(&base));
-    }
+    let jobs: Vec<Job> = benches
+        .iter()
+        .flat_map(|&b| {
+            [uba, nuba].map(|cfg| {
+                let job = Job::new(b.to_string(), b, cfg.clone());
+                match scale {
+                    Some(s) => job.with_scale(s),
+                    None => job,
+                }
+            })
+        })
+        .collect();
+    let results = run_matrix(h, &jobs);
+    let speedups: Vec<f64> = results
+        .chunks_exact(2)
+        .map(|pair| pair[1].report.speedup_over(&pair[0].report))
+        .collect();
     harmonic_mean_speedup(&speedups)
 }
 

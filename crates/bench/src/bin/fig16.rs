@@ -4,6 +4,7 @@
 //! bidirectional inter-module links; compared against a monolithic GPU
 //! of the same resources.
 
+use nuba_bench::runner::{run_matrix, Job};
 use nuba_bench::{class_means, figure_header, pct, Harness};
 use nuba_types::{ArchKind, GpuConfig};
 use nuba_workloads::BenchmarkId;
@@ -20,19 +21,28 @@ fn main() {
     let mcm_uba = GpuConfig::paper_mcm(ArchKind::McmUba);
     let mcm_nuba = GpuConfig::paper_mcm(ArchKind::McmNuba);
 
+    let jobs: Vec<Job> = BenchmarkId::ALL
+        .iter()
+        .flat_map(|&b| {
+            [&mono_uba, &mono_nuba, &mcm_uba, &mcm_nuba]
+                .map(|cfg| Job::new(b.to_string(), b, cfg.clone()))
+        })
+        .collect();
+    let results = run_matrix(&h, &jobs);
+
     println!(
         "{:<8} {:>14} {:>14}",
         "bench", "mono NUBA/UBA", "MCM NUBA/UBA"
     );
     let mut mono_rows = Vec::new();
     let mut mcm_rows = Vec::new();
-    for &b in BenchmarkId::ALL {
-        let mu = h.run(b, mono_uba.clone());
-        let mn = h.run(b, mono_nuba.clone());
-        let cu = h.run(b, mcm_uba.clone());
-        let cn = h.run(b, mcm_nuba.clone());
-        let mono = mn.speedup_over(&mu);
-        let mcm = cn.speedup_over(&cu);
+    for (i, &b) in BenchmarkId::ALL.iter().enumerate() {
+        let mu = &results[i * 4].report;
+        let mn = &results[i * 4 + 1].report;
+        let cu = &results[i * 4 + 2].report;
+        let cn = &results[i * 4 + 3].report;
+        let mono = mn.speedup_over(mu);
+        let mcm = cn.speedup_over(cu);
         println!("{:<8} {:>14} {:>14}", b.to_string(), pct(mono), pct(mcm));
         mono_rows.push((b, mono));
         mcm_rows.push((b, mcm));

@@ -7,7 +7,9 @@
 //! nuba_sim --help
 //! ```
 
-use nuba_core::{GpuSimulator, SimReport};
+use nuba_bench::runner::{run_matrix, Job, JobResult};
+use nuba_bench::Harness;
+use nuba_core::GpuSimulator;
 use nuba_types::{ArchKind, GpuConfig, MappingKind, PagePolicyKind, ReplicationKind};
 use nuba_workloads::{BenchmarkId, ScaleProfile, Workload};
 
@@ -182,19 +184,28 @@ fn build_config(a: &Args) -> GpuConfig {
     cfg
 }
 
-fn run_one(a: &Args, bench: BenchmarkId) -> SimReport {
-    let cfg = build_config(a);
+/// Run the selected benchmarks on the `NUBA_JOBS` worker pool,
+/// returning per-job reports plus wall-clock / throughput records.
+fn run_all(a: &Args, benches: &[BenchmarkId]) -> Vec<JobResult> {
     let scale = if a.huge_pages {
         ScaleProfile::huge_pages()
     } else {
         ScaleProfile::default()
     };
-    let wl = Workload::build(bench, scale, cfg.num_sms, a.seed);
-    let mut gpu = GpuSimulator::new(cfg, &wl);
-    gpu.warm_and_run(&wl, a.cycles)
+    let h = Harness {
+        cycles: a.cycles,
+        scale,
+        seed: a.seed,
+    };
+    let jobs: Vec<Job> = benches
+        .iter()
+        .map(|&b| Job::new(b.to_string(), b, build_config(a)))
+        .collect();
+    run_matrix(&h, &jobs)
 }
 
-fn json_escape_free(b: BenchmarkId, a: &Args, r: &SimReport) -> String {
+fn json_escape_free(b: BenchmarkId, a: &Args, j: &JobResult) -> String {
+    let r = &j.report;
     format!(
         "{{\"bench\":\"{}\",\"arch\":\"{}\",\"cycles\":{},\"warp_ops\":{},\
          \"perf\":{:.4},\"replies_per_cycle\":{:.4},\"l1_hit_rate\":{:.4},\
@@ -202,7 +213,8 @@ fn json_escape_free(b: BenchmarkId, a: &Args, r: &SimReport) -> String {
          \"dram_row_hit_rate\":{:.4},\"noc_bytes\":{},\"local_link_bytes\":{},\
          \"replica_fills\":{},\"mdr_replication_rate\":{:.4},\"page_faults\":{},\
          \"npb\":{:.4},\"avg_read_latency\":{:.1},\"max_read_latency\":{},\
-         \"noc_watts\":{:.2},\"noc_energy_j\":{:.6},\"rest_energy_j\":{:.6}}}",
+         \"noc_watts\":{:.2},\"noc_energy_j\":{:.6},\"rest_energy_j\":{:.6},\
+         \"wall_seconds\":{:.3},\"cycles_per_sec\":{:.0}}}",
         b,
         a.arch.label(),
         r.cycles,
@@ -225,10 +237,13 @@ fn json_escape_free(b: BenchmarkId, a: &Args, r: &SimReport) -> String {
         r.noc_watts,
         r.energy.noc_j,
         r.energy.rest_j,
+        j.wall_seconds,
+        j.cycles_per_sec,
     )
 }
 
-fn print_human(b: BenchmarkId, r: &SimReport) {
+fn print_human(b: BenchmarkId, j: &JobResult) {
+    let r = &j.report;
     println!("{:-<66}", format!("-- {} ({}) ", b.spec().name, b));
     println!(
         "  perf            {:>10.2} warp-ops/cycle    replies/cycle {:>7.2}",
@@ -262,6 +277,10 @@ fn print_human(b: BenchmarkId, r: &SimReport) {
         r.noc_watts,
         r.energy.total_j(),
         r.energy.noc_fraction() * 100.0
+    );
+    println!(
+        "  simulation      {:.2} s wall-clock   {:.0} cycles/s",
+        j.wall_seconds, j.cycles_per_sec
     );
 }
 
@@ -347,12 +366,12 @@ fn main() {
         Some(b) => vec![b],
         None => BenchmarkId::ALL.to_vec(),
     };
+    let results = run_all(&args, &benches);
     if args.json {
         println!("[");
-        for (i, &b) in benches.iter().enumerate() {
-            let r = run_one(&args, b);
+        for (i, (&b, j)) in benches.iter().zip(&results).enumerate() {
             let comma = if i + 1 < benches.len() { "," } else { "" };
-            println!("  {}{}", json_escape_free(b, &args, &r), comma);
+            println!("  {}{}", json_escape_free(b, &args, j), comma);
         }
         println!("]");
     } else {
@@ -365,9 +384,8 @@ fn main() {
             args.cycles,
             args.seed
         );
-        for &b in &benches {
-            let r = run_one(&args, b);
-            print_human(b, &r);
+        for (&b, j) in benches.iter().zip(&results) {
+            print_human(b, j);
         }
     }
 }

@@ -15,9 +15,16 @@
 //! math, link/pipe time monotonicity, replica-path access kinds, SM
 //! reply routing, ...), which count violations even in release builds.
 //!
+//! The configurations run concurrently on the `NUBA_JOBS` worker pool.
+//! The invariant registry is process-global, so it is reset once up
+//! front and violations are attributed by *site* (file:line) rather
+//! than by configuration; set `NUBA_JOBS=1` to bisect a failure to a
+//! single configuration.
+//!
 //! Exit status is nonzero on any violation, so CI can gate on
 //! `cargo run -p nuba-bench --bin simcheck`.
 
+use nuba_bench::runner::{num_jobs, run_jobs};
 use nuba_core::GpuSimulator;
 use nuba_types::invariant;
 use nuba_types::{ArchKind, GpuConfig, PagePolicyKind, ReplicationKind};
@@ -56,9 +63,8 @@ fn configs() -> Vec<(String, GpuConfig)> {
 }
 
 /// Simulate one configuration with conservation checks every
-/// `check_every` cycles. Returns violations attributable to this run.
-fn check_config(name: &str, cfg: GpuConfig, bench: BenchmarkId, cycles: u64) -> u64 {
-    nuba_types::invariant::reset();
+/// `check_every` cycles. Returns (timed cycles, warp-ops).
+fn check_config(cfg: GpuConfig, bench: BenchmarkId, cycles: u64) -> (u64, u64) {
     let scale = ScaleProfile::fast();
     let wl = Workload::build(bench, scale, cfg.num_sms, cfg.seed);
     let mut gpu = GpuSimulator::new(cfg, &wl);
@@ -81,24 +87,8 @@ fn check_config(name: &str, cfg: GpuConfig, bench: BenchmarkId, cycles: u64) -> 
         prev_energy = energy;
     }
 
-    let violations = nuba_types::invariant::total_violations();
     let report = gpu.report();
-    let status = if violations == 0 { "ok" } else { "FAIL" };
-    println!(
-        "{status:>4}  {name:<24} {:>8} cycles  {:>8} warp-ops  {:>3} violations",
-        report.cycles, report.warp_ops, violations
-    );
-    if violations > 0 {
-        for site in nuba_types::invariant::report() {
-            if site.violations > 0 {
-                println!(
-                    "      {} at {}:{} — {}/{} checks violated",
-                    site.name, site.file, site.line, site.violations, site.checks
-                );
-            }
-        }
-    }
-    violations
+    (report.cycles, report.warp_ops)
 }
 
 fn main() {
@@ -109,17 +99,33 @@ fn main() {
     // A benchmark with both read-only shared data (exercises the MDR
     // replica path) and writes (exercises stores/atomics downstream).
     let bench = BenchmarkId::Kmeans;
+    let configs = configs();
 
     println!(
-        "simcheck: {} configurations x {cycles} cycles of {bench:?}",
-        configs().len()
+        "simcheck: {} configurations x {cycles} cycles of {bench:?} ({} workers)",
+        configs.len(),
+        num_jobs()
     );
-    let mut total = 0u64;
-    for (name, cfg) in configs() {
-        total += check_config(&name, cfg, bench, cycles);
+    nuba_types::invariant::reset();
+    let runs = run_jobs(configs.len(), num_jobs(), |i| {
+        check_config(configs[i].1.clone(), bench, cycles)
+    });
+    let total = nuba_types::invariant::total_violations();
+
+    let status = if total == 0 { "ok" } else { "FAIL" };
+    for ((name, _), (run_cycles, warp_ops)) in configs.iter().zip(&runs) {
+        println!("{status:>4}  {name:<24} {run_cycles:>8} cycles  {warp_ops:>8} warp-ops");
     }
 
     if total > 0 {
+        for site in nuba_types::invariant::report() {
+            if site.violations > 0 {
+                println!(
+                    "      {} at {}:{} — {}/{} checks violated",
+                    site.name, site.file, site.line, site.violations, site.checks
+                );
+            }
+        }
         eprintln!("simcheck: {total} invariant violations");
         std::process::exit(1);
     }

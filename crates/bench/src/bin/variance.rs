@@ -2,16 +2,10 @@
 //! workload-generation seeds? Reports per-benchmark coefficient of
 //! variation of the NUBA-over-UBA speedup.
 
+use nuba_bench::runner::{run_matrix, Job};
 use nuba_bench::{figure_header, pct, Harness};
 use nuba_types::{ArchKind, GpuConfig};
-use nuba_workloads::{BenchmarkId, ScaleProfile, Workload};
-
-fn run(bench: BenchmarkId, mut cfg: GpuConfig, seed: u64, cycles: u64) -> f64 {
-    cfg.seed = seed;
-    let wl = Workload::build(bench, ScaleProfile::default(), cfg.num_sms, seed);
-    let mut gpu = nuba_core::GpuSimulator::new(cfg, &wl);
-    gpu.warm_and_run(&wl, cycles).perf()
-}
+use nuba_workloads::{BenchmarkId, ScaleProfile};
 
 fn main() {
     figure_header("Variance", "NUBA speedup stability across seeds");
@@ -25,27 +19,35 @@ fn main() {
         BenchmarkId::StreamCluster,
         BenchmarkId::Mvt,
     ];
+    // Seed sweeps always use the full-density workload model regardless
+    // of NUBA_FAST, so the seed overrides pair with a scale override.
+    let jobs: Vec<Job> = benches
+        .iter()
+        .flat_map(|&bench| {
+            seeds.iter().flat_map(move |&s| {
+                [ArchKind::MemSideUba, ArchKind::Nuba].map(|arch| {
+                    Job::new(
+                        format!("{bench}@{s}"),
+                        bench,
+                        GpuConfig::paper_baseline(arch),
+                    )
+                    .with_seed(s)
+                    .with_scale(ScaleProfile::default())
+                })
+            })
+        })
+        .collect();
+    let results = run_matrix(&h, &jobs);
+
     println!(
         "{:<8} {:>9} {:>9} {:>9} {:>7}   per-seed speedups",
         "bench", "mean", "min", "max", "CoV"
     );
-    for bench in benches {
-        let speedups: Vec<f64> = seeds
-            .iter()
-            .map(|&s| {
-                let uba = run(
-                    bench,
-                    GpuConfig::paper_baseline(ArchKind::MemSideUba),
-                    s,
-                    h.cycles,
-                );
-                let nuba = run(
-                    bench,
-                    GpuConfig::paper_baseline(ArchKind::Nuba),
-                    s,
-                    h.cycles,
-                );
-                nuba / uba
+    for (bi, bench) in benches.iter().enumerate() {
+        let speedups: Vec<f64> = (0..seeds.len())
+            .map(|si| {
+                let at = (bi * seeds.len() + si) * 2;
+                results[at + 1].report.perf() / results[at].report.perf()
             })
             .collect();
         let mean = speedups.iter().sum::<f64>() / speedups.len() as f64;

@@ -17,6 +17,11 @@
 //! - `NUBA_FAST=1`: quarter-density workload scaling for quick looks.
 //! - `NUBA_FULL=1`: run parameter sweeps over all 29 benchmarks instead
 //!   of the representative subset.
+//! - `NUBA_JOBS`: worker threads for the experiment matrix runner
+//!   (default: available parallelism; `1` forces serial execution).
+//!   Results are schedule-independent — see [`runner`].
+
+pub mod runner;
 
 use nuba_core::{GpuSimulator, SimReport};
 use nuba_types::{harmonic_mean_speedup, ArchKind, GpuConfig, ReplicationKind};

@@ -1,0 +1,368 @@
+//! Deterministic parallel execution of experiment matrices.
+//!
+//! Every figure binary replays an independent list of
+//! (benchmark × configuration) simulations. This module expands such a
+//! list into [`Job`]s and executes them on a [`std::thread::scope`]
+//! work-stealing pool sized by the `NUBA_JOBS` environment knob
+//! (default: available parallelism). Results come back in submission
+//! order, so callers print byte-identical output to a serial loop.
+//!
+//! Determinism: each job builds its own [`Workload`] and
+//! [`GpuSimulator`] from the job's seed — no state is shared between
+//! jobs, so the schedule cannot leak into the simulation. The only
+//! process-global state the simulator touches is the invariant counter
+//! registry (`nuba_types::invariant`), which uses relaxed atomics and
+//! only ever *counts* under the pool.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+use std::time::Instant;
+
+use nuba_core::{GpuSimulator, SimReport};
+use nuba_types::GpuConfig;
+use nuba_workloads::{BenchmarkId, ScaleProfile, Workload};
+
+use crate::Harness;
+
+/// One simulation in an experiment matrix.
+#[derive(Debug, Clone)]
+pub struct Job {
+    /// Display label (carried into the [`JobResult`]).
+    pub label: String,
+    /// The workload.
+    pub bench: BenchmarkId,
+    /// The architecture configuration.
+    pub cfg: GpuConfig,
+    /// Scale override (page-size sensitivity, variance runs); `None`
+    /// uses the harness scale.
+    pub scale: Option<ScaleProfile>,
+    /// Seed override (variance runs); `None` uses the harness seed.
+    pub seed: Option<u64>,
+}
+
+impl Job {
+    /// A job running `bench` on `cfg` with the harness defaults.
+    pub fn new(label: impl Into<String>, bench: BenchmarkId, cfg: GpuConfig) -> Job {
+        Job {
+            label: label.into(),
+            bench,
+            cfg,
+            scale: None,
+            seed: None,
+        }
+    }
+
+    /// Override the workload scale (mirrors [`Harness::run_scaled`]).
+    #[must_use]
+    pub fn with_scale(mut self, scale: ScaleProfile) -> Job {
+        self.scale = Some(scale);
+        self
+    }
+
+    /// Override the layout/stream seed.
+    #[must_use]
+    pub fn with_seed(mut self, seed: u64) -> Job {
+        self.seed = Some(seed);
+        self
+    }
+}
+
+/// A completed job with its throughput record.
+#[derive(Debug, Clone)]
+pub struct JobResult {
+    /// The job's label.
+    pub label: String,
+    /// The simulation report.
+    pub report: SimReport,
+    /// Wall-clock seconds this job took (build + warm + timed window).
+    pub wall_seconds: f64,
+    /// Simulated cycles per wall-clock second.
+    pub cycles_per_sec: f64,
+}
+
+/// Worker count: `NUBA_JOBS` if set and positive, else the machine's
+/// available parallelism.
+pub fn num_jobs() -> usize {
+    std::env::var("NUBA_JOBS")
+        .ok()
+        .and_then(|v| v.parse::<usize>().ok())
+        .filter(|&n| n > 0)
+        .unwrap_or_else(|| {
+            std::thread::available_parallelism()
+                .map(std::num::NonZeroUsize::get)
+                .unwrap_or(1)
+        })
+}
+
+/// Run `n` independent tasks on up to `threads` scoped workers; task
+/// `i` computes `f(i)`. Results return in index order. Workers steal
+/// the next unclaimed index from a shared counter, so long tasks do not
+/// convoy short ones. With `threads <= 1` the tasks run inline on the
+/// caller's thread in order.
+pub fn run_jobs<T, F>(n: usize, threads: usize, f: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync,
+{
+    let threads = threads.clamp(1, n.max(1));
+    if threads <= 1 || n <= 1 {
+        return (0..n).map(f).collect();
+    }
+    let next = AtomicUsize::new(0);
+    let slots: Vec<Mutex<Option<T>>> = (0..n).map(|_| Mutex::new(None)).collect();
+    std::thread::scope(|s| {
+        for _ in 0..threads {
+            s.spawn(|| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= n {
+                    break;
+                }
+                let r = f(i);
+                *slots[i].lock().expect("result slot poisoned") = Some(r);
+            });
+        }
+    });
+    slots
+        .into_iter()
+        .map(|m| {
+            m.into_inner()
+                .expect("result slot poisoned")
+                .expect("worker completed every claimed job")
+        })
+        .collect()
+}
+
+/// Execute one job exactly as [`Harness::run`] / [`Harness::run_scaled`]
+/// would, timing it.
+fn run_job(h: &Harness, job: &Job) -> JobResult {
+    let start = Instant::now();
+    let scale = job.scale.unwrap_or(h.scale);
+    let seed = job.seed.unwrap_or(h.seed);
+    let mut cfg = job.cfg.clone();
+    cfg.seed = seed;
+    if cfg.page_bytes != scale.page_bytes {
+        cfg.page_bytes = scale.page_bytes;
+    }
+    let wl = Workload::build(job.bench, scale, cfg.num_sms, seed);
+    let mut gpu = GpuSimulator::new(cfg, &wl);
+    let report = gpu.warm_and_run(&wl, h.cycles);
+    let wall_seconds = start.elapsed().as_secs_f64();
+    let cycles_per_sec = report.cycles as f64 / wall_seconds.max(1e-9);
+    JobResult {
+        label: job.label.clone(),
+        report,
+        wall_seconds,
+        cycles_per_sec,
+    }
+}
+
+/// Run an experiment matrix on the `NUBA_JOBS` pool. Results are
+/// returned in submission order regardless of the execution schedule.
+pub fn run_matrix(h: &Harness, jobs: &[Job]) -> Vec<JobResult> {
+    run_matrix_with(h, jobs, num_jobs())
+}
+
+/// [`run_matrix`] with an explicit worker count (determinism tests).
+pub fn run_matrix_with(h: &Harness, jobs: &[Job], threads: usize) -> Vec<JobResult> {
+    run_jobs(jobs.len(), threads, |i| run_job(h, &jobs[i]))
+}
+
+/// Aggregate throughput of one `run_matrix` call.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct MatrixStats {
+    /// Jobs executed.
+    pub jobs: usize,
+    /// Sum of per-job wall-clock seconds (CPU-seconds of simulation).
+    pub cpu_seconds: f64,
+    /// Total simulated cycles across the matrix.
+    pub total_cycles: u64,
+}
+
+impl MatrixStats {
+    /// Summarize a result set.
+    pub fn of(results: &[JobResult]) -> MatrixStats {
+        MatrixStats {
+            jobs: results.len(),
+            cpu_seconds: results.iter().map(|r| r.wall_seconds).sum(),
+            total_cycles: results.iter().map(|r| r.report.cycles).sum(),
+        }
+    }
+
+    /// Fold another matrix into this aggregate.
+    pub fn absorb(&mut self, other: MatrixStats) {
+        self.jobs += other.jobs;
+        self.cpu_seconds += other.cpu_seconds;
+        self.total_cycles += other.total_cycles;
+    }
+}
+
+/// One run's record in `BENCH_runner.json`.
+#[derive(Debug, Clone, Copy)]
+pub struct RunnerRecord {
+    /// Worker count the run used.
+    pub nuba_jobs: usize,
+    /// End-to-end wall-clock seconds of the whole report.
+    pub wall_seconds: f64,
+    /// Matrix aggregate.
+    pub stats: MatrixStats,
+}
+
+impl RunnerRecord {
+    fn to_json_line(self) -> String {
+        let cps = self.stats.total_cycles as f64 / self.wall_seconds.max(1e-9);
+        format!(
+            "    {{\"nuba_jobs\": {}, \"jobs\": {}, \"wall_seconds\": {:.3}, \
+             \"cpu_seconds\": {:.3}, \"total_cycles\": {}, \"cycles_per_sec\": {:.0}}}",
+            self.nuba_jobs,
+            self.stats.jobs,
+            self.wall_seconds,
+            self.stats.cpu_seconds,
+            self.stats.total_cycles,
+            cps
+        )
+    }
+
+    fn parse_json_line(line: &str) -> Option<RunnerRecord> {
+        let field = |name: &str| -> Option<f64> {
+            let key = format!("\"{name}\": ");
+            let at = line.find(&key)? + key.len();
+            let rest = &line[at..];
+            let end = rest
+                .find(|c: char| c != '.' && c != '-' && !c.is_ascii_digit())
+                .unwrap_or(rest.len());
+            rest[..end].parse().ok()
+        };
+        Some(RunnerRecord {
+            nuba_jobs: field("nuba_jobs")? as usize,
+            wall_seconds: field("wall_seconds")?,
+            stats: MatrixStats {
+                jobs: field("jobs")? as usize,
+                cpu_seconds: field("cpu_seconds")?,
+                total_cycles: field("total_cycles")? as u64,
+            },
+        })
+    }
+}
+
+/// Write (or merge into) `path` the throughput record of this run.
+///
+/// The file keeps one record per distinct `nuba_jobs` value, so running
+/// `all_experiments` at `NUBA_JOBS=1` and again at `NUBA_JOBS=4` leaves
+/// both records side by side plus the parallel speedup versus the
+/// serial record — the perf-trajectory evidence the roadmap asks for.
+pub fn write_runner_json(path: &str, record: RunnerRecord) -> std::io::Result<()> {
+    let mut records: Vec<RunnerRecord> = std::fs::read_to_string(path)
+        .map(|old| {
+            old.lines()
+                .filter_map(RunnerRecord::parse_json_line)
+                .filter(|r| r.nuba_jobs != record.nuba_jobs)
+                .collect()
+        })
+        .unwrap_or_default();
+    records.push(record);
+    records.sort_by_key(|r| r.nuba_jobs);
+    let serial = records
+        .iter()
+        .find(|r| r.nuba_jobs == 1)
+        .map(|r| r.wall_seconds);
+    let mut out = String::from("{\n  \"runs\": [\n");
+    out.push_str(
+        &records
+            .iter()
+            .map(|r| r.to_json_line())
+            .collect::<Vec<_>>()
+            .join(",\n"),
+    );
+    out.push_str("\n  ]");
+    if let Some(serial_wall) = serial {
+        if let Some(fastest) = records
+            .iter()
+            .filter(|r| r.nuba_jobs > 1)
+            .min_by(|a, b| a.wall_seconds.total_cmp(&b.wall_seconds))
+        {
+            out.push_str(&format!(
+                ",\n  \"parallel_speedup_vs_serial\": {:.2},\n  \"parallel_nuba_jobs\": {}",
+                serial_wall / fastest.wall_seconds.max(1e-9),
+                fastest.nuba_jobs
+            ));
+        }
+    }
+    out.push_str("\n}\n");
+    std::fs::write(path, out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn run_jobs_returns_submission_order() {
+        // Uneven task costs: late indices finish first under any
+        // schedule, but results must come back in index order.
+        let got = run_jobs(16, 4, |i| {
+            std::thread::sleep(std::time::Duration::from_millis((16 - i) as u64));
+            i * 10
+        });
+        assert_eq!(got, (0..16).map(|i| i * 10).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn run_jobs_serial_path_matches() {
+        let par = run_jobs(8, 4, |i| i + 1);
+        let ser = run_jobs(8, 1, |i| i + 1);
+        assert_eq!(par, ser);
+    }
+
+    #[test]
+    fn run_jobs_handles_empty_and_single() {
+        assert_eq!(run_jobs(0, 4, |i| i), Vec::<usize>::new());
+        assert_eq!(run_jobs(1, 4, |i| i), vec![0]);
+    }
+
+    #[test]
+    fn runner_record_roundtrips_through_json() {
+        let rec = RunnerRecord {
+            nuba_jobs: 4,
+            wall_seconds: 12.345,
+            stats: MatrixStats {
+                jobs: 7,
+                cpu_seconds: 40.5,
+                total_cycles: 420_000,
+            },
+        };
+        let line = rec.to_json_line();
+        let back = RunnerRecord::parse_json_line(&line).expect("parses");
+        assert_eq!(back.nuba_jobs, 4);
+        assert_eq!(back.stats.jobs, 7);
+        assert_eq!(back.stats.total_cycles, 420_000);
+        assert!((back.wall_seconds - 12.345).abs() < 1e-9);
+    }
+
+    #[test]
+    fn runner_json_merges_by_job_count() {
+        let dir = std::env::temp_dir().join(format!("nuba_runner_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("BENCH_runner.json");
+        let path = path.to_str().unwrap();
+        let mk = |jobs: usize, wall: f64| RunnerRecord {
+            nuba_jobs: jobs,
+            wall_seconds: wall,
+            stats: MatrixStats {
+                jobs: 3,
+                cpu_seconds: wall,
+                total_cycles: 1000,
+            },
+        };
+        write_runner_json(path, mk(1, 10.0)).unwrap();
+        write_runner_json(path, mk(4, 4.0)).unwrap();
+        // Re-running at the same width replaces, not duplicates.
+        write_runner_json(path, mk(4, 3.0)).unwrap();
+        let text = std::fs::read_to_string(path).unwrap();
+        assert_eq!(text.matches("\"nuba_jobs\": 4").count(), 1, "{text}");
+        assert!(
+            text.contains("\"parallel_speedup_vs_serial\": 3.33"),
+            "{text}"
+        );
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

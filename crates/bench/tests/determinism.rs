@@ -1,0 +1,93 @@
+//! Serial-vs-parallel determinism regression test for the experiment
+//! matrix runner: the same job list must produce field-for-field
+//! identical `SimReport`s at any worker count, in submission order.
+
+use nuba_bench::runner::{run_matrix_with, Job};
+use nuba_bench::Harness;
+use nuba_types::{ArchKind, GpuConfig, PagePolicyKind, ReplicationKind};
+use nuba_workloads::{BenchmarkId, ScaleProfile};
+
+fn harness() -> Harness {
+    Harness {
+        cycles: 1500,
+        scale: ScaleProfile::fast(),
+        seed: 42,
+    }
+}
+
+/// A small matrix covering the harness paths the figure binaries use:
+/// plain jobs, per-job seed overrides (variance runs), scale overrides
+/// (page-size sensitivity), and the history-dependent page-management
+/// policies (migration / page replication order their maintenance
+/// passes explicitly — this test is the regression gate for that).
+fn matrix() -> Vec<Job> {
+    let uba = GpuConfig::paper_baseline(ArchKind::MemSideUba);
+    let nuba = GpuConfig::paper_baseline(ArchKind::Nuba);
+    let mut mig = GpuConfig::paper_baseline(ArchKind::Nuba);
+    mig.page_policy = PagePolicyKind::Migration;
+    mig.replication = ReplicationKind::None;
+    let mut prep = mig.clone();
+    prep.page_policy = PagePolicyKind::PageReplication;
+
+    let mut jobs = Vec::new();
+    for &b in &[BenchmarkId::Kmeans, BenchmarkId::Sgemm] {
+        jobs.push(Job::new(format!("{b}/uba"), b, uba.clone()));
+        jobs.push(Job::new(format!("{b}/nuba"), b, nuba.clone()));
+        jobs.push(Job::new(format!("{b}/mig"), b, mig.clone()));
+        jobs.push(Job::new(format!("{b}/prep"), b, prep.clone()));
+        jobs.push(
+            Job::new(format!("{b}/seeded"), b, nuba.clone())
+                .with_seed(54)
+                .with_scale(ScaleProfile::fast()),
+        );
+    }
+    jobs
+}
+
+#[test]
+fn parallel_matrix_matches_serial_field_for_field() {
+    let h = harness();
+    let jobs = matrix();
+    let serial = run_matrix_with(&h, &jobs, 1);
+    let parallel = run_matrix_with(&h, &jobs, 4);
+
+    assert_eq!(serial.len(), jobs.len());
+    assert_eq!(parallel.len(), jobs.len());
+    for ((s, p), job) in serial.iter().zip(&parallel).zip(&jobs) {
+        assert_eq!(s.label, job.label, "results must keep submission order");
+        assert_eq!(p.label, job.label, "results must keep submission order");
+        // SimReport derives PartialEq: every counter, histogram and
+        // energy figure must agree bit-for-bit.
+        assert_eq!(
+            s.report, p.report,
+            "job `{}` diverged between serial and parallel execution",
+            job.label
+        );
+    }
+}
+
+#[test]
+fn parallel_matrix_is_stable_across_repeat_runs() {
+    let h = harness();
+    let jobs = matrix();
+    let first = run_matrix_with(&h, &jobs, 4);
+    let second = run_matrix_with(&h, &jobs, 4);
+    for (a, b) in first.iter().zip(&second) {
+        assert_eq!(a.report, b.report, "job `{}` not reproducible", a.label);
+    }
+}
+
+#[test]
+fn matrix_reports_throughput_per_job() {
+    let h = harness();
+    let jobs = matrix();
+    for r in run_matrix_with(&h, &jobs, 2) {
+        assert!(r.wall_seconds > 0.0, "{}: wall-clock not recorded", r.label);
+        assert!(
+            r.cycles_per_sec > 0.0,
+            "{}: throughput not recorded",
+            r.label
+        );
+        assert_eq!(r.report.cycles, h.cycles);
+    }
+}

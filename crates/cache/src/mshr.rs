@@ -29,6 +29,10 @@ pub struct MshrFile<W> {
     max_entries: usize,
     max_merges: usize,
     peak_occupancy: usize,
+    /// Recycled waiter vectors (see [`MshrFile::recycle`]): keeps the
+    /// allocate/complete churn on the per-cycle path allocation-free
+    /// once warmed up.
+    free: Vec<Vec<W>>,
 }
 
 impl<W> MshrFile<W> {
@@ -47,6 +51,11 @@ impl<W> MshrFile<W> {
             max_entries,
             max_merges,
             peak_occupancy: 0,
+            // Pre-size every pooled waiter list for a full merge chain so
+            // allocate()/recycle() never grow a vector on the hot path.
+            free: (0..max_entries)
+                .map(|_| Vec::with_capacity(max_merges))
+                .collect(),
         }
     }
 
@@ -65,7 +74,9 @@ impl<W> MshrFile<W> {
         if self.entries.len() >= self.max_entries {
             return Err((MshrOutcome::NoEntry, waiter));
         }
-        self.entries.insert(line, vec![waiter]);
+        let mut waiters = self.free.pop().unwrap_or_default();
+        waiters.push(waiter);
+        self.entries.insert(line, waiters);
         self.peak_occupancy = self.peak_occupancy.max(self.entries.len());
         Ok(MshrOutcome::Primary)
     }
@@ -87,6 +98,19 @@ impl<W> MshrFile<W> {
     /// (empty if no entry existed).
     pub fn complete(&mut self, line: LineAddr) -> Vec<W> {
         self.entries.remove(&line).unwrap_or_default()
+    }
+
+    /// Hand a drained waiter vector (from [`MshrFile::complete`]) back
+    /// for reuse by a later primary miss. The pool is bounded by the
+    /// entry limit, matching the file's steady-state needs.
+    pub fn recycle(&mut self, mut waiters: Vec<W>) {
+        if self.free.len() < self.max_entries {
+            waiters.clear();
+            if waiters.capacity() < self.max_merges {
+                waiters.reserve(self.max_merges);
+            }
+            self.free.push(waiters);
+        }
     }
 
     /// Outstanding line count.

@@ -95,11 +95,15 @@ pub struct GpuSimulator {
     migration_bytes: u64,
     noc_power: NocPowerModel,
     energy_params: EnergyParams,
-    // Scratch buffers.
+    // Scratch buffers (reused across cycles so the steady-state step
+    // path performs no heap allocation).
     tl_done: Vec<nuba_tlb::CompletedTranslation>,
     req_scratch: Vec<MemRequest>,
     reply_scratch: Vec<MemReply>,
     mc_done: Vec<(u64, bool)>,
+    gw_req_out: Vec<GwPkt<MemRequest>>,
+    gw_reply_out: Vec<GwPkt<MemReply>>,
+    half_out: Vec<HalfPkt>,
 }
 
 impl GpuSimulator {
@@ -286,8 +290,10 @@ impl GpuSimulator {
             driver,
             mmu,
             sms,
+            // Holds at most one back-pressured reply per drain attempt;
+            // pre-sized so the push never allocates mid-simulation.
             inbound_reply_hold: (0..cfg.num_llc_slices)
-                .map(|_| std::collections::VecDeque::new())
+                .map(|_| std::collections::VecDeque::with_capacity(8))
                 .collect(),
             slices,
             mcs,
@@ -316,6 +322,9 @@ impl GpuSimulator {
             req_scratch: Vec::new(),
             reply_scratch: Vec::new(),
             mc_done: Vec::new(),
+            gw_req_out: Vec::new(),
+            gw_reply_out: Vec::new(),
+            half_out: Vec::new(),
             cfg,
         }
     }
@@ -447,7 +456,12 @@ impl GpuSimulator {
 
     fn tick_mmu(&mut self, c: u64) {
         self.mmu.tick(c, &mut self.tl_done);
-        for d in std::mem::take(&mut self.tl_done) {
+        if self.tl_done.is_empty() {
+            return;
+        }
+        // Drain via a temporary move so the buffer keeps its capacity.
+        let mut done = std::mem::take(&mut self.tl_done);
+        for d in done.drain(..) {
             // A merged walk reports the fault to every waiter; only the
             // first one allocates the page.
             if d.faulted && !self.driver.table().is_mapped(d.vpage) {
@@ -456,6 +470,7 @@ impl GpuSimulator {
             }
             self.sms[d.sm.0].complete_translation(d.vpage.0);
         }
+        self.tl_done = done;
     }
 
     fn issue_sms(&mut self, c: u64) {
@@ -638,6 +653,9 @@ impl GpuSimulator {
     fn tick_local_request_links(&mut self, c: u64) {
         let links = self.local_req.as_mut().expect("nuba links");
         for link in links.iter_mut() {
+            if link.pending() == 0 {
+                continue; // nothing queued or serializing: tick is a no-op
+            }
             link.tick(c, &mut self.req_scratch);
             for req in self.req_scratch.drain(..) {
                 let d = self.mapping.decode(req.paddr);
@@ -687,9 +705,14 @@ impl GpuSimulator {
     }
 
     fn tick_gateways(&mut self, c: u64) {
-        let mut req_out = Vec::new();
+        if self.gw_req.is_empty() {
+            return; // single-module: no gateways to tick
+        }
+        let mut req_out = std::mem::take(&mut self.gw_req_out);
         for gw in &mut self.gw_req {
-            gw.tick(c, &mut req_out);
+            if gw.pending() > 0 {
+                gw.tick(c, &mut req_out);
+            }
         }
         for hold in self.gw_req_hold.iter_mut() {
             while let Some(p) = hold.pop_front() {
@@ -699,7 +722,7 @@ impl GpuSimulator {
                 }
             }
         }
-        for p in req_out {
+        for p in req_out.drain(..) {
             if self.req_noc.try_send(p.src, p.dest, p.item, c).is_err() {
                 let m = if self.cfg.arch.is_nuba() {
                     self.topo.module_of_slice(SliceId(p.src)).0
@@ -709,9 +732,12 @@ impl GpuSimulator {
                 self.gw_req_hold[m].push_back(p);
             }
         }
-        let mut rep_out = Vec::new();
+        self.gw_req_out = req_out;
+        let mut rep_out = std::mem::take(&mut self.gw_reply_out);
         for gw in &mut self.gw_reply {
-            gw.tick(c, &mut rep_out);
+            if gw.pending() > 0 {
+                gw.tick(c, &mut rep_out);
+            }
         }
         for hold in self.gw_reply_hold.iter_mut() {
             while let Some(p) = hold.pop_front() {
@@ -721,12 +747,13 @@ impl GpuSimulator {
                 }
             }
         }
-        for p in rep_out {
+        for p in rep_out.drain(..) {
             if self.reply_noc.try_send(p.src, p.dest, p.item, c).is_err() {
                 let m = self.topo.module_of_slice(SliceId(p.src)).0;
                 self.gw_reply_hold[m].push_back(p);
             }
         }
+        self.gw_reply_out = rep_out;
     }
 
     fn deliver_noc_requests(&mut self, _c: u64) {
@@ -825,6 +852,9 @@ impl GpuSimulator {
     fn tick_local_reply_links(&mut self, c: u64) {
         let links = self.local_reply.as_mut().expect("nuba links");
         for link in links.iter_mut() {
+            if link.pending() == 0 {
+                continue; // nothing queued or serializing: tick is a no-op
+            }
             link.tick(c, &mut self.reply_scratch);
             for reply in self.reply_scratch.drain(..) {
                 let local = self.topo.partition_of_slice(reply.serviced_by)
@@ -861,24 +891,30 @@ impl GpuSimulator {
         }
 
         // Cross-half traffic (SM-side UBA only).
-        if let Some(links) = &mut self.half_links {
-            let mut out = Vec::new();
+        if let Some(links) = self.half_links.as_mut() {
             for l in links.iter_mut() {
-                l.tick(c, &mut out);
+                if l.pending() > 0 {
+                    l.tick(c, &mut self.half_out);
+                }
             }
-            self.half_hold.extend(out);
-            let held = std::mem::take(&mut self.half_hold);
-            for pkt in held {
-                match pkt {
-                    HalfPkt::Task(slice, task) => {
-                        if !self.enqueue_dram(slice, task, c) {
-                            self.half_hold.push(HalfPkt::Task(slice, task));
+            self.half_hold.append(&mut self.half_out);
+            if !self.half_hold.is_empty() {
+                // Ping-pong hold ↔ scratch so retries keep both buffers'
+                // capacity across cycles.
+                std::mem::swap(&mut self.half_hold, &mut self.half_out);
+                for k in 0..self.half_out.len() {
+                    match self.half_out[k] {
+                        HalfPkt::Task(slice, task) => {
+                            if !self.enqueue_dram(slice, task, c) {
+                                self.half_hold.push(HalfPkt::Task(slice, task));
+                            }
+                        }
+                        HalfPkt::Fill(slice, line) => {
+                            self.slices[slice.0].fill_from_memory(line, c);
                         }
                     }
-                    HalfPkt::Fill(slice, line) => {
-                        self.slices[slice.0].fill_from_memory(line, c);
-                    }
                 }
+                self.half_out.clear();
             }
         }
 

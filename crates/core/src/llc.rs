@@ -125,17 +125,19 @@ impl LlcSlice {
             mshr: MshrFile::new(params.mshrs, 16),
             lmr: BoundedQueue::new(params.queue_capacity),
             rmr: BoundedQueue::new(params.queue_capacity),
-            hold_local: VecDeque::new(),
-            hold_remote: VecDeque::new(),
+            hold_local: VecDeque::with_capacity(params.queue_capacity),
+            hold_remote: VecDeque::with_capacity(params.queue_capacity),
             retry: None,
             arb: RoundRobinArbiter::new(2),
             pipe: LatencyPipe::new(),
             latency: params.latency,
             out: BandwidthLink::new(params.out_bytes_per_cycle as f64, 1, 8),
-            ready_replies: VecDeque::new(),
-            backlog: VecDeque::new(),
-            forward: VecDeque::new(),
-            mem_tasks: VecDeque::new(),
+            // Pre-size the streaming queues past their steady-state peaks
+            // so slice ticks never grow a ring buffer mid-simulation.
+            ready_replies: VecDeque::with_capacity(256),
+            backlog: VecDeque::with_capacity(32),
+            forward: VecDeque::with_capacity(32),
+            mem_tasks: VecDeque::with_capacity(256),
             mdr: mdr.map(|(bw, epoch, eval)| MdrController::new(bw, epoch, eval)),
             sampler: SetSampler::new(params.geometry, params.sample_sets),
             replicate_always,
@@ -207,6 +209,23 @@ impl LlcSlice {
 
     /// Advance one cycle.
     pub fn tick(&mut self, now: u64) {
+        // Idle fast-path: with every stage empty the whole tick is a
+        // no-op (the arbiter only moves on a grant, and an empty out
+        // link's credit is already zero). Slices with an MDR controller
+        // always take the full path — their epoch clock must advance.
+        if self.mdr.is_none()
+            && self.retry.is_none()
+            && self.hold_local.is_empty()
+            && self.hold_remote.is_empty()
+            && self.lmr.is_empty()
+            && self.rmr.is_empty()
+            && self.pipe.is_empty()
+            && self.backlog.is_empty()
+            && self.out.pending() == 0
+        {
+            return;
+        }
+
         // Refill the bounded queues from the ingress holds.
         while !self.lmr.is_full() {
             let Some(r) = self.hold_local.pop_front() else {
@@ -269,9 +288,11 @@ impl LlcSlice {
             self.backlog.pop_front();
             self.out.try_send(reply, now).expect("checked can_send");
         }
-        self.out.tick(now, &mut self.scratch);
-        for r in self.scratch.drain(..) {
-            self.ready_replies.push_back(r);
+        if self.out.pending() > 0 {
+            self.out.tick(now, &mut self.scratch);
+            for r in self.scratch.drain(..) {
+                self.ready_replies.push_back(r);
+            }
         }
 
         // Epoch maintenance.
@@ -400,12 +421,14 @@ impl LlcSlice {
             }
         }
         let mut atomic_dirty = false;
-        for waiter in self.mshr.complete(line) {
+        let mut waiters = self.mshr.complete(line);
+        for waiter in waiters.drain(..) {
             if waiter.req.kind == AccessKind::Atomic {
                 atomic_dirty = true;
             }
             self.backlog.push_back(self.reply_for(&waiter.req, false));
         }
+        self.mshr.recycle(waiters);
         if atomic_dirty {
             self.tags.mark_dirty(line);
         }
@@ -422,7 +445,8 @@ impl LlcSlice {
             }
         }
         self.stats.replica_fills += 1;
-        for waiter in self.mshr.complete(reply.line) {
+        let mut waiters = self.mshr.complete(reply.line);
+        for waiter in waiters.drain(..) {
             let mut r = self.reply_for(&waiter.req, reply.llc_hit);
             // Keep the home slice as the servicer for latency truth, but
             // the data now streams from this slice's array.
@@ -430,6 +454,7 @@ impl LlcSlice {
             r.replica_fill = false;
             self.backlog.push_back(r);
         }
+        self.mshr.recycle(waiters);
     }
 
     /// Pop the next reply ready for routing.

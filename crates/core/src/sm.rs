@@ -119,6 +119,9 @@ pub struct Sm {
     next_warp: usize,
     scanned: usize,
     translation_waiters: HashMap<u64, Vec<WarpId>>,
+    /// Recycled waiter vectors for `translation_waiters` entries, so the
+    /// translate-miss path stops allocating once warmed up.
+    waiter_pool: Vec<Vec<WarpId>>,
     /// Statistics (public for the simulator's report).
     pub stats: SmStats,
 }
@@ -148,6 +151,7 @@ impl Sm {
             next_warp: 0,
             scanned: 0,
             translation_waiters: HashMap::new(),
+            waiter_pool: Vec::new(),
             stats: SmStats::default(),
         }
     }
@@ -305,18 +309,21 @@ impl Sm {
         self.warps[warp.0].state = WarpState::WaitTranslation;
         self.translation_waiters
             .entry(vpage)
-            .or_default()
+            .or_insert_with(|| self.waiter_pool.pop().unwrap_or_default())
             .push(warp);
         self.next_warp = (warp.0 + 1) % self.warps.len();
     }
 
     /// The MMU resolved `vpage`; wake its waiters (they retry issue).
     pub fn complete_translation(&mut self, vpage: u64) {
-        for warp in self.translation_waiters.remove(&vpage).unwrap_or_default() {
-            let w = &mut self.warps[warp.0];
-            if w.state == WarpState::WaitTranslation {
-                w.state = WarpState::Ready;
+        if let Some(mut waiters) = self.translation_waiters.remove(&vpage) {
+            for warp in waiters.drain(..) {
+                let w = &mut self.warps[warp.0];
+                if w.state == WarpState::WaitTranslation {
+                    w.state = WarpState::Ready;
+                }
             }
+            self.waiter_pool.push(waiters);
         }
     }
 
@@ -349,9 +356,11 @@ impl Sm {
                 if !reply.bypass_l1 {
                     self.l1.insert(reply.line, false, false, now);
                 }
-                for warp in self.l1_mshr.complete(reply.line) {
+                let mut waiters = self.l1_mshr.complete(reply.line);
+                for warp in waiters.drain(..) {
                     self.finish_warp_access(warp);
                 }
+                self.l1_mshr.recycle(waiters);
             }
             AccessKind::Atomic => {
                 self.finish_warp_access(reply.warp);

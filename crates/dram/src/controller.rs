@@ -87,7 +87,9 @@ impl MemoryController {
             queue: VecDeque::with_capacity(queue_capacity),
             queue_capacity,
             burst_cycles,
-            inflight: Vec::new(),
+            // Sized with the queue: in-flight bursts are fed from it, so
+            // ticks never grow this buffer mid-simulation.
+            inflight: Vec::with_capacity(2 * queue_capacity),
             bus_free_at: 0,
             act_times: VecDeque::with_capacity(4),
             last_act: None,
@@ -149,6 +151,12 @@ impl MemoryController {
     /// Advance to memory-cycle `now`: issue at most one column command
     /// and push completions into `done` as `(id, is_write)` pairs.
     pub fn tick(&mut self, now: u64, done: &mut Vec<(u64, bool)>) {
+        // Idle fast-path: nothing queued, nothing in flight, no refresh
+        // due — every section below is a no-op.
+        if self.inflight.is_empty() && self.queue.is_empty() && now < self.next_refresh {
+            return;
+        }
+
         // Retire completed transfers.
         let mut i = 0;
         while i < self.inflight.len() {

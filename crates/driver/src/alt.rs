@@ -101,6 +101,10 @@ impl PageAccessTracker {
             })
             .collect();
 
+        // The page table is hash-ordered; sort so the pass applies (and
+        // charges) its moves in the same order every run and thread.
+        let mut plans = plans;
+        plans.sort_unstable_by_key(|&(vpage, _, _)| vpage);
         plans
             .into_iter()
             .map(|(vpage, from, to)| {
@@ -137,6 +141,9 @@ impl PageAccessTracker {
             })
             .collect();
 
+        // Same hash-order hazard as the migration pass: fix the order.
+        let mut plans = plans;
+        plans.sort_unstable_by_key(|&(vpage, _, part)| (vpage, part));
         plans
             .into_iter()
             .map(|(vpage, from, part)| {

@@ -92,6 +92,10 @@ impl PageTable {
         );
         let frame = self.claim_frame(channel);
         let home = Translation { channel, frame };
+        // Partition counters are sized eagerly here (partitions and
+        // channels are 1:1 in every GpuConfig) so recording accesses on
+        // the per-cycle path never allocates; `record_access` retains a
+        // lazy fallback for tables driven with a different count.
         self.entries.insert(
             vpage,
             PageEntry {
@@ -99,7 +103,7 @@ impl PageTable {
                 first_toucher,
                 accessors: 0,
                 accesses: 0,
-                recent_by_partition: Vec::new(),
+                recent_by_partition: vec![0; self.next_frame.len()],
                 replicas: Vec::new(),
             },
         );
@@ -128,8 +132,8 @@ impl PageTable {
         if let Some(e) = self.entries.get_mut(&vpage) {
             e.accessors |= 1u128 << (sm.0 as u32 % 128);
             e.accesses += 1;
-            if e.recent_by_partition.is_empty() {
-                e.recent_by_partition = vec![0; num_partitions];
+            if e.recent_by_partition.len() < num_partitions {
+                e.recent_by_partition.resize(num_partitions, 0);
             }
             e.recent_by_partition[partition.0] =
                 e.recent_by_partition[partition.0].saturating_add(1);

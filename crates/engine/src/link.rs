@@ -47,13 +47,16 @@ impl<T: Wire> BandwidthLink<T> {
         assert!(bytes_per_cycle > 0.0, "link bandwidth must be positive");
         assert!(queue_capacity > 0, "link queue capacity must be non-zero");
         BandwidthLink {
-            queue: VecDeque::new(),
+            queue: VecDeque::with_capacity(queue_capacity),
             queue_capacity,
             bytes_per_cycle,
             latency,
             credit: 0.0,
             head_remaining: 0,
-            inflight: VecDeque::new(),
+            // In-flight occupancy is bounded by what can finish
+            // serializing inside one latency window; pre-size so ticks
+            // never grow the ring buffer mid-simulation.
+            inflight: VecDeque::with_capacity(queue_capacity + latency as usize),
             bytes_transferred: 0,
             busy_cycles: 0,
             last_tick: None,

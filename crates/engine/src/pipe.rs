@@ -17,10 +17,17 @@ pub struct LatencyPipe<T> {
 }
 
 impl<T> LatencyPipe<T> {
-    /// Create an empty pipe.
+    /// Create an empty pipe. The backing buffer is pre-sized so pushes
+    /// on the per-cycle hot path do not grow it until occupancy exceeds
+    /// typical steady-state depths.
     pub fn new() -> LatencyPipe<T> {
+        LatencyPipe::with_capacity(64)
+    }
+
+    /// Create an empty pipe with room for `capacity` in-flight items.
+    pub fn with_capacity(capacity: usize) -> LatencyPipe<T> {
         LatencyPipe {
-            inflight: VecDeque::new(),
+            inflight: VecDeque::with_capacity(capacity),
         }
     }
 

@@ -67,14 +67,22 @@ impl<T: Wire> CrossbarNoc<T> {
             inputs: (0..n_in)
                 .map(|_| BandwidthLink::new(port_bytes_per_cycle, stage_latency, queue_capacity))
                 .collect(),
-            staged: (0..n_in).map(|_| VecDeque::new()).collect(),
+            // Pre-size the per-port buffers past their steady-state peaks
+            // so ticks never grow a ring buffer mid-simulation. Stage and
+            // delivery buffers absorb bursts beyond the link queues, so
+            // they get a generous multiple of the per-port capacity.
+            staged: (0..n_in)
+                .map(|_| VecDeque::with_capacity(16 * queue_capacity))
+                .collect(),
             outputs: (0..n_out)
                 .map(|_| BandwidthLink::new(port_bytes_per_cycle, stage_latency, queue_capacity))
                 .collect(),
-            delivered: (0..n_out).map(|_| VecDeque::new()).collect(),
+            delivered: (0..n_out)
+                .map(|_| VecDeque::with_capacity(16 * queue_capacity))
+                .collect(),
             rr_start: 0,
             stats: NocStats::default(),
-            scratch: Vec::new(),
+            scratch: Vec::with_capacity(16 * queue_capacity),
         }
     }
 
@@ -116,8 +124,23 @@ impl<T: Wire> CrossbarNoc<T> {
 
     /// Advance one cycle: move packets through both stages.
     pub fn tick(&mut self, now: u64) {
+        // Idle fast-path: flit conservation means `injected == packets`
+        // exactly when no packet is inside the fabric (packets sitting
+        // in `delivered` already count as delivered and are untouched by
+        // a tick). Keep the rotating priority advancing exactly as a
+        // full tick would so arbitration state stays bit-identical.
+        if self.stats.injected == self.stats.packets {
+            self.rr_start = (self.rr_start + 1) % self.inputs.len();
+            return;
+        }
+
         // Stage 1: serialize out of the input links into stage buffers.
+        // Empty links are skipped: with nothing queued or in flight a
+        // link tick only zeroes an already-zero credit.
         for (i, link) in self.inputs.iter_mut().enumerate() {
+            if link.pending() == 0 {
+                continue;
+            }
             link.tick(now, &mut self.scratch);
             for r in self.scratch.drain(..) {
                 self.staged[i].push_back(r);
@@ -145,6 +168,9 @@ impl<T: Wire> CrossbarNoc<T> {
 
         // Stage 2: serialize out of the ejection links.
         for (o, link) in self.outputs.iter_mut().enumerate() {
+            if link.pending() == 0 {
+                continue;
+            }
             link.tick(now, &mut self.scratch);
             for r in self.scratch.drain(..) {
                 self.stats.packets += 1;

@@ -119,6 +119,14 @@ pub struct TranslationEngine {
     walk_queue: VecDeque<PageNum>,
     active_walks: usize,
     stats: TlbStats,
+    /// Reusable scratch for the pages whose L2 access / walk finishes
+    /// this cycle: avoids a per-cycle allocation and — because it is
+    /// sorted — makes completion order independent of `HashMap`
+    /// iteration order (which varies per process and would leak into
+    /// fault handling and LRU state).
+    ready: Vec<PageNum>,
+    /// Free list recycling the per-page waiter vectors.
+    waiter_pool: Vec<Vec<SmId>>,
 }
 
 impl TranslationEngine {
@@ -139,6 +147,8 @@ impl TranslationEngine {
             walk_queue: VecDeque::new(),
             active_walks: 0,
             stats: TlbStats::default(),
+            ready: Vec::new(),
+            waiter_pool: Vec::new(),
         }
     }
 
@@ -162,10 +172,12 @@ impl TranslationEngine {
             o.waiters.push(sm);
             return TranslationOutcome::Pending;
         }
+        let mut waiters = self.waiter_pool.pop().unwrap_or_default();
+        waiters.push(sm);
         self.outstanding.insert(
             vpage,
             Outstanding {
-                waiters: vec![sm],
+                waiters,
                 mapped,
                 stage: Stage::L2Queued,
             },
@@ -176,18 +188,25 @@ impl TranslationEngine {
 
     /// Advance one cycle; completed translations are appended to `done`.
     pub fn tick(&mut self, now: u64, done: &mut Vec<CompletedTranslation>) {
-        // Finish L2 accesses and walks.
-        let ready: Vec<PageNum> = self
-            .outstanding
-            .iter()
-            .filter_map(|(&p, o)| match o.stage {
-                Stage::L2Access { done_at } | Stage::Walking { done_at } if done_at <= now => {
-                    Some(p)
-                }
-                _ => None,
-            })
-            .collect();
-        for vpage in ready {
+        // Idle fast-path: nothing in flight means every section below is
+        // a no-op (pages only sit in the port/walker queues while they
+        // have an `outstanding` entry).
+        if self.outstanding.is_empty() && self.l2_queue.is_empty() && self.walk_queue.is_empty() {
+            return;
+        }
+
+        // Finish L2 accesses and walks. The ready set is collected into
+        // a reusable scratch vector and sorted: `HashMap` iteration
+        // order differs between engine instances, and completion order
+        // feeds fault handling (page placement) and L2 LRU state, so it
+        // must be deterministic.
+        let mut ready = std::mem::take(&mut self.ready);
+        ready.extend(self.outstanding.iter().filter_map(|(&p, o)| match o.stage {
+            Stage::L2Access { done_at } | Stage::Walking { done_at } if done_at <= now => Some(p),
+            _ => None,
+        }));
+        ready.sort_unstable();
+        for &vpage in &ready {
             let o = self.outstanding.get_mut(&vpage).expect("present");
             match o.stage {
                 Stage::L2Access { .. } => {
@@ -195,6 +214,7 @@ impl TranslationEngine {
                         self.stats.l2_hits += 1;
                         let o = self.outstanding.remove(&vpage).expect("present");
                         Self::complete(&mut self.l1, vpage, false, &o.waiters, done);
+                        self.recycle(o);
                     } else {
                         self.stats.l2_misses += 1;
                         o.stage = Stage::WalkQueued;
@@ -210,10 +230,13 @@ impl TranslationEngine {
                         self.stats.faults += 1;
                     }
                     Self::complete(&mut self.l1, vpage, faulted, &o.waiters, done);
+                    self.recycle(o);
                 }
                 _ => unreachable!("filtered above"),
             }
         }
+        ready.clear();
+        self.ready = ready;
 
         // Start walks while walkers are free.
         while self.active_walks < self.params.walkers {
@@ -247,6 +270,11 @@ impl TranslationEngine {
                 done_at: now + self.params.l2_latency,
             };
         }
+    }
+
+    fn recycle(&mut self, mut o: Outstanding) {
+        o.waiters.clear();
+        self.waiter_pool.push(o.waiters);
     }
 
     fn complete(
