@@ -134,4 +134,6 @@ fn main() {
     println!("\nREFab steals ~9% of each channel's time (tRFC/tREFI = 120/1365) and");
     println!("closes every row; the throughput cost lands uniformly on all");
     println!("architectures.");
+
+    std::process::exit(nuba_bench::runner::finish());
 }

@@ -80,4 +80,6 @@ fn main() {
     println!("\nPaper: migration/replication reach ~+26% on low-sharing but degrade");
     println!("       high-sharing by up to -80.4% (migration ping-pong) and -60.1%");
     println!("       (page-grain cache thrashing); LAB+MDR avoids both.");
+
+    std::process::exit(nuba_bench::runner::finish());
 }

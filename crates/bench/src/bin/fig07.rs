@@ -81,4 +81,6 @@ fn main() {
     println!("{}", nuba_bench::chart::series(&bars, 40));
     println!("\nPaper: NUBA +30.4% low / +15.1% high / +23.1% overall (max +183.9%);");
     println!("       SM-side UBA ≈ +1.0% over memory-side.");
+
+    std::process::exit(nuba_bench::runner::finish());
 }

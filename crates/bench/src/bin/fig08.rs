@@ -57,4 +57,6 @@ fn main() {
         ))
     );
     println!("Paper: +51.7% low / +24.7% high / +38.9% overall.");
+
+    std::process::exit(nuba_bench::runner::finish());
 }

@@ -45,4 +45,6 @@ fn main() {
         100.0 * weighted_local / total_misses.max(1) as f64
     );
     println!("Paper: 63.9% of L1 misses turn into local accesses.");
+
+    std::process::exit(nuba_bench::runner::finish());
 }

@@ -98,4 +98,6 @@ fn main() {
     );
     println!("\nPaper: 12.1x / 9.4x power reduction at similar performance;");
     println!("       +12.7% / +11.3% at 2.3x / 1.6x lower power.");
+
+    std::process::exit(nuba_bench::runner::finish());
 }

@@ -81,4 +81,6 @@ fn main() {
     );
     println!("\nPaper: LAB +88.9% over FT, +14.3% over RR, +14.8% over UBA overall;");
     println!("       FT collapses on high-sharing, RR wastes low-sharing locality.");
+
+    std::process::exit(nuba_bench::runner::finish());
 }

@@ -63,4 +63,6 @@ fn main() {
     println!("\nPaper: Full-Rep helps 2MM +189.9% / AN +75.1% / SN +72.0% / RN +33.9%");
     println!("       but hurts SC -17.9% / BT -18.6% / GRU -18.3% / BICG -16.5%;");
     println!("       MDR picks the winner per epoch: +15.1% on average, up to +183.9%.");
+
+    std::process::exit(nuba_bench::runner::finish());
 }

@@ -88,4 +88,6 @@ fn main() {
     );
     println!("\nPaper: NUBA cuts NoC energy 54.5% and total GPU energy 16.0% vs UBA;");
     println!("       SM-side UBA cuts NoC energy 25.9% and total energy 2.9%.");
+
+    std::process::exit(nuba_bench::runner::finish());
 }

@@ -122,4 +122,6 @@ fn main() {
         println!("  threshold {t}: {}", pct(s));
     }
     println!("  paper: +14.5% / +14.8% / +13.1%");
+
+    std::process::exit(nuba_bench::runner::finish());
 }

@@ -63,4 +63,6 @@ fn main() {
     );
     println!("\nPaper: +30.1% monolithic vs +40.0% MCM — NUBA matters more when the");
     println!("       inter-module links are scarcer than the on-chip NoC.");
+
+    std::process::exit(nuba_bench::runner::finish());
 }

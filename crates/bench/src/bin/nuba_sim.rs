@@ -302,7 +302,10 @@ fn run_trace(a: &Args, path: &str) {
     }
     let wl = Workload::from_trace(trace);
     let mut gpu = GpuSimulator::new(cfg, &wl);
-    let r = gpu.warm_and_run(&wl, a.cycles);
+    let r = gpu.warm_and_run(&wl, a.cycles).unwrap_or_else(|e| {
+        eprintln!("error: simulation aborted: {e}");
+        std::process::exit(2);
+    });
     println!("trace {path} on {}:", a.arch.label());
     println!(
         "  perf={:.2} warp-ops/cycle  replies/cycle={:.2}  L1 {:.1}%  LLC {:.1}%  local {:.1}%",
@@ -388,4 +391,6 @@ fn main() {
             print_human(b, j);
         }
     }
+
+    std::process::exit(nuba_bench::runner::finish());
 }

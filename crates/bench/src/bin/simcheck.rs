@@ -74,9 +74,13 @@ fn check_config(cfg: GpuConfig, bench: BenchmarkId, cycles: u64) -> (u64, u64) {
     let check_every = 512u64;
     let mut prev_energy = 0.0f64;
     while gpu.cycle() < cycles {
-        for _ in 0..check_every {
-            gpu.step();
-        }
+        // Chunked run() keeps the forward-progress watchdog armed, so
+        // simcheck also gates "no healthy configuration trips it".
+        invariant!(
+            "simcheck_forward_progress",
+            gpu.run(check_every).is_ok(),
+            "watchdog fired on a healthy configuration"
+        );
         gpu.check_conservation();
         let energy = gpu.report().energy.total_j();
         invariant!(

@@ -68,4 +68,6 @@ fn main() {
     }
     println!("\nSpeedups should agree in sign and rough magnitude across seeds;");
     println!("a CoV of a few percent is expected from layout/window randomness.");
+
+    std::process::exit(nuba_bench::runner::finish());
 }

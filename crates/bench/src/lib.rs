@@ -64,6 +64,11 @@ impl Harness {
 
     /// Run one (benchmark, configuration) pair: build the workload,
     /// warm the page tables, simulate the timed window.
+    ///
+    /// # Panics
+    /// Panics if the configuration is invalid or the watchdog detects a
+    /// deadlock — one-off harness runs want the loud failure; matrix
+    /// sweeps go through [`runner`], which quarantines instead.
     pub fn run(&self, bench: BenchmarkId, mut cfg: GpuConfig) -> SimReport {
         cfg.seed = self.seed;
         if cfg.page_bytes != self.scale.page_bytes {
@@ -72,9 +77,14 @@ impl Harness {
         let wl = Workload::build(bench, self.scale, cfg.num_sms, self.seed);
         let mut gpu = GpuSimulator::new(cfg, &wl);
         gpu.warm_and_run(&wl, self.cycles)
+            .expect("forward progress")
     }
 
     /// Run with a scale override (page-size sensitivity).
+    ///
+    /// # Panics
+    /// Panics on invalid configuration or watchdog deadlock, like
+    /// [`run`](Harness::run).
     pub fn run_scaled(
         &self,
         bench: BenchmarkId,
@@ -86,6 +96,7 @@ impl Harness {
         let wl = Workload::build(bench, scale, cfg.num_sms, self.seed);
         let mut gpu = GpuSimulator::new(cfg, &wl);
         gpu.warm_and_run(&wl, self.cycles)
+            .expect("forward progress")
     }
 }
 

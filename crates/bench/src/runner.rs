@@ -13,12 +13,23 @@
 //! process-global state the simulator touches is the invariant counter
 //! registry (`nuba_types::invariant`), which uses relaxed atomics and
 //! only ever *counts* under the pool.
+//!
+//! Fault isolation: each job executes under [`std::panic::catch_unwind`]
+//! with an optional per-job forward-progress deadline and
+//! `NUBA_JOB_RETRIES` retries. A job that panics, deadlocks, or fails
+//! validation after all retries is *quarantined*: its [`JobResult`]
+//! carries [`SimReport::empty`] plus the error string, a record lands in
+//! the process-global quarantine registry, and the rest of the matrix
+//! keeps running. Binaries call [`finish`] last to print the quarantine
+//! summary; the exit code is nonzero only under `NUBA_STRICT_FAULTS=1`,
+//! so chaos drills don't fail CI unless explicitly asked to.
 
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
 use std::time::Instant;
 
-use nuba_core::{GpuSimulator, SimReport};
+use nuba_core::{GpuSimulator, SimError, SimReport};
+use nuba_engine::FaultPlan;
 use nuba_types::GpuConfig;
 use nuba_workloads::{BenchmarkId, ScaleProfile, Workload};
 
@@ -38,6 +49,16 @@ pub struct Job {
     pub scale: Option<ScaleProfile>,
     /// Seed override (variance runs); `None` uses the harness seed.
     pub seed: Option<u64>,
+    /// Deterministic fault schedule applied before the run; `None` runs
+    /// fault-free.
+    pub faults: Option<FaultPlan>,
+    /// Forward-progress deadline override (cycles without a retire
+    /// before the watchdog quarantines the job); `None` keeps the
+    /// configuration's `watchdog_cycles`.
+    pub deadline: Option<u64>,
+    /// Sanctioned chaos knob: panic instead of simulating, to prove the
+    /// matrix survives a dying job. Never set outside chaos drills.
+    pub inject_panic: bool,
 }
 
 impl Job {
@@ -49,6 +70,9 @@ impl Job {
             cfg,
             scale: None,
             seed: None,
+            faults: None,
+            deadline: None,
+            inject_panic: false,
         }
     }
 
@@ -65,6 +89,27 @@ impl Job {
         self.seed = Some(seed);
         self
     }
+
+    /// Attach a deterministic fault schedule.
+    #[must_use]
+    pub fn with_faults(mut self, plan: FaultPlan) -> Job {
+        self.faults = Some(plan);
+        self
+    }
+
+    /// Override the forward-progress deadline for this job.
+    #[must_use]
+    pub fn with_deadline(mut self, cycles: u64) -> Job {
+        self.deadline = Some(cycles);
+        self
+    }
+
+    /// Make the job panic on entry (chaos drills only).
+    #[must_use]
+    pub fn with_injected_panic(mut self) -> Job {
+        self.inject_panic = true;
+        self
+    }
 }
 
 /// A completed job with its throughput record.
@@ -72,12 +117,101 @@ impl Job {
 pub struct JobResult {
     /// The job's label.
     pub label: String,
-    /// The simulation report.
+    /// The simulation report ([`SimReport::empty`] if quarantined).
     pub report: SimReport,
-    /// Wall-clock seconds this job took (build + warm + timed window).
+    /// Wall-clock seconds this job took (build + warm + timed window,
+    /// including failed attempts).
     pub wall_seconds: f64,
-    /// Simulated cycles per wall-clock second.
+    /// Simulated cycles per wall-clock second (0 if quarantined).
     pub cycles_per_sec: f64,
+    /// Why the job was quarantined; `None` on success.
+    pub error: Option<String>,
+    /// Attempts consumed (1 + retries actually taken).
+    pub attempts: u32,
+}
+
+impl JobResult {
+    /// Whether this job was quarantined instead of completing.
+    pub fn failed(&self) -> bool {
+        self.error.is_some()
+    }
+}
+
+/// One quarantined job in the process-global registry.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct JobFailure {
+    /// The job's label.
+    pub label: String,
+    /// The panic message or [`SimError`] rendering that killed it.
+    pub error: String,
+    /// Attempts consumed before giving up.
+    pub attempts: u32,
+}
+
+/// Process-global quarantine registry. Jobs are appended as they fail
+/// (worker order); readers sort by label for deterministic output.
+static QUARANTINE: Mutex<Vec<JobFailure>> = Mutex::new(Vec::new());
+
+fn quarantine(failure: JobFailure) {
+    QUARANTINE
+        .lock()
+        .expect("quarantine registry poisoned")
+        .push(failure);
+}
+
+/// Snapshot of the quarantine registry, sorted by job label.
+pub fn quarantined_jobs() -> Vec<JobFailure> {
+    let mut q = QUARANTINE
+        .lock()
+        .expect("quarantine registry poisoned")
+        .clone();
+    q.sort_by(|a, b| a.label.cmp(&b.label));
+    q
+}
+
+/// Clear the quarantine registry (test isolation / multi-phase tools).
+pub fn reset_quarantine() {
+    QUARANTINE
+        .lock()
+        .expect("quarantine registry poisoned")
+        .clear();
+}
+
+/// Retries per job after a failure: `NUBA_JOB_RETRIES`, default 0.
+pub fn job_retries() -> u32 {
+    std::env::var("NUBA_JOB_RETRIES")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(0)
+}
+
+/// Print the quarantine summary (if any) and return the process exit
+/// code: nonzero only when jobs were quarantined *and*
+/// `NUBA_STRICT_FAULTS=1`. Call last in every matrix binary:
+///
+/// ```ignore
+/// std::process::exit(runner::finish());
+/// ```
+pub fn finish() -> i32 {
+    let q = quarantined_jobs();
+    if q.is_empty() {
+        return 0;
+    }
+    eprintln!("runner: {} job(s) quarantined:", q.len());
+    for f in &q {
+        eprintln!(
+            "  QUARANTINED {:<28} after {} attempt(s): {}",
+            f.label, f.attempts, f.error
+        );
+    }
+    let strict = std::env::var("NUBA_STRICT_FAULTS").map(|v| v == "1") == Ok(true);
+    if strict {
+        eprintln!("runner: NUBA_STRICT_FAULTS=1 — exiting nonzero");
+        1
+    } else {
+        eprintln!("runner: matrix completed despite failures (set NUBA_STRICT_FAULTS=1 to gate)");
+        0
+    }
 }
 
 /// Worker count: `NUBA_JOBS` if set and positive, else the machine's
@@ -132,10 +266,10 @@ where
         .collect()
 }
 
-/// Execute one job exactly as [`Harness::run`] / [`Harness::run_scaled`]
-/// would, timing it.
-fn run_job(h: &Harness, job: &Job) -> JobResult {
-    let start = Instant::now();
+/// One attempt at a job: build, arm faults/watchdog, warm, run. Every
+/// failure mode surfaces as `Err` (validation, watchdog) or a panic
+/// (workload/config mismatch, internal bug) — the caller catches both.
+fn execute_job(h: &Harness, job: &Job) -> Result<SimReport, SimError> {
     let scale = job.scale.unwrap_or(h.scale);
     let seed = job.seed.unwrap_or(h.seed);
     let mut cfg = job.cfg.clone();
@@ -144,15 +278,80 @@ fn run_job(h: &Harness, job: &Job) -> JobResult {
         cfg.page_bytes = scale.page_bytes;
     }
     let wl = Workload::build(job.bench, scale, cfg.num_sms, seed);
-    let mut gpu = GpuSimulator::new(cfg, &wl);
-    let report = gpu.warm_and_run(&wl, h.cycles);
-    let wall_seconds = start.elapsed().as_secs_f64();
-    let cycles_per_sec = report.cycles as f64 / wall_seconds.max(1e-9);
+    let mut gpu = GpuSimulator::try_new(cfg, &wl)?;
+    if let Some(plan) = &job.faults {
+        gpu.set_fault_plan(plan);
+    }
+    if let Some(deadline) = job.deadline {
+        gpu.set_watchdog(Some(deadline));
+    }
+    if job.inject_panic {
+        panic!("injected chaos panic (Job::with_injected_panic)");
+    }
+    gpu.warm_and_run(&wl, h.cycles)
+}
+
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
+/// Execute one job exactly as [`Harness::run`] / [`Harness::run_scaled`]
+/// would, timing it. Panics and [`SimError`]s are caught; after
+/// `NUBA_JOB_RETRIES` retries the job is quarantined instead of taking
+/// the matrix down.
+fn run_job(h: &Harness, job: &Job) -> JobResult {
+    let retries = job_retries();
+    let start = Instant::now();
+    let mut attempts = 0u32;
+    let error = loop {
+        attempts += 1;
+        let outcome =
+            std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| execute_job(h, job)));
+        match outcome {
+            Ok(Ok(report)) => {
+                let wall_seconds = start.elapsed().as_secs_f64();
+                let cycles_per_sec = report.cycles as f64 / wall_seconds.max(1e-9);
+                return JobResult {
+                    label: job.label.clone(),
+                    report,
+                    wall_seconds,
+                    cycles_per_sec,
+                    error: None,
+                    attempts,
+                };
+            }
+            Ok(Err(e)) => {
+                if attempts <= retries {
+                    continue;
+                }
+                break e.to_string();
+            }
+            Err(payload) => {
+                if attempts <= retries {
+                    continue;
+                }
+                break format!("panic: {}", panic_message(payload.as_ref()));
+            }
+        }
+    };
+    quarantine(JobFailure {
+        label: job.label.clone(),
+        error: error.clone(),
+        attempts,
+    });
     JobResult {
         label: job.label.clone(),
-        report,
-        wall_seconds,
-        cycles_per_sec,
+        report: SimReport::empty(),
+        wall_seconds: start.elapsed().as_secs_f64(),
+        cycles_per_sec: 0.0,
+        error: Some(error),
+        attempts,
     }
 }
 
@@ -176,6 +375,8 @@ pub struct MatrixStats {
     pub cpu_seconds: f64,
     /// Total simulated cycles across the matrix.
     pub total_cycles: u64,
+    /// Jobs that were quarantined instead of completing.
+    pub quarantined: usize,
 }
 
 impl MatrixStats {
@@ -185,6 +386,7 @@ impl MatrixStats {
             jobs: results.len(),
             cpu_seconds: results.iter().map(|r| r.wall_seconds).sum(),
             total_cycles: results.iter().map(|r| r.report.cycles).sum(),
+            quarantined: results.iter().filter(|r| r.failed()).count(),
         }
     }
 
@@ -193,6 +395,7 @@ impl MatrixStats {
         self.jobs += other.jobs;
         self.cpu_seconds += other.cpu_seconds;
         self.total_cycles += other.total_cycles;
+        self.quarantined += other.quarantined;
     }
 }
 
@@ -211,10 +414,12 @@ impl RunnerRecord {
     fn to_json_line(self) -> String {
         let cps = self.stats.total_cycles as f64 / self.wall_seconds.max(1e-9);
         format!(
-            "    {{\"nuba_jobs\": {}, \"jobs\": {}, \"wall_seconds\": {:.3}, \
-             \"cpu_seconds\": {:.3}, \"total_cycles\": {}, \"cycles_per_sec\": {:.0}}}",
+            "    {{\"nuba_jobs\": {}, \"jobs\": {}, \"quarantined\": {}, \
+             \"wall_seconds\": {:.3}, \"cpu_seconds\": {:.3}, \
+             \"total_cycles\": {}, \"cycles_per_sec\": {:.0}}}",
             self.nuba_jobs,
             self.stats.jobs,
+            self.stats.quarantined,
             self.wall_seconds,
             self.stats.cpu_seconds,
             self.stats.total_cycles,
@@ -239,6 +444,8 @@ impl RunnerRecord {
                 jobs: field("jobs")? as usize,
                 cpu_seconds: field("cpu_seconds")?,
                 total_cycles: field("total_cycles")? as u64,
+                // Absent in records written before fault quarantine.
+                quarantined: field("quarantined").map(|v| v as usize).unwrap_or(0),
             },
         })
     }
@@ -319,6 +526,71 @@ mod tests {
         assert_eq!(run_jobs(1, 4, |i| i), vec![0]);
     }
 
+    fn tiny_harness() -> Harness {
+        Harness {
+            cycles: 400,
+            scale: ScaleProfile::fast(),
+            seed: 42,
+        }
+    }
+
+    #[test]
+    fn panicking_job_is_quarantined_not_fatal() {
+        let h = tiny_harness();
+        let cfg = GpuConfig::paper_baseline(nuba_types::ArchKind::Nuba);
+        let jobs = vec![
+            Job::new("healthy", BenchmarkId::Kmeans, cfg.clone()),
+            Job::new("chaos-panic", BenchmarkId::Kmeans, cfg).with_injected_panic(),
+        ];
+        let results = run_matrix_with(&h, &jobs, 2);
+        assert_eq!(results.len(), 2, "matrix completes despite the panic");
+        assert!(!results[0].failed());
+        assert!(results[0].report.cycles > 0);
+        assert!(results[1].failed());
+        assert_eq!(results[1].report, SimReport::empty());
+        assert!(
+            results[1]
+                .error
+                .as_deref()
+                .unwrap()
+                .contains("injected chaos panic"),
+            "{:?}",
+            results[1].error
+        );
+        assert!(quarantined_jobs().iter().any(|f| f.label == "chaos-panic"));
+        assert_eq!(MatrixStats::of(&results).quarantined, 1);
+    }
+
+    #[test]
+    fn deadlocked_job_is_quarantined_by_deadline() {
+        // Deadline must exceed the cold-start latency to the first
+        // reply (~500 cycles on the paper baseline), or a healthy
+        // config would fire too during its initial translation storm.
+        let h = Harness {
+            cycles: 1600,
+            scale: ScaleProfile::fast(),
+            seed: 42,
+        };
+        let cfg = GpuConfig::paper_baseline(nuba_types::ArchKind::Nuba);
+        let dead = FaultPlan::uniform_link_derate(0.0, cfg.num_sms, cfg.num_llc_slices);
+        let job = Job::new("chaos-deadlock", BenchmarkId::Kmeans, cfg)
+            .with_faults(dead)
+            .with_deadline(800);
+        let results = run_matrix_with(&h, &[job], 1);
+        assert!(
+            results[0].failed(),
+            "zero-bandwidth links must trip the watchdog"
+        );
+        let msg = results[0].error.as_deref().unwrap();
+        assert!(msg.contains("no forward progress"), "{msg}");
+        assert!(
+            quarantined_jobs()
+                .iter()
+                .any(|f| f.label == "chaos-deadlock"),
+            "deadlock recorded in the registry"
+        );
+    }
+
     #[test]
     fn runner_record_roundtrips_through_json() {
         let rec = RunnerRecord {
@@ -328,6 +600,7 @@ mod tests {
                 jobs: 7,
                 cpu_seconds: 40.5,
                 total_cycles: 420_000,
+                quarantined: 1,
             },
         };
         let line = rec.to_json_line();
@@ -351,6 +624,7 @@ mod tests {
                 jobs: 3,
                 cpu_seconds: wall,
                 total_cycles: 1000,
+                quarantined: 0,
             },
         };
         write_runner_json(path, mk(1, 10.0)).unwrap();

@@ -4,6 +4,7 @@
 
 use nuba_bench::runner::{run_matrix_with, Job};
 use nuba_bench::Harness;
+use nuba_engine::FaultPlan;
 use nuba_types::{ArchKind, GpuConfig, PagePolicyKind, ReplicationKind};
 use nuba_workloads::{BenchmarkId, ScaleProfile};
 
@@ -75,6 +76,60 @@ fn parallel_matrix_is_stable_across_repeat_runs() {
     for (a, b) in first.iter().zip(&second) {
         assert_eq!(a.report, b.report, "job `{}` not reproducible", a.label);
     }
+}
+
+/// Fault injection preserves byte-determinism: a matrix of faulted
+/// jobs — seeded random plans, a mid-run outage window, a DRAM timing
+/// stretch — produces identical reports at 1 and 4 workers, and a
+/// faulted run differs from its fault-free twin (the faults really
+/// were applied).
+#[test]
+fn faulted_matrix_is_deterministic_across_worker_counts() {
+    let h = harness();
+    let nuba = GpuConfig::paper_baseline(ArchKind::Nuba);
+    let uba = GpuConfig::paper_baseline(ArchKind::MemSideUba);
+
+    let seeded = FaultPlan::random(
+        7,
+        h.cycles,
+        6,
+        nuba.num_sms,
+        nuba.num_llc_slices,
+        nuba.num_channels,
+    );
+    let mut outage = FaultPlan::new();
+    for e in FaultPlan::uniform_link_derate(0.5, nuba.num_sms, nuba.num_llc_slices).events() {
+        outage = outage.with(e.fault, 200, Some(900));
+    }
+    let stretch = FaultPlan::new().with(
+        nuba_engine::Fault::DramStretch {
+            channel: 0,
+            extra_cycles: 8,
+        },
+        0,
+        None,
+    );
+
+    let jobs = vec![
+        Job::new("clean", BenchmarkId::Kmeans, nuba.clone()),
+        Job::new("seeded-faults", BenchmarkId::Kmeans, nuba.clone()).with_faults(seeded),
+        Job::new("outage-window", BenchmarkId::Kmeans, nuba).with_faults(outage),
+        Job::new("dram-stretch", BenchmarkId::Sgemm, uba).with_faults(stretch),
+    ];
+    let serial = run_matrix_with(&h, &jobs, 1);
+    let parallel = run_matrix_with(&h, &jobs, 4);
+    for ((s, p), job) in serial.iter().zip(&parallel).zip(&jobs) {
+        assert!(!s.failed(), "`{}` quarantined: {:?}", job.label, s.error);
+        assert_eq!(
+            s.report, p.report,
+            "faulted job `{}` diverged between serial and parallel execution",
+            job.label
+        );
+    }
+    assert_ne!(
+        serial[0].report, serial[1].report,
+        "the seeded fault plan must actually perturb the run"
+    );
 }
 
 #[test]

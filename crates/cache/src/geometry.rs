@@ -1,6 +1,20 @@
 //! Cache geometry: set/way shape and set-index extraction.
 
+use core::fmt;
+
 use nuba_types::{LineAddr, LINE_BYTES};
+
+/// Error returned by the fallible [`CacheGeometry`] constructors.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct GeometryError(pub String);
+
+impl fmt::Display for GeometryError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "invalid cache geometry: {}", self.0)
+    }
+}
+
+impl std::error::Error for GeometryError {}
 
 /// The shape of a set-associative cache (line size fixed at 128 B,
 /// Table 1).
@@ -14,24 +28,55 @@ impl CacheGeometry {
     /// A cache with `sets` sets of `ways` ways.
     ///
     /// # Panics
-    /// Panics if either dimension is zero.
+    /// Panics if either dimension is zero; use
+    /// [`try_new`](CacheGeometry::try_new) on untrusted input.
     pub fn new(sets: usize, ways: usize) -> CacheGeometry {
-        assert!(sets > 0 && ways > 0, "cache must have sets and ways");
-        CacheGeometry { sets, ways }
+        CacheGeometry::try_new(sets, ways).expect("cache must have sets and ways")
+    }
+
+    /// Fallible form of [`new`](CacheGeometry::new).
+    ///
+    /// # Errors
+    /// Returns [`GeometryError`] if either dimension is zero.
+    pub fn try_new(sets: usize, ways: usize) -> Result<CacheGeometry, GeometryError> {
+        if sets == 0 || ways == 0 {
+            return Err(GeometryError(format!(
+                "cache must have sets and ways (got {sets} x {ways})"
+            )));
+        }
+        Ok(CacheGeometry { sets, ways })
     }
 
     /// Geometry from a capacity in bytes and associativity.
     ///
     /// # Panics
     /// Panics if the capacity is not an exact multiple of
-    /// `ways × LINE_BYTES`.
+    /// `ways × LINE_BYTES`; use
+    /// [`try_from_capacity`](CacheGeometry::try_from_capacity) on
+    /// untrusted input.
     pub fn from_capacity(bytes: usize, ways: usize) -> CacheGeometry {
+        match CacheGeometry::try_from_capacity(bytes, ways) {
+            Ok(g) => g,
+            Err(e) => panic!("{}", e.0),
+        }
+    }
+
+    /// Fallible form of [`from_capacity`](CacheGeometry::from_capacity).
+    ///
+    /// # Errors
+    /// Returns [`GeometryError`] if `ways` is zero or the capacity is
+    /// not an exact multiple of `ways × LINE_BYTES`.
+    pub fn try_from_capacity(bytes: usize, ways: usize) -> Result<CacheGeometry, GeometryError> {
         let set_bytes = ways * LINE_BYTES as usize;
-        assert!(
-            bytes.is_multiple_of(set_bytes),
-            "capacity {bytes} not divisible by set size {set_bytes}"
-        );
-        CacheGeometry::new(bytes / set_bytes, ways)
+        if set_bytes == 0 {
+            return Err(GeometryError("cache must have ways".to_string()));
+        }
+        if !bytes.is_multiple_of(set_bytes) {
+            return Err(GeometryError(format!(
+                "capacity {bytes} not divisible by set size {set_bytes}"
+            )));
+        }
+        CacheGeometry::try_new(bytes / set_bytes, ways)
     }
 
     /// Number of sets.
@@ -96,5 +141,17 @@ mod tests {
     #[should_panic(expected = "divisible")]
     fn misaligned_capacity_panics() {
         let _ = CacheGeometry::from_capacity(1000, 3);
+    }
+
+    #[test]
+    fn try_constructors_reject_without_panicking() {
+        assert!(CacheGeometry::try_new(0, 16).is_err());
+        assert!(CacheGeometry::try_new(48, 0).is_err());
+        assert!(CacheGeometry::try_from_capacity(1000, 3).is_err());
+        assert!(CacheGeometry::try_from_capacity(96 * 1024, 0).is_err());
+        let g = CacheGeometry::try_from_capacity(96 * 1024, 16).unwrap();
+        assert_eq!(g.sets(), 48);
+        let e = CacheGeometry::try_new(0, 0).unwrap_err();
+        assert!(e.to_string().contains("invalid cache geometry"));
     }
 }

@@ -31,7 +31,7 @@ pub mod mshr;
 pub mod sampler;
 pub mod tag;
 
-pub use geometry::CacheGeometry;
+pub use geometry::{CacheGeometry, GeometryError};
 pub use mshr::{MshrFile, MshrOutcome};
 pub use sampler::{SamplerEstimate, SetSampler};
 pub use tag::{Eviction, ReplacementKind, TagArray};

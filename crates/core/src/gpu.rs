@@ -7,7 +7,7 @@ use std::collections::HashMap;
 use nuba_cache::CacheGeometry;
 use nuba_dram::{DramRequest, HbmTiming, MemoryController};
 use nuba_driver::{GpuDriver, MigrationConfig, PageAccessTracker};
-use nuba_engine::BandwidthLink;
+use nuba_engine::{BandwidthLink, Fault, FaultPlan, FaultSchedule, LinkSite};
 use nuba_noc::{CrossbarNoc, NocPowerModel};
 use nuba_tlb::{TlbParams, TranslationEngine, TranslationOutcome};
 use nuba_types::addr::PageNum;
@@ -20,6 +20,7 @@ use nuba_workloads::Workload;
 
 use crate::arch::Topology;
 use crate::energy::{energy_report, EnergyCounters, EnergyParams};
+use crate::error::{DeadlockReport, SimError};
 use crate::llc::{LlcSlice, MemTask, Role, SliceParams};
 use crate::mdr::paper_slice_bandwidths;
 use crate::metrics::SimReport;
@@ -89,6 +90,12 @@ pub struct GpuSimulator {
     gw_reply_hold: Vec<std::collections::VecDeque<GwPkt<MemReply>>>,
     // Alternative page policies (§7.6).
     tracker: Option<PageAccessTracker>,
+    // Fault injection: compiled schedule drained at the top of step().
+    faults: Option<FaultSchedule>,
+    // Forward-progress watchdog (None disables it).
+    watchdog_budget: Option<u64>,
+    last_progress_cycle: u64,
+    last_progress_signal: u64,
     cycle: u64,
     next_req_id: u64,
     dram_accesses: u64,
@@ -111,9 +118,29 @@ impl GpuSimulator {
     ///
     /// # Panics
     /// Panics if the configuration is invalid or inconsistent with the
-    /// workload (SM count, page size).
+    /// workload (SM count, page size). Use
+    /// [`try_new`](GpuSimulator::try_new) on untrusted configurations.
     pub fn new(cfg: GpuConfig, workload: &Workload) -> GpuSimulator {
-        cfg.validate().expect("invalid configuration");
+        match GpuSimulator::try_new(cfg, workload) {
+            Ok(gpu) => gpu,
+            Err(e) => panic!("invalid configuration: {e}"),
+        }
+    }
+
+    /// Fallible form of [`new`](GpuSimulator::new): configuration
+    /// problems come back as [`SimError::InvalidConfig`] instead of a
+    /// panic, so sweep runners can quarantine a bad matrix point.
+    ///
+    /// # Errors
+    /// Returns [`SimError::InvalidConfig`] when
+    /// [`GpuConfig::validate`] rejects the configuration.
+    ///
+    /// # Panics
+    /// Still panics when the workload is inconsistent with the
+    /// configuration (wrong SM count or page size) — that is a caller
+    /// bug, not a property of the configuration under test.
+    pub fn try_new(cfg: GpuConfig, workload: &Workload) -> Result<GpuSimulator, SimError> {
+        cfg.validate()?;
         assert_eq!(
             workload.num_sms(),
             cfg.num_sms,
@@ -284,7 +311,7 @@ impl GpuSimulator {
             1.4e9,
         );
 
-        GpuSimulator {
+        Ok(GpuSimulator {
             topo,
             mapping,
             driver,
@@ -312,6 +339,10 @@ impl GpuSimulator {
                 .map(|_| std::collections::VecDeque::new())
                 .collect(),
             tracker,
+            faults: None,
+            watchdog_budget: cfg.watchdog_cycles,
+            last_progress_cycle: 0,
+            last_progress_signal: 0,
             cycle: 0,
             next_req_id: 0,
             dram_accesses: 0,
@@ -326,7 +357,7 @@ impl GpuSimulator {
             gw_reply_out: Vec::new(),
             half_out: Vec::new(),
             cfg,
-        }
+        })
     }
 
     /// The simulated configuration.
@@ -344,12 +375,115 @@ impl GpuSimulator {
         self.cycle
     }
 
+    /// Install a fault plan: its events fire at their scheduled cycles
+    /// (absolute simulation cycles) as the run proceeds. Replaces any
+    /// previously installed plan; edges already in the past fire on the
+    /// next step. Compilation allocates here, once — draining the
+    /// schedule during stepping does not.
+    pub fn set_fault_plan(&mut self, plan: &FaultPlan) {
+        self.faults = if plan.is_empty() {
+            None
+        } else {
+            Some(plan.compile())
+        };
+    }
+
+    /// Override the watchdog budget from
+    /// [`GpuConfig::watchdog_cycles`]: the run aborts with
+    /// [`SimError::NoForwardProgress`] if no request retires for
+    /// `budget` consecutive cycles while work is outstanding. `None`
+    /// disables the watchdog.
+    pub fn set_watchdog(&mut self, budget: Option<u64>) {
+        self.watchdog_budget = budget;
+    }
+
     /// Run for `cycles` cycles and report.
-    pub fn run(&mut self, cycles: u64) -> SimReport {
+    ///
+    /// # Errors
+    /// Returns [`SimError::NoForwardProgress`] if the watchdog fires —
+    /// no request retired for the configured budget while requests or
+    /// translations were still in flight. The simulator is left at the
+    /// firing cycle, so `debug_state` and the queues can be inspected.
+    pub fn run(&mut self, cycles: u64) -> Result<SimReport, SimError> {
         for _ in 0..cycles {
             self.step();
+            self.check_forward_progress()?;
         }
-        self.report()
+        Ok(self.report())
+    }
+
+    /// Retires observed so far: replies delivered to SMs. Deliberately
+    /// *excludes* TLB activity — a machine whose memory pipeline is dead
+    /// can keep completing page walks forever (warps advance on compute
+    /// and L1 hits, touching fresh pages past the L2 TLB's reach), and
+    /// that must not mask the deadlock. Translation-only phases with no
+    /// memory request in flight are instead exempted by the idle check
+    /// in `check_forward_progress`.
+    fn progress_signal(&self) -> u64 {
+        self.sms
+            .iter()
+            .map(|s| s.stats.local_replies + s.stats.remote_replies)
+            .sum()
+    }
+
+    fn check_forward_progress(&mut self) -> Result<(), SimError> {
+        let Some(budget) = self.watchdog_budget else {
+            return Ok(());
+        };
+        let signal = self.progress_signal();
+        if signal != self.last_progress_signal {
+            self.last_progress_signal = signal;
+            self.last_progress_cycle = self.cycle;
+            return Ok(());
+        }
+        // Stalled or idle? Only outstanding work makes it a deadlock.
+        let (_, _, outstanding) = self.request_balance();
+        if outstanding == 0 && self.mmu.outstanding() == 0 {
+            self.last_progress_cycle = self.cycle;
+            return Ok(());
+        }
+        if self.cycle - self.last_progress_cycle >= budget {
+            return Err(SimError::NoForwardProgress(Box::new(
+                self.deadlock_report(budget),
+            )));
+        }
+        Ok(())
+    }
+
+    /// Snapshot the stuck machine for [`SimError::NoForwardProgress`].
+    /// Only called on the error path, where allocation is fine.
+    fn deadlock_report(&self, budget: u64) -> DeadlockReport {
+        let (issued, replied, outstanding) = self.request_balance();
+        let mut local_link_pending = 0u64;
+        if let Some(links) = &self.local_req {
+            local_link_pending += links.iter().map(|l| l.pending() as u64).sum::<u64>();
+        }
+        if let Some(links) = &self.local_reply {
+            local_link_pending += links.iter().map(|l| l.pending() as u64).sum::<u64>();
+        }
+        DeadlockReport {
+            cycle: self.cycle,
+            budget,
+            issued,
+            replied,
+            outstanding,
+            translations_outstanding: self.mmu.outstanding() as u64,
+            slice_pending: self
+                .slices
+                .iter()
+                .map(|s| s.pending_work() as u64)
+                .sum::<u64>(),
+            mshr_residents: self
+                .slices
+                .iter()
+                .map(|s| s.mshr_residents() as u64)
+                .sum::<u64>(),
+            mc_pending: self.mcs.iter().map(|m| m.mc.pending() as u64).sum::<u64>(),
+            noc_req_in_flight: self.req_noc.in_flight() as u64,
+            noc_reply_in_flight: self.reply_noc.in_flight() as u64,
+            local_link_pending,
+            detail: self.debug_state(),
+        }
     }
 
     /// Functional warm-up: replay `accesses_per_warp` memory accesses
@@ -400,7 +534,15 @@ impl GpuSimulator {
     }
 
     /// Convenience: warm up, then run the timed window.
-    pub fn warm_and_run(&mut self, workload: &Workload, cycles: u64) -> SimReport {
+    ///
+    /// # Errors
+    /// Returns [`SimError::NoForwardProgress`] if the watchdog fires
+    /// during the timed window (see [`run`](GpuSimulator::run)).
+    pub fn warm_and_run(
+        &mut self,
+        workload: &Workload,
+        cycles: u64,
+    ) -> Result<SimReport, SimError> {
         // Enough accesses to touch the whole scaled footprint a few
         // times over: footprint/streams, bounded for simulation cost.
         let streams =
@@ -412,8 +554,22 @@ impl GpuSimulator {
     }
 
     /// Advance one cycle.
+    ///
+    /// Single-stepping bypasses the watchdog (it lives in
+    /// [`run`](GpuSimulator::run)); installed fault-plan edges still
+    /// fire at their scheduled cycles.
     pub fn step(&mut self) {
         let c = self.cycle;
+
+        // Fire due fault edges before any component ticks, so a fault
+        // scheduled for cycle N affects cycle N. The schedule is moved
+        // out and back to let the dispatch borrow the components.
+        if let Some(mut sched) = self.faults.take() {
+            while let Some((fault, apply)) = sched.next_edge(c) {
+                self.dispatch_fault(fault, apply);
+            }
+            self.faults = Some(sched);
+        }
 
         // Kernel boundary (paper §5.3): the software coherence protocol
         // invalidates the write-through L1s, and the LLC is flushed
@@ -452,6 +608,46 @@ impl GpuSimulator {
         self.tick_memory(c);
 
         self.cycle += 1;
+    }
+
+    /// Apply (`apply = true`) or revert (`apply = false`) one fault.
+    /// Sites absent on this architecture — local links on UBA, indices
+    /// past the scaled-down component counts — are silently ignored so
+    /// one plan can be replayed fairly across a comparison sweep.
+    fn dispatch_fault(&mut self, fault: Fault, apply: bool) {
+        match fault {
+            Fault::LinkDerate { site, factor } => {
+                let f = if apply { factor } else { 1.0 };
+                match site {
+                    LinkSite::LocalReq(i) => {
+                        if let Some(l) = self.local_req.as_mut().and_then(|ls| ls.get_mut(i)) {
+                            l.set_derate(f);
+                        }
+                    }
+                    LinkSite::LocalReply(i) => {
+                        if let Some(l) = self.local_reply.as_mut().and_then(|ls| ls.get_mut(i)) {
+                            l.set_derate(f);
+                        }
+                    }
+                    LinkSite::NocReqPort(p) => self.req_noc.set_port_derate(p, f),
+                    LinkSite::NocReplyPort(p) => self.reply_noc.set_port_derate(p, f),
+                }
+            }
+            Fault::DramStretch {
+                channel,
+                extra_cycles,
+            } => {
+                if let Some(m) = self.mcs.get_mut(channel) {
+                    m.mc.set_fault_stretch(if apply { extra_cycles } else { 0 });
+                }
+            }
+            Fault::SliceOffline { slice } => {
+                if let Some(s) = self.slices.get_mut(slice) {
+                    s.set_offline(apply);
+                }
+            }
+            Fault::TlbWalkerStall => self.mmu.set_walker_stall(apply),
+        }
     }
 
     fn tick_mmu(&mut self, c: u64) {

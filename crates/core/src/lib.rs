@@ -29,12 +29,13 @@
 //! cfg.page_fault_latency = 200; // keep the doc example short
 //! let wl = Workload::build(BenchmarkId::Sgemm, ScaleProfile::fast(), 8, 1);
 //! let mut gpu = GpuSimulator::new(cfg, &wl);
-//! let report = gpu.run(5_000);
+//! let report = gpu.run(5_000).expect("forward progress");
 //! assert!(report.warp_ops > 0);
 //! ```
 
 pub mod arch;
 pub mod energy;
+pub mod error;
 pub mod gpu;
 pub mod llc;
 pub mod mdr;
@@ -43,6 +44,7 @@ pub mod sm;
 
 pub use arch::Topology;
 pub use energy::{energy_report, EnergyCounters, EnergyParams, EnergyReport};
+pub use error::{DeadlockReport, SimError};
 pub use gpu::GpuSimulator;
 pub use llc::{LlcSlice, MemTask, Role, SliceParams, SliceStats};
 pub use mdr::{evaluate as mdr_evaluate, MdrBandwidths, MdrController, MdrEstimate, MdrProfile};

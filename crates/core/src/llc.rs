@@ -103,6 +103,10 @@ pub struct LlcSlice {
     mdr: Option<MdrController>,
     sampler: SetSampler,
     replicate_always: bool,
+    /// Fault-injection flag: data/tag arrays offline. Probes miss and
+    /// fills are not installed, but MSHRs and queues keep working, so
+    /// every access degrades to a DRAM round trip instead of deadlocking.
+    offline: bool,
     scratch: Vec<MemReply>,
     /// Statistics.
     pub stats: SliceStats,
@@ -141,6 +145,7 @@ impl LlcSlice {
             mdr: mdr.map(|(bw, epoch, eval)| MdrController::new(bw, epoch, eval)),
             sampler: SetSampler::new(params.geometry, params.sample_sets),
             replicate_always,
+            offline: false,
             scratch: Vec::new(),
             stats: SliceStats::default(),
         }
@@ -227,18 +232,8 @@ impl LlcSlice {
         }
 
         // Refill the bounded queues from the ingress holds.
-        while !self.lmr.is_full() {
-            let Some(r) = self.hold_local.pop_front() else {
-                break;
-            };
-            self.lmr.try_push(r).expect("checked not full");
-        }
-        while !self.rmr.is_full() {
-            let Some(r) = self.hold_remote.pop_front() else {
-                break;
-            };
-            self.rmr.try_push(r).expect("checked not full");
-        }
+        self.lmr.refill_from(&mut self.hold_local);
+        self.rmr.refill_from(&mut self.hold_remote);
 
         // MDR evaluation stalls the pipeline (116-cycle charge).
         let mdr_busy = self.mdr.as_ref().is_some_and(|m| m.busy(now));
@@ -251,14 +246,18 @@ impl LlcSlice {
                 .arb
                 .grant(|i| if i == 0 { lmr_ready } else { rmr_ready })
             {
-                let r = if which == 0 {
+                let granted = if which == 0 {
                     self.lmr.pop()
                 } else {
                     self.rmr.pop()
+                };
+                // The grant predicate checked non-emptiness this cycle;
+                // an empty pop here would be an arbiter bug — skip the
+                // grant rather than crash the whole simulation.
+                if let Some(r) = granted {
+                    self.pipe.push(r, now, self.latency);
+                    self.stats.accesses += 1;
                 }
-                .expect("granted queue non-empty");
-                self.pipe.push(r, now, self.latency);
-                self.stats.accesses += 1;
             }
         }
 
@@ -280,13 +279,16 @@ impl LlcSlice {
         }
 
         // Stream replies through the data-array output gate.
-        while let Some(reply) = self.backlog.front() {
-            if !self.out.can_send() {
+        while self.out.can_send() {
+            let Some(reply) = self.backlog.pop_front() else {
+                break;
+            };
+            if let Err(nuba_engine::SendError(reply)) = self.out.try_send(reply, now) {
+                // can_send raced false (cannot happen single-threaded,
+                // but never drop a reply): put it back and stop.
+                self.backlog.push_front(reply);
                 break;
             }
-            let reply = *reply;
-            self.backlog.pop_front();
-            self.out.try_send(reply, now).expect("checked can_send");
         }
         if self.out.pending() > 0 {
             self.out.tick(now, &mut self.scratch);
@@ -313,6 +315,13 @@ impl LlcSlice {
         match r.role {
             Role::Home => match r.req.kind {
                 AccessKind::Store => {
+                    if self.offline {
+                        // Data array offline: write through straight to
+                        // DRAM and ack; nothing to cache.
+                        self.mem_tasks.push_back(MemTask::Writeback(line));
+                        self.backlog.push_back(self.reply_for(&r.req, false));
+                        return true;
+                    }
                     if !self.tags.mark_dirty(line) {
                         // Write-allocate without fetch (write-through L1s
                         // send full sectors; fetching would double DRAM
@@ -329,7 +338,7 @@ impl LlcSlice {
                     true
                 }
                 AccessKind::Load | AccessKind::LoadReadOnly | AccessKind::Atomic => {
-                    if self.tags.probe_and_touch(line, now) {
+                    if !self.offline && self.tags.probe_and_touch(line, now) {
                         self.stats.hits += 1;
                         if r.req.kind == AccessKind::Atomic {
                             self.tags.mark_dirty(line);
@@ -348,7 +357,7 @@ impl LlcSlice {
                     "{:?}",
                     r.req.kind
                 );
-                if self.tags.probe_and_touch(line, now) {
+                if !self.offline && self.tags.probe_and_touch(line, now) {
                     self.stats.hits += 1;
                     self.stats.replica_hits += 1;
                     self.backlog.push_back(self.reply_for(&r.req, true));
@@ -414,10 +423,14 @@ impl LlcSlice {
     }
 
     /// A DRAM fill returned for `line`: install it and wake waiters.
+    /// While the slice is offline the install is skipped (sets reject
+    /// fills) but waiters still complete — requests are never lost.
     pub fn fill_from_memory(&mut self, line: LineAddr, now: u64) {
-        if let Some(ev) = self.tags.insert(line, false, false, now) {
-            if ev.dirty {
-                self.mem_tasks.push_back(MemTask::Writeback(ev.line));
+        if !self.offline {
+            if let Some(ev) = self.tags.insert(line, false, false, now) {
+                if ev.dirty {
+                    self.mem_tasks.push_back(MemTask::Writeback(ev.line));
+                }
             }
         }
         let mut atomic_dirty = false;
@@ -439,12 +452,14 @@ impl LlcSlice {
     /// waiters.
     pub fn fill_replica(&mut self, reply: MemReply, now: u64) {
         nuba_types::invariant!("llc_replica_fill_flagged", reply.replica_fill);
-        if let Some(ev) = self.tags.insert(reply.line, false, true, now) {
-            if ev.dirty {
-                self.mem_tasks.push_back(MemTask::Writeback(ev.line));
+        if !self.offline {
+            if let Some(ev) = self.tags.insert(reply.line, false, true, now) {
+                if ev.dirty {
+                    self.mem_tasks.push_back(MemTask::Writeback(ev.line));
+                }
             }
+            self.stats.replica_fills += 1;
         }
-        self.stats.replica_fills += 1;
         let mut waiters = self.mshr.complete(reply.line);
         for waiter in waiters.drain(..) {
             let mut r = self.reply_for(&waiter.req, reply.llc_hit);
@@ -493,6 +508,28 @@ impl LlcSlice {
         for line in self.tags.flush() {
             self.mem_tasks.push_back(MemTask::Writeback(line));
         }
+    }
+
+    /// Fault-injection hook: take the tag/data arrays offline (`true`)
+    /// or bring them back (`false`). Offline, probes miss and fills are
+    /// not installed, so every access is served from DRAM; MSHRs and
+    /// queues keep working and no request is dropped. Lines cached
+    /// before the fault are left in place and become visible again on
+    /// revert (the arrays lost power to their sense amps, not their
+    /// contents — a conservative model either way since staleness
+    /// cannot arise in a write-through-to-home design).
+    pub fn set_offline(&mut self, offline: bool) {
+        self.offline = offline;
+    }
+
+    /// Whether a fault currently holds this slice's arrays offline.
+    pub fn is_offline(&self) -> bool {
+        self.offline
+    }
+
+    /// Requests currently resident in the MSHR file (deadlock reports).
+    pub fn mshr_residents(&self) -> usize {
+        self.mshr.occupancy()
     }
 
     /// Current replica-line count (capacity-pressure diagnostics).
@@ -735,6 +772,47 @@ mod tests {
         assert!(s.replicating());
         let s2 = slice();
         assert!(!s2.replicating());
+    }
+
+    #[test]
+    fn offline_slice_degrades_to_dram_without_losing_requests() {
+        let mut s = slice();
+        // Warm a line, then take the arrays offline.
+        s.fill_from_memory(LineAddr::containing(0x6000), 0);
+        let _ = run(&mut s, 0, 1);
+        s.set_offline(true);
+        assert!(s.is_offline());
+
+        // A load that would hit now misses and goes to DRAM.
+        s.ingress_local(req(1, 0x6000, AccessKind::Load), Role::Home);
+        let _ = run(&mut s, 2, 12);
+        assert_eq!(
+            s.pop_mem_task(),
+            Some(MemTask::Fetch(LineAddr::containing(0x6000))),
+            "offline probe must miss"
+        );
+        // The fill is not installed but the waiter still completes.
+        s.fill_from_memory(LineAddr::containing(0x6000), 13);
+        let got = run(&mut s, 13, 40);
+        assert_eq!(got.len(), 1, "request served despite offline arrays");
+        assert!(!got[0].1.llc_hit);
+
+        // Stores write through and ack.
+        s.ingress_local(req(2, 0x6000, AccessKind::Store), Role::Home);
+        let got = run(&mut s, 41, 60);
+        assert_eq!(got.len(), 1);
+        assert_eq!(
+            s.pop_mem_task(),
+            Some(MemTask::Writeback(LineAddr::containing(0x6000)))
+        );
+
+        // Revert: the pre-fault line is visible again.
+        s.set_offline(false);
+        s.ingress_local(req(3, 0x6000, AccessKind::Load), Role::Home);
+        let got = run(&mut s, 61, 80);
+        assert_eq!(got.len(), 1);
+        assert!(got[0].1.llc_hit, "revert restores the arrays");
+        assert_eq!(s.pending_work(), 0);
     }
 
     #[test]

@@ -55,6 +55,38 @@ pub struct SimReport {
 }
 
 impl SimReport {
+    /// All-zero placeholder report, used for jobs that never produced a
+    /// real run (panicked, deadlocked, or rejected by validation).
+    /// Every derived rate evaluates to 0.0 on it.
+    pub fn empty() -> SimReport {
+        SimReport {
+            cycles: 0,
+            warp_ops: 0,
+            read_replies: 0,
+            local_misses: 0,
+            remote_misses: 0,
+            l1_hits: 0,
+            llc_hits: 0,
+            llc_accesses: 0,
+            dram_accesses: 0,
+            dram_row_hit_rate: 0.0,
+            noc_bytes: 0,
+            local_link_bytes: 0,
+            replica_fills: 0,
+            mdr_replication_rate: 0.0,
+            page_faults: 0,
+            final_npb: 0.0,
+            channel_imbalance: 0.0,
+            avg_read_latency: 0.0,
+            max_read_latency: 0,
+            noc_watts: 0.0,
+            energy: EnergyReport {
+                noc_j: 0.0,
+                rest_j: 0.0,
+            },
+        }
+    }
+
     /// Performance proxy: warp operations per cycle.
     pub fn perf(&self) -> f64 {
         if self.cycles == 0 {

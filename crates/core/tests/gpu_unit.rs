@@ -19,7 +19,7 @@ fn tiny(arch: ArchKind) -> GpuConfig {
 fn run(cfg: GpuConfig, bench: BenchmarkId, cycles: u64) -> (GpuSimulator, nuba_core::SimReport) {
     let wl = Workload::build(bench, ScaleProfile::fast(), cfg.num_sms, 5);
     let mut gpu = GpuSimulator::new(cfg, &wl);
-    let r = gpu.warm_and_run(&wl, cycles);
+    let r = gpu.warm_and_run(&wl, cycles).expect("forward progress");
     (gpu, r)
 }
 
@@ -95,8 +95,8 @@ fn report_is_cumulative_and_monotonic() {
     let wl = Workload::build(BenchmarkId::Kmeans, ScaleProfile::fast(), cfg.num_sms, 5);
     let mut gpu = GpuSimulator::new(cfg, &wl);
     gpu.warm(&wl, 64);
-    let r1 = gpu.run(3_000);
-    let r2 = gpu.run(3_000);
+    let r1 = gpu.run(3_000).expect("forward progress");
+    let r2 = gpu.run(3_000).expect("forward progress");
     assert_eq!(r2.cycles, 6_000);
     assert!(r2.warp_ops >= r1.warp_ops);
     assert!(r2.read_replies >= r1.read_replies);

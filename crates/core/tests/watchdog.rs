@@ -1,0 +1,156 @@
+//! Forward-progress watchdog contract: it never fires on healthy
+//! configurations, and it fires deterministically — with a populated
+//! [`DeadlockReport`] — when a fault genuinely starves the machine.
+
+use nuba_core::{GpuSimulator, SimError};
+use nuba_engine::{Fault, FaultPlan};
+use nuba_types::{ArchKind, GpuConfig, PagePolicyKind, ReplicationKind};
+use nuba_workloads::{BenchmarkId, ScaleProfile, Workload};
+
+/// The simcheck architecture matrix: both UBA baselines plus NUBA with
+/// every replication × page-policy combination.
+fn simcheck_configs() -> Vec<(String, GpuConfig)> {
+    let mut out = vec![
+        (
+            "UBA-mem".into(),
+            GpuConfig::paper_baseline(ArchKind::MemSideUba),
+        ),
+        (
+            "UBA-sm".into(),
+            GpuConfig::paper_baseline(ArchKind::SmSideUba),
+        ),
+    ];
+    for (rep_name, rep) in [
+        ("NoRep", ReplicationKind::None),
+        ("FullRep", ReplicationKind::Full),
+        ("MDR", ReplicationKind::Mdr),
+    ] {
+        for (pol_name, pol) in [
+            ("FirstTouch", PagePolicyKind::FirstTouch),
+            ("RoundRobin", PagePolicyKind::RoundRobin),
+            ("LAB", PagePolicyKind::lab_default()),
+        ] {
+            let mut cfg = GpuConfig::paper_baseline(ArchKind::Nuba);
+            cfg.replication = rep;
+            cfg.page_policy = pol;
+            out.push((format!("NUBA-{rep_name}-{pol_name}"), cfg));
+        }
+    }
+    out
+}
+
+fn starved_run(budget: u64, cycles: u64) -> Result<nuba_core::SimReport, SimError> {
+    let cfg = GpuConfig::paper_baseline(ArchKind::Nuba);
+    let wl = Workload::build(
+        BenchmarkId::Kmeans,
+        ScaleProfile::fast(),
+        cfg.num_sms,
+        cfg.seed,
+    );
+    let plan = FaultPlan::uniform_link_derate(0.0, cfg.num_sms, cfg.num_llc_slices);
+    let mut gpu = GpuSimulator::try_new(cfg, &wl).expect("valid config");
+    gpu.set_fault_plan(&plan);
+    gpu.set_watchdog(Some(budget));
+    gpu.warm_and_run(&wl, cycles)
+}
+
+#[test]
+fn healthy_configs_never_trip_the_watchdog() {
+    // A budget well below the paper default (20k) but above the
+    // cold-start latency to the first reply (~500 cycles): if any of
+    // the simcheck configurations stalls its retire stream for 1500
+    // consecutive cycles, something real broke.
+    for (name, cfg) in simcheck_configs() {
+        let wl = Workload::build(
+            BenchmarkId::Kmeans,
+            ScaleProfile::fast(),
+            cfg.num_sms,
+            cfg.seed,
+        );
+        let mut gpu = GpuSimulator::try_new(cfg, &wl).expect("valid config");
+        gpu.set_watchdog(Some(1500));
+        let r = gpu.warm_and_run(&wl, 4000);
+        assert!(
+            r.is_ok(),
+            "{name}: watchdog fired on a healthy config: {:?}",
+            r.err()
+        );
+    }
+}
+
+#[test]
+fn starved_links_trip_with_a_populated_report() {
+    let err = starved_run(800, 3000).expect_err("zero-bandwidth links must deadlock");
+    let SimError::NoForwardProgress(report) = err else {
+        panic!("wrong error kind: {err}");
+    };
+    assert_eq!(report.budget, 800);
+    assert!(report.cycle >= 800, "cannot fire before the budget elapses");
+    assert!(report.issued > 0, "SMs issued requests before starving");
+    assert_eq!(report.replied, 0, "dead links deliver no replies");
+    assert!(report.outstanding > 0, "the stuck requests are visible");
+    assert!(
+        report.local_link_pending > 0,
+        "the report points at the starved links: {report}"
+    );
+    assert!(
+        report.detail.contains("outstanding="),
+        "debug detail attached"
+    );
+}
+
+#[test]
+fn starved_links_trip_deterministically() {
+    let a = starved_run(800, 3000).expect_err("deadlocks");
+    let b = starved_run(800, 3000).expect_err("deadlocks");
+    assert_eq!(a, b, "same seed + same plan must fire identically");
+}
+
+#[test]
+fn stalled_tlb_walkers_trip_the_watchdog() {
+    let cfg = GpuConfig::paper_baseline(ArchKind::Nuba);
+    let wl = Workload::build(
+        BenchmarkId::Kmeans,
+        ScaleProfile::fast(),
+        cfg.num_sms,
+        cfg.seed,
+    );
+    let plan = FaultPlan::new().with(Fault::TlbWalkerStall, 0, None);
+    let mut gpu = GpuSimulator::try_new(cfg, &wl).expect("valid config");
+    gpu.set_fault_plan(&plan);
+    gpu.set_watchdog(Some(800));
+    let err = gpu
+        .warm_and_run(&wl, 3000)
+        .expect_err("stalled walkers must deadlock");
+    let SimError::NoForwardProgress(report) = err else {
+        panic!("wrong error kind: {err}");
+    };
+    assert!(
+        report.translations_outstanding > 0,
+        "the report points at the stuck walks: {report}"
+    );
+}
+
+#[test]
+fn reverted_fault_lets_the_run_complete() {
+    // The same starvation fault, but with a window that ends: the
+    // watchdog must not fire as long as the budget outlasts the outage.
+    let cfg = GpuConfig::paper_baseline(ArchKind::Nuba);
+    let wl = Workload::build(
+        BenchmarkId::Kmeans,
+        ScaleProfile::fast(),
+        cfg.num_sms,
+        cfg.seed,
+    );
+    let mut plan = FaultPlan::new();
+    for e in FaultPlan::uniform_link_derate(0.0, cfg.num_sms, cfg.num_llc_slices).events() {
+        plan = plan.with(e.fault, 100, Some(600));
+    }
+    let mut gpu = GpuSimulator::try_new(cfg, &wl).expect("valid config");
+    gpu.set_fault_plan(&plan);
+    gpu.set_watchdog(Some(2000));
+    let r = gpu
+        .warm_and_run(&wl, 4000)
+        .expect("outage shorter than budget");
+    assert!(r.read_replies > 0, "replies flow once the links recover");
+}

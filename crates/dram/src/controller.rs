@@ -63,6 +63,9 @@ pub struct MemoryController {
     last_write_end: u64,
     /// Cycle the next refresh is due (tREFI > 0 only).
     next_refresh: u64,
+    /// Fault hook: extra memory cycles added to every data burst while a
+    /// DRAM-stretch fault is active (0 when healthy).
+    fault_stretch: u64,
     stats: DramStats,
 }
 
@@ -99,6 +102,7 @@ impl MemoryController {
             } else {
                 u64::MAX
             },
+            fault_stretch: 0,
             stats: DramStats::default(),
         }
     }
@@ -210,7 +214,9 @@ impl MemoryController {
             data_start = data_start.max(self.last_write_end + self.timing.tWTRs);
         }
         data_start = data_start.max(self.bus_free_at);
-        let data_end = data_start + self.burst_cycles;
+        // A slow/marginal rank under fault injection: every burst holds
+        // the data bus longer, so the slowdown compounds under load.
+        let data_end = data_start + self.burst_cycles + self.fault_stretch;
 
         self.bus_free_at = data_end;
         self.stats.bus_busy_cycles += self.burst_cycles;
@@ -232,6 +238,14 @@ impl MemoryController {
 
         self.queue.remove(idx);
         self.inflight.push((data_end, req));
+    }
+
+    /// Fault hook: stretch every subsequent data burst by `extra`
+    /// memory cycles (0 restores nominal timing). Already-scheduled
+    /// bursts keep their completion times, so reverting a fault is
+    /// glitch-free.
+    pub fn set_fault_stretch(&mut self, extra: u64) {
+        self.fault_stretch = extra;
     }
 
     /// Controller statistics so far.
@@ -537,6 +551,38 @@ mod tests {
         t.tREFI = 100;
         t.tRFC = 120;
         assert!(t.validate().is_err(), "tRFC ≥ tREFI must be rejected");
+    }
+
+    #[test]
+    fn fault_stretch_slows_bursts_and_reverts_cleanly() {
+        let mut m = mc();
+        m.set_fault_stretch(10);
+        m.try_enqueue(
+            DramRequest {
+                id: 0,
+                bank: 0,
+                row: 1,
+                is_write: false,
+            },
+            0,
+        )
+        .unwrap();
+        let got = run(&mut m, 0, 60);
+        // Healthy completion would be cycle 16; the stretch adds 10.
+        assert_eq!(got, vec![(26, 0)]);
+        m.set_fault_stretch(0);
+        m.try_enqueue(
+            DramRequest {
+                id: 1,
+                bank: 0,
+                row: 1,
+                is_write: false,
+            },
+            61,
+        )
+        .unwrap();
+        let got = run(&mut m, 61, 120);
+        assert_eq!(got.len(), 1, "controller recovered after revert");
     }
 
     #[test]

@@ -1,0 +1,342 @@
+//! Deterministic fault injection: timed schedules of hardware faults.
+//!
+//! A [`FaultPlan`] is plain data — a list of [`FaultEvent`]s, each a
+//! [`Fault`] active over a half-open cycle window `[start, end)` (or
+//! from `start` onward when open-ended). The simulator compiles a plan
+//! into a [`FaultSchedule`], a cursor over apply/revert edges sorted by
+//! cycle, and drains due edges at the top of every step. Compilation
+//! allocates once at plan-installation time; draining is allocation-free,
+//! so the steady-state zero-allocation guarantee survives with fault
+//! hooks compiled in.
+//!
+//! Faults are *derates*, not topology changes: the degraded component
+//! keeps its queues and its back-pressure behaviour, so conservation
+//! invariants (requests in == replies out + outstanding) hold under any
+//! plan. A fault that removes all bandwidth from a required path
+//! therefore shows up as *no forward progress* — which is exactly what
+//! the simulator's watchdog exists to detect and report.
+
+use crate::DetRng;
+
+/// Which [`BandwidthLink`](crate::BandwidthLink) a link-derate fault
+/// lands on, in simulator topology terms.
+///
+/// Sites that do not exist on the simulated architecture (e.g. local
+/// links on a UBA machine, or an out-of-range index after scaling a
+/// config down) are ignored when the plan is applied, so one plan can
+/// be replayed against every architecture of a comparison sweep.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LinkSite {
+    /// NUBA per-SM local request link (SM → home LLC slice).
+    LocalReq(usize),
+    /// NUBA per-SM local reply link (home LLC slice → SM).
+    LocalReply(usize),
+    /// Request-crossbar injection/ejection port.
+    NocReqPort(usize),
+    /// Reply-crossbar injection/ejection port.
+    NocReplyPort(usize),
+}
+
+/// One injectable hardware fault.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Fault {
+    /// Multiply a link's effective bytes/cycle by `factor` (clamped to
+    /// `[0, 1]`; `0.0` is a dead lane that retains queued traffic).
+    LinkDerate {
+        /// The link to derate.
+        site: LinkSite,
+        /// Bandwidth multiplier while the fault is active.
+        factor: f64,
+    },
+    /// Stretch every DRAM data burst on one channel by `extra_cycles`
+    /// memory-clock cycles (a slow/marginal rank).
+    DramStretch {
+        /// The memory channel to slow down.
+        channel: usize,
+        /// Additional memory-clock cycles per burst.
+        extra_cycles: u64,
+    },
+    /// Take an LLC slice's data array offline: tag probes miss, fills
+    /// are not installed (sets reject them), so every access is served
+    /// from DRAM while MSHRs and queues keep working — hit rate
+    /// collapses, correctness does not.
+    SliceOffline {
+        /// The slice whose sets go offline.
+        slice: usize,
+    },
+    /// Stall the page-table walker pool: in-flight walks complete but
+    /// no new walk may start while the fault is active.
+    TlbWalkerStall,
+}
+
+/// A [`Fault`] active over a cycle window.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FaultEvent {
+    /// First cycle (inclusive) the fault is active.
+    pub start: u64,
+    /// First cycle (exclusive) the fault is no longer active; `None`
+    /// keeps it active for the rest of the run.
+    pub end: Option<u64>,
+    /// The fault itself.
+    pub fault: Fault,
+}
+
+/// A deterministic, seed-reproducible schedule of fault events.
+///
+/// Equal plans applied to equal simulators produce byte-identical
+/// reports: application is a pure function of the cycle counter.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct FaultPlan {
+    events: Vec<FaultEvent>,
+}
+
+impl FaultPlan {
+    /// An empty plan (injects nothing).
+    pub fn new() -> FaultPlan {
+        FaultPlan::default()
+    }
+
+    /// Add one event.
+    pub fn push(&mut self, event: FaultEvent) {
+        self.events.push(event);
+    }
+
+    /// Builder form of [`push`](FaultPlan::push).
+    #[must_use]
+    pub fn with(mut self, fault: Fault, start: u64, end: Option<u64>) -> FaultPlan {
+        self.push(FaultEvent { start, end, fault });
+        self
+    }
+
+    /// Derate every link of a machine with `num_sms` local link pairs
+    /// and `num_ports` NoC ports (both crossbars) by `factor`, from
+    /// cycle 0 for the whole run — the uniform bandwidth-loss scenario
+    /// `fig_degradation` sweeps. Sites absent on an architecture are
+    /// ignored at apply time, so the same plan is fair across NUBA and
+    /// both UBA baselines.
+    pub fn uniform_link_derate(factor: f64, num_sms: usize, num_ports: usize) -> FaultPlan {
+        let mut plan = FaultPlan::new();
+        for sm in 0..num_sms {
+            plan = plan
+                .with(
+                    Fault::LinkDerate {
+                        site: LinkSite::LocalReq(sm),
+                        factor,
+                    },
+                    0,
+                    None,
+                )
+                .with(
+                    Fault::LinkDerate {
+                        site: LinkSite::LocalReply(sm),
+                        factor,
+                    },
+                    0,
+                    None,
+                );
+        }
+        for p in 0..num_ports {
+            plan = plan
+                .with(
+                    Fault::LinkDerate {
+                        site: LinkSite::NocReqPort(p),
+                        factor,
+                    },
+                    0,
+                    None,
+                )
+                .with(
+                    Fault::LinkDerate {
+                        site: LinkSite::NocReplyPort(p),
+                        factor,
+                    },
+                    0,
+                    None,
+                );
+        }
+        plan
+    }
+
+    /// A seeded random plan: `n_events` faults with windows inside
+    /// `[0, horizon)`, drawn from all four fault kinds over the given
+    /// topology extents. Equal arguments yield equal plans.
+    pub fn random(
+        seed: u64,
+        horizon: u64,
+        n_events: usize,
+        num_sms: usize,
+        num_slices: usize,
+        num_channels: usize,
+    ) -> FaultPlan {
+        let mut rng = DetRng::new(seed ^ 0xfau64.rotate_left(56));
+        let mut plan = FaultPlan::new();
+        let horizon = horizon.max(2);
+        for _ in 0..n_events {
+            let start = rng.below(horizon - 1);
+            let len = 1 + rng.below(horizon - start - 1);
+            let end = Some((start + len).min(horizon));
+            let fault = match rng.below(4) {
+                0 => Fault::LinkDerate {
+                    site: match rng.below(4) {
+                        0 => LinkSite::LocalReq(rng.index(num_sms.max(1))),
+                        1 => LinkSite::LocalReply(rng.index(num_sms.max(1))),
+                        2 => LinkSite::NocReqPort(rng.index(num_slices.max(1))),
+                        _ => LinkSite::NocReplyPort(rng.index(num_slices.max(1))),
+                    },
+                    // Quantized factors keep plans printable and avoid
+                    // accidental 1e-17-style slivers.
+                    factor: rng.below(4) as f64 * 0.25,
+                },
+                1 => Fault::DramStretch {
+                    channel: rng.index(num_channels.max(1)),
+                    extra_cycles: 1 + rng.below(32),
+                },
+                2 => Fault::SliceOffline {
+                    slice: rng.index(num_slices.max(1)),
+                },
+                _ => Fault::TlbWalkerStall,
+            };
+            plan.push(FaultEvent { start, end, fault });
+        }
+        plan
+    }
+
+    /// The scheduled events.
+    pub fn events(&self) -> &[FaultEvent] {
+        &self.events
+    }
+
+    /// Whether the plan injects nothing.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// Number of scheduled events.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// Compile to a cursor-driven edge schedule for the simulator.
+    pub fn compile(&self) -> FaultSchedule {
+        let mut edges = Vec::with_capacity(self.events.len() * 2);
+        for (i, ev) in self.events.iter().enumerate() {
+            edges.push(FaultEdge {
+                cycle: ev.start,
+                apply: true,
+                event: i,
+            });
+            if let Some(end) = ev.end {
+                if end > ev.start {
+                    edges.push(FaultEdge {
+                        cycle: end,
+                        apply: false,
+                        event: i,
+                    });
+                }
+            }
+        }
+        // Reverts sort before applies at the same cycle so that
+        // back-to-back windows on one site end up applied, and ties
+        // otherwise resolve by event order (last writer wins).
+        edges.sort_by_key(|e| (e.cycle, e.apply, e.event));
+        FaultSchedule {
+            events: self.events.clone(),
+            edges,
+            cursor: 0,
+        }
+    }
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct FaultEdge {
+    cycle: u64,
+    apply: bool,
+    event: usize,
+}
+
+/// A compiled [`FaultPlan`]: apply/revert edges sorted by cycle, walked
+/// by a cursor. Draining performs no allocation.
+#[derive(Debug, Clone)]
+pub struct FaultSchedule {
+    events: Vec<FaultEvent>,
+    edges: Vec<FaultEdge>,
+    cursor: usize,
+}
+
+impl FaultSchedule {
+    /// Pop the next edge due at or before `now`: the fault and whether
+    /// it is being applied (`true`) or reverted (`false`). Call in a
+    /// loop until `None` each cycle.
+    pub fn next_edge(&mut self, now: u64) -> Option<(Fault, bool)> {
+        let edge = *self.edges.get(self.cursor)?;
+        if edge.cycle > now {
+            return None;
+        }
+        self.cursor += 1;
+        Some((self.events[edge.event].fault, edge.apply))
+    }
+
+    /// Whether any edges remain to fire after `now`.
+    pub fn exhausted(&self) -> bool {
+        self.cursor >= self.edges.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn schedule_orders_edges_and_reverts_first_on_ties() {
+        let plan = FaultPlan::new()
+            .with(Fault::TlbWalkerStall, 10, Some(20))
+            .with(Fault::TlbWalkerStall, 20, Some(30));
+        let mut s = plan.compile();
+        assert!(s.next_edge(9).is_none());
+        assert_eq!(s.next_edge(10), Some((Fault::TlbWalkerStall, true)));
+        assert!(s.next_edge(15).is_none());
+        // At cycle 20 the first event's revert fires before the second
+        // event's apply, leaving the stall active.
+        assert_eq!(s.next_edge(20), Some((Fault::TlbWalkerStall, false)));
+        assert_eq!(s.next_edge(20), Some((Fault::TlbWalkerStall, true)));
+        assert!(s.next_edge(20).is_none());
+        assert_eq!(s.next_edge(30), Some((Fault::TlbWalkerStall, false)));
+        assert!(s.exhausted());
+    }
+
+    #[test]
+    fn open_ended_events_never_revert() {
+        let plan = FaultPlan::new().with(Fault::SliceOffline { slice: 3 }, 5, None);
+        let mut s = plan.compile();
+        assert_eq!(
+            s.next_edge(5),
+            Some((Fault::SliceOffline { slice: 3 }, true))
+        );
+        assert!(s.next_edge(u64::MAX).is_none());
+        assert!(s.exhausted());
+    }
+
+    #[test]
+    fn random_plans_are_seed_deterministic() {
+        let a = FaultPlan::random(7, 10_000, 16, 64, 64, 32);
+        let b = FaultPlan::random(7, 10_000, 16, 64, 64, 32);
+        let c = FaultPlan::random(8, 10_000, 16, 64, 64, 32);
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+        assert_eq!(a.len(), 16);
+        for ev in a.events() {
+            assert!(ev.start < 10_000);
+            assert!(ev.end.is_none_or(|e| e > ev.start && e <= 10_000));
+        }
+    }
+
+    #[test]
+    fn uniform_derate_covers_every_site() {
+        let plan = FaultPlan::uniform_link_derate(0.5, 2, 3);
+        assert_eq!(plan.len(), 2 * 2 + 3 * 2);
+        assert!(plan
+            .events()
+            .iter()
+            .all(|e| e.start == 0 && e.end.is_none()));
+    }
+}

@@ -35,12 +35,14 @@
 //! ```
 
 pub mod arbiter;
+pub mod fault;
 pub mod link;
 pub mod pipe;
 pub mod queue;
 pub mod rng;
 
 pub use arbiter::RoundRobinArbiter;
+pub use fault::{Fault, FaultEvent, FaultPlan, FaultSchedule, LinkSite};
 pub use link::{BandwidthLink, SendError};
 pub use pipe::LatencyPipe;
 pub use queue::BoundedQueue;

@@ -34,6 +34,11 @@ pub struct BandwidthLink<T> {
     /// Cycles in which the link was actively serializing.
     busy_cycles: u64,
     last_tick: Option<Cycle>,
+    /// Fault-injection multiplier on the effective bandwidth, in
+    /// `[0, 1]`. `1.0` is the healthy link; `0.0` models a dead lane:
+    /// queued items are retained (back-pressure propagates upstream)
+    /// but nothing serializes until the fault is reverted.
+    derate: f64,
 }
 
 impl<T: Wire> BandwidthLink<T> {
@@ -60,6 +65,7 @@ impl<T: Wire> BandwidthLink<T> {
             bytes_transferred: 0,
             busy_cycles: 0,
             last_tick: None,
+            derate: 1.0,
         }
     }
 
@@ -98,11 +104,13 @@ impl<T: Wire> BandwidthLink<T> {
 
         if !self.queue.is_empty() {
             self.busy_cycles += 1;
-            self.credit += self.bytes_per_cycle;
+            self.credit += self.bytes_per_cycle * self.derate;
             // A wide link may finish several small packets in one cycle.
-            while !self.queue.is_empty() && self.credit >= self.head_remaining as f64 {
+            while self.credit >= self.head_remaining as f64 {
+                let Some(item) = self.queue.pop_front() else {
+                    break;
+                };
                 self.credit -= self.head_remaining as f64;
-                let item = self.queue.pop_front().expect("non-empty");
                 self.bytes_transferred += item.wire_bytes();
                 self.inflight.push_back((now + self.latency, item));
                 self.head_remaining = self.queue.front().map_or(0, |i| i.wire_bytes());
@@ -117,7 +125,9 @@ impl<T: Wire> BandwidthLink<T> {
         }
 
         while self.inflight.front().is_some_and(|(r, _)| *r <= now) {
-            out.push(self.inflight.pop_front().expect("non-empty").1);
+            if let Some((_, item)) = self.inflight.pop_front() {
+                out.push(item);
+            }
         }
     }
 
@@ -139,6 +149,20 @@ impl<T: Wire> BandwidthLink<T> {
     /// The configured serialization bandwidth.
     pub fn bytes_per_cycle(&self) -> f64 {
         self.bytes_per_cycle
+    }
+
+    /// Set the fault-injection bandwidth multiplier (clamped to
+    /// `[0, 1]`). The nominal `bytes_per_cycle` is untouched, so
+    /// reverting a fault restores exactly the configured rate; a factor
+    /// of `0.0` starves the link without violating the constructor's
+    /// positive-bandwidth contract.
+    pub fn set_derate(&mut self, factor: f64) {
+        self.derate = factor.clamp(0.0, 1.0);
+    }
+
+    /// The current fault-injection bandwidth multiplier.
+    pub fn derate(&self) -> f64 {
+        self.derate
     }
 }
 
@@ -245,5 +269,38 @@ mod tests {
     #[should_panic(expected = "positive")]
     fn zero_bandwidth_panics() {
         let _ = BandwidthLink::<Pkt>::new(0.0, 1, 1);
+    }
+
+    #[test]
+    fn derated_link_slows_by_the_given_factor() {
+        // 16 B/cycle at 0.5 derate behaves like an 8 B/cycle link: a
+        // 136 B packet finishes on the 17th tick instead of the 9th.
+        let mut link = BandwidthLink::new(16.0, 0, 4);
+        link.set_derate(0.5);
+        link.try_send(Pkt(136), 0).unwrap();
+        let got = run(&mut link, 0, 40);
+        assert_eq!(got, vec![(16, 136)]);
+    }
+
+    #[test]
+    fn zero_derate_starves_but_retains_and_recovers() {
+        let mut link = BandwidthLink::new(16.0, 0, 4);
+        link.set_derate(0.0);
+        link.try_send(Pkt(32), 0).unwrap();
+        assert!(run(&mut link, 0, 49).is_empty(), "dead link delivered");
+        assert_eq!(link.pending(), 1, "queued item must be retained");
+        // Reverting the fault restores the full configured rate.
+        link.set_derate(1.0);
+        let got = run(&mut link, 50, 60);
+        assert_eq!(got, vec![(51, 32)]);
+    }
+
+    #[test]
+    fn derate_is_clamped_to_unit_interval() {
+        let mut link = BandwidthLink::<Pkt>::new(16.0, 0, 4);
+        link.set_derate(7.0);
+        assert_eq!(link.derate(), 1.0);
+        link.set_derate(-1.0);
+        assert_eq!(link.derate(), 0.0);
     }
 }

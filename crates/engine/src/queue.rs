@@ -88,6 +88,25 @@ impl<T> BoundedQueue<T> {
         let idx = self.items.iter().position(pred)?;
         self.items.remove(idx)
     }
+
+    /// Move items from the front of `src` until this queue is full or
+    /// `src` is empty; returns how many moved. This is the safe form of
+    /// the check-then-push refill idiom — no capacity race between the
+    /// `is_full` check and the push is possible, so callers need no
+    /// `expect("checked not full")`.
+    pub fn refill_from(&mut self, src: &mut VecDeque<T>) -> usize {
+        let mut moved = 0;
+        while !self.is_full() {
+            let Some(item) = src.pop_front() else { break };
+            // Cannot fail: is_full was checked in this iteration.
+            if let Err(item) = self.try_push(item) {
+                src.push_front(item);
+                break;
+            }
+            moved += 1;
+        }
+        moved
+    }
 }
 
 #[cfg(test)]
@@ -150,5 +169,20 @@ mod tests {
         q.try_push(2).unwrap();
         let v: Vec<_> = q.iter().copied().collect();
         assert_eq!(v, vec![1, 2]);
+    }
+
+    #[test]
+    fn refill_from_moves_until_full_and_keeps_order() {
+        let mut q = BoundedQueue::new(3);
+        q.try_push(0).unwrap();
+        let mut src: VecDeque<i32> = (1..=5).collect();
+        assert_eq!(q.refill_from(&mut src), 2);
+        assert!(q.is_full());
+        assert_eq!(src.front(), Some(&3), "unmoved items stay in source");
+        assert_eq!(q.pop(), Some(0));
+        assert_eq!(q.pop(), Some(1));
+        assert_eq!(q.pop(), Some(2));
+        let mut empty = VecDeque::new();
+        assert_eq!(q.refill_from(&mut empty), 0);
     }
 }

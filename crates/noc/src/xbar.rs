@@ -154,12 +154,17 @@ impl<T: Wire> CrossbarNoc<T> {
             let i = (self.rr_start + k) % n_in;
             while let Some(head) = self.staged[i].front() {
                 let dest = head.dest;
-                if self.outputs[dest].can_send() {
-                    let r = self.staged[i].pop_front().expect("head exists");
-                    self.outputs[dest]
-                        .try_send(r, now)
-                        .unwrap_or_else(|_| unreachable!("can_send checked"));
-                } else {
+                if !self.outputs[dest].can_send() {
+                    break;
+                }
+                let Some(r) = self.staged[i].pop_front() else {
+                    break;
+                };
+                if let Err(back) = self.outputs[dest].try_send(r, now) {
+                    // Lost the slot despite the can_send check (cannot
+                    // happen single-threaded); restore and retry later
+                    // rather than dropping the packet.
+                    self.staged[i].push_front(back.0);
                     break;
                 }
             }
@@ -201,6 +206,21 @@ impl<T: Wire> CrossbarNoc<T> {
     /// Delivery statistics.
     pub fn stats(&self) -> NocStats {
         self.stats
+    }
+
+    /// Fault hook: multiply the effective bandwidth of `port`'s
+    /// injection and ejection links by `factor` (clamped to `[0, 1]`).
+    /// Out-of-range ports are ignored so one fault plan can target
+    /// machines of different radix. Queued packets are retained and
+    /// conservation holds; a `0.0` factor starves the port until the
+    /// fault is reverted with `1.0`.
+    pub fn set_port_derate(&mut self, port: usize, factor: f64) {
+        if let Some(link) = self.inputs.get_mut(port) {
+            link.set_derate(factor);
+        }
+        if let Some(link) = self.outputs.get_mut(port) {
+            link.set_derate(factor);
+        }
     }
 
     /// Flit conservation: every packet accepted at an injection port is

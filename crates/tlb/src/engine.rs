@@ -118,6 +118,9 @@ pub struct TranslationEngine {
     /// FIFO of pages waiting for a walker.
     walk_queue: VecDeque<PageNum>,
     active_walks: usize,
+    /// Fault-injection flag: while set, in-flight walks complete but no
+    /// new walk may start (the walker pool is stalled).
+    walker_stall: bool,
     stats: TlbStats,
     /// Reusable scratch for the pages whose L2 access / walk finishes
     /// this cycle: avoids a per-cycle allocation and — because it is
@@ -146,6 +149,7 @@ impl TranslationEngine {
             l2_queue: VecDeque::new(),
             walk_queue: VecDeque::new(),
             active_walks: 0,
+            walker_stall: false,
             stats: TlbStats::default(),
             ready: Vec::new(),
             waiter_pool: Vec::new(),
@@ -238,8 +242,8 @@ impl TranslationEngine {
         ready.clear();
         self.ready = ready;
 
-        // Start walks while walkers are free.
-        while self.active_walks < self.params.walkers {
+        // Start walks while walkers are free (unless fault-stalled).
+        while !self.walker_stall && self.active_walks < self.params.walkers {
             let Some(vpage) = self.walk_queue.pop_front() else {
                 break;
             };
@@ -305,6 +309,15 @@ impl TranslationEngine {
             t.flush();
         }
         self.l2.flush();
+    }
+
+    /// Fault-injection hook: stall (`true`) or release (`false`) the
+    /// page-table walker pool. Walks already in flight finish normally;
+    /// queued walks wait. Misses keep merging into `outstanding`
+    /// entries while stalled, so releasing the stall drains the backlog
+    /// without losing requests.
+    pub fn set_walker_stall(&mut self, stalled: bool) {
+        self.walker_stall = stalled;
     }
 
     /// Translations still in flight.
@@ -432,6 +445,23 @@ mod tests {
         // With one walker, walks serialize: spacing ≥ walk latency.
         assert!(got[1].0 - got[0].0 >= 160);
         assert!(got[2].0 - got[1].0 >= 160);
+    }
+
+    #[test]
+    fn walker_stall_holds_walks_until_released() {
+        let mut e = engine();
+        e.set_walker_stall(true);
+        e.request(SmId(0), PageNum(7), 0, true);
+        // L2 access still completes (misses), but the walk never starts.
+        let got = run(&mut e, 0, 1000);
+        assert!(got.is_empty(), "stalled walker must not complete walks");
+        assert_eq!(e.stats().walks, 0);
+        assert_eq!(e.outstanding(), 1, "request is retained, not dropped");
+        // Releasing the stall drains the backlog.
+        e.set_walker_stall(false);
+        let got = run(&mut e, 1001, 1400);
+        assert_eq!(got.len(), 1);
+        assert_eq!(e.stats().walks, 1);
     }
 
     #[test]

@@ -300,6 +300,12 @@ pub struct GpuConfig {
     /// simulates a single long kernel (the default timed window).
     pub kernel_boundary_cycles: Option<u64>,
 
+    /// Forward-progress watchdog budget: if no memory request retires
+    /// for this many consecutive cycles while work is outstanding, the
+    /// simulator aborts the run with a
+    /// `SimError::NoForwardProgress` carrying a deadlock report.
+    /// `None` disables the watchdog (single-stepping debuggers).
+    pub watchdog_cycles: Option<u64>,
     /// MCM package layout; only meaningful for the MCM architecture kinds.
     pub mcm: McmConfig,
     /// NoC power-model parameters.
@@ -357,6 +363,10 @@ impl GpuConfig {
             mdr_eval_cycles: 116,
             mdr_sample_sets: 8,
             kernel_boundary_cycles: None,
+            // Generous relative to the worst legitimate stall (a page
+            // fault is 2 000–28 000 cycles, and faults overlap): a
+            // healthy run never goes 20 000 cycles without one retire.
+            watchdog_cycles: Some(20_000),
             mcm: McmConfig::default(),
             noc_power: NocPowerParams::default(),
             seed: 0x5eed_c0de,
@@ -493,6 +503,56 @@ impl GpuConfig {
         if self.llc_slice_sets() == 0 {
             return err("llc slice too small for its associativity");
         }
+        if self.warps_per_sm == 0 || self.sim_active_warps == 0 || self.threads_per_warp == 0 {
+            return err("warp counts must be non-zero");
+        }
+        // sim_active_warps above warps_per_sm is tolerated: every
+        // consumer clamps it (`sim_active_warps.min(warps_per_sm)`).
+        if self.sm_max_outstanding == 0 {
+            return err("sm_max_outstanding must be non-zero (the SM could never issue)");
+        }
+        if self.l1_ways == 0 || self.l1_mshrs == 0 {
+            return err("l1_ways and l1_mshrs must be non-zero");
+        }
+        if !self
+            .l1_bytes
+            .is_multiple_of(self.l1_ways * crate::addr::LINE_BYTES as usize)
+        {
+            return err("l1_bytes must be a whole number of sets (ways x line size)");
+        }
+        if self.llc_ways == 0 || self.llc_mshrs == 0 {
+            return err("llc_ways and llc_mshrs must be non-zero");
+        }
+        if self.llc_bytes_per_cycle == 0 {
+            return err("llc_bytes_per_cycle must be non-zero (the data array could never stream)");
+        }
+        if self.l1_tlb_entries == 0 || self.l2_tlb_entries == 0 || self.l2_tlb_ways == 0 {
+            return err("TLB geometries must be non-zero");
+        }
+        if self.page_walkers == 0 {
+            return err("page_walkers must be non-zero (walks could never start)");
+        }
+        if self.noc_total_bytes_per_cycle.is_nan() || self.noc_total_bytes_per_cycle <= 0.0 {
+            return err("noc_total_bytes_per_cycle must be positive");
+        }
+        if self.noc_subxbars == 0 {
+            return err("noc_subxbars must be non-zero");
+        }
+        if self.arch.is_nuba() && self.local_link_bytes_per_cycle == 0 {
+            return err("local_link_bytes_per_cycle must be non-zero on NUBA");
+        }
+        if self.dram_clock_divider == 0 {
+            return err("dram_clock_divider must be non-zero");
+        }
+        if self.banks_per_channel == 0 || self.mc_queue_entries == 0 {
+            return err("banks_per_channel and mc_queue_entries must be non-zero");
+        }
+        if self.dram_burst_bytes == 0 || self.dram_row_bytes == 0 {
+            return err("DRAM burst and row sizes must be non-zero");
+        }
+        if self.watchdog_cycles == Some(0) {
+            return err("watchdog_cycles must be non-zero (use None to disable)");
+        }
         if let PagePolicyKind::Lab { threshold } = self.page_policy {
             if !(threshold > 0.0 && threshold <= 1.0) {
                 return err("LAB threshold must be in (0, 1]");
@@ -602,6 +662,38 @@ mod tests {
         let mut cfg = GpuConfig::paper_baseline(ArchKind::Nuba);
         cfg.mdr_sample_sets = 1000;
         assert!(cfg.validate().is_err());
+    }
+
+    #[test]
+    fn validation_catches_zero_depths() {
+        // Each of these used to panic deep inside a component
+        // constructor; validate() must reject them up front instead.
+        let break_one = |f: fn(&mut GpuConfig)| {
+            let mut cfg = GpuConfig::paper_baseline(ArchKind::Nuba);
+            f(&mut cfg);
+            cfg.validate()
+        };
+        assert!(break_one(|c| c.sm_max_outstanding = 0).is_err());
+        assert!(break_one(|c| c.l1_mshrs = 0).is_err());
+        assert!(break_one(|c| c.llc_mshrs = 0).is_err());
+        assert!(break_one(|c| c.mc_queue_entries = 0).is_err());
+        assert!(break_one(|c| c.banks_per_channel = 0).is_err());
+        assert!(break_one(|c| c.dram_burst_bytes = 0).is_err());
+        assert!(break_one(|c| c.dram_clock_divider = 0).is_err());
+        assert!(break_one(|c| c.page_walkers = 0).is_err());
+        assert!(break_one(|c| c.llc_bytes_per_cycle = 0).is_err());
+        assert!(break_one(|c| c.local_link_bytes_per_cycle = 0).is_err());
+        assert!(break_one(|c| c.sim_active_warps = 0).is_err());
+        assert!(break_one(|c| c.noc_total_bytes_per_cycle = -1.0).is_err());
+        assert!(break_one(|c| c.noc_total_bytes_per_cycle = f64::NAN).is_err());
+        assert!(break_one(|c| c.l1_bytes = 1000).is_err());
+        assert!(break_one(|c| c.watchdog_cycles = Some(0)).is_err());
+        // Disabling the watchdog entirely is legal.
+        assert!(break_one(|c| c.watchdog_cycles = None).is_ok());
+        // UBA machines have no local links; zero is fine there.
+        let mut cfg = GpuConfig::paper_baseline(ArchKind::MemSideUba);
+        cfg.local_link_bytes_per_cycle = 0;
+        assert!(cfg.validate().is_ok());
     }
 
     #[test]

@@ -35,7 +35,7 @@ fn main() {
                 1.4e9,
             );
             let mut gpu = GpuSimulator::new(cfg, &wl);
-            let r = gpu.warm_and_run(&wl, cycles);
+            let r = gpu.warm_and_run(&wl, cycles).expect("forward progress");
             let base = baseline.get_or_insert(r.perf());
             println!(
                 "{:<10} {:>8.1} {:>12.2} {:>12.1} {:>12.1}",

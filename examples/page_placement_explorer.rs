@@ -45,7 +45,7 @@ fn main() {
             cfg.replication = ReplicationKind::None;
             let wl = Workload::build(bench, ScaleProfile::default(), cfg.num_sms, 42);
             let mut gpu = GpuSimulator::new(cfg, &wl);
-            let report = gpu.warm_and_run(&wl, cycles);
+            let report = gpu.warm_and_run(&wl, cycles).expect("forward progress");
             let driver = gpu.driver();
             let rel = ft_perf.get_or_insert(report.perf());
             println!(

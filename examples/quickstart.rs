@@ -26,7 +26,9 @@ fn main() {
         let cfg = GpuConfig::paper_baseline(arch);
         let workload = Workload::build(bench, ScaleProfile::default(), cfg.num_sms, 42);
         let mut gpu = GpuSimulator::new(cfg, &workload);
-        let report = gpu.warm_and_run(&workload, cycles);
+        let report = gpu
+            .warm_and_run(&workload, cycles)
+            .expect("forward progress");
 
         let speedup = match baseline_perf {
             None => {

@@ -64,7 +64,7 @@ fn main() {
             cfg.replication = rep;
             let wl = Workload::build(bench, ScaleProfile::default(), cfg.num_sms, 42);
             let mut gpu = GpuSimulator::new(cfg, &wl);
-            let r = gpu.warm_and_run(&wl, cycles);
+            let r = gpu.warm_and_run(&wl, cycles).expect("forward progress");
             let base = norep_perf.get_or_insert(r.perf());
             println!(
                 "    {:<9} speedup={:>5.2}x  LLC hit={:>4.1}%  replica fills={:<7} \

@@ -25,7 +25,7 @@
 //! cfg.sim_active_warps = 8;
 //! let wl = Workload::build(BenchmarkId::Sgemm, ScaleProfile::fast(), 8, 1);
 //! let mut gpu = GpuSimulator::new(cfg, &wl);
-//! let report = gpu.warm_and_run(&wl, 5_000);
+//! let report = gpu.warm_and_run(&wl, 5_000).expect("forward progress");
 //! assert!(report.warp_ops > 0);
 //! ```
 //!

@@ -22,7 +22,7 @@ fn small(arch: ArchKind) -> GpuConfig {
 fn run(bench: BenchmarkId, cfg: GpuConfig) -> nuba::SimReport {
     let wl = Workload::build(bench, ScaleProfile::fast(), cfg.num_sms, 7);
     let mut gpu = GpuSimulator::new(cfg, &wl);
-    gpu.warm_and_run(&wl, CYCLES)
+    gpu.warm_and_run(&wl, CYCLES).expect("forward progress")
 }
 
 #[test]
@@ -192,8 +192,8 @@ fn different_seeds_diverge() {
     let wl_b = Workload::build(BenchmarkId::Sgemm, ScaleProfile::fast(), cfg.num_sms, 2);
     let mut ga = GpuSimulator::new(cfg.clone(), &wl_a);
     let mut gb = GpuSimulator::new(cfg, &wl_b);
-    let ra = ga.warm_and_run(&wl_a, CYCLES);
-    let rb = gb.warm_and_run(&wl_b, CYCLES);
+    let ra = ga.warm_and_run(&wl_a, CYCLES).expect("forward progress");
+    let rb = gb.warm_and_run(&wl_b, CYCLES).expect("forward progress");
     assert_ne!(ra.warp_ops, rb.warp_ops);
 }
 
@@ -229,7 +229,7 @@ fn page_size_sensitivity_runs_with_huge_pages() {
         7,
     );
     let mut gpu = GpuSimulator::new(cfg, &wl);
-    let r = gpu.warm_and_run(&wl, CYCLES);
+    let r = gpu.warm_and_run(&wl, CYCLES).expect("forward progress");
     assert!(r.warp_ops > 1_000);
 }
 
@@ -245,7 +245,7 @@ fn alternative_policies_run_and_report_activity() {
         7,
     );
     let mut gpu = GpuSimulator::new(mig, &wl);
-    let r = gpu.warm_and_run(&wl, CYCLES);
+    let r = gpu.warm_and_run(&wl, CYCLES).expect("forward progress");
     assert!(r.warp_ops > 0);
     // Shared-heavy workload under migration: pages should move.
     assert!(
@@ -273,7 +273,7 @@ fn captured_trace_replays_through_the_simulator() {
     let mut cfg = cfg;
     cfg.sim_active_warps = 4;
     let mut gpu = GpuSimulator::new(cfg, &wl);
-    let r = gpu.warm_and_run(&wl, 6_000);
+    let r = gpu.warm_and_run(&wl, 6_000).expect("forward progress");
     assert!(
         r.warp_ops > 1_000,
         "trace replay made no progress: {}",
@@ -294,7 +294,7 @@ fn trace_replay_is_deterministic() {
         let mut c = cfg.clone();
         c.sim_active_warps = 4;
         let mut gpu = GpuSimulator::new(c, &wl);
-        gpu.warm_and_run(&wl, 5_000)
+        gpu.warm_and_run(&wl, 5_000).expect("forward progress")
     };
     let a = run(trace.clone());
     let b = run(trace);

@@ -67,7 +67,7 @@ proptest! {
         let wl = Workload::build(bench, ScaleProfile::fast(), cfg.num_sms, seed);
         let mut gpu = GpuSimulator::new(cfg, &wl);
         gpu.warm(&wl, 64);
-        let r = gpu.run(3_000);
+        let r = gpu.run(3_000).expect("forward progress");
 
         // Liveness: something happened.
         prop_assert!(r.warp_ops > 0, "no forward progress");
