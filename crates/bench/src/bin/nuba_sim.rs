@@ -204,21 +204,41 @@ fn run_all(a: &Args, benches: &[BenchmarkId]) -> Vec<JobResult> {
     run_matrix(&h, &jobs)
 }
 
-fn json_escape_free(b: BenchmarkId, a: &Args, j: &JobResult) -> String {
+/// One job as a single JSON object: the full [`SimReport`] plus the
+/// top-down bottleneck breakdown. Deliberately free of wall-clock and
+/// throughput fields so the output is byte-identical run to run —
+/// timing chatter goes to stderr instead.
+fn json_report(b: BenchmarkId, a: &Args, j: &JobResult) -> String {
     let r = &j.report;
+    let bd = r.bottleneck_breakdown();
     format!(
-        "{{\"bench\":\"{}\",\"arch\":\"{}\",\"cycles\":{},\"warp_ops\":{},\
+        "{{\"bench\":\"{}\",\"arch\":\"{}\",\"quarantined\":{},\"cycles\":{},\
+         \"warp_ops\":{},\"read_replies\":{},\"local_misses\":{},\"remote_misses\":{},\
+         \"l1_hits\":{},\"llc_hits\":{},\"llc_accesses\":{},\
          \"perf\":{:.4},\"replies_per_cycle\":{:.4},\"l1_hit_rate\":{:.4},\
          \"llc_hit_rate\":{:.4},\"local_miss_fraction\":{:.4},\"dram_accesses\":{},\
          \"dram_row_hit_rate\":{:.4},\"noc_bytes\":{},\"local_link_bytes\":{},\
          \"replica_fills\":{},\"mdr_replication_rate\":{:.4},\"page_faults\":{},\
-         \"npb\":{:.4},\"avg_read_latency\":{:.1},\"max_read_latency\":{},\
+         \"npb\":{:.4},\"channel_imbalance\":{:.4},\
+         \"avg_read_latency\":{:.1},\"max_read_latency\":{},\
+         \"stall_downstream\":{},\"stall_mshr\":{},\"stall_outstanding\":{},\
+         \"local_link_busy_cycles\":{},\"noc_serialization_cycles\":{:.1},\
+         \"dram_bus_busy_cycles\":{},\
          \"noc_watts\":{:.2},\"noc_energy_j\":{:.6},\"rest_energy_j\":{:.6},\
-         \"wall_seconds\":{:.3},\"cycles_per_sec\":{:.0}}}",
+         \"bottleneck\":{{\"compute\":{:.6},\"l1_bound\":{:.6},\
+         \"local_link_bound\":{:.6},\"noc_bound\":{:.6},\
+         \"llc_queue_bound\":{:.6},\"dram_bound\":{:.6},\"dominant\":\"{}\"}}}}",
         b,
         a.arch.label(),
+        j.failed(),
         r.cycles,
         r.warp_ops,
+        r.read_replies,
+        r.local_misses,
+        r.remote_misses,
+        r.l1_hits,
+        r.llc_hits,
+        r.llc_accesses,
         r.perf(),
         r.replies_per_cycle(),
         r.l1_hit_rate(),
@@ -232,13 +252,25 @@ fn json_escape_free(b: BenchmarkId, a: &Args, j: &JobResult) -> String {
         r.mdr_replication_rate,
         r.page_faults,
         r.final_npb,
+        r.channel_imbalance,
         r.avg_read_latency,
         r.max_read_latency,
+        r.stall_downstream,
+        r.stall_mshr,
+        r.stall_outstanding,
+        r.local_link_busy_cycles,
+        r.noc_serialization_cycles,
+        r.dram_bus_busy_cycles,
         r.noc_watts,
         r.energy.noc_j,
         r.energy.rest_j,
-        j.wall_seconds,
-        j.cycles_per_sec,
+        bd.compute,
+        bd.l1_bound,
+        bd.local_link_bound,
+        bd.noc_bound,
+        bd.llc_queue_bound,
+        bd.dram_bound,
+        bd.dominant().0,
     )
 }
 
@@ -278,7 +310,16 @@ fn print_human(b: BenchmarkId, j: &JobResult) {
         r.energy.total_j(),
         r.energy.noc_fraction() * 100.0
     );
-    println!(
+    let bd = r.bottleneck_breakdown();
+    let shares = bd
+        .shares()
+        .iter()
+        .map(|(name, share)| format!("{name} {:.0}%", share * 100.0))
+        .collect::<Vec<_>>()
+        .join("  ");
+    println!("  bottleneck      {shares}");
+    // Wall-clock is nondeterministic; keep it off the parseable stream.
+    eprintln!(
         "  simulation      {:.2} s wall-clock   {:.0} cycles/s",
         j.wall_seconds, j.cycles_per_sec
     );
@@ -370,11 +411,12 @@ fn main() {
         None => BenchmarkId::ALL.to_vec(),
     };
     let results = run_all(&args, &benches);
+    nuba_bench::runner::write_telemetry_outputs(&results);
     if args.json {
         println!("[");
         for (i, (&b, j)) in benches.iter().zip(&results).enumerate() {
             let comma = if i + 1 < benches.len() { "," } else { "" };
-            println!("  {}{}", json_escape_free(b, &args, j), comma);
+            println!("  {}{}", json_report(b, &args, j), comma);
         }
         println!("]");
     } else {

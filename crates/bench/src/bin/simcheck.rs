@@ -64,7 +64,11 @@ fn configs() -> Vec<(String, GpuConfig)> {
 
 /// Simulate one configuration with conservation checks every
 /// `check_every` cycles. Returns (timed cycles, warp-ops).
-fn check_config(cfg: GpuConfig, bench: BenchmarkId, cycles: u64) -> (u64, u64) {
+fn check_config(mut cfg: GpuConfig, bench: BenchmarkId, cycles: u64) -> (u64, u64) {
+    // Run with both telemetry pillars on, so the windowed sampler and
+    // the lifecycle tracer are exercised under every architecture too.
+    cfg.telemetry.window_cycles = Some(512);
+    cfg.telemetry.trace_sample_period = 64;
     let scale = ScaleProfile::fast();
     let wl = Workload::build(bench, scale, cfg.num_sms, cfg.seed);
     let mut gpu = GpuSimulator::new(cfg, &wl);
@@ -92,6 +96,12 @@ fn check_config(cfg: GpuConfig, bench: BenchmarkId, cycles: u64) -> (u64, u64) {
     }
 
     let report = gpu.report();
+    let sum = report.bottleneck_breakdown().sum();
+    invariant!(
+        "bottleneck_shares_sum_to_one",
+        (sum - 1.0).abs() < 1e-9,
+        "cycle-accounting shares sum to {sum}"
+    );
     (report.cycles, report.warp_ops)
 }
 

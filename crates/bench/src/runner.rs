@@ -28,7 +28,7 @@ use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
 use std::time::Instant;
 
-use nuba_core::{GpuSimulator, SimError, SimReport};
+use nuba_core::{GpuSimulator, SimError, SimReport, TelemetryWindow, TraceRecord};
 use nuba_engine::FaultPlan;
 use nuba_types::GpuConfig;
 use nuba_workloads::{BenchmarkId, ScaleProfile, Workload};
@@ -128,6 +128,14 @@ pub struct JobResult {
     pub error: Option<String>,
     /// Attempts consumed (1 + retries actually taken).
     pub attempts: u32,
+    /// Windowed telemetry retained by the job's sampler (empty unless
+    /// the job's config — or `NUBA_TIMESERIES` — enabled windowing, or
+    /// the job was quarantined).
+    pub windows: Vec<TelemetryWindow>,
+    /// Completed request-lifecycle trace records (empty unless the
+    /// job's config — or `NUBA_TRACE` — enabled tracing, or the job
+    /// was quarantined).
+    pub trace: Vec<TraceRecord>,
 }
 
 impl JobResult {
@@ -266,16 +274,42 @@ where
         .collect()
 }
 
+/// Sampling defaults when telemetry is switched on from the
+/// environment rather than the job's own config: 1000-cycle windows
+/// and 1-in-64 request tracing. Fixed constants (not wall-clock or
+/// machine dependent) so the exported artifacts stay byte-identical
+/// across worker counts.
+const ENV_WINDOW_CYCLES: u64 = 1000;
+const ENV_TRACE_PERIOD: u64 = 64;
+
+/// Whether `var` is set to a usable (non-empty) output path.
+fn env_path(var: &str) -> Option<String> {
+    std::env::var(var).ok().filter(|p| !p.is_empty())
+}
+
 /// One attempt at a job: build, arm faults/watchdog, warm, run. Every
 /// failure mode surfaces as `Err` (validation, watchdog) or a panic
 /// (workload/config mismatch, internal bug) — the caller catches both.
-fn execute_job(h: &Harness, job: &Job) -> Result<SimReport, SimError> {
+/// On success, the job's retained telemetry rides along with the
+/// report.
+type JobOutput = (SimReport, Vec<TelemetryWindow>, Vec<TraceRecord>);
+
+fn execute_job(h: &Harness, job: &Job) -> Result<JobOutput, SimError> {
     let scale = job.scale.unwrap_or(h.scale);
     let seed = job.seed.unwrap_or(h.seed);
     let mut cfg = job.cfg.clone();
     cfg.seed = seed;
     if cfg.page_bytes != scale.page_bytes {
         cfg.page_bytes = scale.page_bytes;
+    }
+    // `NUBA_TIMESERIES` / `NUBA_TRACE` switch telemetry on for every
+    // job in the matrix without touching the binaries; jobs whose
+    // config already enables a pillar keep their own knobs.
+    if env_path("NUBA_TIMESERIES").is_some() {
+        cfg.telemetry.window_cycles.get_or_insert(ENV_WINDOW_CYCLES);
+    }
+    if env_path("NUBA_TRACE").is_some() && cfg.telemetry.trace_sample_period == 0 {
+        cfg.telemetry.trace_sample_period = ENV_TRACE_PERIOD;
     }
     let wl = Workload::build(job.bench, scale, cfg.num_sms, seed);
     let mut gpu = GpuSimulator::try_new(cfg, &wl)?;
@@ -288,7 +322,10 @@ fn execute_job(h: &Harness, job: &Job) -> Result<SimReport, SimError> {
     if job.inject_panic {
         panic!("injected chaos panic (Job::with_injected_panic)");
     }
-    gpu.warm_and_run(&wl, h.cycles)
+    let report = gpu.warm_and_run(&wl, h.cycles)?;
+    let windows = gpu.telemetry().windows_vec();
+    let trace = gpu.telemetry().trace_records().to_vec();
+    Ok((report, windows, trace))
 }
 
 fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
@@ -314,7 +351,7 @@ fn run_job(h: &Harness, job: &Job) -> JobResult {
         let outcome =
             std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| execute_job(h, job)));
         match outcome {
-            Ok(Ok(report)) => {
+            Ok(Ok((report, windows, trace))) => {
                 let wall_seconds = start.elapsed().as_secs_f64();
                 let cycles_per_sec = report.cycles as f64 / wall_seconds.max(1e-9);
                 return JobResult {
@@ -324,6 +361,8 @@ fn run_job(h: &Harness, job: &Job) -> JobResult {
                     cycles_per_sec,
                     error: None,
                     attempts,
+                    windows,
+                    trace,
                 };
             }
             Ok(Err(e)) => {
@@ -352,6 +391,8 @@ fn run_job(h: &Harness, job: &Job) -> JobResult {
         cycles_per_sec: 0.0,
         error: Some(error),
         attempts,
+        windows: Vec::new(),
+        trace: Vec::new(),
     }
 }
 
@@ -364,6 +405,61 @@ pub fn run_matrix(h: &Harness, jobs: &[Job]) -> Vec<JobResult> {
 /// [`run_matrix`] with an explicit worker count (determinism tests).
 pub fn run_matrix_with(h: &Harness, jobs: &[Job], threads: usize) -> Vec<JobResult> {
     run_jobs(jobs.len(), threads, |i| run_job(h, &jobs[i]))
+}
+
+/// Render every job's retained telemetry windows as JSONL, one line
+/// per window, jobs in submission order. Deterministic: the content
+/// depends only on the simulations, never on the schedule or clock.
+pub fn render_timeseries(results: &[JobResult]) -> String {
+    let mut out = String::new();
+    for (job_idx, r) in results.iter().enumerate() {
+        for (w_idx, w) in r.windows.iter().enumerate() {
+            out.push_str(&w.jsonl_line(&r.label, job_idx, w_idx));
+            out.push('\n');
+        }
+    }
+    out
+}
+
+/// Render every job's completed lifecycle records as one Chrome
+/// `trace_event` JSON object (load it at `chrome://tracing` or in
+/// Perfetto). `pid` is the job's submission index, `tid` the SM, and
+/// timestamps are simulated cycles presented as microseconds.
+/// Deterministic for the same reason as [`render_timeseries`].
+pub fn render_trace(results: &[JobResult]) -> String {
+    let mut events: Vec<String> = Vec::new();
+    for (job_idx, r) in results.iter().enumerate() {
+        for rec in &r.trace {
+            events.extend(rec.trace_events(job_idx, &r.label));
+        }
+    }
+    if events.is_empty() {
+        return "{\"traceEvents\":[],\"displayTimeUnit\":\"ms\"}\n".to_string();
+    }
+    let mut out = String::from("{\"traceEvents\":[\n");
+    out.push_str(&events.join(",\n"));
+    out.push_str("\n],\"displayTimeUnit\":\"ms\"}\n");
+    out
+}
+
+/// Write the matrix's telemetry artifacts to the paths named by
+/// `NUBA_TIMESERIES` (windowed JSONL) and `NUBA_TRACE` (Chrome trace
+/// JSON). No-op when neither variable is set. Write failures warn on
+/// stderr rather than failing the run — observability must never take
+/// an otherwise-healthy matrix down.
+pub fn write_telemetry_outputs(results: &[JobResult]) {
+    if let Some(path) = env_path("NUBA_TIMESERIES") {
+        match std::fs::write(&path, render_timeseries(results)) {
+            Ok(()) => eprintln!("runner: wrote windowed telemetry to {path}"),
+            Err(e) => eprintln!("runner: cannot write timeseries {path}: {e}"),
+        }
+    }
+    if let Some(path) = env_path("NUBA_TRACE") {
+        match std::fs::write(&path, render_trace(results)) {
+            Ok(()) => eprintln!("runner: wrote lifecycle trace to {path}"),
+            Err(e) => eprintln!("runner: cannot write trace {path}: {e}"),
+        }
+    }
 }
 
 /// Aggregate throughput of one `run_matrix` call.

@@ -132,6 +132,62 @@ fn faulted_matrix_is_deterministic_across_worker_counts() {
     );
 }
 
+/// The telemetry exports are part of the determinism contract: the
+/// per-window JSONL and the Chrome trace JSON rendered from a faulted
+/// matrix must be byte-identical at 1 and 4 workers. Telemetry is
+/// enabled through the job configs (not the env knobs) so this test
+/// cannot race with sibling tests over process-global state.
+#[test]
+fn telemetry_exports_are_byte_identical_across_worker_counts() {
+    let h = harness();
+    let nuba = GpuConfig::paper_baseline(ArchKind::Nuba);
+    let uba = GpuConfig::paper_baseline(ArchKind::MemSideUba);
+
+    let mut outage = FaultPlan::new();
+    for e in FaultPlan::uniform_link_derate(0.5, nuba.num_sms, nuba.num_llc_slices).events() {
+        outage = outage.with(e.fault, 200, Some(900));
+    }
+    let with_telemetry = |mut cfg: GpuConfig| {
+        cfg.telemetry.window_cycles = Some(250);
+        cfg.telemetry.ring_windows = 16;
+        cfg.telemetry.trace_sample_period = 32;
+        cfg.telemetry.trace_capacity = 4096;
+        cfg
+    };
+    let jobs = vec![
+        Job::new("clean", BenchmarkId::Kmeans, with_telemetry(nuba.clone())),
+        Job::new("faulted", BenchmarkId::Kmeans, with_telemetry(nuba)).with_faults(outage),
+        Job::new("uba", BenchmarkId::Sgemm, with_telemetry(uba)),
+    ];
+
+    let serial = run_matrix_with(&h, &jobs, 1);
+    let parallel = run_matrix_with(&h, &jobs, 4);
+    for (r, job) in serial.iter().zip(&jobs) {
+        assert!(!r.failed(), "`{}` quarantined: {:?}", job.label, r.error);
+        assert!(!r.windows.is_empty(), "`{}` recorded no windows", job.label);
+        assert!(!r.trace.is_empty(), "`{}` traced no requests", job.label);
+    }
+
+    let jsonl = nuba_bench::runner::render_timeseries(&serial);
+    assert_eq!(
+        jsonl,
+        nuba_bench::runner::render_timeseries(&parallel),
+        "windowed JSONL diverged between serial and parallel execution"
+    );
+    let trace = nuba_bench::runner::render_trace(&serial);
+    assert_eq!(
+        trace,
+        nuba_bench::runner::render_trace(&parallel),
+        "trace JSON diverged between serial and parallel execution"
+    );
+    // Sanity on the rendered shapes: one JSON object per line, and a
+    // trace body that names the Chrome trace_event container.
+    assert!(jsonl
+        .lines()
+        .all(|l| l.starts_with('{') && l.ends_with('}')));
+    assert!(trace.starts_with("{\"traceEvents\":["));
+}
+
 #[test]
 fn matrix_reports_throughput_per_job() {
     let h = harness();

@@ -128,6 +128,15 @@ impl<W> MshrFile<W> {
         self.peak_occupancy
     }
 
+    /// Read the high-water mark and re-arm it at the current occupancy,
+    /// so the next read reports the peak *since this call* (telemetry
+    /// windows sample MSHR pressure per interval, not per run).
+    pub fn take_peak(&mut self) -> usize {
+        let peak = self.peak_occupancy;
+        self.peak_occupancy = self.entries.len();
+        peak
+    }
+
     /// Total waiters across all entries.
     pub fn total_waiters(&self) -> usize {
         self.entries.values().map(Vec::len).sum()
@@ -193,6 +202,22 @@ mod tests {
         }
         assert_eq!(m.occupancy(), 0);
         assert_eq!(m.peak_occupancy(), 5);
+    }
+
+    #[test]
+    fn take_peak_rearms_at_current_occupancy() {
+        let mut m = MshrFile::new(8, 2);
+        for i in 0..5 {
+            m.allocate(line(i), i).unwrap();
+        }
+        for i in 0..4 {
+            m.complete(line(i));
+        }
+        assert_eq!(m.take_peak(), 5);
+        // Re-armed at the single outstanding entry, not zero.
+        assert_eq!(m.peak_occupancy(), 1);
+        m.allocate(line(9), 9).unwrap();
+        assert_eq!(m.take_peak(), 2);
     }
 
     #[test]

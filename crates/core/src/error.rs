@@ -17,6 +17,8 @@ use core::fmt;
 
 use nuba_types::ConfigError;
 
+use crate::telemetry::TelemetryWindow;
+
 /// Why a simulation run could not complete.
 #[derive(Debug, Clone, PartialEq)]
 pub enum SimError {
@@ -76,6 +78,12 @@ pub struct DeadlockReport {
     /// Free-form occupancy line (`GpuSimulator::debug_state`) for the
     /// counters not individually broken out above.
     pub detail: String,
+    /// Flight recorder: the last `ring_windows` telemetry windows
+    /// leading up to the fire, oldest first. Empty when windowed
+    /// telemetry is disabled; bounded by the ring capacity regardless
+    /// of run length (`TelemetryWindow` is all-integral, preserving
+    /// this report's `Eq`).
+    pub windows: Vec<TelemetryWindow>,
 }
 
 impl fmt::Display for DeadlockReport {
@@ -85,7 +93,7 @@ impl fmt::Display for DeadlockReport {
             "no retire for {} cycles at cycle {} \
              (issued={} replied={} outstanding={} walks={} \
              slice_pending={} mshr_residents={} mc_pending={} \
-             noc_inflight={}/{} local_pending={}; {})",
+             noc_inflight={}/{} local_pending={} flight_windows={}; {})",
             self.budget,
             self.cycle,
             self.issued,
@@ -98,6 +106,7 @@ impl fmt::Display for DeadlockReport {
             self.noc_req_in_flight,
             self.noc_reply_in_flight,
             self.local_link_pending,
+            self.windows.len(),
             self.detail,
         )
     }
@@ -122,6 +131,12 @@ mod tests {
             noc_reply_in_flight: 0,
             local_link_pending: 6,
             detail: "outstanding=10".to_string(),
+            windows: vec![TelemetryWindow {
+                start_cycle: 29_000,
+                end_cycle: 29_500,
+                stall_downstream: 7,
+                ..TelemetryWindow::default()
+            }],
         }
     }
 
@@ -133,6 +148,7 @@ mod tests {
         assert!(s.contains("no retire for 20000 cycles"));
         assert!(s.contains("outstanding=10"));
         assert!(s.contains("mshr_residents=3"));
+        assert!(s.contains("flight_windows=1"));
     }
 
     #[test]

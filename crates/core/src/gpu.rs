@@ -25,6 +25,7 @@ use crate::llc::{LlcSlice, MemTask, Role, SliceParams};
 use crate::mdr::paper_slice_bandwidths;
 use crate::metrics::SimReport;
 use crate::sm::{Sm, SmParams, StallReason};
+use crate::telemetry::{Telemetry, WindowGauges, WindowTotals};
 
 /// A packet crossing an MCM inter-module gateway.
 #[derive(Debug, Clone, Copy)]
@@ -100,6 +101,8 @@ pub struct GpuSimulator {
     next_req_id: u64,
     dram_accesses: u64,
     migration_bytes: u64,
+    // Windowed sampler + lifecycle tracer (inert unless configured).
+    telemetry: Telemetry,
     noc_power: NocPowerModel,
     energy_params: EnergyParams,
     // Scratch buffers (reused across cycles so the steady-state step
@@ -347,6 +350,7 @@ impl GpuSimulator {
             next_req_id: 0,
             dram_accesses: 0,
             migration_bytes: 0,
+            telemetry: Telemetry::new(&cfg.telemetry),
             noc_power,
             energy_params: EnergyParams::default(),
             tl_done: Vec::new(),
@@ -483,6 +487,7 @@ impl GpuSimulator {
             noc_reply_in_flight: self.reply_noc.in_flight() as u64,
             local_link_pending,
             detail: self.debug_state(),
+            windows: self.telemetry.windows_vec(),
         }
     }
 
@@ -607,7 +612,84 @@ impl GpuSimulator {
         }
         self.tick_memory(c);
 
+        if self.telemetry.tracing() {
+            for s in &mut self.slices {
+                if let Some((id, at)) = s.take_last_grant() {
+                    self.telemetry.note_slice_grant(id, at);
+                }
+            }
+        }
+        if self.telemetry.window_due(c + 1) {
+            self.flush_telemetry_window(c + 1);
+        }
+
         self.cycle += 1;
+    }
+
+    /// Snapshot the cumulative machine counters and high-water gauges,
+    /// then hand them to the sampler to diff into a window. Reads and
+    /// re-arms component peaks; allocates nothing.
+    fn flush_telemetry_window(&mut self, end_cycle: u64) {
+        let mut t = WindowTotals::default();
+        for sm in &self.sms {
+            t.issued_requests += sm.stats.issued_requests;
+            t.retired_ops += sm.stats.completed_ops;
+            t.read_replies += sm.stats.read_replies;
+            t.l1_accesses += sm.stats.l1_accesses;
+            t.l1_hits += sm.stats.l1_hits;
+            t.stall_downstream += sm.stats.stall_downstream;
+            t.stall_mshr += sm.stats.stall_mshr;
+            t.stall_outstanding += sm.stats.stall_outstanding;
+        }
+        for s in &self.slices {
+            t.llc_accesses += s.stats.accesses;
+            t.llc_hits += s.stats.hits;
+        }
+        for m in &self.mcs {
+            let st = m.mc.stats();
+            t.dram_row_hits += st.row_hits;
+            t.dram_row_accesses += st.row_accesses();
+            t.dram_bus_busy += st.bus_busy_cycles;
+        }
+        t.noc_bytes = self.req_noc.stats().bytes + self.reply_noc.stats().bytes;
+        if let Some(links) = &self.local_req {
+            for l in links.iter() {
+                t.local_link_bytes += l.bytes_transferred();
+                t.local_link_busy += l.busy_cycles();
+                t.local_link_rejects += l.rejects();
+            }
+        }
+        if let Some(links) = &self.local_reply {
+            for l in links.iter() {
+                t.local_link_bytes += l.bytes_transferred();
+                t.local_link_busy += l.busy_cycles();
+                t.local_link_rejects += l.rejects();
+            }
+        }
+        t.tlb_walks = self.mmu.stats().walks;
+
+        let mut g = WindowGauges::default();
+        for s in &mut self.slices {
+            let (lmr, rmr) = s.queue_depths();
+            g.lmr_queued += lmr as u64;
+            g.rmr_queued += rmr as u64;
+            g.slice_mshr_peak = g.slice_mshr_peak.max(s.take_mshr_high_water() as u64);
+        }
+        for sm in &mut self.sms {
+            g.sm_mshr_peak = g.sm_mshr_peak.max(sm.take_l1_mshr_peak() as u64);
+        }
+        g.noc_peak_in_flight = self
+            .req_noc
+            .take_peak_in_flight()
+            .max(self.reply_noc.take_peak_in_flight());
+        g.tlb_peak_outstanding = self.mmu.take_peak_outstanding() as u64;
+
+        self.telemetry.flush_window(end_cycle, t, g);
+    }
+
+    /// The telemetry sampler (windows and lifecycle trace records).
+    pub fn telemetry(&self) -> &Telemetry {
+        &self.telemetry
     }
 
     /// Apply (`apply = true`) or revert (`apply = false`) one fault.
@@ -788,7 +870,7 @@ impl GpuSimulator {
         c: u64,
     ) -> MemRequest {
         self.next_req_id += 1;
-        MemRequest {
+        let req = MemRequest {
             id: ReqId(self.next_req_id),
             sm,
             warp,
@@ -798,7 +880,10 @@ impl GpuSimulator {
             issue_cycle: c,
             wants_replica: false,
             bypass_l1: access.bypass_l1,
-        }
+        };
+        self.telemetry
+            .maybe_sample(req.id, sm, warp, req.line(), req.kind, c);
+        req
     }
 
     fn can_send_downstream(&self, sm: SmId) -> bool {
@@ -854,6 +939,7 @@ impl GpuSimulator {
             }
             link.tick(c, &mut self.req_scratch);
             for req in self.req_scratch.drain(..) {
+                let id = req.id;
                 let d = self.mapping.decode(req.paddr);
                 let slice = self.topo.local_slice(req.sm, &d);
                 let local_home = self.topo.is_local(req.sm, &d);
@@ -861,9 +947,13 @@ impl GpuSimulator {
                 s.note_local_sm_request(req.line(), local_home, req.kind.is_read_only());
                 if local_home {
                     s.ingress_local(req, Role::Home);
+                    self.telemetry.note_slice_enqueue(id, c);
                 } else if req.kind.is_read_only() && s.replicating() {
                     s.ingress_local(req, Role::Replica);
+                    self.telemetry.note_slice_enqueue(id, c);
                 } else {
+                    // Forwarded to the home slice over the NoC; the
+                    // enqueue is stamped on remote delivery instead.
                     s.forward_direct(req);
                 }
             }
@@ -952,10 +1042,11 @@ impl GpuSimulator {
         self.gw_reply_out = rep_out;
     }
 
-    fn deliver_noc_requests(&mut self, _c: u64) {
+    fn deliver_noc_requests(&mut self, c: u64) {
         let nuba = self.cfg.arch.is_nuba();
         for port in 0..self.req_noc.num_outputs() {
             while let Some(req) = self.req_noc.pop_delivered(port) {
+                let id = req.id;
                 let s = &mut self.slices[port];
                 if nuba {
                     s.note_remote_home_request(req.line());
@@ -963,6 +1054,7 @@ impl GpuSimulator {
                 } else {
                     s.ingress_local(req, Role::Home);
                 }
+                self.telemetry.note_slice_enqueue(id, c);
             }
         }
     }
@@ -1039,6 +1131,7 @@ impl GpuSimulator {
             } else {
                 while let Some(reply) = self.reply_noc.pop_delivered(port) {
                     let local = false; // every UBA reply crossed the NoC
+                    self.telemetry.note_reply(reply.id, c);
                     self.sms[port].handle_reply(reply, c, local);
                 }
             }
@@ -1055,6 +1148,7 @@ impl GpuSimulator {
             for reply in self.reply_scratch.drain(..) {
                 let local = self.topo.partition_of_slice(reply.serviced_by)
                     == self.topo.partition_of_sm(reply.sm);
+                self.telemetry.note_reply(reply.id, c);
                 self.sms[reply.sm.0].handle_reply(reply, c, local);
             }
         }
@@ -1171,6 +1265,7 @@ impl GpuSimulator {
             .expect("can_accept checked");
         if !is_write {
             mc.pending_fills.insert(id, (slice, line));
+            self.telemetry.note_dram(line, c);
         }
         true
     }
@@ -1284,6 +1379,9 @@ impl GpuSimulator {
         let mut l1_hits = 0;
         let mut latency_sum = 0u64;
         let mut latency_max = 0u64;
+        let mut stall_downstream = 0;
+        let mut stall_mshr = 0;
+        let mut stall_outstanding = 0;
         for sm in &self.sms {
             warp_ops += sm.stats.completed_ops;
             read_replies += sm.stats.read_replies;
@@ -1293,6 +1391,9 @@ impl GpuSimulator {
             counters.l1_accesses += sm.stats.l1_accesses;
             latency_sum += sm.stats.reply_latency_sum;
             latency_max = latency_max.max(sm.stats.reply_latency_max);
+            stall_downstream += sm.stats.stall_downstream;
+            stall_mshr += sm.stats.stall_mshr;
+            stall_outstanding += sm.stats.stall_outstanding;
         }
         let mut llc_hits = 0;
         let mut llc_accesses = 0;
@@ -1319,11 +1420,14 @@ impl GpuSimulator {
         noc_bytes += self.migration_bytes;
 
         let mut local_link_bytes = 0;
+        let mut local_link_busy_cycles = 0;
         if let Some(links) = &self.local_req {
             local_link_bytes += links.iter().map(|l| l.bytes_transferred()).sum::<u64>();
+            local_link_busy_cycles += links.iter().map(|l| l.busy_cycles()).sum::<u64>();
         }
         if let Some(links) = &self.local_reply {
             local_link_bytes += links.iter().map(|l| l.bytes_transferred()).sum::<u64>();
+            local_link_busy_cycles += links.iter().map(|l| l.busy_cycles()).sum::<u64>();
         }
 
         counters.warp_ops = warp_ops;
@@ -1349,6 +1453,18 @@ impl GpuSimulator {
             1.0
         };
 
+        // Bytes that crossed the crossbars proper (not gateways or
+        // migration copies), expressed as serialization cycles at the
+        // aggregate NoC bandwidth — commensurable with the other
+        // bottleneck weights.
+        let xbar_bytes = self.req_noc.stats().bytes + self.reply_noc.stats().bytes;
+        let noc_serialization_cycles = if self.cfg.noc_total_bytes_per_cycle > 0.0 {
+            xbar_bytes as f64 / self.cfg.noc_total_bytes_per_cycle
+        } else {
+            0.0
+        };
+        let dram_bus_busy_cycles: u64 = self.mcs.iter().map(|m| m.mc.stats().bus_busy_cycles).sum();
+
         let energy = energy_report(&self.energy_params, &counters, &self.noc_power, self.cycle);
         SimReport {
             cycles: self.cycle,
@@ -1371,6 +1487,12 @@ impl GpuSimulator {
             avg_read_latency: latency_sum as f64 / read_replies.max(1) as f64,
             max_read_latency: latency_max,
             noc_watts: self.noc_power.average_watts(noc_bytes, self.cycle.max(1)),
+            stall_downstream,
+            stall_mshr,
+            stall_outstanding,
+            local_link_busy_cycles,
+            noc_serialization_cycles,
+            dram_bus_busy_cycles,
             energy,
         }
     }

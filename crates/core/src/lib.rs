@@ -41,6 +41,7 @@ pub mod llc;
 pub mod mdr;
 pub mod metrics;
 pub mod sm;
+pub mod telemetry;
 
 pub use arch::Topology;
 pub use energy::{energy_report, EnergyCounters, EnergyParams, EnergyReport};
@@ -48,8 +49,9 @@ pub use error::{DeadlockReport, SimError};
 pub use gpu::GpuSimulator;
 pub use llc::{LlcSlice, MemTask, Role, SliceParams, SliceStats};
 pub use mdr::{evaluate as mdr_evaluate, MdrBandwidths, MdrController, MdrEstimate, MdrProfile};
-pub use metrics::SimReport;
+pub use metrics::{BottleneckBreakdown, SimReport};
 pub use sm::{Sm, SmParams, SmStats, StallReason};
+pub use telemetry::{Telemetry, TelemetryWindow, TraceRecord, WindowGauges, WindowTotals};
 
 // Re-exports for downstream convenience (bench harness, examples).
 pub use nuba_types::{ArchKind, GpuConfig, PagePolicyKind, ReplicationKind};

@@ -87,6 +87,9 @@ pub struct LlcSlice {
     hold_local: VecDeque<SliceReq>,
     hold_remote: VecDeque<SliceReq>,
     retry: Option<SliceReq>,
+    /// Most recent tag-pipe grant `(request id, cycle)`; harvested by
+    /// the simulator's lifecycle tracer (at most one grant per cycle).
+    last_grant: Option<(nuba_types::ReqId, u64)>,
     arb: RoundRobinArbiter,
     pipe: LatencyPipe<SliceReq>,
     latency: u64,
@@ -132,6 +135,7 @@ impl LlcSlice {
             hold_local: VecDeque::with_capacity(params.queue_capacity),
             hold_remote: VecDeque::with_capacity(params.queue_capacity),
             retry: None,
+            last_grant: None,
             arb: RoundRobinArbiter::new(2),
             pipe: LatencyPipe::new(),
             latency: params.latency,
@@ -255,6 +259,7 @@ impl LlcSlice {
                 // an empty pop here would be an arbiter bug — skip the
                 // grant rather than crash the whole simulation.
                 if let Some(r) = granted {
+                    self.last_grant = Some((r.req.id, now));
                     self.pipe.push(r, now, self.latency);
                     self.stats.accesses += 1;
                 }
@@ -530,6 +535,27 @@ impl LlcSlice {
     /// Requests currently resident in the MSHR file (deadlock reports).
     pub fn mshr_residents(&self) -> usize {
         self.mshr.occupancy()
+    }
+
+    /// Read the MSHR occupancy high-water mark and re-arm it at the
+    /// current occupancy (telemetry samples per-window pressure).
+    pub fn take_mshr_high_water(&mut self) -> usize {
+        self.mshr.take_peak()
+    }
+
+    /// Requests waiting in the local (LMR) and remote (RMR) request
+    /// queues, including their ingress holds: `(lmr, rmr)`.
+    pub fn queue_depths(&self) -> (usize, usize) {
+        (
+            self.lmr.len() + self.hold_local.len(),
+            self.rmr.len() + self.hold_remote.len(),
+        )
+    }
+
+    /// Take the most recent tag-pipe grant `(request id, cycle)`, if
+    /// one happened since the last call (lifecycle tracing hook).
+    pub fn take_last_grant(&mut self) -> Option<(nuba_types::ReqId, u64)> {
+        self.last_grant.take()
     }
 
     /// Current replica-line count (capacity-pressure diagnostics).

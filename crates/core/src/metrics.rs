@@ -50,8 +50,139 @@ pub struct SimReport {
     pub max_read_latency: u64,
     /// Average NoC power in watts over the run.
     pub noc_watts: f64,
+    /// Warp-issue slots lost to a full downstream link/NoC port.
+    pub stall_downstream: u64,
+    /// Warp-issue slots lost to L1 MSHR exhaustion.
+    pub stall_mshr: u64,
+    /// Warp-issue slots lost to the outstanding-request budget.
+    pub stall_outstanding: u64,
+    /// NUBA local-link busy cycles, both directions summed (0 on UBA).
+    pub local_link_busy_cycles: u64,
+    /// NoC bytes expressed as per-port serialization cycles — the
+    /// NoC-side weight for the bottleneck attribution, commensurable
+    /// with the other busy-cycle weights.
+    pub noc_serialization_cycles: f64,
+    /// DRAM data-bus busy cycles summed over channels.
+    pub dram_bus_busy_cycles: u64,
     /// Energy breakdown.
     pub energy: EnergyReport,
+}
+
+/// Top-down cycle-accounting shares from `SimReport::bottleneck_breakdown`
+/// (and per telemetry window via `TelemetryWindow::bottleneck_mix`).
+///
+/// The six shares always sum to 1.0 (± floating-point rounding): every
+/// warp-issue slot either retired an op (`compute`) or stalled, and
+/// each stall cycle is attributed to exactly one cause.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BottleneckBreakdown {
+    /// Issue slots that retired an op.
+    pub compute: f64,
+    /// Stalls on L1 MSHR exhaustion (L1 can't track more misses).
+    pub l1_bound: f64,
+    /// Memory stalls attributed to the NUBA local links.
+    pub local_link_bound: f64,
+    /// Memory stalls attributed to NoC serialization.
+    pub noc_bound: f64,
+    /// Memory stalls attributed to LLC tag/queue service.
+    pub llc_queue_bound: f64,
+    /// Memory stalls attributed to DRAM bus occupancy.
+    pub dram_bound: f64,
+}
+
+impl BottleneckBreakdown {
+    /// Build the breakdown from raw counters.
+    ///
+    /// The accounted pool is every warp-issue slot outcome:
+    /// `retired + stall_mshr + stall_downstream + stall_outstanding`.
+    /// Retired slots are `compute`, MSHR stalls are `l1_bound`, and the
+    /// memory-stall pool (downstream-full + outstanding-budget) is
+    /// split across local links / NoC / LLC queues / DRAM in proportion
+    /// to each component's busy-cycle weight over the same interval —
+    /// the component that was occupied the most gets the blame. An
+    /// all-idle downstream (zero weights) books the memory pool on the
+    /// LLC queues, the first resource a request meets past the L1.
+    #[allow(clippy::too_many_arguments)]
+    pub fn from_counters(
+        retired: u64,
+        stall_mshr: u64,
+        stall_downstream: u64,
+        stall_outstanding: u64,
+        local_link_busy: f64,
+        noc_cycles: f64,
+        llc_grants: f64,
+        dram_busy: f64,
+    ) -> BottleneckBreakdown {
+        let pool = (retired + stall_mshr + stall_downstream + stall_outstanding) as f64;
+        if pool == 0.0 {
+            // An idle machine is by definition not memory-bound.
+            return BottleneckBreakdown {
+                compute: 1.0,
+                l1_bound: 0.0,
+                local_link_bound: 0.0,
+                noc_bound: 0.0,
+                llc_queue_bound: 0.0,
+                dram_bound: 0.0,
+            };
+        }
+        let compute = retired as f64 / pool;
+        let l1_bound = stall_mshr as f64 / pool;
+        let mem = (stall_downstream + stall_outstanding) as f64 / pool;
+        let wsum = local_link_busy + noc_cycles + llc_grants + dram_busy;
+        let (local_link_bound, noc_bound, llc_queue_bound, dram_bound) = if wsum > 0.0 {
+            (
+                mem * local_link_busy / wsum,
+                mem * noc_cycles / wsum,
+                mem * llc_grants / wsum,
+                mem * dram_busy / wsum,
+            )
+        } else {
+            (0.0, 0.0, mem, 0.0)
+        };
+        BottleneckBreakdown {
+            compute,
+            l1_bound,
+            local_link_bound,
+            noc_bound,
+            llc_queue_bound,
+            dram_bound,
+        }
+    }
+
+    /// The shares as `(name, share)` pairs, in fixed display order.
+    pub fn shares(&self) -> [(&'static str, f64); 6] {
+        [
+            ("compute", self.compute),
+            ("L1-bound", self.l1_bound),
+            ("local-link-bound", self.local_link_bound),
+            ("NoC-bound", self.noc_bound),
+            ("LLC-queue-bound", self.llc_queue_bound),
+            ("DRAM-bound", self.dram_bound),
+        ]
+    }
+
+    /// Sum of all shares (1.0 up to floating-point rounding).
+    pub fn sum(&self) -> f64 {
+        self.compute
+            + self.l1_bound
+            + self.local_link_bound
+            + self.noc_bound
+            + self.llc_queue_bound
+            + self.dram_bound
+    }
+
+    /// `(name, share)` of the dominant category.
+    pub fn dominant(&self) -> (&'static str, f64) {
+        self.shares()
+            .into_iter()
+            .fold(("compute", f64::MIN), |best, cur| {
+                if cur.1 > best.1 {
+                    cur
+                } else {
+                    best
+                }
+            })
+    }
 }
 
 impl SimReport {
@@ -80,11 +211,33 @@ impl SimReport {
             avg_read_latency: 0.0,
             max_read_latency: 0,
             noc_watts: 0.0,
+            stall_downstream: 0,
+            stall_mshr: 0,
+            stall_outstanding: 0,
+            local_link_busy_cycles: 0,
+            noc_serialization_cycles: 0.0,
+            dram_bus_busy_cycles: 0,
             energy: EnergyReport {
                 noc_j: 0.0,
                 rest_j: 0.0,
             },
         }
+    }
+
+    /// Top-down cycle accounting for the whole run: where did the
+    /// warp-issue slots go (see [`BottleneckBreakdown::from_counters`]
+    /// for the attribution model).
+    pub fn bottleneck_breakdown(&self) -> BottleneckBreakdown {
+        BottleneckBreakdown::from_counters(
+            self.warp_ops,
+            self.stall_mshr,
+            self.stall_downstream,
+            self.stall_outstanding,
+            self.local_link_busy_cycles as f64,
+            self.noc_serialization_cycles,
+            self.llc_accesses as f64,
+            self.dram_bus_busy_cycles as f64,
+        )
     }
 
     /// Performance proxy: warp operations per cycle.
@@ -172,6 +325,12 @@ mod tests {
             avg_read_latency: 250.0,
             max_read_latency: 900,
             noc_watts: 3.0,
+            stall_downstream: 100,
+            stall_mshr: 50,
+            stall_outstanding: 150,
+            local_link_busy_cycles: 400,
+            noc_serialization_cycles: 300.0,
+            dram_bus_busy_cycles: 200,
             energy: EnergyReport {
                 noc_j: 1.0,
                 rest_j: 9.0,
@@ -201,5 +360,34 @@ mod tests {
         let r = report(0, 0);
         assert_eq!(r.perf(), 0.0);
         assert_eq!(r.replies_per_cycle(), 0.0);
+    }
+
+    #[test]
+    fn bottleneck_shares_sum_to_one() {
+        let r = report(1000, 500);
+        let b = r.bottleneck_breakdown();
+        assert!((b.sum() - 1.0).abs() < 1e-9, "shares sum to {}", b.sum());
+        // pool = 500 + 50 + 100 + 150 = 800.
+        assert!((b.compute - 500.0 / 800.0).abs() < 1e-12);
+        assert!((b.l1_bound - 50.0 / 800.0).abs() < 1e-12);
+        // Memory pool 250/800 split by weights 400:300:40:200 (llc
+        // weight is llc_accesses = 40).
+        let mem = 250.0 / 800.0;
+        let wsum = 400.0 + 300.0 + 40.0 + 200.0;
+        assert!((b.local_link_bound - mem * 400.0 / wsum).abs() < 1e-12);
+        assert!((b.dram_bound - mem * 200.0 / wsum).abs() < 1e-12);
+    }
+
+    #[test]
+    fn bottleneck_edge_cases_stay_normalized() {
+        // Idle machine: everything in compute by definition.
+        let b = SimReport::empty().bottleneck_breakdown();
+        assert_eq!(b.compute, 1.0);
+        assert!((b.sum() - 1.0).abs() < 1e-9);
+        // Stalls with an all-idle downstream land on the LLC queues.
+        let b = BottleneckBreakdown::from_counters(10, 0, 30, 0, 0.0, 0.0, 0.0, 0.0);
+        assert!((b.sum() - 1.0).abs() < 1e-9);
+        assert!((b.llc_queue_bound - 0.75).abs() < 1e-12);
+        assert_eq!(b.dominant().0, "LLC-queue-bound");
     }
 }

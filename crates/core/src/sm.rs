@@ -264,6 +264,12 @@ impl Sm {
         self.l1_mshr.has_free_entry()
     }
 
+    /// Read the L1 MSHR occupancy high-water mark and re-arm it at the
+    /// current occupancy (telemetry samples per-window pressure).
+    pub fn take_l1_mshr_peak(&mut self) -> usize {
+        self.l1_mshr.take_peak()
+    }
+
     /// Commit a load miss: allocate/merge the MSHR. Returns `true` if a
     /// downstream request must be sent (primary miss).
     ///

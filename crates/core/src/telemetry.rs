@@ -1,0 +1,733 @@
+//! Cycle-windowed telemetry and request-lifecycle tracing.
+//!
+//! Three pillars (DESIGN.md §11):
+//!
+//! 1. **Windowed time-series** — every `window_cycles` the simulator
+//!    snapshots its components' cumulative counters and records the
+//!    per-window *delta* as a [`TelemetryWindow`] in a pre-sized ring
+//!    (the last `ring_windows` windows survive; older ones are
+//!    overwritten). All fields are integral so the ring can be embedded
+//!    in a `DeadlockReport` without losing its `Eq` derive, and the
+//!    per-cycle path stays allocation-free (`steady_alloc` runs with
+//!    telemetry enabled).
+//! 2. **Stall attribution** — each window (and the whole run, via
+//!    `SimReport::bottleneck_breakdown`) can be collapsed into a
+//!    top-down cycle-accounting mix; see
+//!    [`crate::metrics::BottleneckBreakdown`].
+//! 3. **Lifecycle tracing** — one in `trace_sample_period` read
+//!    requests (keyed on the monotonic request id, so the sample set is
+//!    identical at any worker count) carries timestamps through
+//!    issue → slice enqueue → slice grant → DRAM enqueue → reply,
+//!    retained as [`TraceRecord`]s and exportable as Chrome
+//!    `trace_event` JSON.
+//!
+//! Everything here is inert by default: with `window_cycles = None` and
+//! `trace_sample_period = 0` (the [`TelemetryConfig`] default) no ring
+//! is allocated, no sampling happens, and simulator output is
+//! bit-identical to a build without this module.
+
+use nuba_types::{AccessKind, LineAddr, ReqId, SmId, TelemetryConfig, WarpId};
+
+use crate::metrics::BottleneckBreakdown;
+
+/// Concurrently-tracked sampled requests. Sampling is 1-in-K over a
+/// bounded outstanding-request population, so a small fixed table
+/// suffices; overflow increments [`Telemetry::trace_dropped`] instead
+/// of allocating.
+const INFLIGHT_CAP: usize = 64;
+
+/// One flushed telemetry window: per-interval deltas of the machine's
+/// cumulative counters plus a few instantaneous gauges and re-armed
+/// high-water marks sampled at the flush edge.
+///
+/// All fields are integral (`u64`) so `DeadlockReport` keeps `Eq`;
+/// rates are derived on demand ([`TelemetryWindow::llc_hit_rate`] and
+/// friends).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct TelemetryWindow {
+    /// First cycle covered by this window (inclusive).
+    pub start_cycle: u64,
+    /// One past the last cycle covered (exclusive).
+    pub end_cycle: u64,
+    /// Memory requests issued by all SMs (delta).
+    pub issued_requests: u64,
+    /// Warp ops retired by all SMs (delta).
+    pub retired_ops: u64,
+    /// Read replies delivered to all SMs (delta).
+    pub read_replies: u64,
+    /// L1 accesses across all SMs (delta).
+    pub l1_accesses: u64,
+    /// L1 hits across all SMs (delta).
+    pub l1_hits: u64,
+    /// Warp-issue slots lost to a full downstream link/port (delta).
+    pub stall_downstream: u64,
+    /// Warp-issue slots lost to L1 MSHR exhaustion (delta).
+    pub stall_mshr: u64,
+    /// Warp-issue slots lost to the outstanding-request budget (delta).
+    pub stall_outstanding: u64,
+    /// LLC tag-pipe grants across all slices (delta).
+    pub llc_accesses: u64,
+    /// LLC hits across all slices (delta).
+    pub llc_hits: u64,
+    /// Requests queued in local-request (LMR) queues at the flush edge
+    /// (instantaneous, summed over slices).
+    pub lmr_queued: u64,
+    /// Requests queued in remote-request (RMR) queues at the flush edge
+    /// (instantaneous, summed over slices).
+    pub rmr_queued: u64,
+    /// Highest single-slice LLC MSHR occupancy within the window.
+    pub slice_mshr_peak: u64,
+    /// Highest single-SM L1 MSHR occupancy within the window.
+    pub sm_mshr_peak: u64,
+    /// DRAM row-buffer hits across all channels (delta).
+    pub dram_row_hits: u64,
+    /// DRAM row-buffer probes across all channels (delta).
+    pub dram_row_accesses: u64,
+    /// DRAM data-bus busy cycles across all channels (delta).
+    pub dram_bus_busy: u64,
+    /// Bytes delivered by the request + reply NoCs (delta).
+    pub noc_bytes: u64,
+    /// Highest packets-in-fabric count over both NoCs in the window.
+    pub noc_peak_in_flight: u64,
+    /// Bytes serialized over the NUBA local links (delta; zero on UBA).
+    pub local_link_bytes: u64,
+    /// Local-link busy cycles, both directions (delta; zero on UBA).
+    pub local_link_busy: u64,
+    /// Sends refused by full local-link queues (delta; zero on UBA).
+    pub local_link_rejects: u64,
+    /// Page-table walks started (delta).
+    pub tlb_walks: u64,
+    /// Highest concurrently-outstanding translation count in the window.
+    pub tlb_peak_outstanding: u64,
+}
+
+impl TelemetryWindow {
+    /// Cycles covered by this window.
+    pub fn cycles(&self) -> u64 {
+        self.end_cycle - self.start_cycle
+    }
+
+    /// Read replies per cycle within the window.
+    pub fn replies_per_cycle(&self) -> f64 {
+        if self.cycles() == 0 {
+            0.0
+        } else {
+            self.read_replies as f64 / self.cycles() as f64
+        }
+    }
+
+    /// LLC hit rate within the window (0 when idle).
+    pub fn llc_hit_rate(&self) -> f64 {
+        if self.llc_accesses == 0 {
+            0.0
+        } else {
+            self.llc_hits as f64 / self.llc_accesses as f64
+        }
+    }
+
+    /// DRAM row-buffer hit rate within the window (0 when idle).
+    pub fn dram_row_hit_rate(&self) -> f64 {
+        if self.dram_row_accesses == 0 {
+            0.0
+        } else {
+            self.dram_row_hits as f64 / self.dram_row_accesses as f64
+        }
+    }
+
+    /// Top-down cycle-accounting mix for this window, using the same
+    /// attribution model as `SimReport::bottleneck_breakdown`.
+    /// `noc_port_bytes_per_cycle` converts NoC bytes into serialization
+    /// cycles so the memory-bound split weights are commensurable.
+    pub fn bottleneck_mix(&self, noc_port_bytes_per_cycle: f64) -> BottleneckBreakdown {
+        let noc_cycles = if noc_port_bytes_per_cycle > 0.0 {
+            self.noc_bytes as f64 / noc_port_bytes_per_cycle
+        } else {
+            0.0
+        };
+        BottleneckBreakdown::from_counters(
+            self.retired_ops,
+            self.stall_mshr,
+            self.stall_downstream,
+            self.stall_outstanding,
+            self.local_link_busy as f64,
+            noc_cycles,
+            self.llc_accesses as f64,
+            self.dram_bus_busy as f64,
+        )
+    }
+
+    /// One JSONL line for the `NUBA_TIMESERIES` export. Integral fields
+    /// are emitted raw; the derived rates use fixed six-digit precision
+    /// so output is byte-stable across platforms and worker counts.
+    pub fn jsonl_line(&self, label: &str, job: usize, window: usize) -> String {
+        format!(
+            concat!(
+                "{{\"job\":\"{}\",\"job_index\":{},\"window\":{},",
+                "\"start\":{},\"end\":{},",
+                "\"issued\":{},\"retired\":{},\"replies\":{},",
+                "\"l1_accesses\":{},\"l1_hits\":{},",
+                "\"stall_downstream\":{},\"stall_mshr\":{},\"stall_outstanding\":{},",
+                "\"llc_accesses\":{},\"llc_hits\":{},",
+                "\"lmr_queued\":{},\"rmr_queued\":{},",
+                "\"slice_mshr_peak\":{},\"sm_mshr_peak\":{},",
+                "\"dram_row_hits\":{},\"dram_row_accesses\":{},\"dram_bus_busy\":{},",
+                "\"noc_bytes\":{},\"noc_peak_in_flight\":{},",
+                "\"local_link_bytes\":{},\"local_link_busy\":{},\"local_link_rejects\":{},",
+                "\"tlb_walks\":{},\"tlb_peak_outstanding\":{},",
+                "\"replies_per_cycle\":{:.6},\"llc_hit_rate\":{:.6},\"dram_row_hit_rate\":{:.6}}}"
+            ),
+            escape_json(label),
+            job,
+            window,
+            self.start_cycle,
+            self.end_cycle,
+            self.issued_requests,
+            self.retired_ops,
+            self.read_replies,
+            self.l1_accesses,
+            self.l1_hits,
+            self.stall_downstream,
+            self.stall_mshr,
+            self.stall_outstanding,
+            self.llc_accesses,
+            self.llc_hits,
+            self.lmr_queued,
+            self.rmr_queued,
+            self.slice_mshr_peak,
+            self.sm_mshr_peak,
+            self.dram_row_hits,
+            self.dram_row_accesses,
+            self.dram_bus_busy,
+            self.noc_bytes,
+            self.noc_peak_in_flight,
+            self.local_link_bytes,
+            self.local_link_busy,
+            self.local_link_rejects,
+            self.tlb_walks,
+            self.tlb_peak_outstanding,
+            self.replies_per_cycle(),
+            self.llc_hit_rate(),
+            self.dram_row_hit_rate(),
+        )
+    }
+}
+
+/// Cumulative machine counters snapshotted at a window flush; the
+/// sampler diffs consecutive snapshots into [`TelemetryWindow`] deltas.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct WindowTotals {
+    /// Memory requests issued by all SMs.
+    pub issued_requests: u64,
+    /// Warp ops retired by all SMs.
+    pub retired_ops: u64,
+    /// Read replies delivered to all SMs.
+    pub read_replies: u64,
+    /// L1 accesses across all SMs.
+    pub l1_accesses: u64,
+    /// L1 hits across all SMs.
+    pub l1_hits: u64,
+    /// Downstream-full issue stalls across all SMs.
+    pub stall_downstream: u64,
+    /// L1-MSHR issue stalls across all SMs.
+    pub stall_mshr: u64,
+    /// Outstanding-budget issue stalls across all SMs.
+    pub stall_outstanding: u64,
+    /// LLC tag-pipe grants across all slices.
+    pub llc_accesses: u64,
+    /// LLC hits across all slices.
+    pub llc_hits: u64,
+    /// DRAM row-buffer hits across all channels.
+    pub dram_row_hits: u64,
+    /// DRAM row-buffer probes across all channels.
+    pub dram_row_accesses: u64,
+    /// DRAM data-bus busy cycles across all channels.
+    pub dram_bus_busy: u64,
+    /// Bytes delivered by the request + reply NoCs.
+    pub noc_bytes: u64,
+    /// Bytes serialized over the NUBA local links.
+    pub local_link_bytes: u64,
+    /// Local-link busy cycles, both directions.
+    pub local_link_busy: u64,
+    /// Sends refused by full local-link queues.
+    pub local_link_rejects: u64,
+    /// Page-table walks started.
+    pub tlb_walks: u64,
+}
+
+/// Instantaneous gauges and re-armed high-water marks sampled at the
+/// flush edge (recorded as-is, not diffed).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct WindowGauges {
+    /// Requests queued in LMR queues, summed over slices.
+    pub lmr_queued: u64,
+    /// Requests queued in RMR queues, summed over slices.
+    pub rmr_queued: u64,
+    /// Highest single-slice LLC MSHR occupancy since the last flush.
+    pub slice_mshr_peak: u64,
+    /// Highest single-SM L1 MSHR occupancy since the last flush.
+    pub sm_mshr_peak: u64,
+    /// Highest packets-in-fabric count over both NoCs since the last
+    /// flush.
+    pub noc_peak_in_flight: u64,
+    /// Highest concurrently-outstanding translation count since the
+    /// last flush.
+    pub tlb_peak_outstanding: u64,
+}
+
+/// The lifecycle of one sampled read request, as simulation-cycle
+/// timestamps. Stages a request never reached (e.g. DRAM on an LLC
+/// hit) stay `None`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TraceRecord {
+    /// The request id (monotonic issue order).
+    pub id: u64,
+    /// Issuing SM.
+    pub sm: usize,
+    /// Issuing warp.
+    pub warp: usize,
+    /// Line address accessed.
+    pub line: u64,
+    /// Cycle the SM issued the request (== the L1 miss cycle: requests
+    /// are only created for accesses that missed the L1 this cycle).
+    pub issue_cycle: u64,
+    /// Cycle the request entered an LLC slice queue.
+    pub slice_enqueue: Option<u64>,
+    /// Cycle the slice arbiter granted the request into the tag pipe.
+    pub slice_grant: Option<u64>,
+    /// Cycle the miss was enqueued at a memory controller.
+    pub dram_enqueue: Option<u64>,
+    /// Cycle the reply reached the SM.
+    pub reply_cycle: Option<u64>,
+}
+
+impl TraceRecord {
+    /// Chrome `trace_event` objects for this (completed) record, one
+    /// complete-event (`"ph":"X"`) per lifecycle span. Timestamps are
+    /// simulation cycles reported in the `ts`/`dur` microsecond fields:
+    /// one cycle renders as one microsecond in the viewer.
+    pub fn trace_events(&self, pid: usize, label: &str) -> Vec<String> {
+        let Some(reply) = self.reply_cycle else {
+            return Vec::new();
+        };
+        let cat = escape_json(label);
+        let mut events = Vec::new();
+        let mut span = |name: &str, from: u64, to: u64| {
+            events.push(format!(
+                concat!(
+                    "{{\"name\":\"{}\",\"cat\":\"{}\",\"ph\":\"X\",",
+                    "\"ts\":{},\"dur\":{},\"pid\":{},\"tid\":{},",
+                    "\"args\":{{\"req\":{},\"warp\":{},\"line\":\"0x{:x}\"}}}}"
+                ),
+                name,
+                cat,
+                from,
+                to.saturating_sub(from),
+                pid,
+                self.sm,
+                self.id,
+                self.warp,
+                self.line,
+            ));
+        };
+        span("request", self.issue_cycle, reply);
+        if let Some(enq) = self.slice_enqueue {
+            span("sm-to-slice", self.issue_cycle, enq);
+            let grant = self.slice_grant.unwrap_or(reply);
+            span("slice-queue", enq, grant);
+            if let Some(dram) = self.dram_enqueue {
+                span("llc-miss", grant, dram);
+                span("dram-and-reply", dram, reply);
+            } else {
+                span("llc-and-reply", grant, reply);
+            }
+        }
+        events
+    }
+}
+
+/// Escape a string for embedding in a JSON string literal.
+pub fn escape_json(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// The telemetry sampler: a ring of recent [`TelemetryWindow`]s plus
+/// the sampled-request lifecycle tables. All storage is allocated at
+/// construction; recording never allocates.
+#[derive(Debug, Clone)]
+pub struct Telemetry {
+    /// Window length in cycles; `0` disables windowed sampling.
+    window_cycles: u64,
+    /// Pre-sized ring of the most recent windows.
+    ring: Vec<TelemetryWindow>,
+    ring_cap: usize,
+    /// Next ring slot to (over)write.
+    head: usize,
+    /// Filled slots, saturating at `ring_cap`.
+    len: usize,
+    /// Cumulative counters at the previous flush.
+    prev: WindowTotals,
+    /// First cycle of the window currently accumulating.
+    window_start: u64,
+    /// 1-in-K sampling period; `0` disables tracing.
+    sample_period: u64,
+    /// Sampled requests still in flight (bounded scan table).
+    inflight: Vec<TraceRecord>,
+    /// Completed lifecycle records, capped at `trace_capacity`.
+    done: Vec<TraceRecord>,
+    done_cap: usize,
+    /// Sampled requests not recorded because a table was full.
+    dropped: u64,
+}
+
+impl Telemetry {
+    /// Build a sampler for `cfg`, pre-sizing every table. With the
+    /// default (inert) config this allocates nothing.
+    pub fn new(cfg: &TelemetryConfig) -> Telemetry {
+        let window_cycles = cfg.window_cycles.unwrap_or(0);
+        let ring_cap = if window_cycles > 0 {
+            cfg.ring_windows
+        } else {
+            0
+        };
+        let (inflight_cap, done_cap) = if cfg.trace_sample_period > 0 {
+            (INFLIGHT_CAP, cfg.trace_capacity)
+        } else {
+            (0, 0)
+        };
+        Telemetry {
+            window_cycles,
+            ring: vec![TelemetryWindow::default(); ring_cap],
+            ring_cap,
+            head: 0,
+            len: 0,
+            prev: WindowTotals::default(),
+            window_start: 0,
+            sample_period: cfg.trace_sample_period,
+            inflight: Vec::with_capacity(inflight_cap),
+            done: Vec::with_capacity(done_cap),
+            done_cap,
+            dropped: 0,
+        }
+    }
+
+    /// Whether windowed sampling is enabled.
+    pub fn windowing(&self) -> bool {
+        self.window_cycles > 0 && self.ring_cap > 0
+    }
+
+    /// Whether lifecycle tracing is enabled.
+    pub fn tracing(&self) -> bool {
+        self.sample_period > 0
+    }
+
+    /// Whether a window flush is due once the simulator finishes the
+    /// cycle ending at `cycle_after` (exclusive).
+    pub fn window_due(&self, cycle_after: u64) -> bool {
+        self.windowing() && cycle_after.is_multiple_of(self.window_cycles)
+    }
+
+    /// Record the window ending at `end_cycle` from the current
+    /// cumulative `totals` (diffed against the previous flush) and the
+    /// flush-edge `gauges`. Overwrites the oldest slot when the ring is
+    /// full; never allocates.
+    pub fn flush_window(&mut self, end_cycle: u64, totals: WindowTotals, gauges: WindowGauges) {
+        debug_assert!(self.windowing());
+        let p = &self.prev;
+        let w = TelemetryWindow {
+            start_cycle: self.window_start,
+            end_cycle,
+            issued_requests: totals.issued_requests - p.issued_requests,
+            retired_ops: totals.retired_ops - p.retired_ops,
+            read_replies: totals.read_replies - p.read_replies,
+            l1_accesses: totals.l1_accesses - p.l1_accesses,
+            l1_hits: totals.l1_hits - p.l1_hits,
+            stall_downstream: totals.stall_downstream - p.stall_downstream,
+            stall_mshr: totals.stall_mshr - p.stall_mshr,
+            stall_outstanding: totals.stall_outstanding - p.stall_outstanding,
+            llc_accesses: totals.llc_accesses - p.llc_accesses,
+            llc_hits: totals.llc_hits - p.llc_hits,
+            lmr_queued: gauges.lmr_queued,
+            rmr_queued: gauges.rmr_queued,
+            slice_mshr_peak: gauges.slice_mshr_peak,
+            sm_mshr_peak: gauges.sm_mshr_peak,
+            dram_row_hits: totals.dram_row_hits - p.dram_row_hits,
+            dram_row_accesses: totals.dram_row_accesses - p.dram_row_accesses,
+            dram_bus_busy: totals.dram_bus_busy - p.dram_bus_busy,
+            noc_bytes: totals.noc_bytes - p.noc_bytes,
+            noc_peak_in_flight: gauges.noc_peak_in_flight,
+            local_link_bytes: totals.local_link_bytes - p.local_link_bytes,
+            local_link_busy: totals.local_link_busy - p.local_link_busy,
+            local_link_rejects: totals.local_link_rejects - p.local_link_rejects,
+            tlb_walks: totals.tlb_walks - p.tlb_walks,
+            tlb_peak_outstanding: gauges.tlb_peak_outstanding,
+        };
+        self.ring[self.head] = w;
+        self.head = (self.head + 1) % self.ring_cap;
+        self.len = (self.len + 1).min(self.ring_cap);
+        self.prev = totals;
+        self.window_start = end_cycle;
+    }
+
+    /// Retained windows in chronological order (oldest first).
+    pub fn windows(&self) -> impl Iterator<Item = &TelemetryWindow> + '_ {
+        let (older, newer) = if self.len < self.ring_cap {
+            (&self.ring[0..self.len], &self.ring[0..0])
+        } else {
+            (&self.ring[self.head..], &self.ring[..self.head])
+        };
+        older.iter().chain(newer.iter())
+    }
+
+    /// Retained windows as an owned vector (error paths and exports;
+    /// allocates, so never called from `step`).
+    pub fn windows_vec(&self) -> Vec<TelemetryWindow> {
+        self.windows().copied().collect()
+    }
+
+    /// Start tracking `id` if tracing is on, the access is a read, and
+    /// the id lands on the deterministic 1-in-K sample grid.
+    #[allow(clippy::too_many_arguments)]
+    pub fn maybe_sample(
+        &mut self,
+        id: ReqId,
+        sm: SmId,
+        warp: WarpId,
+        line: LineAddr,
+        kind: AccessKind,
+        now: u64,
+    ) {
+        if self.sample_period == 0 || !kind.is_read() || !id.0.is_multiple_of(self.sample_period) {
+            return;
+        }
+        if self.inflight.len() == self.inflight.capacity() {
+            self.dropped += 1;
+            return;
+        }
+        self.inflight.push(TraceRecord {
+            id: id.0,
+            sm: sm.0,
+            warp: warp.0,
+            line: line.0,
+            issue_cycle: now,
+            slice_enqueue: None,
+            slice_grant: None,
+            dram_enqueue: None,
+            reply_cycle: None,
+        });
+    }
+
+    /// Mark `id` as entering an LLC slice queue (first enqueue wins:
+    /// a replica-miss forward keeps its original enqueue timestamp).
+    pub fn note_slice_enqueue(&mut self, id: ReqId, now: u64) {
+        if let Some(r) = self.inflight.iter_mut().find(|r| r.id == id.0) {
+            r.slice_enqueue.get_or_insert(now);
+        }
+    }
+
+    /// Mark `id` as granted into a slice tag pipe.
+    pub fn note_slice_grant(&mut self, id: ReqId, now: u64) {
+        if let Some(r) = self.inflight.iter_mut().find(|r| r.id == id.0) {
+            r.slice_grant.get_or_insert(now);
+        }
+    }
+
+    /// Mark every sampled request waiting on `line` as reaching DRAM
+    /// (the controller works on merged line fills, not request ids).
+    pub fn note_dram(&mut self, line: LineAddr, now: u64) {
+        for r in self
+            .inflight
+            .iter_mut()
+            .filter(|r| r.line == line.0 && r.dram_enqueue.is_none())
+        {
+            r.dram_enqueue = Some(now);
+        }
+    }
+
+    /// Complete the lifecycle of `id`: stamp the reply cycle and move
+    /// the record to the retained set (or count it dropped when the
+    /// retained set is full).
+    pub fn note_reply(&mut self, id: ReqId, now: u64) {
+        if self.sample_period == 0 {
+            return;
+        }
+        let Some(pos) = self.inflight.iter().position(|r| r.id == id.0) else {
+            return;
+        };
+        let mut rec = self.inflight.swap_remove(pos);
+        rec.reply_cycle = Some(now);
+        if self.done.len() < self.done_cap {
+            self.done.push(rec);
+        } else {
+            self.dropped += 1;
+        }
+    }
+
+    /// Completed lifecycle records, in completion order.
+    pub fn trace_records(&self) -> &[TraceRecord] {
+        &self.done
+    }
+
+    /// Sampled requests that could not be recorded (full tables).
+    pub fn trace_dropped(&self) -> u64 {
+        self.dropped
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg(window: u64, ring: usize, period: u64) -> TelemetryConfig {
+        TelemetryConfig {
+            window_cycles: (window > 0).then_some(window),
+            ring_windows: ring,
+            trace_sample_period: period,
+            trace_capacity: 8,
+        }
+    }
+
+    fn totals(retired: u64) -> WindowTotals {
+        WindowTotals {
+            retired_ops: retired,
+            ..WindowTotals::default()
+        }
+    }
+
+    #[test]
+    fn inert_by_default() {
+        let t = Telemetry::new(&TelemetryConfig::default());
+        assert!(!t.windowing());
+        assert!(!t.tracing());
+        assert_eq!(t.windows().count(), 0);
+        assert!(t.trace_records().is_empty());
+    }
+
+    #[test]
+    fn ring_keeps_last_n_windows_in_order() {
+        let mut t = Telemetry::new(&cfg(10, 3, 0));
+        for i in 1..=5u64 {
+            assert!(t.window_due(i * 10));
+            t.flush_window(i * 10, totals(i * 100), WindowGauges::default());
+        }
+        let got: Vec<_> = t.windows().map(|w| (w.start_cycle, w.end_cycle)).collect();
+        assert_eq!(got, vec![(20, 30), (30, 40), (40, 50)]);
+        // Deltas, not cumulative values.
+        for w in t.windows() {
+            assert_eq!(w.retired_ops, 100);
+        }
+        assert_eq!(t.windows_vec().len(), 3);
+    }
+
+    #[test]
+    fn window_due_only_on_boundaries() {
+        let t = Telemetry::new(&cfg(128, 4, 0));
+        assert!(!t.window_due(127));
+        assert!(t.window_due(128));
+        assert!(!t.window_due(129));
+        assert!(t.window_due(256));
+    }
+
+    #[test]
+    fn sampling_is_one_in_k_reads_only() {
+        let mut t = Telemetry::new(&cfg(0, 0, 4));
+        for i in 1..=16u64 {
+            t.maybe_sample(
+                ReqId(i),
+                SmId(0),
+                WarpId(0),
+                LineAddr(i * 128),
+                AccessKind::Load,
+                i,
+            );
+        }
+        // A store on the grid must not be sampled.
+        t.maybe_sample(
+            ReqId(20),
+            SmId(0),
+            WarpId(0),
+            LineAddr(0),
+            AccessKind::Store,
+            20,
+        );
+        assert_eq!(t.inflight.len(), 4); // ids 4, 8, 12, 16
+        for (i, id) in [4u64, 8, 12, 16].into_iter().enumerate() {
+            assert_eq!(t.inflight[i].id, id);
+        }
+    }
+
+    #[test]
+    fn lifecycle_stamps_flow_into_completed_records() {
+        let mut t = Telemetry::new(&cfg(0, 0, 1));
+        t.maybe_sample(
+            ReqId(1),
+            SmId(3),
+            WarpId(7),
+            LineAddr(0x1000),
+            AccessKind::Load,
+            5,
+        );
+        t.note_slice_enqueue(ReqId(1), 9);
+        t.note_slice_enqueue(ReqId(1), 11); // first wins
+        t.note_slice_grant(ReqId(1), 12);
+        t.note_dram(LineAddr(0x1000), 20);
+        t.note_reply(ReqId(1), 80);
+        let recs = t.trace_records();
+        assert_eq!(recs.len(), 1);
+        let r = recs[0];
+        assert_eq!(r.slice_enqueue, Some(9));
+        assert_eq!(r.slice_grant, Some(12));
+        assert_eq!(r.dram_enqueue, Some(20));
+        assert_eq!(r.reply_cycle, Some(80));
+        // Five spans: request + four lifecycle stages.
+        assert_eq!(r.trace_events(0, "job").len(), 5);
+        // Unknown ids are ignored, not panics.
+        t.note_reply(ReqId(99), 100);
+    }
+
+    #[test]
+    fn full_tables_drop_instead_of_growing() {
+        let mut t = Telemetry::new(&cfg(0, 0, 1));
+        let cap = t.inflight.capacity();
+        for i in 1..=(cap as u64 + 3) {
+            t.maybe_sample(
+                ReqId(i),
+                SmId(0),
+                WarpId(0),
+                LineAddr(0),
+                AccessKind::Load,
+                i,
+            );
+        }
+        assert_eq!(t.inflight.len(), cap);
+        assert_eq!(t.trace_dropped(), 3);
+    }
+
+    #[test]
+    fn jsonl_line_is_valid_shape_and_escaped() {
+        let w = TelemetryWindow {
+            start_cycle: 0,
+            end_cycle: 100,
+            read_replies: 50,
+            llc_accesses: 10,
+            llc_hits: 5,
+            ..TelemetryWindow::default()
+        };
+        let line = w.jsonl_line("a\"b", 2, 7);
+        assert!(line.starts_with("{\"job\":\"a\\\"b\",\"job_index\":2,\"window\":7,"));
+        assert!(line.contains("\"replies_per_cycle\":0.500000"));
+        assert!(line.contains("\"llc_hit_rate\":0.500000"));
+        assert!(line.ends_with('}'));
+    }
+}

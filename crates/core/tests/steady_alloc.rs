@@ -74,7 +74,12 @@ fn count_window(gpu: &mut GpuSimulator, steps: u64) -> (u64, u64) {
 }
 
 fn steady_state_gpu(arch: ArchKind) -> GpuSimulator {
-    let cfg = GpuConfig::paper_baseline(arch);
+    let mut cfg = GpuConfig::paper_baseline(arch);
+    // Telemetry stays ON here: the zero-allocation contract must hold
+    // with the windowed sampler flushing into its pre-sized ring and
+    // the lifecycle tracer recording into its pre-sized tables.
+    cfg.telemetry.window_cycles = Some(256);
+    cfg.telemetry.trace_sample_period = 64;
     let wl = Workload::build(BenchmarkId::Sgemm, ScaleProfile::fast(), cfg.num_sms, 42);
     let mut gpu = GpuSimulator::new(cfg, &wl);
     gpu.warm(&wl, 256);

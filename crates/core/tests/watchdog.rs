@@ -107,6 +107,60 @@ fn starved_links_trip_deterministically() {
 }
 
 #[test]
+fn deadlock_report_embeds_a_bounded_flight_recorder() {
+    // With windowed telemetry on, the report carries the last
+    // `ring_windows` windows leading up to the fire — populated,
+    // chronological, and bounded regardless of how long the machine
+    // ran before starving.
+    let run = |budget: u64, cycles: u64| {
+        let mut cfg = GpuConfig::paper_baseline(ArchKind::Nuba);
+        cfg.telemetry.window_cycles = Some(100);
+        cfg.telemetry.ring_windows = 8;
+        let wl = Workload::build(
+            BenchmarkId::Kmeans,
+            ScaleProfile::fast(),
+            cfg.num_sms,
+            cfg.seed,
+        );
+        let plan = FaultPlan::uniform_link_derate(0.0, cfg.num_sms, cfg.num_llc_slices);
+        let mut gpu = GpuSimulator::try_new(cfg, &wl).expect("valid config");
+        gpu.set_fault_plan(&plan);
+        gpu.set_watchdog(Some(budget));
+        let err = gpu
+            .warm_and_run(&wl, cycles)
+            .expect_err("zero-bandwidth links must deadlock");
+        let SimError::NoForwardProgress(report) = err else {
+            panic!("wrong error kind: {err}");
+        };
+        report
+    };
+    let short = run(900, 1500);
+    let long = run(1800, 3000);
+    assert_eq!(short.windows.len(), 8, "ring filled by the fire");
+    assert_eq!(
+        long.windows.len(),
+        8,
+        "flight recorder is bounded by the ring, not the run length"
+    );
+    for pair in long.windows.windows(2) {
+        assert_eq!(
+            pair[1].start_cycle, pair[0].end_cycle,
+            "windows are chronological and contiguous"
+        );
+        assert_eq!(pair[1].cycles(), 100, "every window covers one period");
+    }
+    assert!(
+        long.windows.last().unwrap().end_cycle > short.windows.last().unwrap().end_cycle,
+        "a later fire retains later windows"
+    );
+    assert!(
+        long.windows.iter().any(|w| w.stall_downstream > 0),
+        "the starved machine's stalls are visible in the recorder: {:?}",
+        long.windows
+    );
+}
+
+#[test]
 fn stalled_tlb_walkers_trip_the_watchdog() {
     let cfg = GpuConfig::paper_baseline(ArchKind::Nuba);
     let wl = Workload::build(

@@ -38,6 +38,15 @@ pub struct DramStats {
     pub refreshes: u64,
 }
 
+impl DramStats {
+    /// Total row-buffer probes (hits + closed-bank + conflicts): the
+    /// denominator of the row-hit rate, used by windowed telemetry to
+    /// form per-interval rates from integral deltas.
+    pub fn row_accesses(&self) -> u64 {
+        self.row_hits + self.row_closed + self.row_conflicts
+    }
+}
+
 /// An FR-FCFS scheduler over one channel's banks with a bounded request
 /// queue and a shared data bus.
 ///

@@ -33,6 +33,9 @@ pub struct BandwidthLink<T> {
     bytes_transferred: u64,
     /// Cycles in which the link was actively serializing.
     busy_cycles: u64,
+    /// Sends refused because the input queue was full (back-pressure
+    /// events seen by the producer; telemetry uses the delta per window).
+    rejects: u64,
     last_tick: Option<Cycle>,
     /// Fault-injection multiplier on the effective bandwidth, in
     /// `[0, 1]`. `1.0` is the healthy link; `0.0` models a dead lane:
@@ -64,6 +67,7 @@ impl<T: Wire> BandwidthLink<T> {
             inflight: VecDeque::with_capacity(queue_capacity + latency as usize),
             bytes_transferred: 0,
             busy_cycles: 0,
+            rejects: 0,
             last_tick: None,
             derate: 1.0,
         }
@@ -76,6 +80,7 @@ impl<T: Wire> BandwidthLink<T> {
     /// Returns [`SendError`] with the item when the input queue is full.
     pub fn try_send(&mut self, item: T, _now: Cycle) -> Result<(), SendError<T>> {
         if self.queue.len() >= self.queue_capacity {
+            self.rejects += 1;
             return Err(SendError(item));
         }
         if self.queue.is_empty() && self.head_remaining == 0 {
@@ -144,6 +149,11 @@ impl<T: Wire> BandwidthLink<T> {
     /// Cycles spent actively serializing.
     pub fn busy_cycles(&self) -> u64 {
         self.busy_cycles
+    }
+
+    /// Sends refused with a full input queue (back-pressure events).
+    pub fn rejects(&self) -> u64 {
+        self.rejects
     }
 
     /// The configured serialization bandwidth.
@@ -245,6 +255,7 @@ mod tests {
         assert!(!link.can_send());
         let err = link.try_send(Pkt(1), 0).unwrap_err();
         assert_eq!(err.0, Pkt(1));
+        assert_eq!(link.rejects(), 1);
     }
 
     #[test]

@@ -44,6 +44,9 @@ pub struct CrossbarNoc<T> {
     /// Rotating priority for output arbitration.
     rr_start: usize,
     stats: NocStats,
+    /// High-water mark of packets traversing the fabric, maintained
+    /// O(1) from the flit-conservation identity `injected - packets`.
+    peak_in_flight: u64,
     scratch: Vec<Routed<T>>,
 }
 
@@ -82,6 +85,7 @@ impl<T: Wire> CrossbarNoc<T> {
                 .collect(),
             rr_start: 0,
             stats: NocStats::default(),
+            peak_in_flight: 0,
             scratch: Vec::with_capacity(16 * queue_capacity),
         }
     }
@@ -108,6 +112,9 @@ impl<T: Wire> CrossbarNoc<T> {
         match self.inputs[port].try_send(Routed { dest, item }, now) {
             Ok(()) => {
                 self.stats.injected += 1;
+                self.peak_in_flight = self
+                    .peak_in_flight
+                    .max(self.stats.injected - self.stats.packets);
                 Ok(())
             }
             Err(e) => {
@@ -206,6 +213,14 @@ impl<T: Wire> CrossbarNoc<T> {
     /// Delivery statistics.
     pub fn stats(&self) -> NocStats {
         self.stats
+    }
+
+    /// Read the traversing-packet high-water mark and re-arm it at the
+    /// current occupancy (per-window congestion sampling).
+    pub fn take_peak_in_flight(&mut self) -> u64 {
+        let peak = self.peak_in_flight;
+        self.peak_in_flight = self.stats.injected - self.stats.packets;
+        peak
     }
 
     /// Fault hook: multiply the effective bandwidth of `port`'s
@@ -375,6 +390,20 @@ mod tests {
             rate > 0.9 * 64.0,
             "aggregate rate {rate} too low (sent {sent})"
         );
+    }
+
+    #[test]
+    fn peak_in_flight_high_water_rearms() {
+        let mut noc = CrossbarNoc::new(4, 4, 16.0, 4, 8);
+        noc.try_send(0, 2, Pkt(136, 1), 0).unwrap();
+        noc.try_send(1, 3, Pkt(64, 2), 0).unwrap();
+        for c in 0..60 {
+            noc.tick(c);
+        }
+        // Two packets traversed concurrently at the high-water mark.
+        assert_eq!(noc.take_peak_in_flight(), 2);
+        // Re-armed against the now-drained fabric.
+        assert_eq!(noc.take_peak_in_flight(), 0);
     }
 
     #[test]

@@ -121,6 +121,8 @@ pub struct TranslationEngine {
     /// Fault-injection flag: while set, in-flight walks complete but no
     /// new walk may start (the walker pool is stalled).
     walker_stall: bool,
+    /// High-water mark of concurrently outstanding translations.
+    peak_outstanding: usize,
     stats: TlbStats,
     /// Reusable scratch for the pages whose L2 access / walk finishes
     /// this cycle: avoids a per-cycle allocation and — because it is
@@ -150,6 +152,7 @@ impl TranslationEngine {
             walk_queue: VecDeque::new(),
             active_walks: 0,
             walker_stall: false,
+            peak_outstanding: 0,
             stats: TlbStats::default(),
             ready: Vec::new(),
             waiter_pool: Vec::new(),
@@ -187,6 +190,7 @@ impl TranslationEngine {
             },
         );
         self.l2_queue.push_back(vpage);
+        self.peak_outstanding = self.peak_outstanding.max(self.outstanding.len());
         TranslationOutcome::Pending
     }
 
@@ -323,6 +327,14 @@ impl TranslationEngine {
     /// Translations still in flight.
     pub fn outstanding(&self) -> usize {
         self.outstanding.len()
+    }
+
+    /// Read the outstanding-translation high-water mark and re-arm it
+    /// at the current level (per-window MMU pressure sampling).
+    pub fn take_peak_outstanding(&mut self) -> usize {
+        let peak = self.peak_outstanding;
+        self.peak_outstanding = self.outstanding.len();
+        peak
     }
 
     /// Counters so far.

@@ -186,6 +186,41 @@ impl Default for McmConfig {
     }
 }
 
+/// Observability knobs (`nuba-core::telemetry`): windowed counter
+/// sampling and deterministic request-lifecycle tracing.
+///
+/// Both pillars are off by default so a plain run is bit-identical to a
+/// build without the telemetry layer. When enabled, all recording state
+/// is pre-sized at construction (rings, sampled-request tables), so the
+/// per-cycle path stays allocation-free — the `steady_alloc` test runs
+/// with telemetry enabled.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TelemetryConfig {
+    /// Flush a time-series window every this many cycles. `None`
+    /// disables windowed sampling entirely.
+    pub window_cycles: Option<u64>,
+    /// Ring capacity: how many of the most recent windows are retained
+    /// (and embedded into a `DeadlockReport` as a flight recorder).
+    pub ring_windows: usize,
+    /// Sample one in every `trace_sample_period` read requests for
+    /// lifecycle tracing (keyed on the monotonic request id, so the
+    /// sample set is independent of worker count). `0` disables tracing.
+    pub trace_sample_period: u64,
+    /// Maximum completed lifecycle records retained per run.
+    pub trace_capacity: usize,
+}
+
+impl Default for TelemetryConfig {
+    fn default() -> Self {
+        TelemetryConfig {
+            window_cycles: None,
+            ring_windows: 64,
+            trace_sample_period: 0,
+            trace_capacity: 4096,
+        }
+    }
+}
+
 /// Full simulated-GPU configuration (paper Table 1 + §6 defaults).
 #[derive(Debug, Clone, PartialEq)]
 pub struct GpuConfig {
@@ -306,6 +341,8 @@ pub struct GpuConfig {
     /// `SimError::NoForwardProgress` carrying a deadlock report.
     /// `None` disables the watchdog (single-stepping debuggers).
     pub watchdog_cycles: Option<u64>,
+    /// Observability layer knobs (windowed sampling + request tracing).
+    pub telemetry: TelemetryConfig,
     /// MCM package layout; only meaningful for the MCM architecture kinds.
     pub mcm: McmConfig,
     /// NoC power-model parameters.
@@ -367,6 +404,7 @@ impl GpuConfig {
             // fault is 2 000–28 000 cycles, and faults overlap): a
             // healthy run never goes 20 000 cycles without one retire.
             watchdog_cycles: Some(20_000),
+            telemetry: TelemetryConfig::default(),
             mcm: McmConfig::default(),
             noc_power: NocPowerParams::default(),
             seed: 0x5eed_c0de,
@@ -553,6 +591,15 @@ impl GpuConfig {
         if self.watchdog_cycles == Some(0) {
             return err("watchdog_cycles must be non-zero (use None to disable)");
         }
+        if self.telemetry.window_cycles == Some(0) {
+            return err("telemetry window_cycles must be non-zero (use None to disable)");
+        }
+        if self.telemetry.window_cycles.is_some() && self.telemetry.ring_windows == 0 {
+            return err("telemetry ring_windows must be non-zero when windowing is enabled");
+        }
+        if self.telemetry.trace_sample_period > 0 && self.telemetry.trace_capacity == 0 {
+            return err("telemetry trace_capacity must be non-zero when tracing is enabled");
+        }
         if let PagePolicyKind::Lab { threshold } = self.page_policy {
             if !(threshold > 0.0 && threshold <= 1.0) {
                 return err("LAB threshold must be in (0, 1]");
@@ -690,6 +737,23 @@ mod tests {
         assert!(break_one(|c| c.watchdog_cycles = Some(0)).is_err());
         // Disabling the watchdog entirely is legal.
         assert!(break_one(|c| c.watchdog_cycles = None).is_ok());
+        assert!(break_one(|c| c.telemetry.window_cycles = Some(0)).is_err());
+        assert!(break_one(|c| {
+            c.telemetry.window_cycles = Some(1024);
+            c.telemetry.ring_windows = 0;
+        })
+        .is_err());
+        assert!(break_one(|c| {
+            c.telemetry.trace_sample_period = 64;
+            c.telemetry.trace_capacity = 0;
+        })
+        .is_err());
+        // Telemetry enabled with sane knobs is legal.
+        assert!(break_one(|c| {
+            c.telemetry.window_cycles = Some(512);
+            c.telemetry.trace_sample_period = 64;
+        })
+        .is_ok());
         // UBA machines have no local links; zero is fine there.
         let mut cfg = GpuConfig::paper_baseline(ArchKind::MemSideUba);
         cfg.local_link_bytes_per_cycle = 0;

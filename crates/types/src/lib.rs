@@ -34,6 +34,7 @@ pub mod stats;
 pub use addr::{LineAddr, PageNum, PhysAddr, VirtAddr, LINE_BYTES};
 pub use config::{
     ArchKind, ConfigError, GpuConfig, McmConfig, NocPowerParams, PagePolicyKind, ReplicationKind,
+    TelemetryConfig,
 };
 pub use ids::{ChannelId, ModuleId, PartitionId, SliceId, SmId, WarpId};
 pub use mapping::{AddressMapping, DecodedAddr, MappingKind};
