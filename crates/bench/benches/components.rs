@@ -171,7 +171,7 @@ fn bench_gpu_step(c: &mut Criterion) {
         g.bench_function(name, |b| {
             let cfg = GpuConfig::paper_baseline(arch);
             let wl = Workload::build(BenchmarkId::Sgemm, ScaleProfile::fast(), cfg.num_sms, 42);
-            let mut gpu = GpuSimulator::new(cfg, &wl);
+            let mut gpu = GpuSimulator::try_new(cfg, &wl).expect("valid config");
             gpu.warm(&wl, 128);
             for _ in 0..4_000 {
                 gpu.step();
@@ -194,7 +194,7 @@ fn bench_full_sim(c: &mut Criterion) {
         g.bench_function(format!("{name}_1k_cycles"), |b| {
             let cfg = GpuConfig::paper_baseline(arch);
             let wl = Workload::build(BenchmarkId::Sgemm, ScaleProfile::fast(), cfg.num_sms, 42);
-            let mut gpu = GpuSimulator::new(cfg.clone(), &wl);
+            let mut gpu = GpuSimulator::try_new(cfg.clone(), &wl).expect("valid config");
             gpu.warm(&wl, 128);
             b.iter(|| {
                 for _ in 0..1_000 {

@@ -52,8 +52,7 @@ fn main() {
     );
     println!("LLC pipeline latency (baseline 40 cycles):");
     for lat in [20u64, 40, 80, 160] {
-        let mut c = nuba0.clone();
-        c.llc_latency = lat;
+        let c = nuba0.clone().with_llc_latency(lat);
         println!(
             "  {lat:>4} cycles: {}",
             pct(hmean_over(&h, &benches, &c, &base))
@@ -61,8 +60,7 @@ fn main() {
     }
     println!("NoC stage latency (baseline 4 cycles/stage):");
     for lat in [2u64, 4, 8, 16] {
-        let mut c = nuba0.clone();
-        c.noc_stage_latency = lat;
+        let c = nuba0.clone().with_noc_stage_latency(lat);
         println!(
             "  {lat:>4} cycles: {}",
             pct(hmean_over(&h, &benches, &c, &base))
@@ -70,8 +68,7 @@ fn main() {
     }
     println!("Local link bandwidth (baseline 32 B/cycle ≙ 2.8 TB/s):");
     for bw in [8u64, 16, 32, 64] {
-        let mut c = nuba0.clone();
-        c.local_link_bytes_per_cycle = bw;
+        let c = nuba0.clone().with_local_link_bandwidth(bw);
         println!(
             "  {bw:>4} B/cyc: {}",
             pct(hmean_over(&h, &benches, &c, &base))
@@ -85,8 +82,7 @@ fn main() {
 
     figure_header("Ablation 2", "MDR epoch length (baseline 20 000 cycles)");
     for epoch in [5_000u64, 20_000, 80_000] {
-        let mut c = nuba0.clone();
-        c.mdr_epoch_cycles = epoch;
+        let c = nuba0.clone().with_mdr_epoch(epoch);
         println!(
             "  {epoch:>6} cycles: {}",
             pct(hmean_over(&h, &benches, &c, &base))
@@ -95,8 +91,7 @@ fn main() {
 
     figure_header("Ablation 3", "MDR sampled sets per slice (baseline 8)");
     for sets in [2usize, 8, 24, 48] {
-        let mut c = nuba0.clone();
-        c.mdr_sample_sets = sets;
+        let c = nuba0.clone().with_mdr_sample_sets(sets);
         println!(
             "  {sets:>3} sets ({} B of shadow tags): {}",
             sets * 16 * 3,
@@ -106,8 +101,7 @@ fn main() {
 
     figure_header("Ablation 4", "Kernel-boundary flush overhead (§5.3)");
     for k in [None, Some(20_000u64), Some(10_000), Some(5_000)] {
-        let mut c = nuba0.clone();
-        c.kernel_boundary_cycles = k;
+        let c = nuba0.clone().with_kernel_boundaries(k);
         let label = match k {
             None => "no boundaries  ".to_string(),
             Some(v) => format!("every {v:>6} cyc"),
@@ -123,8 +117,7 @@ fn main() {
         "DRAM refresh (off in Table 1; JEDEC REFab here)",
     );
     for refresh in [false, true] {
-        let mut c = nuba0.clone();
-        c.dram_refresh = refresh;
+        let c = nuba0.clone().with_dram_refresh(refresh);
         println!(
             "  refresh {}: {}",
             if refresh { "on " } else { "off" },

@@ -14,10 +14,9 @@ fn main() {
     let h = Harness::from_env();
     let uba = GpuConfig::paper_baseline(ArchKind::MemSideUba);
     let mk = |p: PagePolicyKind, r: ReplicationKind| {
-        let mut c = GpuConfig::paper_baseline(ArchKind::Nuba);
-        c.page_policy = p;
-        c.replication = r;
-        c
+        GpuConfig::paper_baseline(ArchKind::Nuba)
+            .with_policy(p)
+            .with_replication(r)
     };
     let lab_mdr = mk(PagePolicyKind::lab_default(), ReplicationKind::Mdr);
     let mig = mk(PagePolicyKind::Migration, ReplicationKind::None);

@@ -35,10 +35,13 @@ fn main() {
         .collect();
     for arch in archs {
         for tbs in widths {
-            let mut cfg = GpuConfig::paper_baseline(arch).with_noc_tbs(tbs);
-            if arch == ArchKind::Nuba {
-                cfg.replication = ReplicationKind::Mdr;
-            }
+            let cfg = if arch == ArchKind::Nuba {
+                GpuConfig::paper_baseline(arch)
+                    .with_noc_tbs(tbs)
+                    .with_replication(ReplicationKind::Mdr)
+            } else {
+                GpuConfig::paper_baseline(arch).with_noc_tbs(tbs)
+            };
             for &b in &benches {
                 jobs.push(Job::new(format!("{b}@{tbs}"), b, cfg.clone()));
             }

@@ -14,10 +14,9 @@ fn main() {
     let h = Harness::from_env();
     let uba = GpuConfig::paper_baseline(ArchKind::MemSideUba);
     let mk = |p: PagePolicyKind| {
-        let mut c = GpuConfig::paper_baseline(ArchKind::Nuba);
-        c.replication = ReplicationKind::None;
-        c.page_policy = p;
-        c
+        GpuConfig::paper_baseline(ArchKind::Nuba)
+            .with_replication(ReplicationKind::None)
+            .with_policy(p)
     };
     let ft_cfg = mk(PagePolicyKind::FirstTouch);
     let rr_cfg = mk(PagePolicyKind::RoundRobin);

@@ -12,11 +12,7 @@ fn main() {
         "Data replication policy on NUBA (speedup vs No-Rep)",
     );
     let h = Harness::from_env();
-    let mk = |r: ReplicationKind| {
-        let mut c = GpuConfig::paper_baseline(ArchKind::Nuba);
-        c.replication = r;
-        c
-    };
+    let mk = |r: ReplicationKind| GpuConfig::paper_baseline(ArchKind::Nuba).with_replication(r);
     let nr_cfg = mk(ReplicationKind::None);
     let fr_cfg = mk(ReplicationKind::Full);
     let mdr_cfg = mk(ReplicationKind::Mdr);

@@ -63,7 +63,7 @@ fn main() {
         let mut uba = uba0.clone();
         let mut nuba = nuba0.clone();
         for c in [&mut uba, &mut nuba] {
-            c.num_llc_slices = c.num_channels * spp;
+            *c = c.clone().with_llc_slices(c.num_channels * spp);
         }
         let s = improvement(&h, &benches, &uba, &nuba, None);
         println!(
@@ -80,7 +80,9 @@ fn main() {
         let mut uba = uba0.clone();
         let mut nuba = nuba0.clone();
         for c in [&mut uba, &mut nuba] {
-            c.llc_total_bytes = (6.0 * factor) as usize * 1024 * 1024;
+            *c = c
+                .clone()
+                .with_llc_capacity((6.0 * factor) as usize * 1024 * 1024);
         }
         let s = improvement(&h, &benches, &uba, &nuba, None);
         println!(
@@ -104,8 +106,7 @@ fn main() {
 
     // --- Address mapping: UBA upgraded to PAE ---
     println!("\nUBA address mapping:");
-    let mut uba_pae = uba0.clone();
-    uba_pae.mapping = MappingKind::Pae;
+    let uba_pae = uba0.clone().with_mapping(MappingKind::Pae);
     let s_fixed = improvement(&h, &benches, &uba0, &nuba0, None);
     let s_pae = improvement(&h, &benches, &uba_pae, &nuba0, None);
     println!("  vs fixed-channel UBA: {}", pct(s_fixed));
@@ -115,9 +116,10 @@ fn main() {
     // --- LAB threshold ---
     println!("\nLAB threshold (NUBA-No-Rep vs UBA):");
     for t in [0.8, 0.9, 0.95] {
-        let mut nuba = nuba0.clone();
-        nuba.replication = nuba_types::ReplicationKind::None;
-        nuba.page_policy = PagePolicyKind::Lab { threshold: t };
+        let nuba = nuba0
+            .clone()
+            .with_replication(nuba_types::ReplicationKind::None)
+            .with_policy(PagePolicyKind::Lab { threshold: t });
         let s = improvement(&h, &benches, &uba0, &nuba, None);
         println!("  threshold {t}: {}", pct(s));
     }

@@ -5,7 +5,8 @@
 //!
 //! This is the windowed-telemetry showcase: each job runs with the
 //! sampler enabled (`TelemetryConfig`), and the figure is drawn from
-//! the [`JobResult::windows`] the runner brings back — the same data
+//! the [`JobResult::windows`](nuba_bench::runner::JobResult) the
+//! runner brings back — the same data
 //! `NUBA_TIMESERIES=<file>` exports as JSONL and `NUBA_TRACE=<file>`
 //! complements with Chrome-traceable request lifecycles.
 
@@ -91,13 +92,12 @@ fn main() {
     let jobs: Vec<Job> = archs()
         .iter()
         .map(|(name, cfg)| {
-            let mut cfg = cfg.clone();
-            cfg.telemetry = TelemetryConfig {
+            let cfg = cfg.clone().with_telemetry(TelemetryConfig {
                 window_cycles: Some(window),
                 ring_windows: ring,
                 trace_sample_period: 64,
                 trace_capacity: 4096,
-            };
+            });
             let plan = mid_run_derate(&cfg, fault_start, fault_end);
             Job::new(name.to_string(), bench, cfg).with_faults(plan)
         })

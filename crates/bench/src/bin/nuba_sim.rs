@@ -8,8 +8,8 @@
 //! ```
 
 use nuba_bench::runner::{run_matrix, Job, JobResult};
-use nuba_bench::Harness;
-use nuba_core::GpuSimulator;
+use nuba_bench::{Harness, HarnessOptions};
+use nuba_core::{Checkpoint, SimReport, SimSession};
 use nuba_types::{ArchKind, GpuConfig, MappingKind, PagePolicyKind, ReplicationKind};
 use nuba_workloads::{BenchmarkId, ScaleProfile, Workload};
 
@@ -32,6 +32,8 @@ OPTIONS:
     --kernel-every <N> flush L1s+LLC every N cycles (kernel boundaries)
     --capture <FILE>   write the benchmark's access trace and exit
     --trace <FILE>     simulate a captured trace instead of a benchmark
+    --checkpoint <FILE> run the timed window, then save the machine state
+    --resume <FILE>    restore a checkpoint and run to --cycles total
     --json             machine-readable output
     -h, --help         this text
 ";
@@ -49,6 +51,8 @@ struct Args {
     kernel_every: Option<u64>,
     capture: Option<String>,
     trace: Option<String>,
+    checkpoint: Option<String>,
+    resume: Option<String>,
     json: bool,
 }
 
@@ -66,6 +70,8 @@ fn parse_args() -> Result<Args, String> {
         kernel_every: None,
         capture: None,
         trace: None,
+        checkpoint: None,
+        resume: None,
         json: false,
     };
     let argv: Vec<String> = std::env::args().skip(1).collect();
@@ -149,6 +155,8 @@ fn parse_args() -> Result<Args, String> {
             }
             "--capture" => a.capture = Some(value(&mut i)?),
             "--trace" => a.trace = Some(value(&mut i)?),
+            "--checkpoint" => a.checkpoint = Some(value(&mut i)?),
+            "--resume" => a.resume = Some(value(&mut i)?),
             "--json" => a.json = true,
             other => return Err(format!("unknown option `{other}` (try --help)")),
         }
@@ -166,35 +174,39 @@ fn build_config(a: &Args) -> GpuConfig {
     if (a.size - 1.0).abs() > 1e-9 {
         cfg = cfg.scaled(a.size);
     }
-    cfg = cfg.with_noc_tbs(a.noc_tbs);
-    cfg.page_policy = a.policy;
-    cfg.replication = a.replication;
-    cfg.seed = a.seed;
-    cfg.kernel_boundary_cycles = a.kernel_every;
+    cfg = cfg
+        .with_noc_tbs(a.noc_tbs)
+        .with_policy(a.policy)
+        .with_replication(a.replication)
+        .with_seed(a.seed)
+        .with_kernel_boundaries(a.kernel_every);
     if a.huge_pages {
-        cfg.page_bytes = 2 << 20;
+        cfg = cfg.with_page_bytes(2 << 20);
     }
     if a.arch == ArchKind::SmSideUba || a.arch == ArchKind::MemSideUba {
         // UBA address maps conventionally randomize; keep the paper's
         // fixed-channel default for fairness but allow PAE via env.
-        if std::env::var("NUBA_PAE").is_ok_and(|v| v == "1") {
-            cfg.mapping = MappingKind::Pae;
+        if HarnessOptions::get().pae {
+            cfg = cfg.with_mapping(MappingKind::Pae);
         }
     }
     cfg
 }
 
-/// Run the selected benchmarks on the `NUBA_JOBS` worker pool,
-/// returning per-job reports plus wall-clock / throughput records.
-fn run_all(a: &Args, benches: &[BenchmarkId]) -> Vec<JobResult> {
-    let scale = if a.huge_pages {
+fn scale_of(a: &Args) -> ScaleProfile {
+    if a.huge_pages {
         ScaleProfile::huge_pages()
     } else {
         ScaleProfile::default()
-    };
+    }
+}
+
+/// Run the selected benchmarks on the `NUBA_JOBS` worker pool,
+/// returning per-job reports plus wall-clock / throughput records.
+fn run_all(a: &Args, benches: &[BenchmarkId]) -> Vec<JobResult> {
     let h = Harness {
         cycles: a.cycles,
-        scale,
+        scale: scale_of(a),
         seed: a.seed,
     };
     let jobs: Vec<Job> = benches
@@ -208,8 +220,7 @@ fn run_all(a: &Args, benches: &[BenchmarkId]) -> Vec<JobResult> {
 /// top-down bottleneck breakdown. Deliberately free of wall-clock and
 /// throughput fields so the output is byte-identical run to run —
 /// timing chatter goes to stderr instead.
-fn json_report(b: BenchmarkId, a: &Args, j: &JobResult) -> String {
-    let r = &j.report;
+fn json_report(b: BenchmarkId, a: &Args, r: &SimReport, quarantined: bool) -> String {
     let bd = r.bottleneck_breakdown();
     format!(
         "{{\"bench\":\"{}\",\"arch\":\"{}\",\"quarantined\":{},\"cycles\":{},\
@@ -230,7 +241,7 @@ fn json_report(b: BenchmarkId, a: &Args, j: &JobResult) -> String {
          \"llc_queue_bound\":{:.6},\"dram_bound\":{:.6},\"dominant\":\"{}\"}}}}",
         b,
         a.arch.label(),
-        j.failed(),
+        quarantined,
         r.cycles,
         r.warp_ops,
         r.read_replies,
@@ -342,8 +353,12 @@ fn run_trace(a: &Args, path: &str) {
         cfg = cfg.scaled(factor);
     }
     let wl = Workload::from_trace(trace);
-    let mut gpu = GpuSimulator::new(cfg, &wl);
-    let r = gpu.warm_and_run(&wl, a.cycles).unwrap_or_else(|e| {
+    let mut sess = SimSession::builder(cfg, wl).build().unwrap_or_else(|e| {
+        eprintln!("error: invalid configuration: {e}");
+        std::process::exit(2);
+    });
+    sess.warm();
+    let r = sess.run_window(a.cycles).unwrap_or_else(|e| {
         eprintln!("error: simulation aborted: {e}");
         std::process::exit(2);
     });
@@ -389,6 +404,75 @@ fn capture_trace(a: &Args, bench: BenchmarkId, path: &str) {
     );
 }
 
+/// `--checkpoint`: run the timed window on a [`SimSession`] and save the
+/// machine state. Nothing is printed on stdout — the point is the file.
+fn checkpoint_run(a: &Args, bench: BenchmarkId, path: &str) {
+    let cfg = build_config(a);
+    let wl = Workload::build(bench, scale_of(a), cfg.num_sms, a.seed);
+    let mut sess = SimSession::builder(cfg, wl).build().unwrap_or_else(|e| {
+        eprintln!("error: invalid configuration: {e}");
+        std::process::exit(2);
+    });
+    sess.warm();
+    sess.run_window(a.cycles).unwrap_or_else(|e| {
+        eprintln!("error: simulation aborted: {e}");
+        std::process::exit(2);
+    });
+    let ckpt = sess.checkpoint();
+    std::fs::write(path, ckpt.to_bytes()).unwrap_or_else(|e| {
+        eprintln!("error: cannot write {path}: {e}");
+        std::process::exit(2);
+    });
+    eprintln!(
+        "checkpointed {bench} on {} at cycle {} -> {path}",
+        a.arch.label(),
+        ckpt.cycle()
+    );
+}
+
+/// `--resume`: restore a checkpoint and continue to `--cycles` total
+/// simulated cycles, then report exactly like an uninterrupted run.
+/// The configuration embedded in the checkpoint is authoritative; the
+/// benchmark, page size, and architecture flags must match the saving
+/// run (the config/workload hashes reject anything else).
+fn resume_run(a: &Args, bench: BenchmarkId, path: &str) {
+    let bytes = std::fs::read(path).unwrap_or_else(|e| {
+        eprintln!("error: cannot read {path}: {e}");
+        std::process::exit(2);
+    });
+    let ckpt = Checkpoint::from_bytes(&bytes).unwrap_or_else(|e| {
+        eprintln!("error: bad checkpoint {path}: {e}");
+        std::process::exit(2);
+    });
+    let cfg = ckpt.config().clone();
+    let wl = Workload::build(bench, scale_of(a), cfg.num_sms, cfg.seed);
+    let mut sess = SimSession::resume(&ckpt, wl).unwrap_or_else(|e| {
+        eprintln!("error: cannot resume from {path}: {e}");
+        std::process::exit(2);
+    });
+    let remaining = a.cycles.saturating_sub(ckpt.cycle());
+    let r = sess.run_window(remaining).unwrap_or_else(|e| {
+        eprintln!("error: simulation aborted: {e}");
+        std::process::exit(2);
+    });
+    if a.json {
+        println!("[");
+        println!("  {}", json_report(bench, a, &r, false));
+        println!("]");
+    } else {
+        println!(
+            "resumed {bench} from cycle {} to {}: perf={:.2} warp-ops/cycle  \
+             L1 {:.1}%  LLC {:.1}%  local {:.1}%",
+            ckpt.cycle(),
+            a.cycles,
+            r.perf(),
+            r.l1_hit_rate() * 100.0,
+            r.llc_hit_rate() * 100.0,
+            r.local_miss_fraction() * 100.0
+        );
+    }
+}
+
 fn main() {
     let args = match parse_args() {
         Ok(a) => a,
@@ -397,6 +481,16 @@ fn main() {
             std::process::exit(2);
         }
     };
+    if let Some(path) = args.resume.clone() {
+        let bench = args.bench.unwrap_or(BenchmarkId::Sgemm);
+        resume_run(&args, bench, &path);
+        return;
+    }
+    if let Some(path) = args.checkpoint.clone() {
+        let bench = args.bench.unwrap_or(BenchmarkId::Sgemm);
+        checkpoint_run(&args, bench, &path);
+        return;
+    }
     if let Some(path) = args.trace.clone() {
         run_trace(&args, &path);
         return;
@@ -416,7 +510,11 @@ fn main() {
         println!("[");
         for (i, (&b, j)) in benches.iter().zip(&results).enumerate() {
             let comma = if i + 1 < benches.len() { "," } else { "" };
-            println!("  {}{}", json_report(b, &args, j), comma);
+            println!(
+                "  {}{}",
+                json_report(b, &args, &j.report, j.failed()),
+                comma
+            );
         }
         println!("]");
     } else {

@@ -53,9 +53,9 @@ fn configs() -> Vec<(String, GpuConfig)> {
             ("RoundRobin", PagePolicyKind::RoundRobin),
             ("LAB", PagePolicyKind::lab_default()),
         ] {
-            let mut cfg = GpuConfig::paper_baseline(ArchKind::Nuba);
-            cfg.replication = rep;
-            cfg.page_policy = pol;
+            let cfg = GpuConfig::paper_baseline(ArchKind::Nuba)
+                .with_replication(rep)
+                .with_policy(pol);
             out.push((format!("NUBA-{rep_name}-{pol_name}"), cfg));
         }
     }
@@ -64,14 +64,18 @@ fn configs() -> Vec<(String, GpuConfig)> {
 
 /// Simulate one configuration with conservation checks every
 /// `check_every` cycles. Returns (timed cycles, warp-ops).
-fn check_config(mut cfg: GpuConfig, bench: BenchmarkId, cycles: u64) -> (u64, u64) {
+fn check_config(cfg: GpuConfig, bench: BenchmarkId, cycles: u64) -> (u64, u64) {
     // Run with both telemetry pillars on, so the windowed sampler and
     // the lifecycle tracer are exercised under every architecture too.
-    cfg.telemetry.window_cycles = Some(512);
-    cfg.telemetry.trace_sample_period = 64;
+    let telemetry = nuba_types::TelemetryConfig {
+        window_cycles: Some(512),
+        trace_sample_period: 64,
+        ..cfg.telemetry
+    };
+    let cfg = cfg.with_telemetry(telemetry);
     let scale = ScaleProfile::fast();
     let wl = Workload::build(bench, scale, cfg.num_sms, cfg.seed);
-    let mut gpu = GpuSimulator::new(cfg, &wl);
+    let mut gpu = GpuSimulator::try_new(cfg, &wl).expect("simcheck configs are valid");
     gpu.warm(&wl, 256);
     gpu.check_conservation();
 
@@ -106,10 +110,7 @@ fn check_config(mut cfg: GpuConfig, bench: BenchmarkId, cycles: u64) -> (u64, u6
 }
 
 fn main() {
-    let cycles = std::env::var("NUBA_SIMCHECK_CYCLES")
-        .ok()
-        .and_then(|v| v.parse().ok())
-        .unwrap_or(8192u64);
+    let cycles = nuba_bench::HarnessOptions::get().simcheck_cycles;
     // A benchmark with both read-only shared data (exercises the MDR
     // replica path) and writes (exercises stores/atomics downstream).
     let bench = BenchmarkId::Kmeans;

@@ -11,21 +11,108 @@
 //! *shape* — who wins, by roughly what factor — is the reproduction
 //! target, not the paper's exact percentages.
 //!
-//! Runtime knobs (environment variables):
-//!
-//! - `NUBA_CYCLES`: timed window per run (default 60 000).
-//! - `NUBA_FAST=1`: quarter-density workload scaling for quick looks.
-//! - `NUBA_FULL=1`: run parameter sweeps over all 29 benchmarks instead
-//!   of the representative subset.
-//! - `NUBA_JOBS`: worker threads for the experiment matrix runner
-//!   (default: available parallelism; `1` forces serial execution).
-//!   Results are schedule-independent — see [`runner`].
+//! Runtime knobs come from `NUBA_*` environment variables, all parsed
+//! once into [`HarnessOptions`] (see its fields for names and
+//! defaults, or the README's "Environment knobs" table). Results are
+//! schedule-independent regardless of `NUBA_JOBS` — see [`runner`].
 
 pub mod runner;
 
-use nuba_core::{GpuSimulator, SimReport};
+use std::sync::OnceLock;
+
+use nuba_core::{SimError, SimReport, SimSession};
 use nuba_types::{harmonic_mean_speedup, ArchKind, GpuConfig, ReplicationKind};
 use nuba_workloads::{BenchmarkId, ScaleProfile, SharingClass, Workload};
+
+/// Every `NUBA_*` environment knob, parsed once at first use.
+///
+/// The environment is the harness's only configuration channel, and it
+/// used to be read ad hoc all over the crate; this struct is the single
+/// place a knob's name, type, and default live. Binaries and the
+/// [`runner`] read the process-wide snapshot via [`HarnessOptions::get`]
+/// — the variable names are stable API, documented in the README's
+/// "Environment knobs" table.
+#[derive(Debug, Clone)]
+pub struct HarnessOptions {
+    /// `NUBA_JOBS`: worker threads for experiment matrices (default:
+    /// available parallelism; `1` forces serial execution).
+    pub jobs: usize,
+    /// `NUBA_CYCLES`: timed cycles per run (default 60 000).
+    pub cycles: u64,
+    /// `NUBA_FAST=1`: quarter-density workload scaling for quick looks.
+    pub fast: bool,
+    /// `NUBA_FULL=1`: sweep all 29 benchmarks instead of the
+    /// representative subset.
+    pub full: bool,
+    /// `NUBA_JOB_RETRIES`: retries per failed matrix job (default 0).
+    pub job_retries: u32,
+    /// `NUBA_STRICT_FAULTS=1`: quarantined jobs fail the process.
+    pub strict_faults: bool,
+    /// `NUBA_TIMESERIES=<path>`: write windowed telemetry JSONL here.
+    pub timeseries: Option<String>,
+    /// `NUBA_TRACE=<path>`: write the Chrome lifecycle trace here.
+    pub trace: Option<String>,
+    /// `NUBA_CHAOS=1`: run the sanctioned chaos drill in
+    /// `all_experiments` (injected panic + deadlock jobs).
+    pub chaos: bool,
+    /// `NUBA_PAE=1`: `nuba_sim` maps UBA addresses with PAE.
+    pub pae: bool,
+    /// `NUBA_SIMCHECK_CYCLES`: cycles per simcheck configuration
+    /// (default 8192).
+    pub simcheck_cycles: u64,
+    /// `NUBA_WARM_REUSE`: the runner's warm-state checkpoint cache
+    /// (default on; `0` disables).
+    pub warm_reuse: bool,
+    /// `NUBA_CHECKPOINT_EVERY`: cycles between mid-run checkpoints for
+    /// resumable retries (default: 20 000 under `NUBA_FULL`, else off;
+    /// `0` forces off).
+    pub checkpoint_every: Option<u64>,
+}
+
+impl HarnessOptions {
+    /// Parse every knob from the environment.
+    pub fn from_env() -> HarnessOptions {
+        fn num<T: std::str::FromStr>(name: &str) -> Option<T> {
+            std::env::var(name).ok().and_then(|v| v.parse().ok())
+        }
+        let flag = |name: &str| std::env::var(name).is_ok_and(|v| v == "1");
+        let path = |name: &str| std::env::var(name).ok().filter(|p| !p.is_empty());
+        let full = flag("NUBA_FULL");
+        let checkpoint_every = match num::<u64>("NUBA_CHECKPOINT_EVERY") {
+            Some(0) => None,
+            Some(n) => Some(n),
+            None if full => Some(20_000),
+            None => None,
+        };
+        HarnessOptions {
+            jobs: num("NUBA_JOBS")
+                .filter(|&n: &usize| n > 0)
+                .unwrap_or_else(|| {
+                    std::thread::available_parallelism()
+                        .map(std::num::NonZeroUsize::get)
+                        .unwrap_or(1)
+                }),
+            cycles: num("NUBA_CYCLES").unwrap_or(60_000),
+            fast: flag("NUBA_FAST"),
+            full,
+            job_retries: num("NUBA_JOB_RETRIES").unwrap_or(0),
+            strict_faults: flag("NUBA_STRICT_FAULTS"),
+            timeseries: path("NUBA_TIMESERIES"),
+            trace: path("NUBA_TRACE"),
+            chaos: flag("NUBA_CHAOS"),
+            pae: flag("NUBA_PAE"),
+            simcheck_cycles: num("NUBA_SIMCHECK_CYCLES").unwrap_or(8192),
+            warm_reuse: std::env::var("NUBA_WARM_REUSE").map_or(true, |v| v != "0"),
+            checkpoint_every,
+        }
+    }
+
+    /// The process-wide snapshot, parsed on first call.
+    pub fn get() -> &'static HarnessOptions {
+        static OPTIONS: OnceLock<HarnessOptions> = OnceLock::new();
+        OPTIONS.get_or_init(HarnessOptions::from_env)
+    }
+}
 
 /// Harness-wide run parameters.
 #[derive(Debug, Clone, Copy)]
@@ -39,45 +126,71 @@ pub struct Harness {
 }
 
 impl Harness {
-    /// Read the environment knobs.
+    /// Read the environment knobs ([`HarnessOptions::get`]).
     pub fn from_env() -> Harness {
-        let cycles = std::env::var("NUBA_CYCLES")
-            .ok()
-            .and_then(|v| v.parse().ok())
-            .unwrap_or(60_000);
-        let scale = if std::env::var("NUBA_FAST").is_ok_and(|v| v == "1") {
-            ScaleProfile::fast()
-        } else {
-            ScaleProfile::default()
-        };
+        let opts = HarnessOptions::get();
         Harness {
-            cycles,
-            scale,
+            cycles: opts.cycles,
+            scale: if opts.fast {
+                ScaleProfile::fast()
+            } else {
+                ScaleProfile::default()
+            },
             seed: 42,
         }
     }
 
-    /// Whether sweeps should cover the full suite.
+    /// Whether sweeps should cover the full suite (`NUBA_FULL=1`).
     pub fn full_sweeps() -> bool {
-        std::env::var("NUBA_FULL").is_ok_and(|v| v == "1")
+        HarnessOptions::get().full
     }
 
-    /// Run one (benchmark, configuration) pair: build the workload,
-    /// warm the page tables, simulate the timed window.
+    /// Pin the harness seed and scale page size onto a configuration.
+    fn prepare(&self, mut cfg: GpuConfig, scale: ScaleProfile) -> GpuConfig {
+        cfg.seed = self.seed;
+        if cfg.page_bytes != scale.page_bytes {
+            cfg.page_bytes = scale.page_bytes;
+        }
+        cfg
+    }
+
+    /// Run one (benchmark, configuration) pair: build the workload and
+    /// a [`SimSession`], warm it, simulate the timed window.
+    ///
+    /// # Errors
+    /// [`SimError::InvalidConfig`] on a bad configuration,
+    /// [`SimError::NoForwardProgress`] if the watchdog fires.
+    pub fn try_run(&self, bench: BenchmarkId, cfg: GpuConfig) -> Result<SimReport, SimError> {
+        self.try_run_scaled(bench, cfg, self.scale)
+    }
+
+    /// [`try_run`](Harness::try_run) with a scale override (page-size
+    /// sensitivity).
+    ///
+    /// # Errors
+    /// Same contract as [`try_run`](Harness::try_run).
+    pub fn try_run_scaled(
+        &self,
+        bench: BenchmarkId,
+        cfg: GpuConfig,
+        scale: ScaleProfile,
+    ) -> Result<SimReport, SimError> {
+        let cfg = self.prepare(cfg, scale);
+        let wl = Workload::build(bench, scale, cfg.num_sms, self.seed);
+        let mut session = SimSession::builder(cfg, wl).build()?;
+        session.warm();
+        session.run_window(self.cycles)
+    }
+
+    /// Run one (benchmark, configuration) pair, panicking on failure.
     ///
     /// # Panics
     /// Panics if the configuration is invalid or the watchdog detects a
     /// deadlock — one-off harness runs want the loud failure; matrix
-    /// sweeps go through [`runner`], which quarantines instead.
-    pub fn run(&self, bench: BenchmarkId, mut cfg: GpuConfig) -> SimReport {
-        cfg.seed = self.seed;
-        if cfg.page_bytes != self.scale.page_bytes {
-            cfg.page_bytes = self.scale.page_bytes;
-        }
-        let wl = Workload::build(bench, self.scale, cfg.num_sms, self.seed);
-        let mut gpu = GpuSimulator::new(cfg, &wl);
-        gpu.warm_and_run(&wl, self.cycles)
-            .expect("forward progress")
+    /// sweeps go through [`runner`], which quarantines instead, and
+    /// fallible callers use [`try_run`](Harness::try_run).
+    pub fn run(&self, bench: BenchmarkId, cfg: GpuConfig) -> SimReport {
+        self.try_run(bench, cfg).expect("forward progress")
     }
 
     /// Run with a scale override (page-size sensitivity).
@@ -85,29 +198,21 @@ impl Harness {
     /// # Panics
     /// Panics on invalid configuration or watchdog deadlock, like
     /// [`run`](Harness::run).
-    pub fn run_scaled(
-        &self,
-        bench: BenchmarkId,
-        mut cfg: GpuConfig,
-        scale: ScaleProfile,
-    ) -> SimReport {
-        cfg.seed = self.seed;
-        cfg.page_bytes = scale.page_bytes;
-        let wl = Workload::build(bench, scale, cfg.num_sms, self.seed);
-        let mut gpu = GpuSimulator::new(cfg, &wl);
-        gpu.warm_and_run(&wl, self.cycles)
+    pub fn run_scaled(&self, bench: BenchmarkId, cfg: GpuConfig, scale: ScaleProfile) -> SimReport {
+        self.try_run_scaled(bench, cfg, scale)
             .expect("forward progress")
     }
 }
 
 /// The paper's three main architectures at iso-resources.
 pub fn main_configs() -> [(&'static str, GpuConfig); 4] {
-    let mut nuba_nr = GpuConfig::paper_baseline(ArchKind::Nuba);
-    nuba_nr.replication = ReplicationKind::None;
     [
         ("UBA-mem", GpuConfig::paper_baseline(ArchKind::MemSideUba)),
         ("UBA-sm", GpuConfig::paper_baseline(ArchKind::SmSideUba)),
-        ("NUBA-No-Rep", nuba_nr),
+        (
+            "NUBA-No-Rep",
+            GpuConfig::paper_baseline(ArchKind::Nuba).with_replication(ReplicationKind::None),
+        ),
         ("NUBA", GpuConfig::paper_baseline(ArchKind::Nuba)),
     ]
 }

@@ -24,16 +24,20 @@
 //! summary; the exit code is nonzero only under `NUBA_STRICT_FAULTS=1`,
 //! so chaos drills don't fail CI unless explicitly asked to.
 
+use std::collections::HashMap;
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Mutex;
+use std::sync::{Arc, Mutex};
 use std::time::Instant;
 
-use nuba_core::{GpuSimulator, SimError, SimReport, TelemetryWindow, TraceRecord};
+use nuba_core::{
+    default_warm_accesses, Checkpoint, GpuSimulator, SimError, SimReport, TelemetryWindow,
+    TraceRecord,
+};
 use nuba_engine::FaultPlan;
 use nuba_types::GpuConfig;
 use nuba_workloads::{BenchmarkId, ScaleProfile, Workload};
 
-use crate::Harness;
+use crate::{Harness, HarnessOptions};
 
 /// One simulation in an experiment matrix.
 #[derive(Debug, Clone)]
@@ -187,10 +191,7 @@ pub fn reset_quarantine() {
 
 /// Retries per job after a failure: `NUBA_JOB_RETRIES`, default 0.
 pub fn job_retries() -> u32 {
-    std::env::var("NUBA_JOB_RETRIES")
-        .ok()
-        .and_then(|v| v.parse().ok())
-        .unwrap_or(0)
+    HarnessOptions::get().job_retries
 }
 
 /// Print the quarantine summary (if any) and return the process exit
@@ -212,7 +213,7 @@ pub fn finish() -> i32 {
             f.label, f.attempts, f.error
         );
     }
-    let strict = std::env::var("NUBA_STRICT_FAULTS").map(|v| v == "1") == Ok(true);
+    let strict = HarnessOptions::get().strict_faults;
     if strict {
         eprintln!("runner: NUBA_STRICT_FAULTS=1 — exiting nonzero");
         1
@@ -225,15 +226,7 @@ pub fn finish() -> i32 {
 /// Worker count: `NUBA_JOBS` if set and positive, else the machine's
 /// available parallelism.
 pub fn num_jobs() -> usize {
-    std::env::var("NUBA_JOBS")
-        .ok()
-        .and_then(|v| v.parse::<usize>().ok())
-        .filter(|&n| n > 0)
-        .unwrap_or_else(|| {
-            std::thread::available_parallelism()
-                .map(std::num::NonZeroUsize::get)
-                .unwrap_or(1)
-        })
+    HarnessOptions::get().jobs
 }
 
 /// Run `n` independent tasks on up to `threads` scoped workers; task
@@ -282,9 +275,65 @@ where
 const ENV_WINDOW_CYCLES: u64 = 1000;
 const ENV_TRACE_PERIOD: u64 = 64;
 
-/// Whether `var` is set to a usable (non-empty) output path.
-fn env_path(var: &str) -> Option<String> {
-    std::env::var(var).ok().filter(|p| !p.is_empty())
+/// Warm-state cache: post-warm-up checkpoints keyed by
+/// `(benchmark, configuration identity hash, warm-up depth)`. The
+/// configuration hash covers the seed, page size, and telemetry knobs,
+/// so two jobs share an entry only when their warm-up is bit-for-bit
+/// the same. `all_experiments` replays many (benchmark, configuration)
+/// pairs across its figures; the first job of each pair warms once and
+/// every later job forks from the checkpoint — byte-identical to
+/// re-warming, because warm-up is untimed and restore is exact.
+/// `NUBA_WARM_REUSE=0` disables the cache.
+type WarmKey = (BenchmarkId, u64, usize);
+static WARM_CACHE: Mutex<Option<HashMap<WarmKey, Arc<Checkpoint>>>> = Mutex::new(None);
+
+fn warm_cache_lookup(key: &(BenchmarkId, u64, usize)) -> Option<Arc<Checkpoint>> {
+    WARM_CACHE
+        .lock()
+        .expect("warm cache poisoned")
+        .as_ref()
+        .and_then(|m| m.get(key).cloned())
+}
+
+fn warm_cache_insert(key: (BenchmarkId, u64, usize), ckpt: Arc<Checkpoint>) {
+    WARM_CACHE
+        .lock()
+        .expect("warm cache poisoned")
+        .get_or_insert_with(HashMap::new)
+        .insert(key, ckpt);
+}
+
+/// Drop every cached warm checkpoint (test isolation, memory pressure
+/// between phases of a long sweep).
+pub fn reset_warm_cache() {
+    *WARM_CACHE.lock().expect("warm cache poisoned") = None;
+}
+
+/// Build a warmed simulator for `cfg`/`wl`, forking from the warm-state
+/// cache when possible. Fault-plan jobs skip the cache: their schedule
+/// is armed before warm-up, and keeping them on the slow path makes the
+/// cache trivially inert for chaos drills.
+fn warmed_simulator(
+    bench: BenchmarkId,
+    cfg: &GpuConfig,
+    wl: &Workload,
+    cacheable: bool,
+) -> Result<GpuSimulator, SimError> {
+    let per_warp = default_warm_accesses(cfg, wl);
+    let key = (bench, cfg.state_hash(), per_warp);
+    if cacheable && HarnessOptions::get().warm_reuse {
+        if let Some(ckpt) = warm_cache_lookup(&key) {
+            return GpuSimulator::restore(cfg.clone(), wl, &ckpt);
+        }
+        let mut gpu = GpuSimulator::try_new(cfg.clone(), wl)?;
+        gpu.warm(wl, per_warp);
+        warm_cache_insert(key, Arc::new(gpu.checkpoint(wl)));
+        Ok(gpu)
+    } else {
+        let mut gpu = GpuSimulator::try_new(cfg.clone(), wl)?;
+        gpu.warm(wl, per_warp);
+        Ok(gpu)
+    }
 }
 
 /// One attempt at a job: build, arm faults/watchdog, warm, run. Every
@@ -292,9 +341,19 @@ fn env_path(var: &str) -> Option<String> {
 /// (workload/config mismatch, internal bug) — the caller catches both.
 /// On success, the job's retained telemetry rides along with the
 /// report.
+///
+/// `resume` carries the job's latest mid-run checkpoint between
+/// attempts: when `NUBA_CHECKPOINT_EVERY` is active (on by default
+/// under `NUBA_FULL`), the timed window runs in checkpointed chunks,
+/// and a retry restores the last good chunk instead of starting over.
 type JobOutput = (SimReport, Vec<TelemetryWindow>, Vec<TraceRecord>);
 
-fn execute_job(h: &Harness, job: &Job) -> Result<JobOutput, SimError> {
+fn execute_job(
+    h: &Harness,
+    job: &Job,
+    resume: &mut Option<Checkpoint>,
+) -> Result<JobOutput, SimError> {
+    let opts = HarnessOptions::get();
     let scale = job.scale.unwrap_or(h.scale);
     let seed = job.seed.unwrap_or(h.seed);
     let mut cfg = job.cfg.clone();
@@ -305,24 +364,52 @@ fn execute_job(h: &Harness, job: &Job) -> Result<JobOutput, SimError> {
     // `NUBA_TIMESERIES` / `NUBA_TRACE` switch telemetry on for every
     // job in the matrix without touching the binaries; jobs whose
     // config already enables a pillar keep their own knobs.
-    if env_path("NUBA_TIMESERIES").is_some() {
+    if opts.timeseries.is_some() {
         cfg.telemetry.window_cycles.get_or_insert(ENV_WINDOW_CYCLES);
     }
-    if env_path("NUBA_TRACE").is_some() && cfg.telemetry.trace_sample_period == 0 {
+    if opts.trace.is_some() && cfg.telemetry.trace_sample_period == 0 {
         cfg.telemetry.trace_sample_period = ENV_TRACE_PERIOD;
     }
     let wl = Workload::build(job.bench, scale, cfg.num_sms, seed);
-    let mut gpu = GpuSimulator::try_new(cfg, &wl)?;
-    if let Some(plan) = &job.faults {
-        gpu.set_fault_plan(plan);
-    }
-    if let Some(deadline) = job.deadline {
-        gpu.set_watchdog(Some(deadline));
-    }
+    let mut gpu = match resume.take() {
+        // Retry of a partially completed window: the checkpoint already
+        // carries the armed fault schedule and watchdog budget.
+        Some(ckpt) => GpuSimulator::restore(cfg.clone(), &wl, &ckpt)?,
+        None => {
+            let mut gpu = warmed_simulator(job.bench, &cfg, &wl, job.faults.is_none())?;
+            if let Some(plan) = &job.faults {
+                gpu.set_fault_plan(plan);
+            }
+            if let Some(deadline) = job.deadline {
+                gpu.set_watchdog(Some(deadline));
+            }
+            gpu
+        }
+    };
     if job.inject_panic {
         panic!("injected chaos panic (Job::with_injected_panic)");
     }
-    let report = gpu.warm_and_run(&wl, h.cycles)?;
+    // The timed window always ends at the same absolute cycle (warm-up
+    // and restore never advance the clock mid-chunk), so chunked and
+    // straight-through runs retire byte-identical reports.
+    let checkpointing = opts.checkpoint_every.filter(|_| job_retries() > 0);
+    let report = match checkpointing {
+        Some(every) => loop {
+            // The window ends at absolute cycle `h.cycles`: warm-up
+            // leaves the clock at 0 and a resume restores it mid-way.
+            let remaining = h.cycles.saturating_sub(gpu.cycle());
+            if remaining == 0 {
+                break gpu.report();
+            }
+            let chunk = remaining.min(every.max(1));
+            let r = gpu.run(chunk)?;
+            if remaining <= chunk {
+                break r;
+            }
+            *resume = Some(gpu.checkpoint(&wl));
+        },
+        None => gpu.run(h.cycles)?,
+    };
     let windows = gpu.telemetry().windows_vec();
     let trace = gpu.telemetry().trace_records().to_vec();
     Ok((report, windows, trace))
@@ -346,10 +433,14 @@ fn run_job(h: &Harness, job: &Job) -> JobResult {
     let retries = job_retries();
     let start = Instant::now();
     let mut attempts = 0u32;
+    // Latest mid-run checkpoint, carried across retry attempts so a
+    // late failure resumes from the last good chunk.
+    let mut resume: Option<Checkpoint> = None;
     let error = loop {
         attempts += 1;
-        let outcome =
-            std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| execute_job(h, job)));
+        let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            execute_job(h, job, &mut resume)
+        }));
         match outcome {
             Ok(Ok((report, windows, trace))) => {
                 let wall_seconds = start.elapsed().as_secs_f64();
@@ -448,14 +539,15 @@ pub fn render_trace(results: &[JobResult]) -> String {
 /// stderr rather than failing the run — observability must never take
 /// an otherwise-healthy matrix down.
 pub fn write_telemetry_outputs(results: &[JobResult]) {
-    if let Some(path) = env_path("NUBA_TIMESERIES") {
-        match std::fs::write(&path, render_timeseries(results)) {
+    let opts = HarnessOptions::get();
+    if let Some(path) = &opts.timeseries {
+        match std::fs::write(path, render_timeseries(results)) {
             Ok(()) => eprintln!("runner: wrote windowed telemetry to {path}"),
             Err(e) => eprintln!("runner: cannot write timeseries {path}: {e}"),
         }
     }
-    if let Some(path) = env_path("NUBA_TRACE") {
-        match std::fs::write(&path, render_trace(results)) {
+    if let Some(path) = &opts.trace {
+        match std::fs::write(path, render_trace(results)) {
             Ok(()) => eprintln!("runner: wrote lifecycle trace to {path}"),
             Err(e) => eprintln!("runner: cannot write trace {path}: {e}"),
         }

@@ -24,11 +24,10 @@ fn harness() -> Harness {
 fn matrix() -> Vec<Job> {
     let uba = GpuConfig::paper_baseline(ArchKind::MemSideUba);
     let nuba = GpuConfig::paper_baseline(ArchKind::Nuba);
-    let mut mig = GpuConfig::paper_baseline(ArchKind::Nuba);
-    mig.page_policy = PagePolicyKind::Migration;
-    mig.replication = ReplicationKind::None;
-    let mut prep = mig.clone();
-    prep.page_policy = PagePolicyKind::PageReplication;
+    let mig = GpuConfig::paper_baseline(ArchKind::Nuba)
+        .with_policy(PagePolicyKind::Migration)
+        .with_replication(ReplicationKind::None);
+    let prep = mig.clone().with_policy(PagePolicyKind::PageReplication);
 
     let mut jobs = Vec::new();
     for &b in &[BenchmarkId::Kmeans, BenchmarkId::Sgemm] {

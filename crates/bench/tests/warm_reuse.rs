@@ -1,0 +1,97 @@
+//! Warm-state reuse contract: the matrix runner may fork jobs from a
+//! cached post-warm checkpoint, and that must not change a single byte
+//! of any result — not across worker counts, not between a cold and a
+//! hot cache, and not against a fresh `SimSession` that never touched
+//! the cache at all.
+
+use nuba_bench::runner::{reset_warm_cache, run_matrix_with, Job};
+use nuba_bench::Harness;
+use nuba_types::{ArchKind, GpuConfig, PagePolicyKind, ReplicationKind};
+use nuba_workloads::{BenchmarkId, ScaleProfile};
+
+fn harness() -> Harness {
+    Harness {
+        cycles: 1200,
+        scale: ScaleProfile::fast(),
+        seed: 42,
+    }
+}
+
+/// A matrix with deliberate (bench, config, warm-depth) duplicates so
+/// the warm cache is actually exercised, plus distinct configurations
+/// to prove keys do not collide.
+fn matrix() -> Vec<Job> {
+    let nuba = GpuConfig::paper_baseline(ArchKind::Nuba);
+    let uba = GpuConfig::paper_baseline(ArchKind::MemSideUba);
+    let mig = GpuConfig::paper_baseline(ArchKind::Nuba)
+        .with_policy(PagePolicyKind::Migration)
+        .with_replication(ReplicationKind::None);
+    vec![
+        Job::new("nuba/0", BenchmarkId::Kmeans, nuba.clone()),
+        Job::new("nuba/1", BenchmarkId::Kmeans, nuba.clone()),
+        Job::new("nuba/sgemm", BenchmarkId::Sgemm, nuba.clone()),
+        Job::new("uba/0", BenchmarkId::Kmeans, uba.clone()),
+        Job::new("uba/1", BenchmarkId::Kmeans, uba),
+        Job::new("mig/0", BenchmarkId::Kmeans, mig.clone()),
+        Job::new("mig/1", BenchmarkId::Kmeans, mig),
+        Job::new("nuba/seeded", BenchmarkId::Kmeans, nuba).with_seed(54),
+    ]
+}
+
+#[test]
+fn warm_reuse_is_byte_identical_across_worker_counts_and_cache_state() {
+    let h = harness();
+    let jobs = matrix();
+
+    reset_warm_cache();
+    let serial = run_matrix_with(&h, &jobs, 1);
+    reset_warm_cache();
+    let parallel = run_matrix_with(&h, &jobs, 4);
+    // Third pass with the cache already hot: every cacheable job now
+    // restores from a checkpoint instead of warming from scratch.
+    let hot = run_matrix_with(&h, &jobs, 4);
+
+    for ((s, p), job) in serial.iter().zip(&parallel).zip(&jobs) {
+        assert!(!s.failed(), "`{}` quarantined: {:?}", job.label, s.error);
+        assert_eq!(
+            s.report, p.report,
+            "job `{}` diverged between 1 and 4 workers under warm reuse",
+            job.label
+        );
+    }
+    for (p, hot) in parallel.iter().zip(&hot) {
+        assert_eq!(
+            p.report, hot.report,
+            "job `{}` diverged between a cold and a hot warm cache",
+            p.label
+        );
+    }
+}
+
+#[test]
+fn cached_warm_state_matches_a_fresh_session() {
+    let h = harness();
+    let jobs = matrix();
+
+    // Populate the cache, then run once more entirely from it.
+    reset_warm_cache();
+    run_matrix_with(&h, &jobs, 2);
+    let cached = run_matrix_with(&h, &jobs, 2);
+
+    // A fresh `SimSession` per job — builds its own simulator and warms
+    // from scratch, never consulting the runner's cache.
+    for (r, job) in cached.iter().zip(&jobs) {
+        let h = Harness {
+            seed: job.seed.unwrap_or(h.seed),
+            ..h
+        };
+        let fresh = h
+            .try_run_scaled(job.bench, job.cfg.clone(), job.scale.unwrap_or(h.scale))
+            .expect("forward progress");
+        assert_eq!(
+            r.report, fresh,
+            "job `{}`: cache-restored run diverged from a fresh session",
+            job.label
+        );
+    }
+}

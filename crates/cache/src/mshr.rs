@@ -143,6 +143,39 @@ impl<W> MshrFile<W> {
     }
 }
 
+impl<W: StateValue> SaveState for MshrFile<W> {
+    fn save(&self, w: &mut StateWriter) {
+        save_map(w, &self.entries);
+        self.peak_occupancy.put(w);
+        // The free pool is rebuilt on restore (its contents are recycled
+        // empties); only the outstanding entries and the peak travel.
+    }
+
+    fn restore(&mut self, r: &mut StateReader<'_>) -> Result<(), StateError> {
+        restore_map(r, &mut self.entries)?;
+        if self.entries.len() > self.max_entries {
+            return Err(StateError::LengthMismatch {
+                what: "MSHR entries exceed file size",
+                expected: self.max_entries,
+                found: self.entries.len(),
+            });
+        }
+        self.peak_occupancy = usize::get(r)?;
+        // Re-balance the recycled-vector pool so pool + live entries
+        // again cover the whole file, as in steady state.
+        let want_free = self.max_entries - self.entries.len();
+        self.free.truncate(want_free);
+        while self.free.len() < want_free {
+            self.free.push(Vec::with_capacity(self.max_merges));
+        }
+        Ok(())
+    }
+}
+
+use nuba_types::state::{
+    restore_map, save_map, SaveState, StateError, StateReader, StateValue, StateWriter,
+};
+
 #[cfg(test)]
 mod tests {
     use super::*;

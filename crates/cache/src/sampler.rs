@@ -136,6 +136,31 @@ impl SetSampler {
     }
 }
 
+impl SaveState for SetSampler {
+    fn save(&self, w: &mut StateWriter) {
+        self.shadow_no_rep.save(w);
+        self.shadow_full_rep.save(w);
+        self.hits_no_rep.put(w);
+        self.accesses_no_rep.put(w);
+        self.hits_full_rep.put(w);
+        self.accesses_full_rep.put(w);
+        self.now.put(w);
+    }
+
+    fn restore(&mut self, r: &mut StateReader<'_>) -> Result<(), StateError> {
+        self.shadow_no_rep.restore(r)?;
+        self.shadow_full_rep.restore(r)?;
+        self.hits_no_rep = u64::get(r)?;
+        self.accesses_no_rep = u64::get(r)?;
+        self.hits_full_rep = u64::get(r)?;
+        self.accesses_full_rep = u64::get(r)?;
+        self.now = u64::get(r)?;
+        Ok(())
+    }
+}
+
+use nuba_types::state::{SaveState, StateError, StateReader, StateValue, StateWriter};
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -221,6 +221,47 @@ impl TagArray {
     }
 }
 
+impl StateValue for Way {
+    fn put(&self, w: &mut StateWriter) {
+        self.valid.put(w);
+        self.line.put(w);
+        self.dirty.put(w);
+        self.replica.put(w);
+        self.last_use.put(w);
+    }
+
+    fn get(r: &mut StateReader<'_>) -> Result<Self, StateError> {
+        Ok(Way {
+            valid: bool::get(r)?,
+            line: LineAddr::get(r)?,
+            dirty: bool::get(r)?,
+            replica: bool::get(r)?,
+            last_use: u64::get(r)?,
+        })
+    }
+}
+
+impl SaveState for TagArray {
+    fn save(&self, w: &mut StateWriter) {
+        // Geometry and policy are configuration; ways, the recency stamp
+        // and the random-replacement state are the dynamic contents.
+        save_items(w, &self.ways);
+        self.stamp.put(w);
+        self.rng_state.put(w);
+    }
+
+    fn restore(&mut self, r: &mut StateReader<'_>) -> Result<(), StateError> {
+        restore_items(r, "TagArray ways", &mut self.ways)?;
+        self.stamp = u64::get(r)?;
+        self.rng_state = u64::get(r)?;
+        Ok(())
+    }
+}
+
+use nuba_types::state::{
+    restore_items, save_items, SaveState, StateError, StateReader, StateValue, StateWriter,
+};
+
 #[cfg(test)]
 mod tests {
     use super::*;

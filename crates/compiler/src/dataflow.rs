@@ -39,7 +39,8 @@ pub trait DataflowProblem {
     /// problems, the exit of every exiting block for backward ones.
     fn boundary_fact(&self) -> Self::Fact;
 
-    /// The lattice bottom ⊥ — the identity of [`join_into`] and the
+    /// The lattice bottom ⊥ — the identity of
+    /// [`join_into`](DataflowProblem::join_into) and the
     /// optimistic initial fact at all interior points.
     fn init_fact(&self) -> Self::Fact;
 

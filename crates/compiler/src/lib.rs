@@ -20,7 +20,7 @@
 //!   paper's "if a data structure is never written to within a kernel,
 //!   it is marked read-only".
 //! - [`analyze_kernel_flow`] is flow-sensitive, built on a generic
-//!   worklist dataflow framework ([`dataflow`], [`dominators`]): CFG
+//!   worklist dataflow framework ([`dataflow`], [`mod@dominators`]): CFG
 //!   edges whose guard predicate is provably constant-false are pruned,
 //!   pointer provenance is tracked per program point with strong
 //!   updates, and surviving stores are classified as guarded or

@@ -15,6 +15,7 @@
 
 use core::fmt;
 
+use nuba_types::state::StateError;
 use nuba_types::ConfigError;
 
 use crate::telemetry::TelemetryWindow;
@@ -27,6 +28,9 @@ pub enum SimError {
     NoForwardProgress(Box<DeadlockReport>),
     /// The configuration failed [`nuba_types::GpuConfig::validate`].
     InvalidConfig(ConfigError),
+    /// A checkpoint could not be decoded or did not match the
+    /// simulator it was being restored into.
+    Checkpoint(StateError),
 }
 
 impl fmt::Display for SimError {
@@ -34,6 +38,7 @@ impl fmt::Display for SimError {
         match self {
             SimError::NoForwardProgress(r) => write!(f, "no forward progress: {r}"),
             SimError::InvalidConfig(e) => write!(f, "{e}"),
+            SimError::Checkpoint(e) => write!(f, "checkpoint rejected: {e}"),
         }
     }
 }
@@ -43,6 +48,12 @@ impl std::error::Error for SimError {}
 impl From<ConfigError> for SimError {
     fn from(e: ConfigError) -> SimError {
         SimError::InvalidConfig(e)
+    }
+}
+
+impl From<StateError> for SimError {
+    fn from(e: StateError) -> SimError {
+        SimError::Checkpoint(e)
     }
 }
 

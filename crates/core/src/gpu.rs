@@ -123,6 +123,11 @@ impl GpuSimulator {
     /// Panics if the configuration is invalid or inconsistent with the
     /// workload (SM count, page size). Use
     /// [`try_new`](GpuSimulator::try_new) on untrusted configurations.
+    #[deprecated(
+        since = "0.6.0",
+        note = "panics on invalid configurations; build a `SimSession` \
+                (crate::session) or call `GpuSimulator::try_new` instead"
+    )]
     pub fn new(cfg: GpuConfig, workload: &Workload) -> GpuSimulator {
         match GpuSimulator::try_new(cfg, workload) {
             Ok(gpu) => gpu,
@@ -548,12 +553,7 @@ impl GpuSimulator {
         workload: &Workload,
         cycles: u64,
     ) -> Result<SimReport, SimError> {
-        // Enough accesses to touch the whole scaled footprint a few
-        // times over: footprint/streams, bounded for simulation cost.
-        let streams =
-            (self.cfg.num_sms * self.cfg.sim_active_warps.min(self.cfg.warps_per_sm).max(1)) as u64;
-        let lines = workload.layout().total_pages * (self.cfg.page_bytes / 128);
-        let per_warp = (4 * lines / streams.max(1)).clamp(64, 4096) as usize;
+        let per_warp = crate::session::default_warm_accesses(&self.cfg, workload);
         self.warm(workload, per_warp);
         self.run(cycles)
     }
@@ -1497,3 +1497,227 @@ impl GpuSimulator {
         }
     }
 }
+
+impl<T: StateValue> StateValue for GwPkt<T> {
+    fn put(&self, w: &mut StateWriter) {
+        self.src.put(w);
+        self.dest.put(w);
+        self.item.put(w);
+    }
+
+    fn get(r: &mut StateReader<'_>) -> Result<Self, StateError> {
+        Ok(GwPkt {
+            src: usize::get(r)?,
+            dest: usize::get(r)?,
+            item: T::get(r)?,
+        })
+    }
+}
+
+impl StateValue for HalfPkt {
+    fn put(&self, w: &mut StateWriter) {
+        match self {
+            HalfPkt::Task(slice, task) => {
+                w.put_u8(0);
+                slice.put(w);
+                task.put(w);
+            }
+            HalfPkt::Fill(slice, line) => {
+                w.put_u8(1);
+                slice.put(w);
+                line.put(w);
+            }
+        }
+    }
+
+    fn get(r: &mut StateReader<'_>) -> Result<Self, StateError> {
+        let tag = r.get_u8()?;
+        match tag {
+            0 => Ok(HalfPkt::Task(StateValue::get(r)?, StateValue::get(r)?)),
+            1 => Ok(HalfPkt::Fill(StateValue::get(r)?, StateValue::get(r)?)),
+            _ => Err(StateError::BadTag {
+                what: "cross-half packet kind",
+                tag,
+            }),
+        }
+    }
+}
+
+impl SaveState for McState {
+    fn save(&self, w: &mut StateWriter) {
+        self.mc.save(w);
+        save_map(w, &self.pending_fills);
+        self.next_id.put(w);
+    }
+
+    fn restore(&mut self, r: &mut StateReader<'_>) -> Result<(), StateError> {
+        self.mc.restore(r)?;
+        restore_map(r, &mut self.pending_fills)?;
+        self.next_id = u64::get(r)?;
+        Ok(())
+    }
+}
+
+impl GpuSimulator {
+    /// Serialize every piece of dynamic state into `w`.
+    ///
+    /// Configuration (`cfg`, topology, address mapping, power/energy
+    /// models) and the per-cycle scratch buffers — which are drained
+    /// within every [`step`](GpuSimulator::step) — are deliberately
+    /// excluded: a restored simulator is rebuilt from the same
+    /// configuration first and then overwritten field by field.
+    pub(crate) fn save_state(&self, w: &mut StateWriter) {
+        self.driver.save(w);
+        self.mmu.save(w);
+        save_items(w, &self.sms);
+        save_items(w, &self.slices);
+        save_items(w, &self.mcs);
+        match &self.local_req {
+            Some(links) => {
+                w.put_u8(1);
+                save_items(w, links);
+            }
+            None => w.put_u8(0),
+        }
+        match &self.local_reply {
+            Some(links) => {
+                w.put_u8(1);
+                save_items(w, links);
+            }
+            None => w.put_u8(0),
+        }
+        self.inbound_reply_hold.len().put(w);
+        for q in &self.inbound_reply_hold {
+            q.put(w);
+        }
+        self.req_noc.save(w);
+        self.reply_noc.save(w);
+        match &self.half_links {
+            Some(links) => {
+                w.put_u8(1);
+                links[0].save(w);
+                links[1].save(w);
+            }
+            None => w.put_u8(0),
+        }
+        self.half_hold.put(w);
+        save_items(w, &self.gw_req);
+        save_items(w, &self.gw_reply);
+        self.gw_req_hold.len().put(w);
+        for q in &self.gw_req_hold {
+            q.put(w);
+        }
+        self.gw_reply_hold.len().put(w);
+        for q in &self.gw_reply_hold {
+            q.put(w);
+        }
+        match &self.tracker {
+            Some(t) => {
+                w.put_u8(1);
+                t.save(w);
+            }
+            None => w.put_u8(0),
+        }
+        self.faults.put(w);
+        self.watchdog_budget.put(w);
+        self.last_progress_cycle.put(w);
+        self.last_progress_signal.put(w);
+        self.cycle.put(w);
+        self.next_req_id.put(w);
+        self.dram_accesses.put(w);
+        self.migration_bytes.put(w);
+        self.telemetry.save(w);
+    }
+
+    /// Overwrite this simulator's dynamic state from `r`.
+    ///
+    /// `self` must have been built via [`try_new`](GpuSimulator::try_new)
+    /// with the same configuration and workload the state was saved
+    /// under; the session layer enforces this with config and workload
+    /// hashes before calling here.
+    pub(crate) fn restore_state(&mut self, r: &mut StateReader<'_>) -> Result<(), StateError> {
+        self.driver.restore(r)?;
+        self.mmu.restore(r)?;
+        restore_items(r, "SM array", &mut self.sms)?;
+        restore_items(r, "LLC slice array", &mut self.slices)?;
+        restore_items(r, "memory controller array", &mut self.mcs)?;
+        match (self.local_req.as_mut(), r.get_u8()?) {
+            (Some(links), 1) => restore_items(r, "local request links", links)?,
+            (None, 0) => {}
+            _ => return Err(StateError::Corrupt("local request link presence mismatch")),
+        }
+        match (self.local_reply.as_mut(), r.get_u8()?) {
+            (Some(links), 1) => restore_items(r, "local reply links", links)?,
+            (None, 0) => {}
+            _ => return Err(StateError::Corrupt("local reply link presence mismatch")),
+        }
+        let holds = usize::get(r)?;
+        if holds != self.inbound_reply_hold.len() {
+            return Err(StateError::LengthMismatch {
+                what: "inbound reply holds",
+                expected: self.inbound_reply_hold.len(),
+                found: holds,
+            });
+        }
+        for q in &mut self.inbound_reply_hold {
+            restore_deque(r, q)?;
+        }
+        self.req_noc.restore(r)?;
+        self.reply_noc.restore(r)?;
+        match (self.half_links.as_mut(), r.get_u8()?) {
+            (Some(links), 1) => {
+                links[0].restore(r)?;
+                links[1].restore(r)?;
+            }
+            (None, 0) => {}
+            _ => return Err(StateError::Corrupt("cross-half link presence mismatch")),
+        }
+        restore_vec(r, &mut self.half_hold)?;
+        restore_items(r, "gateway request links", &mut self.gw_req)?;
+        restore_items(r, "gateway reply links", &mut self.gw_reply)?;
+        let holds = usize::get(r)?;
+        if holds != self.gw_req_hold.len() {
+            return Err(StateError::LengthMismatch {
+                what: "gateway request holds",
+                expected: self.gw_req_hold.len(),
+                found: holds,
+            });
+        }
+        for q in &mut self.gw_req_hold {
+            restore_deque(r, q)?;
+        }
+        let holds = usize::get(r)?;
+        if holds != self.gw_reply_hold.len() {
+            return Err(StateError::LengthMismatch {
+                what: "gateway reply holds",
+                expected: self.gw_reply_hold.len(),
+                found: holds,
+            });
+        }
+        for q in &mut self.gw_reply_hold {
+            restore_deque(r, q)?;
+        }
+        match (self.tracker.as_mut(), r.get_u8()?) {
+            (Some(t), 1) => t.restore(r)?,
+            (None, 0) => {}
+            _ => return Err(StateError::Corrupt("page access tracker presence mismatch")),
+        }
+        self.faults = Option::get(r)?;
+        self.watchdog_budget = Option::get(r)?;
+        self.last_progress_cycle = u64::get(r)?;
+        self.last_progress_signal = u64::get(r)?;
+        self.cycle = u64::get(r)?;
+        self.next_req_id = u64::get(r)?;
+        self.dram_accesses = u64::get(r)?;
+        self.migration_bytes = u64::get(r)?;
+        self.telemetry.restore(r)?;
+        // Scratch buffers are drained within every step; leave them as
+        // try_new built them (empty, capacity pre-sized).
+        Ok(())
+    }
+}
+
+use nuba_types::state::{
+    restore_deque, restore_items, restore_map, restore_vec, save_items, save_map, SaveState,
+    StateError, StateReader, StateValue, StateWriter,
+};

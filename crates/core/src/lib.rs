@@ -8,28 +8,30 @@
 //! Uniform Bandwidth Architecture baselines and the MCM variants, all
 //! assembled from the workspace's substrate crates.
 //!
-//! The central type is [`GpuSimulator`]: give it a [`GpuConfig`]
-//! (architecture, resources, NoC bandwidth, page policy, replication
-//! policy) and a [`Workload`], step it, and
-//! read back a [`SimReport`] with the metrics every figure of the paper
-//! is built from.
+//! The documented entry point is [`SimSession`]: build it from a
+//! [`GpuConfig`] (architecture, resources, NoC bandwidth, page policy,
+//! replication policy) and a [`Workload`], warm it, run a timed
+//! window, and read back a [`SimReport`] with the metrics every figure
+//! of the paper is built from. Sessions also
+//! [`checkpoint`](SimSession::checkpoint) and
+//! [`resume`](SimSession::resume) —
+//! see the [`session`] module for the snapshot format and guarantees.
+//! [`GpuSimulator`] remains available underneath
+//! ([`SimSession::gpu_mut`]) for single-stepping and fault injection.
 //!
 //! ## Example
 //!
 //! ```
-//! use nuba_core::GpuSimulator;
+//! use nuba_core::SimSession;
 //! use nuba_types::{ArchKind, GpuConfig};
 //! use nuba_workloads::{BenchmarkId, ScaleProfile, Workload};
 //!
-//! let mut cfg = GpuConfig::paper_baseline(ArchKind::Nuba);
-//! cfg.num_sms = 8;
-//! cfg.num_llc_slices = 8;
-//! cfg.num_channels = 4;
-//! cfg.warps_per_sm = 8;
-//! cfg.page_fault_latency = 200; // keep the doc example short
+//! let cfg = GpuConfig::paper_baseline(ArchKind::Nuba)
+//!     .with_geometry(8, 8, 4, 8)
+//!     .with_page_fault_latency(200); // keep the doc example short
 //! let wl = Workload::build(BenchmarkId::Sgemm, ScaleProfile::fast(), 8, 1);
-//! let mut gpu = GpuSimulator::new(cfg, &wl);
-//! let report = gpu.run(5_000).expect("forward progress");
+//! let mut session = SimSession::builder(cfg, wl).build().expect("valid config");
+//! let report = session.run_window(5_000).expect("forward progress");
 //! assert!(report.warp_ops > 0);
 //! ```
 
@@ -40,6 +42,7 @@ pub mod gpu;
 pub mod llc;
 pub mod mdr;
 pub mod metrics;
+pub mod session;
 pub mod sm;
 pub mod telemetry;
 
@@ -50,6 +53,7 @@ pub use gpu::GpuSimulator;
 pub use llc::{LlcSlice, MemTask, Role, SliceParams, SliceStats};
 pub use mdr::{evaluate as mdr_evaluate, MdrBandwidths, MdrController, MdrEstimate, MdrProfile};
 pub use metrics::{BottleneckBreakdown, SimReport};
+pub use session::{default_warm_accesses, Checkpoint, SessionBuilder, SimSession};
 pub use sm::{Sm, SmParams, SmStats, StallReason};
 pub use telemetry::{Telemetry, TelemetryWindow, TraceRecord, WindowGauges, WindowTotals};
 

@@ -579,6 +579,139 @@ impl LlcSlice {
     }
 }
 
+impl StateValue for Role {
+    fn put(&self, w: &mut StateWriter) {
+        w.put_u8(match self {
+            Role::Home => 0,
+            Role::Replica => 1,
+        });
+    }
+
+    fn get(r: &mut StateReader<'_>) -> Result<Self, StateError> {
+        Ok(match r.get_u8()? {
+            0 => Role::Home,
+            1 => Role::Replica,
+            tag => return Err(StateError::BadTag { what: "Role", tag }),
+        })
+    }
+}
+
+impl StateValue for SliceReq {
+    fn put(&self, w: &mut StateWriter) {
+        self.req.put(w);
+        self.role.put(w);
+    }
+
+    fn get(r: &mut StateReader<'_>) -> Result<Self, StateError> {
+        Ok(SliceReq {
+            req: StateValue::get(r)?,
+            role: StateValue::get(r)?,
+        })
+    }
+}
+
+impl StateValue for MemTask {
+    fn put(&self, w: &mut StateWriter) {
+        match self {
+            MemTask::Fetch(l) => {
+                w.put_u8(0);
+                l.put(w);
+            }
+            MemTask::Writeback(l) => {
+                w.put_u8(1);
+                l.put(w);
+            }
+        }
+    }
+
+    fn get(r: &mut StateReader<'_>) -> Result<Self, StateError> {
+        Ok(match r.get_u8()? {
+            0 => MemTask::Fetch(StateValue::get(r)?),
+            1 => MemTask::Writeback(StateValue::get(r)?),
+            tag => {
+                return Err(StateError::BadTag {
+                    what: "MemTask",
+                    tag,
+                })
+            }
+        })
+    }
+}
+
+impl SaveState for LlcSlice {
+    fn save(&self, w: &mut StateWriter) {
+        // Geometry, latency, queue capacities and the replication policy
+        // are configuration. Everything that moves — tags, MSHRs, the
+        // arbiter pointer, every queue, the MDR epoch state and the
+        // fault-injection offline flag — is dynamic state.
+        self.tags.save(w);
+        self.mshr.save(w);
+        self.lmr.save(w);
+        self.rmr.save(w);
+        self.hold_local.put(w);
+        self.hold_remote.put(w);
+        self.retry.put(w);
+        self.last_grant.put(w);
+        self.arb.save(w);
+        self.pipe.save(w);
+        self.out.save(w);
+        self.ready_replies.put(w);
+        self.backlog.put(w);
+        self.forward.put(w);
+        self.mem_tasks.put(w);
+        match &self.mdr {
+            Some(m) => {
+                w.put_u8(1);
+                m.save(w);
+            }
+            None => w.put_u8(0),
+        }
+        self.sampler.save(w);
+        self.offline.put(w);
+        self.stats.accesses.put(w);
+        self.stats.hits.put(w);
+        self.stats.replica_fills.put(w);
+        self.stats.replica_hits.put(w);
+        self.stats.forwarded.put(w);
+    }
+
+    fn restore(&mut self, r: &mut StateReader<'_>) -> Result<(), StateError> {
+        self.tags.restore(r)?;
+        self.mshr.restore(r)?;
+        self.lmr.restore(r)?;
+        self.rmr.restore(r)?;
+        restore_deque(r, &mut self.hold_local)?;
+        restore_deque(r, &mut self.hold_remote)?;
+        self.retry = Option::get(r)?;
+        self.last_grant = Option::get(r)?;
+        self.arb.restore(r)?;
+        self.pipe.restore(r)?;
+        self.out.restore(r)?;
+        restore_deque(r, &mut self.ready_replies)?;
+        restore_deque(r, &mut self.backlog)?;
+        restore_deque(r, &mut self.forward)?;
+        restore_deque(r, &mut self.mem_tasks)?;
+        let has_mdr = r.get_u8()?;
+        match (&mut self.mdr, has_mdr) {
+            (Some(m), 1) => m.restore(r)?,
+            (None, 0) => {}
+            _ => return Err(StateError::Corrupt("MDR controller presence mismatch")),
+        }
+        self.sampler.restore(r)?;
+        self.offline = bool::get(r)?;
+        self.stats.accesses = u64::get(r)?;
+        self.stats.hits = u64::get(r)?;
+        self.stats.replica_fills = u64::get(r)?;
+        self.stats.replica_hits = u64::get(r)?;
+        self.stats.forwarded = u64::get(r)?;
+        Ok(())
+    }
+}
+
+use nuba_types::state::{
+    restore_deque, SaveState, StateError, StateReader, StateValue, StateWriter,
+};
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -180,6 +180,33 @@ impl MdrController {
     }
 }
 
+impl SaveState for MdrController {
+    fn save(&self, w: &mut StateWriter) {
+        // Bandwidth constants and epoch/eval lengths are configuration;
+        // the epoch clock, current policy and profile counters are state.
+        self.next_epoch.put(w);
+        self.replicating.put(w);
+        self.busy_until.put(w);
+        self.local_requests.put(w);
+        self.remote_requests.put(w);
+        self.epochs_replicating.put(w);
+        self.epochs_total.put(w);
+    }
+
+    fn restore(&mut self, r: &mut StateReader<'_>) -> Result<(), StateError> {
+        self.next_epoch = u64::get(r)?;
+        self.replicating = bool::get(r)?;
+        self.busy_until = u64::get(r)?;
+        self.local_requests = u64::get(r)?;
+        self.remote_requests = u64::get(r)?;
+        self.epochs_replicating = u64::get(r)?;
+        self.epochs_total = u64::get(r)?;
+        Ok(())
+    }
+}
+
+use nuba_types::state::{SaveState, StateError, StateReader, StateValue, StateWriter};
+
 /// The paper-baseline bandwidth constants per slice: 32 B/cycle LLC,
 /// 8 B/cycle memory (16 B/cycle channel over 2 slices), and the NoC
 /// port bandwidth implied by the configured aggregate.

@@ -393,6 +393,113 @@ impl Sm {
     }
 }
 
+impl StateValue for WarpState {
+    fn put(&self, w: &mut StateWriter) {
+        match self {
+            WarpState::Ready => w.put_u8(0),
+            WarpState::Compute(until) => {
+                w.put_u8(1);
+                until.put(w);
+            }
+            WarpState::WaitTranslation => w.put_u8(2),
+            WarpState::WaitMem => w.put_u8(3),
+        }
+    }
+
+    fn get(r: &mut StateReader<'_>) -> Result<Self, StateError> {
+        Ok(match r.get_u8()? {
+            0 => WarpState::Ready,
+            1 => WarpState::Compute(u64::get(r)?),
+            2 => WarpState::WaitTranslation,
+            3 => WarpState::WaitMem,
+            tag => {
+                return Err(StateError::BadTag {
+                    what: "WarpState",
+                    tag,
+                })
+            }
+        })
+    }
+}
+
+impl SaveState for WarpCtx {
+    fn save(&self, w: &mut StateWriter) {
+        self.stream.save(w);
+        self.state.put(w);
+        self.outstanding.put(w);
+        self.pending.put(w);
+    }
+
+    fn restore(&mut self, r: &mut StateReader<'_>) -> Result<(), StateError> {
+        self.stream.restore(r)?;
+        self.state = WarpState::get(r)?;
+        self.outstanding = u32::get(r)?;
+        self.pending = Option::get(r)?;
+        Ok(())
+    }
+}
+
+impl SaveState for Sm {
+    fn save(&self, w: &mut StateWriter) {
+        // Params and id are configuration; warp contexts, caches, scan
+        // cursors and counters are the dynamic state.
+        save_items(w, &self.warps);
+        self.l1.save(w);
+        self.l1_mshr.save(w);
+        self.outstanding.put(w);
+        self.next_warp.put(w);
+        self.scanned.put(w);
+        save_map(w, &self.translation_waiters);
+        self.stats.completed_ops.put(w);
+        self.stats.l1_hits.put(w);
+        self.stats.issued_requests.put(w);
+        self.stats.read_replies.put(w);
+        self.stats.local_replies.put(w);
+        self.stats.remote_replies.put(w);
+        self.stats.stall_downstream.put(w);
+        self.stats.stall_mshr.put(w);
+        self.stats.stall_outstanding.put(w);
+        self.stats.l1_accesses.put(w);
+        self.stats.reply_latency_sum.put(w);
+        self.stats.reply_latency_max.put(w);
+    }
+
+    fn restore(&mut self, r: &mut StateReader<'_>) -> Result<(), StateError> {
+        restore_items(r, "SM warp contexts", &mut self.warps)?;
+        self.l1.restore(r)?;
+        self.l1_mshr.restore(r)?;
+        self.outstanding = usize::get(r)?;
+        let next_warp = usize::get(r)?;
+        if next_warp >= self.warps.len() {
+            return Err(StateError::Corrupt("warp selection pointer out of range"));
+        }
+        self.next_warp = next_warp;
+        self.scanned = usize::get(r)?;
+        restore_map(r, &mut self.translation_waiters)?;
+        // The recycled-vector pool is scratch: waiters popped from it are
+        // interchangeable empty vectors, so start it empty.
+        self.waiter_pool.clear();
+        self.stats.completed_ops = u64::get(r)?;
+        self.stats.l1_hits = u64::get(r)?;
+        self.stats.issued_requests = u64::get(r)?;
+        self.stats.read_replies = u64::get(r)?;
+        self.stats.local_replies = u64::get(r)?;
+        self.stats.remote_replies = u64::get(r)?;
+        self.stats.stall_downstream = u64::get(r)?;
+        self.stats.stall_mshr = u64::get(r)?;
+        self.stats.stall_outstanding = u64::get(r)?;
+        self.stats.l1_accesses = u64::get(r)?;
+        self.stats.reply_latency_sum = u64::get(r)?;
+        self.stats.reply_latency_max = u64::get(r)?;
+        Ok(())
+    }
+}
+
+use nuba_types::state::{
+    restore_items, restore_map, save_items, save_map, SaveState, StateError, StateReader,
+    StateValue, StateWriter,
+};
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -585,6 +585,217 @@ impl Telemetry {
     }
 }
 
+impl StateValue for TelemetryWindow {
+    fn put(&self, w: &mut StateWriter) {
+        for v in [
+            self.start_cycle,
+            self.end_cycle,
+            self.issued_requests,
+            self.retired_ops,
+            self.read_replies,
+            self.l1_accesses,
+            self.l1_hits,
+            self.stall_downstream,
+            self.stall_mshr,
+            self.stall_outstanding,
+            self.llc_accesses,
+            self.llc_hits,
+            self.lmr_queued,
+            self.rmr_queued,
+            self.slice_mshr_peak,
+            self.sm_mshr_peak,
+            self.dram_row_hits,
+            self.dram_row_accesses,
+            self.dram_bus_busy,
+            self.noc_bytes,
+            self.noc_peak_in_flight,
+            self.local_link_bytes,
+            self.local_link_busy,
+            self.local_link_rejects,
+            self.tlb_walks,
+            self.tlb_peak_outstanding,
+        ] {
+            v.put(w);
+        }
+    }
+
+    fn get(r: &mut StateReader<'_>) -> Result<Self, StateError> {
+        let mut v = [0u64; 26];
+        for slot in &mut v {
+            *slot = u64::get(r)?;
+        }
+        Ok(TelemetryWindow {
+            start_cycle: v[0],
+            end_cycle: v[1],
+            issued_requests: v[2],
+            retired_ops: v[3],
+            read_replies: v[4],
+            l1_accesses: v[5],
+            l1_hits: v[6],
+            stall_downstream: v[7],
+            stall_mshr: v[8],
+            stall_outstanding: v[9],
+            llc_accesses: v[10],
+            llc_hits: v[11],
+            lmr_queued: v[12],
+            rmr_queued: v[13],
+            slice_mshr_peak: v[14],
+            sm_mshr_peak: v[15],
+            dram_row_hits: v[16],
+            dram_row_accesses: v[17],
+            dram_bus_busy: v[18],
+            noc_bytes: v[19],
+            noc_peak_in_flight: v[20],
+            local_link_bytes: v[21],
+            local_link_busy: v[22],
+            local_link_rejects: v[23],
+            tlb_walks: v[24],
+            tlb_peak_outstanding: v[25],
+        })
+    }
+}
+
+impl StateValue for WindowTotals {
+    fn put(&self, w: &mut StateWriter) {
+        for v in [
+            self.issued_requests,
+            self.retired_ops,
+            self.read_replies,
+            self.l1_accesses,
+            self.l1_hits,
+            self.stall_downstream,
+            self.stall_mshr,
+            self.stall_outstanding,
+            self.llc_accesses,
+            self.llc_hits,
+            self.dram_row_hits,
+            self.dram_row_accesses,
+            self.dram_bus_busy,
+            self.noc_bytes,
+            self.local_link_bytes,
+            self.local_link_busy,
+            self.local_link_rejects,
+            self.tlb_walks,
+        ] {
+            v.put(w);
+        }
+    }
+
+    fn get(r: &mut StateReader<'_>) -> Result<Self, StateError> {
+        let mut v = [0u64; 18];
+        for slot in &mut v {
+            *slot = u64::get(r)?;
+        }
+        Ok(WindowTotals {
+            issued_requests: v[0],
+            retired_ops: v[1],
+            read_replies: v[2],
+            l1_accesses: v[3],
+            l1_hits: v[4],
+            stall_downstream: v[5],
+            stall_mshr: v[6],
+            stall_outstanding: v[7],
+            llc_accesses: v[8],
+            llc_hits: v[9],
+            dram_row_hits: v[10],
+            dram_row_accesses: v[11],
+            dram_bus_busy: v[12],
+            noc_bytes: v[13],
+            local_link_bytes: v[14],
+            local_link_busy: v[15],
+            local_link_rejects: v[16],
+            tlb_walks: v[17],
+        })
+    }
+}
+
+impl StateValue for TraceRecord {
+    fn put(&self, w: &mut StateWriter) {
+        self.id.put(w);
+        self.sm.put(w);
+        self.warp.put(w);
+        self.line.put(w);
+        self.issue_cycle.put(w);
+        self.slice_enqueue.put(w);
+        self.slice_grant.put(w);
+        self.dram_enqueue.put(w);
+        self.reply_cycle.put(w);
+    }
+
+    fn get(r: &mut StateReader<'_>) -> Result<Self, StateError> {
+        Ok(TraceRecord {
+            id: StateValue::get(r)?,
+            sm: StateValue::get(r)?,
+            warp: StateValue::get(r)?,
+            line: StateValue::get(r)?,
+            issue_cycle: StateValue::get(r)?,
+            slice_enqueue: StateValue::get(r)?,
+            slice_grant: StateValue::get(r)?,
+            dram_enqueue: StateValue::get(r)?,
+            reply_cycle: StateValue::get(r)?,
+        })
+    }
+}
+
+impl SaveState for Telemetry {
+    fn save(&self, w: &mut StateWriter) {
+        // Window length, ring capacity, sample period and trace capacity
+        // are configuration; the ring contents, cursors, previous-flush
+        // snapshot and sampled-request tables are state.
+        save_items(w, &self.ring);
+        self.head.put(w);
+        self.len.put(w);
+        self.prev.put(w);
+        self.window_start.put(w);
+        self.inflight.put(w);
+        self.done.put(w);
+        self.dropped.put(w);
+    }
+
+    fn restore(&mut self, r: &mut StateReader<'_>) -> Result<(), StateError> {
+        restore_items(r, "telemetry ring", &mut self.ring)?;
+        let head = usize::get(r)?;
+        if self.ring_cap > 0 && head >= self.ring_cap || self.ring_cap == 0 && head != 0 {
+            return Err(StateError::Corrupt("telemetry ring head out of range"));
+        }
+        self.head = head;
+        let len = usize::get(r)?;
+        if len > self.ring_cap {
+            return Err(StateError::LengthMismatch {
+                what: "telemetry ring fill",
+                expected: self.ring_cap,
+                found: len,
+            });
+        }
+        self.len = len;
+        self.prev = WindowTotals::get(r)?;
+        self.window_start = u64::get(r)?;
+        restore_vec(r, &mut self.inflight)?;
+        if self.inflight.len() > INFLIGHT_CAP {
+            return Err(StateError::LengthMismatch {
+                what: "telemetry in-flight trace table",
+                expected: INFLIGHT_CAP,
+                found: self.inflight.len(),
+            });
+        }
+        restore_vec(r, &mut self.done)?;
+        if self.done.len() > self.done_cap {
+            return Err(StateError::LengthMismatch {
+                what: "telemetry completed trace table",
+                expected: self.done_cap,
+                found: self.done.len(),
+            });
+        }
+        self.dropped = u64::get(r)?;
+        Ok(())
+    }
+}
+
+use nuba_types::state::{
+    restore_items, restore_vec, save_items, SaveState, StateError, StateReader, StateValue,
+    StateWriter,
+};
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -18,7 +18,7 @@ fn tiny(arch: ArchKind) -> GpuConfig {
 
 fn run(cfg: GpuConfig, bench: BenchmarkId, cycles: u64) -> (GpuSimulator, nuba_core::SimReport) {
     let wl = Workload::build(bench, ScaleProfile::fast(), cfg.num_sms, 5);
-    let mut gpu = GpuSimulator::new(cfg, &wl);
+    let mut gpu = GpuSimulator::try_new(cfg, &wl).expect("valid config");
     let r = gpu.warm_and_run(&wl, cycles).expect("forward progress");
     (gpu, r)
 }
@@ -93,7 +93,7 @@ fn slice_totals_match_report() {
 fn report_is_cumulative_and_monotonic() {
     let cfg = tiny(ArchKind::Nuba);
     let wl = Workload::build(BenchmarkId::Kmeans, ScaleProfile::fast(), cfg.num_sms, 5);
-    let mut gpu = GpuSimulator::new(cfg, &wl);
+    let mut gpu = GpuSimulator::try_new(cfg, &wl).expect("valid config");
     gpu.warm(&wl, 64);
     let r1 = gpu.run(3_000).expect("forward progress");
     let r2 = gpu.run(3_000).expect("forward progress");

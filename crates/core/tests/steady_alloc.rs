@@ -81,7 +81,7 @@ fn steady_state_gpu(arch: ArchKind) -> GpuSimulator {
     cfg.telemetry.window_cycles = Some(256);
     cfg.telemetry.trace_sample_period = 64;
     let wl = Workload::build(BenchmarkId::Sgemm, ScaleProfile::fast(), cfg.num_sms, 42);
-    let mut gpu = GpuSimulator::new(cfg, &wl);
+    let mut gpu = GpuSimulator::try_new(cfg, &wl).expect("valid config");
     gpu.warm(&wl, 256);
     // Reach steady state: first touches fault every working-set page in
     // and every queue/pool/table grows to its stable capacity.

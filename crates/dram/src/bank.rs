@@ -123,6 +123,26 @@ pub struct ScheduledAccess {
     pub act_at: Option<u64>,
 }
 
+impl StateValue for BankState {
+    fn put(&self, w: &mut StateWriter) {
+        self.open_row.put(w);
+        self.act_ready.put(w);
+        self.col_ready.put(w);
+        self.pre_ready.put(w);
+    }
+
+    fn get(r: &mut StateReader<'_>) -> Result<Self, StateError> {
+        Ok(BankState {
+            open_row: Option::<u64>::get(r)?,
+            act_ready: u64::get(r)?,
+            col_ready: u64::get(r)?,
+            pre_ready: u64::get(r)?,
+        })
+    }
+}
+
+use nuba_types::state::{StateError, StateReader, StateValue, StateWriter};
+
 #[cfg(test)]
 mod tests {
     use super::*;

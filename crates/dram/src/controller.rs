@@ -273,6 +273,95 @@ impl MemoryController {
     }
 }
 
+impl StateValue for DramRequest {
+    fn put(&self, w: &mut StateWriter) {
+        self.id.put(w);
+        self.bank.put(w);
+        self.row.put(w);
+        self.is_write.put(w);
+    }
+
+    fn get(r: &mut StateReader<'_>) -> Result<Self, StateError> {
+        Ok(DramRequest {
+            id: u64::get(r)?,
+            bank: usize::get(r)?,
+            row: u64::get(r)?,
+            is_write: bool::get(r)?,
+        })
+    }
+}
+
+impl StateValue for DramStats {
+    fn put(&self, w: &mut StateWriter) {
+        self.row_hits.put(w);
+        self.row_closed.put(w);
+        self.row_conflicts.put(w);
+        self.completed.put(w);
+        self.bus_busy_cycles.put(w);
+        self.rejected.put(w);
+        self.refreshes.put(w);
+    }
+
+    fn get(r: &mut StateReader<'_>) -> Result<Self, StateError> {
+        Ok(DramStats {
+            row_hits: u64::get(r)?,
+            row_closed: u64::get(r)?,
+            row_conflicts: u64::get(r)?,
+            completed: u64::get(r)?,
+            bus_busy_cycles: u64::get(r)?,
+            rejected: u64::get(r)?,
+            refreshes: u64::get(r)?,
+        })
+    }
+}
+
+impl SaveState for MemoryController {
+    fn save(&self, w: &mut StateWriter) {
+        save_items(w, &self.banks);
+        self.queue.put(w);
+        // In-flight completion order matters: retirement uses swap_remove,
+        // so the vector's exact element order must round-trip.
+        self.inflight.put(w);
+        self.bus_free_at.put(w);
+        self.act_times.put(w);
+        self.last_act.put(w);
+        self.last_write_end.put(w);
+        self.next_refresh.put(w);
+        self.fault_stretch.put(w);
+        self.stats.put(w);
+    }
+
+    fn restore(&mut self, r: &mut StateReader<'_>) -> Result<(), StateError> {
+        restore_items(r, "DRAM banks", &mut self.banks)?;
+        let n = usize::get(r)?;
+        self.queue.clear();
+        for _ in 0..n {
+            self.queue.push_back(DramRequest::get(r)?);
+        }
+        let n = usize::get(r)?;
+        self.inflight.clear();
+        for _ in 0..n {
+            self.inflight.push(<(u64, DramRequest)>::get(r)?);
+        }
+        self.bus_free_at = u64::get(r)?;
+        let n = usize::get(r)?;
+        self.act_times.clear();
+        for _ in 0..n {
+            self.act_times.push_back(u64::get(r)?);
+        }
+        self.last_act = Option::<u64>::get(r)?;
+        self.last_write_end = u64::get(r)?;
+        self.next_refresh = u64::get(r)?;
+        self.fault_stretch = u64::get(r)?;
+        self.stats = DramStats::get(r)?;
+        Ok(())
+    }
+}
+
+use nuba_types::state::{
+    restore_items, save_items, SaveState, StateError, StateReader, StateValue, StateWriter,
+};
+
 #[cfg(test)]
 mod tests {
     use super::*;

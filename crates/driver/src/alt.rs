@@ -159,6 +159,19 @@ impl PageAccessTracker {
     }
 }
 
+impl SaveState for PageAccessTracker {
+    fn save(&self, w: &mut StateWriter) {
+        self.since_last.put(w);
+    }
+
+    fn restore(&mut self, r: &mut StateReader<'_>) -> Result<(), StateError> {
+        self.since_last = u64::get(r)?;
+        Ok(())
+    }
+}
+
+use nuba_types::state::{SaveState, StateError, StateReader, StateValue, StateWriter};
+
 #[cfg(test)]
 mod tests {
     use super::*;

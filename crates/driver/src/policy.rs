@@ -167,6 +167,43 @@ impl GpuDriver {
     }
 }
 
+impl SaveState for GpuDriver {
+    fn save(&self, w: &mut StateWriter) {
+        // Policy is configuration; the table, allocator counters and
+        // round-robin pointer are the dynamic state.
+        self.table.save(w);
+        self.pages_per_channel.put(w);
+        self.rr_next.put(w);
+        self.stats.local_allocations.put(w);
+        self.stats.remote_allocations.put(w);
+        self.stats.least_first_decisions.put(w);
+        self.stats.migrations.put(w);
+        self.stats.replications.put(w);
+    }
+
+    fn restore(&mut self, r: &mut StateReader<'_>) -> Result<(), StateError> {
+        self.table.restore(r)?;
+        let counts = Vec::<u64>::get(r)?;
+        if counts.len() != self.pages_per_channel.len() {
+            return Err(StateError::LengthMismatch {
+                what: "driver channel count",
+                expected: self.pages_per_channel.len(),
+                found: counts.len(),
+            });
+        }
+        self.pages_per_channel = counts;
+        self.rr_next = usize::get(r)?;
+        self.stats.local_allocations = u64::get(r)?;
+        self.stats.remote_allocations = u64::get(r)?;
+        self.stats.least_first_decisions = u64::get(r)?;
+        self.stats.migrations = u64::get(r)?;
+        self.stats.replications = u64::get(r)?;
+        Ok(())
+    }
+}
+
+use nuba_types::state::{SaveState, StateError, StateReader, StateValue, StateWriter};
+
 #[cfg(test)]
 mod tests {
     use super::*;

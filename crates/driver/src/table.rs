@@ -196,6 +196,73 @@ impl PageTable {
     }
 }
 
+impl StateValue for Translation {
+    fn put(&self, w: &mut StateWriter) {
+        self.channel.put(w);
+        self.frame.put(w);
+    }
+
+    fn get(r: &mut StateReader<'_>) -> Result<Self, StateError> {
+        Ok(Translation {
+            channel: ChannelId::get(r)?,
+            frame: u64::get(r)?,
+        })
+    }
+}
+
+impl StateValue for PageEntry {
+    fn put(&self, w: &mut StateWriter) {
+        self.home.put(w);
+        self.first_toucher.put(w);
+        // u128 splits into two u64 halves (the writer is 64-bit native).
+        ((self.accessors >> 64) as u64).put(w);
+        (self.accessors as u64).put(w);
+        self.accesses.put(w);
+        self.recent_by_partition.put(w);
+        self.replicas.put(w);
+    }
+
+    fn get(r: &mut StateReader<'_>) -> Result<Self, StateError> {
+        let home = Translation::get(r)?;
+        let first_toucher = SmId::get(r)?;
+        let hi = u64::get(r)?;
+        let lo = u64::get(r)?;
+        Ok(PageEntry {
+            home,
+            first_toucher,
+            accessors: (u128::from(hi) << 64) | u128::from(lo),
+            accesses: u64::get(r)?,
+            recent_by_partition: Vec::<u32>::get(r)?,
+            replicas: Vec::<(PartitionId, Translation)>::get(r)?,
+        })
+    }
+}
+
+impl SaveState for PageTable {
+    fn save(&self, w: &mut StateWriter) {
+        save_map(w, &self.entries);
+        self.next_frame.put(w);
+    }
+
+    fn restore(&mut self, r: &mut StateReader<'_>) -> Result<(), StateError> {
+        restore_map(r, &mut self.entries)?;
+        let next_frame = Vec::<u64>::get(r)?;
+        if next_frame.len() != self.next_frame.len() {
+            return Err(StateError::LengthMismatch {
+                what: "page-table channel count",
+                expected: self.next_frame.len(),
+                found: next_frame.len(),
+            });
+        }
+        self.next_frame = next_frame;
+        Ok(())
+    }
+}
+
+use nuba_types::state::{
+    restore_map, save_map, SaveState, StateError, StateReader, StateValue, StateWriter,
+};
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -42,6 +42,24 @@ impl RoundRobinArbiter {
     }
 }
 
+impl SaveState for RoundRobinArbiter {
+    fn save(&self, w: &mut StateWriter) {
+        // `n` is configuration; only the rotating pointer is state.
+        self.next.put(w);
+    }
+
+    fn restore(&mut self, r: &mut StateReader<'_>) -> Result<(), StateError> {
+        let next = usize::get(r)?;
+        if next >= self.n {
+            return Err(StateError::Corrupt("arbiter pointer out of range"));
+        }
+        self.next = next;
+        Ok(())
+    }
+}
+
+use nuba_types::state::{SaveState, StateError, StateReader, StateValue, StateWriter};
+
 #[cfg(test)]
 mod tests {
     use super::*;

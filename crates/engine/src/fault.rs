@@ -282,6 +282,133 @@ impl FaultSchedule {
     }
 }
 
+impl StateValue for LinkSite {
+    fn put(&self, w: &mut StateWriter) {
+        match *self {
+            LinkSite::LocalReq(i) => {
+                w.put_u8(0);
+                i.put(w);
+            }
+            LinkSite::LocalReply(i) => {
+                w.put_u8(1);
+                i.put(w);
+            }
+            LinkSite::NocReqPort(i) => {
+                w.put_u8(2);
+                i.put(w);
+            }
+            LinkSite::NocReplyPort(i) => {
+                w.put_u8(3);
+                i.put(w);
+            }
+        }
+    }
+
+    fn get(r: &mut StateReader<'_>) -> Result<Self, StateError> {
+        let tag = r.get_u8()?;
+        let i = usize::get(r)?;
+        Ok(match tag {
+            0 => LinkSite::LocalReq(i),
+            1 => LinkSite::LocalReply(i),
+            2 => LinkSite::NocReqPort(i),
+            3 => LinkSite::NocReplyPort(i),
+            t => {
+                return Err(StateError::BadTag {
+                    what: "LinkSite",
+                    tag: t,
+                })
+            }
+        })
+    }
+}
+
+impl StateValue for Fault {
+    fn put(&self, w: &mut StateWriter) {
+        match *self {
+            Fault::LinkDerate { site, factor } => {
+                w.put_u8(0);
+                site.put(w);
+                factor.put(w);
+            }
+            Fault::DramStretch {
+                channel,
+                extra_cycles,
+            } => {
+                w.put_u8(1);
+                channel.put(w);
+                extra_cycles.put(w);
+            }
+            Fault::SliceOffline { slice } => {
+                w.put_u8(2);
+                slice.put(w);
+            }
+            Fault::TlbWalkerStall => w.put_u8(3),
+        }
+    }
+
+    fn get(r: &mut StateReader<'_>) -> Result<Self, StateError> {
+        Ok(match r.get_u8()? {
+            0 => Fault::LinkDerate {
+                site: LinkSite::get(r)?,
+                factor: f64::get(r)?,
+            },
+            1 => Fault::DramStretch {
+                channel: usize::get(r)?,
+                extra_cycles: u64::get(r)?,
+            },
+            2 => Fault::SliceOffline {
+                slice: usize::get(r)?,
+            },
+            3 => Fault::TlbWalkerStall,
+            t => {
+                return Err(StateError::BadTag {
+                    what: "Fault",
+                    tag: t,
+                })
+            }
+        })
+    }
+}
+
+impl StateValue for FaultEvent {
+    fn put(&self, w: &mut StateWriter) {
+        self.start.put(w);
+        self.end.put(w);
+        self.fault.put(w);
+    }
+
+    fn get(r: &mut StateReader<'_>) -> Result<Self, StateError> {
+        Ok(FaultEvent {
+            start: u64::get(r)?,
+            end: Option::<u64>::get(r)?,
+            fault: Fault::get(r)?,
+        })
+    }
+}
+
+impl StateValue for FaultSchedule {
+    fn put(&self, w: &mut StateWriter) {
+        // Edges are a pure, deterministic function of the events
+        // (`FaultPlan::compile` sorts stably), so only the events and
+        // the cursor travel; `get` recompiles.
+        self.events.put(w);
+        self.cursor.put(w);
+    }
+
+    fn get(r: &mut StateReader<'_>) -> Result<Self, StateError> {
+        let events = Vec::<FaultEvent>::get(r)?;
+        let cursor = usize::get(r)?;
+        let mut sched = FaultPlan { events }.compile();
+        if cursor > sched.edges.len() {
+            return Err(StateError::Corrupt("fault schedule cursor out of range"));
+        }
+        sched.cursor = cursor;
+        Ok(sched)
+    }
+}
+
+use nuba_types::state::{StateError, StateReader, StateValue, StateWriter};
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -176,6 +176,44 @@ impl<T: Wire> BandwidthLink<T> {
     }
 }
 
+impl<T: Wire + StateValue> SaveState for BandwidthLink<T> {
+    fn save(&self, w: &mut StateWriter) {
+        self.queue.put(w);
+        self.credit.put(w);
+        self.head_remaining.put(w);
+        self.inflight.put(w);
+        self.bytes_transferred.put(w);
+        self.busy_cycles.put(w);
+        self.rejects.put(w);
+        self.last_tick.put(w);
+        self.derate.put(w);
+    }
+
+    fn restore(&mut self, r: &mut StateReader<'_>) -> Result<(), StateError> {
+        // Refill the pre-sized rings in place so their capacity survives.
+        let n = usize::get(r)?;
+        self.queue.clear();
+        for _ in 0..n {
+            self.queue.push_back(T::get(r)?);
+        }
+        self.credit = f64::get(r)?;
+        self.head_remaining = u64::get(r)?;
+        let n = usize::get(r)?;
+        self.inflight.clear();
+        for _ in 0..n {
+            self.inflight.push_back(<(Cycle, T)>::get(r)?);
+        }
+        self.bytes_transferred = u64::get(r)?;
+        self.busy_cycles = u64::get(r)?;
+        self.rejects = u64::get(r)?;
+        self.last_tick = Option::<Cycle>::get(r)?;
+        self.derate = f64::get(r)?;
+        Ok(())
+    }
+}
+
+use nuba_types::state::{SaveState, StateError, StateReader, StateValue, StateWriter};
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -85,6 +85,23 @@ impl<T> Default for LatencyPipe<T> {
     }
 }
 
+impl<T: StateValue> SaveState for LatencyPipe<T> {
+    fn save(&self, w: &mut StateWriter) {
+        self.inflight.put(w);
+    }
+
+    fn restore(&mut self, r: &mut StateReader<'_>) -> Result<(), StateError> {
+        let n = usize::get(r)?;
+        self.inflight.clear();
+        for _ in 0..n {
+            self.inflight.push_back(<(Cycle, T)>::get(r)?);
+        }
+        Ok(())
+    }
+}
+
+use nuba_types::state::{SaveState, StateError, StateReader, StateValue, StateWriter};
+
 #[cfg(test)]
 mod tests {
     use super::*;

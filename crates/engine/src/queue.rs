@@ -109,6 +109,31 @@ impl<T> BoundedQueue<T> {
     }
 }
 
+impl<T: StateValue> SaveState for BoundedQueue<T> {
+    fn save(&self, w: &mut StateWriter) {
+        // Capacity is configuration, not state; only the contents travel.
+        self.items.put(w);
+    }
+
+    fn restore(&mut self, r: &mut StateReader<'_>) -> Result<(), StateError> {
+        let n = usize::get(r)?;
+        if n > self.capacity {
+            return Err(StateError::LengthMismatch {
+                what: "BoundedQueue contents exceed capacity",
+                expected: self.capacity,
+                found: n,
+            });
+        }
+        self.items.clear();
+        for _ in 0..n {
+            self.items.push_back(T::get(r)?);
+        }
+        Ok(())
+    }
+}
+
+use nuba_types::state::{SaveState, StateError, StateReader, StateValue, StateWriter};
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -61,6 +61,19 @@ impl DetRng {
     }
 }
 
+impl SaveState for DetRng {
+    fn save(&self, w: &mut StateWriter) {
+        self.state.put(w);
+    }
+
+    fn restore(&mut self, r: &mut StateReader<'_>) -> Result<(), StateError> {
+        self.state = u64::get(r)?;
+        Ok(())
+    }
+}
+
+use nuba_types::state::{SaveState, StateError, StateReader, StateValue, StateWriter};
+
 #[cfg(test)]
 mod tests {
     use super::*;

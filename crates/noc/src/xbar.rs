@@ -256,6 +256,88 @@ impl<T: Wire> CrossbarNoc<T> {
     }
 }
 
+impl<T: Wire + StateValue> StateValue for Routed<T> {
+    fn put(&self, w: &mut StateWriter) {
+        self.dest.put(w);
+        self.item.put(w);
+    }
+
+    fn get(r: &mut StateReader<'_>) -> Result<Self, StateError> {
+        Ok(Routed {
+            dest: usize::get(r)?,
+            item: T::get(r)?,
+        })
+    }
+}
+
+impl<T: Wire + StateValue> SaveState for CrossbarNoc<T> {
+    fn save(&self, w: &mut StateWriter) {
+        save_items(w, &self.inputs);
+        w.put_u32(self.staged.len() as u32);
+        for q in &self.staged {
+            q.put(w);
+        }
+        save_items(w, &self.outputs);
+        w.put_u32(self.delivered.len() as u32);
+        for q in &self.delivered {
+            q.put(w);
+        }
+        self.rr_start.put(w);
+        self.stats.injected.put(w);
+        self.stats.packets.put(w);
+        self.stats.bytes.put(w);
+        self.stats.inject_stalls.put(w);
+        self.peak_in_flight.put(w);
+        // `scratch` is drained within every tick; nothing to save.
+    }
+
+    fn restore(&mut self, r: &mut StateReader<'_>) -> Result<(), StateError> {
+        restore_items(r, "crossbar input links", &mut self.inputs)?;
+        let n = r.get_u32()? as usize;
+        if n != self.staged.len() {
+            return Err(StateError::LengthMismatch {
+                what: "crossbar stage buffers",
+                expected: self.staged.len(),
+                found: n,
+            });
+        }
+        for q in self.staged.iter_mut() {
+            let len = usize::get(r)?;
+            q.clear();
+            for _ in 0..len {
+                q.push_back(Routed::get(r)?);
+            }
+        }
+        restore_items(r, "crossbar output links", &mut self.outputs)?;
+        let n = r.get_u32()? as usize;
+        if n != self.delivered.len() {
+            return Err(StateError::LengthMismatch {
+                what: "crossbar delivery buffers",
+                expected: self.delivered.len(),
+                found: n,
+            });
+        }
+        for q in self.delivered.iter_mut() {
+            let len = usize::get(r)?;
+            q.clear();
+            for _ in 0..len {
+                q.push_back(T::get(r)?);
+            }
+        }
+        self.rr_start = usize::get(r)?;
+        self.stats.injected = u64::get(r)?;
+        self.stats.packets = u64::get(r)?;
+        self.stats.bytes = u64::get(r)?;
+        self.stats.inject_stalls = u64::get(r)?;
+        self.peak_in_flight = u64::get(r)?;
+        Ok(())
+    }
+}
+
+use nuba_types::state::{
+    restore_items, save_items, SaveState, StateError, StateReader, StateValue, StateWriter,
+};
+
 impl<T: Wire> std::fmt::Debug for CrossbarNoc<T> {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("CrossbarNoc")

@@ -343,6 +343,135 @@ impl TranslationEngine {
     }
 }
 
+impl StateValue for Stage {
+    fn put(&self, w: &mut StateWriter) {
+        match *self {
+            Stage::L2Queued => w.put_u8(0),
+            Stage::L2Access { done_at } => {
+                w.put_u8(1);
+                done_at.put(w);
+            }
+            Stage::WalkQueued => w.put_u8(2),
+            Stage::Walking { done_at } => {
+                w.put_u8(3);
+                done_at.put(w);
+            }
+        }
+    }
+
+    fn get(r: &mut StateReader<'_>) -> Result<Self, StateError> {
+        Ok(match r.get_u8()? {
+            0 => Stage::L2Queued,
+            1 => Stage::L2Access {
+                done_at: u64::get(r)?,
+            },
+            2 => Stage::WalkQueued,
+            3 => Stage::Walking {
+                done_at: u64::get(r)?,
+            },
+            t => {
+                return Err(StateError::BadTag {
+                    what: "Stage",
+                    tag: t,
+                })
+            }
+        })
+    }
+}
+
+impl StateValue for Outstanding {
+    fn put(&self, w: &mut StateWriter) {
+        self.waiters.put(w);
+        self.mapped.put(w);
+        self.stage.put(w);
+    }
+
+    fn get(r: &mut StateReader<'_>) -> Result<Self, StateError> {
+        Ok(Outstanding {
+            waiters: Vec::<SmId>::get(r)?,
+            mapped: bool::get(r)?,
+            stage: Stage::get(r)?,
+        })
+    }
+}
+
+impl StateValue for TlbStats {
+    fn put(&self, w: &mut StateWriter) {
+        self.l1_hits.put(w);
+        self.l1_misses.put(w);
+        self.l2_hits.put(w);
+        self.l2_misses.put(w);
+        self.walks.put(w);
+        self.faults.put(w);
+    }
+
+    fn get(r: &mut StateReader<'_>) -> Result<Self, StateError> {
+        Ok(TlbStats {
+            l1_hits: u64::get(r)?,
+            l1_misses: u64::get(r)?,
+            l2_hits: u64::get(r)?,
+            l2_misses: u64::get(r)?,
+            walks: u64::get(r)?,
+            faults: u64::get(r)?,
+        })
+    }
+}
+
+impl SaveState for TranslationEngine {
+    fn save(&self, w: &mut StateWriter) {
+        w.put_u32(self.l1.len() as u32);
+        for t in &self.l1 {
+            t.save(w);
+        }
+        self.l2.save(w);
+        save_map(w, &self.outstanding);
+        self.l2_queue.put(w);
+        self.walk_queue.put(w);
+        self.active_walks.put(w);
+        self.walker_stall.put(w);
+        self.peak_outstanding.put(w);
+        self.stats.put(w);
+        // `ready` is drained within each tick; the waiter pool is
+        // rebuilt empty (its contents are recycled scratch vectors).
+    }
+
+    fn restore(&mut self, r: &mut StateReader<'_>) -> Result<(), StateError> {
+        let n = r.get_u32()? as usize;
+        if n != self.l1.len() {
+            return Err(StateError::LengthMismatch {
+                what: "L1 TLB count",
+                expected: self.l1.len(),
+                found: n,
+            });
+        }
+        for t in self.l1.iter_mut() {
+            t.restore(r)?;
+        }
+        self.l2.restore(r)?;
+        restore_map(r, &mut self.outstanding)?;
+        let n = usize::get(r)?;
+        self.l2_queue.clear();
+        for _ in 0..n {
+            self.l2_queue.push_back(PageNum::get(r)?);
+        }
+        let n = usize::get(r)?;
+        self.walk_queue.clear();
+        for _ in 0..n {
+            self.walk_queue.push_back(PageNum::get(r)?);
+        }
+        self.active_walks = usize::get(r)?;
+        self.walker_stall = bool::get(r)?;
+        self.peak_outstanding = usize::get(r)?;
+        self.stats = TlbStats::get(r)?;
+        self.waiter_pool.clear();
+        Ok(())
+    }
+}
+
+use nuba_types::state::{
+    restore_map, save_map, SaveState, StateError, StateReader, StateValue, StateWriter,
+};
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -136,6 +136,43 @@ impl Tlb {
     }
 }
 
+impl StateValue for Entry {
+    fn put(&self, w: &mut StateWriter) {
+        self.valid.put(w);
+        self.vpage.put(w);
+        self.last_use.put(w);
+    }
+
+    fn get(r: &mut StateReader<'_>) -> Result<Self, StateError> {
+        Ok(Entry {
+            valid: bool::get(r)?,
+            vpage: PageNum::get(r)?,
+            last_use: u64::get(r)?,
+        })
+    }
+}
+
+impl SaveState for Tlb {
+    fn save(&self, w: &mut StateWriter) {
+        save_items(w, &self.entries);
+        self.stamp.put(w);
+        self.hits.put(w);
+        self.misses.put(w);
+    }
+
+    fn restore(&mut self, r: &mut StateReader<'_>) -> Result<(), StateError> {
+        restore_items(r, "TLB entries", &mut self.entries)?;
+        self.stamp = u64::get(r)?;
+        self.hits = u64::get(r)?;
+        self.misses = u64::get(r)?;
+        Ok(())
+    }
+}
+
+use nuba_types::state::{
+    restore_items, save_items, SaveState, StateError, StateReader, StateValue, StateWriter,
+};
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -444,6 +444,377 @@ impl GpuConfig {
         self
     }
 
+    /// Scale the machine down to `sms` SMs, `slices` LLC slices,
+    /// `channels` memory channels and `warps` warp contexts per SM
+    /// (builder style). Gate tests and doc examples use this to shrink
+    /// the Table 1 baseline while keeping every ratio-derived knob
+    /// consistent.
+    #[must_use]
+    pub fn with_geometry(
+        mut self,
+        sms: usize,
+        slices: usize,
+        channels: usize,
+        warps: usize,
+    ) -> GpuConfig {
+        self.num_sms = sms;
+        self.num_llc_slices = slices;
+        self.num_channels = channels;
+        self.warps_per_sm = warps;
+        self.sim_active_warps = self.sim_active_warps.min(warps);
+        self
+    }
+
+    /// Set the first-touch page-fault penalty in cycles (builder style).
+    #[must_use]
+    pub fn with_page_fault_latency(mut self, cycles: u64) -> GpuConfig {
+        self.page_fault_latency = cycles;
+        self
+    }
+
+    /// Set the windowed-telemetry / tracing knobs (builder style).
+    #[must_use]
+    pub fn with_telemetry(mut self, telemetry: TelemetryConfig) -> GpuConfig {
+        self.telemetry = telemetry;
+        self
+    }
+
+    /// Set the forward-progress watchdog budget (builder style);
+    /// `None` disables the watchdog.
+    #[must_use]
+    pub fn with_watchdog(mut self, cycles: Option<u64>) -> GpuConfig {
+        self.watchdog_cycles = cycles;
+        self
+    }
+
+    /// Set the LLC data-replication policy (builder style).
+    #[must_use]
+    pub fn with_replication(mut self, replication: ReplicationKind) -> GpuConfig {
+        self.replication = replication;
+        self
+    }
+
+    /// Set the driver page-allocation policy (builder style).
+    #[must_use]
+    pub fn with_policy(mut self, policy: PagePolicyKind) -> GpuConfig {
+        self.page_policy = policy;
+        self
+    }
+
+    /// Set the deterministic RNG seed (builder style).
+    #[must_use]
+    pub fn with_seed(mut self, seed: u64) -> GpuConfig {
+        self.seed = seed;
+        self
+    }
+
+    /// Set the page size in bytes (builder style).
+    #[must_use]
+    pub fn with_page_bytes(mut self, page_bytes: u64) -> GpuConfig {
+        self.page_bytes = page_bytes;
+        self
+    }
+
+    /// Set the physical address mapping policy (builder style).
+    #[must_use]
+    pub fn with_mapping(mut self, mapping: MappingKind) -> GpuConfig {
+        self.mapping = mapping;
+        self
+    }
+
+    /// Set periodic kernel boundaries (builder style); `None` simulates
+    /// one long kernel.
+    #[must_use]
+    pub fn with_kernel_boundaries(mut self, every: Option<u64>) -> GpuConfig {
+        self.kernel_boundary_cycles = every;
+        self
+    }
+
+    /// Enable or disable JEDEC-rate DRAM refresh (builder style).
+    #[must_use]
+    pub fn with_dram_refresh(mut self, refresh: bool) -> GpuConfig {
+        self.dram_refresh = refresh;
+        self
+    }
+
+    /// Set the MDR epoch parameters (builder style): epoch length,
+    /// evaluation cost and sampled sets per slice.
+    #[must_use]
+    pub fn with_mdr_epoch(mut self, epoch_cycles: u64) -> GpuConfig {
+        self.mdr_epoch_cycles = epoch_cycles;
+        self
+    }
+
+    /// Set the number of shadow-tag sets MDR samples per slice
+    /// (builder style).
+    #[must_use]
+    pub fn with_mdr_sample_sets(mut self, sets: usize) -> GpuConfig {
+        self.mdr_sample_sets = sets;
+        self
+    }
+
+    /// Set the LLC pipeline latency in cycles (builder style).
+    #[must_use]
+    pub fn with_llc_latency(mut self, cycles: u64) -> GpuConfig {
+        self.llc_latency = cycles;
+        self
+    }
+
+    /// Set the per-stage NoC traversal latency in cycles (builder
+    /// style).
+    #[must_use]
+    pub fn with_noc_stage_latency(mut self, cycles: u64) -> GpuConfig {
+        self.noc_stage_latency = cycles;
+        self
+    }
+
+    /// Set the per-partition local link bandwidth in bytes/cycle
+    /// (builder style).
+    #[must_use]
+    pub fn with_local_link_bandwidth(mut self, bytes_per_cycle: u64) -> GpuConfig {
+        self.local_link_bytes_per_cycle = bytes_per_cycle;
+        self
+    }
+
+    /// Set the number of LLC slices (builder style) — partition-shape
+    /// sweeps vary slices per memory channel at constant capacity.
+    #[must_use]
+    pub fn with_llc_slices(mut self, slices: usize) -> GpuConfig {
+        self.num_llc_slices = slices;
+        self
+    }
+
+    /// Set the total LLC capacity in bytes (builder style).
+    #[must_use]
+    pub fn with_llc_capacity(mut self, bytes: usize) -> GpuConfig {
+        self.llc_total_bytes = bytes;
+        self
+    }
+
+    /// Canonical identity hash of every configuration field, stable
+    /// across runs and platforms. Checkpoints embed it so a restore
+    /// against a different configuration is rejected instead of
+    /// silently misbehaving.
+    #[must_use]
+    pub fn state_hash(&self) -> u64 {
+        use crate::state::{SaveState, StateWriter};
+        let mut w = StateWriter::new();
+        self.save(&mut w);
+        crate::state::fnv1a(w.bytes())
+    }
+
+    /// Decode a configuration serialized by
+    /// [`SaveState::save`](crate::state::SaveState::save) (checkpoint
+    /// headers embed one so a resume does not have to re-specify every
+    /// knob).
+    ///
+    /// # Errors
+    /// [`crate::state::StateError`] on truncation or an unknown enum
+    /// discriminant.
+    pub fn from_state(
+        r: &mut crate::state::StateReader<'_>,
+    ) -> Result<GpuConfig, crate::state::StateError> {
+        use crate::state::{StateError, StateValue};
+        let arch = match r.get_u8()? {
+            0 => ArchKind::MemSideUba,
+            1 => ArchKind::SmSideUba,
+            2 => ArchKind::Nuba,
+            3 => ArchKind::McmUba,
+            4 => ArchKind::McmNuba,
+            tag => {
+                return Err(StateError::BadTag {
+                    what: "architecture kind",
+                    tag,
+                })
+            }
+        };
+        Ok(GpuConfig {
+            arch,
+            num_sms: StateValue::get(r)?,
+            num_llc_slices: StateValue::get(r)?,
+            num_channels: StateValue::get(r)?,
+            warps_per_sm: StateValue::get(r)?,
+            sim_active_warps: StateValue::get(r)?,
+            threads_per_warp: StateValue::get(r)?,
+            sm_max_outstanding: StateValue::get(r)?,
+            l1_bytes: StateValue::get(r)?,
+            l1_ways: StateValue::get(r)?,
+            l1_mshrs: StateValue::get(r)?,
+            l1_latency: StateValue::get(r)?,
+            llc_total_bytes: StateValue::get(r)?,
+            llc_ways: StateValue::get(r)?,
+            llc_latency: StateValue::get(r)?,
+            llc_mshrs: StateValue::get(r)?,
+            llc_bytes_per_cycle: StateValue::get(r)?,
+            page_bytes: StateValue::get(r)?,
+            l1_tlb_entries: StateValue::get(r)?,
+            l2_tlb_entries: StateValue::get(r)?,
+            l2_tlb_ways: StateValue::get(r)?,
+            l2_tlb_latency: StateValue::get(r)?,
+            page_walkers: StateValue::get(r)?,
+            walk_latency: StateValue::get(r)?,
+            page_fault_latency: StateValue::get(r)?,
+            noc_total_bytes_per_cycle: StateValue::get(r)?,
+            noc_stage_latency: StateValue::get(r)?,
+            noc_subxbars: StateValue::get(r)?,
+            local_link_bytes_per_cycle: StateValue::get(r)?,
+            dram_clock_divider: StateValue::get(r)?,
+            banks_per_channel: StateValue::get(r)?,
+            mc_queue_entries: StateValue::get(r)?,
+            dram_burst_bytes: StateValue::get(r)?,
+            dram_row_bytes: StateValue::get(r)?,
+            dram_refresh: StateValue::get(r)?,
+            mapping: match r.get_u8()? {
+                0 => MappingKind::FixedChannel,
+                1 => MappingKind::Pae,
+                tag => {
+                    return Err(StateError::BadTag {
+                        what: "address mapping kind",
+                        tag,
+                    })
+                }
+            },
+            page_policy: match r.get_u8()? {
+                0 => PagePolicyKind::FirstTouch,
+                1 => PagePolicyKind::RoundRobin,
+                2 => PagePolicyKind::Lab {
+                    threshold: StateValue::get(r)?,
+                },
+                3 => PagePolicyKind::Migration,
+                4 => PagePolicyKind::PageReplication,
+                tag => {
+                    return Err(StateError::BadTag {
+                        what: "page policy kind",
+                        tag,
+                    })
+                }
+            },
+            replication: match r.get_u8()? {
+                0 => ReplicationKind::None,
+                1 => ReplicationKind::Full,
+                2 => ReplicationKind::Mdr,
+                tag => {
+                    return Err(StateError::BadTag {
+                        what: "replication kind",
+                        tag,
+                    })
+                }
+            },
+            mdr_epoch_cycles: StateValue::get(r)?,
+            mdr_eval_cycles: StateValue::get(r)?,
+            mdr_sample_sets: StateValue::get(r)?,
+            kernel_boundary_cycles: StateValue::get(r)?,
+            watchdog_cycles: StateValue::get(r)?,
+            telemetry: TelemetryConfig {
+                window_cycles: StateValue::get(r)?,
+                ring_windows: StateValue::get(r)?,
+                trace_sample_period: StateValue::get(r)?,
+                trace_capacity: StateValue::get(r)?,
+            },
+            mcm: McmConfig {
+                num_modules: StateValue::get(r)?,
+                inter_module_bytes_per_cycle: StateValue::get(r)?,
+            },
+            noc_power: NocPowerParams {
+                ref_pj_per_byte: StateValue::get(r)?,
+                bw_energy_exponent: StateValue::get(r)?,
+                ref_static_watts: StateValue::get(r)?,
+            },
+            seed: StateValue::get(r)?,
+        })
+    }
+}
+
+impl crate::state::SaveState for GpuConfig {
+    fn save(&self, w: &mut crate::state::StateWriter) {
+        use crate::state::StateValue;
+        w.put_u8(match self.arch {
+            ArchKind::MemSideUba => 0,
+            ArchKind::SmSideUba => 1,
+            ArchKind::Nuba => 2,
+            ArchKind::McmUba => 3,
+            ArchKind::McmNuba => 4,
+        });
+        self.num_sms.put(w);
+        self.num_llc_slices.put(w);
+        self.num_channels.put(w);
+        self.warps_per_sm.put(w);
+        self.sim_active_warps.put(w);
+        self.threads_per_warp.put(w);
+        self.sm_max_outstanding.put(w);
+        self.l1_bytes.put(w);
+        self.l1_ways.put(w);
+        self.l1_mshrs.put(w);
+        self.l1_latency.put(w);
+        self.llc_total_bytes.put(w);
+        self.llc_ways.put(w);
+        self.llc_latency.put(w);
+        self.llc_mshrs.put(w);
+        self.llc_bytes_per_cycle.put(w);
+        self.page_bytes.put(w);
+        self.l1_tlb_entries.put(w);
+        self.l2_tlb_entries.put(w);
+        self.l2_tlb_ways.put(w);
+        self.l2_tlb_latency.put(w);
+        self.page_walkers.put(w);
+        self.walk_latency.put(w);
+        self.page_fault_latency.put(w);
+        self.noc_total_bytes_per_cycle.put(w);
+        self.noc_stage_latency.put(w);
+        self.noc_subxbars.put(w);
+        self.local_link_bytes_per_cycle.put(w);
+        self.dram_clock_divider.put(w);
+        self.banks_per_channel.put(w);
+        self.mc_queue_entries.put(w);
+        self.dram_burst_bytes.put(w);
+        self.dram_row_bytes.put(w);
+        self.dram_refresh.put(w);
+        w.put_u8(match self.mapping {
+            MappingKind::FixedChannel => 0,
+            MappingKind::Pae => 1,
+        });
+        match self.page_policy {
+            PagePolicyKind::FirstTouch => w.put_u8(0),
+            PagePolicyKind::RoundRobin => w.put_u8(1),
+            PagePolicyKind::Lab { threshold } => {
+                w.put_u8(2);
+                threshold.put(w);
+            }
+            PagePolicyKind::Migration => w.put_u8(3),
+            PagePolicyKind::PageReplication => w.put_u8(4),
+        }
+        w.put_u8(match self.replication {
+            ReplicationKind::None => 0,
+            ReplicationKind::Full => 1,
+            ReplicationKind::Mdr => 2,
+        });
+        self.mdr_epoch_cycles.put(w);
+        self.mdr_eval_cycles.put(w);
+        self.mdr_sample_sets.put(w);
+        self.kernel_boundary_cycles.put(w);
+        self.watchdog_cycles.put(w);
+        self.telemetry.window_cycles.put(w);
+        self.telemetry.ring_windows.put(w);
+        self.telemetry.trace_sample_period.put(w);
+        self.telemetry.trace_capacity.put(w);
+        self.mcm.num_modules.put(w);
+        self.mcm.inter_module_bytes_per_cycle.put(w);
+        self.noc_power.ref_pj_per_byte.put(w);
+        self.noc_power.bw_energy_exponent.put(w);
+        self.noc_power.ref_static_watts.put(w);
+        self.seed.put(w);
+    }
+
+    fn restore(
+        &mut self,
+        r: &mut crate::state::StateReader<'_>,
+    ) -> Result<(), crate::state::StateError> {
+        *self = GpuConfig::from_state(r)?;
+        Ok(())
+    }
+}
+
+impl GpuConfig {
     /// Aggregate NoC bandwidth expressed in TB/s.
     pub fn noc_tbs(&self) -> f64 {
         self.noc_total_bytes_per_cycle * 1.4e9 / 1e12
@@ -773,5 +1144,51 @@ mod tests {
     fn config_error_display() {
         let e = ConfigError("boom".into());
         assert_eq!(e.to_string(), "invalid gpu configuration: boom");
+    }
+
+    #[test]
+    fn builders_match_field_mutation() {
+        let built = GpuConfig::paper_baseline(ArchKind::Nuba)
+            .with_replication(ReplicationKind::None)
+            .with_policy(PagePolicyKind::RoundRobin)
+            .with_seed(7)
+            .with_page_bytes(2 << 20)
+            .with_mapping(MappingKind::Pae)
+            .with_kernel_boundaries(Some(10_000))
+            .with_dram_refresh(true)
+            .with_mdr_epoch(5_000);
+        let mut mutated = GpuConfig::paper_baseline(ArchKind::Nuba);
+        mutated.replication = ReplicationKind::None;
+        mutated.page_policy = PagePolicyKind::RoundRobin;
+        mutated.seed = 7;
+        mutated.page_bytes = 2 << 20;
+        mutated.mapping = MappingKind::Pae;
+        mutated.kernel_boundary_cycles = Some(10_000);
+        mutated.dram_refresh = true;
+        mutated.mdr_epoch_cycles = 5_000;
+        assert_eq!(built, mutated);
+    }
+
+    #[test]
+    fn state_hash_distinguishes_configs() {
+        let a = GpuConfig::paper_baseline(ArchKind::Nuba);
+        let b = a.clone();
+        assert_eq!(a.state_hash(), b.state_hash());
+        assert_ne!(a.state_hash(), b.clone().with_seed(a.seed + 1).state_hash());
+        assert_ne!(
+            a.state_hash(),
+            b.clone()
+                .with_replication(ReplicationKind::Full)
+                .state_hash()
+        );
+        assert_ne!(
+            a.state_hash(),
+            GpuConfig::paper_baseline(ArchKind::MemSideUba).state_hash()
+        );
+        assert_ne!(
+            a.state_hash(),
+            b.with_policy(PagePolicyKind::Lab { threshold: 0.8 })
+                .state_hash()
+        );
     }
 }

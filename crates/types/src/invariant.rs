@@ -60,6 +60,7 @@ impl Site {
                 .lock()
                 .expect("invariant registry poisoned")
                 .push(self);
+            apply_pending(self);
         }
         self.checks.fetch_add(1, Ordering::Relaxed);
         if !ok {
@@ -131,6 +132,66 @@ pub fn reset() {
         s.checks.store(0, Ordering::Relaxed);
         s.violations.store(0, Ordering::Relaxed);
     }
+    pending().lock().expect("pending seeds poisoned").clear();
+}
+
+/// A counter seed captured in a checkpoint, keyed by site identity.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SiteSeed {
+    /// Invariant name.
+    pub name: String,
+    /// Source file of the call site when the snapshot was taken.
+    pub file: String,
+    /// Source line of the call site.
+    pub line: u32,
+    /// Evaluations at snapshot time.
+    pub checks: u64,
+    /// Violations at snapshot time.
+    pub violations: u64,
+}
+
+fn pending() -> &'static Mutex<Vec<SiteSeed>> {
+    static PENDING: Mutex<Vec<SiteSeed>> = Mutex::new(Vec::new());
+    &PENDING
+}
+
+/// Reset the registry and seed it with counters captured by a previous
+/// [`report`] (e.g. from a simulation checkpoint), so that a restored
+/// run's final snapshot matches the uninterrupted run's byte for byte.
+///
+/// Seeds whose call sites have not yet executed in this process are
+/// parked and applied when the site self-registers on its first check.
+/// Like [`reset`], this is for single-simulation contexts (gates,
+/// tests, resumed standalone runs) — concurrent matrix jobs share the
+/// process-global registry and must not call it.
+pub fn restore_counts(seeds: &[SiteSeed]) {
+    reset();
+    let reg = registry().lock().expect("invariant registry poisoned");
+    let mut parked = pending().lock().expect("pending seeds poisoned");
+    for seed in seeds {
+        let site = reg
+            .iter()
+            .find(|s| s.name == seed.name && s.file == seed.file && s.line == seed.line);
+        match site {
+            Some(s) => {
+                s.checks.store(seed.checks, Ordering::Relaxed);
+                s.violations.store(seed.violations, Ordering::Relaxed);
+            }
+            None => parked.push(seed.clone()),
+        }
+    }
+}
+
+fn apply_pending(site: &'static Site) {
+    let mut parked = pending().lock().expect("pending seeds poisoned");
+    if let Some(i) = parked
+        .iter()
+        .position(|p| p.name == site.name && p.file == site.file && p.line == site.line)
+    {
+        let p = parked.swap_remove(i);
+        site.checks.store(p.checks, Ordering::Relaxed);
+        site.violations.store(p.violations, Ordering::Relaxed);
+    }
 }
 
 /// Check a named simulation invariant.
@@ -185,6 +246,31 @@ macro_rules! check_conserved {
             rhs
         );
     }};
+}
+
+impl crate::state::StateValue for SiteSeed {
+    fn put(&self, w: &mut crate::state::StateWriter) {
+        self.name.put(w);
+        self.file.put(w);
+        (self.line as u64).put(w);
+        self.checks.put(w);
+        self.violations.put(w);
+    }
+
+    fn get(r: &mut crate::state::StateReader<'_>) -> Result<Self, crate::state::StateError> {
+        let name = String::get(r)?;
+        let file = String::get(r)?;
+        let line = u64::get(r)?;
+        let line = u32::try_from(line)
+            .map_err(|_| crate::state::StateError::Corrupt("invariant site line overflow"))?;
+        Ok(SiteSeed {
+            name,
+            file,
+            line,
+            checks: u64::get(r)?,
+            violations: u64::get(r)?,
+        })
+    }
 }
 
 #[cfg(test)]

@@ -10,7 +10,7 @@
 //! is dependency-free and deliberately small-surfaced: plain data, newtypes
 //! and pure functions, plus the [`invariant!`](crate::invariant!) /
 //! [`check_conserved!`](crate::check_conserved!) machinery every layer
-//! uses to name and count its conservation checks (see [`invariant`]).
+//! uses to name and count its conservation checks (see [`mod@invariant`]).
 //!
 //! ## Example
 //!
@@ -29,6 +29,7 @@ pub mod ids;
 pub mod invariant;
 pub mod mapping;
 pub mod packet;
+pub mod state;
 pub mod stats;
 
 pub use addr::{LineAddr, PageNum, PhysAddr, VirtAddr, LINE_BYTES};
@@ -39,4 +40,5 @@ pub use config::{
 pub use ids::{ChannelId, ModuleId, PartitionId, SliceId, SmId, WarpId};
 pub use mapping::{AddressMapping, DecodedAddr, MappingKind};
 pub use packet::{AccessKind, MemReply, MemRequest, ReqId, Wire};
+pub use state::{SaveState, StateError, StateReader, StateValue, StateWriter};
 pub use stats::{harmonic_mean_speedup, percent_improvement, Counter, RateTracker};

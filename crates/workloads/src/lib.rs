@@ -128,6 +128,45 @@ impl Workload {
         self.num_sms
     }
 
+    /// A stable identity hash over everything that shapes this
+    /// workload's access streams: the benchmark (or trace), the scaled
+    /// layout, the SM count and the seed. Checkpoints store it so a
+    /// restore against a different workload is rejected instead of
+    /// silently producing garbage streams.
+    #[must_use]
+    pub fn state_hash(&self) -> u64 {
+        use nuba_types::state::{fnv1a, StateValue, StateWriter};
+        let mut w = StateWriter::new();
+        match self.spec {
+            Some(s) => {
+                w.put_u8(0);
+                s.abbr.to_string().put(&mut w);
+            }
+            None => w.put_u8(1),
+        }
+        self.layout.page_bytes.put(&mut w);
+        self.layout.total_pages.put(&mut w);
+        self.layout.private_base.put(&mut w);
+        self.layout.private_pages_per_sm.put(&mut w);
+        self.layout.ro_marked.put(&mut w);
+        (self.layout.ro_pages.len()).put(&mut w);
+        (self.layout.rw_shared_pages.len()).put(&mut w);
+        for p in self
+            .layout
+            .ro_pages
+            .iter()
+            .chain(&self.layout.rw_shared_pages)
+        {
+            p.vpage.put(&mut w);
+            p.window_start.put(&mut w);
+            p.window_len.put(&mut w);
+            p.hot.put(&mut w);
+        }
+        self.num_sms.put(&mut w);
+        self.seed.put(&mut w);
+        fnv1a(w.bytes())
+    }
+
     /// A deterministic access stream for one warp.
     ///
     /// # Panics

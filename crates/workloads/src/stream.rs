@@ -357,6 +357,75 @@ fn windowed_pick(rng: &mut SmallRng, seq: u64, sm: usize, len: usize) -> usize {
     (start + rng.gen_range(0..w)) % len
 }
 
+impl StateValue for Access {
+    fn put(&self, w: &mut StateWriter) {
+        self.vaddr.put(w);
+        self.kind.put(w);
+        self.bypass_l1.put(w);
+    }
+
+    fn get(r: &mut StateReader<'_>) -> Result<Self, StateError> {
+        Ok(Access {
+            vaddr: VirtAddr::get(r)?,
+            kind: AccessKind::get(r)?,
+            bypass_l1: bool::get(r)?,
+        })
+    }
+}
+
+impl SaveState for WarpStream {
+    fn save(&self, w: &mut StateWriter) {
+        // The spec/layout structure is rebuilt from the workload on
+        // restore; only the generator's dynamic fields travel.
+        match &self.inner {
+            Inner::Synthetic(s) => {
+                w.put_u8(0);
+                s.rng.state().put(w);
+                s.cursor.put(w);
+                s.recent.put(w);
+                s.pending_compute.put(w);
+                s.seq.put(w);
+            }
+            Inner::Replay { pos, .. } => {
+                w.put_u8(1);
+                pos.put(w);
+            }
+        }
+    }
+
+    fn restore(&mut self, r: &mut StateReader<'_>) -> Result<(), StateError> {
+        let tag = r.get_u8()?;
+        match (&mut self.inner, tag) {
+            (Inner::Synthetic(s), 0) => {
+                s.rng = SmallRng::from_state(u64::get(r)?);
+                s.cursor = u64::get(r)?;
+                let n = usize::get(r)?;
+                s.recent.clear();
+                for _ in 0..n {
+                    s.recent.push_back(Access::get(r)?);
+                }
+                s.pending_compute = bool::get(r)?;
+                s.seq = u64::get(r)?;
+                Ok(())
+            }
+            (Inner::Replay { ops, pos }, 1) => {
+                let p = usize::get(r)?;
+                if p >= ops.len() {
+                    return Err(StateError::Corrupt("replay cursor past end of trace"));
+                }
+                *pos = p;
+                Ok(())
+            }
+            (_, t) => Err(StateError::BadTag {
+                what: "WarpStream kind",
+                tag: t,
+            }),
+        }
+    }
+}
+
+use nuba_types::state::{SaveState, StateError, StateReader, StateValue, StateWriter};
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -34,7 +34,7 @@ fn main() {
                 2,
                 1.4e9,
             );
-            let mut gpu = GpuSimulator::new(cfg, &wl);
+            let mut gpu = GpuSimulator::try_new(cfg, &wl).expect("valid config");
             let r = gpu.warm_and_run(&wl, cycles).expect("forward progress");
             let base = baseline.get_or_insert(r.perf());
             println!(

@@ -44,7 +44,7 @@ fn main() {
             cfg.page_policy = policy;
             cfg.replication = ReplicationKind::None;
             let wl = Workload::build(bench, ScaleProfile::default(), cfg.num_sms, 42);
-            let mut gpu = GpuSimulator::new(cfg, &wl);
+            let mut gpu = GpuSimulator::try_new(cfg, &wl).expect("valid config");
             let report = gpu.warm_and_run(&wl, cycles).expect("forward progress");
             let driver = gpu.driver();
             let rel = ft_perf.get_or_insert(report.perf());

@@ -25,7 +25,7 @@ fn main() {
     for arch in [ArchKind::MemSideUba, ArchKind::SmSideUba, ArchKind::Nuba] {
         let cfg = GpuConfig::paper_baseline(arch);
         let workload = Workload::build(bench, ScaleProfile::default(), cfg.num_sms, 42);
-        let mut gpu = GpuSimulator::new(cfg, &workload);
+        let mut gpu = GpuSimulator::try_new(cfg, &workload).expect("valid config");
         let report = gpu
             .warm_and_run(&workload, cycles)
             .expect("forward progress");

@@ -63,7 +63,7 @@ fn main() {
             let mut cfg = GpuConfig::paper_baseline(ArchKind::Nuba);
             cfg.replication = rep;
             let wl = Workload::build(bench, ScaleProfile::default(), cfg.num_sms, 42);
-            let mut gpu = GpuSimulator::new(cfg, &wl);
+            let mut gpu = GpuSimulator::try_new(cfg, &wl).expect("valid config");
             let r = gpu.warm_and_run(&wl, cycles).expect("forward progress");
             let base = norep_perf.get_or_insert(r.perf());
             println!(

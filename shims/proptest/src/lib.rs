@@ -3,7 +3,7 @@
 //! The build environment has no crates.io access, so the workspace
 //! replaces the real `proptest` with this path crate (see the root
 //! `Cargo.toml` `[workspace.dependencies]`). It keeps the programming
-//! model — composable [`Strategy`] values, the [`proptest!`] macro, the
+//! model — composable [`Strategy`](strategy::Strategy) values, the [`proptest!`] macro, the
 //! `prop_assert*` family — but generates cases with a deterministic
 //! seeded RNG and performs **no shrinking**: a failing case reports its
 //! case number and derived seed instead of a minimized input.

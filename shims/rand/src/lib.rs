@@ -164,6 +164,24 @@ pub mod rngs {
         state: u64,
     }
 
+    impl SmallRng {
+        /// The raw generator state, for checkpointing. Pair with
+        /// [`SmallRng::from_state`] to resume the stream exactly where
+        /// it left off.
+        #[must_use]
+        pub fn state(&self) -> u64 {
+            self.state
+        }
+
+        /// Rebuild a generator from a [`SmallRng::state`] snapshot.
+        /// Unlike [`SeedableRng::seed_from_u64`] this performs no seed
+        /// scrambling: the next draw continues the snapshotted stream.
+        #[must_use]
+        pub fn from_state(state: u64) -> SmallRng {
+            SmallRng { state }
+        }
+    }
+
     impl RngCore for SmallRng {
         fn next_u64(&mut self) -> u64 {
             self.state = self.state.wrapping_add(0x9e37_79b9_7f4a_7c15);

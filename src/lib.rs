@@ -12,22 +12,24 @@
 //! a 29-benchmark workload suite).
 //!
 //! This crate is a facade that re-exports the workspace's public API.
-//! Start with [`GpuSimulator`] and the [`quickstart
+//! Start with [`SimSession`] and the [`quickstart
 //! example`](https://github.com/nuba-gpu/nuba/blob/main/examples/quickstart.rs):
 //!
 //! ```
-//! use nuba::{ArchKind, BenchmarkId, GpuConfig, GpuSimulator, ScaleProfile, Workload};
+//! use nuba::{ArchKind, BenchmarkId, GpuConfig, ScaleProfile, SimSession, Workload};
 //!
-//! let mut cfg = GpuConfig::paper_baseline(ArchKind::Nuba);
-//! cfg.num_sms = 8;
-//! cfg.num_llc_slices = 8;
-//! cfg.num_channels = 4;
-//! cfg.sim_active_warps = 8;
+//! let cfg = GpuConfig::paper_baseline(ArchKind::Nuba).with_geometry(8, 8, 4, 8);
 //! let wl = Workload::build(BenchmarkId::Sgemm, ScaleProfile::fast(), 8, 1);
-//! let mut gpu = GpuSimulator::new(cfg, &wl);
-//! let report = gpu.warm_and_run(&wl, 5_000).expect("forward progress");
+//! let mut session = SimSession::builder(cfg, wl).build().expect("valid config");
+//! session.warm();
+//! let report = session.run_window(5_000).expect("forward progress");
 //! assert!(report.warp_ops > 0);
 //! ```
+//!
+//! A warmed session can be snapshotted with
+//! [`SimSession::checkpoint`] and resumed later (or in another
+//! process) with [`SimSession::resume`]; the continuation is
+//! byte-identical to an uninterrupted run. See `DESIGN.md` §12.
 //!
 //! ## Crate map
 //!
@@ -55,6 +57,6 @@ pub use nuba_tlb as tlb;
 pub use nuba_types as types;
 pub use nuba_workloads as workloads;
 
-pub use nuba_core::{GpuSimulator, SimReport};
+pub use nuba_core::{Checkpoint, GpuSimulator, SessionBuilder, SimReport, SimSession};
 pub use nuba_types::{ArchKind, GpuConfig, MappingKind, PagePolicyKind, ReplicationKind};
 pub use nuba_workloads::{BenchmarkId, ScaleProfile, SharingClass, Workload};

@@ -21,7 +21,7 @@ fn small(arch: ArchKind) -> GpuConfig {
 
 fn run(bench: BenchmarkId, cfg: GpuConfig) -> nuba::SimReport {
     let wl = Workload::build(bench, ScaleProfile::fast(), cfg.num_sms, 7);
-    let mut gpu = GpuSimulator::new(cfg, &wl);
+    let mut gpu = GpuSimulator::try_new(cfg, &wl).expect("valid config");
     gpu.warm_and_run(&wl, CYCLES).expect("forward progress")
 }
 
@@ -190,8 +190,8 @@ fn different_seeds_diverge() {
     let cfg = small(ArchKind::Nuba);
     let wl_a = Workload::build(BenchmarkId::Sgemm, ScaleProfile::fast(), cfg.num_sms, 1);
     let wl_b = Workload::build(BenchmarkId::Sgemm, ScaleProfile::fast(), cfg.num_sms, 2);
-    let mut ga = GpuSimulator::new(cfg.clone(), &wl_a);
-    let mut gb = GpuSimulator::new(cfg, &wl_b);
+    let mut ga = GpuSimulator::try_new(cfg.clone(), &wl_a).expect("valid config");
+    let mut gb = GpuSimulator::try_new(cfg, &wl_b).expect("valid config");
     let ra = ga.warm_and_run(&wl_a, CYCLES).expect("forward progress");
     let rb = gb.warm_and_run(&wl_b, CYCLES).expect("forward progress");
     assert_ne!(ra.warp_ops, rb.warp_ops);
@@ -228,7 +228,7 @@ fn page_size_sensitivity_runs_with_huge_pages() {
         cfg.num_sms,
         7,
     );
-    let mut gpu = GpuSimulator::new(cfg, &wl);
+    let mut gpu = GpuSimulator::try_new(cfg, &wl).expect("valid config");
     let r = gpu.warm_and_run(&wl, CYCLES).expect("forward progress");
     assert!(r.warp_ops > 1_000);
 }
@@ -244,7 +244,7 @@ fn alternative_policies_run_and_report_activity() {
         mig.num_sms,
         7,
     );
-    let mut gpu = GpuSimulator::new(mig, &wl);
+    let mut gpu = GpuSimulator::try_new(mig, &wl).expect("valid config");
     let r = gpu.warm_and_run(&wl, CYCLES).expect("forward progress");
     assert!(r.warp_ops > 0);
     // Shared-heavy workload under migration: pages should move.
@@ -272,7 +272,7 @@ fn captured_trace_replays_through_the_simulator() {
     assert!(wl.is_trace());
     let mut cfg = cfg;
     cfg.sim_active_warps = 4;
-    let mut gpu = GpuSimulator::new(cfg, &wl);
+    let mut gpu = GpuSimulator::try_new(cfg, &wl).expect("valid config");
     let r = gpu.warm_and_run(&wl, 6_000).expect("forward progress");
     assert!(
         r.warp_ops > 1_000,
@@ -293,7 +293,7 @@ fn trace_replay_is_deterministic() {
         let wl = Workload::from_trace(t);
         let mut c = cfg.clone();
         c.sim_active_warps = 4;
-        let mut gpu = GpuSimulator::new(c, &wl);
+        let mut gpu = GpuSimulator::try_new(c, &wl).expect("valid config");
         gpu.warm_and_run(&wl, 5_000).expect("forward progress")
     };
     let a = run(trace.clone());

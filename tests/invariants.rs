@@ -65,7 +65,7 @@ proptest! {
         prop_assert!(cfg.validate().is_ok());
 
         let wl = Workload::build(bench, ScaleProfile::fast(), cfg.num_sms, seed);
-        let mut gpu = GpuSimulator::new(cfg, &wl);
+        let mut gpu = GpuSimulator::try_new(cfg, &wl).expect("valid config");
         gpu.warm(&wl, 64);
         let r = gpu.run(3_000).expect("forward progress");
 
