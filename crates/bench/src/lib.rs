@@ -17,6 +17,7 @@
 //! schedule-independent regardless of `NUBA_JOBS` — see [`runner`].
 
 pub mod runner;
+pub mod screen;
 
 use std::sync::OnceLock;
 
@@ -63,6 +64,11 @@ pub struct HarnessOptions {
     /// `NUBA_WARM_REUSE`: the runner's warm-state checkpoint cache
     /// (default on; `0` disables).
     pub warm_reuse: bool,
+    /// `NUBA_SCREEN=1`: print the tier-0 analytical screen (static
+    /// kernel profiler predictions) for each matrix's benchmarks before
+    /// the runner executes it. Inert — and byte-identical output — when
+    /// off.
+    pub screen: bool,
     /// `NUBA_CHECKPOINT_EVERY`: cycles between mid-run checkpoints for
     /// resumable retries (default: 20 000 under `NUBA_FULL`, else off;
     /// `0` forces off).
@@ -103,6 +109,7 @@ impl HarnessOptions {
             pae: flag("NUBA_PAE"),
             simcheck_cycles: num("NUBA_SIMCHECK_CYCLES").unwrap_or(8192),
             warm_reuse: std::env::var("NUBA_WARM_REUSE").map_or(true, |v| v != "0"),
+            screen: flag("NUBA_SCREEN"),
             checkpoint_every,
         }
     }

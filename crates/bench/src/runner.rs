@@ -495,6 +495,10 @@ pub fn run_matrix(h: &Harness, jobs: &[Job]) -> Vec<JobResult> {
 
 /// [`run_matrix`] with an explicit worker count (determinism tests).
 pub fn run_matrix_with(h: &Harness, jobs: &[Job], threads: usize) -> Vec<JobResult> {
+    // Tier-0 stage: the static analytical screen, opt-in via
+    // `NUBA_SCREEN=1` and guaranteed inert (not a byte of output, no
+    // simulation effect) otherwise.
+    crate::screen::print_screen_if_enabled(h, jobs);
     run_jobs(jobs.len(), threads, |i| run_job(h, &jobs[i]))
 }
 

@@ -1,0 +1,731 @@
+//! Symbolic affine address expressions for global-memory accesses.
+//!
+//! Every `ld/st/atom.global` address is abstracted as
+//!
+//! ```text
+//! Σ cᵖ·param(p)  +  c_t·tid  +  Σ c_h·iter(h)  +  konst
+//! ```
+//!
+//! where `iter(h)` is the iteration counter of the natural loop headed
+//! at block `h` (value range `[0, trip)` when the trip count is known).
+//! Addresses that escape this form — pointer chases, data-dependent
+//! gathers, anything defined by a global load — degrade to *unknown*
+//! and downstream consumers ([`crate::profile`]) clamp them to the
+//! whole parameter region.
+//!
+//! The evaluation is a single reverse-post-order pass over the CFG with
+//! back edges removed. Loop-carried state is handled by *pre-binding*:
+//! at a loop header, every register defined in the loop body is killed,
+//! then each basic induction variable `r` with an affine pre-header
+//! value `V` is re-bound to `V + step·iter(h)`. Replaying the body then
+//! yields iteration-generic forms (an access after the increment reads
+//! `V + step·iter + step`, still covered by `iter ∈ [0, trip)`-style
+//! range evaluation since the one-past value equals the next
+//! iteration's pre-increment value). Joins intersect environments:
+//! a register bound to different forms on two forward edges — or bound
+//! on only one — becomes unknown. Irreducible CFGs make every access
+//! unknown.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use crate::ast::{Instr, Kernel, MemBase, Operand};
+use crate::cfg::Cfg;
+use crate::induction::{analyze_induction, InductionSummary};
+
+/// A symbolic affine address (see module docs). All coefficient
+/// arithmetic is checked; overflow degrades to unknown.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct AffineForm {
+    /// Parameter-base coefficients (`param name → coefficient`).
+    /// An address is *anchored* when exactly one param has coefficient 1.
+    pub params: BTreeMap<String, i64>,
+    /// Coefficient of the thread id.
+    pub tid: i64,
+    /// Coefficients of loop iteration counters, keyed by header block.
+    pub iters: BTreeMap<usize, i64>,
+    /// Constant byte offset.
+    pub konst: i64,
+}
+
+impl AffineForm {
+    /// The constant `k`.
+    pub fn konst(k: i64) -> AffineForm {
+        AffineForm {
+            konst: k,
+            ..AffineForm::default()
+        }
+    }
+
+    /// The base address of parameter `p`.
+    pub fn param(p: &str) -> AffineForm {
+        AffineForm {
+            params: BTreeMap::from([(p.to_string(), 1)]),
+            ..AffineForm::default()
+        }
+    }
+
+    /// The thread id.
+    pub fn tid() -> AffineForm {
+        AffineForm {
+            tid: 1,
+            ..AffineForm::default()
+        }
+    }
+
+    /// The single anchoring parameter: exactly one param term, with
+    /// coefficient 1.
+    pub fn anchor(&self) -> Option<&str> {
+        let mut it = self.params.iter();
+        match (it.next(), it.next()) {
+            (Some((p, 1)), None) => Some(p.as_str()),
+            _ => None,
+        }
+    }
+
+    fn merge<F: Fn(i64, i64) -> Option<i64>>(
+        a: &BTreeMap<String, i64>,
+        b: &BTreeMap<String, i64>,
+        f: &F,
+    ) -> Option<BTreeMap<String, i64>> {
+        let mut out = a.clone();
+        for (k, &v) in b {
+            let cur = out.entry(k.clone()).or_insert(0);
+            *cur = f(*cur, v)?;
+        }
+        out.retain(|_, &mut v| v != 0);
+        Some(out)
+    }
+
+    fn merge_iters<F: Fn(i64, i64) -> Option<i64>>(
+        a: &BTreeMap<usize, i64>,
+        b: &BTreeMap<usize, i64>,
+        f: &F,
+    ) -> Option<BTreeMap<usize, i64>> {
+        let mut out = a.clone();
+        for (&k, &v) in b {
+            let cur = out.entry(k).or_insert(0);
+            *cur = f(*cur, v)?;
+        }
+        out.retain(|_, &mut v| v != 0);
+        Some(out)
+    }
+
+    /// `self + other`, `None` on coefficient overflow.
+    pub fn add(&self, other: &AffineForm) -> Option<AffineForm> {
+        Some(AffineForm {
+            params: Self::merge(&self.params, &other.params, &i64::checked_add)?,
+            tid: self.tid.checked_add(other.tid)?,
+            iters: Self::merge_iters(&self.iters, &other.iters, &i64::checked_add)?,
+            konst: self.konst.checked_add(other.konst)?,
+        })
+    }
+
+    /// `self - other`, `None` on coefficient overflow.
+    pub fn sub(&self, other: &AffineForm) -> Option<AffineForm> {
+        Some(AffineForm {
+            params: Self::merge(&self.params, &other.params, &i64::checked_sub)?,
+            tid: self.tid.checked_sub(other.tid)?,
+            iters: Self::merge_iters(&self.iters, &other.iters, &i64::checked_sub)?,
+            konst: self.konst.checked_sub(other.konst)?,
+        })
+    }
+
+    /// `self · k`, `None` on coefficient overflow.
+    pub fn scale(&self, k: i64) -> Option<AffineForm> {
+        let mut params = BTreeMap::new();
+        for (p, &c) in &self.params {
+            let c = c.checked_mul(k)?;
+            if c != 0 {
+                params.insert(p.clone(), c);
+            }
+        }
+        let mut iters = BTreeMap::new();
+        for (&h, &c) in &self.iters {
+            let c = c.checked_mul(k)?;
+            if c != 0 {
+                iters.insert(h, c);
+            }
+        }
+        Some(AffineForm {
+            params,
+            tid: self.tid.checked_mul(k)?,
+            iters,
+            konst: self.konst.checked_mul(k)?,
+        })
+    }
+
+    /// `self + k`.
+    pub fn add_konst(&self, k: i64) -> Option<AffineForm> {
+        Some(AffineForm {
+            konst: self.konst.checked_add(k)?,
+            ..self.clone()
+        })
+    }
+
+    /// The constant this form reduces to, if it has no symbolic terms.
+    pub fn as_const(&self) -> Option<i64> {
+        (self.params.is_empty() && self.tid == 0 && self.iters.is_empty()).then_some(self.konst)
+    }
+}
+
+/// What a global access does.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum GlobalAccessKind {
+    /// `ld.global*` (including `.ro`).
+    Load,
+    /// `st.global*`.
+    Store,
+    /// `atom.global*` / `red.global*`.
+    Atomic,
+}
+
+/// One global access with its symbolic address.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AccessExpr {
+    /// Body index of the instruction.
+    pub idx: usize,
+    /// Load / store / atomic.
+    pub kind: GlobalAccessKind,
+    /// Access width in bytes (from the opcode type suffix; default 4).
+    pub width: u32,
+    /// Affine address, `None` when it escapes the affine form.
+    pub addr: Option<AffineForm>,
+    /// Whether the access is guarded by a predicate (may not execute).
+    pub predicated: bool,
+}
+
+/// All reachable global accesses of a kernel with affine addresses,
+/// plus the loop analysis they were computed against.
+#[derive(Debug, Clone)]
+pub struct AffineAccesses {
+    /// Accesses in body order (reachable blocks only — an access in
+    /// dead code cannot execute and is omitted).
+    pub accesses: Vec<AccessExpr>,
+    /// Loop structure, IVs, and trip counts.
+    pub induction: InductionSummary,
+}
+
+/// Access width in bytes from the opcode's trailing type suffix
+/// (`f32` → 4, `u64` → 8, `u8` → 1); 4 when absent or unparsable.
+pub fn access_width(opcode: &[String]) -> u32 {
+    let Some(last) = opcode.last() else { return 4 };
+    let digits: String = last.chars().filter(|c| c.is_ascii_digit()).collect();
+    match digits.parse::<u32>() {
+        Ok(bits) if bits % 8 == 0 && bits <= 128 => bits / 8,
+        _ => 4,
+    }
+}
+
+fn access_kind(instr: &Instr) -> Option<GlobalAccessKind> {
+    if instr.is_global_load() {
+        Some(GlobalAccessKind::Load)
+    } else if instr.is_global_store() {
+        Some(GlobalAccessKind::Store)
+    } else if instr.is_global_atomic() {
+        Some(GlobalAccessKind::Atomic)
+    } else {
+        None
+    }
+}
+
+/// Register environment: bindings to affine forms. Absence means ⊤.
+type Env = BTreeMap<String, AffineForm>;
+
+fn operand_form(op: &Operand, env: &Env) -> Option<AffineForm> {
+    match op {
+        Operand::Imm(k) => Some(AffineForm::konst(*k)),
+        Operand::Reg(r) if r == "tid_x" => Some(AffineForm::tid()),
+        Operand::Reg(r) => env.get(r).cloned(),
+        _ => None,
+    }
+}
+
+/// The form a value-producing instruction computes, `None` for ⊤.
+fn computed_form(instr: &Instr, env: &Env) -> Option<AffineForm> {
+    let Instr::Op {
+        opcode, operands, ..
+    } = instr
+    else {
+        return None;
+    };
+    let head = opcode.first().map(String::as_str).unwrap_or("");
+    match (head, operands.as_slice()) {
+        // `ld.param %r, [P]`: the parameter's base address.
+        (
+            "ld",
+            [_, Operand::Mem {
+                base: MemBase::Param(p),
+                offset: 0,
+            }],
+        ) if opcode.get(1).map(String::as_str) == Some("param") => Some(AffineForm::param(p)),
+        ("mov" | "cvta" | "cvt", [_, src]) => operand_form(src, env),
+        ("add", [_, a, b]) => operand_form(a, env)?.add(&operand_form(b, env)?),
+        ("sub", [_, a, b]) => operand_form(a, env)?.sub(&operand_form(b, env)?),
+        ("mul", [_, a, b]) if matches!(opcode.get(1).map(String::as_str), Some("wide" | "lo")) => {
+            // One side must reduce to a constant. 32-bit wraparound of
+            // `mul.lo` is ignored — a documented imprecision.
+            let (fa, fb) = (operand_form(a, env)?, operand_form(b, env)?);
+            match (fa.as_const(), fb.as_const()) {
+                (_, Some(k)) => fa.scale(k),
+                (Some(k), _) => fb.scale(k),
+                _ => None,
+            }
+        }
+        ("shl", [_, a, Operand::Imm(k)]) if (0..63).contains(k) => {
+            operand_form(a, env)?.scale(1i64 << k)
+        }
+        _ => None,
+    }
+}
+
+/// Apply one instruction to the environment.
+fn transfer(instr: &Instr, env: &mut Env) {
+    let Some(dst) = instr.def_register() else {
+        return;
+    };
+    let computed = computed_form(instr, env);
+    let predicated = matches!(instr, Instr::Op { pred: Some(_), .. });
+    if predicated {
+        // May not execute: the binding survives only if unchanged.
+        if env.get(dst) != computed.as_ref() {
+            env.remove(dst);
+        }
+        return;
+    }
+    match computed {
+        Some(f) => {
+            env.insert(dst.to_string(), f);
+        }
+        None => {
+            env.remove(dst);
+        }
+    }
+}
+
+/// Join `acc ← acc ⊓ other`: keep only bindings present and equal in
+/// both (a one-sided or conflicting binding is ⊤).
+fn join_env(acc: &mut Env, other: &Env) {
+    acc.retain(|r, f| other.get(r) == Some(f));
+}
+
+/// Reverse post-order over forward edges (back edges skipped).
+fn forward_rpo(cfg: &Cfg, back: &BTreeSet<(usize, usize)>) -> Vec<usize> {
+    fn post(
+        cfg: &Cfg,
+        back: &BTreeSet<(usize, usize)>,
+        b: usize,
+        seen: &mut [bool],
+        out: &mut Vec<usize>,
+    ) {
+        seen[b] = true;
+        for &s in &cfg.blocks[b].successors {
+            if !back.contains(&(b, s)) && !seen[s] {
+                post(cfg, back, s, seen, out);
+            }
+        }
+        out.push(b);
+    }
+    let mut out = Vec::new();
+    let mut seen = vec![false; cfg.blocks.len()];
+    if !cfg.blocks.is_empty() {
+        post(cfg, back, 0, &mut seen, &mut out);
+    }
+    out.reverse();
+    out
+}
+
+/// Compute affine address expressions for every reachable global access.
+pub fn affine_accesses(kernel: &Kernel, cfg: &Cfg) -> AffineAccesses {
+    let induction = analyze_induction(kernel, cfg);
+
+    let unknown_all = |induction: InductionSummary| {
+        let reachable = cfg.reachable_instrs();
+        let accesses = reachable
+            .iter()
+            .filter_map(|&i| {
+                let instr = &kernel.body[i];
+                access_kind(instr).map(|kind| AccessExpr {
+                    idx: i,
+                    kind,
+                    width: match instr {
+                        Instr::Op { opcode, .. } => access_width(opcode),
+                        Instr::Label(_) => 4,
+                    },
+                    addr: None,
+                    predicated: matches!(instr, Instr::Op { pred: Some(_), .. }),
+                })
+            })
+            .collect();
+        AffineAccesses {
+            accesses,
+            induction,
+        }
+    };
+    if induction.irreducible {
+        return unknown_all(induction);
+    }
+
+    let back: BTreeSet<(usize, usize)> = induction
+        .loops
+        .iter()
+        .flat_map(|l| l.back_edges.iter().copied())
+        .collect();
+    let order = forward_rpo(cfg, &back);
+    let preds = cfg.predecessors();
+
+    // Per-loop-header: registers defined anywhere in the body, and the
+    // header's basic IVs.
+    let mut body_defs: BTreeMap<usize, BTreeSet<&str>> = BTreeMap::new();
+    for l in &induction.loops {
+        let defs = body_defs.entry(l.header).or_default();
+        for &b in &l.body {
+            for &i in &cfg.blocks[b].instrs {
+                if let Some(d) = kernel.body[i].def_register() {
+                    defs.insert(d);
+                }
+            }
+        }
+    }
+
+    let mut exits: Vec<Option<Env>> = vec![None; cfg.blocks.len()];
+    let mut accesses = Vec::new();
+    for &b in &order {
+        let mut env: Option<Env> = None;
+        for &p in &preds[b] {
+            if back.contains(&(p, b)) {
+                continue;
+            }
+            let Some(pe) = &exits[p] else { continue };
+            match &mut env {
+                None => env = Some(pe.clone()),
+                Some(e) => join_env(e, pe),
+            }
+        }
+        let mut env = env.unwrap_or_default();
+        if let Some(defs) = body_defs.get(&b) {
+            // Loop header: pre-bind IVs from their pre-header values,
+            // kill everything else the body writes.
+            let pre = env.clone();
+            for &d in defs {
+                env.remove(d);
+            }
+            for iv in induction.ivs.values().filter(|iv| iv.header == b) {
+                let Some(init) = pre.get(&iv.reg) else {
+                    continue;
+                };
+                let step = AffineForm {
+                    iters: BTreeMap::from([(b, iv.step)]),
+                    ..AffineForm::default()
+                };
+                if let Some(f) = init.add(&step) {
+                    env.insert(iv.reg.clone(), f);
+                }
+            }
+        }
+        for &i in &cfg.blocks[b].instrs {
+            let instr = &kernel.body[i];
+            if let Some(kind) = access_kind(instr) {
+                let Instr::Op {
+                    opcode,
+                    operands,
+                    pred,
+                } = instr
+                else {
+                    unreachable!("labels are not accesses");
+                };
+                let addr = operands.iter().find_map(|op| match op {
+                    Operand::Mem {
+                        base: MemBase::Reg(r),
+                        offset,
+                    } => Some(env.get(r).and_then(|f| f.add_konst(*offset))),
+                    Operand::Mem { .. } => Some(None),
+                    _ => None,
+                });
+                accesses.push(AccessExpr {
+                    idx: i,
+                    kind,
+                    width: access_width(opcode),
+                    addr: addr.flatten(),
+                    predicated: pred.is_some(),
+                });
+            }
+            transfer(instr, &mut env);
+        }
+        exits[b] = Some(env);
+    }
+    accesses.sort_by_key(|a| a.idx);
+    AffineAccesses {
+        accesses,
+        induction,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parse::parse_module;
+
+    fn kernel(src: &str) -> Kernel {
+        parse_module(src).unwrap().kernels.remove(0)
+    }
+
+    fn accesses(src: &str) -> AffineAccesses {
+        let k = kernel(src);
+        let cfg = Cfg::build(&k);
+        affine_accesses(&k, &cfg)
+    }
+
+    const STREAMY: &str = r#"
+.visible .entry k(.param .u64 S, .param .u64 P)
+{
+    ld.param.u64 %rds, [S];
+    ld.param.u64 %rdp, [P];
+    cvta.to.global.u64 %rds, %rds;
+    cvta.to.global.u64 %rdp, %rdp;
+    mov.u32 %r1, %tid_x;
+    mul.wide.u32 %rd4, %r1, 4;
+    add.s64 %rd5, %rds, %rd4;
+    add.s64 %rd6, %rdp, %rd4;
+    ld.global.f32 %f1, [%rd5+8];
+    st.global.f32 [%rd6], %f1;
+    ret;
+}
+"#;
+
+    #[test]
+    fn straight_line_addresses_are_affine() {
+        let a = accesses(STREAMY);
+        assert_eq!(a.accesses.len(), 2);
+        let ld = &a.accesses[0];
+        assert_eq!(ld.kind, GlobalAccessKind::Load);
+        assert_eq!(ld.width, 4);
+        let f = ld.addr.as_ref().expect("affine");
+        assert_eq!(f.anchor(), Some("S"));
+        assert_eq!(f.tid, 4);
+        assert_eq!(f.konst, 8);
+        assert!(f.iters.is_empty());
+        let st = &a.accesses[1];
+        assert_eq!(st.kind, GlobalAccessKind::Store);
+        let f = st.addr.as_ref().unwrap();
+        assert_eq!(f.anchor(), Some("P"));
+        assert_eq!(f.tid, 4);
+        assert_eq!(f.konst, 0);
+    }
+
+    #[test]
+    fn loop_iv_address_carries_iter_term() {
+        // The GEMM shape: a pointer bumped by 4 each iteration.
+        let a = accesses(
+            r#"
+.visible .entry k(.param .u64 S, .param .u64 P)
+{
+    ld.param.u64 %rds, [S];
+    ld.param.u64 %rdp, [P];
+    cvta.to.global.u64 %rds, %rds;
+    mov.u32 %r1, %tid_x;
+    mul.wide.u32 %rd4, %r1, 4;
+    add.s64 %rd5, %rds, %rd4;
+LOOP:
+    ld.global.f32 %f1, [%rd5];
+    add.s64 %rd5, %rd5, 4;
+    add.u32 %r2, %r2, 1;
+    setp.lt.u32 %p1, %r2, %r3;
+    @%p1 bra LOOP;
+    add.s64 %rd7, %rdp, %rd4;
+    st.global.f32 [%rd7], %f1;
+    ret;
+}
+"#,
+        );
+        assert_eq!(a.accesses.len(), 2);
+        let ld = a.accesses[0].addr.as_ref().expect("loop load is affine");
+        assert_eq!(ld.anchor(), Some("S"));
+        assert_eq!(ld.tid, 4);
+        let header = a.induction.loops[0].header;
+        assert_eq!(ld.iters.get(&header), Some(&4));
+        assert_eq!(ld.konst, 0);
+        // The post-loop store does not depend on the loop.
+        let st = a.accesses[1].addr.as_ref().unwrap();
+        assert_eq!(st.anchor(), Some("P"));
+        assert!(st.iters.is_empty());
+    }
+
+    #[test]
+    fn pointer_chase_is_unknown() {
+        // The TREE shape: the index register is reloaded from memory.
+        let a = accesses(
+            r#"
+.visible .entry k(.param .u64 S)
+{
+    ld.param.u64 %rdt, [S];
+    cvta.to.global.u64 %rdt, %rdt;
+    mov.u32 %r2, 0;
+LOOP:
+    mul.wide.u32 %rd4, %r2, 64;
+    add.s64 %rd5, %rdt, %rd4;
+    ld.global.u32 %r2, [%rd5];
+    add.u32 %r3, %r3, 1;
+    setp.lt.u32 %p1, %r3, %r4;
+    @%p1 bra LOOP;
+    ret;
+}
+"#,
+        );
+        assert_eq!(a.accesses.len(), 1);
+        assert!(a.accesses[0].addr.is_none(), "{:?}", a.accesses[0]);
+    }
+
+    #[test]
+    fn scaled_gather_stays_affine() {
+        // The IRREGULAR shape: a large constant stride is still affine.
+        let a = accesses(
+            r#"
+.visible .entry k(.param .u64 S)
+{
+    ld.param.u64 %rdt, [S];
+    cvta.to.global.u64 %rdt, %rdt;
+    mov.u32 %r1, %tid_x;
+    mul.lo.u32 %r2, %r1, 40503;
+    mul.wide.u32 %rd6, %r2, 4;
+    add.s64 %rd7, %rdt, %rd6;
+    ld.global.f32 %f1, [%rd7];
+    ret;
+}
+"#,
+        );
+        let f = a.accesses[0].addr.as_ref().unwrap();
+        assert_eq!(f.anchor(), Some("S"));
+        assert_eq!(f.tid, 4 * 40503);
+    }
+
+    #[test]
+    fn atomic_access_kind_and_width() {
+        let a = accesses(
+            r#"
+.visible .entry k(.param .u64 W)
+{
+    ld.param.u64 %rdb, [W];
+    cvta.to.global.u64 %rdb, %rdb;
+    mov.u32 %r1, %tid_x;
+    mul.wide.u32 %rd4, %r1, 8;
+    add.s64 %rd8, %rdb, %rd4;
+    atom.global.add.u64 %rd9, [%rd8], 1;
+    ret;
+}
+"#,
+        );
+        let at = &a.accesses[0];
+        assert_eq!(at.kind, GlobalAccessKind::Atomic);
+        assert_eq!(at.width, 8);
+        assert_eq!(at.addr.as_ref().unwrap().tid, 8);
+    }
+
+    #[test]
+    fn diamond_with_conflicting_bases_is_unknown() {
+        let a = accesses(
+            r#"
+.visible .entry k(.param .u64 S, .param .u64 P)
+{
+    ld.param.u64 %rds, [S];
+    ld.param.u64 %rdp, [P];
+    setp.lt.s32 %p1, %r9, %r8;
+    @%p1 bra THEN;
+    mov.u64 %rd5, %rds;
+    bra JOIN;
+THEN:
+    mov.u64 %rd5, %rdp;
+JOIN:
+    ld.global.f32 %f1, [%rd5];
+    ret;
+}
+"#,
+        );
+        assert!(a.accesses[0].addr.is_none());
+    }
+
+    #[test]
+    fn diamond_with_agreeing_bases_stays_affine() {
+        let a = accesses(
+            r#"
+.visible .entry k(.param .u64 S)
+{
+    ld.param.u64 %rds, [S];
+    setp.lt.s32 %p1, %r9, %r8;
+    @%p1 bra THEN;
+    mov.u64 %rd5, %rds;
+    bra JOIN;
+THEN:
+    mov.u64 %rd5, %rds;
+JOIN:
+    ld.global.f32 %f1, [%rd5];
+    ret;
+}
+"#,
+        );
+        assert_eq!(a.accesses[0].addr.as_ref().unwrap().anchor(), Some("S"));
+    }
+
+    #[test]
+    fn predicated_redefinition_degrades() {
+        let a = accesses(
+            r#"
+.visible .entry k(.param .u64 S)
+{
+    ld.param.u64 %rds, [S];
+    cvta.to.global.u64 %rds, %rds;
+    @%p1 add.s64 %rds, %rds, 4;
+    ld.global.f32 %f1, [%rds];
+    ret;
+}
+"#,
+        );
+        assert!(a.accesses[0].addr.is_none());
+    }
+
+    #[test]
+    fn dead_code_access_is_omitted() {
+        let a = accesses(
+            r#"
+.visible .entry k(.param .u64 S)
+{
+    bra END;
+    st.global.f32 [%rd1], %f1;
+END:
+    ret;
+}
+"#,
+        );
+        assert!(a.accesses.is_empty());
+    }
+
+    #[test]
+    fn width_parsing() {
+        let w = |s: &str| access_width(&s.split('.').map(str::to_string).collect::<Vec<_>>());
+        assert_eq!(w("ld.global.f32"), 4);
+        assert_eq!(w("ld.global.u64"), 8);
+        assert_eq!(w("st.global.u8"), 1);
+        assert_eq!(w("st.global.u16"), 2);
+        assert_eq!(w("atom.global.add.u32"), 4);
+        assert_eq!(w("ld.global.ro.f64"), 8);
+        assert_eq!(w("bra"), 4);
+    }
+
+    #[test]
+    fn form_algebra() {
+        let s = AffineForm::param("S");
+        let t = AffineForm::tid().scale(4).unwrap();
+        let f = s.add(&t).unwrap().add_konst(8).unwrap();
+        assert_eq!(f.anchor(), Some("S"));
+        assert_eq!(f.tid, 4);
+        assert_eq!(f.konst, 8);
+        // Subtraction cancels the anchor.
+        let g = f.sub(&AffineForm::param("S")).unwrap();
+        assert_eq!(g.anchor(), None);
+        assert!(g.params.is_empty());
+        // Two anchors is no anchor.
+        let two = AffineForm::param("S").add(&AffineForm::param("P")).unwrap();
+        assert_eq!(two.anchor(), None);
+        assert_eq!(AffineForm::konst(12).as_const(), Some(12));
+        assert_eq!(f.as_const(), None);
+    }
+}

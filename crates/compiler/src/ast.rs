@@ -1,5 +1,6 @@
 //! PTX abstract syntax (the subset the analysis needs).
 
+use std::borrow::Cow;
 use std::fmt;
 
 /// A memory-operand base: a register or a named kernel parameter.
@@ -74,10 +75,16 @@ pub enum Instr {
 
 impl Instr {
     /// The joined opcode string (`ld.global.f32`), empty for labels.
-    pub fn opcode_str(&self) -> String {
+    /// Single-part opcodes (`ret`, `bra`, `mov`) borrow; only genuinely
+    /// dotted opcodes allocate for the join.
+    pub fn opcode_str(&self) -> Cow<'_, str> {
         match self {
-            Instr::Label(_) => String::new(),
-            Instr::Op { opcode, .. } => opcode.join("."),
+            Instr::Label(_) => Cow::Borrowed(""),
+            Instr::Op { opcode, .. } => match opcode.as_slice() {
+                [] => Cow::Borrowed(""),
+                [only] => Cow::Borrowed(only.as_str()),
+                parts => Cow::Owned(parts.join(".")),
+            },
         }
     }
 
@@ -248,6 +255,19 @@ mod tests {
             operands,
             pred: None,
         }
+    }
+
+    #[test]
+    fn opcode_str_borrows_when_it_can() {
+        assert!(matches!(
+            Instr::Label("L".into()).opcode_str(),
+            Cow::Borrowed("")
+        ));
+        let ret = op("ret", vec![]);
+        assert!(matches!(ret.opcode_str(), Cow::Borrowed("ret")));
+        let ld = op("ld.global.f32", vec![]);
+        assert_eq!(ld.opcode_str(), "ld.global.f32");
+        assert!(matches!(ld.opcode_str(), Cow::Owned(_)));
     }
 
     #[test]

@@ -1,0 +1,404 @@
+//! A concrete mini-PTX interpreter: the dynamic oracle the static
+//! profiler is validated against.
+//!
+//! Executes one thread of a kernel with concrete parameter base
+//! addresses and a concrete `tid`, recording every global access
+//! (address + width). Tests compare the recorded footprint against the
+//! page set predicted by [`crate::profile`] — the static set must be a
+//! superset (see the proptests in `nuba-bench`).
+//!
+//! Semantics are deliberately simple and match the static side's
+//! assumptions: all registers hold `i64`, arithmetic does not wrap
+//! (no 32-bit truncation on `mul.lo` — the same documented imprecision
+//! the affine pass has), global loads return 0, uninitialized registers
+//! read 0. Execution stops at `ret`/`exit`, at `max_steps`, or on a
+//! branch to an unknown label.
+
+use std::collections::{BTreeMap, HashMap};
+
+use crate::affine::GlobalAccessKind;
+use crate::affine::{access_width, AccessExpr};
+use crate::ast::{Instr, Kernel, MemBase, Operand};
+
+/// Inputs for one interpreted thread.
+#[derive(Debug, Clone, Default)]
+pub struct InterpConfig {
+    /// Concrete base address per kernel parameter.
+    pub params: BTreeMap<String, i64>,
+    /// The thread id (`%tid_x`).
+    pub tid: i64,
+    /// Step budget; 0 means the default (65536).
+    pub max_steps: usize,
+}
+
+/// One recorded global access.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RecordedAccess {
+    /// Body index of the instruction.
+    pub idx: usize,
+    /// Load / store / atomic.
+    pub kind: GlobalAccessKind,
+    /// Concrete byte address.
+    pub addr: i64,
+    /// Access width in bytes.
+    pub width: u32,
+}
+
+/// The result of interpreting one thread.
+#[derive(Debug, Clone, Default)]
+pub struct InterpResult {
+    /// Global accesses in execution order.
+    pub accesses: Vec<RecordedAccess>,
+    /// Instructions executed.
+    pub steps: usize,
+    /// Whether the thread reached `ret`/`exit` within the budget.
+    pub completed: bool,
+}
+
+fn value(op: &Operand, regs: &HashMap<String, i64>, tid: i64) -> i64 {
+    match op {
+        Operand::Imm(k) => *k,
+        Operand::Reg(r) if r == "tid_x" => tid,
+        Operand::Reg(r) => regs.get(r).copied().unwrap_or(0),
+        _ => 0,
+    }
+}
+
+fn compare(cmp: &str, a: i64, b: i64) -> i64 {
+    let t = match cmp {
+        "lt" => a < b,
+        "le" => a <= b,
+        "gt" => a > b,
+        "ge" => a >= b,
+        "eq" => a == b,
+        "ne" => a != b,
+        _ => false,
+    };
+    i64::from(t)
+}
+
+/// Interpret one thread of `kernel` under `config`.
+pub fn interpret(kernel: &Kernel, config: &InterpConfig) -> InterpResult {
+    let max_steps = if config.max_steps == 0 {
+        65_536
+    } else {
+        config.max_steps
+    };
+    let labels: HashMap<&str, usize> = kernel
+        .body
+        .iter()
+        .enumerate()
+        .filter_map(|(i, instr)| match instr {
+            Instr::Label(l) => Some((l.as_str(), i)),
+            _ => None,
+        })
+        .collect();
+
+    let mut regs: HashMap<String, i64> = HashMap::new();
+    let mut result = InterpResult::default();
+    let mut pc = 0usize;
+    while pc < kernel.body.len() && result.steps < max_steps {
+        let instr = &kernel.body[pc];
+        let Instr::Op {
+            opcode,
+            operands,
+            pred,
+        } = instr
+        else {
+            pc += 1;
+            continue;
+        };
+        result.steps += 1;
+        if let Some(p) = pred {
+            if regs.get(p.as_str()).copied().unwrap_or(0) == 0 {
+                pc += 1;
+                continue;
+            }
+        }
+        let head = opcode.first().map(String::as_str).unwrap_or("");
+        // Global accesses record their address before the value effect.
+        if instr.is_global_load() || instr.is_global_store() || instr.is_global_atomic() {
+            let kind = if instr.is_global_load() {
+                GlobalAccessKind::Load
+            } else if instr.is_global_store() {
+                GlobalAccessKind::Store
+            } else {
+                GlobalAccessKind::Atomic
+            };
+            if let Some(Operand::Mem {
+                base: MemBase::Reg(r),
+                offset,
+            }) = operands.iter().find(|o| matches!(o, Operand::Mem { .. }))
+            {
+                result.accesses.push(RecordedAccess {
+                    idx: pc,
+                    kind,
+                    addr: regs
+                        .get(r.as_str())
+                        .copied()
+                        .unwrap_or(0)
+                        .wrapping_add(*offset),
+                    width: access_width(opcode),
+                });
+            }
+        }
+        match head {
+            "ret" | "exit" => {
+                result.completed = true;
+                return result;
+            }
+            "bra" => {
+                let target = operands.iter().find_map(|o| match o {
+                    Operand::Label(l) => labels.get(l.as_str()).copied(),
+                    _ => None,
+                });
+                match target {
+                    Some(t) => {
+                        pc = t;
+                        continue;
+                    }
+                    None => return result, // unknown label: halt
+                }
+            }
+            "bar" => {}
+            _ => {
+                if let Some(dst) = instr.def_register() {
+                    let v = |i: usize| operands.get(i).map_or(0, |o| value(o, &regs, config.tid));
+                    let out = match (head, operands.len()) {
+                        ("ld", _) => match operands.get(1) {
+                            Some(Operand::Mem {
+                                base: MemBase::Param(p),
+                                ..
+                            }) => config.params.get(p).copied().unwrap_or(0),
+                            _ => 0, // global/other loads read 0
+                        },
+                        ("mov" | "cvta" | "cvt", _) => v(1),
+                        ("add", 3) => v(1).wrapping_add(v(2)),
+                        ("sub", 3) => v(1).wrapping_sub(v(2)),
+                        ("mul", _) => v(1).wrapping_mul(v(2)),
+                        ("mad" | "fma", 4) => v(1).wrapping_mul(v(2)).wrapping_add(v(3)),
+                        ("shl", 3) => v(1).wrapping_shl(v(2).clamp(0, 63) as u32),
+                        ("max", 3) => v(1).max(v(2)),
+                        ("min", 3) => v(1).min(v(2)),
+                        ("setp", _) => {
+                            compare(opcode.get(1).map(String::as_str).unwrap_or(""), v(1), v(2))
+                        }
+                        ("atom", _) => 0, // returns the (zero) old value
+                        _ => 0,
+                    };
+                    regs.insert(dst.to_string(), out);
+                }
+            }
+        }
+        pc += 1;
+    }
+    result.completed = pc >= kernel.body.len();
+    result
+}
+
+/// Evaluate an affine [`AccessExpr`] address concretely: the same
+/// parameter bases and tid as the interpreter, a concrete iteration
+/// number per loop. Returns `None` for unknown addresses. Test helper
+/// tying the static and dynamic views together.
+pub fn concrete_addr(
+    expr: &AccessExpr,
+    params: &BTreeMap<String, i64>,
+    tid: i64,
+    iters: &BTreeMap<usize, i64>,
+) -> Option<i64> {
+    let form = expr.addr.as_ref()?;
+    let mut addr = form.konst;
+    addr = addr.wrapping_add(form.tid.wrapping_mul(tid));
+    for (p, c) in &form.params {
+        addr = addr.wrapping_add(c.wrapping_mul(params.get(p).copied().unwrap_or(0)));
+    }
+    for (h, c) in &form.iters {
+        addr = addr.wrapping_add(c.wrapping_mul(iters.get(h).copied().unwrap_or(0)));
+    }
+    Some(addr)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parse::parse_module;
+
+    fn kernel(src: &str) -> Kernel {
+        parse_module(src).unwrap().kernels.remove(0)
+    }
+
+    fn run(src: &str, tid: i64, params: &[(&str, i64)]) -> InterpResult {
+        let k = kernel(src);
+        let cfg = InterpConfig {
+            params: params.iter().map(|(n, a)| (n.to_string(), *a)).collect(),
+            tid,
+            max_steps: 0,
+        };
+        interpret(&k, &cfg)
+    }
+
+    #[test]
+    fn straight_line_records_addresses() {
+        let r = run(
+            r#"
+.visible .entry k(.param .u64 S, .param .u64 P)
+{
+    ld.param.u64 %rds, [S];
+    ld.param.u64 %rdp, [P];
+    cvta.to.global.u64 %rds, %rds;
+    mov.u32 %r1, %tid_x;
+    mul.wide.u32 %rd4, %r1, 4;
+    add.s64 %rd5, %rds, %rd4;
+    add.s64 %rd6, %rdp, %rd4;
+    ld.global.f32 %f1, [%rd5+8];
+    st.global.f32 [%rd6], %f1;
+    ret;
+}
+"#,
+            7,
+            &[("S", 0x1000), ("P", 0x8000)],
+        );
+        assert!(r.completed);
+        assert_eq!(r.accesses.len(), 2);
+        assert_eq!(r.accesses[0].addr, 0x1000 + 4 * 7 + 8);
+        assert_eq!(r.accesses[0].kind, GlobalAccessKind::Load);
+        assert_eq!(r.accesses[1].addr, 0x8000 + 4 * 7);
+        assert_eq!(r.accesses[1].kind, GlobalAccessKind::Store);
+    }
+
+    #[test]
+    fn loop_executes_trip_times() {
+        let r = run(
+            r#"
+.visible .entry k(.param .u64 S)
+{
+    ld.param.u64 %rds, [S];
+    cvta.to.global.u64 %rds, %rds;
+    mov.u32 %r2, 0;
+    mov.u32 %r3, 5;
+    mov.u64 %rd5, %rds;
+LOOP:
+    ld.global.f32 %f1, [%rd5];
+    add.s64 %rd5, %rd5, 4;
+    add.u32 %r2, %r2, 1;
+    setp.lt.u32 %p1, %r2, %r3;
+    @%p1 bra LOOP;
+    ret;
+}
+"#,
+            0,
+            &[("S", 4096)],
+        );
+        assert!(r.completed);
+        let addrs: Vec<i64> = r.accesses.iter().map(|a| a.addr).collect();
+        assert_eq!(addrs, vec![4096, 4100, 4104, 4108, 4112]);
+    }
+
+    #[test]
+    fn runaway_loop_hits_step_budget() {
+        let k = kernel(
+            r#"
+.visible .entry k(.param .u64 S)
+{
+LOOP:
+    bra LOOP;
+}
+"#,
+        );
+        let r = interpret(
+            &k,
+            &InterpConfig {
+                max_steps: 100,
+                ..InterpConfig::default()
+            },
+        );
+        assert!(!r.completed);
+        assert_eq!(r.steps, 100);
+    }
+
+    #[test]
+    fn predicated_store_skipped_when_false() {
+        let r = run(
+            r#"
+.visible .entry k(.param .u64 P)
+{
+    ld.param.u64 %rdp, [P];
+    mov.u32 %r1, %tid_x;
+    setp.lt.u32 %p1, %r1, 4;
+    @%p1 st.global.f32 [%rdp], %f1;
+    ret;
+}
+"#,
+            9,
+            &[("P", 64)],
+        );
+        assert!(r.completed);
+        assert!(r.accesses.is_empty(), "tid 9 fails the guard");
+        let r = run(
+            r#"
+.visible .entry k(.param .u64 P)
+{
+    ld.param.u64 %rdp, [P];
+    mov.u32 %r1, %tid_x;
+    setp.lt.u32 %p1, %r1, 4;
+    @%p1 st.global.f32 [%rdp], %f1;
+    ret;
+}
+"#,
+            2,
+            &[("P", 64)],
+        );
+        assert_eq!(r.accesses.len(), 1);
+    }
+
+    #[test]
+    fn atomic_records_and_returns_zero() {
+        let r = run(
+            r#"
+.visible .entry k(.param .u64 W)
+{
+    ld.param.u64 %rdb, [W];
+    mov.u32 %r1, %tid_x;
+    mul.wide.u32 %rd4, %r1, 4;
+    add.s64 %rd8, %rdb, %rd4;
+    atom.global.add.u32 %r4, [%rd8], 1;
+    st.global.u32 [%rd8], %r4;
+    ret;
+}
+"#,
+            3,
+            &[("W", 256)],
+        );
+        assert_eq!(r.accesses.len(), 2);
+        assert_eq!(r.accesses[0].kind, GlobalAccessKind::Atomic);
+        assert_eq!(r.accesses[0].addr, 256 + 12);
+        assert_eq!(r.accesses[1].addr, 256 + 12);
+    }
+
+    #[test]
+    fn concrete_addr_matches_interp_on_affine_kernel() {
+        use crate::affine::affine_accesses;
+        use crate::cfg::Cfg;
+        let src = r#"
+.visible .entry k(.param .u64 S)
+{
+    ld.param.u64 %rds, [S];
+    cvta.to.global.u64 %rds, %rds;
+    mov.u32 %r1, %tid_x;
+    mul.wide.u32 %rd4, %r1, 4;
+    add.s64 %rd5, %rds, %rd4;
+    ld.global.f32 %f1, [%rd5+16];
+    ret;
+}
+"#;
+        let k = kernel(src);
+        let cfg = Cfg::build(&k);
+        let aff = affine_accesses(&k, &cfg);
+        let params: BTreeMap<String, i64> = BTreeMap::from([("S".to_string(), 10_000)]);
+        for tid in [0, 1, 13] {
+            let dynamic = run(src, tid, &[("S", 10_000)]);
+            let stat = concrete_addr(&aff.accesses[0], &params, tid, &BTreeMap::new()).unwrap();
+            assert_eq!(stat, dynamic.accesses[0].addr);
+        }
+    }
+}

@@ -56,15 +56,21 @@
 //! # Ok::<(), nuba_compiler::PtxError>(())
 //! ```
 
+pub mod affine;
 pub mod analysis;
 pub mod ast;
 pub mod cfg;
 pub mod dataflow;
 pub mod dominators;
+pub mod induction;
+pub mod interp;
 pub mod parse;
+pub mod profile;
+pub mod race;
 pub mod replication_safety;
 pub mod rewrite;
 
+pub use affine::{affine_accesses, AccessExpr, AffineAccesses, AffineForm, GlobalAccessKind};
 pub use analysis::{analyze_kernel, analyze_kernel_reachable, KernelAccessSummary};
 pub use ast::{Instr, Kernel, MemBase, Module, Operand};
 pub use cfg::{BasicBlock, Cfg};
@@ -72,6 +78,13 @@ pub use dataflow::{
     solve as solve_dataflow, BlockFacts, DataflowProblem, Direction, Liveness, ReachingDefs,
 };
 pub use dominators::{dominators, post_dominators, Dominance};
+pub use induction::{analyze_induction, InductionSummary, InductionVar, NaturalLoop, ValueRange};
+pub use interp::{interpret, InterpConfig, InterpResult, RecordedAccess};
 pub use parse::{parse_module, PtxError};
+pub use profile::{
+    profile_kernel, Footprint, KernelStaticProfile, ParamMode, ParamProfile, ProfileAssumptions,
+    TierDemand,
+};
+pub use race::{detect_races, ParamWriteSummary, RaceReport};
 pub use replication_safety::{analyze_kernel_flow, ReplicationSafety};
 pub use rewrite::{rewrite_readonly_loads, rewrite_readonly_loads_precise};

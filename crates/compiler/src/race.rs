@@ -1,0 +1,252 @@
+//! Static race detection over kernel parameters.
+//!
+//! Two findings, both derived from [`crate::profile`]:
+//!
+//! - **Write-shared races** (cross-SM): a parameter reached by a
+//!   non-atomic store *and* bound to a cross-SM-shared region is a
+//!   placement hazard — NUBA cannot replicate it (MDR requires
+//!   read-only data) and concurrent SMs writing the same page race.
+//!   Thread-disjointness within one SM does not help: distinct SMs run
+//!   the same tid range, so `base + 4·tid` collides across SMs.
+//!   Atomic-only parameters (MapReduce's bins) are *not* flagged.
+//! - **Warp races** (intra-SM): a non-atomic store whose address is
+//!   not provably thread-disjoint (unknown address, loop-carried term,
+//!   or `|tid coeff| < width`) may collide between threads regardless
+//!   of placement.
+//!
+//! The detector is a proven-stronger companion to the read-only
+//! analysis: a flagged parameter is *never* replication-eligible
+//! (`race ∩ analyze_kernel_flow(..).read_only = ∅`), the same
+//! relationship `analyze_kernel_flow` holds to `analyze_kernel`.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use crate::ast::Kernel;
+use crate::profile::{profile_kernel, KernelStaticProfile, ProfileAssumptions};
+
+/// How one parameter is written.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ParamWriteSummary {
+    /// Static count of non-atomic stores attributed to the parameter.
+    pub non_atomic_stores: u32,
+    /// Static count of atomics attributed to the parameter.
+    pub atomics: u32,
+    /// Every non-atomic store is provably disjoint across one SM's
+    /// threads (vacuously true with no stores).
+    pub thread_disjoint: bool,
+}
+
+/// The race findings for one kernel.
+#[derive(Debug, Clone)]
+pub struct RaceReport {
+    /// Kernel name.
+    pub kernel: String,
+    /// Write summaries per parameter (declaration order preserved in
+    /// iteration by name is irrelevant; keyed for lookup).
+    pub params: BTreeMap<String, ParamWriteSummary>,
+    /// A store escaped attribution: every parameter must be treated as
+    /// potentially written.
+    pub unknown_store: bool,
+}
+
+impl RaceReport {
+    /// Derive the report from an existing static profile.
+    pub fn from_profile(profile: &KernelStaticProfile) -> RaceReport {
+        RaceReport {
+            kernel: profile.kernel.clone(),
+            params: profile
+                .params
+                .iter()
+                .map(|p| {
+                    (
+                        p.name.clone(),
+                        ParamWriteSummary {
+                            non_atomic_stores: p.stores,
+                            atomics: p.atomics,
+                            thread_disjoint: p.thread_disjoint_writes,
+                        },
+                    )
+                })
+                .collect(),
+            unknown_store: profile.unknown_store,
+        }
+    }
+
+    /// Parameters with at least one non-atomic store (the raw hazard
+    /// set; placement decides whether it is an actual cross-SM race).
+    pub fn non_atomic_written(&self) -> BTreeSet<String> {
+        self.params
+            .iter()
+            .filter(|(_, s)| s.non_atomic_stores > 0 || self.unknown_store)
+            .map(|(p, _)| p.clone())
+            .collect()
+    }
+
+    /// Cross-SM write-shared races: non-atomically-written parameters
+    /// among those bound to shared regions. Atomic-only parameters are
+    /// exempt — atomics serialize at the LLC slice.
+    pub fn write_shared_races(&self, shared_params: &BTreeSet<String>) -> BTreeSet<String> {
+        self.non_atomic_written()
+            .into_iter()
+            .filter(|p| shared_params.contains(p))
+            .collect()
+    }
+
+    /// Intra-SM warp races: parameters with a non-atomic store that is
+    /// not provably thread-disjoint.
+    pub fn warp_races(&self) -> BTreeSet<String> {
+        self.params
+            .iter()
+            .filter(|(_, s)| (s.non_atomic_stores > 0 && !s.thread_disjoint) || self.unknown_store)
+            .map(|(p, _)| p.clone())
+            .collect()
+    }
+}
+
+/// Run race detection on `kernel` under default profile assumptions.
+pub fn detect_races(kernel: &Kernel) -> RaceReport {
+    RaceReport::from_profile(&profile_kernel(kernel, ProfileAssumptions::default()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parse::parse_module;
+    use crate::replication_safety::analyze_kernel_flow;
+
+    fn report(src: &str) -> RaceReport {
+        let m = parse_module(src).unwrap();
+        detect_races(&m.kernels[0])
+    }
+
+    fn shared(names: &[&str]) -> BTreeSet<String> {
+        names.iter().map(|s| s.to_string()).collect()
+    }
+
+    const STORE_TO_SHARED: &str = r#"
+.visible .entry k(.param .u64 S, .param .u64 W)
+{
+    ld.param.u64 %rds, [S];
+    ld.param.u64 %rdw, [W];
+    cvta.to.global.u64 %rds, %rds;
+    cvta.to.global.u64 %rdw, %rdw;
+    mov.u32 %r1, %tid_x;
+    mul.wide.u32 %rd4, %r1, 4;
+    add.s64 %rd5, %rds, %rd4;
+    add.s64 %rd8, %rdw, %rd4;
+    ld.global.f32 %f1, [%rd5];
+    st.global.f32 [%rd8], %f1;
+    ret;
+}
+"#;
+
+    #[test]
+    fn non_atomic_store_to_shared_region_is_flagged() {
+        let r = report(STORE_TO_SHARED);
+        assert_eq!(r.write_shared_races(&shared(&["S", "W"])), shared(&["W"]));
+        // Same kernel, W bound privately: no cross-SM race.
+        assert!(r.write_shared_races(&shared(&["S"])).is_empty());
+        // Disjoint stride-4 stores: no warp race either.
+        assert!(r.warp_races().is_empty());
+    }
+
+    #[test]
+    fn atomic_only_bins_are_exempt() {
+        let r = report(
+            r#"
+.visible .entry k(.param .u64 W)
+{
+    ld.param.u64 %rdb, [W];
+    cvta.to.global.u64 %rdb, %rdb;
+    mov.u32 %r1, %tid_x;
+    mul.wide.u32 %rd4, %r1, 4;
+    add.s64 %rd8, %rdb, %rd4;
+    atom.global.add.u32 %r4, [%rd8], 1;
+    ret;
+}
+"#,
+        );
+        assert!(r.write_shared_races(&shared(&["W"])).is_empty());
+        assert!(r.warp_races().is_empty());
+        assert_eq!(r.params["W"].atomics, 1);
+    }
+
+    #[test]
+    fn broadcast_store_is_a_warp_race() {
+        let r = report(
+            r#"
+.visible .entry k(.param .u64 P)
+{
+    ld.param.u64 %rdp, [P];
+    cvta.to.global.u64 %rdp, %rdp;
+    st.global.f32 [%rdp], %f1;
+    ret;
+}
+"#,
+        );
+        assert_eq!(r.warp_races(), shared(&["P"]));
+        // Private placement: warp race but no cross-SM flag.
+        assert!(r.write_shared_races(&shared(&[])).is_empty());
+    }
+
+    #[test]
+    fn unknown_store_flags_everything() {
+        let r = report(
+            r#"
+.visible .entry k(.param .u64 A, .param .u64 B)
+{
+    ld.param.u64 %rd1, [A];
+    cvta.to.global.u64 %rd1, %rd1;
+    ld.global.f32 %f1, [%rd1];
+    st.global.f32 [%rd9], %f1;
+    ret;
+}
+"#,
+        );
+        assert!(r.unknown_store);
+        assert_eq!(
+            r.write_shared_races(&shared(&["A", "B"])),
+            shared(&["A", "B"])
+        );
+        assert_eq!(r.warp_races(), shared(&["A", "B"]));
+    }
+
+    #[test]
+    fn flagged_params_are_never_replication_eligible() {
+        // The proven-stronger companion property: for any kernel, the
+        // race set is disjoint from the flow pass's read-only set.
+        for src in [
+            STORE_TO_SHARED,
+            r#"
+.visible .entry k(.param .u64 S, .param .u64 W, .param .u64 P)
+{
+    ld.param.u64 %rds, [S];
+    ld.param.u64 %rdw, [W];
+    ld.param.u64 %rdp, [P];
+    cvta.to.global.u64 %rds, %rds;
+    cvta.to.global.u64 %rdw, %rdw;
+    cvta.to.global.u64 %rdp, %rdp;
+    mov.u32 %r1, %tid_x;
+    mul.wide.u32 %rd4, %r1, 4;
+    add.s64 %rd5, %rds, %rd4;
+    add.s64 %rd6, %rdp, %rd4;
+    add.s64 %rd8, %rdw, %rd4;
+    ld.global.f32 %f1, [%rd5];
+    st.global.f32 [%rd6], %f1;
+    st.global.f32 [%rd8], %f1;
+    ret;
+}
+"#,
+        ] {
+            let m = parse_module(src).unwrap();
+            let r = detect_races(&m.kernels[0]);
+            let ro = analyze_kernel_flow(&m.kernels[0]).summary.read_only;
+            let all: BTreeSet<String> = m.kernels[0].params.iter().cloned().collect();
+            let flagged = r.write_shared_races(&all);
+            assert!(
+                flagged.is_disjoint(&ro),
+                "raced {flagged:?} overlaps read-only {ro:?}"
+            );
+        }
+    }
+}

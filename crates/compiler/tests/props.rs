@@ -2,9 +2,15 @@
 //! output, and the analysis/rewrite stay consistent under generated
 //! kernels.
 
+use std::collections::BTreeMap;
+use std::collections::BTreeSet;
+
 use proptest::prelude::*;
 
-use nuba_compiler::{analyze_kernel, parse_module, rewrite_readonly_loads};
+use nuba_compiler::{
+    analyze_kernel, interpret, parse_module, profile_kernel, rewrite_readonly_loads, Footprint,
+    InterpConfig, InterpResult, ProfileAssumptions,
+};
 
 /// Generate a syntactically valid kernel: param pointers loaded into
 /// registers, a random mix of loads/stores through them.
@@ -43,6 +49,152 @@ fn kernel_strategy() -> impl Strategy<Value = (String, Vec<(usize, bool)>)> {
             src.push_str("    ret;\n}\n");
             (src, accesses)
         })
+}
+
+/// One generated counted-loop kernel plus the knobs that shaped it.
+#[derive(Debug, Clone)]
+struct LoopKernel {
+    src: String,
+    /// Loop trip count (a literal bound in the source).
+    trip: u64,
+    /// Per-param `(tid_stride, loop_stride, offset, is_store)`.
+    params: Vec<(i64, i64, i64, bool)>,
+}
+
+/// Generate a kernel where every param is walked by a counted loop:
+/// `base + tid·tid_stride + iv·loop_stride + offset`, with a literal
+/// trip count — the shape the affine pass and trip prover target.
+fn loop_kernel_strategy() -> impl Strategy<Value = LoopKernel> {
+    let param = (
+        prop_oneof![Just(0i64), Just(4), Just(8), Just(64)],
+        prop_oneof![Just(0i64), Just(4), Just(16), Just(128)],
+        (0i64..16).prop_map(|k| k * 4),
+        any::<bool>(),
+    );
+    (proptest::collection::vec(param, 1..=3), 1u64..=32).prop_map(|(params, trip)| {
+        let mut src = String::new();
+        src.push_str(".visible .entry gen(");
+        for i in 0..params.len() {
+            if i > 0 {
+                src.push_str(", ");
+            }
+            src.push_str(&format!(".param .u64 P{i}"));
+        }
+        src.push_str(")\n{\n");
+        for (i, &(tid_stride, _, _, _)) in params.iter().enumerate() {
+            src.push_str(&format!("    ld.param.u64 %rdb{i}, [P{i}];\n"));
+            src.push_str(&format!("    cvta.to.global.u64 %rdb{i}, %rdb{i};\n"));
+            src.push_str("    mov.u32 %r1, %tid_x;\n");
+            src.push_str(&format!("    mul.wide.u32 %rdt{i}, %r1, {tid_stride};\n"));
+            src.push_str(&format!("    add.s64 %rda{i}, %rdb{i}, %rdt{i};\n"));
+        }
+        src.push_str("    mov.u32 %r2, 0;\n");
+        src.push_str(&format!("    mov.u32 %r3, {trip};\n"));
+        src.push_str("LOOP:\n");
+        for (i, &(_, loop_stride, offset, store)) in params.iter().enumerate() {
+            if store {
+                src.push_str(&format!("    st.global.f32 [%rda{i}+{offset}], %f1;\n"));
+            } else {
+                src.push_str(&format!("    ld.global.f32 %f1, [%rda{i}+{offset}];\n"));
+            }
+            src.push_str(&format!("    add.s64 %rda{i}, %rda{i}, {loop_stride};\n"));
+        }
+        src.push_str("    add.u32 %r2, %r2, 1;\n");
+        src.push_str("    setp.lt.u32 %p1, %r2, %r3;\n");
+        src.push_str("    @%p1 bra LOOP;\n");
+        src.push_str("    ret;\n}\n");
+        LoopKernel { src, trip, params }
+    })
+}
+
+/// Interpret every thread `tid ∈ [0, threads)` of a loop kernel with
+/// param `i` based at `BASE_STEP · (i+1)` and collect the touched page
+/// set per param (pages relative to the param's own base).
+fn dynamic_pages(
+    kernel: &nuba_compiler::Kernel,
+    nparams: usize,
+    threads: u64,
+    page_bytes: u64,
+) -> Vec<BTreeSet<i64>> {
+    const BASE_STEP: i64 = 1 << 24; // far larger than any generated footprint
+    let params: BTreeMap<String, i64> = (0..nparams)
+        .map(|i| (format!("P{i}"), BASE_STEP * (i as i64 + 1)))
+        .collect();
+    let mut pages = vec![BTreeSet::new(); nparams];
+    for tid in 0..threads {
+        let r: InterpResult = interpret(
+            kernel,
+            &InterpConfig {
+                params: params.clone(),
+                tid: tid as i64,
+                max_steps: 0,
+            },
+        );
+        assert!(r.completed, "generated kernel must terminate");
+        for a in &r.accesses {
+            let pi = (a.addr / BASE_STEP - 1) as usize;
+            let rel = a.addr - BASE_STEP * (pi as i64 + 1);
+            for p in rel / page_bytes as i64..=(rel + a.width as i64 - 1) / page_bytes as i64 {
+                pages[pi].insert(p);
+            }
+        }
+    }
+    pages
+}
+
+proptest! {
+    #[test]
+    fn loop_kernels_roundtrip(lk in loop_kernel_strategy()) {
+        let m = parse_module(&lk.src).expect("generated loop kernel parses");
+        let re = parse_module(&m.to_ptx()).expect("emitted loop kernel reparses");
+        prop_assert_eq!(m, re);
+    }
+
+    /// The static footprint is a superset of the dynamically-touched
+    /// page set, and bounded: under assumptions matching the dynamic
+    /// run exactly (same thread count, trip fallback equal to the real
+    /// trip), the interval hull predicts no more pages than the hull of
+    /// what one thread sweep actually touches.
+    #[test]
+    fn static_footprint_covers_dynamic_pages(lk in loop_kernel_strategy()) {
+        let threads = 4u64;
+        let page_bytes = 4096u64;
+        let m = parse_module(&lk.src).unwrap();
+        let profile = profile_kernel(&m.kernels[0], ProfileAssumptions {
+            threads,
+            default_trip: lk.trip,
+            page_bytes,
+        });
+        let dynamic = dynamic_pages(&m.kernels[0], lk.params.len(), threads, page_bytes);
+        for (i, touched) in dynamic.iter().enumerate() {
+            let p = profile.param(&format!("P{i}")).unwrap();
+            let Footprint::Span { lo, hi } = p.footprint else {
+                return Err(TestCaseError::fail(format!(
+                    "P{i}: affine loop kernel produced {:?}",
+                    p.footprint
+                )));
+            };
+            let lo_page = lo.div_euclid(page_bytes as i64);
+            let hi_page = (hi - 1).div_euclid(page_bytes as i64);
+            // Superset: every touched page inside the predicted hull.
+            for &pg in touched {
+                prop_assert!(
+                    (lo_page..=hi_page).contains(&pg),
+                    "P{}: touched page {} outside predicted [{}, {}]",
+                    i, pg, lo_page, hi_page
+                );
+            }
+            // Bounded: the hull is exact at page granularity, because
+            // the assumptions match the dynamic run.
+            let dyn_lo = *touched.iter().next().expect("loop body touches the param");
+            let dyn_hi = *touched.iter().next_back().unwrap();
+            prop_assert_eq!(
+                (lo_page, hi_page),
+                (dyn_lo, dyn_hi),
+                "P{}: predicted hull wider than the dynamic hull", i
+            );
+        }
+    }
 }
 
 proptest! {
