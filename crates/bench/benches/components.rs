@@ -206,6 +206,43 @@ fn bench_full_sim(c: &mut Criterion) {
     g.finish();
 }
 
+fn bench_sim_skip(c: &mut Criterion) {
+    let mut g = c.benchmark_group("sim_skip");
+    g.sample_size(10);
+
+    // Event-driven time skipping against raw stepping, on the two
+    // shapes that bracket its payoff: the paper-baseline 64-SM machine
+    // (rarely globally idle, skipping ≈ stepping) and a latency-bound
+    // one-SM/one-warp machine whose long idle spans between memory
+    // round-trips are where the skipper earns its keep. BENCH_skip.json
+    // records the end-to-end `nuba_sim` ratios for the same pair.
+    type MakeConfig = fn() -> GpuConfig;
+    let configs: [(&str, MakeConfig); 2] = [
+        ("baseline_64sm", || {
+            GpuConfig::paper_baseline(ArchKind::Nuba)
+        }),
+        ("idle_1sm", || {
+            GpuConfig::paper_baseline(ArchKind::Nuba)
+                .scaled(0.015625)
+                .with_active_warps(1)
+        }),
+    ];
+    for (shape, make_cfg) in configs {
+        for (mode, skip) in [("step", false), ("skip", true)] {
+            g.throughput(Throughput::Elements(20_000));
+            g.bench_function(format!("{shape}_{mode}_20k_cycles"), |b| {
+                let cfg = make_cfg();
+                let wl = Workload::build(BenchmarkId::Sgemm, ScaleProfile::fast(), cfg.num_sms, 42);
+                let mut gpu = GpuSimulator::try_new(cfg, &wl).expect("valid config");
+                gpu.warm(&wl, 128);
+                gpu.set_skip(skip);
+                b.iter(|| gpu.advance(20_000).expect("forward progress"));
+            });
+        }
+    }
+    g.finish();
+}
+
 criterion_group!(
     benches,
     bench_cache,
@@ -214,6 +251,7 @@ criterion_group!(
     bench_mdr_model,
     bench_driver,
     bench_gpu_step,
-    bench_full_sim
+    bench_full_sim,
+    bench_sim_skip
 );
 criterion_main!(benches);

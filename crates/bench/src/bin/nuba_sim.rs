@@ -27,6 +27,8 @@ OPTIONS:
     --policy <P>       ft | rr | lab[:<threshold>] | migration | pagerep [lab:0.9]
     --replication <R>  none | full | mdr                              [mdr]
     --size <F>         scale SMs/LLC/channels by F (0.5, 1, 2)        [1]
+    --warps <N>        active warp contexts per SM (latency-bound
+                       occupancy when low)                            [32]
     --pages <S>        4k | 2m                                        [4k]
     --seed <N>         workload/layout seed                           [42]
     --kernel-every <N> flush L1s+LLC every N cycles (kernel boundaries)
@@ -46,6 +48,7 @@ struct Args {
     policy: PagePolicyKind,
     replication: ReplicationKind,
     size: f64,
+    warps: Option<usize>,
     huge_pages: bool,
     seed: u64,
     kernel_every: Option<u64>,
@@ -65,6 +68,7 @@ fn parse_args() -> Result<Args, String> {
         policy: PagePolicyKind::lab_default(),
         replication: ReplicationKind::Mdr,
         size: 1.0,
+        warps: None,
         huge_pages: false,
         seed: 42,
         kernel_every: None,
@@ -138,6 +142,13 @@ fn parse_args() -> Result<Args, String> {
                 };
             }
             "--size" => a.size = value(&mut i)?.parse().map_err(|e| format!("size: {e}"))?,
+            "--warps" => {
+                let n: usize = value(&mut i)?.parse().map_err(|e| format!("warps: {e}"))?;
+                if n == 0 {
+                    return Err("warps: must be at least 1".to_string());
+                }
+                a.warps = Some(n);
+            }
             "--pages" => {
                 a.huge_pages = match value(&mut i)?.as_str() {
                     "4k" | "4K" => false,
@@ -180,6 +191,9 @@ fn build_config(a: &Args) -> GpuConfig {
         .with_replication(a.replication)
         .with_seed(a.seed)
         .with_kernel_boundaries(a.kernel_every);
+    if let Some(w) = a.warps {
+        cfg = cfg.with_active_warps(w);
+    }
     if a.huge_pages {
         cfg = cfg.with_page_bytes(2 << 20);
     }

@@ -73,6 +73,12 @@ pub struct HarnessOptions {
     /// resumable retries (default: 20 000 under `NUBA_FULL`, else off;
     /// `0` forces off).
     pub checkpoint_every: Option<u64>,
+    /// `NUBA_NO_SKIP=1`: force the cycle-by-cycle stepping loop instead
+    /// of event-driven time skipping. Results are byte-identical either
+    /// way; this is a perf escape hatch / A-B knob. The simulator core
+    /// reads the variable itself — this field just snapshots it for
+    /// display and run manifests.
+    pub no_skip: bool,
 }
 
 impl HarnessOptions {
@@ -111,6 +117,7 @@ impl HarnessOptions {
             warm_reuse: std::env::var("NUBA_WARM_REUSE").map_or(true, |v| v != "0"),
             screen: flag("NUBA_SCREEN"),
             checkpoint_every,
+            no_skip: flag("NUBA_NO_SKIP"),
         }
     }
 

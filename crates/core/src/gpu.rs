@@ -64,6 +64,15 @@ struct McState {
     next_id: u64,
 }
 
+/// Whether new simulators use event-driven time skipping. On by
+/// default; `NUBA_NO_SKIP=1` restores unconditional per-cycle stepping
+/// (the escape hatch for A/B-ing the two paths). Read once — the
+/// environment is sampled at first simulator construction.
+fn skip_by_default() -> bool {
+    static NO_SKIP: std::sync::OnceLock<bool> = std::sync::OnceLock::new();
+    !*NO_SKIP.get_or_init(|| std::env::var("NUBA_NO_SKIP").is_ok_and(|v| v == "1"))
+}
+
 /// The assembled GPU.
 pub struct GpuSimulator {
     cfg: GpuConfig,
@@ -93,6 +102,9 @@ pub struct GpuSimulator {
     tracker: Option<PageAccessTracker>,
     // Fault injection: compiled schedule drained at the top of step().
     faults: Option<FaultSchedule>,
+    // Event-driven time skipping (config, not saved state): `run`
+    // jumps over provably-idle spans instead of stepping them.
+    skip: bool,
     // Forward-progress watchdog (None disables it).
     watchdog_budget: Option<u64>,
     last_progress_cycle: u64,
@@ -348,6 +360,7 @@ impl GpuSimulator {
                 .collect(),
             tracker,
             faults: None,
+            skip: skip_by_default(),
             watchdog_budget: cfg.watchdog_cycles,
             last_progress_cycle: 0,
             last_progress_signal: 0,
@@ -406,7 +419,20 @@ impl GpuSimulator {
         self.watchdog_budget = budget;
     }
 
+    /// Override the event-driven time-skipping default (on unless
+    /// `NUBA_NO_SKIP=1`): with skipping enabled, [`run`](Self::run)
+    /// jumps over provably-idle spans in O(1) instead of stepping them
+    /// cycle by cycle. Results are byte-identical either way; this is
+    /// an A/B switch, not a fidelity knob.
+    pub fn set_skip(&mut self, skip: bool) {
+        self.skip = skip;
+    }
+
     /// Run for `cycles` cycles and report.
+    ///
+    /// Uses event-driven time skipping unless disabled via
+    /// [`set_skip`](Self::set_skip) or `NUBA_NO_SKIP=1`; both paths
+    /// produce byte-identical results.
     ///
     /// # Errors
     /// Returns [`SimError::NoForwardProgress`] if the watchdog fires —
@@ -414,11 +440,256 @@ impl GpuSimulator {
     /// translations were still in flight. The simulator is left at the
     /// firing cycle, so `debug_state` and the queues can be inspected.
     pub fn run(&mut self, cycles: u64) -> Result<SimReport, SimError> {
+        self.advance(cycles)?;
+        Ok(self.report())
+    }
+
+    /// Run for `cycles` cycles with unconditional per-cycle stepping,
+    /// regardless of the skip setting.
+    ///
+    /// # Errors
+    /// Same as [`run`](Self::run).
+    pub fn run_stepping(&mut self, cycles: u64) -> Result<SimReport, SimError> {
+        self.advance_stepping(cycles)?;
+        Ok(self.report())
+    }
+
+    /// Run for `cycles` cycles with event-driven time skipping,
+    /// regardless of the skip setting.
+    ///
+    /// # Errors
+    /// Same as [`run`](Self::run).
+    pub fn run_skipping(&mut self, cycles: u64) -> Result<SimReport, SimError> {
+        self.advance_skipping(cycles)?;
+        Ok(self.report())
+    }
+
+    /// Advance `cycles` cycles without building a report (the
+    /// allocation-free core of [`run`](Self::run)); honors the skip
+    /// setting.
+    ///
+    /// # Errors
+    /// Same as [`run`](Self::run).
+    pub fn advance(&mut self, cycles: u64) -> Result<(), SimError> {
+        if self.skip {
+            self.advance_skipping(cycles)
+        } else {
+            self.advance_stepping(cycles)
+        }
+    }
+
+    fn advance_stepping(&mut self, cycles: u64) -> Result<(), SimError> {
         for _ in 0..cycles {
             self.step();
             self.check_forward_progress()?;
         }
-        Ok(self.report())
+        Ok(())
+    }
+
+    /// The time-skipping run loop: step through busy cycles, jump over
+    /// idle spans. A cycle is *busy* when any component reports an
+    /// event due now ([`next_component_event`](Self::next_component_event)),
+    /// a fault edge is due, or a kernel-boundary flush lands on it;
+    /// otherwise every tick in the span up to the earliest future
+    /// obligation is a byte-exact no-op (the [`nuba_engine::NextEvent`]
+    /// contract), so the clock can move there directly. Virtual-time
+    /// side effects that per-cycle stepping would have produced inside
+    /// the span — telemetry window flushes, watchdog checks, round-robin
+    /// pointer rotation, warp-scan bookkeeping — are replayed exactly
+    /// before or at the landing cycle.
+    fn advance_skipping(&mut self, cycles: u64) -> Result<(), SimError> {
+        // Poll backoff: on a busy machine the jump-decision scan below
+        // costs a few percent per cycle and never finds a jump. After a
+        // busy cycle, step without polling for a geometrically growing
+        // streak (capped); a successful jump resets it. Stepping is
+        // always exact, so this trades at most `POLL_CAP` late cycles
+        // per idle-span entry — noise against multi-hundred-cycle
+        // memory round-trips — for near-zero overhead while busy.
+        const POLL_CAP: u64 = 32;
+        let mut poll_in: u64 = 0;
+        let mut streak: u64 = 1;
+        let end = self.cycle + cycles;
+        while self.cycle < end {
+            if poll_in > 0 {
+                poll_in -= 1;
+                self.step();
+                self.check_forward_progress()?;
+                continue;
+            }
+            let now = self.cycle;
+            let component = self.next_component_event(now);
+            let fault_edge = self.faults.as_ref().and_then(|s| s.next_edge_cycle());
+            let kernel_flush_due = self
+                .cfg
+                .kernel_boundary_cycles
+                .is_some_and(|k| now > 0 && now.is_multiple_of(k));
+            if component == Some(now) || fault_edge.is_some_and(|t| t <= now) || kernel_flush_due {
+                self.step();
+                self.check_forward_progress()?;
+                poll_in = streak;
+                streak = (streak * 2).min(POLL_CAP);
+                continue;
+            }
+            streak = 1;
+
+            // Idle at `now`: jump to the earliest future obligation.
+            let mut target = end;
+            if let Some(e) = component {
+                target = target.min(e);
+            }
+            if let Some(t) = fault_edge {
+                target = target.min(t);
+            }
+            if let Some(k) = self.cfg.kernel_boundary_cycles {
+                target = target.min((now / k + 1) * k);
+            }
+            let mut stalled = false;
+            if let Some(budget) = self.watchdog_budget {
+                // Reproduce the per-cycle watchdog across the jump. The
+                // stepped loop checks after every step; nothing retires
+                // during a skipped span, so those checks are pure —
+                // except the first one, which would latch a signal
+                // change from the step we are not taking (at cycle
+                // now + 1), and the firing one at `lpc + budget`.
+                let signal = self.progress_signal();
+                if signal != self.last_progress_signal {
+                    self.last_progress_signal = signal;
+                    self.last_progress_cycle = now + 1;
+                }
+                let (_, _, outstanding) = self.request_balance();
+                stalled = outstanding > 0 || self.mmu.outstanding() > 0;
+                if stalled {
+                    // Stalled, not idle: cap the jump where the stepped
+                    // loop would have fired, and raise the identical
+                    // report there. (Truly idle spans re-arm the
+                    // watchdog every check, which collapses to one
+                    // re-arm at the landing cycle.)
+                    target = target.min(self.last_progress_cycle + budget);
+                }
+            }
+            if target <= now {
+                // Degenerate (e.g. the watchdog budget is already
+                // exhausted when skipping starts): take a real step so
+                // errors fire exactly as under stepping.
+                self.step();
+                self.check_forward_progress()?;
+                continue;
+            }
+
+            // Flush every telemetry window boundary the jump crosses,
+            // ascending — the stepped loop flushes the window ending at
+            // `c + 1` after cycle `c`, i.e. boundaries in (now, target].
+            if let Some(w) = self.telemetry.window_stride() {
+                let mut b = (now / w + 1) * w;
+                while b <= target {
+                    self.flush_telemetry_window(b);
+                    b += w;
+                }
+            }
+
+            // Catch up per-cycle bookkeeping that advances even on idle
+            // cycles, then move the clock.
+            let delta = target - now;
+            self.req_noc.skip_idle(delta);
+            self.reply_noc.skip_idle(delta);
+            for sm in &mut self.sms {
+                sm.skip_idle();
+            }
+            self.cycle = target;
+            // The watchdog checks the stepped loop would have run over
+            // the span, collapsed (nothing retires mid-jump, so the
+            // signal and outstanding counts computed above still hold
+            // at `target`).
+            match self.watchdog_budget {
+                Some(budget) if stalled && target - self.last_progress_cycle >= budget => {
+                    return Err(SimError::NoForwardProgress(Box::new(
+                        self.deadlock_report(budget),
+                    )));
+                }
+                Some(_) if !stalled => self.last_progress_cycle = target,
+                _ => {}
+            }
+        }
+        Ok(())
+    }
+
+    /// Earliest cycle ≥ `now` at which any component needs a real tick
+    /// (the [`nuba_engine::NextEvent`] contract aggregated over the
+    /// whole machine). `None` means every queue, pipe, link, walker and
+    /// bank is drained.
+    fn next_component_event(&self, now: u64) -> Option<u64> {
+        use nuba_engine::{earliest, NextEvent};
+        // Held packets are retried every cycle until they drain.
+        if !self.half_hold.is_empty()
+            || self.inbound_reply_hold.iter().any(|q| !q.is_empty())
+            || self.gw_req_hold.iter().any(|q| !q.is_empty())
+            || self.gw_reply_hold.iter().any(|q| !q.is_empty())
+        {
+            return Some(now);
+        }
+        let mut next = self.mmu.next_event_cycle(now);
+        if next == Some(now) {
+            return next;
+        }
+        for sm in &self.sms {
+            next = earliest(next, sm.next_event_cycle(now));
+            if next == Some(now) {
+                return next;
+            }
+        }
+        for s in &self.slices {
+            next = earliest(next, s.next_event_cycle(now));
+            if next == Some(now) {
+                return next;
+            }
+        }
+        next = earliest(next, self.req_noc.next_event_cycle(now));
+        if next == Some(now) {
+            return next;
+        }
+        next = earliest(next, self.reply_noc.next_event_cycle(now));
+        if next == Some(now) {
+            return next;
+        }
+        if let Some(links) = &self.local_req {
+            for l in links {
+                next = earliest(next, l.next_event_cycle(now));
+            }
+        }
+        if let Some(links) = &self.local_reply {
+            for l in links {
+                next = earliest(next, l.next_event_cycle(now));
+            }
+        }
+        if let Some(links) = &self.half_links {
+            for l in links {
+                next = earliest(next, l.next_event_cycle(now));
+            }
+        }
+        for l in self.gw_req.iter() {
+            next = earliest(next, l.next_event_cycle(now));
+        }
+        for l in self.gw_reply.iter() {
+            next = earliest(next, l.next_event_cycle(now));
+        }
+        if next == Some(now) {
+            return next;
+        }
+        // Memory controllers run on the divided clock: their events are
+        // in memory cycles, and a controller ticks at GPU cycle `c` when
+        // `c % divider == 0`. The first eligible memory cycle at or
+        // after `now` is `ceil(now / divider)`.
+        let div = self.cfg.dram_clock_divider;
+        let mem_now = now.div_ceil(div);
+        for m in &self.mcs {
+            if let Some(e) = m.mc.next_event_cycle(mem_now) {
+                next = earliest(next, Some((e * div).max(now)));
+                if next == Some(now) {
+                    return next;
+                }
+            }
+        }
+        next
     }
 
     /// Retires observed so far: replies delivered to SMs. Deliberately
@@ -567,9 +838,17 @@ impl GpuSimulator {
         let c = self.cycle;
 
         // Fire due fault edges before any component ticks, so a fault
-        // scheduled for cycle N affects cycle N. The schedule is moved
-        // out and back to let the dispatch borrow the components.
-        if let Some(mut sched) = self.faults.take() {
+        // scheduled for cycle N affects cycle N. Peek before moving the
+        // schedule out: the common case (no plan, or next edge in the
+        // future) must not pay the take/put-back dance every cycle.
+        if self
+            .faults
+            .as_ref()
+            .is_some_and(|s| s.next_edge_cycle().is_some_and(|t| t <= c))
+        {
+            // The schedule is moved out and back to let the dispatch
+            // borrow the components.
+            let mut sched = self.faults.take().expect("peeked above");
             while let Some((fault, apply)) = sched.next_edge(c) {
                 self.dispatch_fault(fault, apply);
             }

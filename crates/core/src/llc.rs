@@ -13,7 +13,7 @@
 use std::collections::VecDeque;
 
 use nuba_cache::{CacheGeometry, MshrFile, MshrOutcome, SetSampler, TagArray};
-use nuba_engine::{BandwidthLink, BoundedQueue, LatencyPipe, RoundRobinArbiter};
+use nuba_engine::{BandwidthLink, BoundedQueue, LatencyPipe, NextEvent, RoundRobinArbiter};
 use nuba_types::{AccessKind, LineAddr, MemReply, MemRequest, PartitionId, SliceId};
 
 use crate::mdr::{MdrBandwidths, MdrController};
@@ -311,6 +311,35 @@ impl LlcSlice {
                 self.sampler.roll_epoch();
             }
         }
+    }
+
+    /// Earliest cycle `>= now` at which ticking this slice changes
+    /// state (see [`nuba_engine::NextEvent`]). Anything queued at any
+    /// stage — including egress buffers the GPU drains — pins the
+    /// event to `now`; otherwise the tag pipeline's head, the output
+    /// link's head delivery and the MDR epoch clock are the only timed
+    /// events.
+    pub fn next_event_cycle(&self, now: u64) -> Option<u64> {
+        if self.retry.is_some()
+            || !self.hold_local.is_empty()
+            || !self.hold_remote.is_empty()
+            || !self.lmr.is_empty()
+            || !self.rmr.is_empty()
+            || !self.backlog.is_empty()
+            || !self.ready_replies.is_empty()
+            || !self.forward.is_empty()
+            || !self.mem_tasks.is_empty()
+        {
+            return Some(now);
+        }
+        let mut next = self.pipe.next_event_cycle(now);
+        if self.out.pending() > 0 {
+            next = nuba_engine::earliest(next, self.out.next_event_cycle(now));
+        }
+        if let Some(mdr) = &self.mdr {
+            next = nuba_engine::earliest(next, Some(mdr.next_epoch().max(now)));
+        }
+        next
     }
 
     /// Handle one pipeline completion. Returns `false` if the request

@@ -139,6 +139,13 @@ impl MdrController {
         now < self.busy_until
     }
 
+    /// Cycle of the next epoch evaluation — the controller's only
+    /// self-timed event ([`tick`](MdrController::tick) is a pure no-op
+    /// before it).
+    pub fn next_epoch(&self) -> u64 {
+        self.next_epoch
+    }
+
     /// Record one local-SM request (local home or remote home).
     pub fn note_request(&mut self, local_home: bool) {
         if local_home {

@@ -391,6 +391,37 @@ impl Sm {
     pub fn flush_l1(&mut self) {
         let _ = self.l1.flush();
     }
+
+    /// Earliest cycle `>= now` at which this SM does work (see
+    /// [`nuba_engine::NextEvent`]): any `Ready` warp issues (or at
+    /// least accrues stall accounting) every cycle; a computing warp
+    /// wakes at its deadline; translation- and memory-blocked warps
+    /// wait on events owned by the MMU and the reply path.
+    pub fn next_event_cycle(&self, now: u64) -> Option<u64> {
+        let mut next = None;
+        for w in &self.warps {
+            match w.state {
+                WarpState::Ready => return Some(now),
+                WarpState::Compute(until) => {
+                    if until <= now {
+                        return Some(now);
+                    }
+                    next = nuba_engine::earliest(next, Some(until));
+                }
+                WarpState::WaitTranslation | WarpState::WaitMem => {}
+            }
+        }
+        next
+    }
+
+    /// Catch up the per-cycle scan budget after skipped idle cycles: a
+    /// stepped idle cycle ends with every warp scanned and nothing
+    /// issued, so `scanned` lands on `warps.len()` (and `next_warp`
+    /// stays put). Keeps checkpoints taken after a jump byte-identical
+    /// to per-cycle stepping.
+    pub fn skip_idle(&mut self) {
+        self.scanned = self.warps.len();
+    }
 }
 
 impl StateValue for WarpState {

@@ -438,6 +438,14 @@ impl Telemetry {
         self.windowing() && cycle_after.is_multiple_of(self.window_cycles)
     }
 
+    /// Window length in cycles when windowed sampling is enabled. The
+    /// time-skipping run loop uses this to enumerate every boundary a
+    /// jump crosses so each window is flushed exactly as it would be
+    /// under per-cycle stepping.
+    pub fn window_stride(&self) -> Option<u64> {
+        self.windowing().then_some(self.window_cycles)
+    }
+
     /// Record the window ending at `end_cycle` from the current
     /// cumulative `totals` (diffed against the previous flush) and the
     /// flush-edge `gauges`. Overwrites the oldest slot when the ring is

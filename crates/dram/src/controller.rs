@@ -2,6 +2,8 @@
 
 use std::collections::VecDeque;
 
+use nuba_engine::earliest;
+
 use crate::bank::{BankState, RowOutcome};
 use crate::timing::HbmTiming;
 
@@ -255,6 +257,29 @@ impl MemoryController {
     /// glitch-free.
     pub fn set_fault_stretch(&mut self, extra: u64) {
         self.fault_stretch = extra;
+    }
+
+    /// Earliest **memory** cycle `>= now` at which ticking changes
+    /// state (see [`nuba_engine::NextEvent`]; the caller converts to
+    /// its own clock domain). Events: a due or future refresh, a
+    /// retirement, or a schedulable queued request — scheduling issues
+    /// every cycle the queue is non-empty and a per-bank slot is free,
+    /// so such spans are never skippable.
+    pub fn next_event_cycle(&self, now: u64) -> Option<u64> {
+        if now >= self.next_refresh {
+            return Some(now);
+        }
+        if !self.queue.is_empty() && self.inflight.len() < self.banks.len() {
+            return Some(now);
+        }
+        let mut next = (self.next_refresh != u64::MAX).then_some(self.next_refresh);
+        for (completes, _) in &self.inflight {
+            if *completes <= now {
+                return Some(now);
+            }
+            next = earliest(next, Some(*completes));
+        }
+        next
     }
 
     /// Controller statistics so far.

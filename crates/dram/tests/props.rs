@@ -4,6 +4,13 @@
 use proptest::prelude::*;
 
 use nuba_dram::{DramRequest, HbmTiming, MemoryController};
+use nuba_types::state::{SaveState, StateWriter};
+
+fn state_bytes(mc: &MemoryController) -> Vec<u8> {
+    let mut w = StateWriter::new();
+    mc.save(&mut w);
+    w.into_bytes()
+}
 
 proptest! {
     #[test]
@@ -44,6 +51,53 @@ proptest! {
             stats.row_hits + stats.row_closed + stats.row_conflicts,
             reqs.len() as u64
         );
+    }
+
+    /// `next_event_cycle` agrees with a step-until-change oracle: over
+    /// a random request mix, at every cycle the prediction must cover
+    /// the first future cycle at which a tick mutates controller state
+    /// or completes a request (equal or earlier, never later), and a
+    /// predicted gap must really be a byte-exact no-op span.
+    #[test]
+    fn next_event_matches_step_oracle(
+        reqs in proptest::collection::vec((0usize..4, 0u64..4, any::<bool>(), 0u64..200), 1..12),
+        burst in 1u64..4,
+    ) {
+        let mut mc = MemoryController::new(HbmTiming::paper(), 4, 16, burst);
+        let mut pending: Vec<(u64, DramRequest)> = reqs
+            .iter()
+            .enumerate()
+            .map(|(i, &(bank, row, is_write, at))| {
+                (at, DramRequest { id: i as u64, bank, row, is_write })
+            })
+            .collect();
+        pending.sort_by_key(|&(at, r)| (at, r.id));
+        let mut done = Vec::new();
+        for t in 0..400u64 {
+            for &(at, r) in pending.iter().filter(|&&(at, _)| at == t) {
+                let _ = mc.try_enqueue(r, at);
+            }
+            let predicted = mc.next_event_cycle(t);
+            let before = state_bytes(&mc);
+            mc.tick(t, &mut done);
+            let changed = state_bytes(&mc) != before || !done.is_empty();
+            done.clear();
+            if changed {
+                // A state change this cycle must have been predicted now.
+                prop_assert_eq!(
+                    predicted, Some(t),
+                    "state changed at {} but prediction was {:?}", t, predicted
+                );
+            } else if let Some(p) = predicted {
+                prop_assert!(p > t, "predicted {} <= now {} with no change", p, t);
+            }
+        }
+        // Quiesced tail: with everything retired the controller must
+        // either report no event or only the periodic refresh.
+        if mc.pending() == 0 {
+            let tail = mc.next_event_cycle(400);
+            prop_assert!(tail.is_none_or(|t| t >= 400));
+        }
     }
 
     /// A single-bank stream of same-row requests must be nearly all row

@@ -1,0 +1,59 @@
+//! The next-event contract that powers time-skipping simulation.
+
+use crate::Cycle;
+
+/// A component that can name the next cycle at which ticking it would
+/// change its state.
+///
+/// `next_event_cycle(now)` returns the earliest cycle `t >= now` at
+/// which ticking the component mutates any saved state or produces
+/// output. The contract the time-skipping top loop relies on:
+///
+/// - **Busy now:** if ticking at `now` would change state, the hook
+///   must return `Some(now)`.
+/// - **Future event:** if the component is quiescent until some known
+///   cycle `t > now` (a latency countdown, a timer), it returns
+///   `Some(t)`; ticking at any cycle in `[now, t)` must be a byte-exact
+///   no-op on its saved state.
+/// - **Fully idle:** `None` means no future tick changes state until
+///   new input arrives from outside.
+///
+/// Hooks may be *conservative* (return an earlier cycle than strictly
+/// necessary, including `Some(now)` while merely busy-adjacent) — that
+/// only costs skipped cycles, never correctness. Returning a cycle
+/// *later* than the first real state change breaks cycle-exactness and
+/// is a bug.
+///
+/// The hook must be pure: calling it must not mutate the component.
+pub trait NextEvent {
+    /// Earliest cycle `>= now` at which ticking changes state, or
+    /// `None` if the component is idle with no timed work pending.
+    fn next_event_cycle(&self, now: Cycle) -> Option<Cycle>;
+}
+
+/// Fold two optional event cycles into the earlier one.
+///
+/// A small helper for aggregating `next_event_cycle` results across
+/// subcomponents without allocating.
+#[must_use]
+pub fn earliest(a: Option<Cycle>, b: Option<Cycle>) -> Option<Cycle> {
+    match (a, b) {
+        (Some(x), Some(y)) => Some(x.min(y)),
+        (x, None) => x,
+        (None, y) => y,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn earliest_folds_options() {
+        assert_eq!(earliest(None, None), None);
+        assert_eq!(earliest(Some(5), None), Some(5));
+        assert_eq!(earliest(None, Some(7)), Some(7));
+        assert_eq!(earliest(Some(5), Some(7)), Some(5));
+        assert_eq!(earliest(Some(9), Some(2)), Some(2));
+    }
+}

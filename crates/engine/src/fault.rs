@@ -280,6 +280,14 @@ impl FaultSchedule {
     pub fn exhausted(&self) -> bool {
         self.cursor >= self.edges.len()
     }
+
+    /// Cycle of the next un-fired edge, without consuming it. `None`
+    /// when the schedule is exhausted. Lets the simulator skip the
+    /// per-cycle drain entirely until this cycle arrives, and caps
+    /// time-skipping jumps so no edge is stepped over.
+    pub fn next_edge_cycle(&self) -> Option<u64> {
+        self.edges.get(self.cursor).map(|e| e.cycle)
+    }
 }
 
 impl StateValue for LinkSite {
@@ -429,6 +437,18 @@ mod tests {
         assert!(s.next_edge(20).is_none());
         assert_eq!(s.next_edge(30), Some((Fault::TlbWalkerStall, false)));
         assert!(s.exhausted());
+    }
+
+    #[test]
+    fn next_edge_cycle_peeks_without_consuming() {
+        let plan = FaultPlan::new().with(Fault::TlbWalkerStall, 10, Some(20));
+        let mut s = plan.compile();
+        assert_eq!(s.next_edge_cycle(), Some(10));
+        assert_eq!(s.next_edge_cycle(), Some(10));
+        assert!(s.next_edge(10).is_some());
+        assert_eq!(s.next_edge_cycle(), Some(20));
+        assert!(s.next_edge(20).is_some());
+        assert_eq!(s.next_edge_cycle(), None);
     }
 
     #[test]

@@ -35,6 +35,7 @@
 //! ```
 
 pub mod arbiter;
+pub mod event;
 pub mod fault;
 pub mod link;
 pub mod pipe;
@@ -42,6 +43,7 @@ pub mod queue;
 pub mod rng;
 
 pub use arbiter::RoundRobinArbiter;
+pub use event::{earliest, NextEvent};
 pub use fault::{Fault, FaultEvent, FaultPlan, FaultSchedule, LinkSite};
 pub use link::{BandwidthLink, SendError};
 pub use pipe::LatencyPipe;

@@ -105,6 +105,13 @@ impl<T: Wire> BandwidthLink<T> {
             self.last_tick.is_none_or(|t| t <= now),
             "time went backwards"
         );
+        // Idle fast-path: nothing serializing and nothing due for
+        // delivery. Returning before the `last_tick` write keeps a
+        // per-cycle-stepped idle span byte-identical to a skipped one,
+        // which is what lets `run_skipping` jump over these cycles.
+        if self.queue.is_empty() && self.inflight.front().is_none_or(|(r, _)| *r > now) {
+            return;
+        }
         self.last_tick = Some(now);
 
         if !self.queue.is_empty() {
@@ -176,6 +183,19 @@ impl<T: Wire> BandwidthLink<T> {
     }
 }
 
+impl<T: Wire> crate::NextEvent for BandwidthLink<T> {
+    fn next_event_cycle(&self, now: Cycle) -> Option<Cycle> {
+        // A non-empty input queue serializes (or, fully derated, at
+        // least accrues busy accounting) every cycle — never skippable.
+        if !self.queue.is_empty() {
+            return Some(now);
+        }
+        // Otherwise the only future event is the head in-flight
+        // delivery; a ready time already in the past fires now.
+        self.inflight.front().map(|(r, _)| (*r).max(now))
+    }
+}
+
 impl<T: Wire + StateValue> SaveState for BandwidthLink<T> {
     fn save(&self, w: &mut StateWriter) {
         self.queue.put(w);
@@ -223,6 +243,14 @@ mod tests {
     impl Wire for Pkt {
         fn wire_bytes(&self) -> u64 {
             self.0
+        }
+    }
+    impl StateValue for Pkt {
+        fn put(&self, w: &mut StateWriter) {
+            self.0.put(w);
+        }
+        fn get(r: &mut StateReader<'_>) -> Result<Self, StateError> {
+            Ok(Pkt(u64::get(r)?))
         }
     }
 
@@ -351,5 +379,50 @@ mod tests {
         assert_eq!(link.derate(), 1.0);
         link.set_derate(-1.0);
         assert_eq!(link.derate(), 0.0);
+    }
+
+    fn state_bytes(link: &BandwidthLink<Pkt>) -> Vec<u8> {
+        let mut w = nuba_types::state::StateWriter::new();
+        link.save(&mut w);
+        w.into_bytes()
+    }
+
+    #[test]
+    fn idle_ticks_are_byte_exact_no_ops() {
+        // Drain a packet, then tick through a long idle gap: the saved
+        // state must not change at all, so a time-skipping loop may
+        // jump the whole gap without ticking.
+        let mut link = BandwidthLink::new(16.0, 4, 4);
+        link.try_send(Pkt(16), 0).unwrap();
+        let _ = run(&mut link, 0, 10);
+        let before = state_bytes(&link);
+        let mut out = Vec::new();
+        for c in 11..100 {
+            link.tick(c, &mut out);
+        }
+        assert!(out.is_empty());
+        assert_eq!(state_bytes(&link), before);
+    }
+
+    #[test]
+    fn next_event_tracks_queue_and_inflight() {
+        use crate::NextEvent;
+        let mut link = BandwidthLink::new(16.0, 8, 4);
+        assert_eq!(link.next_event_cycle(0), None);
+        link.try_send(Pkt(16), 0).unwrap();
+        // Queued work serializes every cycle.
+        assert_eq!(link.next_event_cycle(0), Some(0));
+        let mut out = Vec::new();
+        link.tick(0, &mut out);
+        // Serialization done at cycle 0; delivery at 0 + 8.
+        assert_eq!(link.next_event_cycle(1), Some(8));
+        for c in 1..8 {
+            link.tick(c, &mut out);
+        }
+        assert!(out.is_empty());
+        assert_eq!(link.next_event_cycle(8), Some(8));
+        link.tick(8, &mut out);
+        assert_eq!(out.len(), 1);
+        assert_eq!(link.next_event_cycle(9), None);
     }
 }

@@ -79,6 +79,14 @@ impl<T> LatencyPipe<T> {
     }
 }
 
+impl<T> crate::NextEvent for LatencyPipe<T> {
+    fn next_event_cycle(&self, now: Cycle) -> Option<Cycle> {
+        // The pipe is demand-driven (popped, never ticked): its only
+        // event is the head item's ready time.
+        self.next_ready().map(|r| r.max(now))
+    }
+}
+
 impl<T> Default for LatencyPipe<T> {
     fn default() -> Self {
         LatencyPipe::new()

@@ -3,7 +3,8 @@
 
 use proptest::prelude::*;
 
-use nuba_engine::{BandwidthLink, BoundedQueue, LatencyPipe, RoundRobinArbiter, Wire};
+use nuba_engine::{BandwidthLink, BoundedQueue, LatencyPipe, NextEvent, RoundRobinArbiter, Wire};
+use nuba_types::state::{SaveState, StateError, StateReader, StateValue, StateWriter};
 
 #[derive(Debug, Clone, Copy, PartialEq)]
 struct Pkt {
@@ -15,6 +16,25 @@ impl Wire for Pkt {
     fn wire_bytes(&self) -> u64 {
         self.bytes
     }
+}
+
+impl StateValue for Pkt {
+    fn put(&self, w: &mut StateWriter) {
+        u64::from(self.id).put(w);
+        self.bytes.put(w);
+    }
+    fn get(r: &mut StateReader<'_>) -> Result<Self, StateError> {
+        Ok(Pkt {
+            id: u64::get(r)? as u32,
+            bytes: u64::get(r)?,
+        })
+    }
+}
+
+fn state_bytes<S: SaveState>(s: &S) -> Vec<u8> {
+    let mut w = StateWriter::new();
+    s.save(&mut w);
+    w.into_bytes()
 }
 
 proptest! {
@@ -115,5 +135,87 @@ proptest! {
                 prop_assert!((0..n).all(|i| !req(i)));
             }
         }
+    }
+
+    /// `next_event_cycle` agrees with a step-until-change oracle: over a
+    /// random send schedule (covering credit refill, serialization of
+    /// multi-cycle packets, and in-flight latency), any cycle whose tick
+    /// mutates link state must have been predicted `Some(now)`, and a
+    /// predicted gap must really be a byte-exact no-op span.
+    #[test]
+    fn link_next_event_matches_step_oracle(
+        sends in proptest::collection::vec((0u64..120, 1u64..96), 1..24),
+        bw in 1u32..48,
+        latency in 0u64..12,
+    ) {
+        let mut link: BandwidthLink<Pkt> = BandwidthLink::new(bw as f64, latency, 4);
+        let mut pending: Vec<(u64, Pkt)> = sends
+            .iter()
+            .enumerate()
+            .map(|(i, &(at, bytes))| (at, Pkt { id: i as u32, bytes }))
+            .collect();
+        pending.sort_by_key(|&(at, p)| (at, p.id));
+        let total_bytes: u64 = sends.iter().map(|&(_, b)| b).sum();
+        // Last send + worst-case serialization + latency, so the tail
+        // assertions below see a fully drained link.
+        let horizon = 120 + total_bytes / u64::from(bw) + latency + sends.len() as u64 + 8;
+        let mut out = Vec::new();
+        for t in 0..horizon {
+            for &(_, p) in pending.iter().filter(|&&(at, _)| at == t) {
+                let _ = link.try_send(p, t);
+            }
+            let predicted = link.next_event_cycle(t);
+            let before = state_bytes(&link);
+            link.tick(t, &mut out);
+            let changed = state_bytes(&link) != before || !out.is_empty();
+            out.clear();
+            if changed {
+                prop_assert_eq!(
+                    predicted, Some(t),
+                    "link state changed at {} but prediction was {:?}", t, predicted
+                );
+            } else if let Some(p) = predicted {
+                prop_assert!(p > t, "predicted {} <= now {} with no change", p, t);
+            }
+        }
+        prop_assert_eq!(link.pending(), 0, "horizon drains every packet");
+        prop_assert!(link.next_event_cycle(horizon).is_none(), "drained link must sleep");
+    }
+
+    /// The pipe's `next_event_cycle` is exact: it predicts precisely the
+    /// cycles where `pop_ready` yields items, and nothing in between.
+    /// One fixed latency per pipe, as the push contract requires.
+    #[test]
+    fn pipe_next_event_matches_step_oracle(
+        arrivals in proptest::collection::vec(0u64..80, 1..30),
+        latency in 0u64..30,
+    ) {
+        let mut pipe: LatencyPipe<u32> = LatencyPipe::new();
+        let mut pushes: Vec<(u64, u32)> = arrivals
+            .iter()
+            .enumerate()
+            .map(|(i, &at)| (at, i as u32))
+            .collect();
+        pushes.sort_unstable();
+        for t in 0..160u64 {
+            for &(_, id) in pushes.iter().filter(|&&(at, _)| at == t) {
+                pipe.push(id, t, latency);
+            }
+            let predicted = pipe.next_event_cycle(t);
+            let mut popped = 0u32;
+            while pipe.pop_ready(t).is_some() {
+                popped += 1;
+            }
+            if popped > 0 {
+                prop_assert_eq!(
+                    predicted, Some(t),
+                    "items ready at {} but prediction was {:?}", t, predicted
+                );
+            } else if let Some(p) = predicted {
+                prop_assert!(p > t, "predicted {} <= now {} with nothing ready", p, t);
+            }
+        }
+        prop_assert!(pipe.is_empty(), "horizon drains the pipe");
+        prop_assert!(pipe.next_event_cycle(160).is_none(), "drained pipe must sleep");
     }
 }

@@ -280,6 +280,42 @@ impl TranslationEngine {
         }
     }
 
+    /// Earliest cycle `>= now` at which ticking changes state (see
+    /// [`nuba_engine::NextEvent`]). Busy now when any access or walk
+    /// has completed, or a queued page could start; otherwise the
+    /// earliest in-flight `done_at`. A walk queue blocked behind a
+    /// walker-stall fault with nothing in flight reports `None` — the
+    /// reverting fault edge is a jump cap in the caller, so the stall
+    /// window itself is skippable.
+    pub fn next_event_cycle(&self, now: u64) -> Option<u64> {
+        if !self.l2_queue.is_empty() {
+            return Some(now);
+        }
+        if !self.walk_queue.is_empty()
+            && !self.walker_stall
+            && self.active_walks < self.params.walkers
+        {
+            return Some(now);
+        }
+        if self.outstanding.is_empty() {
+            // Iterating an empty map still walks its whole capacity;
+            // the drained case is the hot path for time skipping.
+            return None;
+        }
+        // The min over unordered map iteration is order-independent,
+        // so determinism survives without a sort.
+        let mut next = None;
+        for o in self.outstanding.values() {
+            if let Stage::L2Access { done_at } | Stage::Walking { done_at } = o.stage {
+                if done_at <= now {
+                    return Some(now);
+                }
+                next = nuba_engine::earliest(next, Some(done_at));
+            }
+        }
+        next
+    }
+
     fn recycle(&mut self, mut o: Outstanding) {
         o.waiters.clear();
         self.waiter_pool.push(o.waiters);

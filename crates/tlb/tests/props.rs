@@ -58,4 +58,65 @@ proptest! {
             TranslationOutcome::HitL1
         );
     }
+
+    /// `next_event_cycle` agrees with a step-until-change oracle across
+    /// random arrival schedules mixing L1/L2 hits, walks, and faults:
+    /// any cycle whose tick mutates engine state or completes a
+    /// translation must have been predicted `Some(now)`, and a predicted
+    /// gap must really be a no-op span.
+    #[test]
+    fn next_event_matches_step_oracle(
+        reqs in proptest::collection::vec(
+            (0usize..4, 0u64..12, any::<bool>(), 0u64..200), 1..10),
+        walkers in 1usize..4,
+    ) {
+        use nuba_types::state::{SaveState, StateWriter};
+        let state_bytes = |mmu: &TranslationEngine| {
+            let mut w = StateWriter::new();
+            mmu.save(&mut w);
+            w.into_bytes()
+        };
+        // Small TLBs keep the per-cycle state snapshots cheap; the
+        // timing parameters (latencies, walkers) are what the oracle
+        // exercises.
+        let params = TlbParams {
+            l1_entries: 8,
+            l1_ways: 2,
+            l2_entries: 32,
+            l2_ways: 4,
+            walkers,
+            fault_latency: 50,
+            ..TlbParams::paper()
+        };
+        let mut mmu = TranslationEngine::new(params, 4);
+        let mut arrivals: Vec<(u64, usize, u64, bool)> = reqs
+            .iter()
+            .map(|&(sm, vpage, mapped, at)| (at, sm, vpage, mapped))
+            .collect();
+        arrivals.sort_unstable();
+        let mut done = Vec::new();
+        // Last arrival + serialized worst case on one walker
+        // (walk 160 + fault 50 per request) + L2 latency slack.
+        let horizon = 200 + 210 * reqs.len() as u64 + 300;
+        for t in 0..horizon {
+            for &(_, sm, vpage, mapped) in arrivals.iter().filter(|&&(at, ..)| at == t) {
+                let _ = mmu.request(SmId(sm), PageNum(vpage), t, mapped);
+            }
+            let predicted = mmu.next_event_cycle(t);
+            let before = state_bytes(&mmu);
+            mmu.tick(t, &mut done);
+            let changed = state_bytes(&mmu) != before || !done.is_empty();
+            done.clear();
+            if changed {
+                prop_assert_eq!(
+                    predicted, Some(t),
+                    "MMU state changed at {} but prediction was {:?}", t, predicted
+                );
+            } else if let Some(p) = predicted {
+                prop_assert!(p > t, "predicted {} <= now {} with no change", p, t);
+            }
+        }
+        prop_assert_eq!(mmu.outstanding(), 0, "horizon drains every walk");
+        prop_assert!(mmu.next_event_cycle(horizon).is_none(), "drained engine must sleep");
+    }
 }

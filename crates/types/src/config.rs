@@ -465,6 +465,17 @@ impl GpuConfig {
         self
     }
 
+    /// Cap the simulated warp contexts per SM (builder style). Low
+    /// counts model latency-bound occupancy: each SM issues a handful
+    /// of requests and then sits idle until the replies return —
+    /// exactly the long idle spans event-driven time skipping jumps
+    /// over. Values above `warps_per_sm` are clamped by consumers.
+    #[must_use]
+    pub fn with_active_warps(mut self, warps: usize) -> GpuConfig {
+        self.sim_active_warps = warps;
+        self
+    }
+
     /// Set the first-touch page-fault penalty in cycles (builder style).
     #[must_use]
     pub fn with_page_fault_latency(mut self, cycles: u64) -> GpuConfig {
