@@ -8,6 +8,7 @@
 //! ```
 
 use nuba_bench::runner::{run_matrix, Job, JobResult};
+use nuba_bench::store::{CheckpointStore, StoreKey};
 use nuba_bench::{Harness, HarnessOptions};
 use nuba_core::{Checkpoint, SimReport, SimSession};
 use nuba_types::{ArchKind, GpuConfig, MappingKind, PagePolicyKind, ReplicationKind};
@@ -210,6 +211,10 @@ fn build_config(a: &Args) -> GpuConfig {
 fn scale_of(a: &Args) -> ScaleProfile {
     if a.huge_pages {
         ScaleProfile::huge_pages()
+    } else if HarnessOptions::get().fast {
+        // `NUBA_FAST=1` quarter-density scaling, exactly like the
+        // figure binaries — keeps checkpoint drills cheap in CI.
+        ScaleProfile::fast()
     } else {
         ScaleProfile::default()
     }
@@ -433,10 +438,25 @@ fn checkpoint_run(a: &Args, bench: BenchmarkId, path: &str) {
         std::process::exit(2);
     });
     let ckpt = sess.checkpoint();
-    std::fs::write(path, ckpt.to_bytes()).unwrap_or_else(|e| {
-        eprintln!("error: cannot write {path}: {e}");
-        std::process::exit(2);
-    });
+    // When a persistent store is configured, commit there first — this
+    // is the (optionally stalled) write the crash-recovery drill kills
+    // mid-flight to prove the store survives torn writes.
+    if let Some(store) = CheckpointStore::from_env() {
+        let key = StoreKey::run(bench, ckpt.config().state_hash(), ckpt.cycle());
+        if let Err(e) = store.put(&key, &ckpt) {
+            eprintln!("warning: cannot persist checkpoint to store: {e}");
+        }
+    }
+    // The explicit file is written atomically too: temp + rename, so a
+    // crash never leaves a torn file at the requested path.
+    let tmp = format!("{path}.tmp.{}", std::process::id());
+    std::fs::write(&tmp, ckpt.to_bytes())
+        .and_then(|()| std::fs::rename(&tmp, path))
+        .unwrap_or_else(|e| {
+            let _ = std::fs::remove_file(&tmp);
+            eprintln!("error: cannot write {path}: {e}");
+            std::process::exit(2);
+        });
     eprintln!(
         "checkpointed {bench} on {} at cycle {} -> {path}",
         a.arch.label(),

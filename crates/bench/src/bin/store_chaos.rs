@@ -1,0 +1,82 @@
+//! `store-chaos`: the sanctioned disk-fault drill for the persistent
+//! checkpoint store. Runs a small matrix twice against the same store —
+//! pass 1 populates it (under any `NUBA_STORE_FAULT` injection), pass 2
+//! re-reads it with a cold in-memory cache — and asserts the two result
+//! sets are byte-identical. Torn writes, bit flips, injected `ENOSPC`,
+//! and unreadable entries may degrade the store; they must never change
+//! a simulation result or take the matrix down.
+//!
+//! ```text
+//! NUBA_STORE_DIR=/tmp/chaos NUBA_STORE_FAULT="torn@0,enospc@1,flip@2:9" \
+//!     store_chaos
+//! ```
+
+use nuba_bench::runner::{run_matrix_ctx, Job, JobOutcome, MatrixStats, RunnerCtx};
+use nuba_bench::{main_configs, Harness, HarnessOptions};
+use nuba_workloads::BenchmarkId;
+
+fn chaos_jobs() -> Vec<Job> {
+    let benches = [BenchmarkId::Kmeans, BenchmarkId::Sgemm];
+    let mut jobs = Vec::new();
+    for (name, cfg) in main_configs() {
+        for b in benches {
+            jobs.push(Job::new(format!("{b}/{name}"), b, cfg.clone()));
+        }
+    }
+    jobs
+}
+
+fn main() {
+    let opts = HarnessOptions::get();
+    let h = Harness::from_env();
+    let jobs = chaos_jobs();
+    println!(
+        "store-chaos: {} jobs x 2 passes, store={}, faults={}",
+        jobs.len(),
+        opts.store_dir.as_deref().unwrap_or("<memory only>"),
+        opts.store_fault.as_deref().unwrap_or("<none>")
+    );
+
+    // Pass 1: cold store — warm-ups run for real and publish entries,
+    // with any injected faults tearing/corrupting them along the way.
+    let ctx = RunnerCtx::from_env();
+    let pass1 = run_matrix_ctx(&ctx, &h, &jobs);
+
+    // Pass 2: same persistent store, cold in-memory cache — warm state
+    // now comes from disk wherever an entry survived verification, and
+    // is re-derived wherever chaos destroyed one.
+    ctx.reset_warm_cache();
+    let pass2 = run_matrix_ctx(&ctx, &h, &jobs);
+
+    let mut mismatches = 0usize;
+    for (a, b) in pass1.iter().zip(&pass2) {
+        if a.report != b.report || a.outcome != b.outcome {
+            mismatches += 1;
+            eprintln!("store-chaos: MISMATCH on {}", a.label);
+        }
+    }
+    let incomplete = pass1
+        .iter()
+        .chain(&pass2)
+        .filter(|r| r.outcome != JobOutcome::Ok)
+        .count();
+    let stats = MatrixStats::of(&pass2);
+    if let Some(store) = ctx.store() {
+        let s = store.stats();
+        println!(
+            "store-chaos: store hits={} misses={} inserts={} write_errors={} quarantined={} evictions={}",
+            s.hits, s.misses, s.inserts, s.write_errors, s.quarantined, s.evictions
+        );
+    }
+    println!(
+        "store-chaos: {} jobs/pass, {} mismatches, {} incomplete, {} quarantined sim jobs",
+        stats.jobs, mismatches, incomplete, stats.quarantined
+    );
+
+    if mismatches > 0 || incomplete > 0 {
+        eprintln!("store-chaos: FAILED — disk faults leaked into simulation results");
+        std::process::exit(1);
+    }
+    println!("store-chaos: PASS — results byte-identical under disk-fault injection");
+    std::process::exit(ctx.finish());
+}

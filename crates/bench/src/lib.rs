@@ -18,6 +18,7 @@
 
 pub mod runner;
 pub mod screen;
+pub mod store;
 
 use std::sync::OnceLock;
 
@@ -79,6 +80,31 @@ pub struct HarnessOptions {
     /// reads the variable itself — this field just snapshots it for
     /// display and run manifests.
     pub no_skip: bool,
+    /// `NUBA_STORE_DIR=<path>`: root of the persistent checkpoint
+    /// store (see [`store`]). Unset disables it — the runner then uses
+    /// its in-memory warm cache, byte-identically.
+    pub store_dir: Option<String>,
+    /// `NUBA_STORE_MAX_BYTES`: LRU size cap for the checkpoint store
+    /// (default 256 MiB; `0` = unlimited).
+    pub store_max_bytes: u64,
+    /// `NUBA_STORE_FAULT=<spec>`: deterministic disk-fault schedule for
+    /// chaos drills, e.g. `torn@0,flip@1:7,enospc@2,unreadable@0`
+    /// (see [`store::StoreFaultPlan::parse`]).
+    pub store_fault: Option<String>,
+    /// `NUBA_STORE_WRITE_STALL_MS`: stall injected mid-store-write, for
+    /// crash-recovery tests that `kill -9` the writer (default 0).
+    pub store_write_stall_ms: u64,
+    /// `NUBA_MATRIX_DEADLINE_SECS`: wall-clock budget for a whole
+    /// matrix; when exceeded, in-flight jobs checkpoint-and-stop and
+    /// pending jobs report `Cancelled`.
+    pub matrix_deadline_secs: Option<f64>,
+    /// `NUBA_JOB_DEADLINE_SECS`: default per-job wall-clock deadline
+    /// (jobs can override via `Job::with_wall_deadline`).
+    pub job_deadline_secs: Option<f64>,
+    /// `NUBA_RETRY_BACKOFF_MS`: base of the deterministic exponential
+    /// backoff between job retry attempts (default 100; `0` disables
+    /// the sleep, attempts still count).
+    pub retry_backoff_ms: u64,
 }
 
 impl HarnessOptions {
@@ -118,6 +144,13 @@ impl HarnessOptions {
             screen: flag("NUBA_SCREEN"),
             checkpoint_every,
             no_skip: flag("NUBA_NO_SKIP"),
+            store_dir: path("NUBA_STORE_DIR"),
+            store_max_bytes: num("NUBA_STORE_MAX_BYTES").unwrap_or(256 * 1024 * 1024),
+            store_fault: path("NUBA_STORE_FAULT"),
+            store_write_stall_ms: num("NUBA_STORE_WRITE_STALL_MS").unwrap_or(0),
+            matrix_deadline_secs: num("NUBA_MATRIX_DEADLINE_SECS"),
+            job_deadline_secs: num("NUBA_JOB_DEADLINE_SECS"),
+            retry_backoff_ms: num("NUBA_RETRY_BACKOFF_MS").unwrap_or(100),
         }
     }
 

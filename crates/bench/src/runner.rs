@@ -14,20 +14,36 @@
 //! registry (`nuba_types::invariant`), which uses relaxed atomics and
 //! only ever *counts* under the pool.
 //!
-//! Fault isolation: each job executes under [`std::panic::catch_unwind`]
-//! with an optional per-job forward-progress deadline and
-//! `NUBA_JOB_RETRIES` retries. A job that panics, deadlocks, or fails
-//! validation after all retries is *quarantined*: its [`JobResult`]
-//! carries [`SimReport::empty`] plus the error string, a record lands in
-//! the process-global quarantine registry, and the rest of the matrix
-//! keeps running. Binaries call [`finish`] last to print the quarantine
-//! summary; the exit code is nonzero only under `NUBA_STRICT_FAULTS=1`,
-//! so chaos drills don't fail CI unless explicitly asked to.
+//! Shared runner state — the warm-state cache, the quarantine
+//! registry, the optional persistent [checkpoint store](crate::store),
+//! and the cancellation token — lives in an injectable [`RunnerCtx`].
+//! Binaries keep calling the module-level [`run_matrix`]/[`finish`]
+//! wrappers, which delegate to a process-wide environment-configured
+//! context; servers and tests construct their own via
+//! [`RunnerCtx::new`]/[`RunnerCtx::with_store`] and use
+//! [`run_matrix_ctx`].
+//!
+//! Fault isolation and lifecycle: each job executes under
+//! [`std::panic::catch_unwind`] with an optional per-job
+//! forward-progress deadline, an optional *wall-clock* deadline
+//! ([`Job::with_wall_deadline`] / `NUBA_JOB_DEADLINE_SECS`), and
+//! `NUBA_JOB_RETRIES` retries separated by deterministic exponential
+//! backoff (`NUBA_RETRY_BACKOFF_MS`). The timed window runs in chunks
+//! (`run(a); run(b)` ≡ `run(a+b)`, proven by the session tests), so
+//! cancellation is cooperative: between chunks a job checks the
+//! context's [`CancelToken`] (tripped by Ctrl-C or
+//! `NUBA_MATRIX_DEADLINE_SECS`) and its deadlines, salvages its last
+//! good checkpoint into the store, and stops. Every [`JobResult`]
+//! carries a [`JobOutcome`]: quarantined failures and timeouts are
+//! distinct from graceful cancellation, which is *not* a fault.
+//! Binaries call [`finish`] last to print the quarantine summary; the
+//! exit code is nonzero only under `NUBA_STRICT_FAULTS=1`, so chaos
+//! drills don't fail CI unless explicitly asked to.
 
 use std::collections::HashMap;
-use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::{Arc, Mutex};
-use std::time::Instant;
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
+use std::time::{Duration, Instant};
 
 use nuba_core::{
     default_warm_accesses, Checkpoint, GpuSimulator, SimError, SimReport, TelemetryWindow,
@@ -37,6 +53,7 @@ use nuba_engine::FaultPlan;
 use nuba_types::GpuConfig;
 use nuba_workloads::{BenchmarkId, ScaleProfile, Workload};
 
+use crate::store::{CheckpointStore, StoreKey};
 use crate::{Harness, HarnessOptions};
 
 /// One simulation in an experiment matrix.
@@ -60,6 +77,11 @@ pub struct Job {
     /// before the watchdog quarantines the job); `None` keeps the
     /// configuration's `watchdog_cycles`.
     pub deadline: Option<u64>,
+    /// Wall-clock budget in seconds; past it the job checkpoints into
+    /// the store (if enabled) and reports [`JobOutcome::TimedOut`].
+    /// `None` falls back to `NUBA_JOB_DEADLINE_SECS` (itself usually
+    /// unset — no wall deadline).
+    pub wall_deadline_secs: Option<f64>,
     /// Sanctioned chaos knob: panic instead of simulating, to prove the
     /// matrix survives a dying job. Never set outside chaos drills.
     pub inject_panic: bool,
@@ -76,6 +98,7 @@ impl Job {
             seed: None,
             faults: None,
             deadline: None,
+            wall_deadline_secs: None,
             inject_panic: false,
         }
     }
@@ -108,6 +131,18 @@ impl Job {
         self
     }
 
+    /// Give the job a wall-clock budget: once `secs` elapse, the job
+    /// stops at the next chunk boundary, salvages its last good
+    /// checkpoint into the store, and reports
+    /// [`JobOutcome::TimedOut`] — a slow-but-live job can no longer
+    /// burn wall-clock forever (the cycles-based watchdog only catches
+    /// jobs that stop *retiring*).
+    #[must_use]
+    pub fn with_wall_deadline(mut self, secs: f64) -> Job {
+        self.wall_deadline_secs = Some(secs);
+        self
+    }
+
     /// Make the job panic on entry (chaos drills only).
     #[must_use]
     pub fn with_injected_panic(mut self) -> Job {
@@ -116,21 +151,56 @@ impl Job {
     }
 }
 
+/// How a job ended. `Cancelled` is a graceful drain, not a fault: it
+/// is never quarantined and never fails the process.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum JobOutcome {
+    /// The timed window completed and the report is valid.
+    Ok,
+    /// The job failed (panic, validation, watchdog) after all retries
+    /// and was quarantined.
+    Failed,
+    /// The matrix was cancelled (Ctrl-C, `NUBA_MATRIX_DEADLINE_SECS`)
+    /// before or during this job; the report is empty but the job is
+    /// *not* a fault.
+    Cancelled,
+    /// The job's wall-clock deadline elapsed; quarantined, with the
+    /// last good checkpoint salvaged into the store when one is
+    /// configured.
+    TimedOut,
+}
+
+impl JobOutcome {
+    /// Short stable string for summaries and `BENCH_runner.json`.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            JobOutcome::Ok => "ok",
+            JobOutcome::Failed => "failed",
+            JobOutcome::Cancelled => "cancelled",
+            JobOutcome::TimedOut => "timed_out",
+        }
+    }
+}
+
 /// A completed job with its throughput record.
 #[derive(Debug, Clone)]
 pub struct JobResult {
     /// The job's label.
     pub label: String,
-    /// The simulation report ([`SimReport::empty`] if quarantined).
+    /// The simulation report ([`SimReport::empty`] unless the outcome
+    /// is [`JobOutcome::Ok`]).
     pub report: SimReport,
     /// Wall-clock seconds this job took (build + warm + timed window,
     /// including failed attempts).
     pub wall_seconds: f64,
     /// Simulated cycles per wall-clock second (0 if quarantined).
     pub cycles_per_sec: f64,
-    /// Why the job was quarantined; `None` on success.
+    /// How the job ended.
+    pub outcome: JobOutcome,
+    /// Why the job was quarantined; `None` on success or cancellation.
     pub error: Option<String>,
-    /// Attempts consumed (1 + retries actually taken).
+    /// Attempts consumed (1 + retries actually taken; 0 when cancelled
+    /// before starting).
     pub attempts: u32,
     /// Windowed telemetry retained by the job's sampler (empty unless
     /// the job's config — or `NUBA_TIMESERIES` — enabled windowing, or
@@ -143,13 +213,21 @@ pub struct JobResult {
 }
 
 impl JobResult {
-    /// Whether this job was quarantined instead of completing.
+    /// Whether this job was quarantined instead of completing
+    /// (failure or wall-clock timeout; a graceful cancellation is not
+    /// a fault).
     pub fn failed(&self) -> bool {
-        self.error.is_some()
+        matches!(self.outcome, JobOutcome::Failed | JobOutcome::TimedOut)
+    }
+
+    /// Whether the matrix drained this job without running it to
+    /// completion.
+    pub fn cancelled(&self) -> bool {
+        self.outcome == JobOutcome::Cancelled
     }
 }
 
-/// One quarantined job in the process-global registry.
+/// One quarantined job in the quarantine registry.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct JobFailure {
     /// The job's label.
@@ -160,33 +238,261 @@ pub struct JobFailure {
     pub attempts: u32,
 }
 
-/// Process-global quarantine registry. Jobs are appended as they fail
-/// (worker order); readers sort by label for deterministic output.
-static QUARANTINE: Mutex<Vec<JobFailure>> = Mutex::new(Vec::new());
-
-fn quarantine(failure: JobFailure) {
-    QUARANTINE
-        .lock()
-        .expect("quarantine registry poisoned")
-        .push(failure);
+/// Cooperative cancellation flag shared by every job of a matrix.
+/// Cloning shares the flag. [`is_cancelled`](CancelToken::is_cancelled)
+/// also observes the process-wide Ctrl-C flag, so an interactive
+/// interrupt drains *every* in-flight matrix gracefully (a second
+/// Ctrl-C falls back to the default handler and kills the process).
+#[derive(Debug, Clone, Default)]
+pub struct CancelToken {
+    flag: Arc<AtomicBool>,
 }
 
-/// Snapshot of the quarantine registry, sorted by job label.
+impl CancelToken {
+    /// A fresh, un-tripped token.
+    pub fn new() -> CancelToken {
+        CancelToken::default()
+    }
+
+    /// Trip the token. Returns `true` on the tripping call (callers
+    /// use this to log the drain exactly once).
+    pub fn cancel(&self) -> bool {
+        !self.flag.swap(true, Ordering::SeqCst)
+    }
+
+    /// Whether this token — or the process-wide Ctrl-C flag — has been
+    /// tripped.
+    pub fn is_cancelled(&self) -> bool {
+        self.flag.load(Ordering::SeqCst) || sigint_received()
+    }
+}
+
+#[cfg(unix)]
+mod sigint {
+    //! Minimal SIGINT hook with no external dependencies: the handler
+    //! sets an atomic flag (async-signal-safe) and restores the default
+    //! disposition so a second Ctrl-C terminates immediately.
+    use std::sync::atomic::{AtomicBool, Ordering};
+    use std::sync::Once;
+
+    pub(super) static RECEIVED: AtomicBool = AtomicBool::new(false);
+
+    const SIGINT: i32 = 2;
+
+    extern "C" {
+        fn signal(signum: i32, handler: Option<extern "C" fn(i32)>) -> usize;
+    }
+
+    extern "C" fn on_sigint(_sig: i32) {
+        RECEIVED.store(true, Ordering::SeqCst);
+        // `None` is the NULL handler, i.e. SIG_DFL.
+        unsafe {
+            signal(SIGINT, None);
+        }
+    }
+
+    pub(super) fn install() {
+        static ONCE: Once = Once::new();
+        ONCE.call_once(|| unsafe {
+            signal(SIGINT, Some(on_sigint));
+        });
+    }
+}
+
+#[cfg(not(unix))]
+mod sigint {
+    use std::sync::atomic::AtomicBool;
+
+    pub(super) static RECEIVED: AtomicBool = AtomicBool::new(false);
+
+    pub(super) fn install() {}
+}
+
+/// Whether the process has received a Ctrl-C since the matrix started.
+fn sigint_received() -> bool {
+    sigint::RECEIVED.load(Ordering::SeqCst)
+}
+
+/// Warm-state cache key: `(benchmark, configuration identity hash,
+/// warm-up depth)`. The configuration hash covers the seed, page size,
+/// and telemetry knobs, so two jobs share an entry only when their
+/// warm-up is bit-for-bit the same.
+type WarmKey = (BenchmarkId, u64, usize);
+
+/// Everything the runner shares across the jobs of a matrix, made
+/// injectable so servers and tests don't fight over process-globals
+/// (ROADMAP item 3): the warm-state cache, the quarantine registry,
+/// the optional persistent [checkpoint store](crate::store), and the
+/// cancellation token.
+///
+/// The module-level wrappers ([`run_matrix`], [`finish`],
+/// [`quarantined_jobs`], …) delegate to the process-wide
+/// environment-configured instance ([`global_ctx`]), so existing
+/// binaries don't churn.
+pub struct RunnerCtx {
+    /// Post-warm-up checkpoints. `all_experiments` replays many
+    /// (benchmark, configuration) pairs across its figures; the first
+    /// job of each pair warms once and every later job forks from the
+    /// checkpoint — byte-identical to re-warming, because warm-up is
+    /// untimed and restore is exact. `NUBA_WARM_REUSE=0` disables it.
+    warm: Mutex<HashMap<WarmKey, Arc<Checkpoint>>>,
+    /// Jobs appended as they fail (worker order); readers sort by
+    /// label for deterministic output.
+    quarantine: Mutex<Vec<JobFailure>>,
+    /// Persistent warm/salvage checkpoint store; `None` falls back
+    /// byte-identically to the in-memory cache alone.
+    store: Option<CheckpointStore>,
+    /// Shared cancellation flag (Ctrl-C, matrix deadline).
+    cancel: CancelToken,
+}
+
+impl RunnerCtx {
+    /// A fresh context with no persistent store.
+    pub fn new() -> RunnerCtx {
+        RunnerCtx {
+            warm: Mutex::new(HashMap::new()),
+            quarantine: Mutex::new(Vec::new()),
+            store: None,
+            cancel: CancelToken::new(),
+        }
+    }
+
+    /// The environment-configured context: a persistent store iff
+    /// `NUBA_STORE_DIR` is set (an unopenable store warns and falls
+    /// back to memory — robustness knobs must not take the matrix
+    /// down).
+    pub fn from_env() -> RunnerCtx {
+        RunnerCtx {
+            store: CheckpointStore::from_env(),
+            ..RunnerCtx::new()
+        }
+    }
+
+    /// A fresh context backed by `store`.
+    pub fn with_store(store: CheckpointStore) -> RunnerCtx {
+        RunnerCtx {
+            store: Some(store),
+            ..RunnerCtx::new()
+        }
+    }
+
+    /// The context's persistent store, if one is configured.
+    pub fn store(&self) -> Option<&CheckpointStore> {
+        self.store.as_ref()
+    }
+
+    /// The context's cancellation token (clone it into signal handlers
+    /// or deadline watchers; cancelling drains the matrix gracefully).
+    pub fn cancel_token(&self) -> &CancelToken {
+        &self.cancel
+    }
+
+    /// Snapshot of the quarantine registry, sorted by job label.
+    pub fn quarantined_jobs(&self) -> Vec<JobFailure> {
+        let mut q = self
+            .quarantine
+            .lock()
+            .expect("quarantine registry poisoned")
+            .clone();
+        q.sort_by(|a, b| a.label.cmp(&b.label));
+        q
+    }
+
+    /// Clear the quarantine registry (test isolation / multi-phase
+    /// tools).
+    pub fn reset_quarantine(&self) {
+        self.quarantine
+            .lock()
+            .expect("quarantine registry poisoned")
+            .clear();
+    }
+
+    /// Drop every cached warm checkpoint (test isolation, memory
+    /// pressure between phases of a long sweep). The persistent store
+    /// is untouched — it has its own LRU cap.
+    pub fn reset_warm_cache(&self) {
+        *self.warm.lock().expect("warm cache poisoned") = HashMap::new();
+    }
+
+    /// Print the quarantine summary (if any) and return the process
+    /// exit code: nonzero only when jobs were quarantined *and*
+    /// `NUBA_STRICT_FAULTS=1`. Graceful cancellations are reported but
+    /// never gate.
+    pub fn finish(&self) -> i32 {
+        let q = self.quarantined_jobs();
+        if q.is_empty() {
+            return 0;
+        }
+        eprintln!("runner: {} job(s) quarantined:", q.len());
+        for f in &q {
+            eprintln!(
+                "  QUARANTINED {:<28} after {} attempt(s): {}",
+                f.label, f.attempts, f.error
+            );
+        }
+        let strict = HarnessOptions::get().strict_faults;
+        if strict {
+            eprintln!("runner: NUBA_STRICT_FAULTS=1 — exiting nonzero");
+            1
+        } else {
+            eprintln!(
+                "runner: matrix completed despite failures (set NUBA_STRICT_FAULTS=1 to gate)"
+            );
+            0
+        }
+    }
+
+    fn quarantine(&self, failure: JobFailure) {
+        self.quarantine
+            .lock()
+            .expect("quarantine registry poisoned")
+            .push(failure);
+    }
+
+    fn warm_lookup(&self, key: &WarmKey) -> Option<Arc<Checkpoint>> {
+        self.warm
+            .lock()
+            .expect("warm cache poisoned")
+            .get(key)
+            .cloned()
+    }
+
+    fn warm_insert(&self, key: WarmKey, ckpt: Arc<Checkpoint>) {
+        self.warm
+            .lock()
+            .expect("warm cache poisoned")
+            .insert(key, ckpt);
+    }
+}
+
+impl Default for RunnerCtx {
+    fn default() -> RunnerCtx {
+        RunnerCtx::new()
+    }
+}
+
+/// The process-wide environment-configured [`RunnerCtx`] the
+/// module-level wrappers delegate to, built on first use.
+pub fn global_ctx() -> &'static RunnerCtx {
+    static CTX: OnceLock<RunnerCtx> = OnceLock::new();
+    CTX.get_or_init(RunnerCtx::from_env)
+}
+
+/// Snapshot of the global context's quarantine registry, sorted by job
+/// label.
 pub fn quarantined_jobs() -> Vec<JobFailure> {
-    let mut q = QUARANTINE
-        .lock()
-        .expect("quarantine registry poisoned")
-        .clone();
-    q.sort_by(|a, b| a.label.cmp(&b.label));
-    q
+    global_ctx().quarantined_jobs()
 }
 
-/// Clear the quarantine registry (test isolation / multi-phase tools).
+/// Clear the global context's quarantine registry (test isolation /
+/// multi-phase tools).
 pub fn reset_quarantine() {
-    QUARANTINE
-        .lock()
-        .expect("quarantine registry poisoned")
-        .clear();
+    global_ctx().reset_quarantine()
+}
+
+/// Drop the global context's cached warm checkpoints.
+pub fn reset_warm_cache() {
+    global_ctx().reset_warm_cache()
 }
 
 /// Retries per job after a failure: `NUBA_JOB_RETRIES`, default 0.
@@ -194,33 +500,14 @@ pub fn job_retries() -> u32 {
     HarnessOptions::get().job_retries
 }
 
-/// Print the quarantine summary (if any) and return the process exit
-/// code: nonzero only when jobs were quarantined *and*
-/// `NUBA_STRICT_FAULTS=1`. Call last in every matrix binary:
+/// Print the global context's quarantine summary (if any) and return
+/// the process exit code. Call last in every matrix binary:
 ///
 /// ```ignore
 /// std::process::exit(runner::finish());
 /// ```
 pub fn finish() -> i32 {
-    let q = quarantined_jobs();
-    if q.is_empty() {
-        return 0;
-    }
-    eprintln!("runner: {} job(s) quarantined:", q.len());
-    for f in &q {
-        eprintln!(
-            "  QUARANTINED {:<28} after {} attempt(s): {}",
-            f.label, f.attempts, f.error
-        );
-    }
-    let strict = HarnessOptions::get().strict_faults;
-    if strict {
-        eprintln!("runner: NUBA_STRICT_FAULTS=1 — exiting nonzero");
-        1
-    } else {
-        eprintln!("runner: matrix completed despite failures (set NUBA_STRICT_FAULTS=1 to gate)");
-        0
-    }
+    global_ctx().finish()
 }
 
 /// Worker count: `NUBA_JOBS` if set and positive, else the machine's
@@ -275,45 +562,21 @@ where
 const ENV_WINDOW_CYCLES: u64 = 1000;
 const ENV_TRACE_PERIOD: u64 = 64;
 
-/// Warm-state cache: post-warm-up checkpoints keyed by
-/// `(benchmark, configuration identity hash, warm-up depth)`. The
-/// configuration hash covers the seed, page size, and telemetry knobs,
-/// so two jobs share an entry only when their warm-up is bit-for-bit
-/// the same. `all_experiments` replays many (benchmark, configuration)
-/// pairs across its figures; the first job of each pair warms once and
-/// every later job forks from the checkpoint — byte-identical to
-/// re-warming, because warm-up is untimed and restore is exact.
-/// `NUBA_WARM_REUSE=0` disables the cache.
-type WarmKey = (BenchmarkId, u64, usize);
-static WARM_CACHE: Mutex<Option<HashMap<WarmKey, Arc<Checkpoint>>>> = Mutex::new(None);
-
-fn warm_cache_lookup(key: &(BenchmarkId, u64, usize)) -> Option<Arc<Checkpoint>> {
-    WARM_CACHE
-        .lock()
-        .expect("warm cache poisoned")
-        .as_ref()
-        .and_then(|m| m.get(key).cloned())
-}
-
-fn warm_cache_insert(key: (BenchmarkId, u64, usize), ckpt: Arc<Checkpoint>) {
-    WARM_CACHE
-        .lock()
-        .expect("warm cache poisoned")
-        .get_or_insert_with(HashMap::new)
-        .insert(key, ckpt);
-}
-
-/// Drop every cached warm checkpoint (test isolation, memory pressure
-/// between phases of a long sweep).
-pub fn reset_warm_cache() {
-    *WARM_CACHE.lock().expect("warm cache poisoned") = None;
-}
+/// Cycles between cooperative cancellation/deadline checks when
+/// mid-run checkpointing has not set a chunk size already.
+/// `run(a); run(b)` ≡ `run(a+b)` (session tests), so chunking never
+/// changes results — it only bounds how stale a cancellation check can
+/// get.
+const CANCEL_CHUNK: u64 = 8192;
 
 /// Build a warmed simulator for `cfg`/`wl`, forking from the warm-state
-/// cache when possible. Fault-plan jobs skip the cache: their schedule
-/// is armed before warm-up, and keeping them on the slow path makes the
-/// cache trivially inert for chaos drills.
+/// cache when possible — in-memory first, then the persistent store
+/// (verified read; corrupt entries quarantine and miss), then a real
+/// warm-up whose checkpoint is published to both. Fault-plan jobs skip
+/// the cache: their schedule is armed before warm-up, and keeping them
+/// on the slow path makes the cache trivially inert for chaos drills.
 fn warmed_simulator(
+    ctx: &RunnerCtx,
     bench: BenchmarkId,
     cfg: &GpuConfig,
     wl: &Workload,
@@ -322,12 +585,27 @@ fn warmed_simulator(
     let per_warp = default_warm_accesses(cfg, wl);
     let key = (bench, cfg.state_hash(), per_warp);
     if cacheable && HarnessOptions::get().warm_reuse {
-        if let Some(ckpt) = warm_cache_lookup(&key) {
+        if let Some(ckpt) = ctx.warm_lookup(&key) {
             return GpuSimulator::restore(cfg.clone(), wl, &ckpt);
+        }
+        let store_key = StoreKey::warm(bench, cfg.state_hash(), per_warp as u64);
+        if let Some(store) = ctx.store() {
+            if let Some(ckpt) = store.get(&store_key) {
+                let ckpt = Arc::new(ckpt);
+                ctx.warm_insert(key, Arc::clone(&ckpt));
+                return GpuSimulator::restore(cfg.clone(), wl, &ckpt);
+            }
         }
         let mut gpu = GpuSimulator::try_new(cfg.clone(), wl)?;
         gpu.warm(wl, per_warp);
-        warm_cache_insert(key, Arc::new(gpu.checkpoint(wl)));
+        let ckpt = Arc::new(gpu.checkpoint(wl));
+        ctx.warm_insert(key, Arc::clone(&ckpt));
+        if let Some(store) = ctx.store() {
+            if let Err(e) = store.put(&store_key, &ckpt) {
+                // Persistence is an optimization; its failures warn.
+                eprintln!("runner: cannot persist warm state {store_key}: {e}");
+            }
+        }
         Ok(gpu)
     } else {
         let mut gpu = GpuSimulator::try_new(cfg.clone(), wl)?;
@@ -336,23 +614,63 @@ fn warmed_simulator(
     }
 }
 
+/// Salvage the job's current machine state into the store under the
+/// `run/` namespace (keyed by cycle) so an operator can resume or
+/// post-mortem a drained job. Best-effort: failures warn.
+fn salvage_to_store(
+    ctx: &RunnerCtx,
+    job: &Job,
+    cfg: &GpuConfig,
+    wl: &Workload,
+    gpu: &mut GpuSimulator,
+) {
+    let Some(store) = ctx.store() else { return };
+    if gpu.cycle() == 0 {
+        return;
+    }
+    let key = StoreKey::run(job.bench, cfg.state_hash(), gpu.cycle());
+    let ckpt = gpu.checkpoint(wl);
+    match store.put(&key, &ckpt) {
+        Ok(()) => eprintln!(
+            "runner: salvaged {} at cycle {} to store",
+            job.label,
+            gpu.cycle()
+        ),
+        Err(e) => eprintln!("runner: cannot salvage {}: {e}", job.label),
+    }
+}
+
+/// Why a job attempt stopped short of a report.
+enum JobAbort {
+    /// The simulation failed (validation, watchdog); retryable.
+    Sim(SimError),
+    /// The matrix is draining; not a fault, never retried.
+    Cancelled,
+    /// The job's wall-clock deadline elapsed; quarantined, never
+    /// retried (the budget is already spent).
+    TimedOut,
+}
+
 /// One attempt at a job: build, arm faults/watchdog, warm, run. Every
-/// failure mode surfaces as `Err` (validation, watchdog) or a panic
-/// (workload/config mismatch, internal bug) — the caller catches both.
-/// On success, the job's retained telemetry rides along with the
-/// report.
+/// failure mode surfaces as `Err` (validation, watchdog, cancellation,
+/// wall deadline) or a panic (workload/config mismatch, internal bug)
+/// — the caller catches both. On success, the job's retained telemetry
+/// rides along with the report.
 ///
 /// `resume` carries the job's latest mid-run checkpoint between
 /// attempts: when `NUBA_CHECKPOINT_EVERY` is active (on by default
-/// under `NUBA_FULL`), the timed window runs in checkpointed chunks,
-/// and a retry restores the last good chunk instead of starting over.
+/// under `NUBA_FULL`), a retry restores the last good chunk instead of
+/// starting over.
 type JobOutput = (SimReport, Vec<TelemetryWindow>, Vec<TraceRecord>);
 
 fn execute_job(
+    ctx: &RunnerCtx,
     h: &Harness,
     job: &Job,
     resume: &mut Option<Checkpoint>,
-) -> Result<JobOutput, SimError> {
+    job_deadline: Option<Instant>,
+    matrix_deadline: Option<Instant>,
+) -> Result<JobOutput, JobAbort> {
     let opts = HarnessOptions::get();
     let scale = job.scale.unwrap_or(h.scale);
     let seed = job.seed.unwrap_or(h.seed);
@@ -374,9 +692,10 @@ fn execute_job(
     let mut gpu = match resume.take() {
         // Retry of a partially completed window: the checkpoint already
         // carries the armed fault schedule and watchdog budget.
-        Some(ckpt) => GpuSimulator::restore(cfg.clone(), &wl, &ckpt)?,
+        Some(ckpt) => GpuSimulator::restore(cfg.clone(), &wl, &ckpt).map_err(JobAbort::Sim)?,
         None => {
-            let mut gpu = warmed_simulator(job.bench, &cfg, &wl, job.faults.is_none())?;
+            let mut gpu = warmed_simulator(ctx, job.bench, &cfg, &wl, job.faults.is_none())
+                .map_err(JobAbort::Sim)?;
             if let Some(plan) = &job.faults {
                 gpu.set_fault_plan(plan);
             }
@@ -391,24 +710,41 @@ fn execute_job(
     }
     // The timed window always ends at the same absolute cycle (warm-up
     // and restore never advance the clock mid-chunk), so chunked and
-    // straight-through runs retire byte-identical reports.
+    // straight-through runs retire byte-identical reports. Chunking is
+    // therefore always on: it is what makes cancellation and wall
+    // deadlines cooperative.
     let checkpointing = opts.checkpoint_every.filter(|_| job_retries() > 0);
-    let report = match checkpointing {
-        Some(every) => loop {
-            // The window ends at absolute cycle `h.cycles`: warm-up
-            // leaves the clock at 0 and a resume restores it mid-way.
-            let remaining = h.cycles.saturating_sub(gpu.cycle());
-            if remaining == 0 {
-                break gpu.report();
+    let chunk_cycles = checkpointing.unwrap_or(CANCEL_CHUNK).max(1);
+    let report = loop {
+        if ctx.cancel.is_cancelled() {
+            salvage_to_store(ctx, job, &cfg, &wl, &mut gpu);
+            return Err(JobAbort::Cancelled);
+        }
+        if matrix_deadline.is_some_and(|d| Instant::now() >= d) {
+            if ctx.cancel.cancel() {
+                eprintln!("runner: NUBA_MATRIX_DEADLINE_SECS exceeded — draining matrix");
             }
-            let chunk = remaining.min(every.max(1));
-            let r = gpu.run(chunk)?;
-            if remaining <= chunk {
-                break r;
-            }
+            salvage_to_store(ctx, job, &cfg, &wl, &mut gpu);
+            return Err(JobAbort::Cancelled);
+        }
+        if job_deadline.is_some_and(|d| Instant::now() >= d) {
+            salvage_to_store(ctx, job, &cfg, &wl, &mut gpu);
+            return Err(JobAbort::TimedOut);
+        }
+        // The window ends at absolute cycle `h.cycles`: warm-up leaves
+        // the clock at 0 and a resume restores it mid-way.
+        let remaining = h.cycles.saturating_sub(gpu.cycle());
+        if remaining == 0 {
+            break gpu.report();
+        }
+        let chunk = remaining.min(chunk_cycles);
+        let r = gpu.run(chunk).map_err(JobAbort::Sim)?;
+        if remaining <= chunk {
+            break r;
+        }
+        if checkpointing.is_some() {
             *resume = Some(gpu.checkpoint(&wl));
-        },
-        None => gpu.run(h.cycles)?,
+        }
     };
     let windows = gpu.telemetry().windows_vec();
     let trace = gpu.telemetry().trace_records().to_vec();
@@ -425,23 +761,68 @@ fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
     }
 }
 
+/// Deterministic exponential backoff before retry `attempt + 1`:
+/// `base << (attempt - 1)` milliseconds, capped at 5 s. Depends only
+/// on the attempt number, never on a clock or RNG. `base == 0`
+/// disables the sleep (attempts still count).
+fn backoff_sleep(base_ms: u64, attempt: u32) {
+    if base_ms == 0 {
+        return;
+    }
+    let shift = attempt.saturating_sub(1).min(16);
+    let ms = base_ms.saturating_mul(1u64 << shift).min(5_000);
+    std::thread::sleep(Duration::from_millis(ms));
+}
+
+/// A [`JobResult`] for a job that never produced a report.
+fn empty_result(
+    job: &Job,
+    outcome: JobOutcome,
+    error: Option<String>,
+    attempts: u32,
+    start: Instant,
+) -> JobResult {
+    JobResult {
+        label: job.label.clone(),
+        report: SimReport::empty(),
+        wall_seconds: start.elapsed().as_secs_f64(),
+        cycles_per_sec: 0.0,
+        outcome,
+        error,
+        attempts,
+        windows: Vec::new(),
+        trace: Vec::new(),
+    }
+}
+
 /// Execute one job exactly as [`Harness::run`] / [`Harness::run_scaled`]
 /// would, timing it. Panics and [`SimError`]s are caught; after
-/// `NUBA_JOB_RETRIES` retries the job is quarantined instead of taking
-/// the matrix down.
-fn run_job(h: &Harness, job: &Job) -> JobResult {
+/// `NUBA_JOB_RETRIES` retries (with deterministic backoff between
+/// attempts) the job is quarantined instead of taking the matrix down.
+/// Cancellation and wall-clock timeouts break out immediately — a
+/// drained or budget-exhausted job is never retried.
+fn run_job(ctx: &RunnerCtx, h: &Harness, job: &Job, matrix_deadline: Option<Instant>) -> JobResult {
+    let opts = HarnessOptions::get();
     let retries = job_retries();
     let start = Instant::now();
+    // Claimed after the matrix started draining: report the job as
+    // cancelled without touching the simulator.
+    if ctx.cancel.is_cancelled() || matrix_deadline.is_some_and(|d| Instant::now() >= d) {
+        ctx.cancel.cancel();
+        return empty_result(job, JobOutcome::Cancelled, None, 0, start);
+    }
+    let deadline_secs = job.wall_deadline_secs.or(opts.job_deadline_secs);
+    let job_deadline = deadline_secs.map(|s| start + Duration::from_secs_f64(s.max(0.0)));
     let mut attempts = 0u32;
     // Latest mid-run checkpoint, carried across retry attempts so a
     // late failure resumes from the last good chunk.
     let mut resume: Option<Checkpoint> = None;
-    let error = loop {
+    let (outcome, error) = loop {
         attempts += 1;
-        let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-            execute_job(h, job, &mut resume)
+        let attempt = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            execute_job(ctx, h, job, &mut resume, job_deadline, matrix_deadline)
         }));
-        match outcome {
+        match attempt {
             Ok(Ok((report, windows, trace))) => {
                 let wall_seconds = start.elapsed().as_secs_f64();
                 let cycles_per_sec = report.cycles as f64 / wall_seconds.max(1e-9);
@@ -450,56 +831,97 @@ fn run_job(h: &Harness, job: &Job) -> JobResult {
                     report,
                     wall_seconds,
                     cycles_per_sec,
+                    outcome: JobOutcome::Ok,
                     error: None,
                     attempts,
                     windows,
                     trace,
                 };
             }
-            Ok(Err(e)) => {
+            Ok(Err(JobAbort::Cancelled)) => break (JobOutcome::Cancelled, None),
+            Ok(Err(JobAbort::TimedOut)) => {
+                break (
+                    JobOutcome::TimedOut,
+                    Some(format!(
+                        "wall-clock deadline exceeded (budget {:.1}s)",
+                        deadline_secs.unwrap_or(0.0)
+                    )),
+                );
+            }
+            Ok(Err(JobAbort::Sim(e))) => {
                 if attempts <= retries {
+                    backoff_sleep(opts.retry_backoff_ms, attempts);
                     continue;
                 }
-                break e.to_string();
+                break (JobOutcome::Failed, Some(e.to_string()));
             }
             Err(payload) => {
                 if attempts <= retries {
+                    backoff_sleep(opts.retry_backoff_ms, attempts);
                     continue;
                 }
-                break format!("panic: {}", panic_message(payload.as_ref()));
+                break (
+                    JobOutcome::Failed,
+                    Some(format!("panic: {}", panic_message(payload.as_ref()))),
+                );
             }
         }
     };
-    quarantine(JobFailure {
-        label: job.label.clone(),
-        error: error.clone(),
-        attempts,
-    });
-    JobResult {
-        label: job.label.clone(),
-        report: SimReport::empty(),
-        wall_seconds: start.elapsed().as_secs_f64(),
-        cycles_per_sec: 0.0,
-        error: Some(error),
-        attempts,
-        windows: Vec::new(),
-        trace: Vec::new(),
+    if matches!(outcome, JobOutcome::Failed | JobOutcome::TimedOut) {
+        ctx.quarantine(JobFailure {
+            label: job.label.clone(),
+            error: error.clone().unwrap_or_default(),
+            attempts,
+        });
     }
+    empty_result(job, outcome, error, attempts, start)
 }
 
-/// Run an experiment matrix on the `NUBA_JOBS` pool. Results are
-/// returned in submission order regardless of the execution schedule.
+/// Run an experiment matrix on the `NUBA_JOBS` pool under the global
+/// context. Results are returned in submission order regardless of the
+/// execution schedule.
 pub fn run_matrix(h: &Harness, jobs: &[Job]) -> Vec<JobResult> {
     run_matrix_with(h, jobs, num_jobs())
 }
 
 /// [`run_matrix`] with an explicit worker count (determinism tests).
 pub fn run_matrix_with(h: &Harness, jobs: &[Job], threads: usize) -> Vec<JobResult> {
+    run_matrix_ctx_with(global_ctx(), h, jobs, threads)
+}
+
+/// Run an experiment matrix under an explicit [`RunnerCtx`].
+pub fn run_matrix_ctx(ctx: &RunnerCtx, h: &Harness, jobs: &[Job]) -> Vec<JobResult> {
+    run_matrix_ctx_with(ctx, h, jobs, num_jobs())
+}
+
+/// [`run_matrix_ctx`] with an explicit worker count.
+pub fn run_matrix_ctx_with(
+    ctx: &RunnerCtx,
+    h: &Harness,
+    jobs: &[Job],
+    threads: usize,
+) -> Vec<JobResult> {
     // Tier-0 stage: the static analytical screen, opt-in via
     // `NUBA_SCREEN=1` and guaranteed inert (not a byte of output, no
     // simulation effect) otherwise.
     crate::screen::print_screen_if_enabled(h, jobs);
-    run_jobs(jobs.len(), threads, |i| run_job(h, &jobs[i]))
+    // First Ctrl-C drains the matrix (jobs checkpoint-and-stop), a
+    // second one kills the process via the restored default handler.
+    sigint::install();
+    let matrix_deadline = HarnessOptions::get()
+        .matrix_deadline_secs
+        .map(|s| Instant::now() + Duration::from_secs_f64(s.max(0.0)));
+    let results = run_jobs(jobs.len(), threads, |i| {
+        run_job(ctx, h, &jobs[i], matrix_deadline)
+    });
+    let drained = results.iter().filter(|r| r.cancelled()).count();
+    if drained > 0 {
+        eprintln!(
+            "runner: matrix drained — {drained} of {} job(s) cancelled gracefully",
+            results.len()
+        );
+    }
+    results
 }
 
 /// Render every job's retained telemetry windows as JSONL, one line
@@ -567,8 +989,14 @@ pub struct MatrixStats {
     pub cpu_seconds: f64,
     /// Total simulated cycles across the matrix.
     pub total_cycles: u64,
-    /// Jobs that were quarantined instead of completing.
+    /// Jobs that were quarantined instead of completing (failures and
+    /// wall-clock timeouts).
     pub quarantined: usize,
+    /// Jobs drained gracefully by cancellation (not faults).
+    pub cancelled: usize,
+    /// Jobs that exceeded their wall-clock deadline (subset of
+    /// `quarantined`).
+    pub timed_out: usize,
 }
 
 impl MatrixStats {
@@ -579,6 +1007,11 @@ impl MatrixStats {
             cpu_seconds: results.iter().map(|r| r.wall_seconds).sum(),
             total_cycles: results.iter().map(|r| r.report.cycles).sum(),
             quarantined: results.iter().filter(|r| r.failed()).count(),
+            cancelled: results.iter().filter(|r| r.cancelled()).count(),
+            timed_out: results
+                .iter()
+                .filter(|r| r.outcome == JobOutcome::TimedOut)
+                .count(),
         }
     }
 
@@ -588,6 +1021,8 @@ impl MatrixStats {
         self.cpu_seconds += other.cpu_seconds;
         self.total_cycles += other.total_cycles;
         self.quarantined += other.quarantined;
+        self.cancelled += other.cancelled;
+        self.timed_out += other.timed_out;
     }
 }
 
@@ -607,11 +1042,14 @@ impl RunnerRecord {
         let cps = self.stats.total_cycles as f64 / self.wall_seconds.max(1e-9);
         format!(
             "    {{\"nuba_jobs\": {}, \"jobs\": {}, \"quarantined\": {}, \
+             \"cancelled\": {}, \"timed_out\": {}, \
              \"wall_seconds\": {:.3}, \"cpu_seconds\": {:.3}, \
              \"total_cycles\": {}, \"cycles_per_sec\": {:.0}}}",
             self.nuba_jobs,
             self.stats.jobs,
             self.stats.quarantined,
+            self.stats.cancelled,
+            self.stats.timed_out,
             self.wall_seconds,
             self.stats.cpu_seconds,
             self.stats.total_cycles,
@@ -636,8 +1074,11 @@ impl RunnerRecord {
                 jobs: field("jobs")? as usize,
                 cpu_seconds: field("cpu_seconds")?,
                 total_cycles: field("total_cycles")? as u64,
-                // Absent in records written before fault quarantine.
+                // Absent in records written before fault quarantine /
+                // lifecycle outcomes landed.
                 quarantined: field("quarantined").map(|v| v as usize).unwrap_or(0),
+                cancelled: field("cancelled").map(|v| v as usize).unwrap_or(0),
+                timed_out: field("timed_out").map(|v| v as usize).unwrap_or(0),
             },
         })
     }
@@ -737,8 +1178,10 @@ mod tests {
         let results = run_matrix_with(&h, &jobs, 2);
         assert_eq!(results.len(), 2, "matrix completes despite the panic");
         assert!(!results[0].failed());
+        assert_eq!(results[0].outcome, JobOutcome::Ok);
         assert!(results[0].report.cycles > 0);
         assert!(results[1].failed());
+        assert_eq!(results[1].outcome, JobOutcome::Failed);
         assert_eq!(results[1].report, SimReport::empty());
         assert!(
             results[1]
@@ -784,6 +1227,86 @@ mod tests {
     }
 
     #[test]
+    fn wall_deadline_times_out_and_quarantines() {
+        let h = tiny_harness();
+        let cfg = GpuConfig::paper_baseline(nuba_types::ArchKind::Nuba);
+        let job = Job::new("chaos-slow", BenchmarkId::Kmeans, cfg).with_wall_deadline(0.0);
+        let ctx = RunnerCtx::new();
+        let results = run_matrix_ctx_with(&ctx, &h, &[job], 1);
+        assert_eq!(results[0].outcome, JobOutcome::TimedOut);
+        assert!(results[0].failed(), "timeouts count as faults");
+        assert!(
+            results[0]
+                .error
+                .as_deref()
+                .unwrap()
+                .contains("wall-clock deadline"),
+            "{:?}",
+            results[0].error
+        );
+        assert_eq!(results[0].attempts, 1, "budget spent — never retried");
+        assert!(ctx
+            .quarantined_jobs()
+            .iter()
+            .any(|f| f.label == "chaos-slow"));
+        let stats = MatrixStats::of(&results);
+        assert_eq!((stats.quarantined, stats.timed_out), (1, 1));
+    }
+
+    #[test]
+    fn cancelled_matrix_drains_without_faults() {
+        let h = tiny_harness();
+        let cfg = GpuConfig::paper_baseline(nuba_types::ArchKind::Nuba);
+        let jobs = vec![
+            Job::new("drain-a", BenchmarkId::Kmeans, cfg.clone()),
+            Job::new("drain-b", BenchmarkId::Kmeans, cfg),
+        ];
+        let ctx = RunnerCtx::new();
+        ctx.cancel_token().cancel();
+        let results = run_matrix_ctx_with(&ctx, &h, &jobs, 2);
+        assert_eq!(results.len(), 2, "pending jobs still report");
+        for r in &results {
+            assert_eq!(r.outcome, JobOutcome::Cancelled);
+            assert!(r.cancelled());
+            assert!(!r.failed(), "cancellation is not a fault");
+            assert!(r.error.is_none());
+            assert_eq!(r.attempts, 0);
+        }
+        assert!(
+            ctx.quarantined_jobs().is_empty(),
+            "drained jobs never quarantine"
+        );
+        assert_eq!(ctx.finish(), 0, "graceful drain exits clean");
+        let stats = MatrixStats::of(&results);
+        assert_eq!((stats.cancelled, stats.quarantined), (2, 0));
+    }
+
+    #[test]
+    fn cancel_token_trips_once() {
+        let t = CancelToken::new();
+        assert!(!t.is_cancelled());
+        assert!(t.cancel(), "first cancel trips");
+        assert!(!t.cancel(), "second cancel is a no-op");
+        assert!(t.is_cancelled());
+        assert!(t.clone().is_cancelled(), "clones share the flag");
+    }
+
+    #[test]
+    fn backoff_is_exponential_and_capped() {
+        // Pure function of (base, attempt): probe the schedule via the
+        // same arithmetic backoff_sleep uses, without sleeping.
+        let ms = |base: u64, attempt: u32| -> u64 {
+            let shift = attempt.saturating_sub(1).min(16);
+            base.saturating_mul(1u64 << shift).min(5_000)
+        };
+        assert_eq!(ms(100, 1), 100);
+        assert_eq!(ms(100, 2), 200);
+        assert_eq!(ms(100, 3), 400);
+        assert_eq!(ms(100, 7), 5_000, "capped at 5s");
+        assert_eq!(ms(100, 60), 5_000, "shift saturates");
+    }
+
+    #[test]
     fn runner_record_roundtrips_through_json() {
         let rec = RunnerRecord {
             nuba_jobs: 4,
@@ -792,7 +1315,9 @@ mod tests {
                 jobs: 7,
                 cpu_seconds: 40.5,
                 total_cycles: 420_000,
-                quarantined: 1,
+                quarantined: 2,
+                cancelled: 1,
+                timed_out: 1,
             },
         };
         let line = rec.to_json_line();
@@ -800,7 +1325,16 @@ mod tests {
         assert_eq!(back.nuba_jobs, 4);
         assert_eq!(back.stats.jobs, 7);
         assert_eq!(back.stats.total_cycles, 420_000);
+        assert_eq!(back.stats.cancelled, 1);
+        assert_eq!(back.stats.timed_out, 1);
         assert!((back.wall_seconds - 12.345).abs() < 1e-9);
+
+        // Records written before lifecycle outcomes parse with zeros.
+        let legacy = "    {\"nuba_jobs\": 2, \"jobs\": 3, \"quarantined\": 0, \
+                      \"wall_seconds\": 1.000, \"cpu_seconds\": 2.000, \
+                      \"total_cycles\": 100, \"cycles_per_sec\": 100}";
+        let old = RunnerRecord::parse_json_line(legacy).expect("legacy parses");
+        assert_eq!((old.stats.cancelled, old.stats.timed_out), (0, 0));
     }
 
     #[test]
@@ -817,6 +1351,8 @@ mod tests {
                 cpu_seconds: wall,
                 total_cycles: 1000,
                 quarantined: 0,
+                cancelled: 0,
+                timed_out: 0,
             },
         };
         write_runner_json(path, mk(1, 10.0)).unwrap();

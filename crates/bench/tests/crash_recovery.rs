@@ -1,0 +1,204 @@
+//! Crash-recovery drill: `kill -9` a child `nuba_sim --checkpoint`
+//! *mid-store-write* and prove the durability contract — the visible
+//! store is never corrupted (only a temp-file orphan is left, which
+//! recovery quarantines), verification stays clean, and a re-run
+//! produces a byte-identical checkpoint to an uninterrupted run.
+//!
+//! The kill window is opened deterministically with
+//! `NUBA_STORE_WRITE_STALL_MS`: the child writes half the entry,
+//! fsyncs, and sleeps — exactly the moment a real crash would tear a
+//! non-atomic write.
+
+#![cfg(unix)]
+
+use std::path::{Path, PathBuf};
+use std::process::Command;
+use std::time::{Duration, Instant};
+
+use nuba_bench::store::{CheckpointStore, StoreConfig};
+use nuba_core::SimSession;
+use nuba_workloads::{BenchmarkId, ScaleProfile, Workload};
+
+const CYCLES: &str = "1200";
+
+fn tmp_root(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("nuba_crash_{}_{tag}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).expect("create test dir");
+    dir
+}
+
+/// `nuba_sim --checkpoint` against `store_dir`, with an optional
+/// mid-write stall (milliseconds).
+fn sim_command(store_dir: &Path, ckpt_file: &Path, stall_ms: u64) -> Command {
+    let mut cmd = Command::new(env!("CARGO_BIN_EXE_nuba_sim"));
+    cmd.args([
+        "--bench",
+        "KMEANS",
+        "--cycles",
+        CYCLES,
+        "--checkpoint",
+        ckpt_file.to_str().unwrap(),
+    ]);
+    cmd.env("NUBA_FAST", "1");
+    cmd.env("NUBA_STORE_DIR", store_dir);
+    cmd.env("NUBA_STORE_WRITE_STALL_MS", stall_ms.to_string());
+    cmd
+}
+
+fn open_store(dir: &Path) -> CheckpointStore {
+    CheckpointStore::open(StoreConfig {
+        dir: Some(dir.to_path_buf()),
+        ..StoreConfig::default()
+    })
+    .expect("store opens")
+}
+
+fn files_with_ext(dir: &Path, ext: &str) -> Vec<PathBuf> {
+    std::fs::read_dir(dir)
+        .into_iter()
+        .flatten()
+        .flatten()
+        .map(|e| e.path())
+        .filter(|p| p.is_file() && p.extension().is_some_and(|e| e == ext))
+        .collect()
+}
+
+#[test]
+fn kill_nine_mid_write_never_corrupts_the_store() {
+    let root = tmp_root("kill");
+    let store_dir = root.join("store");
+    let ckpt_file = root.join("state.ckpt");
+
+    // Reference: an uninterrupted run into its own clean store.
+    let ref_dir = root.join("ref_store");
+    let ref_file = root.join("ref.ckpt");
+    let status = sim_command(&ref_dir, &ref_file, 0)
+        .status()
+        .expect("reference nuba_sim runs");
+    assert!(status.success(), "reference run must succeed");
+    let reference_bytes = std::fs::read(&ref_file).expect("reference checkpoint exists");
+
+    // Victim: stall 30 s inside the store write, then SIGKILL it the
+    // moment the temp file appears (i.e. mid-write, pre-rename).
+    let mut child = sim_command(&store_dir, &ckpt_file, 30_000)
+        .spawn()
+        .expect("victim nuba_sim spawns");
+    let deadline = Instant::now() + Duration::from_secs(120);
+    let tmp_orphan = loop {
+        let tmps = files_with_ext(&store_dir, "tmp");
+        if let Some(t) = tmps.first() {
+            break t.clone();
+        }
+        assert!(
+            Instant::now() < deadline,
+            "victim never started its store write"
+        );
+        if let Some(status) = child.try_wait().expect("try_wait") {
+            panic!("victim exited ({status}) before it could be killed mid-write");
+        }
+        std::thread::sleep(Duration::from_millis(5));
+    };
+    child.kill().expect("SIGKILL the victim"); // kill(2) = SIGKILL on unix
+    let _ = child.wait();
+
+    // The tear is real: a half-written temp file survived the kill,
+    // and nothing was ever published at the final path.
+    assert!(tmp_orphan.exists(), "orphaned temp file left by the crash");
+    assert!(
+        files_with_ext(&store_dir, "ckpt").is_empty(),
+        "no committed entry may exist — the rename never happened"
+    );
+    assert!(
+        !ckpt_file.exists(),
+        "requested checkpoint file is atomic too"
+    );
+
+    // Recovery: opening the store sweeps the orphan into quarantine
+    // and verification of the (empty) committed set is clean.
+    let store = open_store(&store_dir);
+    assert!(!tmp_orphan.exists(), "recovery must remove the orphan");
+    assert!(
+        !store.quarantined_files().is_empty(),
+        "the torn write is preserved in quarantine for post-mortem"
+    );
+    assert!(
+        store.verify_all().iter().all(|v| v.status.is_ok()),
+        "no committed entry may fail verification after the crash"
+    );
+    drop(store);
+
+    // Re-derive: the same run without the stall must now commit a
+    // verified entry and write a checkpoint byte-identical to the
+    // uninterrupted reference.
+    let status = sim_command(&store_dir, &ckpt_file, 0)
+        .status()
+        .expect("re-run nuba_sim");
+    assert!(status.success(), "re-run must succeed");
+    let rerun_bytes = std::fs::read(&ckpt_file).expect("re-run checkpoint exists");
+    assert_eq!(
+        rerun_bytes, reference_bytes,
+        "post-crash re-run must be byte-identical to an uninterrupted run"
+    );
+    let store = open_store(&store_dir);
+    let verdicts = store.verify_all();
+    assert_eq!(verdicts.len(), 1, "exactly one committed entry");
+    assert!(verdicts[0].status.is_ok(), "{:?}", verdicts[0].status);
+
+    // And the recovered bytes are resumable: restoring the checkpoint
+    // into a fresh session continues the simulation.
+    let ckpt = nuba_core::Checkpoint::from_bytes(&rerun_bytes).expect("decodes");
+    let wl = Workload::build(
+        BenchmarkId::Kmeans,
+        ScaleProfile::fast(),
+        ckpt.config().num_sms,
+        ckpt.config().seed,
+    );
+    let mut sess = SimSession::resume_from_bytes(&rerun_bytes, wl).expect("resumes");
+    sess.run_window(200).expect("forward progress after resume");
+
+    let _ = std::fs::remove_dir_all(&root);
+}
+
+#[test]
+fn fsck_gates_a_corrupted_store() {
+    let root = tmp_root("fsck");
+    let store_dir = root.join("store");
+    let ckpt_file = root.join("state.ckpt");
+    let status = sim_command(&store_dir, &ckpt_file, 0)
+        .status()
+        .expect("nuba_sim runs");
+    assert!(status.success());
+
+    let fsck = |args: &[&str]| {
+        Command::new(env!("CARGO_BIN_EXE_nuba_fsck"))
+            .arg("--store")
+            .arg(&store_dir)
+            .args(args)
+            .status()
+            .expect("nuba_fsck runs")
+    };
+
+    // Healthy store: --verify exits 0.
+    assert!(fsck(&["--verify"]).success(), "healthy store must verify");
+
+    // Corrupt the committed entry: --verify exits nonzero, and
+    // --quarantine heals the store so a later --verify passes again.
+    let entry = files_with_ext(&store_dir, "ckpt")
+        .first()
+        .cloned()
+        .expect("one committed entry");
+    let mut bytes = std::fs::read(&entry).unwrap();
+    let mid = bytes.len() / 2;
+    bytes[mid] ^= 0x08;
+    std::fs::write(&entry, &bytes).unwrap();
+    let status = fsck(&["--verify"]);
+    assert_eq!(status.code(), Some(1), "corruption must gate --verify");
+    assert!(fsck(&["--quarantine"]).success());
+    assert!(
+        fsck(&["--verify"]).success(),
+        "quarantining heals the store"
+    );
+
+    let _ = std::fs::remove_dir_all(&root);
+}

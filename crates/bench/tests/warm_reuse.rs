@@ -4,7 +4,8 @@
 //! hot cache, and not against a fresh `SimSession` that never touched
 //! the cache at all.
 
-use nuba_bench::runner::{reset_warm_cache, run_matrix_with, Job};
+use nuba_bench::runner::{reset_warm_cache, run_matrix_ctx_with, run_matrix_with, Job, RunnerCtx};
+use nuba_bench::store::{CheckpointStore, StoreConfig};
 use nuba_bench::Harness;
 use nuba_types::{ArchKind, GpuConfig, PagePolicyKind, ReplicationKind};
 use nuba_workloads::{BenchmarkId, ScaleProfile};
@@ -94,4 +95,77 @@ fn cached_warm_state_matches_a_fresh_session() {
             job.label
         );
     }
+}
+
+/// Acceptance criterion for the persistent store: matrix results are
+/// byte-identical with the store off, cold, hot, and pre-corrupted —
+/// disk state is an optimization, never an input to the simulation.
+#[test]
+fn store_backed_reuse_is_byte_identical_even_when_corrupted() {
+    let h = harness();
+    let jobs = matrix();
+    let dir = std::env::temp_dir().join(format!("nuba_warm_store_{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let open_store = || {
+        CheckpointStore::open(StoreConfig {
+            dir: Some(dir.clone()),
+            ..StoreConfig::default()
+        })
+        .expect("store opens")
+    };
+
+    // Store off: plain in-memory context, the pre-existing behaviour.
+    let off_ctx = RunnerCtx::new();
+    let off = run_matrix_ctx_with(&off_ctx, &h, &jobs, 2);
+
+    // Store on, cold: warm-ups run for real and publish entries.
+    let cold_ctx = RunnerCtx::with_store(open_store());
+    let cold = run_matrix_ctx_with(&cold_ctx, &h, &jobs, 2);
+    assert!(
+        cold_ctx.store().unwrap().stats().inserts > 0,
+        "cold pass must publish warm entries"
+    );
+
+    // Store on, hot, fresh process state (new ctx = empty in-memory
+    // cache): warm state restores from disk.
+    let hot_ctx = RunnerCtx::with_store(open_store());
+    let hot = run_matrix_ctx_with(&hot_ctx, &h, &jobs, 2);
+    assert!(
+        hot_ctx.store().unwrap().stats().hits > 0,
+        "hot pass must actually read the store"
+    );
+
+    // Pre-corrupted: flip one byte in the middle of every committed
+    // entry. Every read must detect it, quarantine, and re-derive.
+    let mut flipped = 0;
+    for f in std::fs::read_dir(&dir).unwrap().flatten() {
+        let p = f.path();
+        if p.extension().is_some_and(|e| e == "ckpt") {
+            let mut b = std::fs::read(&p).unwrap();
+            let mid = b.len() / 2;
+            b[mid] ^= 0x20;
+            std::fs::write(&p, &b).unwrap();
+            flipped += 1;
+        }
+    }
+    assert!(flipped > 0, "corruption pass needs entries to corrupt");
+    let corrupt_ctx = RunnerCtx::with_store(open_store());
+    let corrupt = run_matrix_ctx_with(&corrupt_ctx, &h, &jobs, 2);
+    let s = corrupt_ctx.store().unwrap().stats();
+    assert_eq!(
+        s.quarantined as usize, flipped,
+        "every corrupted entry must be quarantined, none silently reused"
+    );
+
+    for (((o, c), ht), co) in off.iter().zip(&cold).zip(&hot).zip(&corrupt) {
+        assert!(!o.failed() && !c.failed() && !ht.failed() && !co.failed());
+        assert_eq!(o.report, c.report, "`{}`: off vs cold store", o.label);
+        assert_eq!(o.report, ht.report, "`{}`: off vs hot store", o.label);
+        assert_eq!(o.report, co.report, "`{}`: off vs corrupted store", o.label);
+    }
+
+    // No quarantined *jobs* anywhere: store damage is invisible above.
+    assert!(off_ctx.quarantined_jobs().is_empty());
+    assert!(corrupt_ctx.quarantined_jobs().is_empty());
+    let _ = std::fs::remove_dir_all(&dir);
 }

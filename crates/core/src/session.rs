@@ -37,7 +37,8 @@
 
 use nuba_types::invariant::{self, SiteSeed};
 use nuba_types::state::{
-    restore_vec, SaveState, StateError, StateReader, StateValue, StateWriter, STATE_FORMAT_VERSION,
+    fnv1a, restore_vec, SaveState, StateError, StateReader, StateValue, StateWriter,
+    STATE_FORMAT_VERSION,
 };
 use nuba_types::GpuConfig;
 use nuba_workloads::Workload;
@@ -107,7 +108,9 @@ impl Checkpoint {
     }
 
     /// Serialize to a self-describing byte buffer (magic, format
-    /// version, identity hashes, invariant seeds, state payload).
+    /// version, identity hashes, invariant seeds, state payload, and a
+    /// trailing end-to-end [`fnv1a`](nuba_types::state::fnv1a()) checksum
+    /// over everything before it).
     pub fn to_bytes(&self) -> Vec<u8> {
         let mut w = StateWriter::new();
         w.put_u32(CHECKPOINT_MAGIC);
@@ -119,16 +122,31 @@ impl Checkpoint {
         self.invariants.put(&mut w);
         self.payload.len().put(&mut w);
         w.put_bytes(&self.payload);
+        let checksum = fnv1a(w.bytes());
+        w.put_u64(checksum);
         w.into_bytes()
     }
 
+    /// [`fnv1a`](nuba_types::state::fnv1a()) hash of the serialized form
+    /// — the content address persistent stores key dedup on.
+    pub fn content_hash(&self) -> u64 {
+        fnv1a(&self.to_bytes())
+    }
+
     /// Decode a buffer produced by [`to_bytes`](Checkpoint::to_bytes).
+    ///
+    /// Every failure mode is a typed [`StateError`] — adversarial
+    /// bytes (truncations, bit flips, trailing garbage) must never
+    /// panic and never decode into wrong state, a contract enforced by
+    /// proptests over mutated valid checkpoints.
     ///
     /// # Errors
     /// [`StateError::Corrupt`] on a bad magic number or trailing bytes,
     /// [`StateError::VersionMismatch`] if the buffer was written by an
     /// incompatible format version, [`StateError::UnexpectedEof`] on
-    /// truncation.
+    /// truncation, [`StateError::ChecksumMismatch`] when the trailing
+    /// content checksum does not cover the bytes present (torn write,
+    /// bit flip).
     pub fn from_bytes(bytes: &[u8]) -> Result<Checkpoint, StateError> {
         let mut r = StateReader::new(bytes);
         if r.get_u32()? != CHECKPOINT_MAGIC {
@@ -141,6 +159,26 @@ impl Checkpoint {
                 expected: STATE_FORMAT_VERSION,
             });
         }
+        // Verify the trailing end-to-end checksum before decoding any
+        // structure: a damaged buffer is rejected up front with a
+        // checksum error instead of whatever decode error its bytes
+        // happen to produce (and payload bytes — opaque to the framing
+        // — cannot be silently accepted).
+        if bytes.len() < 16 {
+            return Err(StateError::UnexpectedEof {
+                needed: 16,
+                remaining: bytes.len(),
+            });
+        }
+        let (body, tail) = bytes.split_at(bytes.len() - 8);
+        let expected = u64::from_le_bytes(tail.try_into().expect("8-byte checksum tail"));
+        let found = fnv1a(body);
+        if expected != found {
+            return Err(StateError::ChecksumMismatch { expected, found });
+        }
+        let mut r = StateReader::new(body);
+        let _magic = r.get_u32()?;
+        let _version = r.get_u32()?;
         let config_hash = r.get_u64()?;
         let workload_hash = r.get_u64()?;
         let cycle = r.get_u64()?;
@@ -301,6 +339,20 @@ impl SimSession {
             workload,
             warm_accesses: None,
         }
+    }
+
+    /// Rebuild a session directly from serialized checkpoint bytes —
+    /// the resume-from-store path: a persistent checkpoint store hands
+    /// back raw verified bytes and this decodes and restores in one
+    /// step, with every corruption mode surfacing as a typed error.
+    ///
+    /// # Errors
+    /// Any [`StateError`] from [`Checkpoint::from_bytes`] (wrapped in
+    /// [`SimError::Checkpoint`]), or any error from
+    /// [`resume`](SimSession::resume).
+    pub fn resume_from_bytes(bytes: &[u8], workload: Workload) -> Result<SimSession, SimError> {
+        let ckpt = Checkpoint::from_bytes(bytes).map_err(SimError::from)?;
+        SimSession::resume(&ckpt, workload)
     }
 
     /// Rebuild a session from a [`Checkpoint`] taken under the same

@@ -270,18 +270,35 @@ fn from_bytes_rejects_corruption_and_version_skew() {
         })
     ));
 
-    // Truncation.
+    // Truncation: the trailing content checksum no longer covers the
+    // bytes present.
     assert!(matches!(
         nuba_core::Checkpoint::from_bytes(&bytes[..bytes.len() - 1]),
+        Err(StateError::ChecksumMismatch { .. })
+    ));
+
+    // Truncation so deep even the header is gone.
+    assert!(matches!(
+        nuba_core::Checkpoint::from_bytes(&bytes[..6]),
         Err(StateError::UnexpectedEof { .. })
     ));
 
-    // Trailing garbage.
+    // Trailing garbage shifts the checksum tail off its bytes.
     let mut bad = bytes.clone();
     bad.push(0);
     assert!(matches!(
         nuba_core::Checkpoint::from_bytes(&bad),
-        Err(StateError::Corrupt(_))
+        Err(StateError::ChecksumMismatch { .. })
+    ));
+
+    // A flipped bit in the middle of the opaque state payload — the
+    // case only the end-to-end checksum can catch.
+    let mut bad = bytes.clone();
+    let mid = bad.len() / 2;
+    bad[mid] ^= 0x10;
+    assert!(matches!(
+        nuba_core::Checkpoint::from_bytes(&bad),
+        Err(StateError::ChecksumMismatch { .. })
     ));
 }
 

@@ -31,7 +31,12 @@ use std::hash::Hash;
 
 /// Version of the checkpoint wire format. Bump on any layout change so
 /// stale checkpoints are rejected instead of misread.
-pub const STATE_FORMAT_VERSION: u32 = 1;
+///
+/// History: v1 was the original container; v2 appended a trailing
+/// end-to-end [`fnv1a`] checksum to the checkpoint container so any
+/// single flipped or missing byte is rejected with a typed error
+/// instead of silently decoding wrong state.
+pub const STATE_FORMAT_VERSION: u32 = 2;
 
 /// Why a checkpoint could not be decoded.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -72,6 +77,18 @@ pub enum StateError {
         /// Which identity failed (`"config"` or `"workload"`).
         what: &'static str,
     },
+    /// The buffer's end-to-end content checksum does not match its
+    /// bytes: a torn write, a flipped bit, or truncation/extension that
+    /// happened to keep the framing decodable. Distinct from
+    /// [`HashMismatch`](StateError::HashMismatch) (an *identity*
+    /// failure) so persistent stores can tell "wrong entry" from
+    /// "damaged entry".
+    ChecksumMismatch {
+        /// Checksum recorded in the buffer.
+        expected: u64,
+        /// Checksum computed over the bytes actually present.
+        found: u64,
+    },
     /// Any other structural inconsistency.
     Corrupt(&'static str),
 }
@@ -103,6 +120,10 @@ impl fmt::Display for StateError {
             StateError::HashMismatch { what } => {
                 write!(f, "checkpoint {what} hash does not match this run")
             }
+            StateError::ChecksumMismatch { expected, found } => write!(
+                f,
+                "content checksum mismatch: recorded {expected:#018x}, bytes hash to {found:#018x}"
+            ),
             StateError::Corrupt(what) => write!(f, "corrupt checkpoint: {what}"),
         }
     }

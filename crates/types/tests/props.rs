@@ -1,5 +1,7 @@
 //! Property tests: the partition-aware address map (paper Fig. 2) must
-//! round-trip driver placements and keep pages channel-pure.
+//! round-trip driver placements and keep pages channel-pure, and the
+//! checkpoint codec must reject arbitrary byte soup with typed errors,
+//! never a panic.
 
 use proptest::prelude::*;
 
@@ -83,5 +85,90 @@ proptest! {
         let a = m.compose(ChannelId(ch % 32), f1, 0);
         let b = m.compose(ChannelId(ch % 32), f2, 0);
         prop_assert_ne!(a, b);
+    }
+}
+
+mod state_adversarial {
+    //! The `StateReader` codec is the first line of defence under every
+    //! checkpoint: arbitrary byte soup and arbitrary cursor programs
+    //! must only ever produce typed `StateError`s.
+
+    use proptest::prelude::*;
+
+    use nuba_types::state::{StateError, StateReader, StateWriter};
+
+    proptest! {
+        #[test]
+        fn reader_survives_arbitrary_programs(
+            bytes in collection::vec(any::<u8>(), 0..128),
+            ops in collection::vec(0usize..4, 1..32),
+        ) {
+            let mut r = StateReader::new(&bytes);
+            for op in ops {
+                // Every primitive either yields a value or a typed
+                // UnexpectedEof; the cursor never goes out of bounds.
+                let res: Result<(), StateError> = match op {
+                    0 => r.get_u8().map(|_| ()),
+                    1 => r.get_u32().map(|_| ()),
+                    2 => r.get_u64().map(|_| ()),
+                    _ => r.take(9).map(|_| ()),
+                };
+                if let Err(e) = res {
+                    prop_assert!(
+                        matches!(e, StateError::UnexpectedEof { .. }),
+                        "primitive reads only fail with UnexpectedEof, got {e}"
+                    );
+                }
+                prop_assert!(r.remaining() <= bytes.len());
+            }
+        }
+
+        #[test]
+        fn take_is_exact_or_typed_error(
+            len in 0usize..64,
+            ask in 0usize..128,
+        ) {
+            let bytes = vec![0xA5u8; len];
+            let mut r = StateReader::new(&bytes);
+            match r.take(ask) {
+                Ok(slice) => {
+                    prop_assert_eq!(slice.len(), ask);
+                    prop_assert!(ask <= len);
+                }
+                Err(StateError::UnexpectedEof { needed, remaining }) => {
+                    prop_assert!(ask > len);
+                    prop_assert_eq!(needed, ask);
+                    prop_assert_eq!(remaining, len);
+                }
+                Err(e) => prop_assert!(false, "unexpected error {e}"),
+            }
+        }
+
+        #[test]
+        fn writer_reader_roundtrip_survives_truncation(
+            words in collection::vec(any::<u64>(), 1..16),
+            cut in 0usize..128,
+        ) {
+            let mut w = StateWriter::new();
+            for v in &words {
+                w.put_u64(*v);
+            }
+            let bytes = w.into_bytes();
+            let cut = cut % (bytes.len() + 1);
+            let mut r = StateReader::new(&bytes[..cut]);
+            // Reading back at any truncation: values decode exactly
+            // until the cut, then a typed error — never a panic, never
+            // a wrong value.
+            for (i, v) in words.iter().enumerate() {
+                match r.get_u64() {
+                    Ok(got) => prop_assert_eq!(got, *v, "prefix decodes exactly"),
+                    Err(StateError::UnexpectedEof { .. }) => {
+                        prop_assert!(cut < (i + 1) * 8);
+                        break;
+                    }
+                    Err(e) => prop_assert!(false, "unexpected error {e}"),
+                }
+            }
+        }
     }
 }
