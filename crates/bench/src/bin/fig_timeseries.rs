@@ -97,6 +97,7 @@ fn main() {
                 ring_windows: ring,
                 trace_sample_period: 64,
                 trace_capacity: 4096,
+                window_latency: true,
             });
             let plan = mid_run_derate(&cfg, fault_start, fault_end);
             Job::new(name.to_string(), bench, cfg).with_faults(plan)

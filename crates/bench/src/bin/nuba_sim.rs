@@ -255,6 +255,7 @@ fn json_report(b: BenchmarkId, a: &Args, r: &SimReport, quarantined: bool) -> St
          \"local_link_busy_cycles\":{},\"noc_serialization_cycles\":{:.1},\
          \"dram_bus_busy_cycles\":{},\
          \"noc_watts\":{:.2},\"noc_energy_j\":{:.6},\"rest_energy_j\":{:.6},\
+         \"latency\":{},\
          \"bottleneck\":{{\"compute\":{:.6},\"l1_bound\":{:.6},\
          \"local_link_bound\":{:.6},\"noc_bound\":{:.6},\
          \"llc_queue_bound\":{:.6},\"dram_bound\":{:.6},\"dominant\":\"{}\"}}}}",
@@ -294,6 +295,7 @@ fn json_report(b: BenchmarkId, a: &Args, r: &SimReport, quarantined: bool) -> St
         r.noc_watts,
         r.energy.noc_j,
         r.energy.rest_j,
+        r.latency.json(),
         bd.compute,
         bd.l1_bound,
         bd.local_link_bound,

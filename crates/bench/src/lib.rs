@@ -105,6 +105,21 @@ pub struct HarnessOptions {
     /// backoff between job retry attempts (default 100; `0` disables
     /// the sleep, attempts still count).
     pub retry_backoff_ms: u64,
+    /// `NUBA_METRICS=<path>`: write the matrix-end Prometheus
+    /// text-exposition dump here (outcome counts, cycle totals, store
+    /// counters, merged per-tier latency histograms — deterministic;
+    /// no wall-clock values).
+    pub metrics: Option<String>,
+    /// `NUBA_EVENTS=<path>`: write the structured harness event log
+    /// (JSONL, one lifecycle event per line, monotonic `seq`) here.
+    /// Rendered post-run in submission order, so the content is
+    /// deterministic — no wall-clock fields at all.
+    pub events: Option<String>,
+    /// `NUBA_MATRIX_TRACE=<path>`: write the matrix-level Chrome trace
+    /// (jobs as spans, retry attempts as nested spans) here. The only
+    /// artifact that carries wall-clock timestamps — explicitly exempt
+    /// from the byte-determinism contract (DESIGN.md §16).
+    pub matrix_trace: Option<String>,
 }
 
 impl HarnessOptions {
@@ -151,6 +166,9 @@ impl HarnessOptions {
             matrix_deadline_secs: num("NUBA_MATRIX_DEADLINE_SECS"),
             job_deadline_secs: num("NUBA_JOB_DEADLINE_SECS"),
             retry_backoff_ms: num("NUBA_RETRY_BACKOFF_MS").unwrap_or(100),
+            metrics: path("NUBA_METRICS"),
+            events: path("NUBA_EVENTS"),
+            matrix_trace: path("NUBA_MATRIX_TRACE"),
         }
     }
 

@@ -45,15 +45,16 @@ use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex, OnceLock};
 use std::time::{Duration, Instant};
 
+use nuba_core::telemetry::escape_json;
 use nuba_core::{
     default_warm_accesses, Checkpoint, GpuSimulator, SimError, SimReport, TelemetryWindow,
-    TraceRecord,
+    TraceRecord, NUM_STAGES, NUM_TIERS, STAGE_NAMES, TIER_NAMES,
 };
 use nuba_engine::FaultPlan;
-use nuba_types::GpuConfig;
+use nuba_types::{GpuConfig, Histogram, MetricsRegistry};
 use nuba_workloads::{BenchmarkId, ScaleProfile, Workload};
 
-use crate::store::{CheckpointStore, StoreKey};
+use crate::store::{CheckpointStore, StoreKey, StoreStats};
 use crate::{Harness, HarnessOptions};
 
 /// One simulation in an experiment matrix.
@@ -182,6 +183,33 @@ impl JobOutcome {
     }
 }
 
+/// One deterministic lifecycle event of a job, captured while it runs
+/// and rendered post-run into the `NUBA_EVENTS` JSONL log. No
+/// wall-clock content: every payload is a logical quantity (attempt
+/// number, simulated cycle), so the rendered log is byte-identical
+/// across worker counts and skip modes. `queued` and the outcome event
+/// are synthesized at render time from the [`JobResult`] itself.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum JobEvent {
+    /// An attempt began (`attempt` is 1-based).
+    Started {
+        /// 1-based attempt number.
+        attempt: u32,
+    },
+    /// A failed attempt is being retried (`attempt` is the upcoming
+    /// attempt's number).
+    Retried {
+        /// 1-based number of the attempt about to start.
+        attempt: u32,
+    },
+    /// The job salvaged its machine state into the checkpoint store at
+    /// this simulated cycle (cancellation, deadline).
+    Salvaged {
+        /// Simulated cycle of the salvaged checkpoint.
+        cycle: u64,
+    },
+}
+
 /// A completed job with its throughput record.
 #[derive(Debug, Clone)]
 pub struct JobResult {
@@ -210,6 +238,17 @@ pub struct JobResult {
     /// job's config — or `NUBA_TRACE` — enabled tracing, or the job
     /// was quarantined).
     pub trace: Vec<TraceRecord>,
+    /// Deterministic lifecycle events, in occurrence order (see
+    /// [`JobEvent`]; `queued` and the outcome are synthesized at
+    /// render time).
+    pub events: Vec<JobEvent>,
+    /// Wall-clock offset of the job's first attempt relative to the
+    /// matrix start, in seconds. Feeds only the matrix Chrome trace —
+    /// the one wall-clock-exempt artifact (DESIGN.md §16).
+    pub start_offset_secs: f64,
+    /// Wall-clock offset of each attempt's start relative to the
+    /// matrix start (one entry per attempt; matrix-trace only).
+    pub attempt_offsets_secs: Vec<f64>,
 }
 
 impl JobResult {
@@ -616,27 +655,34 @@ fn warmed_simulator(
 
 /// Salvage the job's current machine state into the store under the
 /// `run/` namespace (keyed by cycle) so an operator can resume or
-/// post-mortem a drained job. Best-effort: failures warn.
+/// post-mortem a drained job. Best-effort: failures warn. Returns the
+/// salvaged cycle so the caller can log a [`JobEvent::Salvaged`].
 fn salvage_to_store(
     ctx: &RunnerCtx,
     job: &Job,
     cfg: &GpuConfig,
     wl: &Workload,
     gpu: &mut GpuSimulator,
-) {
-    let Some(store) = ctx.store() else { return };
+) -> Option<u64> {
+    let store = ctx.store()?;
     if gpu.cycle() == 0 {
-        return;
+        return None;
     }
     let key = StoreKey::run(job.bench, cfg.state_hash(), gpu.cycle());
     let ckpt = gpu.checkpoint(wl);
     match store.put(&key, &ckpt) {
-        Ok(()) => eprintln!(
-            "runner: salvaged {} at cycle {} to store",
-            job.label,
-            gpu.cycle()
-        ),
-        Err(e) => eprintln!("runner: cannot salvage {}: {e}", job.label),
+        Ok(()) => {
+            eprintln!(
+                "runner: salvaged {} at cycle {} to store",
+                job.label,
+                gpu.cycle()
+            );
+            Some(gpu.cycle())
+        }
+        Err(e) => {
+            eprintln!("runner: cannot salvage {}: {e}", job.label);
+            None
+        }
     }
 }
 
@@ -670,6 +716,7 @@ fn execute_job(
     resume: &mut Option<Checkpoint>,
     job_deadline: Option<Instant>,
     matrix_deadline: Option<Instant>,
+    events: &mut Vec<JobEvent>,
 ) -> Result<JobOutput, JobAbort> {
     let opts = HarnessOptions::get();
     let scale = job.scale.unwrap_or(h.scale);
@@ -717,18 +764,24 @@ fn execute_job(
     let chunk_cycles = checkpointing.unwrap_or(CANCEL_CHUNK).max(1);
     let report = loop {
         if ctx.cancel.is_cancelled() {
-            salvage_to_store(ctx, job, &cfg, &wl, &mut gpu);
+            if let Some(cycle) = salvage_to_store(ctx, job, &cfg, &wl, &mut gpu) {
+                events.push(JobEvent::Salvaged { cycle });
+            }
             return Err(JobAbort::Cancelled);
         }
         if matrix_deadline.is_some_and(|d| Instant::now() >= d) {
             if ctx.cancel.cancel() {
                 eprintln!("runner: NUBA_MATRIX_DEADLINE_SECS exceeded — draining matrix");
             }
-            salvage_to_store(ctx, job, &cfg, &wl, &mut gpu);
+            if let Some(cycle) = salvage_to_store(ctx, job, &cfg, &wl, &mut gpu) {
+                events.push(JobEvent::Salvaged { cycle });
+            }
             return Err(JobAbort::Cancelled);
         }
         if job_deadline.is_some_and(|d| Instant::now() >= d) {
-            salvage_to_store(ctx, job, &cfg, &wl, &mut gpu);
+            if let Some(cycle) = salvage_to_store(ctx, job, &cfg, &wl, &mut gpu) {
+                events.push(JobEvent::Salvaged { cycle });
+            }
             return Err(JobAbort::TimedOut);
         }
         // The window ends at absolute cycle `h.cycles`: warm-up leaves
@@ -774,6 +827,15 @@ fn backoff_sleep(base_ms: u64, attempt: u32) {
     std::thread::sleep(Duration::from_millis(ms));
 }
 
+/// Lifecycle observations accumulated while a job ran: the
+/// deterministic events for the log plus the wall-clock offsets that
+/// feed only the matrix trace.
+struct Lifecycle {
+    events: Vec<JobEvent>,
+    start_offset_secs: f64,
+    attempt_offsets_secs: Vec<f64>,
+}
+
 /// A [`JobResult`] for a job that never produced a report.
 fn empty_result(
     job: &Job,
@@ -781,6 +843,7 @@ fn empty_result(
     error: Option<String>,
     attempts: u32,
     start: Instant,
+    lifecycle: Lifecycle,
 ) -> JobResult {
     JobResult {
         label: job.label.clone(),
@@ -792,6 +855,9 @@ fn empty_result(
         attempts,
         windows: Vec::new(),
         trace: Vec::new(),
+        events: lifecycle.events,
+        start_offset_secs: lifecycle.start_offset_secs,
+        attempt_offsets_secs: lifecycle.attempt_offsets_secs,
     }
 }
 
@@ -801,29 +867,66 @@ fn empty_result(
 /// attempts) the job is quarantined instead of taking the matrix down.
 /// Cancellation and wall-clock timeouts break out immediately — a
 /// drained or budget-exhausted job is never retried.
-fn run_job(ctx: &RunnerCtx, h: &Harness, job: &Job, matrix_deadline: Option<Instant>) -> JobResult {
+fn run_job(
+    ctx: &RunnerCtx,
+    h: &Harness,
+    job: &Job,
+    matrix_deadline: Option<Instant>,
+    matrix_start: Instant,
+) -> JobResult {
     let opts = HarnessOptions::get();
     let retries = job_retries();
     let start = Instant::now();
+    let start_offset_secs = start.duration_since(matrix_start).as_secs_f64();
     // Claimed after the matrix started draining: report the job as
     // cancelled without touching the simulator.
     if ctx.cancel.is_cancelled() || matrix_deadline.is_some_and(|d| Instant::now() >= d) {
         ctx.cancel.cancel();
-        return empty_result(job, JobOutcome::Cancelled, None, 0, start);
+        return empty_result(
+            job,
+            JobOutcome::Cancelled,
+            None,
+            0,
+            start,
+            Lifecycle {
+                events: Vec::new(),
+                start_offset_secs,
+                attempt_offsets_secs: Vec::new(),
+            },
+        );
     }
     let deadline_secs = job.wall_deadline_secs.or(opts.job_deadline_secs);
     let job_deadline = deadline_secs.map(|s| start + Duration::from_secs_f64(s.max(0.0)));
     let mut attempts = 0u32;
+    let mut events: Vec<JobEvent> = Vec::new();
+    let mut attempt_offsets: Vec<f64> = Vec::new();
     // Latest mid-run checkpoint, carried across retry attempts so a
     // late failure resumes from the last good chunk.
     let mut resume: Option<Checkpoint> = None;
     let (outcome, error) = loop {
         attempts += 1;
+        events.push(if attempts == 1 {
+            JobEvent::Started { attempt: attempts }
+        } else {
+            JobEvent::Retried { attempt: attempts }
+        });
+        attempt_offsets.push(Instant::now().duration_since(matrix_start).as_secs_f64());
         let attempt = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-            execute_job(ctx, h, job, &mut resume, job_deadline, matrix_deadline)
+            let mut ev = Vec::new();
+            let out = execute_job(
+                ctx,
+                h,
+                job,
+                &mut resume,
+                job_deadline,
+                matrix_deadline,
+                &mut ev,
+            );
+            (out, ev)
         }));
         match attempt {
-            Ok(Ok((report, windows, trace))) => {
+            Ok((Ok((report, windows, trace)), ev)) => {
+                events.extend(ev);
                 let wall_seconds = start.elapsed().as_secs_f64();
                 let cycles_per_sec = report.cycles as f64 / wall_seconds.max(1e-9);
                 return JobResult {
@@ -836,10 +939,17 @@ fn run_job(ctx: &RunnerCtx, h: &Harness, job: &Job, matrix_deadline: Option<Inst
                     attempts,
                     windows,
                     trace,
+                    events,
+                    start_offset_secs,
+                    attempt_offsets_secs: attempt_offsets,
                 };
             }
-            Ok(Err(JobAbort::Cancelled)) => break (JobOutcome::Cancelled, None),
-            Ok(Err(JobAbort::TimedOut)) => {
+            Ok((Err(JobAbort::Cancelled), ev)) => {
+                events.extend(ev);
+                break (JobOutcome::Cancelled, None);
+            }
+            Ok((Err(JobAbort::TimedOut), ev)) => {
+                events.extend(ev);
                 break (
                     JobOutcome::TimedOut,
                     Some(format!(
@@ -848,7 +958,8 @@ fn run_job(ctx: &RunnerCtx, h: &Harness, job: &Job, matrix_deadline: Option<Inst
                     )),
                 );
             }
-            Ok(Err(JobAbort::Sim(e))) => {
+            Ok((Err(JobAbort::Sim(e)), ev)) => {
+                events.extend(ev);
                 if attempts <= retries {
                     backoff_sleep(opts.retry_backoff_ms, attempts);
                     continue;
@@ -874,7 +985,18 @@ fn run_job(ctx: &RunnerCtx, h: &Harness, job: &Job, matrix_deadline: Option<Inst
             attempts,
         });
     }
-    empty_result(job, outcome, error, attempts, start)
+    empty_result(
+        job,
+        outcome,
+        error,
+        attempts,
+        start,
+        Lifecycle {
+            events,
+            start_offset_secs,
+            attempt_offsets_secs: attempt_offsets,
+        },
+    )
 }
 
 /// Run an experiment matrix on the `NUBA_JOBS` pool under the global
@@ -908,11 +1030,12 @@ pub fn run_matrix_ctx_with(
     // First Ctrl-C drains the matrix (jobs checkpoint-and-stop), a
     // second one kills the process via the restored default handler.
     sigint::install();
+    let matrix_start = Instant::now();
     let matrix_deadline = HarnessOptions::get()
         .matrix_deadline_secs
-        .map(|s| Instant::now() + Duration::from_secs_f64(s.max(0.0)));
+        .map(|s| matrix_start + Duration::from_secs_f64(s.max(0.0)));
     let results = run_jobs(jobs.len(), threads, |i| {
-        run_job(ctx, h, &jobs[i], matrix_deadline)
+        run_job(ctx, h, &jobs[i], matrix_deadline, matrix_start)
     });
     let drained = results.iter().filter(|r| r.cancelled()).count();
     if drained > 0 {
@@ -959,24 +1082,211 @@ pub fn render_trace(results: &[JobResult]) -> String {
     out
 }
 
-/// Write the matrix's telemetry artifacts to the paths named by
-/// `NUBA_TIMESERIES` (windowed JSONL) and `NUBA_TRACE` (Chrome trace
-/// JSON). No-op when neither variable is set. Write failures warn on
-/// stderr rather than failing the run — observability must never take
-/// an otherwise-healthy matrix down.
-pub fn write_telemetry_outputs(results: &[JobResult]) {
-    let opts = HarnessOptions::get();
-    if let Some(path) = &opts.timeseries {
-        match std::fs::write(path, render_timeseries(results)) {
-            Ok(()) => eprintln!("runner: wrote windowed telemetry to {path}"),
-            Err(e) => eprintln!("runner: cannot write timeseries {path}: {e}"),
+/// Render the matrix's structured event log as JSONL: one lifecycle
+/// event per line, jobs in submission order, with a synthesized
+/// monotonic `seq`. For each job: `queued`, then the captured
+/// [`JobEvent`]s (started / retried / salvaged), then the outcome
+/// (`ok` / `failed` / `cancelled` / `timed_out`, with `quarantined`
+/// set on faults); finally one matrix-level `store` summary event when
+/// store counters were observed. No wall-clock fields anywhere, so the
+/// log is byte-identical across worker counts and skip modes (store
+/// counters can race under a *shared* persistent store — DESIGN.md
+/// §16 documents that caveat).
+pub fn render_event_log(results: &[JobResult], store: Option<StoreStats>) -> String {
+    let mut out = String::new();
+    let mut seq = 0u64;
+    let line = |out: &mut String, seq: &mut u64, body: String| {
+        out.push_str(&format!("{{\"seq\":{},{body}}}\n", *seq));
+        *seq += 1;
+    };
+    for (job_idx, r) in results.iter().enumerate() {
+        let ident = format!(
+            "\"job\":\"{}\",\"job_index\":{job_idx}",
+            escape_json(&r.label)
+        );
+        line(&mut out, &mut seq, format!("\"event\":\"queued\",{ident}"));
+        for ev in &r.events {
+            let body = match ev {
+                JobEvent::Started { attempt } => {
+                    format!("\"event\":\"started\",{ident},\"attempt\":{attempt}")
+                }
+                JobEvent::Retried { attempt } => {
+                    format!("\"event\":\"retried\",{ident},\"attempt\":{attempt}")
+                }
+                JobEvent::Salvaged { cycle } => {
+                    format!("\"event\":\"salvaged\",{ident},\"cycle\":{cycle}")
+                }
+            };
+            line(&mut out, &mut seq, body);
+        }
+        let mut body = format!(
+            "\"event\":\"{}\",{ident},\"attempts\":{},\"cycles\":{}",
+            r.outcome.as_str(),
+            r.attempts,
+            r.report.cycles
+        );
+        if r.failed() {
+            body.push_str(",\"quarantined\":true");
+        }
+        if let Some(e) = &r.error {
+            body.push_str(&format!(",\"error\":\"{}\"", escape_json(e)));
+        }
+        line(&mut out, &mut seq, body);
+    }
+    if let Some(s) = store {
+        line(
+            &mut out,
+            &mut seq,
+            format!(
+                "\"event\":\"store\",\"hits\":{},\"misses\":{},\"inserts\":{},\
+                 \"write_errors\":{},\"quarantined\":{},\"evictions\":{}",
+                s.hits, s.misses, s.inserts, s.write_errors, s.quarantined, s.evictions
+            ),
+        );
+    }
+    out
+}
+
+/// Render the matrix-level Chrome trace: one span per job (pid 0,
+/// tid = submission index) and one nested span per retry attempt.
+/// This is the single artifact that carries wall-clock timestamps —
+/// explicitly exempt from the byte-determinism contract, because its
+/// whole point is to show the real schedule (who ran when, where the
+/// retries went). Load at `chrome://tracing` or in Perfetto.
+pub fn render_matrix_trace(results: &[JobResult]) -> String {
+    let mut events: Vec<String> = Vec::new();
+    let us = |secs: f64| (secs * 1e6).round().max(0.0) as u64;
+    for (job_idx, r) in results.iter().enumerate() {
+        events.push(format!(
+            concat!(
+                "{{\"name\":\"{}\",\"cat\":\"job\",\"ph\":\"X\",",
+                "\"ts\":{},\"dur\":{},\"pid\":0,\"tid\":{},",
+                "\"args\":{{\"outcome\":\"{}\",\"attempts\":{},\"cycles\":{}}}}}"
+            ),
+            escape_json(&r.label),
+            us(r.start_offset_secs),
+            us(r.wall_seconds),
+            job_idx,
+            r.outcome.as_str(),
+            r.attempts,
+            r.report.cycles,
+        ));
+        let end = r.start_offset_secs + r.wall_seconds;
+        for (i, &at) in r.attempt_offsets_secs.iter().enumerate() {
+            let next = r.attempt_offsets_secs.get(i + 1).copied().unwrap_or(end);
+            events.push(format!(
+                concat!(
+                    "{{\"name\":\"attempt {}\",\"cat\":\"attempt\",\"ph\":\"X\",",
+                    "\"ts\":{},\"dur\":{},\"pid\":0,\"tid\":{}}}"
+                ),
+                i + 1,
+                us(at),
+                us((next - at).max(0.0)),
+                job_idx,
+            ));
         }
     }
-    if let Some(path) = &opts.trace {
-        match std::fs::write(path, render_trace(results)) {
-            Ok(()) => eprintln!("runner: wrote lifecycle trace to {path}"),
-            Err(e) => eprintln!("runner: cannot write trace {path}: {e}"),
+    if events.is_empty() {
+        return "{\"traceEvents\":[],\"displayTimeUnit\":\"ms\"}\n".to_string();
+    }
+    let mut out = String::from("{\"traceEvents\":[\n");
+    out.push_str(&events.join(",\n"));
+    out.push_str("\n],\"displayTimeUnit\":\"ms\"}\n");
+    out
+}
+
+/// Fold a matrix's results (and the store's counters, when a store is
+/// configured) into a [`MetricsRegistry`] for the `NUBA_METRICS`
+/// Prometheus dump: job outcome counts, attempt and cycle totals,
+/// store counters, and the per-tier / per-stage latency histograms
+/// merged across jobs. Deliberately no wall-clock values — the dump is
+/// part of the deterministic artifact set.
+pub fn build_matrix_registry(results: &[JobResult], store: Option<StoreStats>) -> MetricsRegistry {
+    let mut reg = MetricsRegistry::new();
+    let stats = MatrixStats::of(results);
+    reg.counter_add("nuba_jobs_total", stats.jobs as u64);
+    reg.counter_add("nuba_jobs_quarantined_total", stats.quarantined as u64);
+    reg.counter_add("nuba_jobs_cancelled_total", stats.cancelled as u64);
+    reg.counter_add("nuba_jobs_timed_out_total", stats.timed_out as u64);
+    reg.counter_add(
+        "nuba_jobs_ok_total",
+        results
+            .iter()
+            .filter(|r| r.outcome == JobOutcome::Ok)
+            .count() as u64,
+    );
+    reg.counter_add(
+        "nuba_job_attempts_total",
+        results.iter().map(|r| u64::from(r.attempts)).sum(),
+    );
+    reg.counter_add("nuba_cycles_total", stats.total_cycles);
+    reg.counter_add(
+        "nuba_warp_ops_total",
+        results.iter().map(|r| r.report.warp_ops).sum(),
+    );
+    if let Some(s) = store {
+        reg.counter_add("nuba_store_hits_total", s.hits);
+        reg.counter_add("nuba_store_misses_total", s.misses);
+        reg.counter_add("nuba_store_inserts_total", s.inserts);
+        reg.counter_add("nuba_store_write_errors_total", s.write_errors);
+        reg.counter_add("nuba_store_quarantined_total", s.quarantined);
+        reg.counter_add("nuba_store_evictions_total", s.evictions);
+    }
+    let mut tiers = [Histogram::new(); NUM_TIERS];
+    let mut stages = [Histogram::new(); NUM_STAGES];
+    for r in results {
+        for (acc, h) in tiers.iter_mut().zip(r.report.latency.tiers.iter()) {
+            acc.merge(h);
         }
+        for (acc, h) in stages.iter_mut().zip(r.report.latency.stages.iter()) {
+            acc.merge(h);
+        }
+    }
+    for (i, h) in tiers.iter().enumerate() {
+        if !h.is_empty() {
+            *reg.histogram_mut(&format!("nuba_read_latency_cycles_{}", TIER_NAMES[i])) = *h;
+        }
+    }
+    for (i, h) in stages.iter().enumerate() {
+        if !h.is_empty() {
+            *reg.histogram_mut(&format!("nuba_stage_delay_cycles_{}", STAGE_NAMES[i])) = *h;
+        }
+    }
+    reg
+}
+
+/// Write the matrix's telemetry artifacts to the paths named by
+/// `NUBA_TIMESERIES` (windowed JSONL), `NUBA_TRACE` (Chrome lifecycle
+/// trace), `NUBA_EVENTS` (harness event log JSONL), `NUBA_MATRIX_TRACE`
+/// (matrix-level Chrome trace), and `NUBA_METRICS` (Prometheus text
+/// dump). No-op when none are set. Write failures warn on stderr
+/// rather than failing the run — observability must never take an
+/// otherwise-healthy matrix down.
+pub fn write_telemetry_outputs(results: &[JobResult]) {
+    let opts = HarnessOptions::get();
+    let write = |path: &str, what: &str, content: String| match std::fs::write(path, content) {
+        Ok(()) => eprintln!("runner: wrote {what} to {path}"),
+        Err(e) => eprintln!("runner: cannot write {what} {path}: {e}"),
+    };
+    if let Some(path) = &opts.timeseries {
+        write(path, "windowed telemetry", render_timeseries(results));
+    }
+    if let Some(path) = &opts.trace {
+        write(path, "lifecycle trace", render_trace(results));
+    }
+    let store_stats = global_ctx().store().map(|s| s.stats());
+    if let Some(path) = &opts.events {
+        write(path, "event log", render_event_log(results, store_stats));
+    }
+    if let Some(path) = &opts.matrix_trace {
+        write(path, "matrix trace", render_matrix_trace(results));
+    }
+    if let Some(path) = &opts.metrics {
+        write(
+            path,
+            "metrics dump",
+            build_matrix_registry(results, store_stats).render_prometheus(),
+        );
     }
 }
 
@@ -1035,16 +1345,29 @@ pub struct RunnerRecord {
     pub wall_seconds: f64,
     /// Matrix aggregate.
     pub stats: MatrixStats,
+    /// Checkpoint-store counters at run end (all zero when no store
+    /// was configured). Surfaced here so the store's effectiveness is
+    /// inspectable from the artifact, not just stderr chatter.
+    pub store: StoreStats,
 }
 
 impl RunnerRecord {
+    /// The global context's store counters, for building a record at
+    /// the end of a run (zeros when `NUBA_STORE_DIR` is unset).
+    pub fn current_store_stats() -> StoreStats {
+        global_ctx().store().map(|s| s.stats()).unwrap_or_default()
+    }
+
     fn to_json_line(self) -> String {
         let cps = self.stats.total_cycles as f64 / self.wall_seconds.max(1e-9);
         format!(
             "    {{\"nuba_jobs\": {}, \"jobs\": {}, \"quarantined\": {}, \
              \"cancelled\": {}, \"timed_out\": {}, \
              \"wall_seconds\": {:.3}, \"cpu_seconds\": {:.3}, \
-             \"total_cycles\": {}, \"cycles_per_sec\": {:.0}}}",
+             \"total_cycles\": {}, \"cycles_per_sec\": {:.0}, \
+             \"store_hits\": {}, \"store_misses\": {}, \"store_inserts\": {}, \
+             \"store_write_errors\": {}, \"store_quarantined\": {}, \
+             \"store_evictions\": {}}}",
             self.nuba_jobs,
             self.stats.jobs,
             self.stats.quarantined,
@@ -1053,7 +1376,13 @@ impl RunnerRecord {
             self.wall_seconds,
             self.stats.cpu_seconds,
             self.stats.total_cycles,
-            cps
+            cps,
+            self.store.hits,
+            self.store.misses,
+            self.store.inserts,
+            self.store.write_errors,
+            self.store.quarantined,
+            self.store.evictions,
         )
     }
 
@@ -1079,6 +1408,16 @@ impl RunnerRecord {
                 quarantined: field("quarantined").map(|v| v as usize).unwrap_or(0),
                 cancelled: field("cancelled").map(|v| v as usize).unwrap_or(0),
                 timed_out: field("timed_out").map(|v| v as usize).unwrap_or(0),
+            },
+            // Absent in records written before store counters surfaced
+            // through the registry.
+            store: StoreStats {
+                hits: field("store_hits").map(|v| v as u64).unwrap_or(0),
+                misses: field("store_misses").map(|v| v as u64).unwrap_or(0),
+                inserts: field("store_inserts").map(|v| v as u64).unwrap_or(0),
+                write_errors: field("store_write_errors").map(|v| v as u64).unwrap_or(0),
+                quarantined: field("store_quarantined").map(|v| v as u64).unwrap_or(0),
+                evictions: field("store_evictions").map(|v| v as u64).unwrap_or(0),
             },
         })
     }
@@ -1307,6 +1646,115 @@ mod tests {
     }
 
     #[test]
+    fn event_log_has_monotonic_seq_and_outcomes() {
+        let h = tiny_harness();
+        let cfg = GpuConfig::paper_baseline(nuba_types::ArchKind::Nuba);
+        let jobs = vec![
+            Job::new("ev-ok", BenchmarkId::Kmeans, cfg.clone()),
+            Job::new("ev-panic", BenchmarkId::Kmeans, cfg).with_injected_panic(),
+        ];
+        let ctx = RunnerCtx::new();
+        let results = run_matrix_ctx_with(&ctx, &h, &jobs, 2);
+        let log = render_event_log(
+            &results,
+            Some(StoreStats {
+                hits: 1,
+                ..StoreStats::default()
+            }),
+        );
+        let lines: Vec<&str> = log.lines().collect();
+        // queued + started + outcome per job, plus the store summary.
+        assert_eq!(lines.len(), 7, "{log}");
+        for (i, l) in lines.iter().enumerate() {
+            assert!(l.starts_with(&format!("{{\"seq\":{i},")), "{l}");
+            assert!(l.ends_with('}'), "{l}");
+        }
+        assert!(lines[0].contains("\"event\":\"queued\"") && lines[0].contains("\"ev-ok\""));
+        assert!(lines[1].contains("\"event\":\"started\"") && lines[1].contains("\"attempt\":1"));
+        assert!(lines[2].contains("\"event\":\"ok\"") && lines[2].contains("\"attempts\":1"));
+        assert!(
+            lines[5].contains("\"event\":\"failed\"")
+                && lines[5].contains("\"quarantined\":true")
+                && lines[5].contains("injected chaos panic"),
+            "{}",
+            lines[5]
+        );
+        assert!(lines[6].contains("\"event\":\"store\"") && lines[6].contains("\"hits\":1"));
+        // The deterministic content is schedule-independent: rendering
+        // the serial run of the healthy job matches itself re-rendered.
+        ctx.reset_quarantine();
+        let again = render_event_log(&results, None);
+        assert!(again.lines().count() == 6, "no store event without stats");
+    }
+
+    #[test]
+    fn matrix_trace_nests_attempts_under_jobs() {
+        let h = tiny_harness();
+        let cfg = GpuConfig::paper_baseline(nuba_types::ArchKind::Nuba);
+        let ctx = RunnerCtx::new();
+        let results = run_matrix_ctx_with(
+            &ctx,
+            &h,
+            &[Job::new("trace-job", BenchmarkId::Kmeans, cfg)],
+            1,
+        );
+        let trace = render_matrix_trace(&results);
+        assert!(trace.contains("\"name\":\"trace-job\""), "{trace}");
+        assert!(trace.contains("\"cat\":\"job\""));
+        assert!(trace.contains("\"name\":\"attempt 1\""));
+        assert!(trace.contains("\"cat\":\"attempt\""));
+        assert!(trace.ends_with("],\"displayTimeUnit\":\"ms\"}\n"));
+        assert_eq!(
+            render_matrix_trace(&[]),
+            "{\"traceEvents\":[],\"displayTimeUnit\":\"ms\"}\n"
+        );
+    }
+
+    #[test]
+    fn matrix_registry_counts_outcomes_and_latency() {
+        let h = tiny_harness();
+        let cfg = GpuConfig::paper_baseline(nuba_types::ArchKind::Nuba);
+        let ctx = RunnerCtx::new();
+        let results = run_matrix_ctx_with(
+            &ctx,
+            &h,
+            &[Job::new("reg-job", BenchmarkId::Kmeans, cfg)],
+            1,
+        );
+        let reg = build_matrix_registry(&results, None);
+        assert_eq!(reg.counter("nuba_jobs_total"), 1);
+        assert_eq!(reg.counter("nuba_jobs_ok_total"), 1);
+        assert_eq!(reg.counter("nuba_cycles_total"), results[0].report.cycles);
+        // The run delivered read replies, so at least one tier
+        // histogram must be populated and folded into the dump.
+        let replies: u64 = results[0]
+            .report
+            .latency
+            .tiers
+            .iter()
+            .map(|h| h.count())
+            .sum();
+        assert!(replies > 0, "tier histograms populated");
+        let text = reg.render_prometheus();
+        assert!(text.contains("nuba_read_latency_cycles_"), "{text}");
+        assert!(
+            !text.contains("wall"),
+            "no wall-clock values in the deterministic dump"
+        );
+        // With store counters, they surface as counters.
+        let reg = build_matrix_registry(
+            &results,
+            Some(StoreStats {
+                hits: 2,
+                evictions: 1,
+                ..StoreStats::default()
+            }),
+        );
+        assert_eq!(reg.counter("nuba_store_hits_total"), 2);
+        assert_eq!(reg.counter("nuba_store_evictions_total"), 1);
+    }
+
+    #[test]
     fn runner_record_roundtrips_through_json() {
         let rec = RunnerRecord {
             nuba_jobs: 4,
@@ -1319,6 +1767,14 @@ mod tests {
                 cancelled: 1,
                 timed_out: 1,
             },
+            store: StoreStats {
+                hits: 5,
+                misses: 2,
+                inserts: 2,
+                write_errors: 0,
+                quarantined: 1,
+                evictions: 3,
+            },
         };
         let line = rec.to_json_line();
         let back = RunnerRecord::parse_json_line(&line).expect("parses");
@@ -1327,6 +1783,8 @@ mod tests {
         assert_eq!(back.stats.total_cycles, 420_000);
         assert_eq!(back.stats.cancelled, 1);
         assert_eq!(back.stats.timed_out, 1);
+        assert_eq!(back.store.hits, 5);
+        assert_eq!(back.store.evictions, 3);
         assert!((back.wall_seconds - 12.345).abs() < 1e-9);
 
         // Records written before lifecycle outcomes parse with zeros.
@@ -1335,6 +1793,7 @@ mod tests {
                       \"total_cycles\": 100, \"cycles_per_sec\": 100}";
         let old = RunnerRecord::parse_json_line(legacy).expect("legacy parses");
         assert_eq!((old.stats.cancelled, old.stats.timed_out), (0, 0));
+        assert_eq!(old.store, StoreStats::default());
     }
 
     #[test]
@@ -1354,6 +1813,7 @@ mod tests {
                 cancelled: 0,
                 timed_out: 0,
             },
+            store: StoreStats::default(),
         };
         write_runner_json(path, mk(1, 10.0)).unwrap();
         write_runner_json(path, mk(4, 4.0)).unwrap();

@@ -187,6 +187,86 @@ fn telemetry_exports_are_byte_identical_across_worker_counts() {
     assert!(trace.starts_with("{\"traceEvents\":["));
 }
 
+/// The harness-level observability artifacts join the determinism
+/// contract: the structured event log and the Prometheus metrics dump
+/// rendered from the same matrix must be byte-identical at 1 and 4
+/// workers. (The matrix Chrome trace is the one wall-clock-exempt
+/// artifact and is deliberately NOT compared here — DESIGN.md §16.)
+#[test]
+fn event_log_and_metrics_are_byte_identical_across_worker_counts() {
+    let h = harness();
+    let nuba = GpuConfig::paper_baseline(ArchKind::Nuba);
+    let with_telemetry = |mut cfg: GpuConfig| {
+        cfg.telemetry.window_cycles = Some(250);
+        cfg.telemetry.trace_sample_period = 32;
+        cfg.telemetry.window_latency = true;
+        cfg
+    };
+    let jobs = vec![
+        Job::new("a", BenchmarkId::Kmeans, with_telemetry(nuba.clone())),
+        Job::new("b", BenchmarkId::Sgemm, with_telemetry(nuba.clone())),
+        Job::new("c", BenchmarkId::Kmeans, with_telemetry(nuba).with_seed(7)),
+    ];
+    let serial = run_matrix_with(&h, &jobs, 1);
+    let parallel = run_matrix_with(&h, &jobs, 4);
+
+    let events = nuba_bench::runner::render_event_log(&serial, None);
+    assert_eq!(
+        events,
+        nuba_bench::runner::render_event_log(&parallel, None),
+        "event log diverged between serial and parallel execution"
+    );
+    // One JSON object per line, sequence numbers strictly monotonic
+    // from zero, and no wall-clock fields anywhere.
+    for (i, line) in events.lines().enumerate() {
+        assert!(line.starts_with(&format!("{{\"seq\":{i},")), "{line}");
+        assert!(line.ends_with('}'), "{line}");
+        assert!(!line.contains("secs"), "wall clock leaked: {line}");
+    }
+
+    let prom = nuba_bench::runner::build_matrix_registry(&serial, None).render_prometheus();
+    assert_eq!(
+        prom,
+        nuba_bench::runner::build_matrix_registry(&parallel, None).render_prometheus(),
+        "Prometheus dump diverged between serial and parallel execution"
+    );
+    assert!(prom.contains("# TYPE nuba_read_latency_cycles_local histogram"));
+    assert!(prom.contains("nuba_jobs_total 3"));
+}
+
+/// Latency histograms are fed only at reply delivery, so the
+/// event-driven time-skipping loop must reproduce the stepped run's
+/// per-tier and per-stage distributions exactly.
+#[test]
+fn latency_histograms_identical_skip_vs_step() {
+    use nuba_core::GpuSimulator;
+    use nuba_workloads::Workload;
+
+    let mut cfg = GpuConfig::paper_baseline(ArchKind::Nuba);
+    cfg.telemetry.window_cycles = Some(250);
+    cfg.telemetry.trace_sample_period = 32;
+    cfg.telemetry.window_latency = true;
+    let wl = Workload::build(BenchmarkId::Kmeans, ScaleProfile::fast(), cfg.num_sms, 42);
+
+    let run = |skip: bool| {
+        let mut gpu = GpuSimulator::try_new(cfg.clone(), &wl).expect("valid config");
+        gpu.warm(&wl, 256);
+        gpu.set_skip(skip);
+        gpu.advance(1500).expect("forward progress");
+        gpu.report().latency
+    };
+    let stepped = run(false);
+    let skipped = run(true);
+    assert_eq!(
+        stepped, skipped,
+        "latency histograms diverged between stepping and skipping"
+    );
+    assert!(
+        stepped.overall().count() > 0,
+        "no read latencies were recorded"
+    );
+}
+
 #[test]
 fn matrix_reports_throughput_per_job() {
     let h = harness();

@@ -1410,6 +1410,7 @@ impl GpuSimulator {
             } else {
                 while let Some(reply) = self.reply_noc.pop_delivered(port) {
                     let local = false; // every UBA reply crossed the NoC
+                    self.telemetry.record_read_latency_of(&reply, local, c);
                     self.telemetry.note_reply(reply.id, c);
                     self.sms[port].handle_reply(reply, c, local);
                 }
@@ -1427,6 +1428,7 @@ impl GpuSimulator {
             for reply in self.reply_scratch.drain(..) {
                 let local = self.topo.partition_of_slice(reply.serviced_by)
                     == self.topo.partition_of_sm(reply.sm);
+                self.telemetry.record_read_latency_of(&reply, local, c);
                 self.telemetry.note_reply(reply.id, c);
                 self.sms[reply.sm.0].handle_reply(reply, c, local);
             }
@@ -1773,6 +1775,10 @@ impl GpuSimulator {
             noc_serialization_cycles,
             dram_bus_busy_cycles,
             energy,
+            latency: crate::metrics::LatencyReport {
+                tiers: *self.telemetry.tier_histograms(),
+                stages: *self.telemetry.stage_histograms(),
+            },
         }
     }
 }

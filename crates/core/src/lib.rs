@@ -55,10 +55,13 @@ pub use mdr::{
     evaluate as mdr_evaluate, static_screen as mdr_static_screen, MdrBandwidths, MdrController,
     MdrEstimate, MdrProfile, ScreenBottleneck, ScreenVerdict,
 };
-pub use metrics::{BottleneckBreakdown, SimReport};
+pub use metrics::{BottleneckBreakdown, LatencyReport, SimReport};
 pub use session::{default_warm_accesses, Checkpoint, SessionBuilder, SimSession};
 pub use sm::{Sm, SmParams, SmStats, StallReason};
-pub use telemetry::{Telemetry, TelemetryWindow, TraceRecord, WindowGauges, WindowTotals};
+pub use telemetry::{
+    Telemetry, TelemetryWindow, TraceRecord, WindowGauges, WindowTotals, NUM_STAGES, NUM_TIERS,
+    STAGE_NAMES, TIER_NAMES,
+};
 
 // Re-exports for downstream convenience (bench harness, examples).
 pub use nuba_types::{ArchKind, GpuConfig, PagePolicyKind, ReplicationKind};

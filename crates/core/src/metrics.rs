@@ -1,6 +1,77 @@
 //! Simulation reports: the metrics the paper's figures are built from.
 
+use nuba_types::{Histogram, LatencySummary};
+
 use crate::energy::EnergyReport;
+use crate::telemetry::{NUM_STAGES, NUM_TIERS, STAGE_NAMES, TIER_NAMES};
+
+/// Deterministic read-latency distributions carried by [`SimReport`]:
+/// end-to-end latency split by bandwidth tier (always populated) and
+/// per-stage queueing delay from sampled lifecycle traces (populated
+/// when `TelemetryConfig::trace_sample_period > 0`).
+///
+/// Everything is integral ([`Histogram`] is `u64`-only), so the report
+/// stays byte-deterministic across worker counts and skip modes.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct LatencyReport {
+    /// End-to-end read latency indexed by `telemetry::TIER_*`.
+    pub tiers: [Histogram; NUM_TIERS],
+    /// Per-stage delay indexed by `telemetry::STAGE_*`.
+    pub stages: [Histogram; NUM_STAGES],
+}
+
+impl LatencyReport {
+    /// `(tier name, summary)` for every bandwidth tier, in fixed order.
+    pub fn tier_summaries(&self) -> [(&'static str, LatencySummary); NUM_TIERS] {
+        let mut out = [("", LatencySummary::default()); NUM_TIERS];
+        for (i, h) in self.tiers.iter().enumerate() {
+            out[i] = (TIER_NAMES[i], LatencySummary::of(h));
+        }
+        out
+    }
+
+    /// `(stage name, summary)` for every lifecycle stage, in fixed order.
+    pub fn stage_summaries(&self) -> [(&'static str, LatencySummary); NUM_STAGES] {
+        let mut out = [("", LatencySummary::default()); NUM_STAGES];
+        for (i, h) in self.stages.iter().enumerate() {
+            out[i] = (STAGE_NAMES[i], LatencySummary::of(h));
+        }
+        out
+    }
+
+    /// All tiers merged into one end-to-end distribution.
+    pub fn overall(&self) -> Histogram {
+        let mut h = Histogram::new();
+        for t in &self.tiers {
+            h.merge(t);
+        }
+        h
+    }
+
+    /// JSON object (`{"overall":{...},"tiers":{...},"stages":{...}}`)
+    /// with a [`LatencySummary`] per entry — all integers, so the text
+    /// is identical across platforms, worker counts and skip modes.
+    pub fn json(&self) -> String {
+        let mut s = String::from("{\"overall\":");
+        s.push_str(&LatencySummary::of(&self.overall()).json());
+        s.push_str(",\"tiers\":{");
+        for (i, (name, sum)) in self.tier_summaries().into_iter().enumerate() {
+            if i > 0 {
+                s.push(',');
+            }
+            s.push_str(&format!("\"{}\":{}", name, sum.json()));
+        }
+        s.push_str("},\"stages\":{");
+        for (i, (name, sum)) in self.stage_summaries().into_iter().enumerate() {
+            if i > 0 {
+                s.push(',');
+            }
+            s.push_str(&format!("\"{}\":{}", name, sum.json()));
+        }
+        s.push_str("}}");
+        s
+    }
+}
 
 /// Aggregate result of one simulation run.
 #[derive(Debug, Clone, PartialEq)]
@@ -66,6 +137,8 @@ pub struct SimReport {
     pub dram_bus_busy_cycles: u64,
     /// Energy breakdown.
     pub energy: EnergyReport,
+    /// Read-latency distributions (per bandwidth tier and per stage).
+    pub latency: LatencyReport,
 }
 
 /// Top-down cycle-accounting shares from `SimReport::bottleneck_breakdown`
@@ -221,6 +294,7 @@ impl SimReport {
                 noc_j: 0.0,
                 rest_j: 0.0,
             },
+            latency: LatencyReport::default(),
         }
     }
 
@@ -335,6 +409,7 @@ mod tests {
                 noc_j: 1.0,
                 rest_j: 9.0,
             },
+            latency: LatencyReport::default(),
         }
     }
 
@@ -376,6 +451,34 @@ mod tests {
         let wsum = 400.0 + 300.0 + 40.0 + 200.0;
         assert!((b.local_link_bound - mem * 400.0 / wsum).abs() < 1e-12);
         assert!((b.dram_bound - mem * 200.0 / wsum).abs() < 1e-12);
+    }
+
+    #[test]
+    fn latency_report_json_is_integral_and_complete() {
+        let mut lat = LatencyReport::default();
+        lat.tiers[crate::telemetry::TIER_LOCAL].record(40);
+        lat.tiers[crate::telemetry::TIER_DRAM].record(400);
+        lat.stages[crate::telemetry::STAGE_LLC].record(8);
+        let j = lat.json();
+        for key in [
+            "\"overall\":",
+            "\"tiers\":",
+            "\"stages\":",
+            "\"local\":",
+            "\"remote\":",
+            "\"dram\":",
+            "\"sm_to_slice\":",
+            "\"slice_queue\":",
+            "\"llc\":",
+            "\"dram_reply\":",
+        ] {
+            assert!(j.contains(key), "missing {key} in {j}");
+        }
+        // Merged overall distribution covers both tiers.
+        assert_eq!(lat.overall().count(), 2);
+        assert_eq!(lat.overall().max(), 400);
+        // No floats anywhere: every value is a bare integer.
+        assert!(!j.contains('.'), "unexpected float in {j}");
     }
 
     #[test]

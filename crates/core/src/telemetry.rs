@@ -26,7 +26,7 @@
 //! is allocated, no sampling happens, and simulator output is
 //! bit-identical to a build without this module.
 
-use nuba_types::{AccessKind, LineAddr, ReqId, SmId, TelemetryConfig, WarpId};
+use nuba_types::{AccessKind, Histogram, LineAddr, MemReply, ReqId, SmId, TelemetryConfig, WarpId};
 
 use crate::metrics::BottleneckBreakdown;
 
@@ -35,6 +35,34 @@ use crate::metrics::BottleneckBreakdown;
 /// suffices; overflow increments [`Telemetry::trace_dropped`] instead
 /// of allocating.
 const INFLIGHT_CAP: usize = 64;
+
+/// Bandwidth-tier index: reply served by an LLC slice in the SM's own
+/// NUBA partition (always false on UBA, whose replies cross the
+/// crossbar).
+pub const TIER_LOCAL: usize = 0;
+/// Bandwidth-tier index: reply served by a remote LLC slice across the
+/// NoC (every UBA LLC hit lands here).
+pub const TIER_REMOTE: usize = 1;
+/// Bandwidth-tier index: reply that missed the LLC and went to DRAM.
+pub const TIER_DRAM: usize = 2;
+/// Number of bandwidth tiers.
+pub const NUM_TIERS: usize = 3;
+/// Stable tier labels for reports and exports, indexed by `TIER_*`.
+pub const TIER_NAMES: [&str; NUM_TIERS] = ["local", "remote", "dram"];
+
+/// Stage index: SM issue → LLC slice enqueue (sampled requests only).
+pub const STAGE_SM_TO_SLICE: usize = 0;
+/// Stage index: slice enqueue → arbiter grant into the tag pipe.
+pub const STAGE_SLICE_QUEUE: usize = 1;
+/// Stage index: grant → DRAM enqueue on a miss, or grant → reply on a
+/// hit (LLC service time).
+pub const STAGE_LLC: usize = 2;
+/// Stage index: DRAM enqueue → reply delivery (misses only).
+pub const STAGE_DRAM_REPLY: usize = 3;
+/// Number of lifecycle stages.
+pub const NUM_STAGES: usize = 4;
+/// Stable stage labels for reports and exports, indexed by `STAGE_*`.
+pub const STAGE_NAMES: [&str; NUM_STAGES] = ["sm_to_slice", "slice_queue", "llc", "dram_reply"];
 
 /// One flushed telemetry window: per-interval deltas of the machine's
 /// cumulative counters plus a few instantaneous gauges and re-armed
@@ -99,6 +127,15 @@ pub struct TelemetryWindow {
     pub tlb_walks: u64,
     /// Highest concurrently-outstanding translation count in the window.
     pub tlb_peak_outstanding: u64,
+    /// Median end-to-end read latency of replies completed within the
+    /// window (0 unless `TelemetryConfig::window_latency` is on).
+    pub lat_p50: u64,
+    /// 95th-percentile read latency within the window.
+    pub lat_p95: u64,
+    /// 99th-percentile read latency within the window.
+    pub lat_p99: u64,
+    /// Largest read latency completed within the window.
+    pub lat_max: u64,
 }
 
 impl TelemetryWindow {
@@ -174,6 +211,7 @@ impl TelemetryWindow {
                 "\"noc_bytes\":{},\"noc_peak_in_flight\":{},",
                 "\"local_link_bytes\":{},\"local_link_busy\":{},\"local_link_rejects\":{},",
                 "\"tlb_walks\":{},\"tlb_peak_outstanding\":{},",
+                "\"lat_p50\":{},\"lat_p95\":{},\"lat_p99\":{},\"lat_max\":{},",
                 "\"replies_per_cycle\":{:.6},\"llc_hit_rate\":{:.6},\"dram_row_hit_rate\":{:.6}}}"
             ),
             escape_json(label),
@@ -205,6 +243,10 @@ impl TelemetryWindow {
             self.local_link_rejects,
             self.tlb_walks,
             self.tlb_peak_outstanding,
+            self.lat_p50,
+            self.lat_p95,
+            self.lat_p99,
+            self.lat_max,
             self.replies_per_cycle(),
             self.llc_hit_rate(),
             self.dram_row_hit_rate(),
@@ -389,6 +431,17 @@ pub struct Telemetry {
     done_cap: usize,
     /// Sampled requests not recorded because a table was full.
     dropped: u64,
+    /// End-to-end read latency per bandwidth tier (every read reply,
+    /// not just sampled ones). Always on: fixed-size, zero-alloc.
+    tier_hist: [Histogram; NUM_TIERS],
+    /// Per-stage queueing/service delay, fed from completed sampled
+    /// lifecycle records (requires tracing to be populated).
+    stage_hist: [Histogram; NUM_STAGES],
+    /// Whether windows stamp per-window latency percentiles.
+    window_lat: bool,
+    /// Read latencies observed since the last window flush
+    /// (reset at each flush; only recorded when `window_lat`).
+    window_hist: Histogram,
 }
 
 impl Telemetry {
@@ -419,6 +472,10 @@ impl Telemetry {
             done: Vec::with_capacity(done_cap),
             done_cap,
             dropped: 0,
+            tier_hist: [Histogram::new(); NUM_TIERS],
+            stage_hist: [Histogram::new(); NUM_STAGES],
+            window_lat: cfg.window_latency,
+            window_hist: Histogram::new(),
         }
     }
 
@@ -452,6 +509,16 @@ impl Telemetry {
     /// full; never allocates.
     pub fn flush_window(&mut self, end_cycle: u64, totals: WindowTotals, gauges: WindowGauges) {
         debug_assert!(self.windowing());
+        let lat = (self.window_lat && !self.window_hist.is_empty()).then(|| {
+            (
+                self.window_hist.quantile(1, 2),
+                self.window_hist.quantile(19, 20),
+                self.window_hist.quantile(99, 100),
+                self.window_hist.max(),
+            )
+        });
+        let (lat_p50, lat_p95, lat_p99, lat_max) = lat.unwrap_or((0, 0, 0, 0));
+        self.window_hist.reset();
         let p = &self.prev;
         let w = TelemetryWindow {
             start_cycle: self.window_start,
@@ -480,6 +547,10 @@ impl Telemetry {
             local_link_rejects: totals.local_link_rejects - p.local_link_rejects,
             tlb_walks: totals.tlb_walks - p.tlb_walks,
             tlb_peak_outstanding: gauges.tlb_peak_outstanding,
+            lat_p50,
+            lat_p95,
+            lat_p99,
+            lat_max,
         };
         self.ring[self.head] = w;
         self.head = (self.head + 1) % self.ring_cap;
@@ -575,11 +646,70 @@ impl Telemetry {
         };
         let mut rec = self.inflight.swap_remove(pos);
         rec.reply_cycle = Some(now);
+        self.record_stages(&rec, now);
         if self.done.len() < self.done_cap {
             self.done.push(rec);
         } else {
             self.dropped += 1;
         }
+    }
+
+    /// Fold a completed sampled lifecycle into the per-stage delay
+    /// histograms. Stages the request never reached contribute nothing.
+    fn record_stages(&mut self, rec: &TraceRecord, reply: u64) {
+        let Some(enq) = rec.slice_enqueue else {
+            return;
+        };
+        self.stage_hist[STAGE_SM_TO_SLICE].record(enq.saturating_sub(rec.issue_cycle));
+        let grant = rec.slice_grant.unwrap_or(reply);
+        self.stage_hist[STAGE_SLICE_QUEUE].record(grant.saturating_sub(enq));
+        if let Some(dram) = rec.dram_enqueue {
+            self.stage_hist[STAGE_LLC].record(dram.saturating_sub(grant));
+            self.stage_hist[STAGE_DRAM_REPLY].record(reply.saturating_sub(dram));
+        } else {
+            self.stage_hist[STAGE_LLC].record(reply.saturating_sub(grant));
+        }
+    }
+
+    /// Record one end-to-end read latency against its bandwidth tier
+    /// (and the current window's histogram when per-window percentiles
+    /// are enabled). Called for every read reply; never allocates.
+    #[inline]
+    pub fn record_read_latency(&mut self, tier: usize, lat: u64) {
+        self.tier_hist[tier].record(lat);
+        if self.window_lat {
+            self.window_hist.record(lat);
+        }
+    }
+
+    /// Classify a delivered reply into its bandwidth tier — DRAM when
+    /// the LLC missed, otherwise local vs remote by whether the serving
+    /// slice sat in the SM's own partition — and record its end-to-end
+    /// latency. Writes carry no SM-observed latency and are skipped.
+    #[inline]
+    pub fn record_read_latency_of(&mut self, reply: &MemReply, local: bool, now: u64) {
+        if !reply.kind.is_read() {
+            return;
+        }
+        let tier = if !reply.llc_hit {
+            TIER_DRAM
+        } else if local {
+            TIER_LOCAL
+        } else {
+            TIER_REMOTE
+        };
+        self.record_read_latency(tier, now.saturating_sub(reply.issue_cycle));
+    }
+
+    /// End-to-end read-latency histograms indexed by `TIER_*`.
+    pub fn tier_histograms(&self) -> &[Histogram; NUM_TIERS] {
+        &self.tier_hist
+    }
+
+    /// Per-stage delay histograms indexed by `STAGE_*` (populated only
+    /// when lifecycle tracing samples requests).
+    pub fn stage_histograms(&self) -> &[Histogram; NUM_STAGES] {
+        &self.stage_hist
     }
 
     /// Completed lifecycle records, in completion order.
@@ -622,13 +752,17 @@ impl StateValue for TelemetryWindow {
             self.local_link_rejects,
             self.tlb_walks,
             self.tlb_peak_outstanding,
+            self.lat_p50,
+            self.lat_p95,
+            self.lat_p99,
+            self.lat_max,
         ] {
             v.put(w);
         }
     }
 
     fn get(r: &mut StateReader<'_>) -> Result<Self, StateError> {
-        let mut v = [0u64; 26];
+        let mut v = [0u64; 30];
         for slot in &mut v {
             *slot = u64::get(r)?;
         }
@@ -659,6 +793,10 @@ impl StateValue for TelemetryWindow {
             local_link_rejects: v[23],
             tlb_walks: v[24],
             tlb_peak_outstanding: v[25],
+            lat_p50: v[26],
+            lat_p95: v[27],
+            lat_p99: v[28],
+            lat_max: v[29],
         })
     }
 }
@@ -758,6 +896,13 @@ impl SaveState for Telemetry {
         self.inflight.put(w);
         self.done.put(w);
         self.dropped.put(w);
+        for h in &self.tier_hist {
+            h.put(w);
+        }
+        for h in &self.stage_hist {
+            h.put(w);
+        }
+        self.window_hist.put(w);
     }
 
     fn restore(&mut self, r: &mut StateReader<'_>) -> Result<(), StateError> {
@@ -795,6 +940,13 @@ impl SaveState for Telemetry {
             });
         }
         self.dropped = u64::get(r)?;
+        for h in &mut self.tier_hist {
+            *h = Histogram::get(r)?;
+        }
+        for h in &mut self.stage_hist {
+            *h = Histogram::get(r)?;
+        }
+        self.window_hist = Histogram::get(r)?;
         Ok(())
     }
 }
@@ -814,6 +966,7 @@ mod tests {
             ring_windows: ring,
             trace_sample_period: period,
             trace_capacity: 8,
+            window_latency: false,
         }
     }
 
@@ -931,6 +1084,107 @@ mod tests {
         }
         assert_eq!(t.inflight.len(), cap);
         assert_eq!(t.trace_dropped(), 3);
+    }
+
+    #[test]
+    fn tier_histograms_record_end_to_end_latency() {
+        let mut t = Telemetry::new(&TelemetryConfig::default());
+        t.record_read_latency(TIER_LOCAL, 40);
+        t.record_read_latency(TIER_REMOTE, 90);
+        t.record_read_latency(TIER_REMOTE, 100);
+        t.record_read_latency(TIER_DRAM, 400);
+        assert_eq!(t.tier_histograms()[TIER_LOCAL].count(), 1);
+        assert_eq!(t.tier_histograms()[TIER_REMOTE].count(), 2);
+        assert_eq!(t.tier_histograms()[TIER_REMOTE].max(), 100);
+        assert_eq!(t.tier_histograms()[TIER_DRAM].sum(), 400);
+    }
+
+    #[test]
+    fn stage_histograms_fed_from_completed_lifecycles() {
+        let mut t = Telemetry::new(&cfg(0, 0, 1));
+        // A miss: issue 5 → enqueue 9 → grant 12 → dram 20 → reply 80.
+        t.maybe_sample(
+            ReqId(1),
+            SmId(0),
+            WarpId(0),
+            LineAddr(64),
+            AccessKind::Load,
+            5,
+        );
+        t.note_slice_enqueue(ReqId(1), 9);
+        t.note_slice_grant(ReqId(1), 12);
+        t.note_dram(LineAddr(64), 20);
+        t.note_reply(ReqId(1), 80);
+        // A hit: issue 10 → enqueue 13 → grant 15 → reply 30.
+        t.maybe_sample(
+            ReqId(2),
+            SmId(0),
+            WarpId(0),
+            LineAddr(128),
+            AccessKind::Load,
+            10,
+        );
+        t.note_slice_enqueue(ReqId(2), 13);
+        t.note_slice_grant(ReqId(2), 15);
+        t.note_reply(ReqId(2), 30);
+        let s = t.stage_histograms();
+        assert_eq!(s[STAGE_SM_TO_SLICE].count(), 2);
+        assert_eq!(s[STAGE_SM_TO_SLICE].sum(), 4 + 3);
+        assert_eq!(s[STAGE_SLICE_QUEUE].sum(), 3 + 2);
+        // Miss contributes grant→dram, hit contributes grant→reply.
+        assert_eq!(s[STAGE_LLC].count(), 2);
+        assert_eq!(s[STAGE_LLC].sum(), 8 + 15);
+        // Only the miss reached DRAM.
+        assert_eq!(s[STAGE_DRAM_REPLY].count(), 1);
+        assert_eq!(s[STAGE_DRAM_REPLY].sum(), 60);
+    }
+
+    #[test]
+    fn window_latency_percentiles_stamp_and_reset() {
+        let mut t = Telemetry::new(&TelemetryConfig {
+            window_latency: true,
+            ..cfg(10, 4, 0)
+        });
+        for lat in [10u64, 20, 30, 1000] {
+            t.record_read_latency(TIER_REMOTE, lat);
+        }
+        t.flush_window(10, totals(1), WindowGauges::default());
+        // No samples in the second window: percentiles are zero.
+        t.flush_window(20, totals(2), WindowGauges::default());
+        let ws = t.windows_vec();
+        // p50 is the upper bound of the log2 bucket holding the median
+        // sample (20 → bucket [16, 31]).
+        assert_eq!(ws[0].lat_p50, 31);
+        assert_eq!(ws[0].lat_max, 1000);
+        assert!(ws[0].lat_p99 <= 1000);
+        assert_eq!((ws[1].lat_p50, ws[1].lat_max), (0, 0));
+        // The cumulative tier histogram is unaffected by flushes.
+        assert_eq!(t.tier_histograms()[TIER_REMOTE].count(), 4);
+    }
+
+    #[test]
+    fn save_restore_roundtrips_histograms() {
+        let mut t = Telemetry::new(&cfg(0, 0, 1));
+        t.record_read_latency(TIER_DRAM, 250);
+        t.maybe_sample(
+            ReqId(1),
+            SmId(0),
+            WarpId(0),
+            LineAddr(64),
+            AccessKind::Load,
+            5,
+        );
+        t.note_slice_enqueue(ReqId(1), 9);
+        t.note_reply(ReqId(1), 40);
+        let mut w = StateWriter::new();
+        t.save(&mut w);
+        let bytes = w.into_bytes();
+        let mut fresh = Telemetry::new(&cfg(0, 0, 1));
+        let mut r = StateReader::new(&bytes);
+        fresh.restore(&mut r).expect("restore telemetry");
+        assert_eq!(fresh.tier_histograms(), t.tier_histograms());
+        assert_eq!(fresh.stage_histograms(), t.stage_histograms());
+        assert_eq!(fresh.trace_records(), t.trace_records());
     }
 
     #[test]

@@ -83,10 +83,14 @@ fn count_window(gpu: &mut GpuSimulator, steps: u64, skipping: bool) -> (u64, u64
 fn steady_state_gpu(arch: ArchKind) -> GpuSimulator {
     let mut cfg = GpuConfig::paper_baseline(arch);
     // Telemetry stays ON here: the zero-allocation contract must hold
-    // with the windowed sampler flushing into its pre-sized ring and
-    // the lifecycle tracer recording into its pre-sized tables.
+    // with the windowed sampler flushing into its pre-sized ring, the
+    // lifecycle tracer recording into its pre-sized tables, and every
+    // latency histogram (per-tier, per-stage, per-window) recording —
+    // histograms are fixed-size bucket arrays, so observing a value is
+    // a pair of array increments, never a heap touch.
     cfg.telemetry.window_cycles = Some(256);
     cfg.telemetry.trace_sample_period = 64;
+    cfg.telemetry.window_latency = true;
     let wl = Workload::build(BenchmarkId::Sgemm, ScaleProfile::fast(), cfg.num_sms, 42);
     let mut gpu = GpuSimulator::try_new(cfg, &wl).expect("valid config");
     gpu.warm(&wl, 256);

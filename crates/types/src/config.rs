@@ -208,6 +208,11 @@ pub struct TelemetryConfig {
     pub trace_sample_period: u64,
     /// Maximum completed lifecycle records retained per run.
     pub trace_capacity: usize,
+    /// Stamp per-window read-latency percentiles (p50/p95/p99/max of
+    /// the window's completed reads) into each flushed
+    /// `TelemetryWindow`. Requires `window_cycles`; costs one fixed
+    /// histogram reset per flush, zero allocations.
+    pub window_latency: bool,
 }
 
 impl Default for TelemetryConfig {
@@ -217,6 +222,7 @@ impl Default for TelemetryConfig {
             ring_windows: 64,
             trace_sample_period: 0,
             trace_capacity: 4096,
+            window_latency: false,
         }
     }
 }
@@ -490,6 +496,14 @@ impl GpuConfig {
         self
     }
 
+    /// Enable per-window read-latency percentiles (builder style);
+    /// requires windowed telemetry to be on.
+    #[must_use]
+    pub fn with_window_latency(mut self) -> GpuConfig {
+        self.telemetry.window_latency = true;
+        self
+    }
+
     /// Set the forward-progress watchdog budget (builder style);
     /// `None` disables the watchdog.
     #[must_use]
@@ -721,6 +735,7 @@ impl GpuConfig {
                 ring_windows: StateValue::get(r)?,
                 trace_sample_period: StateValue::get(r)?,
                 trace_capacity: StateValue::get(r)?,
+                window_latency: StateValue::get(r)?,
             },
             mcm: McmConfig {
                 num_modules: StateValue::get(r)?,
@@ -808,6 +823,7 @@ impl crate::state::SaveState for GpuConfig {
         self.telemetry.ring_windows.put(w);
         self.telemetry.trace_sample_period.put(w);
         self.telemetry.trace_capacity.put(w);
+        self.telemetry.window_latency.put(w);
         self.mcm.num_modules.put(w);
         self.mcm.inter_module_bytes_per_cycle.put(w);
         self.noc_power.ref_pj_per_byte.put(w);
@@ -982,6 +998,9 @@ impl GpuConfig {
         if self.telemetry.trace_sample_period > 0 && self.telemetry.trace_capacity == 0 {
             return err("telemetry trace_capacity must be non-zero when tracing is enabled");
         }
+        if self.telemetry.window_latency && self.telemetry.window_cycles.is_none() {
+            return err("telemetry window_latency requires window_cycles");
+        }
         if let PagePolicyKind::Lab { threshold } = self.page_policy {
             if !(threshold > 0.0 && threshold <= 1.0) {
                 return err("LAB threshold must be in (0, 1]");
@@ -1134,6 +1153,13 @@ mod tests {
         assert!(break_one(|c| {
             c.telemetry.window_cycles = Some(512);
             c.telemetry.trace_sample_period = 64;
+        })
+        .is_ok());
+        // Per-window latency percentiles need windowing on.
+        assert!(break_one(|c| c.telemetry.window_latency = true).is_err());
+        assert!(break_one(|c| {
+            c.telemetry.window_cycles = Some(512);
+            c.telemetry.window_latency = true;
         })
         .is_ok());
         // UBA machines have no local links; zero is fine there.

@@ -28,6 +28,7 @@ pub mod config;
 pub mod ids;
 pub mod invariant;
 pub mod mapping;
+pub mod metrics;
 pub mod packet;
 pub mod state;
 pub mod stats;
@@ -39,6 +40,7 @@ pub use config::{
 };
 pub use ids::{ChannelId, ModuleId, PartitionId, SliceId, SmId, WarpId};
 pub use mapping::{AddressMapping, DecodedAddr, MappingKind};
+pub use metrics::{Histogram, LatencySummary, MetricsRegistry, HISTOGRAM_BUCKETS};
 pub use packet::{AccessKind, MemReply, MemRequest, ReqId, Wire};
 pub use state::{SaveState, StateError, StateReader, StateValue, StateWriter};
 pub use stats::{harmonic_mean_speedup, percent_improvement, Counter, RateTracker};

@@ -36,7 +36,7 @@ use std::hash::Hash;
 /// end-to-end [`fnv1a`] checksum to the checkpoint container so any
 /// single flipped or missing byte is rejected with a typed error
 /// instead of silently decoding wrong state.
-pub const STATE_FORMAT_VERSION: u32 = 2;
+pub const STATE_FORMAT_VERSION: u32 = 3;
 
 /// Why a checkpoint could not be decoded.
 #[derive(Debug, Clone, PartialEq, Eq)]
