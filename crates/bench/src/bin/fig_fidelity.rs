@@ -1,0 +1,254 @@
+//! Fidelity-ladder validation (SMARTS methodology): run tier 1
+//! (sampled simulation with declared error bounds) and tier 2 (full
+//! simulation, the ground truth) side by side across the 11 `simcheck`
+//! architecture configurations and all 29 Table-2 benchmarks, and
+//! report per-run IPC error, bound coverage, and the detailed-cycle
+//! work the ladder saved.
+//!
+//! Writes `BENCH_fidelity.json` (override with `NUBA_FIDELITY_JSON=
+//! <path>`) and exits nonzero if any tier-1 IPC bound fails to cover
+//! the tier-2 truth or the mean |IPC error| exceeds 10% — the CI smoke
+//! gate.
+
+use nuba_bench::runner::{self, run_matrix, Job, JobResult};
+use nuba_bench::{
+    figure_header, main_configs, simcheck_configs, FidelityMode, Harness, HarnessOptions,
+};
+use nuba_types::Fidelity;
+use nuba_workloads::BenchmarkId;
+
+struct Row {
+    label: String,
+    bench: BenchmarkId,
+    truth_ipc: f64,
+    sampled_ipc: f64,
+    half_width: f64,
+    abs_rel_error: f64,
+    covered: bool,
+    bw_covered: bool,
+    intervals: u32,
+    detailed_sampled: u64,
+    detailed_full: u64,
+}
+
+/// Relative |error| of the sampled IPC against the full-run truth.
+fn rel_error(truth: f64, sampled: f64) -> f64 {
+    if truth.abs() < 1e-12 {
+        sampled.abs()
+    } else {
+        (sampled - truth).abs() / truth
+    }
+}
+
+/// Whether every declared tier-bandwidth bound of the sampled report
+/// covers the full run's exact per-cycle value.
+fn bandwidths_covered(sampled: &JobResult, truth: &JobResult) -> bool {
+    sampled
+        .report
+        .tier_bandwidth_bounds()
+        .iter()
+        .zip(truth.report.tier_bandwidth_bounds().iter())
+        .all(|((_, bound), (_, exact))| bound.contains(exact.mean))
+}
+
+fn main() {
+    figure_header(
+        "Fidelity",
+        "Sampled simulation (tier 1) vs full simulation (tier 2): error bounds and saved work",
+    );
+    let h = Harness::from_env();
+    let (_, nuba_cfg) = main_configs()[3].clone();
+
+    // The validation matrix: every simcheck architecture on the
+    // mixed-behaviour Kmeans workload, plus every Table-2 benchmark on
+    // the NUBA main configuration.
+    let mut specs: Vec<(String, BenchmarkId, nuba_types::GpuConfig)> = simcheck_configs()
+        .into_iter()
+        .map(|(name, cfg)| (name, BenchmarkId::Kmeans, cfg))
+        .collect();
+    for &b in BenchmarkId::ALL {
+        specs.push((b.to_string(), b, nuba_cfg.clone()));
+    }
+
+    // Each spec becomes two pinned jobs: tier 1 then tier 2. A single
+    // matrix keeps the warm-state cache shared between the pair. The
+    // pins make the figure immune to the process-wide fidelity mode.
+    let mut jobs: Vec<Job> = Vec::new();
+    for (name, bench, cfg) in &specs {
+        jobs.push(
+            Job::new(format!("{name}/sampled"), *bench, cfg.clone())
+                .with_fidelity(Fidelity::sampled_default()),
+        );
+        jobs.push(
+            Job::new(format!("{name}/full"), *bench, cfg.clone()).with_fidelity(Fidelity::Full),
+        );
+    }
+    let results = run_matrix(&h, &jobs);
+
+    // Under `NUBA_FIDELITY=auto` a third, unpinned arm measures what
+    // the escalation ladder actually spends on this matrix — the
+    // `all_experiments` economics (tier-0 screens resolving most jobs
+    // for zero detailed cycles), validated against the pinned truth.
+    let auto_mode = HarnessOptions::get().fidelity == FidelityMode::Auto;
+    let auto_results = if auto_mode {
+        let auto_jobs: Vec<Job> = specs
+            .iter()
+            .map(|(name, bench, cfg)| Job::new(format!("{name}/auto"), *bench, cfg.clone()))
+            .collect();
+        run_matrix(&h, &auto_jobs)
+    } else {
+        Vec::new()
+    };
+
+    println!(
+        "{:<26} {:>9} {:>9} {:>8} {:>8} {:>7} {:>6} {:>10}",
+        "config/bench", "truth", "sampled", "±bound", "err", "covered", "ivals", "detail-red"
+    );
+    let mut rows: Vec<Row> = Vec::new();
+    for (i, (name, bench, _)) in specs.iter().enumerate() {
+        let sampled = &results[2 * i];
+        let truth = &results[2 * i + 1];
+        if sampled.failed() || truth.failed() || sampled.cancelled() || truth.cancelled() {
+            eprintln!("fig_fidelity: skipping {name} — job did not complete");
+            continue;
+        }
+        let bound = sampled.report.ipc_bound();
+        let truth_ipc = truth.report.perf();
+        let covered = bound.contains(truth_ipc);
+        let bw_covered = bandwidths_covered(sampled, truth);
+        let abs_rel_error = rel_error(truth_ipc, bound.mean);
+        let detailed_sampled = sampled.report.detailed_cycles();
+        let detailed_full = truth.report.detailed_cycles();
+        println!(
+            "{:<26} {:>9.3} {:>9.3} {:>8.3} {:>7.1}% {:>7} {:>6} {:>9.1}x",
+            name,
+            truth_ipc,
+            bound.mean,
+            bound.half_width,
+            abs_rel_error * 100.0,
+            if covered { "yes" } else { "NO" },
+            sampled.report.sample_intervals(),
+            detailed_full as f64 / detailed_sampled.max(1) as f64,
+        );
+        rows.push(Row {
+            label: name.clone(),
+            bench: *bench,
+            truth_ipc,
+            sampled_ipc: bound.mean,
+            half_width: bound.half_width,
+            abs_rel_error,
+            covered,
+            bw_covered,
+            intervals: sampled.report.sample_intervals(),
+            detailed_sampled,
+            detailed_full,
+        });
+    }
+
+    let n = rows.len() as f64;
+    let mean_abs_err = rows.iter().map(|r| r.abs_rel_error).sum::<f64>() / n.max(1.0);
+    let coverage = rows.iter().filter(|r| r.covered).count() as f64 / n.max(1.0);
+    let bw_coverage = rows.iter().filter(|r| r.bw_covered).count() as f64 / n.max(1.0);
+    let detailed_sampled: u64 = rows.iter().map(|r| r.detailed_sampled).sum();
+    let detailed_full: u64 = rows.iter().map(|r| r.detailed_full).sum();
+    let detail_reduction = detailed_full as f64 / detailed_sampled.max(1) as f64;
+
+    println!("\nMean |IPC error|:        {:>6.2}%", mean_abs_err * 100.0);
+    println!("IPC bound coverage:      {:>6.1}%", coverage * 100.0);
+    println!("Bandwidth bound coverage:{:>6.1}%", bw_coverage * 100.0);
+    println!("Detail-cycle reduction:  {detail_reduction:>6.1}x");
+
+    // Escalation-ladder economics (the `all_experiments` story): how
+    // many jobs each rung resolved and the matrix-level detail saving
+    // relative to the pinned full arm.
+    let mut auto_json = String::new();
+    if auto_mode {
+        let mut tiers = [0usize; 3];
+        let mut escalated = 0usize;
+        let mut auto_detailed = 0u64;
+        for r in &auto_results {
+            tiers[usize::from(r.fidelity.tier())] += 1;
+            if r.escalated {
+                escalated += 1;
+            }
+            if r.fidelity.simulates() {
+                auto_detailed += r.report.detailed_cycles();
+            }
+        }
+        let auto_reduction = detailed_full as f64 / auto_detailed.max(1) as f64;
+        println!(
+            "Auto ladder:             {} tier-0, {} tier-1, {} tier-2 \
+             ({escalated} escalated) — {auto_reduction:.1}x less detail than full",
+            tiers[0], tiers[1], tiers[2]
+        );
+        auto_json = format!(
+            ",\n  \"auto\": {{\"jobs\": {}, \"tier0\": {}, \"tier1\": {}, \
+             \"tier2\": {}, \"escalated\": {escalated}, \
+             \"detailed_cycles\": {auto_detailed}, \
+             \"detail_reduction\": {auto_reduction:.2}}}",
+            auto_results.len(),
+            tiers[0],
+            tiers[1],
+            tiers[2],
+        );
+    }
+
+    let path =
+        std::env::var("NUBA_FIDELITY_JSON").unwrap_or_else(|_| "BENCH_fidelity.json".to_string());
+    let mut json = String::from("{\n  \"runs\": [\n");
+    json.push_str(
+        &rows
+            .iter()
+            .map(|r| {
+                format!(
+                    "    {{\"label\": \"{}\", \"bench\": \"{}\", \"truth_ipc\": {:.6}, \
+                     \"sampled_ipc\": {:.6}, \"half_width\": {:.6}, \
+                     \"abs_rel_error\": {:.6}, \"covered\": {}, \"bw_covered\": {}, \
+                     \"intervals\": {}, \"detailed_cycles_sampled\": {}, \
+                     \"detailed_cycles_full\": {}}}",
+                    r.label,
+                    r.bench,
+                    r.truth_ipc,
+                    r.sampled_ipc,
+                    r.half_width,
+                    r.abs_rel_error,
+                    r.covered,
+                    r.bw_covered,
+                    r.intervals,
+                    r.detailed_sampled,
+                    r.detailed_full,
+                )
+            })
+            .collect::<Vec<_>>()
+            .join(",\n"),
+    );
+    json.push_str(&format!(
+        "\n  ],\n  \"mean_abs_ipc_error\": {mean_abs_err:.6},\n  \
+         \"ipc_bound_coverage\": {coverage:.4},\n  \
+         \"bandwidth_bound_coverage\": {bw_coverage:.4},\n  \
+         \"detailed_cycles_sampled\": {detailed_sampled},\n  \
+         \"detailed_cycles_full\": {detailed_full},\n  \
+         \"detail_reduction\": {detail_reduction:.2}{auto_json}\n}}\n"
+    ));
+    match std::fs::write(&path, json) {
+        Ok(()) => println!("\nwrote {path}"),
+        Err(e) => eprintln!("cannot write {path}: {e}"),
+    }
+
+    let code = runner::finish();
+    if coverage < 1.0 {
+        eprintln!(
+            "fig_fidelity: IPC bound coverage {:.1}% below the 100% gate",
+            coverage * 100.0
+        );
+        std::process::exit(1);
+    }
+    if mean_abs_err > 0.10 {
+        eprintln!(
+            "fig_fidelity: mean |IPC error| {:.1}% above the 10% gate",
+            mean_abs_err * 100.0
+        );
+        std::process::exit(1);
+    }
+    std::process::exit(code);
+}

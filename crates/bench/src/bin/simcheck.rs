@@ -25,42 +25,11 @@
 //! `cargo run -p nuba-bench --bin simcheck`.
 
 use nuba_bench::runner::{num_jobs, run_jobs};
+use nuba_bench::simcheck_configs;
 use nuba_core::GpuSimulator;
 use nuba_types::invariant;
-use nuba_types::{ArchKind, GpuConfig, PagePolicyKind, ReplicationKind};
+use nuba_types::GpuConfig;
 use nuba_workloads::{BenchmarkId, ScaleProfile, Workload};
-
-/// The architecture matrix: both UBA baselines and NUBA with each
-/// replication / page-allocation policy the paper evaluates.
-fn configs() -> Vec<(String, GpuConfig)> {
-    let mut out = vec![
-        (
-            "UBA-mem".to_string(),
-            GpuConfig::paper_baseline(ArchKind::MemSideUba),
-        ),
-        (
-            "UBA-sm".to_string(),
-            GpuConfig::paper_baseline(ArchKind::SmSideUba),
-        ),
-    ];
-    for (rep_name, rep) in [
-        ("NoRep", ReplicationKind::None),
-        ("FullRep", ReplicationKind::Full),
-        ("MDR", ReplicationKind::Mdr),
-    ] {
-        for (pol_name, pol) in [
-            ("FirstTouch", PagePolicyKind::FirstTouch),
-            ("RoundRobin", PagePolicyKind::RoundRobin),
-            ("LAB", PagePolicyKind::lab_default()),
-        ] {
-            let cfg = GpuConfig::paper_baseline(ArchKind::Nuba)
-                .with_replication(rep)
-                .with_policy(pol);
-            out.push((format!("NUBA-{rep_name}-{pol_name}"), cfg));
-        }
-    }
-    out
-}
 
 /// Simulate one configuration with conservation checks every
 /// `check_every` cycles. Returns (timed cycles, warp-ops).
@@ -114,7 +83,7 @@ fn main() {
     // A benchmark with both read-only shared data (exercises the MDR
     // replica path) and writes (exercises stores/atomics downstream).
     let bench = BenchmarkId::Kmeans;
-    let configs = configs();
+    let configs = simcheck_configs();
 
     println!(
         "simcheck: {} configurations x {cycles} cycles of {bench:?} ({} workers)",

@@ -23,8 +23,50 @@ pub mod store;
 use std::sync::OnceLock;
 
 use nuba_core::{SimError, SimReport, SimSession};
-use nuba_types::{harmonic_mean_speedup, ArchKind, GpuConfig, ReplicationKind};
+use nuba_types::{harmonic_mean_speedup, ArchKind, Fidelity, GpuConfig, ReplicationKind};
 use nuba_workloads::{BenchmarkId, ScaleProfile, SharingClass, Workload};
+
+/// How `NUBA_FIDELITY` resolves: one fixed rung for every job, or the
+/// runner's per-job escalation ladder (`auto`). Figure binaries never
+/// read the variable themselves — they see this resolved mode through
+/// [`HarnessOptions`] and the per-job [`Fidelity`] the
+/// [`runner`] attaches to each [`runner::JobResult`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FidelityMode {
+    /// Every job runs at this fidelity. The default is
+    /// `Fixed(Fidelity::Full)` — byte-identical to the pre-ladder
+    /// harness.
+    Fixed(Fidelity),
+    /// Tier-0 screen on every job: an informative screen stands alone
+    /// (no simulation), a non-informative one escalates to a tier-1
+    /// sampled run, and tier-2 full simulation is reached only where
+    /// the tier-1 bounds are too wide to separate paper-scale deltas
+    /// (see `runner`).
+    Auto,
+}
+
+impl FidelityMode {
+    /// Parse a `NUBA_FIDELITY` value (`auto`, or any
+    /// [`Fidelity`] spelling: `analytical`, `sampled`, `sampled:NxM`,
+    /// `full`).
+    pub fn parse(s: &str) -> Option<FidelityMode> {
+        let t = s.trim();
+        if t == "auto" {
+            return Some(FidelityMode::Auto);
+        }
+        t.parse().ok().map(FidelityMode::Fixed)
+    }
+
+    /// The fidelity a *one-off* run (outside the runner) executes at:
+    /// the fixed rung, or [`Fidelity::Full`] under `auto` — escalation
+    /// needs the runner's comparison context.
+    pub fn one_off(self) -> Fidelity {
+        match self {
+            FidelityMode::Fixed(f) => f,
+            FidelityMode::Auto => Fidelity::Full,
+        }
+    }
+}
 
 /// Every `NUBA_*` environment knob, parsed once at first use.
 ///
@@ -120,6 +162,10 @@ pub struct HarnessOptions {
     /// artifact that carries wall-clock timestamps — explicitly exempt
     /// from the byte-determinism contract (DESIGN.md §16).
     pub matrix_trace: Option<String>,
+    /// `NUBA_FIDELITY`: the execution-fidelity ladder (DESIGN.md §17).
+    /// `full` (default), `analytical`, `sampled[:NxM]`, or `auto` for
+    /// per-job escalation. Unrecognized values fall back to `full`.
+    pub fidelity: FidelityMode,
 }
 
 impl HarnessOptions {
@@ -169,6 +215,9 @@ impl HarnessOptions {
             metrics: path("NUBA_METRICS"),
             events: path("NUBA_EVENTS"),
             matrix_trace: path("NUBA_MATRIX_TRACE"),
+            fidelity: path("NUBA_FIDELITY")
+                .and_then(|v| FidelityMode::parse(&v))
+                .unwrap_or(FidelityMode::Fixed(Fidelity::Full)),
         }
     }
 
@@ -188,6 +237,10 @@ pub struct Harness {
     pub scale: ScaleProfile,
     /// Seed for layouts and streams.
     pub seed: u64,
+    /// Execution fidelity for one-off runs ([`FidelityMode::one_off`]
+    /// of the `NUBA_FIDELITY` mode). The runner's escalation ladder
+    /// overrides this per job.
+    pub fidelity: Fidelity,
 }
 
 impl Harness {
@@ -202,6 +255,7 @@ impl Harness {
                 ScaleProfile::default()
             },
             seed: 42,
+            fidelity: opts.fidelity.one_off(),
         }
     }
 
@@ -242,7 +296,9 @@ impl Harness {
     ) -> Result<SimReport, SimError> {
         let cfg = self.prepare(cfg, scale);
         let wl = Workload::build(bench, scale, cfg.num_sms, self.seed);
-        let mut session = SimSession::builder(cfg, wl).build()?;
+        let mut session = SimSession::builder(cfg, wl)
+            .fidelity(self.fidelity)
+            .build()?;
         session.warm();
         session.run_window(self.cycles)
     }
@@ -280,6 +336,41 @@ pub fn main_configs() -> [(&'static str, GpuConfig); 4] {
         ),
         ("NUBA", GpuConfig::paper_baseline(ArchKind::Nuba)),
     ]
+}
+
+/// The `simcheck` architecture matrix: both UBA baselines and NUBA
+/// with each replication / page-allocation policy the paper evaluates
+/// (11 configurations). Shared by the invariant gate (`simcheck`), the
+/// fidelity-ladder validation (`fig_fidelity`), and the bound-coverage
+/// integration tests, so they all exercise the same machine space.
+pub fn simcheck_configs() -> Vec<(String, GpuConfig)> {
+    let mut out = vec![
+        (
+            "UBA-mem".to_string(),
+            GpuConfig::paper_baseline(ArchKind::MemSideUba),
+        ),
+        (
+            "UBA-sm".to_string(),
+            GpuConfig::paper_baseline(ArchKind::SmSideUba),
+        ),
+    ];
+    for (rep_name, rep) in [
+        ("NoRep", ReplicationKind::None),
+        ("FullRep", ReplicationKind::Full),
+        ("MDR", ReplicationKind::Mdr),
+    ] {
+        for (pol_name, pol) in [
+            ("FirstTouch", nuba_types::PagePolicyKind::FirstTouch),
+            ("RoundRobin", nuba_types::PagePolicyKind::RoundRobin),
+            ("LAB", nuba_types::PagePolicyKind::lab_default()),
+        ] {
+            let cfg = GpuConfig::paper_baseline(ArchKind::Nuba)
+                .with_replication(rep)
+                .with_policy(pol);
+            out.push((format!("NUBA-{rep_name}-{pol_name}"), cfg));
+        }
+    }
+    out
 }
 
 /// Representative sweep subset: 5 low-sharing + 5 high-sharing

@@ -47,15 +47,15 @@ use std::time::{Duration, Instant};
 
 use nuba_core::telemetry::escape_json;
 use nuba_core::{
-    default_warm_accesses, Checkpoint, GpuSimulator, SimError, SimReport, TelemetryWindow,
-    TraceRecord, NUM_STAGES, NUM_TIERS, STAGE_NAMES, TIER_NAMES,
+    default_warm_accesses, run_sampled, Checkpoint, GpuSimulator, SimError, SimReport,
+    TelemetryWindow, TraceRecord, NUM_STAGES, NUM_TIERS, STAGE_NAMES, TIER_NAMES,
 };
 use nuba_engine::FaultPlan;
-use nuba_types::{GpuConfig, Histogram, MetricsRegistry};
+use nuba_types::{Fidelity, GpuConfig, Histogram, MetricsRegistry};
 use nuba_workloads::{BenchmarkId, ScaleProfile, Workload};
 
 use crate::store::{CheckpointStore, StoreKey, StoreStats};
-use crate::{Harness, HarnessOptions};
+use crate::{FidelityMode, Harness, HarnessOptions};
 
 /// One simulation in an experiment matrix.
 #[derive(Debug, Clone)]
@@ -86,6 +86,11 @@ pub struct Job {
     /// Sanctioned chaos knob: panic instead of simulating, to prove the
     /// matrix survives a dying job. Never set outside chaos drills.
     pub inject_panic: bool,
+    /// Execution-fidelity override for this job. `None` defers to the
+    /// process-wide `NUBA_FIDELITY` mode (fixed rung or the `auto`
+    /// escalation ladder); `Some` pins this job to one rung regardless
+    /// of the mode.
+    pub fidelity: Option<Fidelity>,
 }
 
 impl Job {
@@ -101,6 +106,7 @@ impl Job {
             deadline: None,
             wall_deadline_secs: None,
             inject_panic: false,
+            fidelity: None,
         }
     }
 
@@ -148,6 +154,16 @@ impl Job {
     #[must_use]
     pub fn with_injected_panic(mut self) -> Job {
         self.inject_panic = true;
+        self
+    }
+
+    /// Pin this job to one fidelity rung, overriding the process-wide
+    /// `NUBA_FIDELITY` mode (figure binaries that *are* the ladder —
+    /// `fig_fidelity` — use this to run the same job at tier 1 and
+    /// tier 2).
+    #[must_use]
+    pub fn with_fidelity(mut self, fidelity: Fidelity) -> Job {
+        self.fidelity = Some(fidelity);
         self
     }
 }
@@ -249,6 +265,13 @@ pub struct JobResult {
     /// Wall-clock offset of each attempt's start relative to the
     /// matrix start (one entry per attempt; matrix-trace only).
     pub attempt_offsets_secs: Vec<f64>,
+    /// The fidelity rung the report was actually produced at (after
+    /// any `auto` escalation). [`Fidelity::Full`] for jobs that never
+    /// produced a report.
+    pub fidelity: Fidelity,
+    /// Whether the `auto` ladder escalated this job from a sampled run
+    /// to full simulation because the declared bounds were too wide.
+    pub escalated: bool,
 }
 
 impl JobResult {
@@ -697,6 +720,89 @@ enum JobAbort {
     TimedOut,
 }
 
+/// When the `auto` ladder sees a sampled report whose IPC bound has a
+/// relative half-width above this, the bounds are too wide to separate
+/// paper-scale config deltas (§6 speedups run 5–40%) and the job is
+/// escalated to full simulation. The value is twice the bound's 12%
+/// calibration floor, so only jobs whose *variance* term is large —
+/// genuinely unstable interval rates — pay for tier 2.
+const ESCALATE_REL_HALF_WIDTH: f64 = 0.24;
+
+/// Everything a detailed (tier-2) chunked window needs to cooperate
+/// with cancellation, deadlines, and mid-run checkpointing — factored
+/// out of [`execute_job`] so the `auto` ladder can run it both as the
+/// default path and as the escalation target.
+struct DetailedWindow<'a> {
+    ctx: &'a RunnerCtx,
+    job: &'a Job,
+    cfg: &'a GpuConfig,
+    wl: &'a Workload,
+    /// Absolute cycle the timed window ends at (`Harness::cycles`).
+    end_cycle: u64,
+    chunk_cycles: u64,
+    checkpointing: bool,
+    job_deadline: Option<Instant>,
+    matrix_deadline: Option<Instant>,
+}
+
+impl DetailedWindow<'_> {
+    /// Cooperative gate between chunks: cancellation, matrix deadline,
+    /// job wall deadline. On any trip the current machine state is
+    /// salvaged into the store before aborting.
+    fn gate(&self, gpu: &mut GpuSimulator, events: &mut Vec<JobEvent>) -> Result<(), JobAbort> {
+        if self.ctx.cancel.is_cancelled() {
+            if let Some(cycle) = salvage_to_store(self.ctx, self.job, self.cfg, self.wl, gpu) {
+                events.push(JobEvent::Salvaged { cycle });
+            }
+            return Err(JobAbort::Cancelled);
+        }
+        if self.matrix_deadline.is_some_and(|d| Instant::now() >= d) {
+            if self.ctx.cancel.cancel() {
+                eprintln!("runner: NUBA_MATRIX_DEADLINE_SECS exceeded — draining matrix");
+            }
+            if let Some(cycle) = salvage_to_store(self.ctx, self.job, self.cfg, self.wl, gpu) {
+                events.push(JobEvent::Salvaged { cycle });
+            }
+            return Err(JobAbort::Cancelled);
+        }
+        if self.job_deadline.is_some_and(|d| Instant::now() >= d) {
+            if let Some(cycle) = salvage_to_store(self.ctx, self.job, self.cfg, self.wl, gpu) {
+                events.push(JobEvent::Salvaged { cycle });
+            }
+            return Err(JobAbort::TimedOut);
+        }
+        Ok(())
+    }
+
+    /// Run the window to `end_cycle` in chunks. The window always ends
+    /// at the same absolute cycle (warm-up and restore never advance
+    /// the clock mid-chunk), so chunked and straight-through runs
+    /// retire byte-identical reports; chunking only makes cancellation
+    /// and wall deadlines cooperative.
+    fn run(
+        &self,
+        gpu: &mut GpuSimulator,
+        resume: &mut Option<Checkpoint>,
+        events: &mut Vec<JobEvent>,
+    ) -> Result<SimReport, JobAbort> {
+        loop {
+            self.gate(gpu, events)?;
+            let remaining = self.end_cycle.saturating_sub(gpu.cycle());
+            if remaining == 0 {
+                return Ok(gpu.report());
+            }
+            let chunk = remaining.min(self.chunk_cycles);
+            let r = gpu.run(chunk).map_err(JobAbort::Sim)?;
+            if remaining <= chunk {
+                return Ok(r);
+            }
+            if self.checkpointing {
+                *resume = Some(gpu.checkpoint(self.wl));
+            }
+        }
+    }
+}
+
 /// One attempt at a job: build, arm faults/watchdog, warm, run. Every
 /// failure mode surfaces as `Err` (validation, watchdog, cancellation,
 /// wall deadline) or a panic (workload/config mismatch, internal bug)
@@ -707,7 +813,15 @@ enum JobAbort {
 /// attempts: when `NUBA_CHECKPOINT_EVERY` is active (on by default
 /// under `NUBA_FULL`), a retry restores the last good chunk instead of
 /// starting over.
-type JobOutput = (SimReport, Vec<TelemetryWindow>, Vec<TraceRecord>);
+struct JobOutput {
+    report: SimReport,
+    windows: Vec<TelemetryWindow>,
+    trace: Vec<TraceRecord>,
+    /// The rung the report was produced at (after any escalation).
+    fidelity: Fidelity,
+    /// Whether the `auto` ladder escalated tier 1 → tier 2.
+    escalated: bool,
+}
 
 fn execute_job(
     ctx: &RunnerCtx,
@@ -735,73 +849,125 @@ fn execute_job(
     if opts.trace.is_some() && cfg.telemetry.trace_sample_period == 0 {
         cfg.telemetry.trace_sample_period = ENV_TRACE_PERIOD;
     }
+    // Resolve the job's rung on the fidelity ladder: a per-job pin
+    // wins; otherwise the process-wide mode picks one fixed rung, or —
+    // under `auto` — the tier-0 screen runs on every job and decides
+    // the escalation. An informative screen (one story consistent with
+    // the model: clearly compute-bound, or one tier clearly the choke
+    // point) stands alone at tier 0; a non-informative screen
+    // escalates to tier-1 sampling, and tier 2 is reached only when
+    // the tier-1 bounds are still too wide to separate paper-scale
+    // deltas (checked below).
+    let auto = job.fidelity.is_none() && opts.fidelity == FidelityMode::Auto;
+    let mut fidelity = job.fidelity.unwrap_or(match opts.fidelity {
+        FidelityMode::Fixed(f) => f,
+        FidelityMode::Auto => Fidelity::sampled_default(),
+    });
+    if auto {
+        let screen = crate::screen::screen_benchmark(job.bench, &scale, &cfg);
+        if screen.informative() {
+            fidelity = Fidelity::Analytical;
+        }
+    }
+    if fidelity == Fidelity::Analytical {
+        if job.inject_panic {
+            panic!("injected chaos panic (Job::with_injected_panic)");
+        }
+        // Tier 0 stands alone: no simulator is built. The screen's
+        // predictions (roofline throughput, saturation-curve
+        // bandwidths) are cast into the report shape so an analytical
+        // matrix still renders — marked as tier 0 by the result's
+        // `fidelity` field.
+        let screen = crate::screen::screen_benchmark(job.bench, &scale, &cfg);
+        let report = screen.synthetic_report(&cfg, h.cycles);
+        return Ok(JobOutput {
+            report,
+            windows: Vec::new(),
+            trace: Vec::new(),
+            fidelity,
+            escalated: false,
+        });
+    }
     let wl = Workload::build(job.bench, scale, cfg.num_sms, seed);
-    let mut gpu = match resume.take() {
-        // Retry of a partially completed window: the checkpoint already
-        // carries the armed fault schedule and watchdog budget.
-        Some(ckpt) => GpuSimulator::restore(cfg.clone(), &wl, &ckpt).map_err(JobAbort::Sim)?,
-        None => {
-            let mut gpu = warmed_simulator(ctx, job.bench, &cfg, &wl, job.faults.is_none())
-                .map_err(JobAbort::Sim)?;
-            if let Some(plan) = &job.faults {
-                gpu.set_fault_plan(plan);
+    let build_gpu = |resume: &mut Option<Checkpoint>| -> Result<GpuSimulator, JobAbort> {
+        match resume.take() {
+            // Retry of a partially completed window: the checkpoint
+            // already carries the armed fault schedule and watchdog
+            // budget.
+            Some(ckpt) => GpuSimulator::restore(cfg.clone(), &wl, &ckpt).map_err(JobAbort::Sim),
+            None => {
+                let mut gpu = warmed_simulator(ctx, job.bench, &cfg, &wl, job.faults.is_none())
+                    .map_err(JobAbort::Sim)?;
+                if let Some(plan) = &job.faults {
+                    gpu.set_fault_plan(plan);
+                }
+                if let Some(deadline) = job.deadline {
+                    gpu.set_watchdog(Some(deadline));
+                }
+                Ok(gpu)
             }
-            if let Some(deadline) = job.deadline {
-                gpu.set_watchdog(Some(deadline));
-            }
-            gpu
         }
     };
+    let mut gpu = build_gpu(resume)?;
     if job.inject_panic {
         panic!("injected chaos panic (Job::with_injected_panic)");
     }
-    // The timed window always ends at the same absolute cycle (warm-up
-    // and restore never advance the clock mid-chunk), so chunked and
-    // straight-through runs retire byte-identical reports. Chunking is
-    // therefore always on: it is what makes cancellation and wall
-    // deadlines cooperative.
     let checkpointing = opts.checkpoint_every.filter(|_| job_retries() > 0);
-    let chunk_cycles = checkpointing.unwrap_or(CANCEL_CHUNK).max(1);
-    let report = loop {
-        if ctx.cancel.is_cancelled() {
-            if let Some(cycle) = salvage_to_store(ctx, job, &cfg, &wl, &mut gpu) {
-                events.push(JobEvent::Salvaged { cycle });
-            }
-            return Err(JobAbort::Cancelled);
-        }
-        if matrix_deadline.is_some_and(|d| Instant::now() >= d) {
-            if ctx.cancel.cancel() {
-                eprintln!("runner: NUBA_MATRIX_DEADLINE_SECS exceeded — draining matrix");
-            }
-            if let Some(cycle) = salvage_to_store(ctx, job, &cfg, &wl, &mut gpu) {
-                events.push(JobEvent::Salvaged { cycle });
-            }
-            return Err(JobAbort::Cancelled);
-        }
-        if job_deadline.is_some_and(|d| Instant::now() >= d) {
-            if let Some(cycle) = salvage_to_store(ctx, job, &cfg, &wl, &mut gpu) {
-                events.push(JobEvent::Salvaged { cycle });
-            }
-            return Err(JobAbort::TimedOut);
-        }
+    let win = DetailedWindow {
+        ctx,
+        job,
+        cfg: &cfg,
+        wl: &wl,
         // The window ends at absolute cycle `h.cycles`: warm-up leaves
         // the clock at 0 and a resume restores it mid-way.
-        let remaining = h.cycles.saturating_sub(gpu.cycle());
-        if remaining == 0 {
-            break gpu.report();
+        end_cycle: h.cycles,
+        chunk_cycles: checkpointing.unwrap_or(CANCEL_CHUNK).max(1),
+        checkpointing: checkpointing.is_some(),
+        job_deadline,
+        matrix_deadline,
+    };
+    let (report, fidelity, escalated) = match fidelity {
+        Fidelity::Sampled {
+            intervals,
+            detail_cycles,
+        } => {
+            // A sampled window must stay whole — chunking it would
+            // destroy the interval structure — so the cooperative gate
+            // runs once up front. Sampled windows are short by design;
+            // deadlines are re-checked before any escalation.
+            win.gate(&mut gpu, events)?;
+            let remaining = h.cycles.saturating_sub(gpu.cycle());
+            let sampled = if remaining == 0 {
+                gpu.report()
+            } else {
+                run_sampled(&mut gpu, remaining, intervals, detail_cycles).map_err(JobAbort::Sim)?
+            };
+            if auto && sampled.ipc_bound().relative() > ESCALATE_REL_HALF_WIDTH {
+                // Tier 1 → tier 2: the bounds cannot separate
+                // paper-scale deltas. Rebuild from the warm state and
+                // run the full window — byte-identical to a job that
+                // ran at `Fidelity::Full` from the start.
+                let mut full = build_gpu(&mut None)?;
+                let r = win.run(&mut full, resume, events)?;
+                gpu = full;
+                (r, Fidelity::Full, true)
+            } else {
+                (sampled, fidelity, false)
+            }
         }
-        let chunk = remaining.min(chunk_cycles);
-        let r = gpu.run(chunk).map_err(JobAbort::Sim)?;
-        if remaining <= chunk {
-            break r;
-        }
-        if checkpointing.is_some() {
-            *resume = Some(gpu.checkpoint(&wl));
+        Fidelity::Analytical | Fidelity::Full => {
+            (win.run(&mut gpu, resume, events)?, Fidelity::Full, false)
         }
     };
     let windows = gpu.telemetry().windows_vec();
     let trace = gpu.telemetry().trace_records().to_vec();
-    Ok((report, windows, trace))
+    Ok(JobOutput {
+        report,
+        windows,
+        trace,
+        fidelity,
+        escalated,
+    })
 }
 
 fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
@@ -858,6 +1024,8 @@ fn empty_result(
         events: lifecycle.events,
         start_offset_secs: lifecycle.start_offset_secs,
         attempt_offsets_secs: lifecycle.attempt_offsets_secs,
+        fidelity: job.fidelity.unwrap_or(Fidelity::Full),
+        escalated: false,
     }
 }
 
@@ -925,23 +1093,25 @@ fn run_job(
             (out, ev)
         }));
         match attempt {
-            Ok((Ok((report, windows, trace)), ev)) => {
+            Ok((Ok(out), ev)) => {
                 events.extend(ev);
                 let wall_seconds = start.elapsed().as_secs_f64();
-                let cycles_per_sec = report.cycles as f64 / wall_seconds.max(1e-9);
+                let cycles_per_sec = out.report.cycles as f64 / wall_seconds.max(1e-9);
                 return JobResult {
                     label: job.label.clone(),
-                    report,
+                    report: out.report,
                     wall_seconds,
                     cycles_per_sec,
                     outcome: JobOutcome::Ok,
                     error: None,
                     attempts,
-                    windows,
-                    trace,
+                    windows: out.windows,
+                    trace: out.trace,
                     events,
                     start_offset_secs,
                     attempt_offsets_secs: attempt_offsets,
+                    fidelity: out.fidelity,
+                    escalated: out.escalated,
                 };
             }
             Ok((Err(JobAbort::Cancelled), ev)) => {
@@ -1299,6 +1469,14 @@ pub struct MatrixStats {
     pub cpu_seconds: f64,
     /// Total simulated cycles across the matrix.
     pub total_cycles: u64,
+    /// Cycles simulated *in detail* across the matrix
+    /// ([`SimReport::detailed_cycles`]): equals `total_cycles` when
+    /// every job ran at full fidelity, less when the sampling ladder
+    /// skipped work. `total_cycles / detailed_cycles` is the ladder's
+    /// detail-reduction factor.
+    pub detailed_cycles: u64,
+    /// Jobs the `auto` ladder escalated from tier 1 to tier 2.
+    pub escalated: usize,
     /// Jobs that were quarantined instead of completing (failures and
     /// wall-clock timeouts).
     pub quarantined: usize,
@@ -1316,6 +1494,19 @@ impl MatrixStats {
             jobs: results.len(),
             cpu_seconds: results.iter().map(|r| r.wall_seconds).sum(),
             total_cycles: results.iter().map(|r| r.report.cycles).sum(),
+            // Tier-0 jobs synthesize a report without simulating: they
+            // contribute window cycles but zero detailed cycles.
+            detailed_cycles: results
+                .iter()
+                .map(|r| {
+                    if r.fidelity.simulates() {
+                        r.report.detailed_cycles()
+                    } else {
+                        0
+                    }
+                })
+                .sum(),
+            escalated: results.iter().filter(|r| r.escalated).count(),
             quarantined: results.iter().filter(|r| r.failed()).count(),
             cancelled: results.iter().filter(|r| r.cancelled()).count(),
             timed_out: results
@@ -1330,6 +1521,8 @@ impl MatrixStats {
         self.jobs += other.jobs;
         self.cpu_seconds += other.cpu_seconds;
         self.total_cycles += other.total_cycles;
+        self.detailed_cycles += other.detailed_cycles;
+        self.escalated += other.escalated;
         self.quarantined += other.quarantined;
         self.cancelled += other.cancelled;
         self.timed_out += other.timed_out;
@@ -1364,7 +1557,8 @@ impl RunnerRecord {
             "    {{\"nuba_jobs\": {}, \"jobs\": {}, \"quarantined\": {}, \
              \"cancelled\": {}, \"timed_out\": {}, \
              \"wall_seconds\": {:.3}, \"cpu_seconds\": {:.3}, \
-             \"total_cycles\": {}, \"cycles_per_sec\": {:.0}, \
+             \"total_cycles\": {}, \"detailed_cycles\": {}, \"escalated\": {}, \
+             \"cycles_per_sec\": {:.0}, \
              \"store_hits\": {}, \"store_misses\": {}, \"store_inserts\": {}, \
              \"store_write_errors\": {}, \"store_quarantined\": {}, \
              \"store_evictions\": {}}}",
@@ -1376,6 +1570,8 @@ impl RunnerRecord {
             self.wall_seconds,
             self.stats.cpu_seconds,
             self.stats.total_cycles,
+            self.stats.detailed_cycles,
+            self.stats.escalated,
             cps,
             self.store.hits,
             self.store.misses,
@@ -1396,13 +1592,20 @@ impl RunnerRecord {
                 .unwrap_or(rest.len());
             rest[..end].parse().ok()
         };
+        let total_cycles = field("total_cycles")? as u64;
         Some(RunnerRecord {
             nuba_jobs: field("nuba_jobs")? as usize,
             wall_seconds: field("wall_seconds")?,
             stats: MatrixStats {
                 jobs: field("jobs")? as usize,
                 cpu_seconds: field("cpu_seconds")?,
-                total_cycles: field("total_cycles")? as u64,
+                total_cycles,
+                // Records written before the fidelity ladder simulated
+                // every cycle in detail.
+                detailed_cycles: field("detailed_cycles")
+                    .map(|v| v as u64)
+                    .unwrap_or(total_cycles),
+                escalated: field("escalated").map(|v| v as usize).unwrap_or(0),
                 // Absent in records written before fault quarantine /
                 // lifecycle outcomes landed.
                 quarantined: field("quarantined").map(|v| v as usize).unwrap_or(0),
@@ -1503,6 +1706,7 @@ mod tests {
             cycles: 400,
             scale: ScaleProfile::fast(),
             seed: 42,
+            fidelity: Fidelity::Full,
         }
     }
 
@@ -1544,6 +1748,7 @@ mod tests {
             cycles: 1600,
             scale: ScaleProfile::fast(),
             seed: 42,
+            fidelity: Fidelity::Full,
         };
         let cfg = GpuConfig::paper_baseline(nuba_types::ArchKind::Nuba);
         let dead = FaultPlan::uniform_link_derate(0.0, cfg.num_sms, cfg.num_llc_slices);
@@ -1763,6 +1968,8 @@ mod tests {
                 jobs: 7,
                 cpu_seconds: 40.5,
                 total_cycles: 420_000,
+                detailed_cycles: 60_000,
+                escalated: 1,
                 quarantined: 2,
                 cancelled: 1,
                 timed_out: 1,
@@ -1781,18 +1988,23 @@ mod tests {
         assert_eq!(back.nuba_jobs, 4);
         assert_eq!(back.stats.jobs, 7);
         assert_eq!(back.stats.total_cycles, 420_000);
+        assert_eq!(back.stats.detailed_cycles, 60_000);
+        assert_eq!(back.stats.escalated, 1);
         assert_eq!(back.stats.cancelled, 1);
         assert_eq!(back.stats.timed_out, 1);
         assert_eq!(back.store.hits, 5);
         assert_eq!(back.store.evictions, 3);
         assert!((back.wall_seconds - 12.345).abs() < 1e-9);
 
-        // Records written before lifecycle outcomes parse with zeros.
+        // Records written before lifecycle outcomes parse with zeros;
+        // pre-ladder records count every cycle as detailed.
         let legacy = "    {\"nuba_jobs\": 2, \"jobs\": 3, \"quarantined\": 0, \
                       \"wall_seconds\": 1.000, \"cpu_seconds\": 2.000, \
                       \"total_cycles\": 100, \"cycles_per_sec\": 100}";
         let old = RunnerRecord::parse_json_line(legacy).expect("legacy parses");
         assert_eq!((old.stats.cancelled, old.stats.timed_out), (0, 0));
+        assert_eq!(old.stats.detailed_cycles, 100);
+        assert_eq!(old.stats.escalated, 0);
         assert_eq!(old.store, StoreStats::default());
     }
 
@@ -1809,6 +2021,8 @@ mod tests {
                 jobs: 3,
                 cpu_seconds: wall,
                 total_cycles: 1000,
+                detailed_cycles: 1000,
+                escalated: 0,
                 quarantined: 0,
                 cancelled: 0,
                 timed_out: 0,

@@ -1,0 +1,137 @@
+//! Fidelity-ladder contracts, enforced through the public runner API:
+//!
+//! 1. tier-1 (sampled) IPC lands inside its own declared [`ErrorBound`]
+//!    of the tier-2 (full) truth for every simcheck config;
+//! 2. `Fidelity::Full` through the runner is byte-identical to a raw
+//!    simulator run that never touches the ladder (the pre-ladder
+//!    execution recipe);
+//! 3. sampled runs are byte-deterministic across worker counts.
+
+use nuba_bench::runner::{run_matrix_with, Job};
+use nuba_bench::{simcheck_configs, Harness};
+use nuba_core::{default_warm_accesses, GpuSimulator};
+use nuba_types::Fidelity;
+use nuba_workloads::{BenchmarkId, ScaleProfile, Workload};
+
+const CYCLES: u64 = 20_000;
+const SEED: u64 = 42;
+
+fn harness() -> Harness {
+    Harness {
+        cycles: CYCLES,
+        scale: ScaleProfile::fast(),
+        seed: SEED,
+        fidelity: Fidelity::Full,
+    }
+}
+
+/// Tier-1 contract: for every simcheck config, the sampled run's IPC
+/// bound contains the full run's truth, while spending a fraction of
+/// the detailed cycles. This is the same pairing `fig_fidelity` gates
+/// in CI, pinned here at the fast scale so `cargo test` covers it.
+#[test]
+fn sampled_bound_covers_full_truth_on_every_simcheck_config() {
+    let h = harness();
+    let configs = simcheck_configs();
+    assert_eq!(configs.len(), 11, "simcheck config roster changed");
+
+    let sampled_jobs: Vec<Job> = configs
+        .iter()
+        .map(|(name, cfg)| {
+            Job::new(format!("{name}/sampled"), BenchmarkId::Kmeans, cfg.clone())
+                .with_fidelity(Fidelity::sampled_default())
+        })
+        .collect();
+    let full_jobs: Vec<Job> = configs
+        .iter()
+        .map(|(name, cfg)| {
+            Job::new(format!("{name}/full"), BenchmarkId::Kmeans, cfg.clone())
+                .with_fidelity(Fidelity::Full)
+        })
+        .collect();
+
+    let sampled = run_matrix_with(&h, &sampled_jobs, 4);
+    let full = run_matrix_with(&h, &full_jobs, 4);
+
+    for (s, f) in sampled.iter().zip(&full) {
+        assert_eq!(s.fidelity.tier(), 1, "{}: not a tier-1 report", s.label);
+        assert_eq!(f.fidelity.tier(), 2, "{}: not a tier-2 report", f.label);
+        let truth = f.report.perf();
+        let bound = s.report.ipc_bound();
+        assert!(
+            bound.contains(truth),
+            "{}: tier-2 truth {:.4} outside tier-1 bound [{:.4}, {:.4}]",
+            s.label,
+            truth,
+            bound.lo(),
+            bound.hi()
+        );
+        let detail = s.report.detailed_cycles();
+        assert!(
+            detail < CYCLES,
+            "{}: sampled run spent {detail} detailed cycles on a {CYCLES}-cycle window",
+            s.label
+        );
+    }
+}
+
+/// Tier-2 contract: a `Fidelity::Full` job through the matrix runner
+/// produces field-for-field the same report as the raw pre-ladder
+/// recipe (build, warm, run) — the ladder must be invisible when off.
+#[test]
+fn full_fidelity_matches_ladder_free_simulation() {
+    let h = harness();
+    let (name, cfg) = &simcheck_configs()[4]; // a NUBA config
+    let job =
+        Job::new(name.clone(), BenchmarkId::Kmeans, cfg.clone()).with_fidelity(Fidelity::Full);
+    let results = run_matrix_with(&h, std::slice::from_ref(&job), 1);
+
+    // The ladder-free recipe, exactly as the harness ran before the
+    // fidelity API existed: fresh simulator, default warm-up, one
+    // detailed window.
+    let mut cfg = cfg.clone();
+    cfg.seed = SEED;
+    cfg.page_bytes = h.scale.page_bytes;
+    let wl = Workload::build(BenchmarkId::Kmeans, h.scale, cfg.num_sms, SEED);
+    let mut gpu = GpuSimulator::try_new(cfg.clone(), &wl).expect("valid config");
+    gpu.warm(&wl, default_warm_accesses(&cfg, &wl));
+    let truth = gpu.run(CYCLES).expect("full run");
+
+    assert_eq!(results[0].fidelity, Fidelity::Full);
+    assert!(!results[0].escalated);
+    assert_eq!(
+        results[0].report, truth,
+        "Fidelity::Full diverged from the ladder-free simulation path"
+    );
+}
+
+/// Tier-1 determinism: sampled extrapolation is integer ratio-of-sums,
+/// so a sampled matrix must be byte-identical at any worker count.
+#[test]
+fn sampled_matrix_is_deterministic_across_worker_counts() {
+    let h = Harness {
+        cycles: 8_000,
+        ..harness()
+    };
+    let configs = simcheck_configs();
+    let mut jobs = Vec::new();
+    for &b in &[BenchmarkId::Kmeans, BenchmarkId::Mvt] {
+        for (name, cfg) in configs.iter().take(4) {
+            jobs.push(
+                Job::new(format!("{b}/{name}"), b, cfg.clone())
+                    .with_fidelity(Fidelity::sampled_default()),
+            );
+        }
+    }
+    let serial = run_matrix_with(&h, &jobs, 1);
+    let parallel = run_matrix_with(&h, &jobs, 4);
+    for ((s, p), job) in serial.iter().zip(&parallel).zip(&jobs) {
+        assert_eq!(s.label, job.label);
+        assert_eq!(
+            s.report, p.report,
+            "sampled job `{}` diverged between serial and parallel execution",
+            job.label
+        );
+        assert!(s.report.sampled_meta().is_some(), "{}: no meta", s.label);
+    }
+}

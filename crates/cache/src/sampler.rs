@@ -36,6 +36,7 @@ pub struct SamplerEstimate {
 pub struct SetSampler {
     geo: CacheGeometry,
     stride: usize,
+    sample_sets: usize,
     shadow_no_rep: TagArray,
     shadow_full_rep: TagArray,
     hits_no_rep: u64,
@@ -58,6 +59,7 @@ impl SetSampler {
         SetSampler {
             geo,
             stride: (geo.sets() / sample_sets).max(1),
+            sample_sets,
             shadow_no_rep: TagArray::new(geo),
             shadow_full_rep: TagArray::new(geo),
             hits_no_rep: 0,
@@ -69,8 +71,13 @@ impl SetSampler {
     }
 
     /// Whether `line` falls in a sampled set.
+    ///
+    /// Exactly `sample_sets` sets are sampled: multiples of the stride,
+    /// capped so a non-dividing `sample_sets` (where `sets / sample_sets`
+    /// rounds down and extra multiples fit) never over-samples.
     pub fn sampled(&self, line: LineAddr) -> bool {
-        self.geo.set_of(line).is_multiple_of(self.stride)
+        let set = self.geo.set_of(line);
+        set.is_multiple_of(self.stride) && set / self.stride < self.sample_sets
     }
 
     /// Observe one access that reached (or would reach) this slice.
@@ -262,5 +269,28 @@ mod tests {
     #[should_panic(expected = "sample_sets")]
     fn zero_samples_panics() {
         let _ = SetSampler::new(CacheGeometry::new(48, 16), 0);
+    }
+
+    #[test]
+    fn non_dividing_sample_count_covers_exactly() {
+        // 48 sets / 7 samples → stride 6; multiples of 6 in 0..48 are
+        // eight sets, but only the first seven may be sampled.
+        let geo = CacheGeometry::new(48, 16);
+        let s = SetSampler::new(geo, 7);
+        let sampled: Vec<usize> = (0..geo.sets())
+            .filter(|&set| s.sampled(LineAddr(set as u64 * 128)))
+            .collect();
+        assert_eq!(sampled, vec![0, 6, 12, 18, 24, 30, 36]);
+    }
+
+    #[test]
+    fn oversized_sample_count_covers_every_set() {
+        // sample_sets == sets → stride 1, every set sampled, none more.
+        let geo = CacheGeometry::new(48, 16);
+        let s = SetSampler::new(geo, 48);
+        let count = (0..geo.sets())
+            .filter(|&set| s.sampled(LineAddr(set as u64 * 128)))
+            .count();
+        assert_eq!(count, 48);
     }
 }

@@ -25,6 +25,7 @@
 
 pub mod addr;
 pub mod config;
+pub mod fidelity;
 pub mod ids;
 pub mod invariant;
 pub mod mapping;
@@ -38,6 +39,7 @@ pub use config::{
     ArchKind, ConfigError, GpuConfig, McmConfig, NocPowerParams, PagePolicyKind, ReplicationKind,
     TelemetryConfig,
 };
+pub use fidelity::{ErrorBound, Fidelity, ParseFidelityError, DEFAULT_SAMPLE_INTERVALS};
 pub use ids::{ChannelId, ModuleId, PartitionId, SliceId, SmId, WarpId};
 pub use mapping::{AddressMapping, DecodedAddr, MappingKind};
 pub use metrics::{Histogram, LatencySummary, MetricsRegistry, HISTOGRAM_BUCKETS};

@@ -20,7 +20,7 @@
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-CRATES="types engine core noc dram tlb driver cache"
+CRATES="types engine core noc dram tlb driver cache workloads bench"
 ALLOWLIST=tools/determinism_allowlist.txt
 
 ITER_METHODS='(iter|iter_mut|keys|values|values_mut|drain|into_iter|into_keys|into_values|retain|extend)'
